@@ -1,0 +1,232 @@
+//! Per-arm statistics under bandit feedback.
+
+use serde::{Deserialize, Serialize};
+
+/// Running statistics of one arm: pulls `m_i` and empirical mean `θ̂_i`
+/// of the observed unit delays.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct ArmStats {
+    pulls: u64,
+    sum: f64,
+    sum_sq: f64,
+}
+
+impl ArmStats {
+    /// A fresh, never-pulled arm.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite.
+    pub fn observe(&mut self, value: f64) {
+        assert!(value.is_finite(), "observations must be finite");
+        self.pulls += 1;
+        self.sum += value;
+        self.sum_sq += value * value;
+    }
+
+    /// Number of pulls `m_i`.
+    pub fn pulls(&self) -> u64 {
+        self.pulls
+    }
+
+    /// Empirical mean `θ̂_i`, or `None` if never pulled.
+    pub fn mean(&self) -> Option<f64> {
+        (self.pulls > 0).then(|| self.sum / self.pulls as f64)
+    }
+
+    /// Empirical variance (population), or `None` if never pulled.
+    pub fn variance(&self) -> Option<f64> {
+        (self.pulls > 0).then(|| {
+            let m = self.sum / self.pulls as f64;
+            (self.sum_sq / self.pulls as f64 - m * m).max(0.0)
+        })
+    }
+
+    /// UCB1-style optimistic *lower* delay estimate (delays are costs, so
+    /// optimism subtracts the confidence radius): `θ̂_i − √(2 ln t / m_i)`.
+    /// Unpulled arms return `f64::NEG_INFINITY` so they are tried first.
+    pub fn lcb(&self, t: u64) -> f64 {
+        match self.mean() {
+            None => f64::NEG_INFINITY,
+            Some(m) => {
+                let t = t.max(1) as f64;
+                m - (2.0 * t.ln() / self.pulls as f64).sqrt()
+            }
+        }
+    }
+}
+
+/// A fixed-size collection of arms (one per base station).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArmSet {
+    arms: Vec<ArmStats>,
+}
+
+impl ArmSet {
+    /// Creates `n` fresh arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one arm");
+        ArmSet {
+            arms: vec![ArmStats::new(); n],
+        }
+    }
+
+    /// Number of arms.
+    pub fn len(&self) -> usize {
+        self.arms.len()
+    }
+
+    /// Whether the set is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.arms.is_empty()
+    }
+
+    /// Records an observation on arm `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `value` non-finite.
+    pub fn observe(&mut self, i: usize, value: f64) {
+        self.arms[i].observe(value);
+    }
+
+    /// Pull count of arm `i`.
+    pub fn pulls(&self, i: usize) -> u64 {
+        self.arms[i].pulls()
+    }
+
+    /// Empirical mean of arm `i`.
+    pub fn mean(&self, i: usize) -> Option<f64> {
+        self.arms[i].mean()
+    }
+
+    /// Empirical mean of arm `i`, or `fallback` if never pulled.
+    /// Algorithm 1 seeds the LP with the tier-prior when a station has
+    /// not been observed yet.
+    pub fn mean_or(&self, i: usize, fallback: f64) -> f64 {
+        self.arms[i].mean().unwrap_or(fallback)
+    }
+
+    /// Believed unit delays for every arm, with per-arm fallbacks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fallback.len() != len()`.
+    pub fn means_or(&self, fallback: &[f64]) -> Vec<f64> {
+        assert_eq!(fallback.len(), self.arms.len(), "one fallback per arm");
+        self.arms
+            .iter()
+            .zip(fallback)
+            .map(|(a, &f)| a.mean().unwrap_or(f))
+            .collect()
+    }
+
+    /// Arms that were never pulled.
+    pub fn unexplored(&self) -> Vec<usize> {
+        self.arms
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.pulls() == 0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Total pulls across arms.
+    pub fn total_pulls(&self) -> u64 {
+        self.arms.iter().map(|a| a.pulls()).sum()
+    }
+
+    /// The per-arm statistics.
+    pub fn stats(&self) -> &[ArmStats] {
+        &self.arms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_arm_has_no_mean() {
+        let a = ArmStats::new();
+        assert_eq!(a.pulls(), 0);
+        assert_eq!(a.mean(), None);
+        assert_eq!(a.variance(), None);
+        assert_eq!(a.lcb(5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn mean_and_variance_update() {
+        let mut a = ArmStats::new();
+        for v in [2.0, 4.0, 6.0] {
+            a.observe(v);
+        }
+        assert_eq!(a.pulls(), 3);
+        assert_eq!(a.mean(), Some(4.0));
+        let var = a.variance().unwrap();
+        assert!((var - 8.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lcb_tightens_with_pulls() {
+        let mut few = ArmStats::new();
+        few.observe(10.0);
+        let mut many = ArmStats::new();
+        for _ in 0..100 {
+            many.observe(10.0);
+        }
+        assert!(many.lcb(1000) > few.lcb(1000));
+        assert!(many.lcb(1000) < 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "observations must be finite")]
+    fn non_finite_observation_rejected() {
+        ArmStats::new().observe(f64::INFINITY);
+    }
+
+    #[test]
+    fn arm_set_tracks_individual_arms() {
+        let mut set = ArmSet::new(3);
+        set.observe(1, 5.0);
+        set.observe(1, 7.0);
+        set.observe(2, 1.0);
+        assert_eq!(set.pulls(0), 0);
+        assert_eq!(set.mean(1), Some(6.0));
+        assert_eq!(set.mean_or(0, 42.0), 42.0);
+        assert_eq!(set.mean_or(1, 42.0), 6.0);
+        assert_eq!(set.unexplored(), vec![0]);
+        assert_eq!(set.total_pulls(), 3);
+        assert_eq!(set.len(), 3);
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn means_or_mixes_observed_and_prior() {
+        let mut set = ArmSet::new(2);
+        set.observe(0, 3.0);
+        assert_eq!(set.means_or(&[9.0, 9.0]), vec![3.0, 9.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one fallback per arm")]
+    fn means_or_rejects_wrong_length() {
+        let set = ArmSet::new(2);
+        let _ = set.means_or(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one arm")]
+    fn empty_arm_set_rejected() {
+        let _ = ArmSet::new(0);
+    }
+}

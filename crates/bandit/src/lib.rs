@@ -1,0 +1,44 @@
+//! Multi-armed-bandit machinery for the online caching algorithm.
+//!
+//! Section IV of the paper treats each base station as a bandit arm whose
+//! reward process is the (unknown) delay of processing one unit of data.
+//! This crate provides the pieces Algorithm 1 composes:
+//!
+//! * [`ArmStats`] / [`ArmSet`] — per-arm pull counts `m_i` and empirical
+//!   means `θ̂_i`, updated only when an arm is actually played (bandit
+//!   feedback).
+//! * [`EpsilonSchedule`] — the exploration schedule: the constant
+//!   `ε = 1/4` of Algorithm 1 line 2, and the `c/t` decay analysed in
+//!   Theorem 1.
+//! * [`sample_by_weight`] — draws an arm proportionally to the fractional
+//!   LP values `x*_li` (Algorithm 1 line 7).
+//! * [`regret`] — an empirical regret ledger (Eq. 10) plus the
+//!   theoretical Lemma 1 gap `σ` and Theorem 1 bound
+//!   `σ·log((T−1)/(e^{1/c}+1))`.
+//!
+//! # Example
+//!
+//! ```
+//! use bandit::{ArmSet, EpsilonSchedule};
+//!
+//! let mut arms = ArmSet::new(3);
+//! arms.observe(0, 12.0);
+//! arms.observe(0, 8.0);
+//! assert_eq!(arms.pulls(0), 2);
+//! assert_eq!(arms.mean(0), Some(10.0));
+//! let eps = EpsilonSchedule::Constant(0.25);
+//! assert_eq!(eps.epsilon(10), 0.25);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arm;
+pub mod policy;
+pub mod regret;
+pub mod windowed;
+
+pub use arm::{ArmSet, ArmStats};
+pub use policy::{sample_by_weight, EpsilonSchedule};
+pub use regret::{theorem1_bound, GapParams, RegretLedger};
+pub use windowed::{DiscountedArmStats, WindowedArmSet, WindowedArmStats};

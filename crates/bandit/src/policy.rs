@@ -1,0 +1,167 @@
+//! Exploration schedules and weighted arm sampling.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The probability `ε_t` of exploring outside the candidate set in slot
+/// `t` (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EpsilonSchedule {
+    /// Constant exploration — Algorithm 1 fixes `ε_t = 1/4`.
+    Constant(f64),
+    /// Decaying exploration `ε_t = min(1, c/t)` with `0 < c < 1` — the
+    /// schedule Theorem 1's regret analysis assumes.
+    Decay {
+        /// The constant `c`.
+        c: f64,
+    },
+}
+
+impl EpsilonSchedule {
+    /// The paper's Algorithm 1 default (`ε = 1/4`).
+    pub fn paper_default() -> Self {
+        EpsilonSchedule::Constant(0.25)
+    }
+
+    /// `ε_t` for slot `t` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t == 0`, a constant is outside `[0, 1]`, or a decay
+    /// constant is outside `(0, 1)`.
+    pub fn epsilon(self, t: usize) -> f64 {
+        assert!(t > 0, "slots are 1-based");
+        match self {
+            EpsilonSchedule::Constant(e) => {
+                assert!((0.0..=1.0).contains(&e), "epsilon must be in [0, 1]");
+                e
+            }
+            EpsilonSchedule::Decay { c } => {
+                assert!(c > 0.0 && c < 1.0, "decay constant must be in (0, 1)");
+                (c / t as f64).min(1.0)
+            }
+        }
+    }
+}
+
+/// Samples an index from `weights` with probability proportional to the
+/// weight, restricted to `allowed`. Zero-total weights fall back to a
+/// uniform choice over `allowed`.
+///
+/// Algorithm 1 line 7 assigns each request to a candidate station "with
+/// probability `x*_li`"; the candidate weights are the LP fractions.
+///
+/// # Panics
+///
+/// Panics if `allowed` is empty, an index is out of range, or a weight is
+/// negative/non-finite.
+pub fn sample_by_weight<R: Rng + ?Sized>(
+    rng: &mut R,
+    weights: &[f64],
+    allowed: &[usize],
+) -> usize {
+    assert!(!allowed.is_empty(), "allowed set must not be empty");
+    let mut total = 0.0;
+    for &i in allowed {
+        let w = weights[i];
+        assert!(w.is_finite() && w >= 0.0, "weights must be non-negative");
+        total += w;
+    }
+    if total <= 0.0 {
+        return allowed[rng.random_range(0..allowed.len())];
+    }
+    let mut pick = rng.random_range(0.0..total);
+    for &i in allowed {
+        if pick < weights[i] {
+            return i;
+        }
+        pick -= weights[i];
+    }
+    *allowed.last().expect("non-empty allowed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_schedule_is_flat() {
+        let e = EpsilonSchedule::Constant(0.25);
+        assert_eq!(e.epsilon(1), 0.25);
+        assert_eq!(e.epsilon(1000), 0.25);
+        assert_eq!(EpsilonSchedule::paper_default().epsilon(7), 0.25);
+    }
+
+    #[test]
+    fn decay_schedule_shrinks_like_c_over_t() {
+        let e = EpsilonSchedule::Decay { c: 0.5 };
+        assert_eq!(e.epsilon(1), 0.5);
+        assert_eq!(e.epsilon(2), 0.25);
+        assert_eq!(e.epsilon(500), 0.001);
+    }
+
+    #[test]
+    fn decay_is_capped_at_one() {
+        // c/t could only exceed 1 for c > 1, which is rejected, but the
+        // cap also protects t = 0 misuse paths; check boundary value.
+        let e = EpsilonSchedule::Decay { c: 0.999 };
+        assert!(e.epsilon(1) <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slots are 1-based")]
+    fn slot_zero_rejected() {
+        let _ = EpsilonSchedule::Constant(0.1).epsilon(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay constant must be in (0, 1)")]
+    fn decay_constant_validated() {
+        let _ = EpsilonSchedule::Decay { c: 1.5 }.epsilon(1);
+    }
+
+    #[test]
+    fn weighted_sampling_tracks_weights() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let weights = [0.7, 0.1, 0.2, 0.0];
+        let allowed = [0, 1, 2, 3];
+        let mut counts = [0usize; 4];
+        let n = 20_000;
+        for _ in 0..n {
+            counts[sample_by_weight(&mut rng, &weights, &allowed)] += 1;
+        }
+        assert_eq!(counts[3], 0, "zero-weight arm must never be chosen");
+        let f0 = counts[0] as f64 / n as f64;
+        assert!((f0 - 0.7).abs() < 0.02, "frequency {f0} far from 0.7");
+    }
+
+    #[test]
+    fn restriction_to_allowed_subset() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let weights = [10.0, 1.0, 1.0];
+        for _ in 0..100 {
+            let i = sample_by_weight(&mut rng, &weights, &[1, 2]);
+            assert!(i == 1 || i == 2);
+        }
+    }
+
+    #[test]
+    fn zero_total_weight_falls_back_to_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let weights = [0.0, 0.0];
+        let mut seen = [false; 2];
+        for _ in 0..100 {
+            seen[sample_by_weight(&mut rng, &weights, &[0, 1])] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "allowed set must not be empty")]
+    fn empty_allowed_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = sample_by_weight(&mut rng, &[1.0], &[]);
+    }
+}

@@ -1,0 +1,280 @@
+//! Non-stationary arm estimators.
+//!
+//! The paper's delay process is time-varying ("the delay incurred in each
+//! link ... can vary depending on various situations and workloads");
+//! under the congestion-modulated model the per-station mean drifts on a
+//! Markov time scale. A plain sample mean (the paper's `θ̂_i`) converges
+//! to the long-run mean but reacts slowly to regime switches. This module
+//! provides the two classical alternatives for tracking drifting arms —
+//! a sliding-window mean and an exponentially discounted mean — used by
+//! the `ablation_estimator` bench.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Sliding-window arm estimator: the mean of the last `window`
+/// observations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowedArmStats {
+    window: usize,
+    values: VecDeque<f64>,
+    sum: f64,
+    total_pulls: u64,
+}
+
+impl WindowedArmStats {
+    /// Creates an estimator keeping the last `window` observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        WindowedArmStats {
+            window,
+            values: VecDeque::with_capacity(window),
+            sum: 0.0,
+            total_pulls: 0,
+        }
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite.
+    pub fn observe(&mut self, value: f64) {
+        assert!(value.is_finite(), "observations must be finite");
+        self.total_pulls += 1;
+        self.values.push_back(value);
+        self.sum += value;
+        if self.values.len() > self.window {
+            self.sum -= self.values.pop_front().expect("non-empty");
+        }
+    }
+
+    /// The windowed mean, or `None` before the first observation.
+    pub fn mean(&self) -> Option<f64> {
+        (!self.values.is_empty()).then(|| self.sum / self.values.len() as f64)
+    }
+
+    /// Lifetime pulls (not just those inside the window).
+    pub fn pulls(&self) -> u64 {
+        self.total_pulls
+    }
+
+    /// The configured window length.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+}
+
+/// Exponentially discounted arm estimator:
+/// `mean = Σ γ^(age)·x / Σ γ^(age)` maintained incrementally.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiscountedArmStats {
+    gamma: f64,
+    weighted_sum: f64,
+    weight: f64,
+    pulls: u64,
+}
+
+impl DiscountedArmStats {
+    /// Creates an estimator with discount `gamma` per observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma ∉ (0, 1]`.
+    pub fn new(gamma: f64) -> Self {
+        assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
+        DiscountedArmStats {
+            gamma,
+            weighted_sum: 0.0,
+            weight: 0.0,
+            pulls: 0,
+        }
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite.
+    pub fn observe(&mut self, value: f64) {
+        assert!(value.is_finite(), "observations must be finite");
+        self.pulls += 1;
+        self.weighted_sum = self.gamma * self.weighted_sum + value;
+        self.weight = self.gamma * self.weight + 1.0;
+    }
+
+    /// The discounted mean, or `None` before the first observation.
+    pub fn mean(&self) -> Option<f64> {
+        (self.weight > 0.0).then(|| self.weighted_sum / self.weight)
+    }
+
+    /// Number of pulls.
+    pub fn pulls(&self) -> u64 {
+        self.pulls
+    }
+
+    /// Effective sample size `Σ γ^age` (≤ `1/(1−γ)`).
+    pub fn effective_samples(&self) -> f64 {
+        self.weight
+    }
+}
+
+/// A fixed-size set of windowed estimators (drop-in for
+/// [`crate::ArmSet`] in drift-aware policies).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowedArmSet {
+    arms: Vec<WindowedArmStats>,
+}
+
+impl WindowedArmSet {
+    /// Creates `n` arms with the given window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `window == 0`.
+    pub fn new(n: usize, window: usize) -> Self {
+        assert!(n > 0, "need at least one arm");
+        WindowedArmSet {
+            arms: vec![WindowedArmStats::new(window); n],
+        }
+    }
+
+    /// Number of arms.
+    pub fn len(&self) -> usize {
+        self.arms.len()
+    }
+
+    /// Whether the set is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.arms.is_empty()
+    }
+
+    /// Records an observation on arm `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn observe(&mut self, i: usize, value: f64) {
+        self.arms[i].observe(value);
+    }
+
+    /// Windowed mean of arm `i`, or `fallback` if never pulled.
+    pub fn mean_or(&self, i: usize, fallback: f64) -> f64 {
+        self.arms[i].mean().unwrap_or(fallback)
+    }
+
+    /// Windowed means for every arm with per-arm fallbacks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fallback.len() != len()`.
+    pub fn means_or(&self, fallback: &[f64]) -> Vec<f64> {
+        assert_eq!(fallback.len(), self.arms.len(), "one fallback per arm");
+        self.arms
+            .iter()
+            .zip(fallback)
+            .map(|(a, &f)| a.mean().unwrap_or(f))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windowed_mean_forgets_old_values() {
+        let mut arm = WindowedArmStats::new(3);
+        for v in [100.0, 100.0, 100.0] {
+            arm.observe(v);
+        }
+        assert_eq!(arm.mean(), Some(100.0));
+        for v in [10.0, 10.0, 10.0] {
+            arm.observe(v);
+        }
+        assert_eq!(arm.mean(), Some(10.0), "old regime fully forgotten");
+        assert_eq!(arm.pulls(), 6);
+        assert_eq!(arm.window(), 3);
+    }
+
+    #[test]
+    fn windowed_partial_fill_averages_what_it_has() {
+        let mut arm = WindowedArmStats::new(10);
+        arm.observe(4.0);
+        arm.observe(6.0);
+        assert_eq!(arm.mean(), Some(5.0));
+    }
+
+    #[test]
+    fn windowed_empty_has_no_mean() {
+        assert_eq!(WindowedArmStats::new(5).mean(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn windowed_zero_window_rejected() {
+        let _ = WindowedArmStats::new(0);
+    }
+
+    #[test]
+    fn discounted_tracks_regime_switch_faster_than_flat_mean() {
+        let mut discounted = DiscountedArmStats::new(0.7);
+        let mut flat = crate::ArmStats::new();
+        for _ in 0..50 {
+            discounted.observe(100.0);
+            flat.observe(100.0);
+        }
+        for _ in 0..5 {
+            discounted.observe(10.0);
+            flat.observe(10.0);
+        }
+        let d = discounted.mean().expect("observed");
+        let f = flat.mean().expect("observed");
+        assert!(
+            d < 30.0,
+            "discounted mean should track the new regime: {d}"
+        );
+        assert!(f > 80.0, "flat mean should lag: {f}");
+    }
+
+    #[test]
+    fn discounted_gamma_one_is_plain_mean() {
+        let mut d = DiscountedArmStats::new(1.0);
+        for v in [1.0, 2.0, 3.0] {
+            d.observe(v);
+        }
+        assert!((d.mean().expect("observed") - 2.0).abs() < 1e-12);
+        assert_eq!(d.pulls(), 3);
+    }
+
+    #[test]
+    fn discounted_effective_samples_saturate() {
+        let mut d = DiscountedArmStats::new(0.5);
+        for _ in 0..100 {
+            d.observe(1.0);
+        }
+        // Σ γ^k = 1/(1−γ) = 2.
+        assert!((d.effective_samples() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must be in (0, 1]")]
+    fn discounted_rejects_bad_gamma() {
+        let _ = DiscountedArmStats::new(0.0);
+    }
+
+    #[test]
+    fn windowed_set_mirrors_armset_interface() {
+        let mut set = WindowedArmSet::new(3, 4);
+        set.observe(1, 8.0);
+        assert_eq!(set.len(), 3);
+        assert!(!set.is_empty());
+        assert_eq!(set.mean_or(0, 7.0), 7.0);
+        assert_eq!(set.mean_or(1, 7.0), 8.0);
+        assert_eq!(set.means_or(&[1.0, 1.0, 1.0]), vec![1.0, 8.0, 1.0]);
+    }
+}

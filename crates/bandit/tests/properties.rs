@@ -1,0 +1,96 @@
+//! Property-based tests of the bandit machinery.
+
+use bandit::{sample_by_weight, theorem1_bound, ArmStats, EpsilonSchedule, GapParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arm_mean_lies_within_observed_range(
+        observations in proptest::collection::vec(0.1..100.0f64, 1..50)
+    ) {
+        let mut arm = ArmStats::new();
+        for &v in &observations {
+            arm.observe(v);
+        }
+        let mean = arm.mean().expect("observed at least once");
+        let lo = observations.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = observations.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9);
+        prop_assert_eq!(arm.pulls(), observations.len() as u64);
+        prop_assert!(arm.variance().expect("observed") >= 0.0);
+    }
+
+    #[test]
+    fn decay_epsilon_is_monotone_nonincreasing(c in 0.01..0.99f64) {
+        let schedule = EpsilonSchedule::Decay { c };
+        let mut prev = f64::INFINITY;
+        for t in 1..50 {
+            let e = schedule.epsilon(t);
+            prop_assert!((0.0..=1.0).contains(&e));
+            prop_assert!(e <= prev + 1e-12);
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn weighted_sampling_never_picks_zero_weight(
+        weights in proptest::collection::vec(0.0..1.0f64, 2..8),
+        seed in 0u64..1000,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        // Zero out half the weights.
+        let mut weights = weights;
+        for (j, w) in weights.iter_mut().enumerate() {
+            if j % 2 == 0 {
+                *w = 0.0;
+            }
+        }
+        prop_assume!(weights.iter().any(|&w| w > 0.0));
+        let allowed: Vec<usize> = (0..weights.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let pick = sample_by_weight(&mut rng, &weights, &allowed);
+            prop_assert!(weights[pick] > 0.0, "picked zero-weight arm {}", pick);
+        }
+    }
+
+    #[test]
+    fn sigma_dominates_both_cases(
+        n_requests in 1usize..200,
+        d_min in 0.1..10.0f64,
+        spread in 0.0..100.0f64,
+        delta_ins in 0.0..50.0f64,
+        gamma in 0.01..1.0f64,
+    ) {
+        let params = GapParams {
+            n_requests,
+            d_min,
+            d_max: d_min + spread,
+            delta_ins,
+            gamma,
+        };
+        let sigma = params.sigma();
+        let r = n_requests as f64;
+        let case1 = r * (params.d_max - gamma * d_min + delta_ins);
+        let case2 = r * gamma * (1.0 - (-2.0 * gamma * r * r).exp()) + delta_ins;
+        prop_assert!(sigma >= case1 - 1e-9);
+        prop_assert!(sigma >= case2 - 1e-9);
+        prop_assert!((sigma - case1.max(case2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theorem1_bound_is_nonnegative_and_monotone_in_horizon(
+        sigma in 0.0..1000.0f64,
+        c in 0.01..0.99f64,
+        t1 in 2usize..500,
+        extra in 1usize..500,
+    ) {
+        let b1 = theorem1_bound(sigma, t1, c);
+        let b2 = theorem1_bound(sigma, t1 + extra, c);
+        prop_assert!(b1 >= 0.0);
+        prop_assert!(b2 + 1e-9 >= b1, "bound must grow with horizon");
+    }
+}

@@ -1,0 +1,91 @@
+//! Criterion benches of the LP substrate: the dense two-phase simplex,
+//! the transportation simplex, and the full caching-LP fast path at the
+//! paper's Fig. 3 scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simplex::transport::TransportProblem;
+use simplex::{CachingLp, LinearProgram, Relation};
+
+fn random_caching_lp(nr: usize, ns: usize, seed: u64) -> CachingLp {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let demand: Vec<f64> = (0..nr).map(|_| rng.random_range(1.0..5.0)).collect();
+    let total: f64 = demand.iter().sum();
+    let mut capacity: Vec<f64> = (0..ns).map(|_| rng.random_range(20.0..250.0)).collect();
+    let cap_total: f64 = capacity.iter().sum();
+    if cap_total < total * 1.5 {
+        capacity[0] += total * 1.5 - cap_total;
+    }
+    let unit_cost: Vec<Vec<f64>> = (0..nr)
+        .map(|_| (0..ns).map(|_| rng.random_range(4.0..80.0)).collect())
+        .collect();
+    let inst: Vec<Vec<f64>> = (0..ns)
+        .map(|_| (0..10).map(|_| rng.random_range(10.0..40.0)).collect())
+        .collect();
+    let service_of: Vec<usize> = (0..nr).map(|_| rng.random_range(0..10)).collect();
+    CachingLp::new(demand, service_of, unit_cost, capacity, inst, 10)
+}
+
+fn bench_dense_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_simplex");
+    for &n in &[5usize, 10, 20] {
+        // Diet-style LP: n variables, n cover rows, n bounds.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut lp = LinearProgram::minimize((0..n).map(|_| rng.random_range(1.0..5.0)).collect());
+        for i in 0..n {
+            let terms: Vec<(usize, f64)> = (0..n)
+                .map(|j| (j, if (i + j) % 3 == 0 { 2.0 } else { 1.0 }))
+                .collect();
+            lp.constrain(terms, Relation::Ge, 10.0 + i as f64);
+        }
+        for j in 0..n {
+            lp.constrain(vec![(j, 1.0)], Relation::Le, 30.0);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &lp, |b, lp| {
+            b.iter(|| simplex::dense::solve(lp).expect("feasible"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_transport(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport_simplex");
+    for &(m, n) in &[(50usize, 50usize), (150, 100), (150, 200)] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let supply: Vec<f64> = (0..m).map(|_| rng.random_range(1.0..5.0)).collect();
+        let total: f64 = supply.iter().sum();
+        let mut capacity: Vec<f64> = (0..n).map(|_| rng.random_range(5.0..50.0)).collect();
+        let cap_total: f64 = capacity.iter().sum();
+        if cap_total < total {
+            capacity[0] += total - cap_total + 1.0;
+        }
+        let cost: Vec<Vec<f64>> = (0..m)
+            .map(|_| (0..n).map(|_| rng.random_range(1.0..80.0)).collect())
+            .collect();
+        let problem = TransportProblem::new(supply, capacity, cost);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{n}")),
+            &problem,
+            |b, p| b.iter(|| p.solve().expect("balanced")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_caching_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("caching_lp_fast");
+    group.sample_size(20);
+    for &(nr, ns) in &[(50usize, 50usize), (150, 101), (150, 201)] {
+        let lp = random_caching_lp(nr, ns, 3);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nr}req_{ns}bs")),
+            &lp,
+            |b, lp| b.iter(|| lp.solve_fast().expect("feasible")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dense_simplex, bench_transport, bench_caching_lp);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion benches of the neural substrate: LSTM forward/BPTT and one
+//! full Info-RNN-GAN adversarial step at the policy's configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use infogan::{InfoGanConfig, InfoRnnGan};
+use neural::{BiLstm, LstmCell};
+
+fn bench_lstm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lstm");
+    for &(hidden, steps) in &[(16usize, 12usize), (32, 12), (16, 48)] {
+        let cell = LstmCell::new(8, hidden, 1);
+        let xs: Vec<Vec<f64>> = (0..steps)
+            .map(|t| (0..8).map(|j| ((t * 7 + j) % 5) as f64 / 5.0).collect())
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("forward", format!("h{hidden}_t{steps}")),
+            &(&cell, &xs),
+            |b, (cell, xs)| b.iter(|| cell.forward_seq(xs)),
+        );
+        let mut cell_bw = cell.clone();
+        let dhs: Vec<Vec<f64>> = (0..steps).map(|_| vec![0.1; hidden]).collect();
+        group.bench_function(
+            BenchmarkId::new("forward_backward", format!("h{hidden}_t{steps}")),
+            |b| {
+                b.iter(|| {
+                    cell_bw.zero_grad();
+                    let trace = cell_bw.forward_seq(&xs);
+                    cell_bw.backward_seq(&trace, &dhs)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_bilstm(c: &mut Criterion) {
+    let net = BiLstm::new(8, 16, 2);
+    let xs: Vec<Vec<f64>> = (0..12)
+        .map(|t| (0..8).map(|j| ((t + j) % 4) as f64 / 4.0).collect())
+        .collect();
+    c.bench_function("bilstm_forward_h16_t12", |b| b.iter(|| net.forward_seq(&xs)));
+}
+
+fn bench_gan_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("infogan");
+    group.sample_size(20);
+    let mut cfg = InfoGanConfig::paper_defaults(10);
+    cfg.window = 10;
+    let mut gan = InfoRnnGan::new(cfg, 3);
+    let window: Vec<f64> = (0..11).map(|t| if t % 5 == 0 { 40.0 } else { 2.0 }).collect();
+    group.bench_function("train_window_paper_cfg", |b| {
+        b.iter(|| gan.train_window(&window, 3))
+    });
+    let history: Vec<f64> = (0..30).map(|t| (t % 6) as f64).collect();
+    group.bench_function("predict_next", |b| {
+        b.iter(|| gan.predict_next(&history, 3))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lstm, bench_bilstm, bench_gan_step);
+criterion_main!(benches);

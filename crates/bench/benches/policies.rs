@@ -1,0 +1,54 @@
+//! Criterion benches of end-to-end per-slot decisions: what Figs.
+//! 3(b)–7(b) measure, isolated per policy at the 100-station scale.
+
+use bench::{make_policy, Algo, RunSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lexcache_core::{Episode, EpisodeConfig};
+use mec_net::NetworkConfig;
+
+fn bench_slot_decisions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slot_decision");
+    group.sample_size(10);
+    for algo in [Algo::OlGd, Algo::GreedyGd, Algo::PriGd, Algo::OlReg] {
+        let spec = if algo.hidden_demands() {
+            RunSpec::fig6(algo)
+        } else {
+            RunSpec::fig3(algo)
+        };
+        group.bench_function(BenchmarkId::from_parameter(algo.name()), |b| {
+            b.iter_batched(
+                || {
+                    let net_cfg = NetworkConfig::paper_defaults();
+                    let topo = spec.topo.build(spec.n_stations, &net_cfg, 1);
+                    let scenario = spec.scenario.build(&topo, 1);
+                    let policy = make_policy(&spec, &scenario, 1);
+                    let mut cfg = EpisodeConfig::new(1);
+                    if spec.algo.hidden_demands() {
+                        cfg = cfg.hidden_demands();
+                    }
+                    (Episode::with_config(topo, net_cfg, scenario, cfg), policy)
+                },
+                |(mut episode, mut policy)| episode.run(policy.as_mut(), 3),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_topology_generation(c: &mut Criterion) {
+    let net_cfg = NetworkConfig::paper_defaults();
+    let mut group = c.benchmark_group("topology");
+    for &n in &[100usize, 300] {
+        group.bench_with_input(BenchmarkId::new("gtitm", n), &n, |b, &n| {
+            b.iter(|| mec_net::topology::gtitm::generate(n, &net_cfg, 1))
+        });
+    }
+    group.bench_function("as1755", |b| {
+        b.iter(|| mec_net::topology::as1755::generate(&net_cfg, 0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_slot_decisions, bench_topology_generation);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Ablation: believed-delay estimator under drifting (congestion-
+//! modulated) delays — the paper's plain sample mean vs the drift-aware
+//! windowed and discounted means.
+//!
+//! The hidden congestion state is Markov, so the *current* best station
+//! changes on the congestion time scale. The sample mean converges to
+//! the long-run mean; windowed/discounted estimators track regimes.
+
+use bench::{mean_std, repeats, run_many, Algo, RunSpec, Table};
+use lexcache_core::policy::EstimatorKind;
+use lexcache_core::PolicyConfig;
+
+fn main() {
+    let estimators: [(&str, EstimatorKind); 4] = [
+        ("sample_mean (paper)", EstimatorKind::SampleMean),
+        ("windowed_10", EstimatorKind::Windowed { window: 10 }),
+        ("discounted_0.9", EstimatorKind::Discounted { gamma: 0.9 }),
+        ("discounted_0.7", EstimatorKind::Discounted { gamma: 0.7 }),
+    ];
+    let repeats = repeats();
+    println!(
+        "Ablation — believed-delay estimator, Fig. 3 setting, {} topologies\n",
+        repeats
+    );
+
+    let mut table = Table::new("OL_GD delay vs estimator", "estimator");
+    table.x_values(estimators.iter().map(|(n, _)| n.to_string()));
+    let mut delays = Vec::new();
+    let mut stds = Vec::new();
+    for &(_, estimator) in &estimators {
+        let spec = RunSpec::fig3(Algo::OlGdWith(
+            PolicyConfig::default().with_estimator(estimator),
+        ));
+        let reports = run_many(&spec, repeats);
+        let values: Vec<f64> = reports.iter().map(|r| r.mean_avg_delay_ms()).collect();
+        let (m, s) = mean_std(&values);
+        delays.push(m);
+        stds.push(s);
+    }
+    table.series("mean_delay_ms", delays);
+    table.series("std", stds);
+    println!("{}", table.render());
+}

@@ -1,0 +1,39 @@
+//! Ablation: the candidate threshold `γ` of Eq. (9).
+//!
+//! Small `γ` admits many candidate stations (more spread, closer to the
+//! LP), large `γ` collapses the candidate set (forcing the fallback to
+//! the top fractional columns). The paper fixes `γ` implicitly; this
+//! sweep shows the sensitivity.
+
+use bandit::EpsilonSchedule;
+use bench::{mean_std, repeats, run_many, Algo, RunSpec, Table};
+use lexcache_core::PolicyConfig;
+
+fn main() {
+    let gammas = [0.05, 0.1, 0.2, 0.3, 0.5];
+    let repeats = repeats();
+    println!(
+        "Ablation — candidate threshold gamma, Fig. 3 setting, {} topologies\n",
+        repeats
+    );
+
+    let mut table = Table::new("OL_GD delay vs gamma", "gamma");
+    table.x_values(gammas.iter().map(|g| format!("{g}")));
+    let mut delays = Vec::new();
+    let mut stds = Vec::new();
+    for &gamma in &gammas {
+        let spec = RunSpec::fig3(Algo::OlGdWith(
+            PolicyConfig::default()
+                .with_gamma(gamma)
+                .with_epsilon(EpsilonSchedule::Decay { c: 0.5 }),
+        ));
+        let reports = run_many(&spec, repeats);
+        let values: Vec<f64> = reports.iter().map(|r| r.mean_avg_delay_ms()).collect();
+        let (m, s) = mean_std(&values);
+        delays.push(m);
+        stds.push(s);
+    }
+    table.series("mean_delay_ms", delays);
+    table.series("std", stds);
+    println!("{}", table.render());
+}

@@ -1,0 +1,39 @@
+//! Ablation: the mutual-information weight `λ` (and the supervised
+//! weight `μ`) in the Info-RNN-GAN loss (24)/(26).
+//!
+//! `λ = 0` degenerates to a plain RNN-GAN (no InfoGAN term — the model
+//! the paper argues collapses without the latent-code regularizer);
+//! `μ = 0` removes the supervised prediction term.
+
+use bench::{mean_std, repeats, run_many, Algo, RunSpec, Table};
+
+fn main() {
+    let cells: [(&str, f64, f64); 5] = [
+        ("lambda=0 (plain GAN)", 0.0, 1.0),
+        ("lambda=0.1", 0.1, 1.0),
+        ("lambda=0.5 (default)", 0.5, 1.0),
+        ("lambda=1.0", 1.0, 1.0),
+        ("mu=0 (adv. only)", 0.5, 0.0),
+    ];
+    let repeats = repeats().min(5);
+    println!(
+        "Ablation — GAN loss weights, Fig. 6 setting, {} topologies\n",
+        repeats
+    );
+
+    let mut table = Table::new("OL_GAN delay vs loss weights", "setting");
+    table.x_values(cells.iter().map(|(n, _, _)| n.to_string()));
+    let mut delays = Vec::new();
+    let mut stds = Vec::new();
+    for &(_, lambda, mu) in &cells {
+        let spec = RunSpec::fig6(Algo::OlGanWith { lambda, mu });
+        let reports = run_many(&spec, repeats);
+        let values: Vec<f64> = reports.iter().map(|r| r.mean_avg_delay_ms()).collect();
+        let (m, s) = mean_std(&values);
+        delays.push(m);
+        stds.push(s);
+    }
+    table.series("mean_delay_ms", delays);
+    table.series("std", stds);
+    println!("{}", table.render());
+}

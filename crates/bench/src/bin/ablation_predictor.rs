@@ -1,0 +1,47 @@
+//! Ablation: predictor family under unknown bursty demands.
+//!
+//! `OL_GAN` (Info-RNN-GAN) vs `OL_Reg` (paper ARMA) vs EWMA vs naive
+//! last-value, plus the clairvoyant upper bound (`OL_GD` with the true
+//! demands revealed).
+
+use bench::{mean_std, repeats, run_many, Algo, RunSpec, Table};
+
+fn main() {
+    let repeats = repeats().min(8);
+    println!(
+        "Ablation — predictor family, Fig. 6 setting, {} topologies\n",
+        repeats
+    );
+
+    let algos = [
+        ("OL_GAN", Algo::OlGan),
+        ("OL_Reg (ARMA)", Algo::OlReg),
+        ("OL_EWMA", Algo::OlEwma),
+        ("OL_Naive", Algo::OlNaive),
+        ("OL_Holt", Algo::OlHolt),
+        ("OL_GD (clairvoyant)", Algo::OlGd),
+    ];
+    let mut table = Table::new("delay vs predictor family", "predictor");
+    table.x_values(algos.iter().map(|(n, _)| n.to_string()));
+    let mut delays = Vec::new();
+    let mut stds = Vec::new();
+    for &(_, algo) in &algos {
+        let mut spec = RunSpec::fig6(algo);
+        if let Algo::OlGd = algo {
+            // Clairvoyant reference: reveal the true bursty demands.
+            spec = RunSpec {
+                algo: Algo::OlGd,
+                ..RunSpec::fig6(Algo::OlGd)
+            };
+        }
+        let reports = run_many(&spec, repeats);
+        let values: Vec<f64> = reports.iter().map(|r| r.mean_avg_delay_ms()).collect();
+        let (m, s) = mean_std(&values);
+        delays.push(m);
+        stds.push(s);
+    }
+    table.series("mean_delay_ms", delays);
+    table.series("std", stds);
+    println!("{}", table.render());
+    println!("expectation: clairvoyant <= OL_GAN < classical forecasters");
+}

@@ -1,0 +1,64 @@
+//! Fig. 3: `OL_GD` vs `Greedy_GD` vs `Pri_GD` on a 100-station GT-ITM
+//! network over 100 time slots with given demands.
+//!
+//! (a) average delay per time slot; (b) running time per time slot.
+
+use bench::{mean_delay_series, repeats, run_many, Algo, RunSpec, Table};
+
+fn main() {
+    let repeats = repeats();
+    let algos = [Algo::OlGd, Algo::GreedyGd, Algo::PriGd];
+    println!(
+        "Fig. 3 — given demands, 100 stations, {} slots, {} topologies\n",
+        bench::slots(),
+        repeats
+    );
+
+    let mut delay = Table::new(
+        "Fig. 3(a) — average delay per time slot (ms)",
+        "slot",
+    );
+    let mut runtime = Table::new(
+        "Fig. 3(b) — running time per time slot (ms)",
+        "slot",
+    );
+    let mut first = true;
+    let mut means = Vec::new();
+    for algo in algos {
+        let spec = RunSpec::fig3(algo);
+        let reports = run_many(&spec, repeats);
+        let series = mean_delay_series(&reports);
+        if first {
+            let xs: Vec<String> = (1..=series.len()).map(|t| t.to_string()).collect();
+            delay.x_values(xs.clone());
+            runtime.x_values(xs);
+            first = false;
+        }
+        let rt_series: Vec<f64> = (0..series.len())
+            .map(|t| {
+                reports.iter().map(|r| r.slots[t].decide_us).sum::<f64>()
+                    / reports.len() as f64
+                    / 1_000.0
+            })
+            .collect();
+        let overall: f64 = series.iter().sum::<f64>() / series.len() as f64;
+        means.push((algo.name(), overall));
+        delay.series(algo.name(), series);
+        runtime.series(algo.name(), rt_series);
+    }
+    println!("{}", delay.render());
+    println!("{}", runtime.render());
+
+    println!("# Headline");
+    let ol = means.iter().find(|(n, _)| *n == "OL_GD").expect("ran").1;
+    for (name, m) in &means {
+        if *name != "OL_GD" {
+            println!(
+                "OL_GD vs {name}: {:.2} vs {:.2} ms ({:+.1}% delay)",
+                ol,
+                m,
+                (ol - m) / m * 100.0
+            );
+        }
+    }
+}

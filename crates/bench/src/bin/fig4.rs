@@ -1,0 +1,60 @@
+//! Fig. 4: `OL_GD` vs `Greedy_GD` vs `Pri_GD` with the network size
+//! varied from 50 to 200 stations (given demands).
+//!
+//! (a) mean average delay vs network size; (b) mean per-slot running
+//! time vs network size.
+
+use bench::{mean_std, repeats, run_many, Algo, RunSpec, Table};
+use mec_workload::scenario::DemandKind;
+use mec_workload::ScenarioConfig;
+
+fn main() {
+    let sizes = [50usize, 100, 150, 200];
+    let algos = [Algo::OlGd, Algo::GreedyGd, Algo::PriGd];
+    let repeats = repeats();
+    println!(
+        "Fig. 4 — given demands, sizes {:?}, {} slots, {} topologies\n",
+        sizes,
+        bench::slots(),
+        repeats
+    );
+
+    let mut delay = Table::new("Fig. 4(a) — average delay vs network size (ms)", "stations");
+    let mut runtime = Table::new(
+        "Fig. 4(b) — running time per slot vs network size (ms)",
+        "stations",
+    );
+    delay.x_values(sizes.iter().map(|n| n.to_string()));
+    runtime.x_values(sizes.iter().map(|n| n.to_string()));
+
+    for algo in algos {
+        let mut delays = Vec::new();
+        let mut runtimes = Vec::new();
+        for &n in &sizes {
+            let spec = RunSpec {
+                n_stations: n,
+                scenario: ScenarioConfig::paper_defaults().with_demand(DemandKind::Fixed),
+                ..RunSpec::fig3(algo)
+            };
+            let reports = run_many(&spec, repeats);
+            let (d, _) = mean_std(
+                &reports
+                    .iter()
+                    .map(|r| r.mean_avg_delay_ms())
+                    .collect::<Vec<_>>(),
+            );
+            let (rt, _) = mean_std(
+                &reports
+                    .iter()
+                    .map(|r| r.mean_decide_us() / 1_000.0)
+                    .collect::<Vec<_>>(),
+            );
+            delays.push(d);
+            runtimes.push(rt);
+        }
+        delay.series(algo.name(), delays);
+        runtime.series(algo.name(), runtimes);
+    }
+    println!("{}", delay.render());
+    println!("{}", runtime.render());
+}

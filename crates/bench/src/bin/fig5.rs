@@ -1,0 +1,72 @@
+//! Fig. 5: `OL_GD` vs `Greedy_GD` vs `Pri_GD` on the real AS1755
+//! topology over 100 time slots (given demands).
+//!
+//! The paper observes a *larger* OL_GD advantage than on synthetic
+//! graphs because real topologies have more bottleneck links; the
+//! headline section compares the gap against Fig. 3's.
+
+use bench::{mean_delay_series, repeats, run_many, Algo, RunSpec, Table, TopoKind};
+use mec_net::topology::as1755;
+use mec_workload::scenario::DemandKind;
+use mec_workload::ScenarioConfig;
+
+fn main() {
+    let repeats = repeats();
+    let algos = [Algo::OlGd, Algo::GreedyGd, Algo::PriGd];
+    println!(
+        "Fig. 5 — given demands, AS1755 ({} routers), {} slots, {} seeds\n",
+        as1755::AS1755_NODES,
+        bench::slots(),
+        repeats
+    );
+
+    let mut delay = Table::new("Fig. 5(a) — average delay per time slot on AS1755 (ms)", "slot");
+    let mut runtime = Table::new("Fig. 5(b) — running time per time slot on AS1755 (ms)", "slot");
+    let mut first = true;
+    let mut means = Vec::new();
+    for algo in algos {
+        let spec = RunSpec {
+            topo: TopoKind::As1755,
+            n_stations: as1755::AS1755_NODES,
+            scenario: ScenarioConfig::paper_defaults().with_demand(DemandKind::Fixed),
+            ..RunSpec::fig3(algo)
+        };
+        let reports = run_many(&spec, repeats);
+        let series = mean_delay_series(&reports);
+        if first {
+            let xs: Vec<String> = (1..=series.len()).map(|t| t.to_string()).collect();
+            delay.x_values(xs.clone());
+            runtime.x_values(xs);
+            first = false;
+        }
+        let rt: Vec<f64> = (0..series.len())
+            .map(|t| {
+                reports.iter().map(|r| r.slots[t].decide_us).sum::<f64>()
+                    / reports.len() as f64
+                    / 1_000.0
+            })
+            .collect();
+        means.push((
+            algo.name(),
+            series.iter().sum::<f64>() / series.len() as f64,
+        ));
+        delay.series(algo.name(), series);
+        runtime.series(algo.name(), rt);
+    }
+    println!("{}", delay.render());
+    println!("{}", runtime.render());
+
+    println!("# Headline");
+    let ol = means.iter().find(|(n, _)| *n == "OL_GD").expect("ran").1;
+    for (name, m) in &means {
+        if *name != "OL_GD" {
+            println!(
+                "AS1755: OL_GD vs {name}: {:.2} vs {:.2} ms ({:+.1}%)",
+                ol,
+                m,
+                (ol - m) / m * 100.0
+            );
+        }
+    }
+    println!("(compare against the synthetic-topology gap printed by `fig3`)");
+}

@@ -1,0 +1,66 @@
+//! Fig. 6: `OL_GAN` vs `OL_Reg` on a 100-station network over 100 time
+//! slots with *unknown* bursty demands.
+//!
+//! (a) average delay per time slot; (b) running time per time slot —
+//! the paper reports `OL_GAN` costing roughly 4× `OL_Reg`'s runtime for
+//! a clearly lower delay.
+
+use bench::{mean_delay_series, repeats, run_many, Algo, RunSpec, Table};
+
+fn main() {
+    let repeats = repeats();
+    let algos = [Algo::OlGan, Algo::OlReg];
+    println!(
+        "Fig. 6 — unknown flash-crowd demands, 100 stations, {} slots, {} topologies\n",
+        bench::slots(),
+        repeats
+    );
+
+    let mut delay = Table::new("Fig. 6(a) — average delay per time slot (ms)", "slot");
+    let mut runtime = Table::new("Fig. 6(b) — running time per time slot (ms)", "slot");
+    let mut first = true;
+    let mut summary = Vec::new();
+    for algo in algos {
+        let spec = RunSpec::fig6(algo);
+        let reports = run_many(&spec, repeats);
+        let series = mean_delay_series(&reports);
+        if first {
+            let xs: Vec<String> = (1..=series.len()).map(|t| t.to_string()).collect();
+            delay.x_values(xs.clone());
+            runtime.x_values(xs);
+            first = false;
+        }
+        let rt: Vec<f64> = (0..series.len())
+            .map(|t| {
+                reports.iter().map(|r| r.slots[t].decide_us).sum::<f64>()
+                    / reports.len() as f64
+                    / 1_000.0
+            })
+            .collect();
+        summary.push((
+            algo.name(),
+            series.iter().sum::<f64>() / series.len() as f64,
+            rt.iter().sum::<f64>() / rt.len() as f64,
+        ));
+        delay.series(algo.name(), series);
+        runtime.series(algo.name(), rt);
+    }
+    println!("{}", delay.render());
+    println!("{}", runtime.render());
+
+    println!("# Headline");
+    let gan = summary.iter().find(|(n, _, _)| *n == "OL_GAN").expect("ran");
+    let reg = summary.iter().find(|(n, _, _)| *n == "OL_Reg").expect("ran");
+    println!(
+        "delay: OL_GAN {:.2} vs OL_Reg {:.2} ms ({:+.1}%)",
+        gan.1,
+        reg.1,
+        (gan.1 - reg.1) / reg.1 * 100.0
+    );
+    println!(
+        "runtime: OL_GAN {:.2} vs OL_Reg {:.2} ms/slot ({:.1}x)",
+        gan.2,
+        reg.2,
+        gan.2 / reg.2
+    );
+}

@@ -1,0 +1,47 @@
+//! §VI headline: "the performance of the proposed algorithms outperform
+//! existing algorithms by around 15%".
+//!
+//! Aggregates the Fig. 3 (given-demand) and Fig. 6 (unknown-demand)
+//! settings into one improvement table.
+
+use bench::{mean_std, repeats, run_many, Algo, RunSpec, Table};
+
+fn main() {
+    let repeats = repeats();
+    println!(
+        "Headline summary — 100 stations, {} slots, {} topologies per cell\n",
+        bench::slots(),
+        repeats
+    );
+
+    let mut table = Table::new("Mean average delay (ms) and std over topologies", "algorithm");
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    for algo in [Algo::OlGd, Algo::GreedyGd, Algo::PriGd] {
+        let reports = run_many(&RunSpec::fig3(algo), repeats);
+        let values: Vec<f64> = reports.iter().map(|r| r.mean_avg_delay_ms()).collect();
+        let (m, s) = mean_std(&values);
+        rows.push((format!("{} (given)", algo.name()), m, s));
+    }
+    for algo in [Algo::OlGan, Algo::OlReg] {
+        let reports = run_many(&RunSpec::fig6(algo), repeats);
+        let values: Vec<f64> = reports.iter().map(|r| r.mean_avg_delay_ms()).collect();
+        let (m, s) = mean_std(&values);
+        rows.push((format!("{} (unknown)", algo.name()), m, s));
+    }
+    table.x_values(rows.iter().map(|(n, _, _)| n.clone()));
+    table.series("mean_delay_ms", rows.iter().map(|(_, m, _)| *m).collect());
+    table.series("std", rows.iter().map(|(_, _, s)| *s).collect());
+    println!("{}", table.render());
+
+    println!("# Improvements (positive = proposed algorithm is better)");
+    let get = |name: &str| rows.iter().find(|(n, _, _)| n.starts_with(name)).expect("ran").1;
+    let ol_gd = get("OL_GD");
+    let ol_gan = get("OL_GAN");
+    for baseline in ["Greedy_GD", "Pri_GD"] {
+        let b = get(baseline);
+        println!("OL_GD vs {baseline}: {:.1}%", (b - ol_gd) / b * 100.0);
+    }
+    let reg = get("OL_Reg");
+    println!("OL_GAN vs OL_Reg: {:.1}%", (reg - ol_gan) / reg * 100.0);
+    println!("\npaper claim: proposed algorithms outperform baselines by around 15%");
+}

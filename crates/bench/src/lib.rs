@@ -1,0 +1,494 @@
+//! Benchmark harness regenerating every figure of the paper's
+//! evaluation (§VI).
+//!
+//! Each figure has a binary (`fig3` … `fig7`, `regret_bound`, `summary`,
+//! `ablation_*`) that prints the same series the paper plots, as aligned
+//! text tables plus machine-readable CSV blocks. Absolute numbers depend
+//! on our simulator; the *shapes* — who wins, by roughly what factor,
+//! where crossovers fall — are the reproduction targets recorded in
+//! `EXPERIMENTS.md`.
+//!
+//! Environment knobs (all optional):
+//!
+//! * `LEXCACHE_REPEATS` — topologies averaged per data point (default 10;
+//!   the paper uses 80).
+//! * `LEXCACHE_SLOTS` — time horizon per episode (default 100, as in the
+//!   paper).
+//! * `LEXCACHE_THREADS` — worker threads for the topology sweep (default:
+//!   available parallelism).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use infogan::InfoGanConfig;
+use lexcache_core::{
+    ol_ewma, ol_holt, ol_naive, CachingPolicy, Episode, EpisodeConfig, EpisodeReport, GreedyGd,
+    OlGan, OlGd, OlReg, PolicyConfig, PriGd,
+};
+use mec_net::topology::{as1755, gtitm};
+use mec_net::{NetworkConfig, Topology};
+use mec_workload::demand::{DemandProcess as _, FlashCrowd, FlashCrowdConfig};
+use mec_workload::scenario::DemandKind;
+use mec_workload::{Scenario, ScenarioConfig};
+use parking_lot::Mutex;
+
+/// Number of repeated topologies per data point (`LEXCACHE_REPEATS`).
+pub fn repeats() -> usize {
+    env_usize("LEXCACHE_REPEATS", 10)
+}
+
+/// Episode horizon in slots (`LEXCACHE_SLOTS`).
+pub fn slots() -> usize {
+    env_usize("LEXCACHE_SLOTS", 100)
+}
+
+/// Worker threads for sweeps (`LEXCACHE_THREADS`).
+pub fn threads() -> usize {
+    env_usize(
+        "LEXCACHE_THREADS",
+        std::thread::available_parallelism().map_or(4, |n| n.get()),
+    )
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+/// Which topology family a data point uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopoKind {
+    /// GT-ITM-equivalent Erdős–Rényi graph (`p = 0.1`).
+    Gtitm,
+    /// The AS1755-shaped real-network generator.
+    As1755,
+}
+
+impl TopoKind {
+    /// Builds an `n`-station topology of this kind.
+    pub fn build(self, n: usize, cfg: &NetworkConfig, seed: u64) -> Topology {
+        match self {
+            TopoKind::Gtitm => gtitm::generate(n, cfg, seed),
+            TopoKind::As1755 => as1755::scaled(n, cfg, seed),
+        }
+    }
+}
+
+/// Which algorithm to instantiate (fresh per episode).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Algo {
+    /// Algorithm 1 with the default decaying exploration.
+    OlGd,
+    /// `Greedy_GD`.
+    GreedyGd,
+    /// `Pri_GD` of [20].
+    PriGd,
+    /// `OL_Reg` with ARMA order 3.
+    OlReg,
+    /// Algorithm 2, pre-trained on a small synthetic hotspot trace.
+    OlGan,
+    /// Algorithm 1 with an explicit policy configuration (ablations).
+    OlGdWith(PolicyConfig),
+    /// Algorithm 2 with explicit GAN loss weights (ablations).
+    OlGanWith {
+        /// Mutual-information weight λ.
+        lambda: f64,
+        /// Supervised prediction weight μ.
+        mu: f64,
+    },
+    /// The online body on an EWMA forecaster (ablation).
+    OlEwma,
+    /// The online body on a last-value forecaster (ablation).
+    OlNaive,
+    /// The online body on a Holt trend forecaster (ablation).
+    OlHolt,
+}
+
+impl Algo {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::OlGd | Algo::OlGdWith(_) => "OL_GD",
+            Algo::GreedyGd => "Greedy_GD",
+            Algo::PriGd => "Pri_GD",
+            Algo::OlReg => "OL_Reg",
+            Algo::OlGan | Algo::OlGanWith { .. } => "OL_GAN",
+            Algo::OlEwma => "OL_EWMA",
+            Algo::OlNaive => "OL_Naive",
+            Algo::OlHolt => "OL_Holt",
+        }
+    }
+
+    /// Whether the algorithm needs the unknown-demand regime.
+    pub fn hidden_demands(self) -> bool {
+        matches!(
+            self,
+            Algo::OlReg
+                | Algo::OlGan
+                | Algo::OlGanWith { .. }
+                | Algo::OlEwma
+                | Algo::OlNaive
+                | Algo::OlHolt
+        )
+    }
+}
+
+/// One experiment cell: a topology family and size, a scenario, a
+/// horizon, one algorithm, averaged over `repeats` seeds.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Topology family.
+    pub topo: TopoKind,
+    /// Number of base stations.
+    pub n_stations: usize,
+    /// Scenario configuration.
+    pub scenario: ScenarioConfig,
+    /// Episode horizon.
+    pub horizon: usize,
+    /// Algorithm under test.
+    pub algo: Algo,
+    /// Track clairvoyant regret.
+    pub track_regret: bool,
+}
+
+impl RunSpec {
+    /// The canonical given-demand spec of Fig. 3 (100 stations,
+    /// 100 slots, fixed demands).
+    pub fn fig3(algo: Algo) -> Self {
+        RunSpec {
+            topo: TopoKind::Gtitm,
+            n_stations: 100,
+            scenario: ScenarioConfig::paper_defaults().with_demand(DemandKind::Fixed),
+            horizon: slots(),
+            algo,
+            track_regret: false,
+        }
+    }
+
+    /// The unknown-demand spec of Fig. 6 (flash-crowd bursts).
+    pub fn fig6(algo: Algo) -> Self {
+        RunSpec {
+            topo: TopoKind::Gtitm,
+            n_stations: 100,
+            scenario: ScenarioConfig::paper_defaults()
+                .with_demand(DemandKind::Flash(FlashCrowdConfig::default())),
+            horizon: slots(),
+            algo,
+            track_regret: false,
+        }
+    }
+}
+
+/// Builds a fresh policy for one episode. `OL_GAN` is pre-trained on a
+/// small synthetic hotspot trace drawn from the *same scenario family*
+/// with a different seed (the paper trains on a small sample of the NYC
+/// hotspot data, not on the evaluation episode itself).
+pub fn make_policy(spec: &RunSpec, scenario: &Scenario, seed: u64) -> Box<dyn CachingPolicy> {
+    let cfg = PolicyConfig::default().with_seed(seed);
+    match spec.algo {
+        Algo::OlGd => Box::new(OlGd::new(cfg)),
+        Algo::OlGdWith(custom) => Box::new(OlGd::new(custom.with_seed(seed))),
+        Algo::GreedyGd => Box::new(GreedyGd::new()),
+        Algo::PriGd => Box::new(PriGd::new()),
+        Algo::OlReg => Box::new(OlReg::new(cfg, 3)),
+        Algo::OlGan => make_gan(cfg, scenario, seed, None),
+        Algo::OlGanWith { lambda, mu } => make_gan(cfg, scenario, seed, Some((lambda, mu))),
+        Algo::OlEwma => Box::new(ol_ewma(cfg)),
+        Algo::OlNaive => Box::new(ol_naive(cfg)),
+        Algo::OlHolt => Box::new(ol_holt(cfg)),
+    }
+}
+
+fn make_gan(
+    cfg: PolicyConfig,
+    scenario: &Scenario,
+    seed: u64,
+    weights: Option<(f64, f64)>,
+) -> Box<dyn CachingPolicy> {
+    let n_cells = scenario.n_cells();
+    let mut gan_cfg = InfoGanConfig::paper_defaults(n_cells);
+    gan_cfg.window = 10;
+    gan_cfg.bins = 24;
+    gan_cfg.mu = 3.0;
+    if let Some((lambda, mu)) = weights {
+        gan_cfg.lambda = lambda;
+        gan_cfg.mu = mu;
+    }
+    let mut policy = OlGan::new(cfg, gan_cfg, seed);
+    policy.set_online_steps(2);
+    policy.set_mc_samples(12);
+    let (series, cells) = pretraining_series(scenario, seed ^ 0x9e37_79b9, 60);
+    policy.pretrain(&series, &cells, 120);
+    Box::new(policy)
+}
+
+/// Synthesizes the small-sample per-cell *burst residual* training
+/// series for `OL_GAN` from the scenario's own request population under
+/// an independent, burst-rich flash-crowd realization (the stand-in for
+/// the NYC hotspot trace; historical samples deliberately cover busy
+/// periods so the burst dynamics are observable).
+pub fn pretraining_series(
+    scenario: &Scenario,
+    seed: u64,
+    n_slots: usize,
+) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let mut process = FlashCrowd::new(
+        scenario.requests(),
+        FlashCrowdConfig {
+            event_probability: 0.5,
+            ..FlashCrowdConfig::default()
+        },
+        seed,
+    );
+    let n_cells = scenario.n_cells();
+    let mut cell_basics = vec![0.0; n_cells];
+    for r in scenario.requests() {
+        cell_basics[r.location_cell()] += r.basic_demand();
+    }
+    let mut series = vec![vec![0.0; n_slots]; n_cells];
+    for t in 0..n_slots {
+        process.advance();
+        for r in scenario.requests() {
+            series[r.location_cell()][t] += process.demand(r.id());
+        }
+        for c in 0..n_cells {
+            series[c][t] = (series[c][t] - cell_basics[c]).max(0.0);
+        }
+    }
+    let cells: Vec<usize> = (0..n_cells).collect();
+    // Keep only cells that actually have members.
+    let populated: Vec<usize> = cells
+        .into_iter()
+        .filter(|&c| scenario.requests().iter().any(|r| r.location_cell() == c))
+        .collect();
+    let series = populated.iter().map(|&c| series[c].clone()).collect();
+    (series, populated)
+}
+
+/// Runs one episode of the spec under seed `seed`.
+pub fn run_one(spec: &RunSpec, seed: u64) -> EpisodeReport {
+    let net_cfg = NetworkConfig::paper_defaults();
+    let topo = spec.topo.build(spec.n_stations, &net_cfg, seed);
+    let scenario = spec.scenario.build(&topo, seed);
+    let mut policy = make_policy(spec, &scenario, seed);
+    let mut ep_cfg = EpisodeConfig::new(seed);
+    if spec.algo.hidden_demands() {
+        ep_cfg = ep_cfg.hidden_demands();
+    }
+    if spec.track_regret {
+        ep_cfg = ep_cfg.with_regret();
+    }
+    let mut episode = Episode::with_config(topo, net_cfg, scenario, ep_cfg);
+    episode.run(policy.as_mut(), spec.horizon)
+}
+
+/// Runs the spec over `repeats` seeded topologies in parallel and
+/// returns the per-seed reports (ordered by seed).
+pub fn run_many(spec: &RunSpec, repeats: usize) -> Vec<EpisodeReport> {
+    let results: Mutex<Vec<(u64, EpisodeReport)>> = Mutex::new(Vec::with_capacity(repeats));
+    let next = std::sync::atomic::AtomicU64::new(0);
+    let workers = threads().min(repeats.max(1));
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let seed = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                if seed >= repeats as u64 {
+                    break;
+                }
+                let report = run_one(spec, seed);
+                results.lock().push((seed, report));
+            });
+        }
+    })
+    .expect("worker panicked");
+    let mut out = results.into_inner();
+    out.sort_by_key(|(seed, _)| *seed);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Mean and (population) standard deviation.
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+    (mean, var.sqrt())
+}
+
+/// Per-slot delay series averaged across reports (entry `t` averages the
+/// reports' slot `t`).
+pub fn mean_delay_series(reports: &[EpisodeReport]) -> Vec<f64> {
+    if reports.is_empty() {
+        return Vec::new();
+    }
+    let horizon = reports[0].slots.len();
+    (0..horizon)
+        .map(|t| {
+            reports.iter().map(|r| r.slots[t].avg_delay_ms).sum::<f64>() / reports.len() as f64
+        })
+        .collect()
+}
+
+/// A printable result table: one labelled series per column.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    x_label: String,
+    x: Vec<String>,
+    columns: Vec<(String, Vec<f64>)>,
+}
+
+impl Table {
+    /// Creates a table.
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>) -> Self {
+        Table {
+            title: title.into(),
+            x_label: x_label.into(),
+            ..Table::default()
+        }
+    }
+
+    /// Sets the x-axis values.
+    pub fn x_values(&mut self, xs: impl IntoIterator<Item = String>) -> &mut Self {
+        self.x = xs.into_iter().collect();
+        self
+    }
+
+    /// Adds a named series (one value per x entry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series length does not match the x axis.
+    pub fn series(&mut self, name: impl Into<String>, values: Vec<f64>) -> &mut Self {
+        assert_eq!(values.len(), self.x.len(), "series length mismatch");
+        self.columns.push((name.into(), values));
+        self
+    }
+
+    /// Renders the table (aligned text plus a CSV block).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let mut header = format!("{:>12}", self.x_label);
+        for (name, _) in &self.columns {
+            let _ = write!(header, " {name:>14}");
+        }
+        let _ = writeln!(out, "{header}");
+        for (i, x) in self.x.iter().enumerate() {
+            let mut row = format!("{x:>12}");
+            for (_, vals) in &self.columns {
+                let _ = write!(row, " {:>14.3}", vals[i]);
+            }
+            let _ = writeln!(out, "{row}");
+        }
+        let _ = writeln!(out, "\n```csv");
+        let mut csv_head = self.x_label.replace(' ', "_");
+        for (name, _) in &self.columns {
+            csv_head.push(',');
+            csv_head.push_str(&name.replace(' ', "_"));
+        }
+        let _ = writeln!(out, "{csv_head}");
+        for (i, x) in self.x.iter().enumerate() {
+            let mut row = x.clone();
+            for (_, vals) in &self.columns {
+                let _ = write!(row, ",{:.6}", vals[i]);
+            }
+            let _ = writeln!(out, "{row}");
+        }
+        let _ = writeln!(out, "```");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_knobs_have_defaults() {
+        assert!(repeats() > 0);
+        assert!(slots() > 0);
+        assert!(threads() > 0);
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[2.0, 4.0]);
+        assert_eq!(m, 3.0);
+        assert_eq!(s, 1.0);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn table_renders_aligned_and_csv() {
+        let mut t = Table::new("demo", "slots");
+        t.x_values(["1".into(), "2".into()]);
+        t.series("OL_GD", vec![1.5, 2.5]);
+        let s = t.render();
+        assert!(s.contains("# demo"));
+        assert!(s.contains("OL_GD"));
+        assert!(s.contains("slots,OL_GD"));
+        assert!(s.contains("2,2.500000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "series length mismatch")]
+    fn table_rejects_ragged_series() {
+        let mut t = Table::new("demo", "x");
+        t.x_values(["1".into()]);
+        t.series("a", vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn small_end_to_end_run() {
+        let spec = RunSpec {
+            topo: TopoKind::Gtitm,
+            n_stations: 12,
+            scenario: ScenarioConfig::small(),
+            horizon: 4,
+            algo: Algo::GreedyGd,
+            track_regret: false,
+        };
+        let reports = run_many(&spec, 2);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(mean_delay_series(&reports).len(), 4);
+    }
+
+    #[test]
+    fn run_many_is_deterministic_and_ordered() {
+        let spec = RunSpec {
+            topo: TopoKind::Gtitm,
+            n_stations: 10,
+            scenario: ScenarioConfig::small(),
+            horizon: 3,
+            algo: Algo::PriGd,
+            track_regret: false,
+        };
+        let a = run_many(&spec, 3);
+        let b = run_many(&spec, 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.delay_series(), y.delay_series());
+        }
+    }
+
+    #[test]
+    fn pretraining_series_covers_populated_cells() {
+        let net = NetworkConfig::paper_defaults();
+        let topo = gtitm::generate(15, &net, 1);
+        let scenario = ScenarioConfig::small().build(&topo, 1);
+        let (series, cells) = pretraining_series(&scenario, 7, 20);
+        assert_eq!(series.len(), cells.len());
+        assert!(!series.is_empty());
+        for s in &series {
+            assert_eq!(s.len(), 20);
+            assert!(s.iter().all(|&v| v >= 0.0));
+        }
+        // Burst-rich pretraining must actually contain bursts.
+        assert!(series.iter().flatten().any(|&v| v > 0.0));
+    }
+}

@@ -1,0 +1,168 @@
+//! Algorithm 2: `OL_GAN` — the Info-RNN-GAN-guided heuristic.
+
+use crate::algorithms::OlGdCore;
+use crate::assignment::Assignment;
+use crate::policy::{CachingPolicy, PolicyConfig, SlotContext, SlotFeedback};
+use infogan::{InfoGanConfig, InfoRnnGan};
+
+/// Algorithm 2: per slot, the generator predicts each cell's aggregate
+/// bursty demand conditioned on the cell's one-hot latent code and recent
+/// history; predictions are shared out to the cell's requests on top of
+/// their known basic demands; Algorithm 1's body produces the caching and
+/// assignment; and after the slot the discriminator "observes the real
+/// data volume of `r_l` and calculates its loss" (one adversarial
+/// feedback step per cell).
+///
+/// The GAN models the *bursty residual* `ρ^bst` per cell — the basic
+/// demands `ρ^bsc` are known a priori (Eq. 1), so only the burst
+/// component is uncertain and worth learning.
+///
+/// # Example
+///
+/// ```
+/// use lexcache_core::{OlGan, PolicyConfig, CachingPolicy};
+/// use infogan::InfoGanConfig;
+/// let policy = OlGan::new(PolicyConfig::default(), InfoGanConfig::small(4), 1);
+/// assert_eq!(policy.name(), "OL_GAN");
+/// ```
+#[derive(Debug)]
+pub struct OlGan {
+    core: OlGdCore,
+    gan: InfoRnnGan,
+    /// Realized aggregate *burst residual* history per location cell.
+    cell_history: Vec<Vec<f64>>,
+    /// Total basic demand per cell, cached on the first decide call.
+    cell_basics: Option<Vec<f64>>,
+    /// Online adversarial updates per slot (0 disables the Algorithm 2
+    /// feedback loop; 1 is the paper's behaviour).
+    online_steps: usize,
+    /// Monte-Carlo noise draws averaged per prediction — the generator
+    /// is stochastic in `z^t`, so the demand estimate is the empirical
+    /// mean over several generated trajectories.
+    mc_samples: usize,
+}
+
+impl OlGan {
+    /// Creates the policy; `gan_cfg.n_cells` must match the scenario the
+    /// policy will run against.
+    pub fn new(cfg: PolicyConfig, gan_cfg: InfoGanConfig, seed: u64) -> Self {
+        let n_cells = gan_cfg.n_cells;
+        OlGan {
+            core: OlGdCore::new(cfg),
+            gan: InfoRnnGan::new(gan_cfg, seed),
+            cell_history: vec![Vec::new(); n_cells],
+            cell_basics: None,
+            online_steps: 1,
+            mc_samples: 8,
+        }
+    }
+
+    /// Disables or re-enables the per-slot adversarial update.
+    pub fn set_online_steps(&mut self, steps: usize) {
+        self.online_steps = steps;
+    }
+
+    /// Sets the number of Monte-Carlo noise draws averaged per
+    /// prediction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples == 0`.
+    pub fn set_mc_samples(&mut self, samples: usize) {
+        assert!(samples > 0, "need at least one Monte-Carlo sample");
+        self.mc_samples = samples;
+    }
+
+    /// Offline pre-training on historical per-cell *burst residual*
+    /// series (the small-sample trace of §V with the known basics
+    /// subtracted). `series[s]` belongs to cell `cells[s]`.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the GAN's validation panics on malformed input.
+    pub fn pretrain(&mut self, series: &[Vec<f64>], cells: &[usize], epochs: usize) {
+        let _ = self.gan.fit(series, cells, epochs);
+    }
+
+    /// The underlying predictor (for audits).
+    pub fn gan(&self) -> &InfoRnnGan {
+        &self.gan
+    }
+
+    fn predicted_demands(&mut self, ctx: &SlotContext<'_>) -> Vec<f64> {
+        let requests = ctx.scenario.requests();
+        let n_cells = self.cell_history.len();
+        let cell_basics = self
+            .cell_basics
+            .get_or_insert_with(|| {
+                let mut basics = vec![0.0; n_cells];
+                for r in requests {
+                    basics[r.location_cell()] += r.basic_demand();
+                }
+                basics
+            })
+            .clone();
+        let mut cell_burst = vec![0.0; n_cells];
+        for (cell, burst) in cell_burst.iter_mut().enumerate() {
+            if cell_basics[cell] == 0.0 || self.cell_history[cell].is_empty() {
+                continue;
+            }
+            let mut total = 0.0;
+            for _ in 0..self.mc_samples {
+                total += self.gan.predict_next(&self.cell_history[cell], cell);
+            }
+            *burst = (total / self.mc_samples as f64).max(0.0);
+        }
+        requests
+            .iter()
+            .map(|r| {
+                let cell = r.location_cell();
+                // The known basic floor plus this user's proportional
+                // share of the predicted cell-level burst.
+                let share = r.basic_demand() / cell_basics[cell].max(1e-12);
+                r.basic_demand() + cell_burst[cell] * share
+            })
+            .collect()
+    }
+}
+
+impl CachingPolicy for OlGan {
+    fn name(&self) -> &'static str {
+        "OL_GAN"
+    }
+
+    fn decide(&mut self, ctx: &SlotContext<'_>) -> Assignment {
+        let predicted = self.predicted_demands(ctx);
+        self.core.decide_with_demands(ctx, &predicted)
+    }
+
+    fn observe(&mut self, feedback: &SlotFeedback<'_>) {
+        self.core.observe_delays(feedback);
+        let Some(cell_basics) = self.cell_basics.as_ref() else {
+            // observe before any decide: nothing cached yet, skip the
+            // GAN update (no basics to subtract).
+            return;
+        };
+        let n_cells = self.cell_history.len();
+        let mut aggregate = vec![0.0; n_cells];
+        let mut members = vec![0usize; n_cells];
+        for (d, &cell) in feedback
+            .realized_demands
+            .iter()
+            .zip(feedback.request_cells)
+        {
+            aggregate[cell] += d;
+            members[cell] += 1;
+        }
+        for cell in 0..n_cells {
+            if members[cell] == 0 {
+                continue;
+            }
+            let residual = (aggregate[cell] - cell_basics[cell]).max(0.0);
+            self.cell_history[cell].push(residual);
+            for _ in 0..self.online_steps {
+                let _ = self.gan.online_update(&self.cell_history[cell], cell);
+            }
+        }
+    }
+}

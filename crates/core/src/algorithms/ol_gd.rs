@@ -1,0 +1,293 @@
+//! Algorithm 1: `OL_GD` — online learning with given demands.
+
+use crate::assignment::{Assignment, Target};
+use crate::lowering::build_caching_lp;
+use crate::policy::{CachingPolicy, EstimatorKind, PolicyConfig, SlotContext, SlotFeedback};
+use bandit::{sample_by_weight, ArmSet, DiscountedArmStats, WindowedArmSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Believed-delay estimator bank, one entry per station.
+#[derive(Debug)]
+enum ArmBank {
+    Mean(ArmSet),
+    Windowed(WindowedArmSet),
+    Discounted(Vec<DiscountedArmStats>),
+}
+
+impl ArmBank {
+    fn new(kind: EstimatorKind, n: usize) -> ArmBank {
+        match kind {
+            EstimatorKind::SampleMean => ArmBank::Mean(ArmSet::new(n)),
+            EstimatorKind::Windowed { window } => {
+                ArmBank::Windowed(WindowedArmSet::new(n, window))
+            }
+            EstimatorKind::Discounted { gamma } => {
+                ArmBank::Discounted(vec![DiscountedArmStats::new(gamma); n])
+            }
+        }
+    }
+
+    fn observe(&mut self, i: usize, value: f64) {
+        match self {
+            ArmBank::Mean(a) => a.observe(i, value),
+            ArmBank::Windowed(a) => a.observe(i, value),
+            ArmBank::Discounted(a) => a[i].observe(value),
+        }
+    }
+
+    fn means_or(&self, fallback: &[f64]) -> Vec<f64> {
+        match self {
+            ArmBank::Mean(a) => a.means_or(fallback),
+            ArmBank::Windowed(a) => a.means_or(fallback),
+            ArmBank::Discounted(a) => a
+                .iter()
+                .zip(fallback)
+                .map(|(arm, &f)| arm.mean().unwrap_or(f))
+                .collect(),
+        }
+    }
+
+    fn mean(&self, i: usize) -> Option<f64> {
+        match self {
+            ArmBank::Mean(a) => a.mean(i),
+            ArmBank::Windowed(a) => {
+                let v = a.means_or(&vec![f64::NAN; a.len()]);
+                (!v[i].is_nan()).then_some(v[i])
+            }
+            ArmBank::Discounted(a) => a[i].mean(),
+        }
+    }
+}
+
+/// The shared machinery of `OL_GD`, `OL_Reg` and `OL_GAN`: the per-slot
+/// LP relaxation over believed delays, candidate sets, ε-greedy arm
+/// selection and capacity repair. The three public policies differ only
+/// in where the demand vector comes from.
+#[derive(Debug)]
+pub(crate) struct OlGdCore {
+    cfg: PolicyConfig,
+    arms: Option<ArmBank>,
+    rng: StdRng,
+}
+
+impl OlGdCore {
+    pub(crate) fn new(cfg: PolicyConfig) -> Self {
+        OlGdCore {
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0x01_6d),
+            cfg,
+            arms: None,
+        }
+    }
+
+    /// The learned mean of station `i`, if any (exposed for audits).
+    pub(crate) fn learned_mean(&self, i: usize) -> Option<f64> {
+        self.arms.as_ref().and_then(|a| a.mean(i))
+    }
+
+    /// Runs Algorithm 1's per-slot body on an explicit demand vector.
+    pub(crate) fn decide_with_demands(
+        &mut self,
+        ctx: &SlotContext<'_>,
+        demands: &[f64],
+    ) -> Assignment {
+        let n = ctx.topo.len();
+        let kind = self.cfg.estimator;
+        let arms = self.arms.get_or_insert_with(|| ArmBank::new(kind, n));
+        // Line 3–4: relax the ILP into an LP over believed delays and
+        // extract the fractional solution and candidate sets.
+        let believed = arms.means_or(ctx.prior_delay);
+        let lp = build_caching_lp(
+            ctx.topo,
+            ctx.scenario,
+            ctx.transfer,
+            &believed,
+            demands,
+            ctx.remote_delay,
+        );
+        let columns = match lp.solve_fast() {
+            Ok(sol) => {
+                let candidates = sol.candidate_sets(self.cfg.gamma);
+                let eps = self.cfg.epsilon.epsilon(ctx.slot);
+                let all_cols: Vec<usize> = (0..n).collect();
+                (0..demands.len())
+                    .map(|l| {
+                        // Lines 5–9: exploit the candidate set with
+                        // probability 1 − ε_t (weighted by x*), explore a
+                        // non-candidate station otherwise.
+                        let explore = self.rng.random::<f64>() >= 1.0 - eps;
+                        let cands = if candidates[l].is_empty() {
+                            top_columns(&sol.x[l], 3)
+                        } else {
+                            candidates[l].clone()
+                        };
+                        if !explore {
+                            sample_by_weight(&mut self.rng, &sol.x[l], &cands)
+                        } else {
+                            let non_cand: Vec<usize> = all_cols
+                                .iter()
+                                .copied()
+                                .filter(|c| !cands.contains(c))
+                                .collect();
+                            if non_cand.is_empty() {
+                                self.rng.random_range(0..n)
+                            } else {
+                                non_cand[self.rng.random_range(0..non_cand.len())]
+                            }
+                        }
+                    })
+                    .collect()
+            }
+            // The remote column keeps the LP feasible, so errors here can
+            // only be iteration-limit pathologies; degrade to the static
+            // greedy choice instead of crashing mid-episode.
+            Err(_) => (0..demands.len())
+                .map(|l| cheapest_column(ctx, l, &believed))
+                .collect(),
+        };
+        let columns = repair_capacity(ctx, columns, demands, &believed);
+        Assignment::new(
+            columns
+                .into_iter()
+                .map(|c| Target::from_column(c, n))
+                .collect(),
+        )
+    }
+
+    /// Line 10–11: observe the realized unit delay of each played arm.
+    pub(crate) fn observe_delays(&mut self, feedback: &SlotFeedback<'_>) {
+        if let Some(arms) = self.arms.as_mut() {
+            for &(i, d) in feedback.observed_unit_delay {
+                arms.observe(i, d);
+            }
+        }
+    }
+}
+
+/// Indices of the `k` largest entries of `xs`.
+fn top_columns(xs: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[b].partial_cmp(&xs[a]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.truncate(k.max(1));
+    idx
+}
+
+/// The believed-cheapest column (edge or remote) for request `l`.
+fn cheapest_column(ctx: &SlotContext<'_>, l: usize, believed: &[f64]) -> usize {
+    let n = ctx.topo.len();
+    let mut best = n; // remote
+    let mut best_cost = ctx.remote_delay;
+    for i in 0..n {
+        let c = believed[i] + ctx.transfer.get(l, mec_net::BsId(i));
+        if c < best_cost {
+            best_cost = c;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Moves requests off overloaded stations (to their cheapest station
+/// with slack, or the remote data centre) until every capacity holds.
+///
+/// Overload is resolved cheapest-victims-first: within an overloaded
+/// station the requests with the largest per-unit cost advantage
+/// elsewhere move first.
+pub(crate) fn repair_capacity(
+    ctx: &SlotContext<'_>,
+    mut columns: Vec<usize>,
+    demands: &[f64],
+    believed: &[f64],
+) -> Vec<usize> {
+    let n = ctx.topo.len();
+    let capacity: Vec<f64> = ctx
+        .topo
+        .stations()
+        .iter()
+        .map(|bs| bs.capacity_mhz() / ctx.scenario.c_unit_mhz())
+        .collect();
+    let mut load = vec![0.0; n];
+    for (l, &c) in columns.iter().enumerate() {
+        if c < n {
+            load[c] += demands[l];
+        }
+    }
+    loop {
+        let Some(over) = (0..n).find(|&i| load[i] > capacity[i] + 1e-9) else {
+            return columns;
+        };
+        // Requests currently on the overloaded station, largest demand
+        // first (moving one big request restores feasibility fastest).
+        let mut here: Vec<usize> = (0..columns.len()).filter(|&l| columns[l] == over).collect();
+        here.sort_by(|&a, &b| {
+            demands[b]
+                .partial_cmp(&demands[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let victim = here[0];
+        // Cheapest alternative with slack; remote as last resort.
+        let mut best = n;
+        let mut best_cost = ctx.remote_delay;
+        for i in 0..n {
+            if i != over && load[i] + demands[victim] <= capacity[i] + 1e-9 {
+                let c = believed[i] + ctx.transfer.get(victim, mec_net::BsId(i));
+                if c < best_cost {
+                    best_cost = c;
+                    best = i;
+                }
+            }
+        }
+        load[over] -= demands[victim];
+        if best < n {
+            load[best] += demands[victim];
+        }
+        columns[victim] = best;
+    }
+}
+
+/// Algorithm 1: online learning for the dynamic service caching problem
+/// with given demands.
+///
+/// # Example
+///
+/// ```
+/// use lexcache_core::{OlGd, PolicyConfig, CachingPolicy};
+/// let policy = OlGd::new(PolicyConfig::default());
+/// assert_eq!(policy.name(), "OL_GD");
+/// ```
+#[derive(Debug)]
+pub struct OlGd {
+    core: OlGdCore,
+}
+
+impl OlGd {
+    /// Creates the policy.
+    pub fn new(cfg: PolicyConfig) -> Self {
+        OlGd {
+            core: OlGdCore::new(cfg),
+        }
+    }
+
+    /// The learned mean unit delay of station `i`, if it was ever
+    /// observed.
+    pub fn learned_mean(&self, i: usize) -> Option<f64> {
+        self.core.learned_mean(i)
+    }
+}
+
+impl CachingPolicy for OlGd {
+    fn name(&self) -> &'static str {
+        "OL_GD"
+    }
+
+    fn decide(&mut self, ctx: &SlotContext<'_>) -> Assignment {
+        let demands = ctx
+            .given_demands
+            .expect("OL_GD runs in the given-demands regime");
+        self.core.decide_with_demands(ctx, demands)
+    }
+
+    fn observe(&mut self, feedback: &SlotFeedback<'_>) {
+        self.core.observe_delays(feedback);
+    }
+}

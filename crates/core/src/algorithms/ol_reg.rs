@@ -1,0 +1,147 @@
+//! `OL_Reg` and friends: the online algorithm driven by classical
+//! per-request forecasters.
+
+use crate::algorithms::OlGdCore;
+use crate::assignment::Assignment;
+use crate::policy::{CachingPolicy, PolicyConfig, SlotContext, SlotFeedback};
+use forecast::{Ewma, Holt, MultiSeries, NaiveLast, PaperArma, Predictor};
+
+/// Algorithm 1's body driven by a bank of per-request scalar
+/// forecasters: each slot the bank predicts every request's demand, the
+/// LP/bandit machinery assigns on the forecast, and the realized demands
+/// feed the bank afterwards.
+///
+/// [`OlReg`] (the paper's ARMA baseline) is `OlForecast<PaperArma>`;
+/// the predictor-family ablation also instantiates EWMA and naive
+/// last-value banks.
+#[derive(Debug)]
+pub struct OlForecast<P> {
+    core: OlGdCore,
+    name: &'static str,
+    make: fn() -> P,
+    predictors: Option<MultiSeries<P>>,
+}
+
+impl<P: Predictor> OlForecast<P> {
+    /// Creates the policy from a predictor factory.
+    pub fn with_factory(cfg: PolicyConfig, name: &'static str, make: fn() -> P) -> Self {
+        OlForecast {
+            core: OlGdCore::new(cfg),
+            name,
+            make,
+            predictors: None,
+        }
+    }
+
+    /// Current one-step forecasts (empty before the first slot).
+    pub fn forecasts(&self) -> Vec<f64> {
+        self.predictors
+            .as_ref()
+            .map(|p| p.predict_all())
+            .unwrap_or_default()
+    }
+}
+
+impl<P: Predictor + std::fmt::Debug> CachingPolicy for OlForecast<P> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn decide(&mut self, ctx: &SlotContext<'_>) -> Assignment {
+        let requests = ctx.scenario.requests();
+        let make = self.make;
+        let predictors = self
+            .predictors
+            .get_or_insert_with(|| MultiSeries::from_fn(requests.len(), make));
+        // Until history accumulates the forecast degenerates to 0; fall
+        // back to the known basic-demand floor.
+        let predicted: Vec<f64> = predictors
+            .predict_all()
+            .into_iter()
+            .zip(requests)
+            .map(|(p, r)| p.max(r.basic_demand()))
+            .collect();
+        self.core.decide_with_demands(ctx, &predicted)
+    }
+
+    fn observe(&mut self, feedback: &SlotFeedback<'_>) {
+        self.core.observe_delays(feedback);
+        if let Some(p) = self.predictors.as_mut() {
+            p.observe_all(feedback.realized_demands);
+        }
+    }
+}
+
+/// `OL_Reg` — the paper's regression baseline for the unknown-demand
+/// regime: per-request demand is forecast with the Eq. 27 ARMA model
+/// (order `p`, linearly decreasing weights), then Algorithm 1's body
+/// runs on the forecast.
+///
+/// # Example
+///
+/// ```
+/// use lexcache_core::{OlReg, PolicyConfig, CachingPolicy};
+/// let policy = OlReg::new(PolicyConfig::default(), 3);
+/// assert_eq!(policy.name(), "OL_Reg");
+/// ```
+#[derive(Debug)]
+pub struct OlReg {
+    inner: OlForecast<PaperArma>,
+}
+
+impl OlReg {
+    /// Creates the policy with ARMA order `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order == 0`.
+    pub fn new(cfg: PolicyConfig, order: usize) -> Self {
+        assert!(order > 0, "ARMA order must be positive");
+        let make: fn() -> PaperArma = match order {
+            1 => || PaperArma::with_linear_weights(1),
+            2 => || PaperArma::with_linear_weights(2),
+            3 => || PaperArma::with_linear_weights(3),
+            4 => || PaperArma::with_linear_weights(4),
+            _ => || PaperArma::with_linear_weights(5),
+        };
+        OlReg {
+            inner: OlForecast::with_factory(cfg, "OL_Reg", make),
+        }
+    }
+
+    /// Current one-step forecasts.
+    pub fn forecasts(&self) -> Vec<f64> {
+        self.inner.forecasts()
+    }
+}
+
+impl CachingPolicy for OlReg {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn decide(&mut self, ctx: &SlotContext<'_>) -> Assignment {
+        self.inner.decide(ctx)
+    }
+
+    fn observe(&mut self, feedback: &SlotFeedback<'_>) {
+        self.inner.observe(feedback);
+    }
+}
+
+/// `OL_EWMA`: the same online body on an exponentially-weighted moving
+/// average forecaster (ablation).
+pub fn ol_ewma(cfg: PolicyConfig) -> OlForecast<Ewma> {
+    OlForecast::with_factory(cfg, "OL_EWMA", || Ewma::new(0.4))
+}
+
+/// `OL_Naive`: last-value forecaster (ablation).
+pub fn ol_naive(cfg: PolicyConfig) -> OlForecast<NaiveLast> {
+    OlForecast::with_factory(cfg, "OL_Naive", NaiveLast::new)
+}
+
+/// `OL_Holt`: Holt double-exponential smoothing — tracks burst decay
+/// trends that the fixed-weight ARMA lags (ablation).
+pub fn ol_holt(cfg: PolicyConfig) -> OlForecast<Holt> {
+    OlForecast::with_factory(cfg, "OL_Holt", || Holt::new(0.5, 0.3))
+}

@@ -1,0 +1,107 @@
+//! `OL_UCB`: an optimism-based variant of Algorithm 1 (extension).
+//!
+//! The paper's related work points at combinatorial bandits with linear
+//! rewards (Gai–Krishnamachari–Jain [37]) as the classical alternative to
+//! ε-greedy exploration. This policy swaps Algorithm 1's explicit
+//! exploration for optimism: the LP is solved over *lower confidence
+//! bounds* of the unit delays — `θ̂_i − √(2 ln t / m_i)`, never-pulled
+//! arms optimistic at a fraction of the prior — so under-explored
+//! stations look attractive exactly until they have been sampled enough.
+//! No random exploration step and no candidate threshold are needed; the
+//! LP fractions are followed greedily.
+
+use crate::algorithms::ol_gd::repair_capacity;
+use crate::assignment::{Assignment, Target};
+use crate::lowering::build_caching_lp;
+use crate::policy::{CachingPolicy, SlotContext, SlotFeedback};
+use bandit::{sample_by_weight, ArmSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Optimism-in-the-face-of-uncertainty variant of the online caching
+/// algorithm.
+///
+/// # Example
+///
+/// ```
+/// use lexcache_core::{algorithms::OlUcb, CachingPolicy};
+/// assert_eq!(OlUcb::new(7).name(), "OL_UCB");
+/// ```
+#[derive(Debug)]
+pub struct OlUcb {
+    arms: Option<ArmSet>,
+    rng: StdRng,
+    slot: u64,
+}
+
+impl OlUcb {
+    /// Creates the policy.
+    pub fn new(seed: u64) -> Self {
+        OlUcb {
+            arms: None,
+            rng: StdRng::seed_from_u64(seed ^ 0x0cb_0cb),
+            slot: 0,
+        }
+    }
+}
+
+impl CachingPolicy for OlUcb {
+    fn name(&self) -> &'static str {
+        "OL_UCB"
+    }
+
+    fn decide(&mut self, ctx: &SlotContext<'_>) -> Assignment {
+        let demands = ctx
+            .given_demands
+            .expect("OL_UCB runs in the given-demands regime");
+        let n = ctx.topo.len();
+        self.slot += 1;
+        let t = self.slot;
+        let arms = self.arms.get_or_insert_with(|| ArmSet::new(n));
+        // Optimistic believed delays: LCB for pulled arms, a fraction of
+        // the prior for unpulled ones (so every station gets tried).
+        let believed: Vec<f64> = (0..n)
+            .map(|i| {
+                if arms.pulls(i) == 0 {
+                    0.25 * ctx.prior_delay[i]
+                } else {
+                    arms.stats()[i].lcb(t).max(0.05 * ctx.prior_delay[i])
+                }
+            })
+            .collect();
+        let lp = build_caching_lp(
+            ctx.topo,
+            ctx.scenario,
+            ctx.transfer,
+            &believed,
+            demands,
+            ctx.remote_delay,
+        );
+        let columns: Vec<usize> = match lp.solve_fast() {
+            Ok(sol) => {
+                let all: Vec<usize> = (0..=n).collect();
+                (0..demands.len())
+                    .map(|l| sample_by_weight(&mut self.rng, &sol.x[l], &all))
+                    .collect()
+            }
+            Err(_) => (0..demands.len())
+                .map(|_| self.rng.random_range(0..n))
+                .collect(),
+        };
+        let columns = repair_capacity(ctx, columns, demands, &believed);
+        Assignment::new(
+            columns
+                .into_iter()
+                .map(|c| Target::from_column(c, n))
+                .collect(),
+        )
+    }
+
+    fn observe(&mut self, feedback: &SlotFeedback<'_>) {
+        if let Some(arms) = self.arms.as_mut() {
+            for &(i, d) in feedback.observed_unit_delay {
+                arms.observe(i, d);
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Per-slot assignment of requests to serving locations.
+
+use mec_net::BsId;
+use serde::{Deserialize, Serialize};
+
+/// Where one request's data is processed in a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Target {
+    /// A cached service instance at an edge base station.
+    Edge(BsId),
+    /// The origin deployment in the remote data centre (the fallback the
+    /// paper's motivation contrasts against; used when no edge capacity
+    /// is available).
+    Remote,
+}
+
+impl Target {
+    /// The LP column of this target given `n_stations` edge stations
+    /// (remote is the extra last column).
+    pub fn column(self, n_stations: usize) -> usize {
+        match self {
+            Target::Edge(bs) => {
+                assert!(bs.index() < n_stations, "station out of range");
+                bs.index()
+            }
+            Target::Remote => n_stations,
+        }
+    }
+
+    /// Builds a target from an LP column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `column > n_stations`.
+    pub fn from_column(column: usize, n_stations: usize) -> Self {
+        if column == n_stations {
+            Target::Remote
+        } else {
+            assert!(column < n_stations, "column out of range");
+            Target::Edge(BsId(column))
+        }
+    }
+
+    /// Whether the target is an edge station.
+    pub fn is_edge(self) -> bool {
+        matches!(self, Target::Edge(_))
+    }
+}
+
+/// One slot's assignment: `targets()[l]` serves request `l`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assignment {
+    targets: Vec<Target>,
+}
+
+impl Assignment {
+    /// Wraps a target vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets` is empty.
+    pub fn new(targets: Vec<Target>) -> Self {
+        assert!(!targets.is_empty(), "assignment must cover requests");
+        Assignment { targets }
+    }
+
+    /// Target per request.
+    pub fn targets(&self) -> &[Target] {
+        &self.targets
+    }
+
+    /// Number of requests covered.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Whether the assignment is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// Edge stations used by at least one request, deduplicated.
+    pub fn stations_used(&self) -> Vec<BsId> {
+        let mut seen = std::collections::BTreeSet::new();
+        for t in &self.targets {
+            if let Target::Edge(bs) = t {
+                seen.insert(*bs);
+            }
+        }
+        seen.into_iter().collect()
+    }
+
+    /// Number of requests sent to the remote data centre.
+    pub fn remote_count(&self) -> usize {
+        self.targets.iter().filter(|t| !t.is_edge()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_round_trip() {
+        assert_eq!(Target::Edge(BsId(3)).column(5), 3);
+        assert_eq!(Target::Remote.column(5), 5);
+        assert_eq!(Target::from_column(3, 5), Target::Edge(BsId(3)));
+        assert_eq!(Target::from_column(5, 5), Target::Remote);
+    }
+
+    #[test]
+    #[should_panic(expected = "column out of range")]
+    fn bad_column_rejected() {
+        let _ = Target::from_column(6, 5);
+    }
+
+    #[test]
+    fn stations_used_dedups_and_sorts() {
+        let a = Assignment::new(vec![
+            Target::Edge(BsId(2)),
+            Target::Remote,
+            Target::Edge(BsId(0)),
+            Target::Edge(BsId(2)),
+        ]);
+        assert_eq!(a.stations_used(), vec![BsId(0), BsId(2)]);
+        assert_eq!(a.remote_count(), 1);
+        assert_eq!(a.len(), 4);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover requests")]
+    fn empty_assignment_rejected() {
+        let _ = Assignment::new(vec![]);
+    }
+}

@@ -1,0 +1,284 @@
+//! Lowering topology + scenario + believed delays into the caching LP.
+
+use mec_net::{BsId, Topology};
+use mec_workload::Scenario;
+use simplex::CachingLp;
+
+/// Per-unit-data transfer delay from each request's registered station to
+/// every candidate serving station, computed once per episode over the
+/// weighted shortest paths of the topology.
+///
+/// The paper's delay model (2) multiplies the data volume by a per-unit
+/// delay; serving a request away from its registered station additionally
+/// drags its data across backhaul links, which is what makes real
+/// (bottlenecked) topologies harder than synthetic ones in Fig. 5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferCosts {
+    /// `cost[l][i]`: ms per data unit from request `l`'s registered
+    /// station to station `i`.
+    cost: Vec<Vec<f64>>,
+}
+
+impl TransferCosts {
+    /// Computes the transfer matrix with Dijkstra over link delays from
+    /// every distinct registered station.
+    pub fn compute(topo: &Topology, scenario: &Scenario) -> Self {
+        let mut by_source: std::collections::HashMap<usize, Vec<f64>> =
+            std::collections::HashMap::new();
+        let cost = scenario
+            .requests()
+            .iter()
+            .map(|r| {
+                let src = r.registered_bs().index();
+                by_source
+                    .entry(src)
+                    .or_insert_with(|| dijkstra(topo, src))
+                    .clone()
+            })
+            .collect();
+        TransferCosts { cost }
+    }
+
+    /// Transfer cost of serving request `l` at station `bs`, ms/unit.
+    pub fn get(&self, l: usize, bs: BsId) -> f64 {
+        self.cost[l][bs.index()]
+    }
+
+    /// The full matrix.
+    pub fn matrix(&self) -> &[Vec<f64>] {
+        &self.cost
+    }
+}
+
+/// Shortest-path delays (ms) from `src` to every station over the link
+/// delays; unreachable stations get a large-but-finite penalty so the LP
+/// stays well-posed.
+fn dijkstra(topo: &Topology, src: usize) -> Vec<f64> {
+    const UNREACHABLE_MS: f64 = 1_000.0;
+    let n = topo.len();
+    let mut dist = vec![f64::INFINITY; n];
+    dist[src] = 0.0;
+    // Edge lookup: adjacency with delays.
+    let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for (e, &(u, v)) in topo.edges().iter().enumerate() {
+        let d = topo.edge_delay_ms(e);
+        adj[u].push((v, d));
+        adj[v].push((u, d));
+    }
+    let mut heap = std::collections::BinaryHeap::new();
+    heap.push(std::cmp::Reverse((ordered(0.0), src)));
+    while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+        let d = d.0;
+        if d > dist[u] {
+            continue;
+        }
+        for &(v, w) in &adj[u] {
+            let nd = d + w;
+            if nd < dist[v] {
+                dist[v] = nd;
+                heap.push(std::cmp::Reverse((ordered(nd), v)));
+            }
+        }
+    }
+    dist.into_iter()
+        .map(|d| if d.is_finite() { d } else { UNREACHABLE_MS })
+        .collect()
+}
+
+/// Total-ordered wrapper for non-NaN f64 keys in the heap.
+#[derive(PartialEq, PartialOrd)]
+struct Ordered(f64);
+impl Eq for Ordered {}
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Ordered {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.partial_cmp(other).expect("delays are never NaN")
+    }
+}
+fn ordered(v: f64) -> Ordered {
+    Ordered(v)
+}
+
+/// Builds the per-slot caching LP over `n_stations + 1` columns — the
+/// extra column is the remote data centre (unbounded capacity, no
+/// instantiation cost, `remote_delay` ms/unit).
+///
+/// `believed_delay[i]` is the unit delay the caller attributes to
+/// station `i`: a policy passes its learned means / tier priors, the
+/// simulator passes the *realized* delays to score assignments and
+/// compute the clairvoyant optimum.
+///
+/// # Panics
+///
+/// Panics if vector lengths are inconsistent or `remote_delay` is not
+/// positive.
+pub fn build_caching_lp(
+    topo: &Topology,
+    scenario: &Scenario,
+    transfer: &TransferCosts,
+    believed_delay: &[f64],
+    demands: &[f64],
+    remote_delay: f64,
+) -> CachingLp {
+    let n = topo.len();
+    assert_eq!(believed_delay.len(), n, "one believed delay per station");
+    assert_eq!(
+        demands.len(),
+        scenario.requests().len(),
+        "one demand per request"
+    );
+    assert!(remote_delay > 0.0, "remote delay must be positive");
+    let total_demand: f64 = demands.iter().sum();
+
+    let unit_cost: Vec<Vec<f64>> = scenario
+        .requests()
+        .iter()
+        .enumerate()
+        .map(|(l, _)| {
+            let mut row: Vec<f64> = (0..n)
+                .map(|i| believed_delay[i] + transfer.get(l, BsId(i)))
+                .collect();
+            row.push(remote_delay);
+            row
+        })
+        .collect();
+
+    let mut capacity_units: Vec<f64> = topo
+        .stations()
+        .iter()
+        .map(|bs| bs.capacity_mhz() / scenario.c_unit_mhz())
+        .collect();
+    capacity_units.push(total_demand.max(1.0));
+
+    let n_services = scenario.services().len();
+    let inst_delay: Vec<Vec<f64>> = (0..=n)
+        .map(|i| {
+            (0..n_services)
+                .map(|k| {
+                    if i < n {
+                        scenario.instantiation().get(BsId(i), k)
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    let service_of: Vec<usize> = scenario
+        .requests()
+        .iter()
+        .map(|r| r.service().index())
+        .collect();
+
+    CachingLp::new(
+        demands.to_vec(),
+        service_of,
+        unit_cost,
+        capacity_units,
+        inst_delay,
+        n_services,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mec_net::topology::gtitm;
+    use mec_net::NetworkConfig;
+    use mec_workload::ScenarioConfig;
+
+    fn setup() -> (Topology, NetworkConfig, Scenario) {
+        let cfg = NetworkConfig::paper_defaults();
+        let topo = gtitm::generate(25, &cfg, 3);
+        let scenario = ScenarioConfig::small().build(&topo, 3);
+        (topo, cfg, scenario)
+    }
+
+    #[test]
+    fn transfer_to_registered_station_is_zero() {
+        let (topo, _, scenario) = setup();
+        let t = TransferCosts::compute(&topo, &scenario);
+        for (l, r) in scenario.requests().iter().enumerate() {
+            assert_eq!(t.get(l, r.registered_bs()), 0.0);
+        }
+    }
+
+    #[test]
+    fn transfer_is_positive_to_other_stations() {
+        let (topo, _, scenario) = setup();
+        let t = TransferCosts::compute(&topo, &scenario);
+        let r0 = &scenario.requests()[0];
+        let other = (0..topo.len())
+            .map(BsId)
+            .find(|&b| b != r0.registered_bs())
+            .unwrap();
+        assert!(t.get(0, other) > 0.0);
+    }
+
+    #[test]
+    fn transfer_satisfies_triangle_inequality_to_neighbors() {
+        let (topo, _, scenario) = setup();
+        let t = TransferCosts::compute(&topo, &scenario);
+        let src = scenario.requests()[0].registered_bs();
+        for nb in topo.neighbors(src) {
+            // Direct edge must not beat the shortest path.
+            let e = topo
+                .edges()
+                .iter()
+                .position(|&(u, v)| {
+                    (u == src.index() && v == nb.index())
+                        || (v == src.index() && u == nb.index())
+                })
+                .unwrap();
+            assert!(t.get(0, nb) <= topo.edge_delay_ms(e) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn lp_has_remote_column() {
+        let (topo, cfg, scenario) = setup();
+        let transfer = TransferCosts::compute(&topo, &scenario);
+        let believed: Vec<f64> = topo
+            .stations()
+            .iter()
+            .map(|b| cfg.tier(b.tier()).unit_delay_ms.mid())
+            .collect();
+        let demands: Vec<f64> = scenario.requests().iter().map(|r| r.basic_demand()).collect();
+        let lp = build_caching_lp(&topo, &scenario, &transfer, &believed, &demands, 75.0);
+        assert_eq!(lp.n_stations(), topo.len() + 1);
+        // Remote unit cost is the configured mean for every request.
+        for l in 0..lp.n_requests() {
+            assert_eq!(lp.unit_cost()[l][topo.len()], 75.0);
+        }
+        // Remote capacity swallows all demand.
+        let total: f64 = demands.iter().sum();
+        assert!(lp.capacity_units()[topo.len()] >= total);
+    }
+
+    #[test]
+    fn lp_is_always_feasible_even_under_extreme_demand() {
+        let (topo, _cfg, scenario) = setup();
+        let transfer = TransferCosts::compute(&topo, &scenario);
+        let believed: Vec<f64> = vec![10.0; topo.len()];
+        // Demand far above the whole edge capacity.
+        let demands: Vec<f64> = vec![1e6; scenario.requests().len()];
+        let lp = build_caching_lp(&topo, &scenario, &transfer, &believed, &demands, 75.0);
+        let sol = lp.solve_fast().expect("remote column keeps LP feasible");
+        assert!(sol.is_feasible(&lp, 1e-4));
+    }
+
+    #[test]
+    fn cheap_believed_stations_attract_flow() {
+        let (topo, _cfg, scenario) = setup();
+        let transfer = TransferCosts::compute(&topo, &scenario);
+        // Station 0 is believed nearly free; everything else is awful.
+        let mut believed = vec![500.0; topo.len()];
+        believed[0] = 0.1;
+        let demands: Vec<f64> = scenario.requests().iter().map(|r| r.basic_demand()).collect();
+        let lp = build_caching_lp(&topo, &scenario, &transfer, &believed, &demands, 75.0);
+        let sol = lp.solve_fast().unwrap();
+        let mass_at_0: f64 = (0..lp.n_requests()).map(|l| sol.x[l][0]).sum();
+        assert!(mass_at_0 > 0.5, "cheap station attracted {mass_at_0}");
+    }
+}

@@ -1,0 +1,145 @@
+//! Episode metrics: delay, runtime, regret.
+
+use serde::{Deserialize, Serialize};
+
+/// Measurements of one simulated time slot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlotMetrics {
+    /// 1-based slot index.
+    pub slot: usize,
+    /// Average per-request delay achieved this slot, in ms (objective
+    /// (3) evaluated on the realized delays).
+    pub avg_delay_ms: f64,
+    /// Wall-clock time of the policy's `decide` call, in microseconds —
+    /// the paper's "running time" series (Figs. 3(b)–7(b)).
+    pub decide_us: f64,
+    /// The clairvoyant LP optimum of the same slot (same realized
+    /// delays, true demands), in ms — `None` unless regret tracking is
+    /// enabled.
+    pub optimal_avg_delay_ms: Option<f64>,
+    /// Requests that had to fall back to the remote data centre.
+    pub remote_count: usize,
+}
+
+/// The result of running one policy for a horizon of slots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeReport {
+    /// Policy name.
+    pub policy: String,
+    /// Topology name.
+    pub topology: String,
+    /// Per-slot measurements.
+    pub slots: Vec<SlotMetrics>,
+}
+
+impl EpisodeReport {
+    /// Mean achieved average delay over all slots, ms.
+    pub fn mean_avg_delay_ms(&self) -> f64 {
+        if self.slots.is_empty() {
+            return 0.0;
+        }
+        self.slots.iter().map(|s| s.avg_delay_ms).sum::<f64>() / self.slots.len() as f64
+    }
+
+    /// Total decision runtime over the horizon, ms.
+    pub fn total_decide_ms(&self) -> f64 {
+        self.slots.iter().map(|s| s.decide_us).sum::<f64>() / 1_000.0
+    }
+
+    /// Mean per-slot decision runtime, µs.
+    pub fn mean_decide_us(&self) -> f64 {
+        if self.slots.is_empty() {
+            return 0.0;
+        }
+        self.slots.iter().map(|s| s.decide_us).sum::<f64>() / self.slots.len() as f64
+    }
+
+    /// Cumulative regret against the clairvoyant optimum, if tracked:
+    /// `Σ_t (achieved_t − optimal_t)`.
+    pub fn cumulative_regret_ms(&self) -> Option<f64> {
+        let mut total = 0.0;
+        for s in &self.slots {
+            total += s.avg_delay_ms - s.optimal_avg_delay_ms?;
+        }
+        Some(total)
+    }
+
+    /// The running cumulative-regret curve, if tracked.
+    pub fn regret_curve(&self) -> Option<Vec<f64>> {
+        let mut acc = 0.0;
+        let mut curve = Vec::with_capacity(self.slots.len());
+        for s in &self.slots {
+            acc += s.avg_delay_ms - s.optimal_avg_delay_ms?;
+            curve.push(acc);
+        }
+        Some(curve)
+    }
+
+    /// The per-slot achieved delay series (Fig. 3(a)-style).
+    pub fn delay_series(&self) -> Vec<f64> {
+        self.slots.iter().map(|s| s.avg_delay_ms).collect()
+    }
+
+    /// Total requests that fell back to the remote data centre.
+    pub fn total_remote(&self) -> usize {
+        self.slots.iter().map(|s| s.remote_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot(i: usize, delay: f64, opt: Option<f64>) -> SlotMetrics {
+        SlotMetrics {
+            slot: i,
+            avg_delay_ms: delay,
+            decide_us: 100.0,
+            optimal_avg_delay_ms: opt,
+            remote_count: i % 2,
+        }
+    }
+
+    #[test]
+    fn means_and_totals() {
+        let r = EpisodeReport {
+            policy: "test".into(),
+            topology: "t".into(),
+            slots: vec![slot(1, 10.0, None), slot(2, 20.0, None)],
+        };
+        assert_eq!(r.mean_avg_delay_ms(), 15.0);
+        assert_eq!(r.mean_decide_us(), 100.0);
+        assert_eq!(r.total_decide_ms(), 0.2);
+        assert_eq!(r.delay_series(), vec![10.0, 20.0]);
+        assert_eq!(r.total_remote(), 1);
+    }
+
+    #[test]
+    fn regret_requires_tracking() {
+        let untracked = EpisodeReport {
+            policy: "p".into(),
+            topology: "t".into(),
+            slots: vec![slot(1, 10.0, None)],
+        };
+        assert_eq!(untracked.cumulative_regret_ms(), None);
+        let tracked = EpisodeReport {
+            policy: "p".into(),
+            topology: "t".into(),
+            slots: vec![slot(1, 10.0, Some(8.0)), slot(2, 9.0, Some(8.5))],
+        };
+        assert_eq!(tracked.cumulative_regret_ms(), Some(2.5));
+        assert_eq!(tracked.regret_curve(), Some(vec![2.0, 2.5]));
+    }
+
+    #[test]
+    fn empty_report_is_zeroed() {
+        let r = EpisodeReport {
+            policy: "p".into(),
+            topology: "t".into(),
+            slots: vec![],
+        };
+        assert_eq!(r.mean_avg_delay_ms(), 0.0);
+        assert_eq!(r.mean_decide_us(), 0.0);
+        assert_eq!(r.cumulative_regret_ms(), Some(0.0));
+    }
+}

@@ -1,0 +1,655 @@
+//! The slot-by-slot simulation engine.
+
+use crate::lowering::{build_caching_lp, TransferCosts};
+use crate::metrics::{EpisodeReport, SlotMetrics};
+use crate::policy::{CachingPolicy, SlotContext, SlotFeedback};
+use mec_net::delay::{CongestionDelay, DelayProcess, RemoteDcDelay, UniformTierDelay};
+use mec_net::{NetworkConfig, Topology};
+use mec_workload::demand::DemandProcess as _;
+use mec_workload::Scenario;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Which hidden unit-delay process drives the episode.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DelayModelKind {
+    /// IID uniform per-slot delays within each tier's range.
+    Uniform,
+    /// Congestion-modulated delays (two-state Markov chain per station).
+    /// This is the default: temporally correlated congestion is the
+    /// uncertainty that makes online learning beat static priors.
+    Congestion {
+        /// P(normal → congested) per slot.
+        p_enter: f64,
+        /// P(congested → normal) per slot.
+        p_exit: f64,
+        /// Delay multiplier while congested.
+        factor: f64,
+    },
+}
+
+impl DelayModelKind {
+    /// The default congestion parameters used across the benches.
+    pub fn default_congestion() -> Self {
+        DelayModelKind::Congestion {
+            p_enter: 0.10,
+            p_exit: 0.25,
+            factor: 3.0,
+        }
+    }
+}
+
+/// Episode-level knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeConfig {
+    /// The hidden delay process.
+    pub delay_model: DelayModelKind,
+    /// Whether to hand the true demand vector to the policy
+    /// (`given_demands`): `true` for the §IV `*_GD` regime, `false` for
+    /// the §V prediction regime.
+    pub reveal_demands: bool,
+    /// Whether to solve the clairvoyant LP each slot for regret curves
+    /// (roughly doubles runtime).
+    pub track_regret: bool,
+    /// `false` (default): the paper's per-slot accounting — every
+    /// (service, station) instance used in a slot pays `d_ins`.
+    /// `true`: instances stay warm across slots ([`crate::CacheState`])
+    /// and only newly instantiated ones pay.
+    pub amortize_instantiation: bool,
+    /// Endogenous load-driven congestion: the realized unit delay of a
+    /// station is additionally scaled by `1 + load_sensitivity ·
+    /// (load/capacity)` — stations slow down *because* traffic piles
+    /// onto them, the bottleneck mechanism of real topologies. `0`
+    /// (default) disables it. Both the score and the bandit
+    /// observations see the load-scaled delay, so learners can discover
+    /// and avoid crowded stations.
+    pub load_sensitivity: f64,
+    /// Environment seed (delay realizations).
+    pub seed: u64,
+}
+
+impl EpisodeConfig {
+    /// Defaults: congestion delays, demands revealed, no regret tracking.
+    pub fn new(seed: u64) -> Self {
+        EpisodeConfig {
+            delay_model: DelayModelKind::default_congestion(),
+            reveal_demands: true,
+            track_regret: false,
+            amortize_instantiation: false,
+            load_sensitivity: 0.0,
+            seed,
+        }
+    }
+
+    /// Switches to the unknown-demand regime.
+    pub fn hidden_demands(mut self) -> Self {
+        self.reveal_demands = false;
+        self
+    }
+
+    /// Enables clairvoyant-regret tracking.
+    pub fn with_regret(mut self) -> Self {
+        self.track_regret = true;
+        self
+    }
+
+    /// Overrides the delay model.
+    pub fn with_delay_model(mut self, model: DelayModelKind) -> Self {
+        self.delay_model = model;
+        self
+    }
+
+    /// Switches to warm-cache instantiation accounting.
+    pub fn with_amortized_instantiation(mut self) -> Self {
+        self.amortize_instantiation = true;
+        self
+    }
+
+    /// Enables endogenous load-driven congestion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sensitivity` is negative.
+    pub fn with_load_sensitivity(mut self, sensitivity: f64) -> Self {
+        assert!(sensitivity >= 0.0, "sensitivity must be non-negative");
+        self.load_sensitivity = sensitivity;
+        self
+    }
+}
+
+enum DelayModel {
+    Uniform(UniformTierDelay),
+    Congestion(CongestionDelay),
+}
+
+impl DelayModel {
+    fn as_dyn(&self) -> &dyn DelayProcess {
+        match self {
+            DelayModel::Uniform(p) => p,
+            DelayModel::Congestion(p) => p,
+        }
+    }
+
+    fn advance(&mut self) {
+        match self {
+            DelayModel::Uniform(p) => p.advance(),
+            DelayModel::Congestion(p) => p.advance(),
+        }
+    }
+}
+
+/// A runnable simulation episode: one topology, one workload scenario,
+/// one hidden delay realization.
+///
+/// Reuse the episode across policies by constructing one per policy with
+/// the same seed — the environment randomness is identical, so
+/// comparisons are paired.
+pub struct Episode {
+    topo: Topology,
+    net_cfg: NetworkConfig,
+    scenario: Scenario,
+    transfer: TransferCosts,
+    prior_delay: Vec<f64>,
+    delay: DelayModel,
+    remote: RemoteDcDelay,
+    cfg: EpisodeConfig,
+    cache: crate::CacheState,
+}
+
+impl Episode {
+    /// Creates an episode with [`EpisodeConfig::new`] defaults.
+    pub fn new(topo: Topology, net_cfg: NetworkConfig, scenario: Scenario, seed: u64) -> Self {
+        Self::with_config(topo, net_cfg, scenario, EpisodeConfig::new(seed))
+    }
+
+    /// Creates an episode with explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario was built for a different topology size.
+    pub fn with_config(
+        topo: Topology,
+        net_cfg: NetworkConfig,
+        scenario: Scenario,
+        cfg: EpisodeConfig,
+    ) -> Self {
+        for r in scenario.requests() {
+            assert!(
+                r.registered_bs().index() < topo.len(),
+                "scenario was built for a different topology"
+            );
+        }
+        let transfer = TransferCosts::compute(&topo, &scenario);
+        let prior_delay: Vec<f64> = topo
+            .stations()
+            .iter()
+            .map(|bs| net_cfg.tier(bs.tier()).unit_delay_ms.mid())
+            .collect();
+        let delay = match cfg.delay_model {
+            DelayModelKind::Uniform => {
+                DelayModel::Uniform(UniformTierDelay::new(&topo, &net_cfg, cfg.seed))
+            }
+            DelayModelKind::Congestion {
+                p_enter,
+                p_exit,
+                factor,
+            } => DelayModel::Congestion(CongestionDelay::new(
+                &topo, &net_cfg, p_enter, p_exit, factor, cfg.seed,
+            )),
+        };
+        let remote = RemoteDcDelay::new(&net_cfg, cfg.seed);
+        let cache = crate::CacheState::new(scenario.services().len(), topo.len());
+        Episode {
+            topo,
+            net_cfg,
+            scenario,
+            transfer,
+            prior_delay,
+            delay,
+            remote,
+            cfg,
+            cache,
+        }
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The scenario.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The per-episode transfer-cost matrix.
+    pub fn transfer(&self) -> &TransferCosts {
+        &self.transfer
+    }
+
+    /// Processing + transfer part of objective (3) on an integral
+    /// assignment under realized delays, with queueing slowdown on
+    /// overloaded stations: a station serving `load > capacity` data
+    /// units multiplies its unit delay by `(load / capacity)²` — the
+    /// superlinear blow-up of queueing delay near saturation. Also
+    /// returns the distinct (service, station) instances used.
+    fn score_processing(
+        &self,
+        assignment: &crate::Assignment,
+        demands: &[f64],
+        realized: &[f64],
+    ) -> (f64, Vec<(usize, usize)>) {
+        let n = self.topo.len();
+        let c_unit = self.scenario.c_unit_mhz();
+        let mut load = vec![0.0; n];
+        for (l, t) in assignment.targets().iter().enumerate() {
+            if let crate::Target::Edge(bs) = t {
+                load[bs.index()] += demands[l];
+            }
+        }
+        let overload: Vec<f64> = (0..n)
+            .map(|i| {
+                let cap = self.topo.stations()[i].capacity_mhz() / c_unit;
+                let ratio = (load[i] / cap).max(1.0);
+                ratio * ratio
+            })
+            .collect();
+        let mut total = 0.0;
+        let mut used = std::collections::BTreeSet::new();
+        for (l, t) in assignment.targets().iter().enumerate() {
+            match t {
+                crate::Target::Edge(bs) => {
+                    let i = bs.index();
+                    total += demands[l]
+                        * (realized[i] * overload[i] + self.transfer.get(l, *bs));
+                    let k = self.scenario.requests()[l].service().index();
+                    used.insert((k, i));
+                }
+                crate::Target::Remote => {
+                    total += demands[l] * self.remote.unit_delay();
+                }
+            }
+        }
+        (total, used.into_iter().collect())
+    }
+
+    /// Runs `policy` for `horizon` slots and collects metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon == 0` or the policy returns an assignment of
+    /// the wrong size.
+    pub fn run(&mut self, policy: &mut dyn CachingPolicy, horizon: usize) -> EpisodeReport {
+        assert!(horizon > 0, "horizon must be positive");
+        let n = self.topo.len();
+        let n_requests = self.scenario.requests().len();
+        let request_cells: Vec<usize> = self
+            .scenario
+            .requests()
+            .iter()
+            .map(|r| r.location_cell())
+            .collect();
+        let mut slots = Vec::with_capacity(horizon);
+
+        for slot in 1..=horizon {
+            // The environment reveals this slot's demands and (hidden)
+            // delays.
+            self.scenario.demand_mut().advance();
+            let demands = self.scenario.demand().demands();
+            self.delay.advance();
+            self.remote.advance();
+
+            let ctx = SlotContext {
+                slot,
+                topo: &self.topo,
+                scenario: &self.scenario,
+                given_demands: self.cfg.reveal_demands.then_some(demands.as_slice()),
+                transfer: &self.transfer,
+                prior_delay: &self.prior_delay,
+                remote_delay: self.net_cfg.remote_dc_delay_ms.mid(),
+                net_cfg: &self.net_cfg,
+            };
+            let started = Instant::now();
+            let assignment = policy.decide(&ctx);
+            let decide_us = started.elapsed().as_secs_f64() * 1e6;
+            assert_eq!(
+                assignment.len(),
+                n_requests,
+                "assignment must cover every request"
+            );
+
+            // Score against the realized delays. A station whose
+            // realized load exceeds its capacity queues: its unit delay
+            // scales with the overload ratio. Policies that under-predict
+            // bursty demand therefore pay for it — the physical effect
+            // the paper's bursty-demand story hinges on. The clairvoyant
+            // optimum below respects capacities exactly and never
+            // overloads.
+            let mut realized: Vec<f64> = (0..n)
+                .map(|i| self.delay.as_dyn().unit_delay(mec_net::BsId(i)))
+                .collect();
+            if self.cfg.load_sensitivity > 0.0 {
+                // Endogenous congestion: this slot's utilization slows
+                // the stations carrying it.
+                let c_unit = self.scenario.c_unit_mhz();
+                let mut load = vec![0.0; n];
+                for (l, t) in assignment.targets().iter().enumerate() {
+                    if let crate::Target::Edge(bs) = t {
+                        load[bs.index()] += demands[l];
+                    }
+                }
+                for (i, r) in realized.iter_mut().enumerate() {
+                    let cap = self.topo.stations()[i].capacity_mhz() / c_unit;
+                    *r *= 1.0 + self.cfg.load_sensitivity * (load[i] / cap);
+                }
+            }
+            let (processing, used_instances) =
+                self.score_processing(&assignment, &demands, &realized);
+            let inst_cost = if self.cfg.amortize_instantiation {
+                self.cache
+                    .apply(slot, &used_instances, self.scenario.instantiation())
+            } else {
+                used_instances
+                    .iter()
+                    .map(|&(k, i)| self.scenario.instantiation().get(mec_net::BsId(i), k))
+                    .sum()
+            };
+            let avg_delay_ms = (processing + inst_cost) / n_requests as f64;
+            // Clairvoyant reference: the processing-delay LP optimum
+            // under the realized delays and true demands. The
+            // instantiation term is dropped from the reference — a
+            // fractional solution spreads requests over many partial
+            // instances, so its summed instantiation cost is *not* a
+            // lower bound on integral assignments, while the pure
+            // processing optimum is.
+            let optimal_avg_delay_ms = if self.cfg.track_regret {
+                let true_lp = build_caching_lp(
+                    &self.topo,
+                    &self.scenario,
+                    &self.transfer,
+                    &realized,
+                    &demands,
+                    self.remote.unit_delay(),
+                );
+                true_lp.solve_fast().ok().map(|sol| {
+                    let zero_y =
+                        vec![vec![0.0; true_lp.n_stations()]; true_lp.n_services()];
+                    true_lp.objective_of(&sol.x, &zero_y)
+                })
+            } else {
+                None
+            };
+
+            // Bandit feedback: only stations actually played reveal their
+            // realized delay.
+            let observed: Vec<(usize, f64)> = assignment
+                .stations_used()
+                .into_iter()
+                .map(|bs| (bs.index(), realized[bs.index()]))
+                .collect();
+            let feedback = SlotFeedback {
+                slot,
+                observed_unit_delay: &observed,
+                realized_demands: &demands,
+                request_cells: &request_cells,
+            };
+            policy.observe(&feedback);
+
+            slots.push(SlotMetrics {
+                slot,
+                avg_delay_ms,
+                decide_us,
+                optimal_avg_delay_ms,
+                remote_count: assignment.remote_count(),
+            });
+        }
+        EpisodeReport {
+            policy: policy.name().to_string(),
+            topology: self.topo.name().to_string(),
+            slots,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::Target;
+    use crate::algorithms::{GreedyGd, OlGd, OlReg, PriGd};
+    use crate::policy::PolicyConfig;
+    use mec_net::topology::gtitm;
+    use mec_workload::ScenarioConfig;
+
+    fn episode(seed: u64) -> Episode {
+        let cfg = NetworkConfig::paper_defaults();
+        let topo = gtitm::generate(20, &cfg, seed);
+        let scenario = ScenarioConfig::small().build(&topo, seed);
+        Episode::new(topo, cfg, scenario, seed)
+    }
+
+    #[test]
+    fn ol_gd_runs_and_reports_every_slot() {
+        let mut ep = episode(1);
+        let report = ep.run(&mut OlGd::new(PolicyConfig::default()), 12);
+        assert_eq!(report.slots.len(), 12);
+        assert_eq!(report.policy, "OL_GD");
+        for s in &report.slots {
+            assert!(s.avg_delay_ms > 0.0 && s.avg_delay_ms.is_finite());
+            assert!(s.decide_us >= 0.0);
+            assert_eq!(s.optimal_avg_delay_ms, None);
+        }
+    }
+
+    #[test]
+    fn baselines_run() {
+        for (policy, name) in [
+            (
+                Box::new(GreedyGd::new()) as Box<dyn CachingPolicy>,
+                "Greedy_GD",
+            ),
+            (Box::new(PriGd::new()) as Box<dyn CachingPolicy>, "Pri_GD"),
+        ] {
+            let mut policy = policy;
+            let mut ep = episode(2);
+            let report = ep.run(policy.as_mut(), 5);
+            assert_eq!(report.policy, name);
+            assert!(report.mean_avg_delay_ms() > 0.0);
+        }
+    }
+
+    #[test]
+    fn regret_tracking_produces_optimum_per_slot() {
+        let cfg = NetworkConfig::paper_defaults();
+        let topo = gtitm::generate(15, &cfg, 3);
+        let scenario = ScenarioConfig::small().build(&topo, 3);
+        let mut ep =
+            Episode::with_config(topo, cfg, scenario, EpisodeConfig::new(3).with_regret());
+        let report = ep.run(&mut OlGd::new(PolicyConfig::default()), 6);
+        for s in &report.slots {
+            let opt = s.optimal_avg_delay_ms.expect("tracked");
+            // The clairvoyant fractional optimum can never beat an
+            // integral assignment by a negative margin.
+            assert!(
+                s.avg_delay_ms >= opt - 1e-6,
+                "achieved {} below optimum {opt}",
+                s.avg_delay_ms
+            );
+        }
+        assert!(report.cumulative_regret_ms().unwrap() >= -1e-6);
+    }
+
+    #[test]
+    fn paired_environments_are_identical_across_policies() {
+        // Two episodes with the same seed expose the same demand/delay
+        // realizations: a policy that ignores feedback sees identical
+        // costs in both runs.
+        let mut a = episode(7);
+        let mut b = episode(7);
+        let ra = a.run(&mut GreedyGd::new(), 8);
+        let rb = b.run(&mut GreedyGd::new(), 8);
+        assert_eq!(ra.delay_series(), rb.delay_series());
+    }
+
+    #[test]
+    fn learning_beats_static_greedy_under_congestion() {
+        // Run long enough for the arms to converge; the learner should
+        // be at least competitive with (and typically beat) the static
+        // prior-driven greedy under congested delays.
+        let horizon = 60;
+        let mut greedy_total = 0.0;
+        let mut ol_total = 0.0;
+        for seed in 0..3 {
+            let mut e1 = episode(seed);
+            greedy_total += e1.run(&mut GreedyGd::new(), horizon).mean_avg_delay_ms();
+            let mut e2 = episode(seed);
+            ol_total += e2
+                .run(&mut OlGd::new(PolicyConfig::default().with_seed(seed)), horizon)
+                .mean_avg_delay_ms();
+        }
+        assert!(
+            ol_total < greedy_total * 1.05,
+            "OL_GD {ol_total} should be competitive with greedy {greedy_total}"
+        );
+    }
+
+    #[test]
+    fn hidden_demand_regime_runs_ol_reg() {
+        let cfg = NetworkConfig::paper_defaults();
+        let topo = gtitm::generate(15, &cfg, 5);
+        let scenario = ScenarioConfig::small()
+            .with_demand(mec_workload::scenario::DemandKind::Flash(
+                mec_workload::demand::FlashCrowdConfig::default(),
+            ))
+            .build(&topo, 5);
+        let mut ep = Episode::with_config(
+            topo,
+            cfg,
+            scenario,
+            EpisodeConfig::new(5).hidden_demands(),
+        );
+        let report = ep.run(&mut OlReg::new(PolicyConfig::default(), 3), 10);
+        assert_eq!(report.slots.len(), 10);
+        assert!(report.mean_avg_delay_ms() > 0.0);
+    }
+
+    #[test]
+    fn amortized_accounting_is_cheaper_and_rank_preserving() {
+        let cfg = NetworkConfig::paper_defaults();
+        let run = |amortize: bool, seed: u64| {
+            let topo = gtitm::generate(20, &cfg, seed);
+            let scenario = ScenarioConfig::small().build(&topo, seed);
+            let mut ep_cfg = EpisodeConfig::new(seed);
+            if amortize {
+                ep_cfg = ep_cfg.with_amortized_instantiation();
+            }
+            let mut ep = Episode::with_config(topo, cfg.clone(), scenario, ep_cfg);
+            ep.run(&mut GreedyGd::new(), 12).mean_avg_delay_ms()
+        };
+        for seed in 0..3 {
+            let per_slot = run(false, seed);
+            let amortized = run(true, seed);
+            assert!(
+                amortized < per_slot,
+                "warm cache must reduce total delay: {amortized} vs {per_slot}"
+            );
+        }
+    }
+
+    #[test]
+    fn load_sensitivity_raises_delays_and_rewards_spreading() {
+        let cfg = NetworkConfig::paper_defaults();
+        let run = |sensitivity: f64| {
+            let topo = gtitm::generate(20, &cfg, 5);
+            let scenario = ScenarioConfig::small().with_requests(25).build(&topo, 5);
+            let mut ep = Episode::with_config(
+                topo,
+                cfg.clone(),
+                scenario,
+                EpisodeConfig::new(5).with_load_sensitivity(sensitivity),
+            );
+            ep.run(&mut GreedyGd::new(), 10).mean_avg_delay_ms()
+        };
+        let base = run(0.0);
+        let loaded = run(2.0);
+        assert!(
+            loaded > base,
+            "load-driven congestion must raise delays: {loaded} vs {base}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sensitivity must be non-negative")]
+    fn negative_sensitivity_rejected() {
+        let _ = EpisodeConfig::new(1).with_load_sensitivity(-1.0);
+    }
+
+    #[test]
+    fn estimator_variants_run_end_to_end() {
+        use crate::policy::EstimatorKind;
+        for estimator in [
+            EstimatorKind::SampleMean,
+            EstimatorKind::Windowed { window: 5 },
+            EstimatorKind::Discounted { gamma: 0.8 },
+        ] {
+            let mut ep = episode(11);
+            let report = ep.run(
+                &mut OlGd::new(PolicyConfig::default().with_estimator(estimator)),
+                8,
+            );
+            assert_eq!(report.slots.len(), 8, "{estimator:?}");
+            assert!(report.mean_avg_delay_ms() > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon must be positive")]
+    fn zero_horizon_rejected() {
+        let mut ep = episode(1);
+        let _ = ep.run(&mut GreedyGd::new(), 0);
+    }
+
+    #[test]
+    fn capacity_is_never_violated() {
+        // Use a scenario with heavy demand against a tiny network to
+        // force the repair path, then audit loads per station.
+        struct Audit<P>(P, Vec<Vec<f64>>);
+        impl<P: CachingPolicy> CachingPolicy for Audit<P> {
+            fn name(&self) -> &'static str {
+                self.0.name()
+            }
+            fn decide(&mut self, ctx: &SlotContext<'_>) -> crate::Assignment {
+                let a = self.0.decide(ctx);
+                let demands = ctx.given_demands.unwrap();
+                let mut load = vec![0.0; ctx.topo.len()];
+                for (l, t) in a.targets().iter().enumerate() {
+                    if let Target::Edge(bs) = t {
+                        load[bs.index()] += demands[l];
+                    }
+                }
+                self.1.push(load);
+                a
+            }
+            fn observe(&mut self, fb: &SlotFeedback<'_>) {
+                self.0.observe(fb);
+            }
+        }
+        let cfg = NetworkConfig::paper_defaults();
+        let topo = gtitm::generate(8, &cfg, 9);
+        let scenario = ScenarioConfig::small()
+            .with_requests(40)
+            .build(&topo, 9);
+        let caps: Vec<f64> = topo
+            .stations()
+            .iter()
+            .map(|b| b.capacity_mhz() / scenario.c_unit_mhz())
+            .collect();
+        let mut audit = Audit(OlGd::new(PolicyConfig::default()), Vec::new());
+        let mut ep = Episode::new(topo, cfg, scenario, 9);
+        let _ = ep.run(&mut audit, 10);
+        for loads in &audit.1 {
+            for (i, &l) in loads.iter().enumerate() {
+                assert!(l <= caps[i] + 1e-6, "station {i} overloaded: {l}");
+            }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests of the algorithm layer, exercised through the
+//! public episode API on random small instances.
+
+use lexcache_core::{
+    CachingPolicy, Episode, EpisodeConfig, GreedyGd, OlGd, PolicyConfig, PriGd, SlotContext,
+    SlotFeedback, Target,
+};
+use mec_net::topology::gtitm;
+use mec_net::NetworkConfig;
+use mec_workload::ScenarioConfig;
+use proptest::prelude::*;
+
+/// Wraps a policy and audits every assignment against capacity and
+/// coverage invariants using the given demands.
+struct Audited<P> {
+    inner: P,
+    violations: Vec<String>,
+}
+
+impl<P: CachingPolicy> CachingPolicy for Audited<P> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn decide(&mut self, ctx: &SlotContext<'_>) -> lexcache_core::Assignment {
+        let assignment = self.inner.decide(ctx);
+        let demands = ctx.given_demands.expect("given-demand regime");
+        if assignment.len() != demands.len() {
+            self.violations.push("wrong assignment size".into());
+        }
+        let mut load = vec![0.0; ctx.topo.len()];
+        for (l, t) in assignment.targets().iter().enumerate() {
+            if let Target::Edge(bs) = t {
+                load[bs.index()] += demands[l];
+            }
+        }
+        for (i, bs) in ctx.topo.stations().iter().enumerate() {
+            let cap = bs.capacity_mhz() / ctx.scenario.c_unit_mhz();
+            if load[i] > cap + 1e-6 {
+                self.violations
+                    .push(format!("station {i} overloaded: {} > {cap}", load[i]));
+            }
+        }
+        assignment
+    }
+
+    fn observe(&mut self, feedback: &SlotFeedback<'_>) {
+        self.inner.observe(feedback);
+    }
+}
+
+fn run_audited<P: CachingPolicy>(policy: P, n: usize, requests: usize, seed: u64) -> Vec<String> {
+    let net_cfg = NetworkConfig::paper_defaults();
+    let topo = gtitm::generate(n, &net_cfg, seed);
+    let scenario = ScenarioConfig::small()
+        .with_requests(requests)
+        .build(&topo, seed);
+    let mut audited = Audited {
+        inner: policy,
+        violations: Vec::new(),
+    };
+    let mut episode = Episode::with_config(topo, net_cfg, scenario, EpisodeConfig::new(seed));
+    let _ = episode.run(&mut audited, 5);
+    audited.violations
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn ol_gd_respects_capacity_on_random_instances(
+        n in 5usize..25,
+        requests in 3usize..30,
+        seed in 0u64..500,
+    ) {
+        let violations = run_audited(
+            OlGd::new(PolicyConfig::default().with_seed(seed)),
+            n,
+            requests,
+            seed,
+        );
+        prop_assert!(violations.is_empty(), "{:?}", violations);
+    }
+
+    #[test]
+    fn greedy_respects_capacity_on_random_instances(
+        n in 5usize..25,
+        requests in 3usize..30,
+        seed in 0u64..500,
+    ) {
+        let violations = run_audited(GreedyGd::new(), n, requests, seed);
+        prop_assert!(violations.is_empty(), "{:?}", violations);
+    }
+
+    #[test]
+    fn priority_respects_capacity_on_random_instances(
+        n in 5usize..25,
+        requests in 3usize..30,
+        seed in 0u64..500,
+    ) {
+        let violations = run_audited(PriGd::new(), n, requests, seed);
+        prop_assert!(violations.is_empty(), "{:?}", violations);
+    }
+
+    #[test]
+    fn episodes_are_reproducible(
+        n in 5usize..20,
+        requests in 3usize..15,
+        seed in 0u64..200,
+    ) {
+        let net_cfg = NetworkConfig::paper_defaults();
+        let run = || {
+            let topo = gtitm::generate(n, &net_cfg, seed);
+            let scenario = ScenarioConfig::small().with_requests(requests).build(&topo, seed);
+            let mut episode = Episode::new(topo, net_cfg.clone(), scenario, seed);
+            episode
+                .run(&mut OlGd::new(PolicyConfig::default().with_seed(seed)), 4)
+                .delay_series()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn achieved_delay_never_beats_clairvoyant_optimum(
+        n in 5usize..15,
+        seed in 0u64..100,
+    ) {
+        let net_cfg = NetworkConfig::paper_defaults();
+        let topo = gtitm::generate(n, &net_cfg, seed);
+        let scenario = ScenarioConfig::small().build(&topo, seed);
+        let mut episode = Episode::with_config(
+            topo,
+            net_cfg,
+            scenario,
+            EpisodeConfig::new(seed).with_regret(),
+        );
+        let report = episode.run(&mut GreedyGd::new(), 4);
+        for slot in &report.slots {
+            let opt = slot.optimal_avg_delay_ms.expect("regret tracked");
+            prop_assert!(slot.avg_delay_ms >= opt - 1e-6);
+        }
+    }
+}

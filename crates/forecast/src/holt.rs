@@ -1,0 +1,159 @@
+//! Holt's double exponential smoothing (level + trend).
+//!
+//! An additional classical baseline for the predictor ablation: unlike
+//! the fixed-weight ARMA of Eq. 27, Holt tracks a local *trend*, which
+//! helps on the decay phase of a burst (monotone ramps) but still cannot
+//! anticipate onsets.
+
+use crate::predictor::Predictor;
+use serde::{Deserialize, Serialize};
+
+/// Holt's linear smoothing: level `ℓ ← α·x + (1−α)(ℓ + b)`,
+/// trend `b ← β(ℓ − ℓ_prev) + (1−β)b`, forecast `ℓ + b`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Holt {
+    alpha: f64,
+    beta: f64,
+    state: Option<(f64, f64)>,
+    /// Forecasts are clamped at zero (demand is non-negative).
+    clamp_non_negative: bool,
+}
+
+impl Holt {
+    /// Creates the smoother.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha ∉ (0, 1]` or `beta ∉ [0, 1]`.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
+        Holt {
+            alpha,
+            beta,
+            state: None,
+            clamp_non_negative: true,
+        }
+    }
+
+    /// Allows negative forecasts (for general time series).
+    pub fn unclamped(mut self) -> Self {
+        self.clamp_non_negative = false;
+        self
+    }
+
+    /// Current `(level, trend)` if initialized.
+    pub fn state(&self) -> Option<(f64, f64)> {
+        self.state
+    }
+}
+
+impl Predictor for Holt {
+    fn observe(&mut self, value: f64) {
+        assert!(value.is_finite(), "observations must be finite");
+        self.state = Some(match self.state {
+            None => (value, 0.0),
+            Some((level, trend)) => {
+                let new_level = self.alpha * value + (1.0 - self.alpha) * (level + trend);
+                let new_trend = self.beta * (new_level - level) + (1.0 - self.beta) * trend;
+                (new_level, new_trend)
+            }
+        });
+    }
+
+    fn predict(&self) -> f64 {
+        match self.state {
+            None => 0.0,
+            Some((level, trend)) => {
+                let f = level + trend;
+                if self.clamp_non_negative {
+                    f.max(0.0)
+                } else {
+                    f
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "holt"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_series_is_fixed_point() {
+        let mut h = Holt::new(0.5, 0.3);
+        for _ in 0..50 {
+            h.observe(7.0);
+        }
+        assert!((h.predict() - 7.0).abs() < 1e-9);
+        let (level, trend) = h.state().expect("initialized");
+        assert!((level - 7.0).abs() < 1e-9);
+        assert!(trend.abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_trend_is_extrapolated() {
+        let mut h = Holt::new(0.6, 0.4);
+        for t in 0..60 {
+            h.observe(2.0 * t as f64);
+        }
+        // Next value would be 120; Holt should be close.
+        assert!(
+            (h.predict() - 120.0).abs() < 3.0,
+            "trend extrapolation got {}",
+            h.predict()
+        );
+    }
+
+    #[test]
+    fn monotone_decay_is_extrapolated_downward() {
+        // A geometric ramp-down: Holt's trend term keeps the forecast
+        // below the last observation (the fixed-weight ARMA would sit
+        // above it).
+        let mut h = Holt::new(0.7, 0.5);
+        let mut v = 100.0;
+        let mut last = v;
+        for _ in 0..8 {
+            h.observe(v);
+            last = v;
+            v *= 0.8;
+        }
+        assert!(
+            h.predict() < last,
+            "forecast {} should continue below the last value {last}",
+            h.predict()
+        );
+    }
+
+    #[test]
+    fn clamped_forecast_is_non_negative() {
+        let mut h = Holt::new(0.7, 0.5);
+        for &v in &[50.0, 20.0, 5.0, 0.5] {
+            h.observe(v);
+        }
+        assert!(h.predict() >= 0.0);
+        let mut raw = Holt::new(0.7, 0.5).unclamped();
+        for &v in &[50.0, 20.0, 5.0, 0.5] {
+            raw.observe(v);
+        }
+        assert!(raw.predict() < h.predict() + 1e-12);
+    }
+
+    #[test]
+    fn empty_predicts_zero_and_named() {
+        let h = Holt::new(0.5, 0.5);
+        assert_eq!(h.predict(), 0.0);
+        assert_eq!(h.name(), "holt");
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1]")]
+    fn bad_alpha_rejected() {
+        let _ = Holt::new(0.0, 0.5);
+    }
+}

@@ -1,0 +1,36 @@
+//! Classical demand predictors — the paper's `OL_Reg` baseline and
+//! friends.
+//!
+//! `OL_Reg` "predicts the bursty demand following an autoregressive
+//! moving average (ARMA) model" (Eq. 27): a fixed convex combination of
+//! the previous `p` observations with non-increasing weights. This crate
+//! implements that predictor exactly ([`PaperArma`]), plus a
+//! least-squares-fitted AR model ([`FittedAr`]), an exponentially
+//! weighted moving average ([`Ewma`]) and a naive last-value predictor
+//! ([`NaiveLast`]) for the predictor-family ablation.
+//!
+//! # Example
+//!
+//! ```
+//! use forecast::{PaperArma, Predictor};
+//!
+//! let mut arma = PaperArma::with_linear_weights(3);
+//! for v in [10.0, 12.0, 11.0] {
+//!     arma.observe(v);
+//! }
+//! let next = arma.predict();
+//! assert!(next > 10.0 && next < 12.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod holt;
+pub mod metrics;
+pub mod multi;
+pub mod predictor;
+
+pub use holt::Holt;
+pub use metrics::{mae, mape, rmse};
+pub use multi::MultiSeries;
+pub use predictor::{Ewma, FittedAr, NaiveLast, PaperArma, Predictor};

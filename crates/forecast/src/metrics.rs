@@ -1,0 +1,109 @@
+//! Forecast-accuracy metrics.
+
+/// Mean absolute error between predictions and actuals.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(forecast::mae(&[1.0, 2.0], &[2.0, 0.0]), 1.5);
+/// ```
+pub fn mae(pred: &[f64], actual: &[f64]) -> f64 {
+    check(pred, actual);
+    pred.iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a).abs())
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+/// Root-mean-square error.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn rmse(pred: &[f64], actual: &[f64]) -> f64 {
+    check(pred, actual);
+    (pred.iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a) * (p - a))
+        .sum::<f64>()
+        / pred.len() as f64)
+        .sqrt()
+}
+
+/// Mean absolute percentage error over entries with non-zero actuals,
+/// as a fraction (0.1 = 10%). Returns 0 if every actual is zero.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn mape(pred: &[f64], actual: &[f64]) -> f64 {
+    check(pred, actual);
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (p, a) in pred.iter().zip(actual) {
+        if a.abs() > 1e-12 {
+            total += ((p - a) / a).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+fn check(pred: &[f64], actual: &[f64]) {
+    assert_eq!(pred.len(), actual.len(), "series must have equal length");
+    assert!(!pred.is_empty(), "series must not be empty");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_basic() {
+        assert_eq!(mae(&[1.0, 3.0], &[1.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn rmse_penalizes_outliers_more_than_mae() {
+        let pred = [0.0, 0.0, 4.0];
+        let actual = [0.0, 0.0, 0.0];
+        assert!(rmse(&pred, &actual) > mae(&pred, &actual));
+    }
+
+    #[test]
+    fn rmse_of_exact_prediction_is_zero() {
+        assert_eq!(rmse(&[2.0, 5.0], &[2.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn mape_skips_zero_actuals() {
+        // Only the second entry counts: |8-10|/10 = 0.2.
+        assert!((mape(&[5.0, 8.0], &[0.0, 10.0]) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_all_zero_actuals_is_zero() {
+        assert_eq!(mape(&[1.0], &[0.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_rejected() {
+        let _ = mae(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_series_rejected() {
+        let _ = rmse(&[], &[]);
+    }
+}

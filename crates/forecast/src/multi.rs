@@ -1,0 +1,104 @@
+//! Per-request predictor banks.
+
+use crate::predictor::Predictor;
+
+/// A bank of independent scalar predictors, one per request, fed the
+/// demand vector each slot.
+///
+/// # Example
+///
+/// ```
+/// use forecast::{MultiSeries, PaperArma, Predictor};
+/// let mut bank = MultiSeries::from_fn(3, || PaperArma::with_linear_weights(2));
+/// bank.observe_all(&[1.0, 2.0, 3.0]);
+/// assert_eq!(bank.predict_all(), vec![1.0, 2.0, 3.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiSeries<P> {
+    predictors: Vec<P>,
+}
+
+impl<P: Predictor> MultiSeries<P> {
+    /// Builds `n` predictors from a factory closure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn from_fn(n: usize, mut make: impl FnMut() -> P) -> Self {
+        assert!(n > 0, "need at least one series");
+        MultiSeries {
+            predictors: (0..n).map(|_| make()).collect(),
+        }
+    }
+
+    /// Number of series.
+    pub fn len(&self) -> usize {
+        self.predictors.len()
+    }
+
+    /// Whether the bank is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.predictors.is_empty()
+    }
+
+    /// Feeds one observation per series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != len()`.
+    pub fn observe_all(&mut self, values: &[f64]) {
+        assert_eq!(values.len(), self.predictors.len(), "one value per series");
+        for (p, &v) in self.predictors.iter_mut().zip(values) {
+            p.observe(v);
+        }
+    }
+
+    /// One-step-ahead forecast per series.
+    pub fn predict_all(&self) -> Vec<f64> {
+        self.predictors.iter().map(|p| p.predict()).collect()
+    }
+
+    /// Access to an individual predictor.
+    pub fn get(&self, i: usize) -> Option<&P> {
+        self.predictors.get(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::{Ewma, NaiveLast};
+
+    #[test]
+    fn bank_is_independent_per_series() {
+        let mut bank = MultiSeries::from_fn(2, NaiveLast::new);
+        bank.observe_all(&[1.0, 9.0]);
+        bank.observe_all(&[2.0, 8.0]);
+        assert_eq!(bank.predict_all(), vec![2.0, 8.0]);
+        assert_eq!(bank.len(), 2);
+        assert!(!bank.is_empty());
+        assert!(bank.get(1).is_some());
+        assert!(bank.get(2).is_none());
+    }
+
+    #[test]
+    fn ewma_bank_smooths() {
+        let mut bank = MultiSeries::from_fn(1, || Ewma::new(0.5));
+        bank.observe_all(&[0.0]);
+        bank.observe_all(&[10.0]);
+        assert_eq!(bank.predict_all(), vec![5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per series")]
+    fn wrong_width_rejected() {
+        let mut bank = MultiSeries::from_fn(2, NaiveLast::new);
+        bank.observe_all(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one series")]
+    fn zero_series_rejected() {
+        let _ = MultiSeries::from_fn(0, NaiveLast::new);
+    }
+}

@@ -1,0 +1,199 @@
+//! Latent codes, noise and demand quantization.
+
+use neural::activation::softmax;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A seeded source of noise vectors `z^t`.
+#[derive(Debug, Clone)]
+pub struct NoiseSource {
+    dim: usize,
+    rng: StdRng,
+}
+
+impl NoiseSource {
+    /// Creates a source of `dim`-dimensional uniform `[−1, 1]` noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize, seed: u64) -> Self {
+        assert!(dim > 0, "noise dimension must be positive");
+        NoiseSource {
+            dim,
+            rng: StdRng::seed_from_u64(seed ^ 0x2012_e777),
+        }
+    }
+
+    /// Noise dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Draws one noise vector.
+    pub fn sample(&mut self) -> Vec<f64> {
+        (0..self.dim)
+            .map(|_| self.rng.random_range(-1.0..=1.0))
+            .collect()
+    }
+
+    /// Draws a sequence of `len` noise vectors.
+    pub fn sample_seq(&mut self, len: usize) -> Vec<Vec<f64>> {
+        (0..len).map(|_| self.sample()).collect()
+    }
+}
+
+/// Uniform quantizer mapping demands in `[0, max_value]` onto `bins`
+/// levels. The generator's softmax head emits a distribution over these
+/// levels; the predicted demand is its expectation — differentiable and
+/// faithful to the paper's "softmax is used to predict the data volume".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DemandQuantizer {
+    levels: Vec<f64>,
+}
+
+impl DemandQuantizer {
+    /// Creates a quantizer with `bins` uniform levels over
+    /// `[0, max_value]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins < 2` or `max_value <= 0`.
+    pub fn uniform(bins: usize, max_value: f64) -> Self {
+        assert!(bins >= 2, "need at least two levels");
+        assert!(max_value > 0.0, "max value must be positive");
+        let levels = (0..bins)
+            .map(|b| max_value * b as f64 / (bins - 1) as f64)
+            .collect();
+        DemandQuantizer { levels }
+    }
+
+    /// Number of levels.
+    pub fn bins(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Largest representable value.
+    pub fn max_value(&self) -> f64 {
+        *self.levels.last().expect("non-empty levels")
+    }
+
+    /// The level values.
+    pub fn levels(&self) -> &[f64] {
+        &self.levels
+    }
+
+    /// Expected value under a probability vector over the levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs.len() != bins()`.
+    pub fn expectation(&self, probs: &[f64]) -> f64 {
+        assert_eq!(probs.len(), self.levels.len(), "probability length");
+        probs.iter().zip(&self.levels).map(|(p, l)| p * l).sum()
+    }
+
+    /// Expectation of `softmax(logits)` — convenience used in the
+    /// generator head.
+    pub fn expectation_of_logits(&self, logits: &[f64]) -> f64 {
+        self.expectation(&softmax(logits))
+    }
+
+    /// Gradient of the expectation w.r.t. the probabilities (the level
+    /// values themselves).
+    pub fn expectation_grad(&self) -> &[f64] {
+        &self.levels
+    }
+
+    /// Index of the level closest to `value` (clamped).
+    pub fn bin_of(&self, value: f64) -> usize {
+        let max = self.max_value();
+        let v = value.clamp(0.0, max);
+        let step = max / (self.levels.len() - 1) as f64;
+        ((v / step).round() as usize).min(self.levels.len() - 1)
+    }
+}
+
+/// One-hot encodes `cell` over `n_cells` entries.
+///
+/// # Panics
+///
+/// Panics if `cell >= n_cells`.
+pub fn one_hot(cell: usize, n_cells: usize) -> Vec<f64> {
+    assert!(cell < n_cells, "cell out of range");
+    let mut v = vec![0.0; n_cells];
+    v[cell] = 1.0;
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_is_bounded_and_seeded() {
+        let mut a = NoiseSource::new(4, 1);
+        let mut b = NoiseSource::new(4, 1);
+        for _ in 0..10 {
+            let za = a.sample();
+            assert_eq!(za.len(), 4);
+            assert!(za.iter().all(|v| v.abs() <= 1.0));
+            assert_eq!(za, b.sample());
+        }
+        assert_eq!(a.dim(), 4);
+    }
+
+    #[test]
+    fn noise_seq_has_requested_length() {
+        let mut s = NoiseSource::new(2, 3);
+        assert_eq!(s.sample_seq(5).len(), 5);
+    }
+
+    #[test]
+    fn quantizer_levels_span_range() {
+        let q = DemandQuantizer::uniform(5, 8.0);
+        assert_eq!(q.bins(), 5);
+        assert_eq!(q.levels(), &[0.0, 2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(q.max_value(), 8.0);
+    }
+
+    #[test]
+    fn expectation_of_onehot_prob_is_level() {
+        let q = DemandQuantizer::uniform(4, 3.0);
+        assert_eq!(q.expectation(&[0.0, 0.0, 1.0, 0.0]), 2.0);
+    }
+
+    #[test]
+    fn expectation_of_uniform_prob_is_mean_level() {
+        let q = DemandQuantizer::uniform(3, 4.0);
+        assert!((q.expectation(&[1.0 / 3.0; 3]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bin_of_round_trips_levels() {
+        let q = DemandQuantizer::uniform(9, 16.0);
+        for (b, &l) in q.levels().iter().enumerate() {
+            assert_eq!(q.bin_of(l), b);
+        }
+        assert_eq!(q.bin_of(-5.0), 0);
+        assert_eq!(q.bin_of(99.0), 8);
+    }
+
+    #[test]
+    fn one_hot_encodes() {
+        assert_eq!(one_hot(1, 3), vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell out of range")]
+    fn one_hot_rejects_overflow() {
+        let _ = one_hot(3, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two levels")]
+    fn quantizer_needs_two_bins() {
+        let _ = DemandQuantizer::uniform(1, 1.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! The paper's Info-RNN-GAN demand predictor (§V).
+//!
+//! A generative-adversarial pair of recurrent networks predicts bursty
+//! per-cell demand from *small samples* of user history:
+//!
+//! * the **generator** `G` (two stacked Bi-LSTMs + a softmax head over
+//!   quantized demand levels) produces a demand sequence conditioned on a
+//!   noise vector `z^t`, the one-hot location code `c^t` (the InfoGAN
+//!   latent) and the previous observed value;
+//! * the **discriminator** `D` (two stacked Bi-LSTMs + a sigmoid head)
+//!   judges per time slot whether a sequence is real or generated — the
+//!   paper's loss (23) averages `log D(ρ(t)) + log(1 − D(G(z^t, c^t)))`
+//!   over the monitoring period;
+//! * the **Q head** shares `D`'s recurrent trunk and reconstructs the
+//!   latent code from the sequence; its categorical log-likelihood is the
+//!   variational lower bound `L₁(G, Q)` on the mutual information
+//!   `I(c^t; G(z^t, c^t))`, weighted by `λ` in loss (24)/(26). Maximizing
+//!   it stops the generator from collapsing onto one mode regardless of
+//!   the location code.
+//!
+//! # Example
+//!
+//! ```
+//! use infogan::{InfoGanConfig, InfoRnnGan};
+//!
+//! let cfg = InfoGanConfig::small(2); // 2 location cells
+//! let mut gan = InfoRnnGan::new(cfg, 7);
+//! // Cell 0 is calm, cell 1 bursts: two short training series.
+//! let series = vec![vec![1.0; 30], vec![5.0; 30]];
+//! let cells = vec![0, 1];
+//! gan.fit(&series, &cells, 30);
+//! let calm = gan.predict_next(&[1.0, 1.0, 1.0], 0);
+//! assert!(calm.is_finite() && calm >= 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod latent;
+pub mod model;
+pub mod trainer;
+
+pub use latent::{DemandQuantizer, NoiseSource};
+pub use model::{Discriminator, Generator};
+pub use trainer::{InfoGanConfig, InfoRnnGan, StepLosses, TrainingReport};

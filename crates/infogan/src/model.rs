@@ -1,0 +1,379 @@
+//! Generator and discriminator networks (Fig. 2 of the paper).
+
+use neural::dense::Dense;
+use neural::lstm::{BiLstm, BiLstmTrace};
+use neural::param::Param;
+use serde::{Deserialize, Serialize};
+
+/// The generator `G`: two stacked Bi-LSTMs and a linear head emitting
+/// logits over quantized demand levels per time step.
+///
+/// Input per step: `[previous observed value, z^t, one-hot c^t]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Generator {
+    l1: BiLstm,
+    l2: BiLstm,
+    head: Dense,
+}
+
+/// Cached forward pass of the generator.
+#[derive(Debug, Clone)]
+pub struct GenTrace {
+    t1: BiLstmTrace,
+    t2: BiLstmTrace,
+    /// Per-step logits over demand levels.
+    pub logits: Vec<Vec<f64>>,
+}
+
+impl Generator {
+    /// Creates the generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(input: usize, hidden: usize, bins: usize, seed: u64) -> Self {
+        Generator {
+            l1: BiLstm::new(input, hidden, seed ^ 0xa1),
+            l2: BiLstm::new(2 * hidden, hidden, seed ^ 0xa2),
+            head: Dense::new(2 * hidden, bins, seed ^ 0xa3),
+        }
+    }
+
+    /// Input width per step.
+    pub fn input_len(&self) -> usize {
+        self.l1.input_len()
+    }
+
+    /// Number of demand levels in the head.
+    pub fn bins(&self) -> usize {
+        self.head.output_len()
+    }
+
+    /// Forward pass over a conditioned input sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is empty or widths mismatch.
+    pub fn forward_seq(&self, xs: &[Vec<f64>]) -> GenTrace {
+        let t1 = self.l1.forward_seq(xs);
+        let t2 = self.l2.forward_seq(t1.outputs());
+        let logits = t2
+            .outputs()
+            .iter()
+            .map(|h| self.head.forward(h))
+            .collect();
+        GenTrace { t1, t2, logits }
+    }
+
+    /// Backward pass given per-step gradients on the logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_logits.len()` differs from the trace length.
+    pub fn backward_seq(&mut self, xs: &[Vec<f64>], trace: &GenTrace, d_logits: &[Vec<f64>]) {
+        assert_eq!(d_logits.len(), trace.logits.len(), "one grad per step");
+        let dh2: Vec<Vec<f64>> = trace
+            .t2
+            .outputs()
+            .iter()
+            .zip(d_logits)
+            .map(|(h, dl)| self.head.backward(h, dl))
+            .collect();
+        let dh1 = self.l2.backward_seq(&trace.t2, &dh2);
+        let _ = self.l1.backward_seq(&trace.t1, &dh1);
+        let _ = xs;
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.l1.zero_grad();
+        self.l2.zero_grad();
+        self.head.zero_grad();
+    }
+
+    /// Parameters for the optimizer.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.l1.params_mut();
+        p.extend(self.l2.params_mut());
+        p.extend(self.head.params_mut());
+        p
+    }
+
+    /// Number of scalar parameters.
+    pub fn n_params(&self) -> usize {
+        self.l1.n_params() + self.l2.n_params() + self.head.n_params()
+    }
+}
+
+/// The discriminator `D` with the InfoGAN `Q` head sharing its trunk:
+/// two stacked Bi-LSTMs over the (scalar) demand sequence, a sigmoid
+/// real/fake head per step and a categorical head reconstructing the
+/// latent location code.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Discriminator {
+    l1: BiLstm,
+    l2: BiLstm,
+    d_head: Dense,
+    q_head: Dense,
+}
+
+/// Cached forward pass of the discriminator.
+#[derive(Debug, Clone)]
+pub struct DiscTrace {
+    t1: BiLstmTrace,
+    t2: BiLstmTrace,
+    /// Per-step real/fake logits.
+    pub d_logits: Vec<f64>,
+    /// Per-step latent-code logits.
+    pub q_logits: Vec<Vec<f64>>,
+}
+
+impl Discriminator {
+    /// Creates the discriminator for `n_cells` latent classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(hidden: usize, n_cells: usize, seed: u64) -> Self {
+        Discriminator {
+            l1: BiLstm::new(1, hidden, seed ^ 0xd1),
+            l2: BiLstm::new(2 * hidden, hidden, seed ^ 0xd2),
+            d_head: Dense::new(2 * hidden, 1, seed ^ 0xd3),
+            q_head: Dense::new(2 * hidden, n_cells, seed ^ 0xd4),
+        }
+    }
+
+    /// Number of latent classes in the Q head.
+    pub fn n_cells(&self) -> usize {
+        self.q_head.output_len()
+    }
+
+    /// Forward pass over a (normalized) scalar demand sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn forward_seq(&self, values: &[f64]) -> DiscTrace {
+        assert!(!values.is_empty(), "sequence must not be empty");
+        let xs: Vec<Vec<f64>> = values.iter().map(|&v| vec![v]).collect();
+        let t1 = self.l1.forward_seq(&xs);
+        let t2 = self.l2.forward_seq(t1.outputs());
+        let d_logits = t2
+            .outputs()
+            .iter()
+            .map(|h| self.d_head.forward(h)[0])
+            .collect();
+        let q_logits = t2
+            .outputs()
+            .iter()
+            .map(|h| self.q_head.forward(h))
+            .collect();
+        DiscTrace {
+            t1,
+            t2,
+            d_logits,
+            q_logits,
+        }
+    }
+
+    /// Backward pass. `d_dlogits[t]` is the gradient on the real/fake
+    /// logit; `d_qlogits` optionally carries gradients on the Q logits.
+    /// Returns the gradients w.r.t. the input values (used to train the
+    /// generator through the discriminator).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches.
+    pub fn backward_seq(
+        &mut self,
+        trace: &DiscTrace,
+        d_dlogits: &[f64],
+        d_qlogits: Option<&[Vec<f64>]>,
+    ) -> Vec<f64> {
+        assert_eq!(d_dlogits.len(), trace.d_logits.len(), "one grad per step");
+        let t_len = trace.d_logits.len();
+        let mut dh2: Vec<Vec<f64>> = Vec::with_capacity(t_len);
+        for t in 0..t_len {
+            let h = &trace.t2.outputs()[t];
+            let mut dh = self.d_head.backward(h, &[d_dlogits[t]]);
+            if let Some(qg) = d_qlogits {
+                assert_eq!(qg.len(), t_len, "one q-grad per step");
+                let dq = self.q_head.backward(h, &qg[t]);
+                for (a, b) in dh.iter_mut().zip(&dq) {
+                    *a += b;
+                }
+            }
+            dh2.push(dh);
+        }
+        let dh1 = self.l2.backward_seq(&trace.t2, &dh2);
+        let dxs = self.l1.backward_seq(&trace.t1, &dh1);
+        dxs.into_iter().map(|v| v[0]).collect()
+    }
+
+    /// Clears accumulated gradients of the trunk and both heads.
+    pub fn zero_grad(&mut self) {
+        self.l1.zero_grad();
+        self.l2.zero_grad();
+        self.d_head.zero_grad();
+        self.q_head.zero_grad();
+    }
+
+    /// Trunk + real/fake head parameters (the adversarially trained
+    /// part).
+    pub fn adversarial_params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.l1.params_mut();
+        p.extend(self.l2.params_mut());
+        p.extend(self.d_head.params_mut());
+        p
+    }
+
+    /// Q-head parameters (trained with the mutual-information bound).
+    pub fn q_params_mut(&mut self) -> Vec<&mut Param> {
+        self.q_head.params_mut()
+    }
+
+    /// Every parameter (trunk + both heads), for checkpointing.
+    pub fn all_params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.l1.params_mut();
+        p.extend(self.l2.params_mut());
+        p.extend(self.d_head.params_mut());
+        p.extend(self.q_head.params_mut());
+        p
+    }
+
+    /// Number of scalar parameters.
+    pub fn n_params(&self) -> usize {
+        self.l1.n_params() + self.l2.n_params() + self.d_head.n_params() + self.q_head.n_params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neural::activation::{sigmoid, softmax};
+
+    #[test]
+    fn generator_shapes() {
+        let g = Generator::new(6, 4, 8, 1);
+        assert_eq!(g.input_len(), 6);
+        assert_eq!(g.bins(), 8);
+        let xs: Vec<Vec<f64>> = (0..5).map(|_| vec![0.1; 6]).collect();
+        let trace = g.forward_seq(&xs);
+        assert_eq!(trace.logits.len(), 5);
+        assert_eq!(trace.logits[0].len(), 8);
+        assert!(g.n_params() > 0);
+    }
+
+    #[test]
+    fn generator_gradient_check_on_head() {
+        let mut g = Generator::new(3, 2, 4, 2);
+        let xs: Vec<Vec<f64>> = vec![vec![0.2, -0.1, 0.5], vec![0.0, 0.3, -0.4]];
+        // Loss = Σ_t dot(logits_t, w_t).
+        let w: Vec<Vec<f64>> = vec![vec![1.0, -0.5, 0.2, 0.8], vec![0.1, 0.4, -1.0, 0.6]];
+        let loss = |g: &Generator| -> f64 {
+            g.forward_seq(&xs)
+                .logits
+                .iter()
+                .zip(&w)
+                .map(|(l, wt)| l.iter().zip(wt).map(|(a, b)| a * b).sum::<f64>())
+                .sum()
+        };
+        g.zero_grad();
+        let trace = g.forward_seq(&xs);
+        g.backward_seq(&xs, &trace, &w);
+        let h = 1e-6;
+        // Sample a parameter from each block (l1, l2, head).
+        for which in [0usize, 6, 12] {
+            let orig = g.params_mut()[which].value.get(0, 0);
+            g.params_mut()[which].value.set(0, 0, orig + h);
+            let up = loss(&g);
+            g.params_mut()[which].value.set(0, 0, orig - h);
+            let down = loss(&g);
+            g.params_mut()[which].value.set(0, 0, orig);
+            let numeric = (up - down) / (2.0 * h);
+            let analytic = g.params_mut()[which].grad.get(0, 0);
+            assert!(
+                (analytic - numeric).abs() < 1e-5,
+                "param block {which}: {analytic} vs {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn discriminator_shapes_and_probability_range() {
+        let d = Discriminator::new(4, 3, 5);
+        assert_eq!(d.n_cells(), 3);
+        let trace = d.forward_seq(&[0.1, 0.9, 0.4]);
+        assert_eq!(trace.d_logits.len(), 3);
+        assert_eq!(trace.q_logits.len(), 3);
+        assert_eq!(trace.q_logits[0].len(), 3);
+        for &l in &trace.d_logits {
+            let p = sigmoid(l);
+            assert!(p > 0.0 && p < 1.0);
+        }
+        for q in &trace.q_logits {
+            let probs = softmax(q);
+            assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn discriminator_input_gradient_check() {
+        let mut d = Discriminator::new(3, 2, 7);
+        let values = [0.3, -0.2, 0.8, 0.1];
+        let d_dlogits = [1.0, -0.5, 0.2, 0.7];
+        let loss = |d: &Discriminator, v: &[f64]| -> f64 {
+            d.forward_seq(v)
+                .d_logits
+                .iter()
+                .zip(&d_dlogits)
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        d.zero_grad();
+        let trace = d.forward_seq(&values);
+        let dv = d.backward_seq(&trace, &d_dlogits, None);
+        let h = 1e-6;
+        for t in 0..4 {
+            let mut up = values;
+            up[t] += h;
+            let mut down = values;
+            down[t] -= h;
+            let numeric = (loss(&d, &up) - loss(&d, &down)) / (2.0 * h);
+            assert!((dv[t] - numeric).abs() < 1e-5, "dv[{t}]");
+        }
+    }
+
+    #[test]
+    fn q_head_gradient_flows_only_with_q_grads() {
+        let mut d = Discriminator::new(2, 2, 3);
+        let trace = d.forward_seq(&[0.5, 0.2]);
+        d.zero_grad();
+        let _ = d.backward_seq(&trace, &[1.0, 1.0], None);
+        let q_grad_norm: f64 = d
+            .q_params_mut()
+            .iter()
+            .map(|p| p.grad.norm())
+            .sum();
+        assert_eq!(q_grad_norm, 0.0, "q head untouched without q grads");
+        let qg = vec![vec![1.0, -1.0]; 2];
+        let _ = d.backward_seq(&trace, &[0.0, 0.0], Some(&qg));
+        let q_grad_norm: f64 = d.q_params_mut().iter().map(|p| p.grad.norm()).sum();
+        assert!(q_grad_norm > 0.0);
+    }
+
+    #[test]
+    fn param_partition_covers_everything() {
+        let mut d = Discriminator::new(2, 3, 1);
+        let adv: usize = d.adversarial_params_mut().iter().map(|p| p.len()).sum();
+        let q: usize = d.q_params_mut().iter().map(|p| p.len()).sum();
+        assert_eq!(adv + q, d.n_params());
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence must not be empty")]
+    fn discriminator_rejects_empty() {
+        let d = Discriminator::new(2, 2, 1);
+        let _ = d.forward_seq(&[]);
+    }
+}

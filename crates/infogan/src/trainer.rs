@@ -1,0 +1,700 @@
+//! Adversarial training loop implementing losses (23)–(26).
+
+use crate::latent::{one_hot, DemandQuantizer, NoiseSource};
+use crate::model::{Discriminator, Generator};
+use neural::activation::{softmax, softmax_backward};
+use neural::loss::{bce_with_logit, cross_entropy};
+use neural::optim::{clip_grad_norm, Adam};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters of the Info-RNN-GAN.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InfoGanConfig {
+    /// Number of location cells (latent classes).
+    pub n_cells: usize,
+    /// Hidden width of every Bi-LSTM direction.
+    pub hidden: usize,
+    /// Noise dimension of `z^t`.
+    pub noise_dim: usize,
+    /// Demand quantization levels in the generator head.
+    pub bins: usize,
+    /// Training window length (slots per sample).
+    pub window: usize,
+    /// Mutual-information weight `λ` in loss (24).
+    pub lambda: f64,
+    /// Supervised prediction weight `μ`: the generator's softmax head is
+    /// additionally trained with `μ`-weighted cross-entropy against the
+    /// quantized true demand level — the adversarial + prediction-loss
+    /// combination of [23] that the paper builds on. (Cross-entropy on
+    /// the level distribution rather than MSE on its expectation: the
+    /// expectation's gradient dies when the softmax saturates, CE's
+    /// `p − onehot` never does.)
+    pub mu: f64,
+    /// Generator learning rate.
+    pub lr_g: f64,
+    /// Discriminator learning rate.
+    pub lr_d: f64,
+    /// Global gradient-norm clip.
+    pub clip: f64,
+}
+
+impl InfoGanConfig {
+    /// Paper-scale defaults for `n_cells` latent classes.
+    pub fn paper_defaults(n_cells: usize) -> Self {
+        InfoGanConfig {
+            n_cells,
+            hidden: 16,
+            noise_dim: 4,
+            bins: 16,
+            window: 12,
+            lambda: 0.5,
+            mu: 1.0,
+            lr_g: 0.01,
+            lr_d: 0.01,
+            clip: 5.0,
+        }
+    }
+
+    /// A small configuration for tests and examples.
+    pub fn small(n_cells: usize) -> Self {
+        InfoGanConfig {
+            n_cells,
+            hidden: 8,
+            noise_dim: 2,
+            bins: 8,
+            window: 8,
+            lambda: 0.5,
+            mu: 1.0,
+            lr_g: 0.02,
+            lr_d: 0.02,
+            clip: 5.0,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.n_cells > 0, "need at least one cell");
+        assert!(self.hidden > 0, "hidden width must be positive");
+        assert!(self.noise_dim > 0, "noise dim must be positive");
+        assert!(self.bins >= 2, "need at least two bins");
+        assert!(self.window >= 2, "window must cover at least two slots");
+        assert!(self.lambda >= 0.0, "lambda must be non-negative");
+        assert!(self.mu >= 0.0, "mu must be non-negative");
+        assert!(self.lr_g > 0.0 && self.lr_d > 0.0, "learning rates positive");
+        assert!(self.clip > 0.0, "clip must be positive");
+    }
+}
+
+/// Losses of one adversarial step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepLosses {
+    /// Discriminator BCE (real + fake halves), loss (23) seen from `D`.
+    pub d_loss: f64,
+    /// Generator non-saturating adversarial loss.
+    pub g_adv: f64,
+    /// Categorical cross-entropy of the Q head (negative `L₁` up to
+    /// the constant entropy term `H(c)`).
+    pub q_ce: f64,
+}
+
+/// Per-epoch mean losses of a [`InfoRnnGan::fit`] run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TrainingReport {
+    /// Mean discriminator loss per epoch.
+    pub d_loss: Vec<f64>,
+    /// Mean generator adversarial loss per epoch.
+    pub g_adv: Vec<f64>,
+    /// Mean Q cross-entropy per epoch.
+    pub q_ce: Vec<f64>,
+}
+
+/// The full Info-RNN-GAN predictor.
+///
+/// See the crate docs for the architecture; the public surface is
+/// [`fit`](InfoRnnGan::fit) for offline training on a small trace,
+/// [`predict_next`](InfoRnnGan::predict_next) for one-step-ahead demand
+/// prediction conditioned on a cell's recent history, and
+/// [`online_update`](InfoRnnGan::online_update) for the per-slot
+/// adversarial feedback step of Algorithm 2 (the discriminator "observes
+/// the real data volume ... and calculates its loss").
+#[derive(Debug, Clone)]
+pub struct InfoRnnGan {
+    cfg: InfoGanConfig,
+    generator: Generator,
+    discriminator: Discriminator,
+    quant: DemandQuantizer,
+    noise: NoiseSource,
+    adam_g: Adam,
+    adam_d: Adam,
+    adam_q: Adam,
+    /// Normalization scale: demands are divided by this before entering
+    /// the networks.
+    scale: f64,
+    rng: StdRng,
+}
+
+impl InfoRnnGan {
+    /// Creates an untrained model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: InfoGanConfig, seed: u64) -> Self {
+        cfg.validate();
+        let g_input = 1 + cfg.noise_dim + cfg.n_cells;
+        InfoRnnGan {
+            generator: Generator::new(g_input, cfg.hidden, cfg.bins, seed ^ 0x6a4),
+            discriminator: Discriminator::new(cfg.hidden, cfg.n_cells, seed ^ 0xd15c),
+            quant: DemandQuantizer::uniform(cfg.bins, 1.0),
+            noise: NoiseSource::new(cfg.noise_dim, seed),
+            adam_g: Adam::new(cfg.lr_g),
+            adam_d: Adam::new(cfg.lr_d),
+            adam_q: Adam::new(cfg.lr_g),
+            scale: 1.0,
+            rng: StdRng::seed_from_u64(seed ^ 0x7a11),
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &InfoGanConfig {
+        &self.cfg
+    }
+
+    /// The demand normalization scale (set by [`InfoRnnGan::fit`]).
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Total trainable parameters.
+    pub fn n_params(&self) -> usize {
+        self.generator.n_params() + self.discriminator.n_params()
+    }
+
+    /// Serializes the trained weights (generator, discriminator, both
+    /// heads) and the normalization scale into a compact binary bundle
+    /// for checkpointing.
+    pub fn export_weights(&mut self) -> bytes::Bytes {
+        let mut scale = neural::Param::zeros(1, 1);
+        scale.value.set(0, 0, self.scale);
+        let mut params = self.generator.params_mut();
+        params.extend(self.discriminator.all_params_mut());
+        let mut refs: Vec<&neural::Param> = params.into_iter().map(|p| &*p).collect();
+        let scale_ref = &scale;
+        refs.push(scale_ref);
+        neural::export_params(&refs)
+    }
+
+    /// Restores weights written by [`InfoRnnGan::export_weights`] into a
+    /// model built with the *same configuration*.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`neural::CodecError`] if the bundle is malformed or
+    /// was exported from a differently-shaped model; the model is left
+    /// untouched on error.
+    pub fn import_weights(&mut self, bundle: bytes::Bytes) -> Result<(), neural::CodecError> {
+        let mut scale = neural::Param::zeros(1, 1);
+        {
+            let mut params = self.generator.params_mut();
+            params.extend(self.discriminator.all_params_mut());
+            params.push(&mut scale);
+            neural::import_params(&mut params, bundle)?;
+        }
+        self.scale = scale.value.get(0, 0).max(1e-9);
+        Ok(())
+    }
+
+    /// Trains on a set of demand series (one per sample; `cells[s]` is
+    /// the latent location cell of series `s`) for `epochs` epochs of one
+    /// random window per series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are empty/ragged, a series is shorter than
+    /// `window + 1`, or a cell index is out of range.
+    pub fn fit(&mut self, series: &[Vec<f64>], cells: &[usize], epochs: usize) -> TrainingReport {
+        assert!(!series.is_empty(), "need at least one series");
+        assert_eq!(series.len(), cells.len(), "one cell per series");
+        for s in series {
+            assert!(
+                s.len() > self.cfg.window,
+                "series must be longer than the window"
+            );
+        }
+        assert!(
+            cells.iter().all(|&c| c < self.cfg.n_cells),
+            "cell out of range"
+        );
+        // Normalization scale from the training data.
+        let max = series
+            .iter()
+            .flat_map(|s| s.iter())
+            .fold(0.0_f64, |a, &b| a.max(b));
+        self.scale = (max * 1.2).max(1e-9);
+
+        let mut report = TrainingReport::default();
+        for _ in 0..epochs {
+            let (mut d_sum, mut g_sum, mut q_sum) = (0.0, 0.0, 0.0);
+            for (s, &cell) in series.iter().zip(cells) {
+                let start = self.rng.random_range(0..=(s.len() - self.cfg.window - 1));
+                let window = &s[start..start + self.cfg.window + 1];
+                let losses = self.train_window(window, cell);
+                d_sum += losses.d_loss;
+                g_sum += losses.g_adv;
+                q_sum += losses.q_ce;
+            }
+            let n = series.len() as f64;
+            report.d_loss.push(d_sum / n);
+            report.g_adv.push(g_sum / n);
+            report.q_ce.push(q_sum / n);
+        }
+        report
+    }
+
+    /// One adversarial step on a raw (unnormalized) window of length
+    /// `window + 1`; the first value is the seed context, the remaining
+    /// `window` values are the real sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window has the wrong length or `cell` is out of
+    /// range.
+    pub fn train_window(&mut self, window: &[f64], cell: usize) -> StepLosses {
+        assert_eq!(
+            window.len(),
+            self.cfg.window + 1,
+            "window must hold window+1 values"
+        );
+        assert!(cell < self.cfg.n_cells, "cell out of range");
+        let w = self.cfg.window;
+        let norm: Vec<f64> = window.iter().map(|v| (v / self.scale).min(1.5)).collect();
+        let real: Vec<f64> = norm[1..].to_vec();
+        let code = one_hot(cell, self.cfg.n_cells);
+
+        // Conditioned generator inputs: teacher-forced previous value,
+        // fresh noise, latent code.
+        let make_inputs = |noise: &mut NoiseSource| -> Vec<Vec<f64>> {
+            (0..w)
+                .map(|t| {
+                    let mut x = Vec::with_capacity(1 + noise.dim() + code.len());
+                    x.push(norm[t]);
+                    x.extend(noise.sample());
+                    x.extend(code.iter().copied());
+                    x
+                })
+                .collect()
+        };
+
+        // ---- Discriminator step (maximize V' of Eq. 23). ----
+        let inputs = make_inputs(&mut self.noise);
+        let gen_trace = self.generator.forward_seq(&inputs);
+        let fake: Vec<f64> = gen_trace
+            .logits
+            .iter()
+            .map(|l| self.quant.expectation_of_logits(l))
+            .collect();
+
+        self.discriminator.zero_grad();
+        let real_trace = self.discriminator.forward_seq(&real);
+        let mut d_loss = 0.0;
+        let mut q_ce = 0.0;
+        let d_grads_real: Vec<f64> = real_trace
+            .d_logits
+            .iter()
+            .map(|&logit| {
+                let (l, g) = bce_with_logit(logit, 1.0);
+                d_loss += l / w as f64;
+                g / w as f64
+            })
+            .collect();
+        // The Q head also learns from the *real* labelled pass: the
+        // trace carries the true location cell, so Q's variational
+        // approximation of P(c | ρ) gets a direct supervised signal in
+        // addition to the fake-pass term that steers the generator.
+        let q_grads_real: Vec<Vec<f64>> = real_trace
+            .q_logits
+            .iter()
+            .map(|logits| {
+                let qp = softmax(logits);
+                let (l, dprobs) = cross_entropy(&qp, cell);
+                q_ce += l / w as f64;
+                let dlogits = softmax_backward(&qp, &dprobs);
+                dlogits
+                    .into_iter()
+                    .map(|g| g * self.cfg.lambda / w as f64)
+                    .collect()
+            })
+            .collect();
+        let _ = self
+            .discriminator
+            .backward_seq(&real_trace, &d_grads_real, Some(&q_grads_real));
+        let fake_trace = self.discriminator.forward_seq(&fake);
+        let d_grads_fake: Vec<f64> = fake_trace
+            .d_logits
+            .iter()
+            .map(|&logit| {
+                let (l, g) = bce_with_logit(logit, 0.0);
+                d_loss += l / w as f64;
+                g / w as f64
+            })
+            .collect();
+        let _ = self
+            .discriminator
+            .backward_seq(&fake_trace, &d_grads_fake, None);
+        {
+            let mut params = self.discriminator.adversarial_params_mut();
+            clip_grad_norm(&mut params, self.cfg.clip);
+            self.adam_d.step(params);
+        }
+        {
+            let mut params = self.discriminator.q_params_mut();
+            clip_grad_norm(&mut params, self.cfg.clip);
+            self.adam_q.step(params);
+        }
+        self.discriminator.zero_grad();
+
+        // ---- Generator + Q step (loss 26). ----
+        self.generator.zero_grad();
+        let inputs = make_inputs(&mut self.noise);
+        let gen_trace = self.generator.forward_seq(&inputs);
+        let probs: Vec<Vec<f64>> = gen_trace.logits.iter().map(|l| softmax(l)).collect();
+        let fake: Vec<f64> = probs.iter().map(|p| self.quant.expectation(p)).collect();
+        let fake_trace = self.discriminator.forward_seq(&fake);
+
+        let mut g_adv = 0.0;
+        let d_grads: Vec<f64> = fake_trace
+            .d_logits
+            .iter()
+            .map(|&logit| {
+                // Non-saturating generator objective: minimize
+                // −log D(fake).
+                let (l, g) = bce_with_logit(logit, 1.0);
+                g_adv += l / w as f64;
+                g / w as f64
+            })
+            .collect();
+        let q_grads: Vec<Vec<f64>> = fake_trace
+            .q_logits
+            .iter()
+            .map(|logits| {
+                let qp = softmax(logits);
+                let (_, dprobs) = cross_entropy(&qp, cell);
+                let dlogits = softmax_backward(&qp, &dprobs);
+                dlogits
+                    .into_iter()
+                    .map(|g| g * self.cfg.lambda / w as f64)
+                    .collect()
+            })
+            .collect();
+        let d_values = self
+            .discriminator
+            .backward_seq(&fake_trace, &d_grads, Some(&q_grads));
+
+        // Route the adversarial value gradients through the
+        // softmax-expectation head into the generator logits, then add
+        // the supervised prediction term — μ-weighted cross-entropy of
+        // the softmax against the quantized true level (the adversarial
+        // + reconstruction combination of [23]). CE on the level
+        // distribution rather than MSE on its expectation: the
+        // expectation's gradient dies once the softmax saturates, while
+        // CE's `p − onehot` never vanishes. Without a supervised term a
+        // GAN matches the marginal demand distribution but has no
+        // incentive to track the *current* trajectory.
+        let levels = self.quant.expectation_grad().to_vec();
+        let d_logits: Vec<Vec<f64>> = probs
+            .iter()
+            .zip(&d_values)
+            .enumerate()
+            .map(|(t, (p, &dv))| {
+                let dprobs: Vec<f64> = levels.iter().map(|&lv| lv * dv).collect();
+                let mut dl = softmax_backward(p, &dprobs);
+                let target = self.quant.bin_of(real[t]);
+                for (b, g) in dl.iter_mut().enumerate() {
+                    let onehot = if b == target { 1.0 } else { 0.0 };
+                    *g += self.cfg.mu * (p[b] - onehot) / w as f64;
+                }
+                dl
+            })
+            .collect();
+        self.generator.backward_seq(&inputs, &gen_trace, &d_logits);
+        {
+            let mut params = self.generator.params_mut();
+            clip_grad_norm(&mut params, self.cfg.clip);
+            self.adam_g.step(params);
+        }
+        self.generator.zero_grad();
+        {
+            let mut params = self.discriminator.q_params_mut();
+            clip_grad_norm(&mut params, self.cfg.clip);
+            self.adam_q.step(params);
+        }
+        self.discriminator.zero_grad();
+
+        StepLosses {
+            d_loss,
+            g_adv,
+            q_ce,
+        }
+    }
+
+    /// One-step-ahead demand prediction for a cell, conditioned on its
+    /// recent raw demand history (most recent value last). Histories
+    /// shorter than the window are left-padded with their first value;
+    /// an empty history predicts from a zero context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn predict_next(&mut self, history: &[f64], cell: usize) -> f64 {
+        assert!(cell < self.cfg.n_cells, "cell out of range");
+        let w = self.cfg.window;
+        let pad = history.first().copied().unwrap_or(0.0);
+        let mut ctx: Vec<f64> = Vec::with_capacity(w);
+        for t in 0..w {
+            let idx = (history.len() + t).checked_sub(w);
+            ctx.push(match idx {
+                Some(i) if i < history.len() => history[i],
+                _ => pad,
+            });
+        }
+        let code = one_hot(cell, self.cfg.n_cells);
+        let inputs: Vec<Vec<f64>> = ctx
+            .iter()
+            .map(|&v| {
+                let mut x = Vec::with_capacity(1 + self.cfg.noise_dim + code.len());
+                x.push((v / self.scale).min(1.5));
+                x.extend(self.noise.sample());
+                x.extend(code.iter().copied());
+                x
+            })
+            .collect();
+        let trace = self.generator.forward_seq(&inputs);
+        let last = trace.logits.last().expect("non-empty window");
+        (self.quant.expectation_of_logits(last) * self.scale).max(0.0)
+    }
+
+    /// The per-slot adversarial feedback of Algorithm 2: one training
+    /// step on the latest `window + 1` raw values of a cell's history.
+    /// Histories shorter than `window + 1` are left-padded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range or `history` is empty.
+    pub fn online_update(&mut self, history: &[f64], cell: usize) -> StepLosses {
+        assert!(!history.is_empty(), "history must not be empty");
+        let need = self.cfg.window + 1;
+        let mut window: Vec<f64> = Vec::with_capacity(need);
+        if history.len() >= need {
+            window.extend_from_slice(&history[history.len() - need..]);
+        } else {
+            window.extend(std::iter::repeat_n(history[0], need - history.len()));
+            window.extend_from_slice(history);
+        }
+        self.train_window(&window, cell)
+    }
+
+    /// Infers the latent cell of a raw demand sequence through the Q
+    /// head (majority vote over per-step argmaxes). Used to audit the
+    /// mutual-information term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn infer_cell(&self, values: &[f64]) -> usize {
+        assert!(!values.is_empty(), "sequence must not be empty");
+        let norm: Vec<f64> = values.iter().map(|v| (v / self.scale).min(1.5)).collect();
+        let trace = self.discriminator.forward_seq(&norm);
+        let mut votes = vec![0usize; self.cfg.n_cells];
+        for logits in &trace.q_logits {
+            let qp = softmax(logits);
+            let best = qp
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .expect("non-empty q vector");
+            votes[best] += 1;
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &v)| v)
+            .map(|(i, _)| i)
+            .expect("non-empty votes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two clearly separated cells: calm around 1.0, bursty around 8.0
+    /// with periodic spikes.
+    fn synthetic_series(len: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let calm: Vec<f64> = (0..len).map(|t| 1.0 + 0.1 * ((t % 5) as f64)).collect();
+        let bursty: Vec<f64> = (0..len)
+            .map(|t| if t % 7 < 2 { 8.0 } else { 3.0 })
+            .collect();
+        (vec![calm, bursty], vec![0, 1])
+    }
+
+    #[test]
+    fn fit_runs_and_reports_losses() {
+        let mut gan = InfoRnnGan::new(InfoGanConfig::small(2), 3);
+        let (series, cells) = synthetic_series(40);
+        let report = gan.fit(&series, &cells, 5);
+        assert_eq!(report.d_loss.len(), 5);
+        assert!(report.d_loss.iter().all(|l| l.is_finite() && *l > 0.0));
+        assert!(report.g_adv.iter().all(|l| l.is_finite()));
+        assert!(report.q_ce.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn q_cross_entropy_falls_during_training() {
+        let mut gan = InfoRnnGan::new(InfoGanConfig::small(2), 5);
+        let (series, cells) = synthetic_series(60);
+        let report = gan.fit(&series, &cells, 40);
+        let early: f64 = report.q_ce[..5].iter().sum::<f64>() / 5.0;
+        let late: f64 = report.q_ce[35..].iter().sum::<f64>() / 5.0;
+        assert!(
+            late < early,
+            "MI bound should improve: early {early}, late {late}"
+        );
+    }
+
+    #[test]
+    fn predictions_separate_calm_and_bursty_cells() {
+        let mut gan = InfoRnnGan::new(InfoGanConfig::small(2), 7);
+        let (series, cells) = synthetic_series(60);
+        gan.fit(&series, &cells, 60);
+        // Average a few stochastic predictions per cell.
+        let mut calm = 0.0;
+        let mut bursty = 0.0;
+        for _ in 0..10 {
+            calm += gan.predict_next(&series[0][..20], 0) / 10.0;
+            bursty += gan.predict_next(&series[1][..20], 1) / 10.0;
+        }
+        assert!(
+            bursty > calm,
+            "bursty cell must predict higher demand: {bursty} vs {calm}"
+        );
+    }
+
+    #[test]
+    fn predictions_are_non_negative_and_finite() {
+        let mut gan = InfoRnnGan::new(InfoGanConfig::small(3), 11);
+        let series = vec![vec![2.0; 30], vec![4.0; 30], vec![6.0; 30]];
+        gan.fit(&series, &[0, 1, 2], 10);
+        for cell in 0..3 {
+            let p = gan.predict_next(&[5.0, 5.0], cell);
+            assert!(p.is_finite() && p >= 0.0);
+        }
+    }
+
+    #[test]
+    fn predict_with_empty_history_works() {
+        let mut gan = InfoRnnGan::new(InfoGanConfig::small(2), 1);
+        let p = gan.predict_next(&[], 0);
+        assert!(p.is_finite() && p >= 0.0);
+    }
+
+    #[test]
+    fn online_update_accepts_short_history() {
+        let mut gan = InfoRnnGan::new(InfoGanConfig::small(2), 1);
+        let losses = gan.online_update(&[3.0], 1);
+        assert!(losses.d_loss.is_finite());
+        assert!(losses.g_adv.is_finite());
+    }
+
+    #[test]
+    fn infer_cell_recovers_latent_after_training() {
+        let mut gan = InfoRnnGan::new(InfoGanConfig::small(2), 13);
+        let (series, cells) = synthetic_series(60);
+        gan.fit(&series, &cells, 80);
+        // The Q head is trained on *generated* data; for well-separated
+        // cells it should still classify the real series correctly.
+        let c0 = gan.infer_cell(&series[0][..16]);
+        let c1 = gan.infer_cell(&series[1][..16]);
+        assert!(
+            c0 != c1,
+            "Q head should separate the two cells (got {c0} and {c1})"
+        );
+    }
+
+    #[test]
+    fn scale_tracks_training_maximum() {
+        let mut gan = InfoRnnGan::new(InfoGanConfig::small(1), 1);
+        let series = vec![vec![5.0; 30]];
+        gan.fit(&series, &[0], 1);
+        assert!((gan.scale() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn n_params_is_substantial() {
+        let gan = InfoRnnGan::new(InfoGanConfig::paper_defaults(4), 1);
+        assert!(gan.n_params() > 10_000, "got {}", gan.n_params());
+    }
+
+    #[test]
+    #[should_panic(expected = "series must be longer than the window")]
+    fn short_series_rejected() {
+        let mut gan = InfoRnnGan::new(InfoGanConfig::small(1), 1);
+        let _ = gan.fit(&[vec![1.0; 3]], &[0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell out of range")]
+    fn bad_cell_rejected() {
+        let mut gan = InfoRnnGan::new(InfoGanConfig::small(1), 1);
+        let _ = gan.predict_next(&[1.0], 5);
+    }
+
+    #[test]
+    fn weight_round_trip_preserves_predictions() {
+        let (series, cells) = synthetic_series(40);
+        let mut trained = InfoRnnGan::new(InfoGanConfig::small(2), 3);
+        trained.fit(&series, &cells, 20);
+        let bundle = trained.export_weights();
+        let mut fresh = InfoRnnGan::new(InfoGanConfig::small(2), 99);
+        fresh.import_weights(bundle).expect("same shape");
+        assert_eq!(fresh.scale(), trained.scale());
+        // Same weights + same noise seed would match exactly; different
+        // noise seeds still agree in expectation — check determinism by
+        // re-importing into a clone with the same seed instead.
+        let bundle2 = trained.export_weights();
+        let mut twin = InfoRnnGan::new(InfoGanConfig::small(2), 3);
+        twin.import_weights(bundle2).expect("same shape");
+        // twin now has trained weights but its noise stream is at a
+        // different position than `trained`; compare through infer_cell,
+        // which is deterministic (no noise).
+        assert_eq!(
+            twin.infer_cell(&series[0][..16]),
+            trained.infer_cell(&series[0][..16])
+        );
+    }
+
+    #[test]
+    fn import_rejects_differently_shaped_model() {
+        let mut small = InfoRnnGan::new(InfoGanConfig::small(2), 1);
+        let bundle = small.export_weights();
+        let mut big = InfoRnnGan::new(InfoGanConfig::paper_defaults(2), 1);
+        assert!(big.import_weights(bundle).is_err());
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let (series, cells) = synthetic_series(40);
+        let mut a = InfoRnnGan::new(InfoGanConfig::small(2), 9);
+        let mut b = InfoRnnGan::new(InfoGanConfig::small(2), 9);
+        let ra = a.fit(&series, &cells, 3);
+        let rb = b.fit(&series, &cells, 3);
+        assert_eq!(ra, rb);
+        // Identical post-training predictions need identical noise draws.
+        assert_eq!(
+            a.predict_next(&series[0][..10], 0),
+            b.predict_next(&series[0][..10], 0)
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! 5G heterogeneous MEC network substrate.
+//!
+//! This crate models the network side of *Learning for Exception: Dynamic
+//! Service Caching in 5G-Enabled MECs with Bursty User Demands* (ICDCS 2020):
+//! a 5G-enabled heterogeneous mobile edge computing network
+//! `G = (BS, E)` in which each base station carries a cloudlet with a
+//! computing capacity, and the delay of processing a unit of data at each
+//! base station is a per-time-slot stochastic process that algorithms must
+//! learn online.
+//!
+//! The crate provides:
+//!
+//! * [`BaseStation`] / [`Tier`] — macro, micro and femto base stations with
+//!   the capacity, bandwidth, coverage-radius and transmit-power ranges of
+//!   the paper's §VI-A parameter table.
+//! * [`Topology`] — the interconnection graph plus spatial placement, with
+//!   the two generators used in the paper's evaluation:
+//!   [`topology::gtitm`] (GT-ITM-equivalent flat random graph with
+//!   connection probability 0.1) and [`topology::as1755`] (an embedded
+//!   deterministic generator shaped like the Rocketfuel AS1755 map).
+//! * [`delay`] — unit-processing-delay processes `X_i(t)` per base station
+//!   (uniform per-tier, congestion-modulated, drifting) and instantiation
+//!   delays `d_ins(i, k)` for caching a service instance.
+//!
+//! # Example
+//!
+//! ```
+//! use mec_net::{NetworkConfig, topology::gtitm};
+//!
+//! let cfg = NetworkConfig::paper_defaults();
+//! let topo = gtitm::generate(100, &cfg, 42);
+//! assert_eq!(topo.len(), 100);
+//! // Exactly one macro cell sits at the centre of the deployment.
+//! assert!(topo.stations().iter().any(|b| b.tier().is_macro()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delay;
+pub mod params;
+pub mod station;
+pub mod topology;
+
+pub use delay::{DelayProcess, DelaySample, InstantiationDelays};
+pub use params::{NetworkConfig, TierParams};
+pub use station::{BaseStation, BsId, Tier};
+pub use topology::Topology;

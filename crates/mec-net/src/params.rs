@@ -1,0 +1,312 @@
+//! Parameter ranges from the paper's §VI-A experiment settings.
+
+use crate::station::Tier;
+use serde::{Deserialize, Serialize};
+
+/// Inclusive `[lo, hi]` range of a scalar parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Range {
+    /// Lower bound (inclusive).
+    pub lo: f64,
+    /// Upper bound (inclusive).
+    pub hi: f64,
+}
+
+impl Range {
+    /// Creates a range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is non-finite.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite(), "range bounds must be finite");
+        assert!(lo <= hi, "range lower bound must not exceed upper bound");
+        Range { lo, hi }
+    }
+
+    /// Midpoint of the range.
+    pub fn mid(self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// Draws a uniform sample from the range.
+    pub fn sample<R: rand::Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        if self.lo == self.hi {
+            self.lo
+        } else {
+            rng.random_range(self.lo..=self.hi)
+        }
+    }
+
+    /// Whether `v` lies in the range (inclusive).
+    pub fn contains(self, v: f64) -> bool {
+        v >= self.lo && v <= self.hi
+    }
+}
+
+/// Per-tier parameters: capacity, bandwidth, unit delay, geometry, power.
+///
+/// Defaults follow the paper: e.g. each macro base station has a computing
+/// capacity in `[8000, 16000]` MHz, bandwidth in `[500, 1000]` Mbps, a user
+/// processing delay in `[30, 50]` ms, a 100 m radius and 40 W transmit power.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TierParams {
+    /// Computing capacity range in MHz.
+    pub capacity_mhz: Range,
+    /// Bandwidth range in Mbps.
+    pub bandwidth_mbps: Range,
+    /// Average unit-processing-delay range in milliseconds. This is the
+    /// support of the stochastic process `X_i(t)` for stations of the tier.
+    pub unit_delay_ms: Range,
+    /// Coverage radius in metres.
+    pub radius_m: f64,
+    /// Transmit power in watts.
+    pub transmit_power_w: f64,
+}
+
+impl TierParams {
+    /// Paper defaults for one tier (§VI-A).
+    pub fn paper_defaults(tier: Tier) -> Self {
+        match tier {
+            Tier::Macro => TierParams {
+                capacity_mhz: Range::new(8_000.0, 16_000.0),
+                bandwidth_mbps: Range::new(500.0, 1_000.0),
+                unit_delay_ms: Range::new(30.0, 50.0),
+                radius_m: 100.0,
+                transmit_power_w: 40.0,
+            },
+            Tier::Micro => TierParams {
+                capacity_mhz: Range::new(5_000.0, 10_000.0),
+                bandwidth_mbps: Range::new(200.0, 500.0),
+                unit_delay_ms: Range::new(10.0, 20.0),
+                radius_m: 30.0,
+                transmit_power_w: 5.0,
+            },
+            Tier::Femto => TierParams {
+                capacity_mhz: Range::new(1_000.0, 2_000.0),
+                bandwidth_mbps: Range::new(1_000.0, 2_000.0),
+                unit_delay_ms: Range::new(5.0, 10.0),
+                radius_m: 15.0,
+                transmit_power_w: 0.1,
+            },
+        }
+    }
+}
+
+/// Full network configuration: per-tier parameters, tier mix, connection
+/// probability and remote-data-centre delay.
+///
+/// Construct via [`NetworkConfig::paper_defaults`] and adjust fields, or use
+/// the [`NetworkConfig::builder`].
+///
+/// # Example
+///
+/// ```
+/// use mec_net::NetworkConfig;
+/// let cfg = NetworkConfig::builder()
+///     .connect_probability(0.2)
+///     .macro_fraction(0.1)
+///     .build();
+/// assert_eq!(cfg.connect_probability, 0.2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Parameters for macro stations.
+    pub macro_params: TierParams,
+    /// Parameters for micro stations.
+    pub micro_params: TierParams,
+    /// Parameters for femto stations.
+    pub femto_params: TierParams,
+    /// Fraction of stations that are macro cells (the rest split evenly
+    /// between micro and femto). The paper deploys one macro per region;
+    /// we default to 10% macro which matches its 100-BS scenario density.
+    pub macro_fraction: f64,
+    /// Probability that a pair of base stations is connected (paper: 0.1).
+    pub connect_probability: f64,
+    /// Delay range experienced at the remote data centre, in ms
+    /// (paper: `[50, 100]` ms). Used as the fallback when no cached
+    /// instance can serve a request.
+    pub remote_dc_delay_ms: Range,
+    /// System bandwidth in MHz (paper: 20 MHz, 3GPP).
+    pub system_bandwidth_mhz: f64,
+}
+
+impl NetworkConfig {
+    /// The paper's §VI-A parameter table.
+    pub fn paper_defaults() -> Self {
+        NetworkConfig {
+            macro_params: TierParams::paper_defaults(Tier::Macro),
+            micro_params: TierParams::paper_defaults(Tier::Micro),
+            femto_params: TierParams::paper_defaults(Tier::Femto),
+            macro_fraction: 0.1,
+            connect_probability: 0.1,
+            remote_dc_delay_ms: Range::new(50.0, 100.0),
+            system_bandwidth_mhz: 20.0,
+        }
+    }
+
+    /// Starts a builder seeded with [`NetworkConfig::paper_defaults`].
+    pub fn builder() -> NetworkConfigBuilder {
+        NetworkConfigBuilder {
+            cfg: Self::paper_defaults(),
+        }
+    }
+
+    /// Parameters of the given tier.
+    pub fn tier(&self, tier: Tier) -> &TierParams {
+        match tier {
+            Tier::Macro => &self.macro_params,
+            Tier::Micro => &self.micro_params,
+            Tier::Femto => &self.femto_params,
+        }
+    }
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+/// Builder for [`NetworkConfig`].
+#[derive(Debug, Clone)]
+pub struct NetworkConfigBuilder {
+    cfg: NetworkConfig,
+}
+
+impl NetworkConfigBuilder {
+    /// Sets the pairwise connection probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn connect_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.cfg.connect_probability = p;
+        self
+    }
+
+    /// Sets the fraction of macro stations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is not in `[0, 1]`.
+    pub fn macro_fraction(mut self, f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f), "fraction must be in [0, 1]");
+        self.cfg.macro_fraction = f;
+        self
+    }
+
+    /// Overrides the parameters of one tier.
+    pub fn tier_params(mut self, tier: Tier, params: TierParams) -> Self {
+        match tier {
+            Tier::Macro => self.cfg.macro_params = params,
+            Tier::Micro => self.cfg.micro_params = params,
+            Tier::Femto => self.cfg.femto_params = params,
+        }
+        self
+    }
+
+    /// Sets the remote data-centre delay range in ms.
+    pub fn remote_dc_delay_ms(mut self, lo: f64, hi: f64) -> Self {
+        self.cfg.remote_dc_delay_ms = Range::new(lo, hi);
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> NetworkConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn range_midpoint() {
+        assert_eq!(Range::new(2.0, 4.0).mid(), 3.0);
+    }
+
+    #[test]
+    fn range_sample_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = Range::new(5.0, 10.0);
+        for _ in 0..100 {
+            let v = r.sample(&mut rng);
+            assert!(r.contains(v), "{v} outside {r:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_range_samples_constant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = Range::new(7.0, 7.0);
+        assert_eq!(r.sample(&mut rng), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound must not exceed")]
+    fn inverted_range_rejected() {
+        let _ = Range::new(2.0, 1.0);
+    }
+
+    #[test]
+    fn paper_defaults_match_section_6a() {
+        let cfg = NetworkConfig::paper_defaults();
+        assert_eq!(cfg.macro_params.capacity_mhz, Range::new(8_000.0, 16_000.0));
+        assert_eq!(cfg.macro_params.unit_delay_ms, Range::new(30.0, 50.0));
+        assert_eq!(cfg.macro_params.radius_m, 100.0);
+        assert_eq!(cfg.micro_params.capacity_mhz, Range::new(5_000.0, 10_000.0));
+        assert_eq!(cfg.micro_params.unit_delay_ms, Range::new(10.0, 20.0));
+        assert_eq!(cfg.micro_params.radius_m, 30.0);
+        assert_eq!(cfg.femto_params.capacity_mhz, Range::new(1_000.0, 2_000.0));
+        assert_eq!(cfg.femto_params.unit_delay_ms, Range::new(5.0, 10.0));
+        assert_eq!(cfg.femto_params.radius_m, 15.0);
+        assert_eq!(cfg.connect_probability, 0.1);
+        assert_eq!(cfg.remote_dc_delay_ms, Range::new(50.0, 100.0));
+        assert_eq!(cfg.system_bandwidth_mhz, 20.0);
+    }
+
+    #[test]
+    fn tier_lookup_matches_fields() {
+        let cfg = NetworkConfig::paper_defaults();
+        assert_eq!(cfg.tier(Tier::Macro), &cfg.macro_params);
+        assert_eq!(cfg.tier(Tier::Micro), &cfg.micro_params);
+        assert_eq!(cfg.tier(Tier::Femto), &cfg.femto_params);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let custom = TierParams {
+            capacity_mhz: Range::new(1.0, 2.0),
+            bandwidth_mbps: Range::new(1.0, 2.0),
+            unit_delay_ms: Range::new(1.0, 2.0),
+            radius_m: 9.0,
+            transmit_power_w: 1.0,
+        };
+        let cfg = NetworkConfig::builder()
+            .connect_probability(0.5)
+            .macro_fraction(0.25)
+            .tier_params(Tier::Femto, custom)
+            .remote_dc_delay_ms(70.0, 80.0)
+            .build();
+        assert_eq!(cfg.connect_probability, 0.5);
+        assert_eq!(cfg.macro_fraction, 0.25);
+        assert_eq!(cfg.femto_params, custom);
+        assert_eq!(cfg.remote_dc_delay_ms, Range::new(70.0, 80.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in [0, 1]")]
+    fn builder_rejects_bad_probability() {
+        let _ = NetworkConfig::builder().connect_probability(1.5);
+    }
+
+    #[test]
+    fn default_is_paper_defaults() {
+        assert_eq!(NetworkConfig::default(), NetworkConfig::paper_defaults());
+    }
+}

@@ -1,0 +1,328 @@
+//! Base stations and their tiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a base station inside one [`crate::Topology`].
+///
+/// Ids are dense indices (`0..n`), which lets algorithm crates use them
+/// directly as row/column indices into LP matrices and bandit-arm tables.
+///
+/// # Example
+///
+/// ```
+/// use mec_net::BsId;
+/// let id = BsId(3);
+/// assert_eq!(id.index(), 3);
+/// assert_eq!(format!("{id}"), "bs3");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct BsId(pub usize);
+
+impl BsId {
+    /// The dense index of this base station.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for BsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bs{}", self.0)
+    }
+}
+
+impl From<usize> for BsId {
+    fn from(i: usize) -> Self {
+        BsId(i)
+    }
+}
+
+/// The tier of a base station in the multi-tier 5G heterogeneous network.
+///
+/// The paper considers "three kinds of base stations, i.e., macro, micro,
+/// and femto base stations" (§VI-A), with heterogeneous computing
+/// capacities, coverage radii and transmit powers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Tier {
+    /// Macro cell: highest capacity, widest coverage (100 m radius, 40 W).
+    Macro,
+    /// Micro cell: mid capacity, 30 m radius, 5 W.
+    Micro,
+    /// Femto cell: lowest capacity, 15 m radius, 0.1 W.
+    Femto,
+}
+
+impl Tier {
+    /// All tiers, macro first.
+    pub const ALL: [Tier; 3] = [Tier::Macro, Tier::Micro, Tier::Femto];
+
+    /// Whether this is the macro tier.
+    ///
+    /// ```
+    /// use mec_net::Tier;
+    /// assert!(Tier::Macro.is_macro());
+    /// assert!(!Tier::Femto.is_macro());
+    /// ```
+    #[inline]
+    pub fn is_macro(self) -> bool {
+        matches!(self, Tier::Macro)
+    }
+
+    /// Short lowercase name (`"macro"`, `"micro"`, `"femto"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Macro => "macro",
+            Tier::Micro => "micro",
+            Tier::Femto => "femto",
+        }
+    }
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A 2-D deployment position in metres.
+///
+/// The paper deploys the macro base station at the centre, with femto and
+/// micro cells placed randomly within the macro transmission region.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Position {
+    /// X coordinate in metres.
+    pub x: f64,
+    /// Y coordinate in metres.
+    pub y: f64,
+}
+
+impl Position {
+    /// Creates a position from coordinates in metres.
+    pub fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    /// Euclidean distance to another position, in metres.
+    ///
+    /// ```
+    /// use mec_net::station::Position;
+    /// let a = Position::new(0.0, 0.0);
+    /// let b = Position::new(3.0, 4.0);
+    /// assert_eq!(a.distance(b), 5.0);
+    /// ```
+    pub fn distance(self, other: Position) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+}
+
+/// A 5G base station with an attached cloudlet.
+///
+/// Capacities are in MHz of virtualized computing resource (the paper's
+/// `C(bs_i)`), bandwidth in Mbps, radius in metres, transmit power in watts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaseStation {
+    id: BsId,
+    tier: Tier,
+    position: Position,
+    capacity_mhz: f64,
+    bandwidth_mbps: f64,
+    radius_m: f64,
+    transmit_power_w: f64,
+}
+
+impl BaseStation {
+    /// Creates a base station.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_mhz`, `bandwidth_mbps` or `radius_m` is not
+    /// strictly positive — a cloudlet with no capacity cannot host any
+    /// service instance and would silently break capacity constraints.
+    pub fn new(
+        id: BsId,
+        tier: Tier,
+        position: Position,
+        capacity_mhz: f64,
+        bandwidth_mbps: f64,
+        radius_m: f64,
+        transmit_power_w: f64,
+    ) -> Self {
+        assert!(capacity_mhz > 0.0, "capacity must be positive");
+        assert!(bandwidth_mbps > 0.0, "bandwidth must be positive");
+        assert!(radius_m > 0.0, "radius must be positive");
+        BaseStation {
+            id,
+            tier,
+            position,
+            capacity_mhz,
+            bandwidth_mbps,
+            radius_m,
+            transmit_power_w,
+        }
+    }
+
+    /// The station's identifier.
+    #[inline]
+    pub fn id(&self) -> BsId {
+        self.id
+    }
+
+    /// The station's tier.
+    #[inline]
+    pub fn tier(&self) -> Tier {
+        self.tier
+    }
+
+    /// Deployment position in metres.
+    #[inline]
+    pub fn position(&self) -> Position {
+        self.position
+    }
+
+    /// Computing capacity `C(bs_i)` of the attached cloudlet, in MHz.
+    #[inline]
+    pub fn capacity_mhz(&self) -> f64 {
+        self.capacity_mhz
+    }
+
+    /// Bandwidth capacity in Mbps.
+    #[inline]
+    pub fn bandwidth_mbps(&self) -> f64 {
+        self.bandwidth_mbps
+    }
+
+    /// Coverage radius in metres.
+    #[inline]
+    pub fn radius_m(&self) -> f64 {
+        self.radius_m
+    }
+
+    /// Transmit power in watts.
+    #[inline]
+    pub fn transmit_power_w(&self) -> f64 {
+        self.transmit_power_w
+    }
+
+    /// Whether a point lies within this station's transmission range.
+    ///
+    /// ```
+    /// use mec_net::{BaseStation, BsId, Tier};
+    /// use mec_net::station::Position;
+    /// let bs = BaseStation::new(
+    ///     BsId(0), Tier::Femto, Position::new(0.0, 0.0), 1500.0, 1500.0, 15.0, 0.1,
+    /// );
+    /// assert!(bs.covers(Position::new(10.0, 10.0)));
+    /// assert!(!bs.covers(Position::new(20.0, 20.0)));
+    /// ```
+    pub fn covers(&self, p: Position) -> bool {
+        self.position.distance(p) <= self.radius_m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bs_id_display_and_index() {
+        assert_eq!(BsId(7).index(), 7);
+        assert_eq!(BsId::from(7), BsId(7));
+        assert_eq!(BsId(7).to_string(), "bs7");
+    }
+
+    #[test]
+    fn bs_id_ordering_is_index_ordering() {
+        assert!(BsId(1) < BsId(2));
+        assert_eq!(BsId::default(), BsId(0));
+    }
+
+    #[test]
+    fn tier_names() {
+        assert_eq!(Tier::Macro.to_string(), "macro");
+        assert_eq!(Tier::Micro.to_string(), "micro");
+        assert_eq!(Tier::Femto.to_string(), "femto");
+    }
+
+    #[test]
+    fn tier_all_covers_each_variant_once() {
+        assert_eq!(Tier::ALL.len(), 3);
+        assert!(Tier::ALL.contains(&Tier::Macro));
+        assert!(Tier::ALL.contains(&Tier::Micro));
+        assert!(Tier::ALL.contains(&Tier::Femto));
+    }
+
+    #[test]
+    fn position_distance_is_symmetric() {
+        let a = Position::new(1.0, 2.0);
+        let b = Position::new(4.0, 6.0);
+        assert_eq!(a.distance(b), b.distance(a));
+        assert_eq!(a.distance(a), 0.0);
+    }
+
+    #[test]
+    fn coverage_boundary_is_inclusive() {
+        let bs = BaseStation::new(
+            BsId(0),
+            Tier::Micro,
+            Position::new(0.0, 0.0),
+            5000.0,
+            300.0,
+            30.0,
+            5.0,
+        );
+        assert!(bs.covers(Position::new(30.0, 0.0)));
+        assert!(!bs.covers(Position::new(30.01, 0.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = BaseStation::new(
+            BsId(0),
+            Tier::Femto,
+            Position::default(),
+            0.0,
+            100.0,
+            15.0,
+            0.1,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must be positive")]
+    fn negative_radius_rejected() {
+        let _ = BaseStation::new(
+            BsId(0),
+            Tier::Femto,
+            Position::default(),
+            100.0,
+            100.0,
+            -1.0,
+            0.1,
+        );
+    }
+
+    #[test]
+    fn getters_round_trip() {
+        let bs = BaseStation::new(
+            BsId(2),
+            Tier::Macro,
+            Position::new(5.0, -3.0),
+            12_000.0,
+            800.0,
+            100.0,
+            40.0,
+        );
+        assert_eq!(bs.id(), BsId(2));
+        assert_eq!(bs.tier(), Tier::Macro);
+        assert_eq!(bs.position(), Position::new(5.0, -3.0));
+        assert_eq!(bs.capacity_mhz(), 12_000.0);
+        assert_eq!(bs.bandwidth_mbps(), 800.0);
+        assert_eq!(bs.radius_m(), 100.0);
+        assert_eq!(bs.transmit_power_w(), 40.0);
+    }
+}

@@ -1,0 +1,244 @@
+//! GT-ITM-equivalent flat random topology generator.
+//!
+//! The paper generates each synthetic topology with GT-ITM where "each pair
+//! of base station has a probability of 0.1 of being connected". In flat
+//! mode GT-ITM produces exactly an Erdős–Rényi random graph, which is what
+//! this module implements, plus the paper's spatial tier layout: "the macro
+//! base station is deployed in the center while the femto and micro base
+//! stations are randomly deployed within the transmission region of the
+//! macro base station".
+//!
+//! Generated graphs are post-processed to be connected (a disconnected
+//! station could never exchange services, and the paper assumes every
+//! request is servable).
+
+use super::Topology;
+use crate::params::NetworkConfig;
+use crate::station::{BaseStation, BsId, Position, Tier};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Propagation delay range per link in ms (wired backhaul between cells).
+const LINK_DELAY_MS: (f64, f64) = (0.5, 2.0);
+
+/// Generates an `n`-station GT-ITM-style topology.
+///
+/// Tier mix: `cfg.macro_fraction` macro cells (at least one), remaining
+/// stations split evenly between micro and femto. Macro cells are laid out
+/// on a coarse grid; each micro/femto is placed inside the coverage disc
+/// of a uniformly chosen macro cell. Pairwise links are drawn with
+/// probability `cfg.connect_probability`, then bridged to connectivity.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// use mec_net::{NetworkConfig, topology::gtitm};
+/// let topo = gtitm::generate(50, &NetworkConfig::paper_defaults(), 1);
+/// assert_eq!(topo.len(), 50);
+/// assert!(topo.is_connected());
+/// ```
+pub fn generate(n: usize, cfg: &NetworkConfig, seed: u64) -> Topology {
+    assert!(n > 0, "topology must contain at least one station");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let n_macro = ((n as f64 * cfg.macro_fraction).round() as usize).clamp(1, n);
+    let rest = n - n_macro;
+    let n_micro = rest / 2;
+    let n_femto = rest - n_micro;
+
+    let mut tiers = Vec::with_capacity(n);
+    tiers.extend(std::iter::repeat_n(Tier::Macro, n_macro));
+    tiers.extend(std::iter::repeat_n(Tier::Micro, n_micro));
+    tiers.extend(std::iter::repeat_n(Tier::Femto, n_femto));
+
+    // Macro cells on a coarse grid, 150 m pitch (partially overlapping
+    // 100 m discs so that the deployment region is contiguous).
+    let grid = (n_macro as f64).sqrt().ceil() as usize;
+    let pitch = 150.0;
+    let macro_positions: Vec<Position> = (0..n_macro)
+        .map(|i| Position::new((i % grid) as f64 * pitch, (i / grid) as f64 * pitch))
+        .collect();
+
+    let mut stations = Vec::with_capacity(n);
+    for (i, &tier) in tiers.iter().enumerate() {
+        let p = cfg.tier(tier);
+        let position = match tier {
+            Tier::Macro => macro_positions[i],
+            _ => {
+                // Uniform inside the chosen macro's coverage disc.
+                let host = macro_positions[rng.random_range(0..n_macro)];
+                let r = cfg.macro_params.radius_m * rng.random::<f64>().sqrt();
+                let theta = rng.random_range(0.0..std::f64::consts::TAU);
+                Position::new(host.x + r * theta.cos(), host.y + r * theta.sin())
+            }
+        };
+        stations.push(BaseStation::new(
+            BsId(i),
+            tier,
+            position,
+            p.capacity_mhz.sample(&mut rng),
+            p.bandwidth_mbps.sample(&mut rng),
+            p.radius_m,
+            p.transmit_power_w,
+        ));
+    }
+
+    // Erdős–Rényi links with probability cfg.connect_probability.
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.random::<f64>() < cfg.connect_probability {
+                edges.push((u, v));
+            }
+        }
+    }
+
+    bridge_components(n, &mut edges, &mut rng);
+
+    let edge_delay_ms = edges
+        .iter()
+        .map(|_| rng.random_range(LINK_DELAY_MS.0..=LINK_DELAY_MS.1))
+        .collect();
+
+    Topology::new(format!("gtitm-{n}"), stations, edges, edge_delay_ms)
+}
+
+/// Adds the minimum number of random bridging edges to make the edge set
+/// connected over `n` nodes.
+fn bridge_components(n: usize, edges: &mut Vec<(usize, usize)>, rng: &mut StdRng) {
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let root = find(parent, parent[x]);
+            parent[x] = root;
+        }
+        parent[x]
+    }
+    for &(u, v) in edges.iter() {
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            parent[ru] = rv;
+        }
+    }
+    let mut roots: Vec<usize> = (0..n).filter(|&x| find(&mut parent, x) == x).collect();
+    roots.shuffle(rng);
+    for w in roots.windows(2) {
+        edges.push((w[0].min(w[1]), w[0].max(w[1])));
+        let (ru, rv) = (find(&mut parent, w[0]), find(&mut parent, w[1]));
+        parent[ru] = rv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_size_and_connectivity() {
+        let cfg = NetworkConfig::paper_defaults();
+        for &n in &[1usize, 5, 20, 100] {
+            let t = generate(n, &cfg, 42);
+            assert_eq!(t.len(), n);
+            assert!(t.is_connected(), "n={n} disconnected");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = NetworkConfig::paper_defaults();
+        assert_eq!(generate(40, &cfg, 7), generate(40, &cfg, 7));
+    }
+
+    #[test]
+    fn different_seed_changes_graph() {
+        let cfg = NetworkConfig::paper_defaults();
+        assert_ne!(generate(40, &cfg, 7), generate(40, &cfg, 8));
+    }
+
+    #[test]
+    fn tier_mix_matches_fractions() {
+        let cfg = NetworkConfig::paper_defaults();
+        let t = generate(100, &cfg, 1);
+        let n_macro = t.stations().iter().filter(|b| b.tier() == Tier::Macro).count();
+        let n_micro = t.stations().iter().filter(|b| b.tier() == Tier::Micro).count();
+        let n_femto = t.stations().iter().filter(|b| b.tier() == Tier::Femto).count();
+        assert_eq!(n_macro, 10);
+        assert_eq!(n_micro, 45);
+        assert_eq!(n_femto, 45);
+    }
+
+    #[test]
+    fn at_least_one_macro_even_for_tiny_networks() {
+        let cfg = NetworkConfig::paper_defaults();
+        let t = generate(3, &cfg, 1);
+        assert!(t.stations().iter().any(|b| b.tier().is_macro()));
+    }
+
+    #[test]
+    fn station_parameters_respect_tier_ranges() {
+        let cfg = NetworkConfig::paper_defaults();
+        let t = generate(60, &cfg, 5);
+        for bs in t.stations() {
+            let p = cfg.tier(bs.tier());
+            assert!(p.capacity_mhz.contains(bs.capacity_mhz()));
+            assert!(p.bandwidth_mbps.contains(bs.bandwidth_mbps()));
+            assert_eq!(bs.radius_m(), p.radius_m);
+            assert_eq!(bs.transmit_power_w(), p.transmit_power_w);
+        }
+    }
+
+    #[test]
+    fn edge_density_close_to_probability() {
+        let cfg = NetworkConfig::paper_defaults();
+        let n = 200;
+        let t = generate(n, &cfg, 3);
+        let possible = n * (n - 1) / 2;
+        let density = t.edge_count() as f64 / possible as f64;
+        // Bridging adds a negligible number of edges at this size.
+        assert!(
+            (density - 0.1).abs() < 0.02,
+            "density {density} far from 0.1"
+        );
+    }
+
+    #[test]
+    fn small_cells_lie_inside_some_macro_disc() {
+        let cfg = NetworkConfig::paper_defaults();
+        let t = generate(80, &cfg, 9);
+        let macros: Vec<_> = t
+            .stations()
+            .iter()
+            .filter(|b| b.tier().is_macro())
+            .collect();
+        for bs in t.stations().iter().filter(|b| !b.tier().is_macro()) {
+            assert!(
+                macros
+                    .iter()
+                    .any(|m| m.position().distance(bs.position()) <= m.radius_m() + 1e-9),
+                "small cell {} outside all macro discs",
+                bs.id()
+            );
+        }
+    }
+
+    #[test]
+    fn link_delays_in_configured_range() {
+        let cfg = NetworkConfig::paper_defaults();
+        let t = generate(50, &cfg, 2);
+        for e in 0..t.edge_count() {
+            let d = t.edge_delay_ms(e);
+            assert!((LINK_DELAY_MS.0..=LINK_DELAY_MS.1).contains(&d));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one station")]
+    fn zero_size_rejected() {
+        let _ = generate(0, &NetworkConfig::paper_defaults(), 1);
+    }
+}

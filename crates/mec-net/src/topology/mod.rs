@@ -1,0 +1,352 @@
+//! MEC network topologies: the graph `G = (BS, E)` plus generators.
+//!
+//! Two generators mirror the paper's evaluation:
+//!
+//! * [`gtitm`] — GT-ITM-equivalent flat random graph ("each pair of base
+//!   station has a probability of 0.1 of being connected").
+//! * [`as1755`] — an embedded deterministic generator shaped like the
+//!   Rocketfuel AS1755 ISP map (87 routers, ~320 links, heavy-tailed
+//!   degrees), used for the paper's "real network" experiments.
+//!
+//! [`transit_stub`] additionally provides GT-ITM's hierarchical
+//! transit-stub mode for robustness studies beyond the paper's setup.
+
+pub mod as1755;
+pub mod gtitm;
+pub mod transit_stub;
+
+use crate::station::{BaseStation, BsId, Position};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// An undirected MEC network graph with spatially placed base stations.
+///
+/// Station ids are dense (`BsId(0)..BsId(n)`); the adjacency structure is
+/// immutable after construction. Per-edge propagation delays (ms/hop) are
+/// stored so that transferring a request's data across the network can be
+/// charged per hop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    name: String,
+    stations: Vec<BaseStation>,
+    adj: Vec<Vec<usize>>,
+    edges: Vec<(usize, usize)>,
+    /// Propagation delay of `edges[e]` in ms.
+    edge_delay_ms: Vec<f64>,
+}
+
+impl Topology {
+    /// Builds a topology from stations and an undirected edge list.
+    ///
+    /// Self-loops and duplicate edges are rejected; `edge_delay_ms[e]`
+    /// gives the propagation delay of `edges[e]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if station ids are not dense `0..n`, if an edge endpoint is
+    /// out of range, on self-loops or duplicates, or if
+    /// `edge_delay_ms.len() != edges.len()`.
+    pub fn new(
+        name: impl Into<String>,
+        stations: Vec<BaseStation>,
+        edges: Vec<(usize, usize)>,
+        edge_delay_ms: Vec<f64>,
+    ) -> Self {
+        let n = stations.len();
+        for (i, bs) in stations.iter().enumerate() {
+            assert_eq!(bs.id().index(), i, "station ids must be dense 0..n");
+        }
+        assert_eq!(
+            edges.len(),
+            edge_delay_ms.len(),
+            "one delay per edge required"
+        );
+        let mut adj = vec![Vec::new(); n];
+        let mut seen = std::collections::HashSet::new();
+        for &(u, v) in &edges {
+            assert!(u < n && v < n, "edge endpoint out of range");
+            assert_ne!(u, v, "self-loops are not allowed");
+            let key = (u.min(v), u.max(v));
+            assert!(seen.insert(key), "duplicate edge ({u}, {v})");
+            adj[u].push(v);
+            adj[v].push(u);
+        }
+        Topology {
+            name: name.into(),
+            stations,
+            adj,
+            edges,
+            edge_delay_ms,
+        }
+    }
+
+    /// Human-readable topology name (e.g. `"gtitm-100"`, `"as1755"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of base stations.
+    pub fn len(&self) -> usize {
+        self.stations.len()
+    }
+
+    /// Whether the topology has no stations.
+    pub fn is_empty(&self) -> bool {
+        self.stations.is_empty()
+    }
+
+    /// All base stations, indexed by `BsId`.
+    pub fn stations(&self) -> &[BaseStation] {
+        &self.stations
+    }
+
+    /// The station with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn station(&self, id: BsId) -> &BaseStation {
+        &self.stations[id.index()]
+    }
+
+    /// Neighbor ids of `id`.
+    pub fn neighbors(&self, id: BsId) -> impl Iterator<Item = BsId> + '_ {
+        self.adj[id.index()].iter().map(|&i| BsId(i))
+    }
+
+    /// Degree of `id`.
+    pub fn degree(&self, id: BsId) -> usize {
+        self.adj[id.index()].len()
+    }
+
+    /// The undirected edge list.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Propagation delay of edge `e` in ms.
+    pub fn edge_delay_ms(&self, e: usize) -> f64 {
+        self.edge_delay_ms[e]
+    }
+
+    /// Whether `u` and `v` are adjacent.
+    pub fn has_edge(&self, u: BsId, v: BsId) -> bool {
+        self.adj[u.index()].contains(&v.index())
+    }
+
+    /// Whether the graph is connected (empty and singleton graphs count
+    /// as connected).
+    pub fn is_connected(&self) -> bool {
+        if self.len() <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; self.len()];
+        let mut queue = VecDeque::from([0usize]);
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    count += 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        count == self.len()
+    }
+
+    /// BFS hop distances from `src` to every station; `usize::MAX` marks
+    /// unreachable stations.
+    pub fn hop_distances(&self, src: BsId) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.len()];
+        let mut queue = VecDeque::from([src.index()]);
+        dist[src.index()] = 0;
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.adj[u] {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Hop distance between two stations, or `None` if disconnected.
+    pub fn hop_distance(&self, a: BsId, b: BsId) -> Option<usize> {
+        let d = self.hop_distances(a)[b.index()];
+        (d != usize::MAX).then_some(d)
+    }
+
+    /// Stations whose coverage disc contains point `p`.
+    pub fn stations_covering(&self, p: Position) -> Vec<BsId> {
+        self.stations
+            .iter()
+            .filter(|bs| bs.covers(p))
+            .map(|bs| bs.id())
+            .collect()
+    }
+
+    /// Mean shortest-path hop length over connected pairs (a cheap
+    /// bottleneck proxy; higher on sparse hub-and-spoke graphs like
+    /// AS1755 than on dense ER graphs of the same size).
+    pub fn mean_hop_length(&self) -> f64 {
+        let n = self.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mut total = 0usize;
+        let mut pairs = 0usize;
+        for s in 0..n {
+            for (t, &d) in self.hop_distances(BsId(s)).iter().enumerate() {
+                if t > s && d != usize::MAX {
+                    total += d;
+                    pairs += 1;
+                }
+            }
+        }
+        if pairs == 0 {
+            0.0
+        } else {
+            total as f64 / pairs as f64
+        }
+    }
+
+    /// Total computing capacity over all stations, in MHz.
+    pub fn total_capacity_mhz(&self) -> f64 {
+        self.stations.iter().map(|b| b.capacity_mhz()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::NetworkConfig;
+    use crate::station::Tier;
+
+    fn star(n: usize) -> Topology {
+        let cfg = NetworkConfig::paper_defaults();
+        let stations: Vec<BaseStation> = (0..n)
+            .map(|i| {
+                let tier = if i == 0 { Tier::Macro } else { Tier::Femto };
+                let p = cfg.tier(tier);
+                BaseStation::new(
+                    BsId(i),
+                    tier,
+                    Position::new(i as f64, 0.0),
+                    p.capacity_mhz.mid(),
+                    p.bandwidth_mbps.mid(),
+                    p.radius_m,
+                    p.transmit_power_w,
+                )
+            })
+            .collect();
+        let edges: Vec<(usize, usize)> = (1..n).map(|i| (0, i)).collect();
+        let delays = vec![1.0; edges.len()];
+        Topology::new("star", stations, edges, delays)
+    }
+
+    #[test]
+    fn star_is_connected_with_expected_degrees() {
+        let t = star(6);
+        assert!(t.is_connected());
+        assert_eq!(t.degree(BsId(0)), 5);
+        for i in 1..6 {
+            assert_eq!(t.degree(BsId(i)), 1);
+        }
+        assert_eq!(t.edge_count(), 5);
+    }
+
+    #[test]
+    fn hop_distances_in_star() {
+        let t = star(5);
+        assert_eq!(t.hop_distance(BsId(1), BsId(2)), Some(2));
+        assert_eq!(t.hop_distance(BsId(0), BsId(4)), Some(1));
+        assert_eq!(t.hop_distance(BsId(3), BsId(3)), Some(0));
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let t = star(4);
+        assert!(t.has_edge(BsId(0), BsId(2)));
+        assert!(t.has_edge(BsId(2), BsId(0)));
+        assert!(!t.has_edge(BsId(1), BsId(2)));
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let t = star(3);
+        let mut stations = t.stations().to_vec();
+        stations.push(BaseStation::new(
+            BsId(3),
+            Tier::Femto,
+            Position::new(99.0, 99.0),
+            1500.0,
+            1500.0,
+            15.0,
+            0.1,
+        ));
+        let iso = Topology::new("iso", stations, vec![(0, 1), (0, 2)], vec![1.0, 1.0]);
+        assert!(!iso.is_connected());
+        assert_eq!(iso.hop_distance(BsId(0), BsId(3)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        let t = star(3);
+        let _ = Topology::new(
+            "bad",
+            t.stations().to_vec(),
+            vec![(1, 1)],
+            vec![1.0],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn duplicate_edge_rejected() {
+        let t = star(3);
+        let _ = Topology::new(
+            "bad",
+            t.stations().to_vec(),
+            vec![(0, 1), (1, 0)],
+            vec![1.0, 1.0],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one delay per edge")]
+    fn delay_length_mismatch_rejected() {
+        let t = star(3);
+        let _ = Topology::new("bad", t.stations().to_vec(), vec![(0, 1)], vec![]);
+    }
+
+    #[test]
+    fn mean_hop_length_of_star() {
+        // Star on 4 nodes: 3 pairs at distance 1, 3 pairs at distance 2.
+        let t = star(4);
+        assert!((t.mean_hop_length() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_query_returns_covering_stations() {
+        let t = star(3);
+        // Macro at (0,0) with 100 m radius covers (50, 0); femtos have 15 m.
+        let ids = t.stations_covering(Position::new(50.0, 0.0));
+        assert_eq!(ids, vec![BsId(0)]);
+    }
+
+    #[test]
+    fn total_capacity_sums_stations() {
+        let t = star(3);
+        let expect: f64 = t.stations().iter().map(|b| b.capacity_mhz()).sum();
+        assert_eq!(t.total_capacity_mhz(), expect);
+    }
+}

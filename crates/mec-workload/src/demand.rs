@@ -1,0 +1,723 @@
+//! Bursty demand processes `ρ_l(t) = ρ_l^bsc + ρ_l^bst(t)`.
+//!
+//! Every process guarantees the paper's invariant that the basic demand is
+//! the floor: `ρ_l(t) ≥ ρ_l^bsc` for all `t` (the basic demand is defined
+//! as "the smallest data volume of each request during a finite-horizon
+//! monitoring period").
+
+use crate::request::{Request, RequestId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A per-slot stochastic demand process over the requests of a scenario.
+pub trait DemandProcess: std::fmt::Debug {
+    /// Number of requests covered.
+    fn n_requests(&self) -> usize;
+
+    /// Total demand `ρ_l(t)` of request `req` in the current slot, in
+    /// data units.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `req` is out of range.
+    fn demand(&self, req: RequestId) -> f64;
+
+    /// The basic (floor) demand `ρ_l^bsc` of `req`.
+    fn basic(&self, req: RequestId) -> f64;
+
+    /// Advances the process to the next time slot.
+    fn advance(&mut self);
+
+    /// The demand vector of the current slot.
+    fn demands(&self) -> Vec<f64> {
+        (0..self.n_requests())
+            .map(|i| self.demand(RequestId(i)))
+            .collect()
+    }
+}
+
+/// Constant demands — the "given demands" regime of §IV, where
+/// `ρ_l(t)` "does not change as time goes".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FixedDemand {
+    demands: Vec<f64>,
+}
+
+impl FixedDemand {
+    /// Fixes every request's demand at its basic demand.
+    pub fn from_requests(requests: &[Request]) -> Self {
+        FixedDemand {
+            demands: requests.iter().map(|r| r.basic_demand()).collect(),
+        }
+    }
+
+    /// Fixes demands at explicit values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is negative or non-finite.
+    pub fn from_values(demands: Vec<f64>) -> Self {
+        assert!(
+            demands.iter().all(|d| d.is_finite() && *d >= 0.0),
+            "demands must be finite and non-negative"
+        );
+        FixedDemand { demands }
+    }
+}
+
+impl DemandProcess for FixedDemand {
+    fn n_requests(&self) -> usize {
+        self.demands.len()
+    }
+
+    fn demand(&self, req: RequestId) -> f64 {
+        self.demands[req.index()]
+    }
+
+    fn basic(&self, req: RequestId) -> f64 {
+        self.demands[req.index()]
+    }
+
+    fn advance(&mut self) {}
+}
+
+/// Configuration of the flash-crowd process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlashCrowdConfig {
+    /// Probability that a new burst event starts in a given slot.
+    pub event_probability: f64,
+    /// Base peak extra demand per affected request, in data units
+    /// (uniform in `[amplitude/2, amplitude]`, then scaled by the cell's
+    /// amplitude multiplier).
+    pub amplitude: f64,
+    /// Base multiplicative decay of an event's intensity per slot
+    /// (each cell perturbs it; see [`FlashCrowd`]).
+    pub decay: f64,
+    /// Fraction of the peak reached in the onset slot (crowds gather
+    /// before they peak; this precursor makes imminent bursts learnable).
+    pub onset_fraction: f64,
+    /// Intensity below which an event is dropped.
+    pub cutoff: f64,
+}
+
+impl Default for FlashCrowdConfig {
+    fn default() -> Self {
+        FlashCrowdConfig {
+            event_probability: 0.12,
+            amplitude: 20.0,
+            decay: 0.6,
+            onset_fraction: 0.3,
+            cutoff: 0.5,
+        }
+    }
+}
+
+/// One running burst event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    cell: usize,
+    peak: f64,
+    /// Slots since onset: 0 = gathering (onset fraction), 1 = peak,
+    /// 2+ = geometric decay.
+    phase: u32,
+}
+
+/// Location-correlated flash crowds: "a sudden event can easily cause a
+/// lot of user demand on a femtocell network" (§I).
+///
+/// Events start at a random location cell with probability
+/// `event_probability` per slot and follow a *gather → peak → decay*
+/// profile: the onset slot carries `onset_fraction` of the peak (people
+/// trickle in before the crowd peaks), then the intensity decays
+/// geometrically. Cells are heterogeneous — each draws a persistent
+/// amplitude multiplier in `[0.5, 2]` and its own decay in
+/// `[0.75·decay, 1.25·decay]` at construction.
+///
+/// Both properties are the paper's "hidden features": demand is
+/// correlated among co-located users, and the *shape* of a cell's bursts
+/// (how big, how fast they fade, how they announce themselves) is
+/// learnable from small samples by a sequence model conditioned on the
+/// cell code, while a fixed-weight ARMA can only average the recent past.
+#[derive(Debug, Clone)]
+pub struct FlashCrowd {
+    basics: Vec<f64>,
+    cells: Vec<usize>,
+    n_cells: usize,
+    cfg: FlashCrowdConfig,
+    /// Persistent per-cell amplitude multipliers in `[0.5, 2]`.
+    cell_amplitude: Vec<f64>,
+    /// Persistent per-cell decay factors.
+    cell_decay: Vec<f64>,
+    events: Vec<Event>,
+    current: Vec<f64>,
+    rng: StdRng,
+}
+
+impl FlashCrowd {
+    /// Builds the process over the given requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests` is empty, or any config field is out of range
+    /// (`event_probability ∉ [0,1]`, `decay ∉ (0,1)`,
+    /// `onset_fraction ∉ (0,1]`, non-positive `amplitude`).
+    pub fn new(requests: &[Request], cfg: FlashCrowdConfig, seed: u64) -> Self {
+        assert!(!requests.is_empty(), "at least one request required");
+        assert!(
+            (0.0..=1.0).contains(&cfg.event_probability),
+            "event probability must be in [0, 1]"
+        );
+        assert!(
+            cfg.decay > 0.0 && cfg.decay < 1.0,
+            "decay must be in (0, 1)"
+        );
+        assert!(
+            cfg.onset_fraction > 0.0 && cfg.onset_fraction <= 1.0,
+            "onset fraction must be in (0, 1]"
+        );
+        assert!(cfg.amplitude > 0.0, "amplitude must be positive");
+        let basics: Vec<f64> = requests.iter().map(|r| r.basic_demand()).collect();
+        let cells: Vec<usize> = requests.iter().map(|r| r.location_cell()).collect();
+        let n_cells = cells.iter().copied().max().unwrap_or(0) + 1;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xf1a5_4c40);
+        let cell_amplitude = (0..n_cells).map(|_| rng.random_range(0.5..=2.0)).collect();
+        let cell_decay = (0..n_cells)
+            .map(|_| (cfg.decay * rng.random_range(0.75..=1.25)).clamp(0.05, 0.95))
+            .collect();
+        let current = basics.clone();
+        FlashCrowd {
+            basics,
+            cells,
+            n_cells,
+            cfg,
+            cell_amplitude,
+            cell_decay,
+            events: Vec::new(),
+            current,
+            rng,
+        }
+    }
+
+    /// Number of distinct location cells.
+    pub fn n_cells(&self) -> usize {
+        self.n_cells
+    }
+
+    /// Number of currently active burst events.
+    pub fn active_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The persistent amplitude multiplier of a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn cell_amplitude(&self, cell: usize) -> f64 {
+        self.cell_amplitude[cell]
+    }
+
+    /// The persistent decay factor of a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn cell_decay(&self, cell: usize) -> f64 {
+        self.cell_decay[cell]
+    }
+
+    fn intensity(&self, ev: &Event) -> f64 {
+        match ev.phase {
+            0 => ev.peak * self.cfg.onset_fraction,
+            p => ev.peak * self.cell_decay[ev.cell].powi(p as i32 - 1),
+        }
+    }
+}
+
+impl DemandProcess for FlashCrowd {
+    fn n_requests(&self) -> usize {
+        self.basics.len()
+    }
+
+    fn demand(&self, req: RequestId) -> f64 {
+        self.current[req.index()]
+    }
+
+    fn basic(&self, req: RequestId) -> f64 {
+        self.basics[req.index()]
+    }
+
+    fn advance(&mut self) {
+        // Age running events, drop the exhausted ones.
+        for ev in &mut self.events {
+            ev.phase += 1;
+        }
+        let cutoff = self.cfg.cutoff;
+        let keep: Vec<bool> = self
+            .events
+            .iter()
+            .map(|ev| self.intensity(ev) >= cutoff)
+            .collect();
+        let mut it = keep.iter();
+        self.events.retain(|_| *it.next().expect("one flag per event"));
+        // Maybe start a new event in a random cell (onset phase).
+        if self.rng.random::<f64>() < self.cfg.event_probability {
+            let cell = self.rng.random_range(0..self.n_cells);
+            let peak = self
+                .rng
+                .random_range(self.cfg.amplitude / 2.0..=self.cfg.amplitude)
+                * self.cell_amplitude[cell];
+            self.events.push(Event {
+                cell,
+                peak,
+                phase: 0,
+            });
+        }
+        // Realize demands: basic + sum of active bursts in the cell, with
+        // small per-user jitter.
+        let burst_per_cell: Vec<f64> = (0..self.n_cells)
+            .map(|c| {
+                self.events
+                    .iter()
+                    .filter(|ev| ev.cell == c)
+                    .map(|ev| self.intensity(ev))
+                    .sum()
+            })
+            .collect();
+        for i in 0..self.current.len() {
+            let burst = burst_per_cell[self.cells[i]];
+            let jitter = if burst > 0.0 {
+                self.rng.random_range(0.8..=1.2)
+            } else {
+                1.0
+            };
+            self.current[i] = self.basics[i] + burst * jitter;
+        }
+    }
+}
+
+/// Markov-modulated demand: each location cell alternates between a calm
+/// and a busy state; busy cells add a uniform bursty volume.
+#[derive(Debug, Clone)]
+pub struct Mmpp {
+    basics: Vec<f64>,
+    cells: Vec<usize>,
+    n_cells: usize,
+    busy: Vec<bool>,
+    p_busy: f64,
+    p_calm: f64,
+    busy_extra: f64,
+    current: Vec<f64>,
+    rng: StdRng,
+}
+
+impl Mmpp {
+    /// Number of distinct location cells.
+    pub fn n_cells(&self) -> usize {
+        self.n_cells
+    }
+
+    /// Builds the process: `p_busy` is P(calm→busy), `p_calm` is
+    /// P(busy→calm), `busy_extra` the mean extra demand while busy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests` is empty, probabilities are outside `[0, 1]`
+    /// or `busy_extra` is negative.
+    pub fn new(requests: &[Request], p_busy: f64, p_calm: f64, busy_extra: f64, seed: u64) -> Self {
+        assert!(!requests.is_empty(), "at least one request required");
+        assert!((0.0..=1.0).contains(&p_busy), "p_busy must be in [0, 1]");
+        assert!((0.0..=1.0).contains(&p_calm), "p_calm must be in [0, 1]");
+        assert!(busy_extra >= 0.0, "busy_extra must be non-negative");
+        let basics: Vec<f64> = requests.iter().map(|r| r.basic_demand()).collect();
+        let cells: Vec<usize> = requests.iter().map(|r| r.location_cell()).collect();
+        let n_cells = cells.iter().copied().max().unwrap_or(0) + 1;
+        Mmpp {
+            current: basics.clone(),
+            basics,
+            cells,
+            n_cells,
+            busy: vec![false; n_cells],
+            p_busy,
+            p_calm,
+            busy_extra,
+            rng: StdRng::seed_from_u64(seed ^ 0x3333_aaaa),
+        }
+    }
+}
+
+impl DemandProcess for Mmpp {
+    fn n_requests(&self) -> usize {
+        self.basics.len()
+    }
+
+    fn demand(&self, req: RequestId) -> f64 {
+        self.current[req.index()]
+    }
+
+    fn basic(&self, req: RequestId) -> f64 {
+        self.basics[req.index()]
+    }
+
+    fn advance(&mut self) {
+        for b in self.busy.iter_mut() {
+            let flip: f64 = self.rng.random();
+            *b = if *b { flip >= self.p_calm } else { flip < self.p_busy };
+        }
+        for i in 0..self.current.len() {
+            let extra = if self.busy[self.cells[i]] {
+                self.rng.random_range(0.5..=1.5) * self.busy_extra
+            } else {
+                0.0
+            };
+            self.current[i] = self.basics[i] + extra;
+        }
+    }
+}
+
+/// Heavy-tailed on/off bursts per request: each request independently
+/// turns "on" with Pareto-distributed burst sizes, producing self-similar
+/// aggregate traffic (the multimedia burstiness of [24]).
+#[derive(Debug, Clone)]
+pub struct OnOffHeavyTail {
+    basics: Vec<f64>,
+    p_on: f64,
+    pareto_scale: f64,
+    pareto_shape: f64,
+    cap: f64,
+    current: Vec<f64>,
+    rng: StdRng,
+}
+
+impl OnOffHeavyTail {
+    /// Builds the process. Bursts are `scale / U^(1/shape)` (Pareto),
+    /// truncated at `cap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests` is empty, `p_on ∉ [0,1]`, or scale/shape/cap
+    /// are non-positive.
+    pub fn new(
+        requests: &[Request],
+        p_on: f64,
+        pareto_scale: f64,
+        pareto_shape: f64,
+        cap: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(!requests.is_empty(), "at least one request required");
+        assert!((0.0..=1.0).contains(&p_on), "p_on must be in [0, 1]");
+        assert!(pareto_scale > 0.0, "pareto scale must be positive");
+        assert!(pareto_shape > 0.0, "pareto shape must be positive");
+        assert!(cap > 0.0, "cap must be positive");
+        let basics: Vec<f64> = requests.iter().map(|r| r.basic_demand()).collect();
+        OnOffHeavyTail {
+            current: basics.clone(),
+            basics,
+            p_on,
+            pareto_scale,
+            pareto_shape,
+            cap,
+            rng: StdRng::seed_from_u64(seed ^ 0x0a0f_0a0f),
+        }
+    }
+}
+
+impl DemandProcess for OnOffHeavyTail {
+    fn n_requests(&self) -> usize {
+        self.basics.len()
+    }
+
+    fn demand(&self, req: RequestId) -> f64 {
+        self.current[req.index()]
+    }
+
+    fn basic(&self, req: RequestId) -> f64 {
+        self.basics[req.index()]
+    }
+
+    fn advance(&mut self) {
+        for i in 0..self.current.len() {
+            let burst = if self.rng.random::<f64>() < self.p_on {
+                let u: f64 = self.rng.random_range(f64::EPSILON..1.0);
+                (self.pareto_scale / u.powf(1.0 / self.pareto_shape)).min(self.cap)
+            } else {
+                0.0
+            };
+            self.current[i] = self.basics[i] + burst;
+        }
+    }
+}
+
+/// A closed enum over the shipped demand processes, so scenarios stay
+/// `Clone` without boxing.
+#[derive(Debug, Clone)]
+pub enum DemandModel {
+    /// Constant demands (§IV "given demands").
+    Fixed(FixedDemand),
+    /// Location-correlated flash crowds.
+    Flash(FlashCrowd),
+    /// Markov-modulated per-cell bursts.
+    Mmpp(Mmpp),
+    /// Heavy-tailed on/off bursts.
+    OnOff(OnOffHeavyTail),
+}
+
+impl DemandProcess for DemandModel {
+    fn n_requests(&self) -> usize {
+        match self {
+            DemandModel::Fixed(p) => p.n_requests(),
+            DemandModel::Flash(p) => p.n_requests(),
+            DemandModel::Mmpp(p) => p.n_requests(),
+            DemandModel::OnOff(p) => p.n_requests(),
+        }
+    }
+
+    fn demand(&self, req: RequestId) -> f64 {
+        match self {
+            DemandModel::Fixed(p) => p.demand(req),
+            DemandModel::Flash(p) => p.demand(req),
+            DemandModel::Mmpp(p) => p.demand(req),
+            DemandModel::OnOff(p) => p.demand(req),
+        }
+    }
+
+    fn basic(&self, req: RequestId) -> f64 {
+        match self {
+            DemandModel::Fixed(p) => p.basic(req),
+            DemandModel::Flash(p) => p.basic(req),
+            DemandModel::Mmpp(p) => p.basic(req),
+            DemandModel::OnOff(p) => p.basic(req),
+        }
+    }
+
+    fn advance(&mut self) {
+        match self {
+            DemandModel::Fixed(p) => p.advance(),
+            DemandModel::Flash(p) => p.advance(),
+            DemandModel::Mmpp(p) => p.advance(),
+            DemandModel::OnOff(p) => p.advance(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceId;
+    use mec_net::station::Position;
+    use mec_net::BsId;
+
+    fn requests(n: usize, n_cells: usize) -> Vec<Request> {
+        (0..n)
+            .map(|i| {
+                Request::new(
+                    RequestId(i),
+                    ServiceId(i % 3),
+                    Position::new(i as f64, 0.0),
+                    BsId(i % 5),
+                    i % n_cells,
+                    2.0 + (i % 4) as f64,
+                    1 + i % 3,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fixed_demand_never_changes() {
+        let reqs = requests(10, 3);
+        let mut p = FixedDemand::from_requests(&reqs);
+        let before = p.demands();
+        for _ in 0..20 {
+            p.advance();
+        }
+        assert_eq!(p.demands(), before);
+        assert_eq!(p.n_requests(), 10);
+    }
+
+    #[test]
+    fn fixed_from_values_round_trips() {
+        let p = FixedDemand::from_values(vec![1.0, 2.0, 3.0]);
+        assert_eq!(p.demand(RequestId(1)), 2.0);
+        assert_eq!(p.basic(RequestId(2)), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn fixed_rejects_negative() {
+        let _ = FixedDemand::from_values(vec![1.0, -2.0]);
+    }
+
+    #[test]
+    fn flash_crowd_respects_basic_floor() {
+        let reqs = requests(20, 4);
+        let mut p = FlashCrowd::new(&reqs, FlashCrowdConfig::default(), 5);
+        for _ in 0..200 {
+            p.advance();
+            for r in &reqs {
+                assert!(
+                    p.demand(r.id()) >= r.basic_demand() - 1e-12,
+                    "demand below basic floor"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flash_crowd_produces_bursts() {
+        let reqs = requests(20, 4);
+        let mut p = FlashCrowd::new(&reqs, FlashCrowdConfig::default(), 5);
+        let mut max_over_basic: f64 = 0.0;
+        for _ in 0..300 {
+            p.advance();
+            for r in &reqs {
+                max_over_basic = max_over_basic.max(p.demand(r.id()) - r.basic_demand());
+            }
+        }
+        assert!(max_over_basic > 5.0, "no bursts observed: {max_over_basic}");
+    }
+
+    #[test]
+    fn flash_crowd_bursts_are_cell_correlated() {
+        let reqs = requests(40, 2);
+        let mut p = FlashCrowd::new(
+            &reqs,
+            FlashCrowdConfig {
+                event_probability: 1.0,
+                ..FlashCrowdConfig::default()
+            },
+            5,
+        );
+        p.advance();
+        // With p=1 an event fired in exactly one cell this slot; each
+        // member of the affected cell must be elevated.
+        let burst_of = |i: usize| p.demand(RequestId(i)) - reqs[i].basic_demand();
+        let cell0: Vec<f64> = (0..40).filter(|i| i % 2 == 0).map(burst_of).collect();
+        let cell1: Vec<f64> = (0..40).filter(|i| i % 2 == 1).map(burst_of).collect();
+        let cell0_hot = cell0.iter().all(|&b| b > 0.0);
+        let cell1_hot = cell1.iter().all(|&b| b > 0.0);
+        assert!(
+            cell0_hot || cell1_hot,
+            "one cell should be uniformly bursting"
+        );
+    }
+
+    #[test]
+    fn flash_crowd_decays_events() {
+        let reqs = requests(4, 1);
+        let cfg = FlashCrowdConfig {
+            event_probability: 0.0, // no new events after we inject one
+            ..FlashCrowdConfig::default()
+        };
+        let mut p = FlashCrowd::new(&reqs, cfg, 5);
+        p.events.push(Event {
+            cell: 0,
+            peak: 10.0,
+            phase: 1, // already at peak
+        });
+        let d1 = p.demand(RequestId(0)) + 10.0;
+        for _ in 0..30 {
+            p.advance();
+        }
+        let d2 = p.demand(RequestId(0));
+        assert!(d1 > d2, "burst should decay: {d1} -> {d2}");
+        assert_eq!(p.active_events(), 0, "event should expire below cutoff");
+    }
+
+    #[test]
+    fn flash_crowd_deterministic_per_seed() {
+        let reqs = requests(10, 3);
+        let mut a = FlashCrowd::new(&reqs, FlashCrowdConfig::default(), 9);
+        let mut b = FlashCrowd::new(&reqs, FlashCrowdConfig::default(), 9);
+        for _ in 0..50 {
+            a.advance();
+            b.advance();
+        }
+        assert_eq!(a.demands(), b.demands());
+    }
+
+    #[test]
+    #[should_panic(expected = "decay must be in (0, 1)")]
+    fn flash_crowd_rejects_bad_decay() {
+        let reqs = requests(2, 1);
+        let _ = FlashCrowd::new(
+            &reqs,
+            FlashCrowdConfig {
+                decay: 1.0,
+                ..FlashCrowdConfig::default()
+            },
+            1,
+        );
+    }
+
+    #[test]
+    fn mmpp_respects_floor_and_bursts() {
+        let reqs = requests(10, 2);
+        let mut p = Mmpp::new(&reqs, 0.3, 0.3, 10.0, 3);
+        let mut saw_burst = false;
+        for _ in 0..100 {
+            p.advance();
+            for r in &reqs {
+                let d = p.demand(r.id());
+                assert!(d >= r.basic_demand() - 1e-12);
+                if d > r.basic_demand() + 1.0 {
+                    saw_burst = true;
+                }
+            }
+        }
+        assert!(saw_burst);
+    }
+
+    #[test]
+    fn mmpp_zero_transition_stays_calm() {
+        let reqs = requests(6, 2);
+        let mut p = Mmpp::new(&reqs, 0.0, 0.5, 10.0, 3);
+        for _ in 0..50 {
+            p.advance();
+            for r in &reqs {
+                assert_eq!(p.demand(r.id()), r.basic_demand());
+            }
+        }
+    }
+
+    #[test]
+    fn onoff_bursts_are_capped() {
+        let reqs = requests(8, 2);
+        let mut p = OnOffHeavyTail::new(&reqs, 0.5, 2.0, 1.2, 30.0, 3);
+        for _ in 0..500 {
+            p.advance();
+            for r in &reqs {
+                let d = p.demand(r.id());
+                assert!(d >= r.basic_demand() - 1e-12);
+                assert!(d <= r.basic_demand() + 30.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn onoff_heavy_tail_exceeds_scale_sometimes() {
+        let reqs = requests(8, 2);
+        let mut p = OnOffHeavyTail::new(&reqs, 1.0, 2.0, 1.2, 100.0, 3);
+        let mut max_burst: f64 = 0.0;
+        for _ in 0..500 {
+            p.advance();
+            for r in &reqs {
+                max_burst = max_burst.max(p.demand(r.id()) - r.basic_demand());
+            }
+        }
+        assert!(max_burst > 10.0, "heavy tail should exceed 5x scale");
+    }
+
+    #[test]
+    fn demand_model_delegates() {
+        let reqs = requests(5, 2);
+        let mut m = DemandModel::Fixed(FixedDemand::from_requests(&reqs));
+        assert_eq!(m.n_requests(), 5);
+        let before = m.demands();
+        m.advance();
+        assert_eq!(m.demands(), before);
+        assert_eq!(m.basic(RequestId(0)), reqs[0].basic_demand());
+    }
+}

@@ -1,0 +1,49 @@
+//! Services, user requests and bursty demand processes.
+//!
+//! This crate models the demand side of the paper: each user request `r_l`
+//! asks for one network service `S_k` and carries a per-slot data volume
+//! `ρ_l(t) = ρ_l^bsc + ρ_l^bst(t)` — a *basic* demand known a priori plus
+//! an unpredictable *bursty* component (Eq. 1 of the paper).
+//!
+//! Provided pieces:
+//!
+//! * [`Service`] / [`Request`] — the static description of services and
+//!   the users requesting them, including each user's location (the hidden
+//!   feature the Info-RNN-GAN conditions on).
+//! * [`demand`] — demand processes: [`demand::FixedDemand`] (the "given
+//!   demands" regime of §IV), [`demand::FlashCrowd`] (location-correlated
+//!   sudden events, the paper's museum-VR example), [`demand::Mmpp`]
+//!   (Markov-modulated) and [`demand::OnOffHeavyTail`] (self-similar
+//!   on/off bursts).
+//! * [`trace`] — a synthetic small-sample "hotspot" trace with the same
+//!   schema as the NYC Wi-Fi hotspot dataset the paper uses (location,
+//!   time, service tag, demand), plus one-hot location coding.
+//! * [`Scenario`] / [`ScenarioConfig`] — bundles everything a simulation
+//!   episode needs.
+//!
+//! # Example
+//!
+//! ```
+//! use mec_net::{NetworkConfig, topology::gtitm};
+//! use mec_workload::ScenarioConfig;
+//!
+//! let topo = gtitm::generate(30, &NetworkConfig::paper_defaults(), 3);
+//! let scenario = ScenarioConfig::small().build(&topo, 3);
+//! assert!(!scenario.requests().is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod demand;
+pub mod request;
+pub mod scenario;
+pub mod service;
+pub mod stats;
+pub mod trace;
+
+pub use demand::{DemandModel, DemandProcess};
+pub use request::{Request, RequestId};
+pub use scenario::{Scenario, ScenarioConfig};
+pub use service::{Service, ServiceId, ServiceKind};
+pub use trace::{HotspotTrace, OneHot, TraceRow};

@@ -1,0 +1,205 @@
+//! User requests `r_l = ⟨ρ_l(t), S_k⟩`.
+
+use crate::service::ServiceId;
+use mec_net::station::Position;
+use mec_net::BsId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a request inside one [`crate::Scenario`] (dense `0..|R|`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct RequestId(pub usize);
+
+impl RequestId {
+    /// Dense index of this request.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
+impl From<usize> for RequestId {
+    fn from(i: usize) -> Self {
+        RequestId(i)
+    }
+}
+
+/// A user request: which service it needs, where the user sits, which
+/// station it is registered with, and its basic demand `ρ_l^bsc`.
+///
+/// The user's *location cell* is the hidden feature the Info-RNN-GAN
+/// conditions on (latent code `c^t`): users in the same cell share demand
+/// bursts ("users in the same location may have similar distributions of
+/// their data volumes", §V-A).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    id: RequestId,
+    service: ServiceId,
+    position: Position,
+    registered_bs: BsId,
+    location_cell: usize,
+    basic_demand: f64,
+    cover_count: usize,
+}
+
+impl Request {
+    /// Creates a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `basic_demand` is negative or not finite — the basic
+    /// demand is the *smallest* data volume over the monitoring period and
+    /// must be a real non-negative quantity.
+    pub fn new(
+        id: RequestId,
+        service: ServiceId,
+        position: Position,
+        registered_bs: BsId,
+        location_cell: usize,
+        basic_demand: f64,
+        cover_count: usize,
+    ) -> Self {
+        assert!(
+            basic_demand.is_finite() && basic_demand >= 0.0,
+            "basic demand must be a finite non-negative value"
+        );
+        Request {
+            id,
+            service,
+            position,
+            registered_bs,
+            location_cell,
+            basic_demand,
+            cover_count,
+        }
+    }
+
+    /// The request identifier.
+    #[inline]
+    pub fn id(&self) -> RequestId {
+        self.id
+    }
+
+    /// The service `S_k` this request must be executed by.
+    #[inline]
+    pub fn service(&self) -> ServiceId {
+        self.service
+    }
+
+    /// The user's position in metres.
+    #[inline]
+    pub fn position(&self) -> Position {
+        self.position
+    }
+
+    /// The base station the user is registered with (its access point;
+    /// data travels from here to wherever the service instance runs).
+    #[inline]
+    pub fn registered_bs(&self) -> BsId {
+        self.registered_bs
+    }
+
+    /// Discrete location cell (index into the one-hot latent coding).
+    #[inline]
+    pub fn location_cell(&self) -> usize {
+        self.location_cell
+    }
+
+    /// Basic demand `ρ_l^bsc` in data units — known a priori.
+    #[inline]
+    pub fn basic_demand(&self) -> f64 {
+        self.basic_demand
+    }
+
+    /// Number of base stations whose coverage disc contains the user.
+    /// `Pri_GD` [20] prioritizes requests by this count.
+    #[inline]
+    pub fn cover_count(&self) -> usize {
+        self.cover_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Request {
+        Request::new(
+            RequestId(3),
+            ServiceId(1),
+            Position::new(1.0, 2.0),
+            BsId(5),
+            2,
+            4.0,
+            3,
+        )
+    }
+
+    #[test]
+    fn id_display() {
+        assert_eq!(RequestId(9).to_string(), "req9");
+        assert_eq!(RequestId::from(9), RequestId(9));
+    }
+
+    #[test]
+    fn getters_round_trip() {
+        let r = sample();
+        assert_eq!(r.id(), RequestId(3));
+        assert_eq!(r.service(), ServiceId(1));
+        assert_eq!(r.position(), Position::new(1.0, 2.0));
+        assert_eq!(r.registered_bs(), BsId(5));
+        assert_eq!(r.location_cell(), 2);
+        assert_eq!(r.basic_demand(), 4.0);
+        assert_eq!(r.cover_count(), 3);
+    }
+
+    #[test]
+    fn zero_basic_demand_is_allowed() {
+        let r = Request::new(
+            RequestId(0),
+            ServiceId(0),
+            Position::default(),
+            BsId(0),
+            0,
+            0.0,
+            1,
+        );
+        assert_eq!(r.basic_demand(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "basic demand")]
+    fn negative_basic_demand_rejected() {
+        let _ = Request::new(
+            RequestId(0),
+            ServiceId(0),
+            Position::default(),
+            BsId(0),
+            0,
+            -1.0,
+            1,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "basic demand")]
+    fn nan_basic_demand_rejected() {
+        let _ = Request::new(
+            RequestId(0),
+            ServiceId(0),
+            Position::default(),
+            BsId(0),
+            0,
+            f64::NAN,
+            1,
+        );
+    }
+}

@@ -1,0 +1,415 @@
+//! Scenario assembly: services + requests + demand process for one episode.
+
+use crate::demand::{
+    DemandModel, FixedDemand, FlashCrowd, FlashCrowdConfig, Mmpp, OnOffHeavyTail,
+};
+use crate::request::{Request, RequestId};
+use crate::service::{Service, ServiceId, ServiceKind};
+use mec_net::delay::InstantiationDelays;
+use mec_net::station::Position;
+use mec_net::Topology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Which demand process a scenario uses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DemandKind {
+    /// Constant demands at the basic level (§IV "given demands").
+    Fixed,
+    /// Location-correlated flash crowds (default for §V experiments).
+    Flash(FlashCrowdConfig),
+    /// Markov-modulated per-cell bursts.
+    Mmpp {
+        /// P(calm → busy) per slot.
+        p_busy: f64,
+        /// P(busy → calm) per slot.
+        p_calm: f64,
+        /// Mean extra demand while busy, in data units.
+        busy_extra: f64,
+    },
+    /// Independent heavy-tailed on/off bursts.
+    OnOff {
+        /// Probability a request bursts in a slot.
+        p_on: f64,
+        /// Pareto scale of the burst size.
+        scale: f64,
+        /// Pareto shape (tail index).
+        shape: f64,
+        /// Truncation cap on burst size.
+        cap: f64,
+    },
+}
+
+/// Configuration for building a [`Scenario`] on top of a topology.
+///
+/// # Example
+///
+/// ```
+/// use mec_workload::ScenarioConfig;
+/// let cfg = ScenarioConfig::paper_defaults().with_requests(80);
+/// assert_eq!(cfg.n_requests, 80);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Number of distinct services `|S|`.
+    pub n_services: usize,
+    /// Number of user requests `|R|`.
+    pub n_requests: usize,
+    /// Computing resource assigned per unit of data, `C_unit`, in MHz.
+    pub c_unit_mhz: f64,
+    /// Basic-demand range `ρ_l^bsc` in data units.
+    pub basic_demand: (f64, f64),
+    /// The demand process family.
+    pub demand: DemandKind,
+    /// Instantiation-delay range in ms for `d_ins(i, k)`.
+    pub instantiation_range_ms: (f64, f64),
+}
+
+impl ScenarioConfig {
+    /// Defaults matching the paper's evaluation scale: 10 services,
+    /// 150 requests, flash-crowd bursts.
+    pub fn paper_defaults() -> Self {
+        ScenarioConfig {
+            n_services: 10,
+            n_requests: 150,
+            c_unit_mhz: 50.0,
+            basic_demand: (1.0, 5.0),
+            demand: DemandKind::Flash(FlashCrowdConfig::default()),
+            instantiation_range_ms: InstantiationDelays::DEFAULT_RANGE_MS,
+        }
+    }
+
+    /// A small configuration for unit tests and doc examples.
+    pub fn small() -> Self {
+        ScenarioConfig {
+            n_services: 3,
+            n_requests: 12,
+            c_unit_mhz: 50.0,
+            basic_demand: (1.0, 4.0),
+            demand: DemandKind::Fixed,
+            instantiation_range_ms: (10.0, 20.0),
+        }
+    }
+
+    /// Overrides the request count.
+    pub fn with_requests(mut self, n: usize) -> Self {
+        self.n_requests = n;
+        self
+    }
+
+    /// Overrides the service count.
+    pub fn with_services(mut self, n: usize) -> Self {
+        self.n_services = n;
+        self
+    }
+
+    /// Overrides the demand model.
+    pub fn with_demand(mut self, demand: DemandKind) -> Self {
+        self.demand = demand;
+        self
+    }
+
+    /// Builds a [`Scenario`] on the given topology.
+    ///
+    /// Users are attached to uniformly chosen base stations and placed
+    /// inside their coverage disc; the user's location cell is the index
+    /// of the nearest macro cell, which acts as the hidden user-group tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_services == 0`, `n_requests == 0`, `c_unit_mhz <= 0`,
+    /// the topology is empty, or the basic-demand range is invalid.
+    pub fn build(self, topo: &Topology, seed: u64) -> Scenario {
+        assert!(self.n_services > 0, "need at least one service");
+        assert!(self.n_requests > 0, "need at least one request");
+        assert!(self.c_unit_mhz > 0.0, "C_unit must be positive");
+        assert!(!topo.is_empty(), "topology must not be empty");
+        assert!(
+            self.basic_demand.0 >= 0.0 && self.basic_demand.0 <= self.basic_demand.1,
+            "invalid basic-demand range"
+        );
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5ce_a410);
+
+        let services: Vec<Service> = (0..self.n_services)
+            .map(|k| Service::new(ServiceId(k), ServiceKind::ALL[k % ServiceKind::ALL.len()]))
+            .collect();
+
+        let macros: Vec<usize> = topo
+            .stations()
+            .iter()
+            .filter(|b| b.tier().is_macro())
+            .map(|b| b.id().index())
+            .collect();
+
+        let requests: Vec<Request> = (0..self.n_requests)
+            .map(|l| {
+                let host = &topo.stations()[rng.random_range(0..topo.len())];
+                let r = host.radius_m() * rng.random::<f64>().sqrt();
+                let theta = rng.random_range(0.0..std::f64::consts::TAU);
+                let position = Position::new(
+                    host.position().x + r * theta.cos(),
+                    host.position().y + r * theta.sin(),
+                );
+                let location_cell = nearest_macro(topo, &macros, position);
+                let cover_count = topo.stations_covering(position).len().max(1);
+                let basic = if self.basic_demand.0 == self.basic_demand.1 {
+                    self.basic_demand.0
+                } else {
+                    rng.random_range(self.basic_demand.0..=self.basic_demand.1)
+                };
+                Request::new(
+                    RequestId(l),
+                    services[rng.random_range(0..self.n_services)].id(),
+                    position,
+                    host.id(),
+                    location_cell,
+                    basic,
+                    cover_count,
+                )
+            })
+            .collect();
+
+        let demand = match self.demand {
+            DemandKind::Fixed => DemandModel::Fixed(FixedDemand::from_requests(&requests)),
+            DemandKind::Flash(cfg) => DemandModel::Flash(FlashCrowd::new(&requests, cfg, seed)),
+            DemandKind::Mmpp {
+                p_busy,
+                p_calm,
+                busy_extra,
+            } => DemandModel::Mmpp(Mmpp::new(&requests, p_busy, p_calm, busy_extra, seed)),
+            DemandKind::OnOff {
+                p_on,
+                scale,
+                shape,
+                cap,
+            } => DemandModel::OnOff(OnOffHeavyTail::new(&requests, p_on, scale, shape, cap, seed)),
+        };
+
+        let instantiation = InstantiationDelays::generate(
+            topo.len(),
+            self.n_services,
+            self.instantiation_range_ms,
+            seed,
+        );
+
+        Scenario {
+            services,
+            requests,
+            c_unit_mhz: self.c_unit_mhz,
+            n_cells: macros.len().max(1),
+            demand,
+            instantiation,
+        }
+    }
+}
+
+/// Index (within the macro list) of the macro cell nearest to `p`.
+fn nearest_macro(topo: &Topology, macros: &[usize], p: Position) -> usize {
+    if macros.is_empty() {
+        return 0;
+    }
+    macros
+        .iter()
+        .enumerate()
+        .min_by(|(_, &a), (_, &b)| {
+            let da = topo.stations()[a].position().distance(p);
+            let db = topo.stations()[b].position().distance(p);
+            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// A fully assembled workload scenario: the inputs of Algorithms 1 and 2
+/// besides the network itself.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    services: Vec<Service>,
+    requests: Vec<Request>,
+    c_unit_mhz: f64,
+    n_cells: usize,
+    demand: DemandModel,
+    instantiation: InstantiationDelays,
+}
+
+impl Scenario {
+    /// The service catalogue `S`.
+    pub fn services(&self) -> &[Service] {
+        &self.services
+    }
+
+    /// The request set `R`.
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// `C_unit` in MHz per data unit.
+    pub fn c_unit_mhz(&self) -> f64 {
+        self.c_unit_mhz
+    }
+
+    /// Number of location cells (macro regions).
+    pub fn n_cells(&self) -> usize {
+        self.n_cells
+    }
+
+    /// The demand process (mutable so the simulator can advance it).
+    pub fn demand_mut(&mut self) -> &mut DemandModel {
+        &mut self.demand
+    }
+
+    /// The demand process.
+    pub fn demand(&self) -> &DemandModel {
+        &self.demand
+    }
+
+    /// Instantiation delays `d_ins(i, k)`.
+    pub fn instantiation(&self) -> &InstantiationDelays {
+        &self.instantiation
+    }
+
+    /// Replaces the demand model (used by ablations that re-run one
+    /// scenario under several processes).
+    pub fn set_demand(&mut self, demand: DemandModel) {
+        use crate::demand::DemandProcess as _;
+        assert_eq!(
+            demand.n_requests(),
+            self.requests.len(),
+            "demand process must cover every request"
+        );
+        self.demand = demand;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::DemandProcess;
+    use mec_net::topology::gtitm;
+    use mec_net::NetworkConfig;
+
+    fn topo() -> Topology {
+        gtitm::generate(40, &NetworkConfig::paper_defaults(), 5)
+    }
+
+    #[test]
+    fn build_produces_configured_counts() {
+        let s = ScenarioConfig::paper_defaults().build(&topo(), 1);
+        assert_eq!(s.services().len(), 10);
+        assert_eq!(s.requests().len(), 150);
+        assert_eq!(s.c_unit_mhz(), 50.0);
+        assert_eq!(s.instantiation().n_services(), 10);
+        assert_eq!(s.instantiation().n_stations(), 40);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let t = topo();
+        let a = ScenarioConfig::small().build(&t, 9);
+        let b = ScenarioConfig::small().build(&t, 9);
+        assert_eq!(a.requests(), b.requests());
+    }
+
+    #[test]
+    fn requests_reference_valid_services_and_stations() {
+        let t = topo();
+        let s = ScenarioConfig::paper_defaults().build(&t, 2);
+        for r in s.requests() {
+            assert!(r.service().index() < s.services().len());
+            assert!(r.registered_bs().index() < t.len());
+            assert!(r.location_cell() < s.n_cells());
+            assert!(r.basic_demand() >= 1.0 && r.basic_demand() <= 5.0);
+        }
+    }
+
+    #[test]
+    fn registered_station_covers_user() {
+        let t = topo();
+        let s = ScenarioConfig::paper_defaults().build(&t, 3);
+        for r in s.requests() {
+            let host = t.station(r.registered_bs());
+            assert!(
+                host.position().distance(r.position()) <= host.radius_m() + 1e-9,
+                "user escaped its host's coverage"
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_demand_scenario_is_constant() {
+        let t = topo();
+        let mut s = ScenarioConfig::small().build(&t, 4);
+        let before = s.demand().demands();
+        s.demand_mut().advance();
+        assert_eq!(s.demand().demands(), before);
+    }
+
+    #[test]
+    fn flash_scenario_respects_floor() {
+        let t = topo();
+        let cfg = ScenarioConfig::small().with_demand(DemandKind::Flash(FlashCrowdConfig::default()));
+        let mut s = cfg.build(&t, 4);
+        let basics: Vec<f64> = s.requests().iter().map(|r| r.basic_demand()).collect();
+        for _ in 0..50 {
+            s.demand_mut().advance();
+            for (i, d) in s.demand().demands().iter().enumerate() {
+                assert!(*d >= basics[i] - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn mmpp_and_onoff_kinds_build() {
+        let t = topo();
+        let mmpp = ScenarioConfig::small()
+            .with_demand(DemandKind::Mmpp {
+                p_busy: 0.2,
+                p_calm: 0.4,
+                busy_extra: 8.0,
+            })
+            .build(&t, 4);
+        assert_eq!(mmpp.demand().n_requests(), 12);
+        let onoff = ScenarioConfig::small()
+            .with_demand(DemandKind::OnOff {
+                p_on: 0.3,
+                scale: 2.0,
+                shape: 1.3,
+                cap: 25.0,
+            })
+            .build(&t, 4);
+        assert_eq!(onoff.demand().n_requests(), 12);
+    }
+
+    #[test]
+    fn set_demand_swaps_process() {
+        let t = topo();
+        let mut s = ScenarioConfig::small().build(&t, 4);
+        let fixed = DemandModel::Fixed(FixedDemand::from_values(vec![9.0; 12]));
+        s.set_demand(fixed);
+        assert_eq!(s.demand().demand(RequestId(0)), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover every request")]
+    fn set_demand_rejects_wrong_size() {
+        let t = topo();
+        let mut s = ScenarioConfig::small().build(&t, 4);
+        s.set_demand(DemandModel::Fixed(FixedDemand::from_values(vec![1.0])));
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one request")]
+    fn zero_requests_rejected() {
+        let _ = ScenarioConfig::small().with_requests(0).build(&topo(), 1);
+    }
+
+    #[test]
+    fn builders_override_counts() {
+        let cfg = ScenarioConfig::paper_defaults()
+            .with_requests(33)
+            .with_services(4);
+        assert_eq!(cfg.n_requests, 33);
+        assert_eq!(cfg.n_services, 4);
+    }
+}

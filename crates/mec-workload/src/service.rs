@@ -1,0 +1,123 @@
+//! Network services cached from remote data centres to base stations.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a service inside one [`crate::Scenario`] (dense `0..k`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ServiceId(pub usize);
+
+impl ServiceId {
+    /// Dense index of this service.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ServiceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "svc{}", self.0)
+    }
+}
+
+impl From<usize> for ServiceId {
+    fn from(i: usize) -> Self {
+        ServiceId(i)
+    }
+}
+
+/// The application family of a service — the paper motivates VR, cloud
+/// gaming and IoT data processing as the resource-hungry services worth
+/// caching at the edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServiceKind {
+    /// Virtual-reality rendering/inference (the museum example of §III-B).
+    VirtualReality,
+    /// Cloud gaming.
+    CloudGaming,
+    /// IoT stream processing.
+    IotProcessing,
+    /// Video analytics / AI inference.
+    VideoAnalytics,
+}
+
+impl ServiceKind {
+    /// All kinds, in declaration order.
+    pub const ALL: [ServiceKind; 4] = [
+        ServiceKind::VirtualReality,
+        ServiceKind::CloudGaming,
+        ServiceKind::IotProcessing,
+        ServiceKind::VideoAnalytics,
+    ];
+
+    /// Short lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServiceKind::VirtualReality => "vr",
+            ServiceKind::CloudGaming => "gaming",
+            ServiceKind::IotProcessing => "iot",
+            ServiceKind::VideoAnalytics => "video",
+        }
+    }
+}
+
+impl fmt::Display for ServiceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A cacheable network service `S_k`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Service {
+    id: ServiceId,
+    kind: ServiceKind,
+}
+
+impl Service {
+    /// Creates a service.
+    pub fn new(id: ServiceId, kind: ServiceKind) -> Self {
+        Service { id, kind }
+    }
+
+    /// The service identifier.
+    #[inline]
+    pub fn id(&self) -> ServiceId {
+        self.id
+    }
+
+    /// The application family.
+    #[inline]
+    pub fn kind(&self) -> ServiceKind {
+        self.kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_display_and_conversion() {
+        assert_eq!(ServiceId(4).to_string(), "svc4");
+        assert_eq!(ServiceId::from(4).index(), 4);
+    }
+
+    #[test]
+    fn kind_names_are_distinct() {
+        let names: std::collections::HashSet<_> =
+            ServiceKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), ServiceKind::ALL.len());
+    }
+
+    #[test]
+    fn service_getters() {
+        let s = Service::new(ServiceId(2), ServiceKind::VirtualReality);
+        assert_eq!(s.id(), ServiceId(2));
+        assert_eq!(s.kind(), ServiceKind::VirtualReality);
+        assert_eq!(s.kind().to_string(), "vr");
+    }
+}

@@ -1,0 +1,276 @@
+//! Burstiness statistics for demand series.
+//!
+//! The paper's premise is that real multimedia traffic "shows a bursty
+//! pattern" [24] and self-similar behaviour [40]. These estimators let a
+//! user (and our tests) verify that a generated workload actually has
+//! the claimed properties: the index of dispersion, the peak-to-mean
+//! ratio, lag autocorrelation, and a rescaled-range (R/S) Hurst exponent
+//! estimate — `H > 0.5` indicates long-range dependence / self-similar
+//! bursts.
+
+/// Mean of a series.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "series must not be empty");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn variance(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Index of dispersion (variance-to-mean ratio). Poisson-like traffic
+/// gives ≈ 1; bursty traffic ≫ 1. Returns 0 for an all-zero series.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or contains negative values.
+pub fn index_of_dispersion(xs: &[f64]) -> f64 {
+    assert!(xs.iter().all(|&x| x >= 0.0), "demand must be non-negative");
+    let m = mean(xs);
+    if m == 0.0 {
+        0.0
+    } else {
+        variance(xs) / m
+    }
+}
+
+/// Peak-to-mean ratio. Returns 0 for an all-zero series.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or contains negative values.
+pub fn peak_to_mean(xs: &[f64]) -> f64 {
+    assert!(xs.iter().all(|&x| x >= 0.0), "demand must be non-negative");
+    let m = mean(xs);
+    if m == 0.0 {
+        0.0
+    } else {
+        xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max) / m
+    }
+}
+
+/// Lag-`k` autocorrelation. Returns 0 when the series has no variance.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k >= xs.len()`.
+pub fn autocorrelation(xs: &[f64], k: usize) -> f64 {
+    assert!(k > 0, "lag must be positive");
+    assert!(k < xs.len(), "lag must be shorter than the series");
+    let m = mean(xs);
+    let var = variance(xs);
+    if var == 0.0 {
+        return 0.0;
+    }
+    let cov: f64 = (0..xs.len() - k)
+        .map(|t| (xs[t] - m) * (xs[t + k] - m))
+        .sum::<f64>()
+        / (xs.len() - k) as f64;
+    cov / var
+}
+
+/// Rescaled-range (R/S) Hurst-exponent estimate.
+///
+/// The series is cut into blocks at several sizes; `log(R/S)` is
+/// regressed on `log(block size)`. Values near 0.5 mean memoryless,
+/// values toward 1.0 mean long-range-dependent (self-similar) bursts.
+/// Returns 0.5 when the series is too short or degenerate for a slope.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn hurst_rs(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "series must not be empty");
+    if xs.len() < 16 {
+        return 0.5;
+    }
+    let mut points = Vec::new();
+    let mut size = 8usize;
+    while size <= xs.len() / 2 {
+        let mut rs_values = Vec::new();
+        for block in xs.chunks_exact(size) {
+            if let Some(rs) = rescaled_range(block) {
+                rs_values.push(rs);
+            }
+        }
+        if !rs_values.is_empty() {
+            let avg = mean(&rs_values);
+            if avg > 0.0 {
+                points.push(((size as f64).ln(), avg.ln()));
+            }
+        }
+        size *= 2;
+    }
+    if points.len() < 2 {
+        return 0.5;
+    }
+    slope(&points).clamp(0.0, 1.0)
+}
+
+/// R/S of one block: range of the mean-adjusted cumulative sum over the
+/// standard deviation. `None` when the block has zero variance.
+fn rescaled_range(block: &[f64]) -> Option<f64> {
+    let m = mean(block);
+    let sd = variance(block).sqrt();
+    if sd == 0.0 {
+        return None;
+    }
+    let mut acc = 0.0;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &x in block {
+        acc += x - m;
+        min = min.min(acc);
+        max = max.max(acc);
+    }
+    Some((max - min) / sd)
+}
+
+/// Least-squares slope of `(x, y)` points.
+fn slope(points: &[(f64, f64)]) -> f64 {
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        0.5
+    } else {
+        (n * sxy - sx * sy) / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::{DemandProcess as _, FlashCrowd, FlashCrowdConfig, OnOffHeavyTail};
+    use crate::request::{Request, RequestId};
+    use crate::service::ServiceId;
+    use mec_net::station::Position;
+    use mec_net::BsId;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn mean_and_variance_basics() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(variance(&[1.0, 3.0]), 1.0);
+    }
+
+    #[test]
+    fn dispersion_of_constant_series_is_zero() {
+        assert_eq!(index_of_dispersion(&[5.0; 20]), 0.0);
+        assert_eq!(index_of_dispersion(&[0.0; 5]), 0.0);
+    }
+
+    #[test]
+    fn bursty_series_has_high_dispersion_and_peak_ratio() {
+        let mut xs = vec![1.0; 50];
+        xs[10] = 100.0;
+        xs[11] = 60.0;
+        assert!(index_of_dispersion(&xs) > 10.0);
+        assert!(peak_to_mean(&xs) > 10.0);
+    }
+
+    #[test]
+    fn autocorrelation_of_alternating_series_is_negative() {
+        let xs: Vec<f64> = (0..40).map(|t| if t % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        assert!(autocorrelation(&xs, 1) < -0.9);
+        assert!(autocorrelation(&xs, 2) > 0.9);
+    }
+
+    #[test]
+    fn hurst_of_iid_noise_is_near_half() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..2048).map(|_| rng.random_range(0.0..1.0)).collect();
+        let h = hurst_rs(&xs);
+        assert!(
+            (0.35..=0.68).contains(&h),
+            "iid noise should estimate near 0.5, got {h}"
+        );
+    }
+
+    #[test]
+    fn hurst_of_trending_series_is_high() {
+        // A random walk (integrated noise) is strongly persistent.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut acc = 0.0;
+        let xs: Vec<f64> = (0..2048)
+            .map(|_| {
+                acc += rng.random_range(-0.5..0.6);
+                acc
+            })
+            .collect();
+        let h = hurst_rs(&xs);
+        assert!(h > 0.75, "random walk should look persistent, got {h}");
+    }
+
+    #[test]
+    fn hurst_short_series_degrades_gracefully() {
+        assert_eq!(hurst_rs(&[1.0; 8]), 0.5);
+    }
+
+    fn reqs(n: usize) -> Vec<Request> {
+        (0..n)
+            .map(|i| {
+                Request::new(
+                    RequestId(i),
+                    ServiceId(0),
+                    Position::default(),
+                    BsId(0),
+                    i % 2,
+                    2.0,
+                    1,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn flash_crowd_is_measurably_bursty() {
+        let reqs = reqs(10);
+        let mut p = FlashCrowd::new(&reqs, FlashCrowdConfig::default(), 3);
+        let mut series = Vec::new();
+        for _ in 0..400 {
+            p.advance();
+            series.push((0..10).map(|i| p.demand(RequestId(i))).sum::<f64>());
+        }
+        assert!(
+            index_of_dispersion(&series) > 3.0,
+            "flash crowd dispersion {}",
+            index_of_dispersion(&series)
+        );
+        // Bursts decay over a few slots → positive short-lag correlation.
+        assert!(autocorrelation(&series, 1) > 0.2);
+    }
+
+    #[test]
+    fn heavy_tail_beats_poisson_like_dispersion() {
+        let reqs = reqs(10);
+        let mut p = OnOffHeavyTail::new(&reqs, 0.3, 2.0, 1.2, 200.0, 3);
+        let mut series = Vec::new();
+        for _ in 0..400 {
+            p.advance();
+            series.push((0..10).map(|i| p.demand(RequestId(i))).sum::<f64>());
+        }
+        assert!(index_of_dispersion(&series) > 1.5);
+        assert!(peak_to_mean(&series) > 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lag must be shorter")]
+    fn autocorrelation_rejects_long_lag() {
+        let _ = autocorrelation(&[1.0, 2.0], 2);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests of the workload substrate: every demand process
+//! respects the basic-demand floor (the paper's definition of ρ^bsc),
+//! traces round-trip through their binary codec, and one-hot coding is
+//! lossless.
+
+use mec_workload::demand::{
+    DemandProcess, FlashCrowd, FlashCrowdConfig, Mmpp, OnOffHeavyTail,
+};
+use mec_workload::{HotspotTrace, OneHot, Request, RequestId, ServiceId};
+use mec_net::station::Position;
+use mec_net::BsId;
+use proptest::prelude::*;
+
+fn requests(n: usize, n_cells: usize, base: f64) -> Vec<Request> {
+    (0..n)
+        .map(|i| {
+            Request::new(
+                RequestId(i),
+                ServiceId(i % 3),
+                Position::new(i as f64, 0.0),
+                BsId(i % 4),
+                i % n_cells,
+                base + (i % 3) as f64,
+                1,
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn flash_crowd_never_dips_below_basics(
+        n in 1usize..20,
+        n_cells in 1usize..5,
+        seed in 0u64..1000,
+        event_probability in 0.0..1.0f64,
+        amplitude in 0.5..40.0f64,
+        decay in 0.05..0.95f64,
+    ) {
+        let reqs = requests(n, n_cells, 1.0);
+        let cfg = FlashCrowdConfig {
+            event_probability,
+            amplitude,
+            decay,
+            onset_fraction: 0.3,
+            cutoff: 0.5,
+        };
+        let mut p = FlashCrowd::new(&reqs, cfg, seed);
+        for _ in 0..40 {
+            p.advance();
+            for r in &reqs {
+                prop_assert!(p.demand(r.id()) >= r.basic_demand() - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn mmpp_never_dips_below_basics(
+        n in 1usize..15,
+        seed in 0u64..1000,
+        p_busy in 0.0..1.0f64,
+        p_calm in 0.0..1.0f64,
+        extra in 0.0..30.0f64,
+    ) {
+        let reqs = requests(n, 3.min(n), 2.0);
+        let mut p = Mmpp::new(&reqs, p_busy, p_calm, extra, seed);
+        for _ in 0..30 {
+            p.advance();
+            for r in &reqs {
+                prop_assert!(p.demand(r.id()) >= r.basic_demand() - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn onoff_bursts_bounded_by_cap(
+        n in 1usize..15,
+        seed in 0u64..1000,
+        p_on in 0.0..1.0f64,
+        scale in 0.5..5.0f64,
+        shape in 0.5..3.0f64,
+        cap in 1.0..50.0f64,
+    ) {
+        let reqs = requests(n, 2.min(n), 1.5);
+        let mut p = OnOffHeavyTail::new(&reqs, p_on, scale, shape, cap, seed);
+        for _ in 0..30 {
+            p.advance();
+            for r in &reqs {
+                let d = p.demand(r.id());
+                prop_assert!(d >= r.basic_demand() - 1e-12);
+                prop_assert!(d <= r.basic_demand() + cap + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn one_hot_round_trips(n_classes in 1usize..40, class_seed in 0usize..1000) {
+        let class = class_seed % n_classes;
+        let enc = OneHot::new(n_classes);
+        prop_assert_eq!(enc.decode(&enc.encode(class)), class);
+    }
+
+    #[test]
+    fn trace_binary_codec_round_trips(
+        users in 1usize..8,
+        cells in 1usize..4,
+        services in 1usize..3,
+        slots in 1usize..15,
+        seed in 0u64..1000,
+    ) {
+        let t = HotspotTrace::synthesize(users, cells, services, slots, seed);
+        let decoded = HotspotTrace::from_bytes(t.to_bytes()).expect("self-encoded");
+        prop_assert_eq!(decoded, t);
+    }
+
+    #[test]
+    fn trace_split_preserves_rows(
+        slots in 4usize..30,
+        frac_pct in 20usize..80,
+        seed in 0u64..500,
+    ) {
+        let t = HotspotTrace::synthesize(5, 2, 2, slots, seed);
+        let (a, b) = t.split_time(frac_pct as f64 / 100.0);
+        prop_assert_eq!(a.rows().len() + b.rows().len(), t.rows().len());
+        prop_assert_eq!(a.n_slots() + b.n_slots(), t.n_slots());
+    }
+}

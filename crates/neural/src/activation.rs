@@ -1,0 +1,152 @@
+//! Activation functions and their derivatives.
+
+/// Logistic sigmoid `1/(1+e^{−x})`, numerically stable for large `|x|`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(neural::activation::sigmoid(0.0), 0.5);
+/// ```
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Derivative of sigmoid expressed through its output `s = σ(x)`.
+pub fn sigmoid_deriv_from_output(s: f64) -> f64 {
+    s * (1.0 - s)
+}
+
+/// Hyperbolic tangent.
+pub fn tanh(x: f64) -> f64 {
+    x.tanh()
+}
+
+/// Derivative of tanh through its output `t = tanh(x)`.
+pub fn tanh_deriv_from_output(t: f64) -> f64 {
+    1.0 - t * t
+}
+
+/// Softmax over a slice, shifted by the max for stability.
+///
+/// # Panics
+///
+/// Panics if `x` is empty.
+pub fn softmax(x: &[f64]) -> Vec<f64> {
+    assert!(!x.is_empty(), "softmax of an empty slice");
+    let max = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = x.iter().map(|v| (v - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Backward pass through softmax: given the output `s` and upstream
+/// gradient `ds`, returns the gradient w.r.t. the logits:
+/// `dx_i = s_i·(ds_i − Σ_j ds_j·s_j)`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn softmax_backward(s: &[f64], ds: &[f64]) -> Vec<f64> {
+    assert_eq!(s.len(), ds.len(), "length mismatch");
+    let dot: f64 = s.iter().zip(ds).map(|(a, b)| a * b).sum();
+    s.iter().zip(ds).map(|(si, dsi)| si * (dsi - dot)).collect()
+}
+
+/// Softplus `ln(1+e^x)`, stable for large `x`.
+pub fn softplus(x: f64) -> f64 {
+    if x > 30.0 {
+        x
+    } else {
+        (1.0 + x.exp()).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff(f: impl Fn(f64) -> f64, x: f64) -> f64 {
+        let h = 1e-6;
+        (f(x + h) - f(x - h)) / (2.0 * h)
+    }
+
+    #[test]
+    fn sigmoid_range_and_extremes() {
+        assert!(sigmoid(100.0) > 0.999_999);
+        assert!(sigmoid(-100.0) < 1e-6);
+        assert!(sigmoid(-1000.0).is_finite());
+        assert!(sigmoid(1000.0).is_finite());
+    }
+
+    #[test]
+    fn sigmoid_derivative_matches_finite_difference() {
+        for &x in &[-2.0, -0.5, 0.0, 1.0, 3.0] {
+            let analytic = sigmoid_deriv_from_output(sigmoid(x));
+            let numeric = finite_diff(sigmoid, x);
+            assert!((analytic - numeric).abs() < 1e-6, "x={x}");
+        }
+    }
+
+    #[test]
+    fn tanh_derivative_matches_finite_difference() {
+        for &x in &[-2.0, 0.0, 0.7] {
+            let analytic = tanh_deriv_from_output(tanh(x));
+            let numeric = finite_diff(tanh, x);
+            assert!((analytic - numeric).abs() < 1e-6, "x={x}");
+        }
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let s = softmax(&[1.0, 2.0, 3.0]);
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(s[2] > s[1] && s[1] > s[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&[1.0, 2.0]);
+        let b = softmax(&[1001.0, 1002.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn softmax_backward_matches_finite_difference() {
+        let x = [0.3, -1.0, 0.8];
+        let ds = [1.0, -0.5, 0.2];
+        let s = softmax(&x);
+        let analytic = softmax_backward(&s, &ds);
+        let h = 1e-6;
+        for j in 0..3 {
+            let mut xp = x;
+            xp[j] += h;
+            let mut xm = x;
+            xm[j] -= h;
+            let f = |v: &[f64]| -> f64 {
+                softmax(v).iter().zip(&ds).map(|(a, b)| a * b).sum()
+            };
+            let numeric = (f(&xp) - f(&xm)) / (2.0 * h);
+            assert!((analytic[j] - numeric).abs() < 1e-6, "j={j}");
+        }
+    }
+
+    #[test]
+    fn softplus_stable_and_positive() {
+        assert!((softplus(0.0) - (2.0_f64).ln()).abs() < 1e-12);
+        assert_eq!(softplus(100.0), 100.0);
+        assert!(softplus(-100.0) >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty slice")]
+    fn softmax_rejects_empty() {
+        let _ = softmax(&[]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Compact binary codec for matrices and parameters.
+//!
+//! Lets trained models (notably the Info-RNN-GAN) be checkpointed and
+//! restored without a serialization framework: each matrix is written as
+//! `rows:u32, cols:u32, data:f64…` big-endian, with a leading magic and
+//! tensor count for the whole bundle.
+
+use crate::matrix::Matrix;
+use crate::param::Param;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: u32 = 0x4c58_4e4e; // "LXNN"
+
+/// Error decoding a weight bundle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer does not start with the expected magic number.
+    BadMagic,
+    /// The buffer ended before the declared contents.
+    Truncated,
+    /// The bundle holds a different number of tensors than the target
+    /// model.
+    TensorCountMismatch {
+        /// Tensors in the bundle.
+        found: usize,
+        /// Tensors the model expects.
+        expected: usize,
+    },
+    /// A tensor's shape differs from the target parameter.
+    ShapeMismatch {
+        /// Index of the offending tensor.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadMagic => f.write_str("not a weight bundle (bad magic)"),
+            CodecError::Truncated => f.write_str("weight bundle was truncated"),
+            CodecError::TensorCountMismatch { found, expected } => write!(
+                f,
+                "bundle holds {found} tensors but the model expects {expected}"
+            ),
+            CodecError::ShapeMismatch { index } => {
+                write!(f, "tensor {index} has a mismatched shape")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn put_matrix(buf: &mut BytesMut, m: &Matrix) {
+    buf.put_u32(m.rows() as u32);
+    buf.put_u32(m.cols() as u32);
+    for &v in m.as_slice() {
+        buf.put_f64(v);
+    }
+}
+
+fn take_matrix(buf: &mut Bytes) -> Result<Matrix, CodecError> {
+    if buf.remaining() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    let rows = buf.get_u32() as usize;
+    let cols = buf.get_u32() as usize;
+    if buf.remaining() < rows * cols * 8 {
+        return Err(CodecError::Truncated);
+    }
+    let mut m = Matrix::zeros(rows.max(1), cols.max(1));
+    for r in 0..rows {
+        for c in 0..cols {
+            m.set(r, c, buf.get_f64());
+        }
+    }
+    Ok(m)
+}
+
+/// Serializes an ordered parameter list (values only — gradients are
+/// transient) into a bundle.
+pub fn export_params(params: &[&Param]) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32(MAGIC);
+    buf.put_u32(params.len() as u32);
+    for p in params {
+        put_matrix(&mut buf, &p.value);
+    }
+    buf.freeze()
+}
+
+/// Restores a bundle written by [`export_params`] into the same ordered
+/// parameter list. Gradients are zeroed.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] if the buffer is malformed or shapes differ.
+pub fn import_params(params: &mut [&mut Param], mut bytes: Bytes) -> Result<(), CodecError> {
+    if bytes.remaining() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    if bytes.get_u32() != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let count = bytes.get_u32() as usize;
+    if count != params.len() {
+        return Err(CodecError::TensorCountMismatch {
+            found: count,
+            expected: params.len(),
+        });
+    }
+    // Decode everything first so a failure leaves the model untouched.
+    let mut decoded = Vec::with_capacity(count);
+    for (index, p) in params.iter().enumerate() {
+        let m = take_matrix(&mut bytes)?;
+        if m.rows() != p.value.rows() || m.cols() != p.value.cols() {
+            return Err(CodecError::ShapeMismatch { index });
+        }
+        decoded.push(m);
+    }
+    for (p, m) in params.iter_mut().zip(decoded) {
+        p.value = m;
+        p.zero_grad();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> Vec<Param> {
+        vec![Param::xavier(3, 2, 1), Param::xavier(1, 4, 2)]
+    }
+
+    #[test]
+    fn round_trip_restores_values_exactly() {
+        let source = params();
+        let bytes = export_params(&source.iter().collect::<Vec<_>>());
+        let mut target = vec![Param::zeros(3, 2), Param::zeros(1, 4)];
+        import_params(
+            &mut target.iter_mut().collect::<Vec<_>>(),
+            bytes,
+        )
+        .expect("round trip");
+        for (s, t) in source.iter().zip(&target) {
+            assert_eq!(s.value, t.value);
+            assert!(t.grad.as_slice().iter().all(|&g| g == 0.0));
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut target = params();
+        let err = import_params(
+            &mut target.iter_mut().collect::<Vec<_>>(),
+            Bytes::from_static(&[0u8; 16]),
+        );
+        assert_eq!(err, Err(CodecError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_detected_and_model_untouched() {
+        let source = params();
+        let bytes = export_params(&source.iter().collect::<Vec<_>>());
+        let cut = bytes.slice(0..bytes.len() - 4);
+        let mut target = params();
+        let before = target[0].value.clone();
+        let err = import_params(&mut target.iter_mut().collect::<Vec<_>>(), cut);
+        assert_eq!(err, Err(CodecError::Truncated));
+        assert_eq!(target[0].value, before, "failed import must not mutate");
+    }
+
+    #[test]
+    fn tensor_count_mismatch_detected() {
+        let source = params();
+        let bytes = export_params(&source.iter().collect::<Vec<_>>());
+        let mut target = vec![Param::zeros(3, 2)];
+        let err = import_params(&mut target.iter_mut().collect::<Vec<_>>(), bytes);
+        assert_eq!(
+            err,
+            Err(CodecError::TensorCountMismatch {
+                found: 2,
+                expected: 1
+            })
+        );
+    }
+
+    #[test]
+    fn shape_mismatch_detected() {
+        let source = params();
+        let bytes = export_params(&source.iter().collect::<Vec<_>>());
+        let mut target = vec![Param::zeros(2, 3), Param::zeros(1, 4)];
+        let err = import_params(&mut target.iter_mut().collect::<Vec<_>>(), bytes);
+        assert_eq!(err, Err(CodecError::ShapeMismatch { index: 0 }));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert_eq!(
+            CodecError::BadMagic.to_string(),
+            "not a weight bundle (bad magic)"
+        );
+        assert!(CodecError::TensorCountMismatch {
+            found: 1,
+            expected: 2
+        }
+        .to_string()
+        .contains("1 tensors"));
+    }
+}

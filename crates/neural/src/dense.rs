@@ -1,0 +1,179 @@
+//! Fully connected layer.
+
+use crate::param::Param;
+use serde::{Deserialize, Serialize};
+
+/// A dense affine layer `y = W·x + b`.
+///
+/// The layer is stateless across calls; the caller passes the same input
+/// to [`Dense::backward`] that was used in [`Dense::forward`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dense {
+    w: Param,
+    b: Param,
+}
+
+impl Dense {
+    /// Creates a layer with Xavier-initialized weights and zero bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(input: usize, output: usize, seed: u64) -> Self {
+        Dense {
+            w: Param::xavier(output, input, seed),
+            b: Param::zeros(output, 1),
+        }
+    }
+
+    /// Input width.
+    pub fn input_len(&self) -> usize {
+        self.w.value.cols()
+    }
+
+    /// Output width.
+    pub fn output_len(&self) -> usize {
+        self.w.value.rows()
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != input_len()`.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = self.w.value.matvec(x);
+        for (v, b) in y.iter_mut().zip(self.b.value.as_slice()) {
+            *v += b;
+        }
+        y
+    }
+
+    /// Backward pass: accumulates `dW += dy⊗x`, `db += dy` and returns
+    /// `dx = Wᵀ·dy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches.
+    pub fn backward(&mut self, x: &[f64], dy: &[f64]) -> Vec<f64> {
+        assert_eq!(dy.len(), self.output_len(), "dy length mismatch");
+        self.w.grad.add_outer(dy, x);
+        for (g, d) in self.b.grad.as_mut_slice().iter_mut().zip(dy) {
+            *g += d;
+        }
+        self.w.value.matvec_t(dy)
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.w.zero_grad();
+        self.b.zero_grad();
+    }
+
+    /// The layer's parameters for an optimizer step.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+
+    /// Number of scalar parameters.
+    pub fn n_params(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Sgd;
+
+    #[test]
+    fn forward_is_affine() {
+        let mut layer = Dense::new(2, 2, 3);
+        // Overwrite with known values.
+        layer.w.value.set(0, 0, 1.0);
+        layer.w.value.set(0, 1, 2.0);
+        layer.w.value.set(1, 0, -1.0);
+        layer.w.value.set(1, 1, 0.5);
+        layer.b.value.set(0, 0, 1.0);
+        layer.b.value.set(1, 0, 0.0);
+        let y = layer.forward(&[2.0, 1.0]);
+        assert_eq!(y, vec![5.0, -1.5]);
+    }
+
+    #[test]
+    fn gradient_check_weights_and_input() {
+        let mut layer = Dense::new(3, 2, 7);
+        let x = [0.5, -1.0, 2.0];
+        let dy = [1.0, -2.0];
+        let loss = |l: &Dense| -> f64 {
+            l.forward(&x).iter().zip(&dy).map(|(a, b)| a * b).sum()
+        };
+        layer.zero_grad();
+        let dx = layer.backward(&x, &dy);
+        let h = 1e-6;
+        // Weight gradients.
+        for r in 0..2 {
+            for c in 0..3 {
+                let orig = layer.w.value.get(r, c);
+                layer.w.value.set(r, c, orig + h);
+                let up = loss(&layer);
+                layer.w.value.set(r, c, orig - h);
+                let down = loss(&layer);
+                layer.w.value.set(r, c, orig);
+                let numeric = (up - down) / (2.0 * h);
+                assert!(
+                    (layer.w.grad.get(r, c) - numeric).abs() < 1e-6,
+                    "dW[{r}][{c}]"
+                );
+            }
+        }
+        // Bias gradients equal dy.
+        assert_eq!(layer.b.grad.as_slice(), &dy);
+        // Input gradient via finite differences.
+        for j in 0..3 {
+            let mut xp = x;
+            xp[j] += h;
+            let mut xm = x;
+            xm[j] -= h;
+            let f = |v: &[f64]| -> f64 {
+                layer.forward(v).iter().zip(&dy).map(|(a, b)| a * b).sum()
+            };
+            let numeric = (f(&xp) - f(&xm)) / (2.0 * h);
+            assert!((dx[j] - numeric).abs() < 1e-6, "dx[{j}]");
+        }
+    }
+
+    #[test]
+    fn gradients_accumulate_until_cleared() {
+        let mut layer = Dense::new(1, 1, 1);
+        layer.backward(&[1.0], &[1.0]);
+        layer.backward(&[1.0], &[1.0]);
+        assert_eq!(layer.w.grad.get(0, 0), 2.0);
+        layer.zero_grad();
+        assert_eq!(layer.w.grad.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn sgd_reduces_regression_loss() {
+        let mut layer = Dense::new(1, 1, 9);
+        let mut opt = Sgd::new(0.1);
+        let mut last = f64::INFINITY;
+        for _ in 0..50 {
+            layer.zero_grad();
+            let y = layer.forward(&[2.0]);
+            let err = y[0] - 6.0;
+            layer.backward(&[2.0], &[2.0 * err]);
+            opt.step(layer.params_mut());
+            last = err * err;
+        }
+        assert!(last < 1e-3, "loss {last}");
+    }
+
+    #[test]
+    fn n_params_counts_weights_and_bias() {
+        let layer = Dense::new(4, 3, 1);
+        assert_eq!(layer.n_params(), 12 + 3);
+        assert_eq!(layer.input_len(), 4);
+        assert_eq!(layer.output_len(), 3);
+    }
+}

@@ -1,0 +1,173 @@
+//! Loss functions returning `(loss, gradient)` pairs.
+
+/// Mean-squared error: `L = (1/n)·Σ (pred − target)²` and its gradient
+/// w.r.t. `pred`.
+///
+/// # Panics
+///
+/// Panics if lengths differ or the slices are empty.
+///
+/// # Example
+///
+/// ```
+/// let (l, g) = neural::loss::mse(&[1.0], &[3.0]);
+/// assert_eq!(l, 4.0);
+/// assert_eq!(g, vec![-4.0]);
+/// ```
+pub fn mse(pred: &[f64], target: &[f64]) -> (f64, Vec<f64>) {
+    assert_eq!(pred.len(), target.len(), "length mismatch");
+    assert!(!pred.is_empty(), "empty loss input");
+    let n = pred.len() as f64;
+    let mut loss = 0.0;
+    let mut grad = Vec::with_capacity(pred.len());
+    for (p, t) in pred.iter().zip(target) {
+        let d = p - t;
+        loss += d * d;
+        grad.push(2.0 * d / n);
+    }
+    (loss / n, grad)
+}
+
+/// Binary cross-entropy on a probability `p ∈ (0, 1)` against a 0/1
+/// label: `L = −[y·ln p + (1−y)·ln(1−p)]`, gradient w.r.t. `p`.
+///
+/// The probability is clamped to `[1e−7, 1−1e−7]` for numerical safety.
+///
+/// # Panics
+///
+/// Panics if `label` is not 0 or 1.
+pub fn bce(prob: f64, label: f64) -> (f64, f64) {
+    assert!(label == 0.0 || label == 1.0, "label must be 0 or 1");
+    let p = prob.clamp(1e-7, 1.0 - 1e-7);
+    let loss = -(label * p.ln() + (1.0 - label) * (1.0 - p).ln());
+    let grad = (p - label) / (p * (1.0 - p));
+    (loss, grad)
+}
+
+/// Binary cross-entropy on a logit (pre-sigmoid) value — the stable
+/// formulation `L = softplus(x) − y·x`, gradient `σ(x) − y` w.r.t. the
+/// logit.
+///
+/// # Panics
+///
+/// Panics if `label` is not 0 or 1.
+pub fn bce_with_logit(logit: f64, label: f64) -> (f64, f64) {
+    assert!(label == 0.0 || label == 1.0, "label must be 0 or 1");
+    let loss = crate::activation::softplus(logit) - label * logit;
+    let grad = crate::activation::sigmoid(logit) - label;
+    (loss, grad)
+}
+
+/// Categorical cross-entropy of a probability vector against a class
+/// index, with the gradient w.r.t. the probabilities.
+///
+/// # Panics
+///
+/// Panics if `class` is out of range or `probs` is empty.
+pub fn cross_entropy(probs: &[f64], class: usize) -> (f64, Vec<f64>) {
+    assert!(!probs.is_empty(), "empty probability vector");
+    assert!(class < probs.len(), "class out of range");
+    let p = probs[class].clamp(1e-12, 1.0);
+    let loss = -p.ln();
+    let mut grad = vec![0.0; probs.len()];
+    grad[class] = -1.0 / p;
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::sigmoid;
+
+    #[test]
+    fn mse_gradient_matches_finite_difference() {
+        let pred = [0.5, -1.0, 2.0];
+        let target = [1.0, 0.0, 2.0];
+        let (_, grad) = mse(&pred, &target);
+        let h = 1e-6;
+        for j in 0..3 {
+            let mut up = pred;
+            up[j] += h;
+            let mut down = pred;
+            down[j] -= h;
+            let numeric = (mse(&up, &target).0 - mse(&down, &target).0) / (2.0 * h);
+            assert!((grad[j] - numeric).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn mse_zero_at_perfect_prediction() {
+        let (l, g) = mse(&[1.0, 2.0], &[1.0, 2.0]);
+        assert_eq!(l, 0.0);
+        assert!(g.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn bce_penalizes_confident_mistakes() {
+        let (wrong, _) = bce(0.99, 0.0);
+        let (right, _) = bce(0.99, 1.0);
+        assert!(wrong > 4.0);
+        assert!(right < 0.02);
+    }
+
+    #[test]
+    fn bce_gradient_matches_finite_difference() {
+        for &(p, y) in &[(0.3, 1.0), (0.7, 0.0), (0.5, 1.0)] {
+            let (_, g) = bce(p, y);
+            let h = 1e-7;
+            let numeric = (bce(p + h, y).0 - bce(p - h, y).0) / (2.0 * h);
+            assert!((g - numeric).abs() < 1e-4, "p={p} y={y}");
+        }
+    }
+
+    #[test]
+    fn bce_with_logit_matches_probability_form() {
+        for &(x, y) in &[(-2.0, 0.0), (0.5, 1.0), (3.0, 0.0)] {
+            let (l_logit, _) = bce_with_logit(x, y);
+            let (l_prob, _) = bce(sigmoid(x), y);
+            assert!((l_logit - l_prob).abs() < 1e-6, "x={x}");
+        }
+    }
+
+    #[test]
+    fn bce_with_logit_gradient_matches_finite_difference() {
+        for &(x, y) in &[(-1.0, 1.0), (2.0, 0.0)] {
+            let (_, g) = bce_with_logit(x, y);
+            let h = 1e-6;
+            let numeric = (bce_with_logit(x + h, y).0 - bce_with_logit(x - h, y).0) / (2.0 * h);
+            assert!((g - numeric).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn bce_extreme_probabilities_stay_finite() {
+        assert!(bce(0.0, 1.0).0.is_finite());
+        assert!(bce(1.0, 0.0).0.is_finite());
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let probs = [0.2, 0.5, 0.3];
+        let (_, grad) = cross_entropy(&probs, 1);
+        let h = 1e-7;
+        let mut up = probs;
+        up[1] += h;
+        let mut down = probs;
+        down[1] -= h;
+        let numeric = (cross_entropy(&up, 1).0 - cross_entropy(&down, 1).0) / (2.0 * h);
+        assert!((grad[1] - numeric).abs() < 1e-4);
+        assert_eq!(grad[0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label must be 0 or 1")]
+    fn bce_rejects_soft_labels() {
+        let _ = bce(0.5, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mse_rejects_mismatch() {
+        let _ = mse(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,539 @@
+//! LSTM and bidirectional LSTM with backpropagation through time.
+
+use crate::activation::{sigmoid, tanh};
+use crate::param::Param;
+use serde::{Deserialize, Serialize};
+
+/// A single-layer LSTM cell unrolled over sequences.
+///
+/// Gate layout in the stacked `4h` dimension: input `i`, forget `f`,
+/// candidate `g`, output `o`. The forget-gate bias is initialized to 1
+/// (the standard trick that keeps memory open early in training).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LstmCell {
+    /// Input weights, `4h × input`.
+    w: Param,
+    /// Recurrent weights, `4h × h`.
+    u: Param,
+    /// Bias, `4h × 1`.
+    b: Param,
+    input: usize,
+    hidden: usize,
+}
+
+/// Cached activations of one forward pass, needed for BPTT.
+#[derive(Debug, Clone)]
+pub struct LstmTrace {
+    xs: Vec<Vec<f64>>,
+    /// `h_t` for `t = 0..T` (index 0 is the initial zero state).
+    hs: Vec<Vec<f64>>,
+    /// `c_t` likewise.
+    cs: Vec<Vec<f64>>,
+    /// Per step: gates `(i, f, g, o)` post-activation.
+    gates: Vec<[Vec<f64>; 4]>,
+    /// Per step: `tanh(c_t)`.
+    tanh_c: Vec<Vec<f64>>,
+}
+
+impl LstmTrace {
+    /// The hidden outputs `h_1..h_T`.
+    pub fn outputs(&self) -> &[Vec<f64>] {
+        &self.hs[1..]
+    }
+
+    /// Sequence length.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+}
+
+impl LstmCell {
+    /// Creates a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input == 0` or `hidden == 0`.
+    pub fn new(input: usize, hidden: usize, seed: u64) -> Self {
+        assert!(input > 0 && hidden > 0, "dimensions must be positive");
+        let mut b = Param::zeros(4 * hidden, 1);
+        // Forget-gate bias = 1.
+        for j in hidden..2 * hidden {
+            b.value.set(j, 0, 1.0);
+        }
+        LstmCell {
+            w: Param::xavier(4 * hidden, input, seed ^ 0x11),
+            u: Param::xavier(4 * hidden, hidden, seed ^ 0x22),
+            b,
+            input,
+            hidden,
+        }
+    }
+
+    /// Input width.
+    pub fn input_len(&self) -> usize {
+        self.input
+    }
+
+    /// Hidden width.
+    pub fn hidden_len(&self) -> usize {
+        self.hidden
+    }
+
+    /// Runs the cell over a sequence from a zero initial state and
+    /// returns the cached trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is empty or an input has the wrong width.
+    pub fn forward_seq(&self, xs: &[Vec<f64>]) -> LstmTrace {
+        assert!(!xs.is_empty(), "sequence must not be empty");
+        let h = self.hidden;
+        let mut trace = LstmTrace {
+            xs: xs.to_vec(),
+            hs: vec![vec![0.0; h]],
+            cs: vec![vec![0.0; h]],
+            gates: Vec::with_capacity(xs.len()),
+            tanh_c: Vec::with_capacity(xs.len()),
+        };
+        for x in xs {
+            assert_eq!(x.len(), self.input, "input width mismatch");
+            let h_prev = trace.hs.last().expect("initialized").clone();
+            let c_prev = trace.cs.last().expect("initialized").clone();
+            let mut z = self.w.value.matvec(x);
+            let zu = self.u.value.matvec(&h_prev);
+            for ((zv, uv), bv) in z.iter_mut().zip(&zu).zip(self.b.value.as_slice()) {
+                *zv += uv + bv;
+            }
+            let mut i = vec![0.0; h];
+            let mut f = vec![0.0; h];
+            let mut g = vec![0.0; h];
+            let mut o = vec![0.0; h];
+            for j in 0..h {
+                i[j] = sigmoid(z[j]);
+                f[j] = sigmoid(z[h + j]);
+                g[j] = tanh(z[2 * h + j]);
+                o[j] = sigmoid(z[3 * h + j]);
+            }
+            let mut c = vec![0.0; h];
+            let mut tc = vec![0.0; h];
+            let mut h_new = vec![0.0; h];
+            for j in 0..h {
+                c[j] = f[j] * c_prev[j] + i[j] * g[j];
+                tc[j] = tanh(c[j]);
+                h_new[j] = o[j] * tc[j];
+            }
+            trace.gates.push([i, f, g, o]);
+            trace.tanh_c.push(tc);
+            trace.cs.push(c);
+            trace.hs.push(h_new);
+        }
+        trace
+    }
+
+    /// BPTT over a cached trace. `dhs[t]` is the upstream gradient on
+    /// `h_{t+1}` (the output at step `t`). Accumulates parameter
+    /// gradients and returns the gradients w.r.t. the inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dhs.len() != trace.len()`.
+    pub fn backward_seq(&mut self, trace: &LstmTrace, dhs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        assert_eq!(dhs.len(), trace.len(), "one gradient per step");
+        let h = self.hidden;
+        let t_len = trace.len();
+        let mut dxs = vec![vec![0.0; self.input]; t_len];
+        let mut dh_next = vec![0.0; h];
+        let mut dc_next = vec![0.0; h];
+        for t in (0..t_len).rev() {
+            let [i, f, g, o] = &trace.gates[t];
+            let tc = &trace.tanh_c[t];
+            let c_prev = &trace.cs[t];
+            let h_prev = &trace.hs[t];
+            let x = &trace.xs[t];
+            let mut dz = vec![0.0; 4 * h];
+            let mut dc = vec![0.0; h];
+            for j in 0..h {
+                let dh = dhs[t][j] + dh_next[j];
+                let do_ = dh * tc[j];
+                dc[j] = dh * o[j] * (1.0 - tc[j] * tc[j]) + dc_next[j];
+                let df = dc[j] * c_prev[j];
+                let di = dc[j] * g[j];
+                let dg = dc[j] * i[j];
+                dz[j] = di * i[j] * (1.0 - i[j]);
+                dz[h + j] = df * f[j] * (1.0 - f[j]);
+                dz[2 * h + j] = dg * (1.0 - g[j] * g[j]);
+                dz[3 * h + j] = do_ * o[j] * (1.0 - o[j]);
+            }
+            self.w.grad.add_outer(&dz, x);
+            self.u.grad.add_outer(&dz, h_prev);
+            for (bg, d) in self.b.grad.as_mut_slice().iter_mut().zip(&dz) {
+                *bg += d;
+            }
+            dxs[t] = self.w.value.matvec_t(&dz);
+            dh_next = self.u.value.matvec_t(&dz);
+            for j in 0..h {
+                dc_next[j] = dc[j] * f[j];
+            }
+        }
+        dxs
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.w.zero_grad();
+        self.u.zero_grad();
+        self.b.zero_grad();
+    }
+
+    /// Parameters for the optimizer.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.u, &mut self.b]
+    }
+
+    /// Number of scalar parameters.
+    pub fn n_params(&self) -> usize {
+        self.w.len() + self.u.len() + self.b.len()
+    }
+}
+
+/// A bidirectional LSTM: a forward and a backward cell whose hidden
+/// states are concatenated per step (`output width = 2·hidden`).
+///
+/// The paper's generator and discriminator both use Bi-LSTMs so that
+/// "user behaviors can be learned from bi-directions".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BiLstm {
+    fw: LstmCell,
+    bw: LstmCell,
+}
+
+/// Cached traces of both directions.
+#[derive(Debug, Clone)]
+pub struct BiLstmTrace {
+    fw: LstmTrace,
+    bw: LstmTrace,
+    outputs: Vec<Vec<f64>>,
+}
+
+impl BiLstmTrace {
+    /// Concatenated outputs per step, width `2·hidden`.
+    pub fn outputs(&self) -> &[Vec<f64>] {
+        &self.outputs
+    }
+}
+
+impl BiLstm {
+    /// Creates the pair of cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input == 0` or `hidden == 0`.
+    pub fn new(input: usize, hidden: usize, seed: u64) -> Self {
+        BiLstm {
+            fw: LstmCell::new(input, hidden, seed ^ 0xf0),
+            bw: LstmCell::new(input, hidden, seed ^ 0x0b),
+        }
+    }
+
+    /// Output width (`2·hidden`).
+    pub fn output_len(&self) -> usize {
+        2 * self.fw.hidden_len()
+    }
+
+    /// Input width.
+    pub fn input_len(&self) -> usize {
+        self.fw.input_len()
+    }
+
+    /// Runs both directions over the sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is empty or widths mismatch.
+    pub fn forward_seq(&self, xs: &[Vec<f64>]) -> BiLstmTrace {
+        let fw = self.fw.forward_seq(xs);
+        let rev: Vec<Vec<f64>> = xs.iter().rev().cloned().collect();
+        let bw = self.bw.forward_seq(&rev);
+        let t_len = xs.len();
+        let outputs = (0..t_len)
+            .map(|t| {
+                let mut v = fw.outputs()[t].clone();
+                v.extend_from_slice(&bw.outputs()[t_len - 1 - t]);
+                v
+            })
+            .collect();
+        BiLstmTrace { fw, bw, outputs }
+    }
+
+    /// BPTT through both directions; returns input gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dhs` has the wrong length or width.
+    pub fn backward_seq(&mut self, trace: &BiLstmTrace, dhs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let t_len = trace.fw.len();
+        assert_eq!(dhs.len(), t_len, "one gradient per step");
+        let h = self.fw.hidden_len();
+        let fw_dhs: Vec<Vec<f64>> = dhs.iter().map(|d| d[..h].to_vec()).collect();
+        let bw_dhs: Vec<Vec<f64>> = (0..t_len)
+            .map(|t| dhs[t_len - 1 - t][h..].to_vec())
+            .collect();
+        let dx_fw = self.fw.backward_seq(&trace.fw, &fw_dhs);
+        let dx_bw = self.bw.backward_seq(&trace.bw, &bw_dhs);
+        (0..t_len)
+            .map(|t| {
+                dx_fw[t]
+                    .iter()
+                    .zip(&dx_bw[t_len - 1 - t])
+                    .map(|(a, b)| a + b)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.fw.zero_grad();
+        self.bw.zero_grad();
+    }
+
+    /// Parameters for the optimizer.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.fw.params_mut();
+        p.extend(self.bw.params_mut());
+        p
+    }
+
+    /// Number of scalar parameters.
+    pub fn n_params(&self) -> usize {
+        self.fw.n_params() + self.bw.n_params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Adam;
+
+    fn seq(vals: &[&[f64]]) -> Vec<Vec<f64>> {
+        vals.iter().map(|v| v.to_vec()).collect()
+    }
+
+    /// Scalar loss = Σ_t dot(h_t, weights_t) for gradient checking.
+    fn lstm_loss(cell: &LstmCell, xs: &[Vec<f64>], dhs: &[Vec<f64>]) -> f64 {
+        let trace = cell.forward_seq(xs);
+        trace
+            .outputs()
+            .iter()
+            .zip(dhs)
+            .map(|(h, d)| h.iter().zip(d).map(|(a, b)| a * b).sum::<f64>())
+            .sum()
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let cell = LstmCell::new(3, 4, 1);
+        let xs = seq(&[&[0.1, 0.2, 0.3], &[0.0, -0.1, 0.5]]);
+        let trace = cell.forward_seq(&xs);
+        assert_eq!(trace.len(), 2);
+        assert!(!trace.is_empty());
+        assert_eq!(trace.outputs().len(), 2);
+        assert_eq!(trace.outputs()[0].len(), 4);
+        assert_eq!(cell.n_params(), 4 * 4 * 3 + 4 * 4 * 4 + 16);
+    }
+
+    #[test]
+    fn outputs_are_bounded_by_one() {
+        // h = o·tanh(c) with o ∈ (0,1), |tanh| < 1.
+        let cell = LstmCell::new(2, 5, 3);
+        let xs: Vec<Vec<f64>> = (0..20).map(|t| vec![t as f64, -(t as f64)]).collect();
+        let trace = cell.forward_seq(&xs);
+        for h in trace.outputs() {
+            assert!(h.iter().all(|v| v.abs() < 1.0));
+        }
+    }
+
+    #[test]
+    fn lstm_gradient_check_all_parameters() {
+        let mut cell = LstmCell::new(2, 3, 5);
+        let xs = seq(&[&[0.5, -0.3], &[0.1, 0.9], &[-0.7, 0.2]]);
+        let dhs = seq(&[&[1.0, -1.0, 0.5], &[0.2, 0.0, -0.4], &[0.7, 0.3, 1.0]]);
+        cell.zero_grad();
+        let trace = cell.forward_seq(&xs);
+        let dxs = cell.backward_seq(&trace, &dhs);
+        let h = 1e-6;
+
+        // Check every parameter tensor at sampled coordinates.
+        for which in 0..3 {
+            let (rows, cols) = {
+                let p = &cell.params_mut()[which];
+                (p.value.rows(), p.value.cols())
+            };
+            for r in (0..rows).step_by(3) {
+                for c in (0..cols).step_by(2) {
+                    let orig = cell.params_mut()[which].value.get(r, c);
+                    cell.params_mut()[which].value.set(r, c, orig + h);
+                    let up = lstm_loss(&cell, &xs, &dhs);
+                    cell.params_mut()[which].value.set(r, c, orig - h);
+                    let down = lstm_loss(&cell, &xs, &dhs);
+                    cell.params_mut()[which].value.set(r, c, orig);
+                    let numeric = (up - down) / (2.0 * h);
+                    let analytic = cell.params_mut()[which].grad.get(r, c);
+                    assert!(
+                        (analytic - numeric).abs() < 1e-5,
+                        "param {which} [{r}][{c}]: {analytic} vs {numeric}"
+                    );
+                }
+            }
+        }
+
+        // Input gradients.
+        for t in 0..3 {
+            for j in 0..2 {
+                let mut up_xs = xs.clone();
+                up_xs[t][j] += h;
+                let mut down_xs = xs.clone();
+                down_xs[t][j] -= h;
+                let numeric =
+                    (lstm_loss(&cell, &up_xs, &dhs) - lstm_loss(&cell, &down_xs, &dhs)) / (2.0 * h);
+                assert!(
+                    (dxs[t][j] - numeric).abs() < 1e-5,
+                    "dx[{t}][{j}]: {} vs {numeric}",
+                    dxs[t][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bilstm_gradient_check() {
+        let mut net = BiLstm::new(2, 2, 9);
+        let xs = seq(&[&[0.3, -0.5], &[0.8, 0.1]]);
+        let dhs = seq(&[&[1.0, 0.5, -0.3, 0.2], &[-0.6, 0.4, 0.9, -1.0]]);
+        net.zero_grad();
+        let trace = net.forward_seq(&xs);
+        let dxs = net.backward_seq(&trace, &dhs);
+        let loss = |n: &BiLstm, xs: &[Vec<f64>]| -> f64 {
+            n.forward_seq(xs)
+                .outputs()
+                .iter()
+                .zip(&dhs)
+                .map(|(h, d)| h.iter().zip(d).map(|(a, b)| a * b).sum::<f64>())
+                .sum()
+        };
+        let h = 1e-6;
+        for t in 0..2 {
+            for j in 0..2 {
+                let mut up = xs.clone();
+                up[t][j] += h;
+                let mut down = xs.clone();
+                down[t][j] -= h;
+                let numeric = (loss(&net, &up) - loss(&net, &down)) / (2.0 * h);
+                assert!(
+                    (dxs[t][j] - numeric).abs() < 1e-5,
+                    "bilstm dx[{t}][{j}]"
+                );
+            }
+        }
+        // One sampled parameter per direction.
+        let orig = net.params_mut()[0].value.get(0, 0);
+        net.params_mut()[0].value.set(0, 0, orig + h);
+        let up = loss(&net, &xs);
+        net.params_mut()[0].value.set(0, 0, orig - h);
+        let down = loss(&net, &xs);
+        net.params_mut()[0].value.set(0, 0, orig);
+        let numeric = (up - down) / (2.0 * h);
+        assert!((net.params_mut()[0].grad.get(0, 0) - numeric).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bilstm_output_concatenates_directions() {
+        let net = BiLstm::new(1, 3, 2);
+        let xs = seq(&[&[1.0], &[2.0], &[3.0]]);
+        let trace = net.forward_seq(&xs);
+        assert_eq!(trace.outputs().len(), 3);
+        assert_eq!(trace.outputs()[0].len(), 6);
+        assert_eq!(net.output_len(), 6);
+        assert_eq!(net.input_len(), 1);
+        // First half of t=0 equals forward cell's first output.
+        let fw_only = net.fw.forward_seq(&xs);
+        assert_eq!(&trace.outputs()[0][..3], fw_only.outputs()[0].as_slice());
+    }
+
+    #[test]
+    fn lstm_learns_to_output_last_input_sign() {
+        // Train a tiny LSTM + readout to predict the mean of the inputs
+        // seen so far (a memory task AR models cannot represent exactly).
+        use crate::dense::Dense;
+        let mut cell = LstmCell::new(1, 6, 11);
+        let mut head = Dense::new(6, 1, 12);
+        let mut opt = Adam::new(0.02);
+        let series: Vec<f64> = (0..8).map(|t| ((t * 37) % 10) as f64 / 10.0).collect();
+        let targets: Vec<f64> = series
+            .iter()
+            .scan((0.0, 0usize), |(sum, n), &v| {
+                *sum += v;
+                *n += 1;
+                Some(*sum / *n as f64)
+            })
+            .collect();
+        let xs: Vec<Vec<f64>> = series.iter().map(|&v| vec![v]).collect();
+        let mut first_loss = 0.0;
+        let mut last_loss = 0.0;
+        for epoch in 0..300 {
+            cell.zero_grad();
+            head.zero_grad();
+            let trace = cell.forward_seq(&xs);
+            let mut dhs = Vec::with_capacity(xs.len());
+            let mut loss = 0.0;
+            for (t, hvec) in trace.outputs().iter().enumerate() {
+                let y = head.forward(hvec);
+                let err = y[0] - targets[t];
+                loss += err * err;
+                let dh = head.backward(hvec, &[2.0 * err]);
+                dhs.push(dh);
+            }
+            cell.backward_seq(&trace, &dhs);
+            let mut params = cell.params_mut();
+            params.extend(head.params_mut());
+            opt.step(params);
+            if epoch == 0 {
+                first_loss = loss;
+            }
+            last_loss = loss;
+        }
+        assert!(
+            last_loss < first_loss * 0.1,
+            "training failed: {first_loss} -> {last_loss}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence must not be empty")]
+    fn empty_sequence_rejected() {
+        let cell = LstmCell::new(1, 1, 1);
+        let _ = cell.forward_seq(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn wrong_input_width_rejected() {
+        let cell = LstmCell::new(2, 1, 1);
+        let _ = cell.forward_seq(&seq(&[&[1.0]]));
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let cell = LstmCell::new(2, 3, 42);
+        let xs = seq(&[&[1.0, 2.0]]);
+        assert_eq!(
+            cell.forward_seq(&xs).outputs(),
+            cell.forward_seq(&xs).outputs()
+        );
+    }
+}

@@ -1,0 +1,262 @@
+//! Dense row-major matrices.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major `rows × cols` matrix of `f64`.
+///
+/// # Example
+///
+/// ```
+/// use neural::Matrix;
+/// let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let v = m.matvec(&[1.0, 1.0]);
+/// assert_eq!(v, vec![3.0, 7.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// All-zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds from explicit rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty or ragged input.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "need at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "need at least one column");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Xavier/Glorot-uniform initialization with a deterministic seed:
+    /// entries uniform in `±√(6/(fan_in+fan_out))`.
+    pub fn xavier(rows: usize, cols: usize, seed: u64) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bound = (6.0 / (rows + cols) as f64).sqrt();
+        let data = (0..rows * cols)
+            .map(|_| rng.random_range(-bound..=bound))
+            .collect();
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow of row `r`.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row out of range");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Flat data (row-major).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat data (row-major).
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// `y = A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x) {
+                acc += a * b;
+            }
+            y[r] = acc;
+        }
+        y
+    }
+
+    /// `y = Aᵀ·x` without materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows`.
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "dimension mismatch");
+        let mut y = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let xr = x[r];
+            if xr != 0.0 {
+                for (yc, a) in y.iter_mut().zip(row) {
+                    *yc += a * xr;
+                }
+            }
+        }
+        y
+    }
+
+    /// Accumulates the outer product: `A += u·vᵀ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn add_outer(&mut self, u: &[f64], v: &[f64]) {
+        assert_eq!(u.len(), self.rows, "outer: rows mismatch");
+        assert_eq!(v.len(), self.cols, "outer: cols mismatch");
+        for (r, &ur) in u.iter().enumerate() {
+            if ur != 0.0 {
+                let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+                for (a, &vc) in row.iter_mut().zip(v) {
+                    *a += ur * vc;
+                }
+            }
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_shape_and_content() {
+        let m = Matrix::zeros(2, 3);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut m = Matrix::zeros(2, 2);
+        m.set(1, 0, 5.0);
+        assert_eq!(m.get(1, 0), 5.0);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.row(1), &[5.0, 0.0]);
+    }
+
+    #[test]
+    fn matvec_known_product() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(m.matvec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn matvec_t_matches_explicit_transpose() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let x = [1.0, -1.0, 2.0];
+        // Aᵀ x = [1-3+10, 2-4+12] = [8, 10].
+        assert_eq!(m.matvec_t(&x), vec![8.0, 10.0]);
+    }
+
+    #[test]
+    fn add_outer_accumulates() {
+        let mut m = Matrix::zeros(2, 2);
+        m.add_outer(&[1.0, 2.0], &[3.0, 4.0]);
+        m.add_outer(&[1.0, 0.0], &[1.0, 1.0]);
+        assert_eq!(m.get(0, 0), 4.0);
+        assert_eq!(m.get(0, 1), 5.0);
+        assert_eq!(m.get(1, 0), 6.0);
+        assert_eq!(m.get(1, 1), 8.0);
+    }
+
+    #[test]
+    fn xavier_respects_bound_and_seed() {
+        let m = Matrix::xavier(10, 10, 7);
+        let bound = (6.0 / 20.0_f64).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= bound));
+        assert_eq!(m, Matrix::xavier(10, 10, 7));
+        assert_ne!(m, Matrix::xavier(10, 10, 8));
+    }
+
+    #[test]
+    fn norm_is_frobenius() {
+        let m = Matrix::from_rows(&[&[3.0, 4.0]]);
+        assert_eq!(m.norm(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matvec_rejects_bad_length() {
+        let m = Matrix::zeros(2, 3);
+        let _ = m.matvec(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged rows")]
+    fn ragged_rows_rejected() {
+        let _ = Matrix::from_rows(&[&[1.0], &[1.0, 2.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dims_rejected() {
+        let _ = Matrix::zeros(0, 3);
+    }
+}

@@ -1,0 +1,215 @@
+//! Optimizers and gradient utilities.
+
+use crate::param::Param;
+use serde::{Deserialize, Serialize};
+
+/// Plain stochastic gradient descent: `θ ← θ − η·g`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sgd {
+    lr: f64,
+}
+
+impl Sgd {
+    /// Creates the optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Sgd { lr }
+    }
+
+    /// Applies one update to every parameter and leaves gradients intact
+    /// (call `zero_grad` afterwards).
+    pub fn step(&mut self, params: Vec<&mut Param>) {
+        for p in params {
+            let lr = self.lr;
+            for (v, g) in p
+                .value
+                .as_mut_slice()
+                .iter_mut()
+                .zip(p.grad.as_slice().iter())
+            {
+                *v -= lr * g;
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+///
+/// Moment buffers are keyed by the order in which parameters are passed
+/// to [`Adam::step`]; pass the same parameter list every step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    m: Vec<Vec<f64>>,
+    v: Vec<Vec<f64>>,
+}
+
+impl Adam {
+    /// Creates Adam with the usual `β₁ = 0.9, β₂ = 0.999, ε = 1e−8`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// One Adam update over the parameter list. The list must be passed
+    /// in the same order every call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a parameter changes size between calls.
+    pub fn step(&mut self, params: Vec<&mut Param>) {
+        self.t += 1;
+        if self.m.len() < params.len() {
+            for p in params.iter().skip(self.m.len()) {
+                self.m.push(vec![0.0; p.len()]);
+                self.v.push(vec![0.0; p.len()]);
+            }
+        }
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (idx, p) in params.into_iter().enumerate() {
+            assert_eq!(self.m[idx].len(), p.len(), "parameter {idx} changed size");
+            let (m, v) = (&mut self.m[idx], &mut self.v[idx]);
+            for ((val, &g), (mi, vi)) in p
+                .value
+                .as_mut_slice()
+                .iter_mut()
+                .zip(p.grad.as_slice())
+                .zip(m.iter_mut().zip(v.iter_mut()))
+            {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+                let m_hat = *mi / bc1;
+                let v_hat = *vi / bc2;
+                *val -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+/// Scales every gradient so the global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+///
+/// # Panics
+///
+/// Panics if `max_norm <= 0`.
+pub fn clip_grad_norm(params: &mut [&mut Param], max_norm: f64) -> f64 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let total: f64 = params
+        .iter()
+        .map(|p| p.grad.as_slice().iter().map(|g| g * g).sum::<f64>())
+        .sum::<f64>()
+        .sqrt();
+    if total > max_norm {
+        let scale = max_norm / total;
+        for p in params.iter_mut() {
+            for g in p.grad.as_mut_slice() {
+                *g *= scale;
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_grad(p: &mut Param) {
+        // loss = Σ (θ − 3)², grad = 2(θ − 3).
+        let vals: Vec<f64> = p.value.as_slice().to_vec();
+        for (g, v) in p.grad.as_mut_slice().iter_mut().zip(vals) {
+            *g = 2.0 * (v - 3.0);
+        }
+    }
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        let mut p = Param::zeros(2, 1);
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..100 {
+            quadratic_grad(&mut p);
+            opt.step(vec![&mut p]);
+        }
+        for &v in p.value.as_slice() {
+            assert!((v - 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn adam_descends_quadratic_faster_than_tiny_sgd() {
+        let mut p = Param::zeros(2, 1);
+        let mut opt = Adam::new(0.3);
+        for _ in 0..200 {
+            quadratic_grad(&mut p);
+            opt.step(vec![&mut p]);
+        }
+        for &v in p.value.as_slice() {
+            assert!((v - 3.0).abs() < 1e-3, "value {v}");
+        }
+    }
+
+    #[test]
+    fn adam_handles_multiple_params() {
+        let mut a = Param::zeros(1, 1);
+        let mut b = Param::zeros(3, 1);
+        let mut opt = Adam::new(0.2);
+        for _ in 0..300 {
+            quadratic_grad(&mut a);
+            quadratic_grad(&mut b);
+            opt.step(vec![&mut a, &mut b]);
+        }
+        assert!((a.value.get(0, 0) - 3.0).abs() < 1e-3);
+        assert!((b.value.get(2, 0) - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "changed size")]
+    fn adam_rejects_size_change() {
+        let mut a = Param::zeros(1, 1);
+        let mut big = Param::zeros(2, 1);
+        let mut opt = Adam::new(0.1);
+        opt.step(vec![&mut a]);
+        opt.step(vec![&mut big]);
+    }
+
+    #[test]
+    fn clip_rescales_only_when_needed() {
+        let mut p = Param::zeros(1, 2);
+        p.grad.set(0, 0, 3.0);
+        p.grad.set(0, 1, 4.0);
+        let norm = clip_grad_norm(&mut [&mut p], 10.0);
+        assert_eq!(norm, 5.0);
+        assert_eq!(p.grad.get(0, 1), 4.0, "below threshold: untouched");
+        let norm2 = clip_grad_norm(&mut [&mut p], 1.0);
+        assert_eq!(norm2, 5.0);
+        let new_norm: f64 = p.grad.as_slice().iter().map(|g| g * g).sum::<f64>().sqrt();
+        assert!((new_norm - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn bad_lr_rejected() {
+        let _ = Adam::new(0.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Trainable parameters with gradient accumulators.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A trainable tensor (matrix or vector flattened into its matrix) and
+/// its accumulated gradient.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    /// Current value.
+    pub value: Matrix,
+    /// Accumulated gradient, same shape as `value`.
+    pub grad: Matrix,
+}
+
+impl Param {
+    /// A parameter initialized with Xavier-uniform values.
+    pub fn xavier(rows: usize, cols: usize, seed: u64) -> Self {
+        Param {
+            value: Matrix::xavier(rows, cols, seed),
+            grad: Matrix::zeros(rows, cols),
+        }
+    }
+
+    /// A zero-initialized parameter (biases).
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Param {
+            value: Matrix::zeros(rows, cols),
+            grad: Matrix::zeros(rows, cols),
+        }
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        for g in self.grad.as_mut_slice() {
+            *g = 0.0;
+        }
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.as_slice().len()
+    }
+
+    /// Whether the parameter is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.value.as_slice().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::xavier(2, 2, 1);
+        p.grad.set(0, 0, 5.0);
+        p.zero_grad();
+        assert!(p.grad.as_slice().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn shapes_match() {
+        let p = Param::zeros(3, 4);
+        assert_eq!(p.value.rows(), p.grad.rows());
+        assert_eq!(p.value.cols(), p.grad.cols());
+        assert_eq!(p.len(), 12);
+        assert!(!p.is_empty());
+    }
+}

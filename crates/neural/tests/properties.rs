@@ -1,0 +1,124 @@
+//! Property-based gradient checks: analytic gradients of every layer
+//! match central finite differences on random shapes and inputs.
+
+use neural::activation::{softmax, softmax_backward};
+use neural::{Dense, LstmCell};
+use proptest::prelude::*;
+
+fn vecs(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-2.0..2.0f64, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn dense_input_gradient_matches_finite_difference(
+        input in 1usize..5,
+        output in 1usize..5,
+        seed in 0u64..1000,
+        x_seed in 0u64..1000,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(x_seed);
+        let x: Vec<f64> = (0..input).map(|_| rng.random_range(-2.0..2.0)).collect();
+        let dy: Vec<f64> = (0..output).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let mut layer = Dense::new(input, output, seed);
+        layer.zero_grad();
+        let dx = layer.backward(&x, &dy);
+        let loss = |v: &[f64]| -> f64 {
+            layer.forward(v).iter().zip(&dy).map(|(a, b)| a * b).sum()
+        };
+        let h = 1e-6;
+        for j in 0..input {
+            let mut up = x.clone();
+            up[j] += h;
+            let mut down = x.clone();
+            down[j] -= h;
+            let numeric = (loss(&up) - loss(&down)) / (2.0 * h);
+            prop_assert!((dx[j] - numeric).abs() < 1e-5, "dx[{}]: {} vs {}", j, dx[j], numeric);
+        }
+    }
+
+    #[test]
+    fn softmax_is_a_distribution_and_monotone(xs in vecs(5)) {
+        let s = softmax(&xs);
+        let sum: f64 = s.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(s.iter().all(|&p| p > 0.0));
+        // Larger logits get larger probabilities.
+        for i in 0..5 {
+            for j in 0..5 {
+                if xs[i] > xs[j] {
+                    prop_assert!(s[i] >= s[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_backward_matches_finite_difference(
+        xs in vecs(4),
+        ds in vecs(4),
+    ) {
+        let s = softmax(&xs);
+        let analytic = softmax_backward(&s, &ds);
+        let f = |v: &[f64]| -> f64 {
+            softmax(v).iter().zip(&ds).map(|(a, b)| a * b).sum()
+        };
+        let h = 1e-6;
+        for j in 0..4 {
+            let mut up = xs.clone();
+            up[j] += h;
+            let mut down = xs.clone();
+            down[j] -= h;
+            let numeric = (f(&up) - f(&down)) / (2.0 * h);
+            prop_assert!((analytic[j] - numeric).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn lstm_input_gradient_matches_finite_difference(
+        steps in 1usize..4,
+        seed in 0u64..200,
+        x_seed in 0u64..200,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let (input, hidden) = (2usize, 3usize);
+        let mut rng = StdRng::seed_from_u64(x_seed);
+        let xs: Vec<Vec<f64>> = (0..steps)
+            .map(|_| (0..input).map(|_| rng.random_range(-1.0..1.0)).collect())
+            .collect();
+        let dhs: Vec<Vec<f64>> = (0..steps)
+            .map(|_| (0..hidden).map(|_| rng.random_range(-1.0..1.0)).collect())
+            .collect();
+        let mut cell = LstmCell::new(input, hidden, seed);
+        cell.zero_grad();
+        let trace = cell.forward_seq(&xs);
+        let dxs = cell.backward_seq(&trace, &dhs);
+        let loss = |c: &LstmCell, xs: &[Vec<f64>]| -> f64 {
+            c.forward_seq(xs)
+                .outputs()
+                .iter()
+                .zip(&dhs)
+                .map(|(hvec, d)| hvec.iter().zip(d).map(|(a, b)| a * b).sum::<f64>())
+                .sum()
+        };
+        let h = 1e-6;
+        for t in 0..steps {
+            for j in 0..input {
+                let mut up = xs.clone();
+                up[t][j] += h;
+                let mut down = xs.clone();
+                down[t][j] -= h;
+                let numeric = (loss(&cell, &up) - loss(&cell, &down)) / (2.0 * h);
+                prop_assert!(
+                    (dxs[t][j] - numeric).abs() < 1e-5,
+                    "dx[{}][{}]: {} vs {}", t, j, dxs[t][j], numeric
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,600 @@
+//! The paper's service-caching LP: ILP (3)–(7) relaxed via (8).
+//!
+//! Variables: `x[l][i]` — fraction of request `l` served at station `i`;
+//! `y[k][i]` — fraction of an instance of service `k` cached at `i`.
+//!
+//! Objective (3): `min (1/|R|)·(Σ_l Σ_i x_li·ρ_l·θ_i + Σ_k Σ_i y_ki·d_ins(i,k))`
+//! subject to (4) every request fully assigned, (5) station capacities,
+//! (6) `y_ki ≥ x_li` for the request's own service, and (8) `0 ≤ x, y ≤ 1`.
+//!
+//! Two solve paths:
+//!
+//! * [`CachingLp::solve_exact`] — the full LP through the dense two-phase
+//!   simplex. Exact but `O((|R|·|BS|)³)`-ish; used for small instances and
+//!   as the property-test oracle.
+//! * [`CachingLp::solve_fast`] — exploits the structure: without the
+//!   (small, bounded) instantiation term the LP is a transportation
+//!   problem over data units, solved by the MODI network simplex in
+//!   near-linear practice time; `y` is then set to its LP-optimal value
+//!   `y_ki = max_{l: k(l)=k} x_li`. This is what Algorithm 1 calls every
+//!   time slot.
+
+use crate::dense;
+use crate::problem::{LinearProgram, Relation, SolveError};
+use crate::transport::TransportProblem;
+use serde::{Deserialize, Serialize};
+
+/// An instance of the per-slot caching LP in plain-vector form (the core
+/// crate lowers topology + scenario into this).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CachingLp {
+    n_requests: usize,
+    n_stations: usize,
+    n_services: usize,
+    /// `ρ_l`, data units per request.
+    demand: Vec<f64>,
+    /// `k(l)`, the service of each request.
+    service_of: Vec<usize>,
+    /// `c[l][i]`, per-unit-data delay of serving request `l` at station
+    /// `i` (the believed `θ_i`, plus any transfer delay from the user's
+    /// registered station).
+    unit_cost: Vec<Vec<f64>>,
+    /// Station capacities in data units (`C(bs_i) / C_unit`).
+    capacity_units: Vec<f64>,
+    /// `d_ins(i, k)` instantiation delays, `[station][service]`.
+    inst_delay: Vec<Vec<f64>>,
+}
+
+impl CachingLp {
+    /// Builds an instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent dimensions, negative demands/capacities,
+    /// non-finite costs, or a `service_of` entry out of range.
+    pub fn new(
+        demand: Vec<f64>,
+        service_of: Vec<usize>,
+        unit_cost: Vec<Vec<f64>>,
+        capacity_units: Vec<f64>,
+        inst_delay: Vec<Vec<f64>>,
+        n_services: usize,
+    ) -> Self {
+        let n_requests = demand.len();
+        let n_stations = capacity_units.len();
+        assert!(n_requests > 0, "need at least one request");
+        assert!(n_stations > 0, "need at least one station");
+        assert!(n_services > 0, "need at least one service");
+        assert_eq!(service_of.len(), n_requests, "one service per request");
+        assert_eq!(unit_cost.len(), n_requests, "one cost row per request");
+        assert_eq!(inst_delay.len(), n_stations, "one inst row per station");
+        assert!(
+            demand.iter().all(|d| d.is_finite() && *d >= 0.0),
+            "demands must be non-negative"
+        );
+        assert!(
+            capacity_units.iter().all(|c| c.is_finite() && *c >= 0.0),
+            "capacities must be non-negative"
+        );
+        for row in &unit_cost {
+            assert_eq!(row.len(), n_stations, "cost row length mismatch");
+            assert!(row.iter().all(|c| c.is_finite() && *c >= 0.0), "bad cost");
+        }
+        for row in &inst_delay {
+            assert_eq!(row.len(), n_services, "inst row length mismatch");
+            assert!(row.iter().all(|c| c.is_finite() && *c >= 0.0), "bad inst");
+        }
+        assert!(
+            service_of.iter().all(|&k| k < n_services),
+            "service index out of range"
+        );
+        CachingLp {
+            n_requests,
+            n_stations,
+            n_services,
+            demand,
+            service_of,
+            unit_cost,
+            capacity_units,
+            inst_delay,
+        }
+    }
+
+    /// Number of requests `|R|`.
+    pub fn n_requests(&self) -> usize {
+        self.n_requests
+    }
+
+    /// Number of stations `|BS|`.
+    pub fn n_stations(&self) -> usize {
+        self.n_stations
+    }
+
+    /// Number of services `|S|`.
+    pub fn n_services(&self) -> usize {
+        self.n_services
+    }
+
+    /// The demand vector `ρ`.
+    pub fn demand(&self) -> &[f64] {
+        &self.demand
+    }
+
+    /// The per-unit cost matrix.
+    pub fn unit_cost(&self) -> &[Vec<f64>] {
+        &self.unit_cost
+    }
+
+    /// Station capacities in data units.
+    pub fn capacity_units(&self) -> &[f64] {
+        &self.capacity_units
+    }
+
+    /// The service of each request.
+    pub fn service_of(&self) -> &[usize] {
+        &self.service_of
+    }
+
+    /// Objective (3) at a fractional point.
+    pub fn objective_of(&self, x: &[Vec<f64>], y: &[Vec<f64>]) -> f64 {
+        let mut total = 0.0;
+        for l in 0..self.n_requests {
+            for i in 0..self.n_stations {
+                total += x[l][i] * self.demand[l] * self.unit_cost[l][i];
+            }
+        }
+        for k in 0..self.n_services {
+            for i in 0..self.n_stations {
+                total += y[k][i] * self.inst_delay[i][k];
+            }
+        }
+        total / self.n_requests as f64
+    }
+
+    /// Average delay of an *integral* assignment (`assignment[l]` = the
+    /// station of request `l`), counting each opened `(service, station)`
+    /// instance once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assignment index is out of range.
+    pub fn assignment_objective(&self, assignment: &[usize]) -> f64 {
+        assert_eq!(assignment.len(), self.n_requests, "one station per request");
+        let mut total = 0.0;
+        let mut opened = vec![false; self.n_services * self.n_stations];
+        for (l, &i) in assignment.iter().enumerate() {
+            assert!(i < self.n_stations, "station out of range");
+            total += self.demand[l] * self.unit_cost[l][i];
+            let k = self.service_of[l];
+            if !opened[k * self.n_stations + i] {
+                opened[k * self.n_stations + i] = true;
+                total += self.inst_delay[i][k];
+            }
+        }
+        total / self.n_requests as f64
+    }
+
+    /// Whether an integral assignment respects every station capacity.
+    pub fn respects_capacity(&self, assignment: &[usize]) -> bool {
+        let mut used = vec![0.0; self.n_stations];
+        for (l, &i) in assignment.iter().enumerate() {
+            if i >= self.n_stations {
+                return false;
+            }
+            used[i] += self.demand[l];
+        }
+        used.iter()
+            .zip(&self.capacity_units)
+            .all(|(u, c)| *u <= c + 1e-6)
+    }
+
+    /// Fast structural solve: transportation simplex over data units,
+    /// then the LP-optimal `y`.
+    ///
+    /// The instantiation term is *not* part of the transport objective
+    /// (it is bounded by `|S|·|BS|·max d_ins` and does not scale with
+    /// data volume); the returned [`FractionalSolution::objective`] does
+    /// include it, evaluated at the derived `y`.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`] if total demand exceeds total capacity.
+    pub fn solve_fast(&self) -> Result<FractionalSolution, SolveError> {
+        let transport = TransportProblem::new(
+            self.demand.clone(),
+            self.capacity_units.clone(),
+            self.unit_cost.clone(),
+        );
+        let plan = transport.solve()?;
+        let mut x = vec![vec![0.0; self.n_stations]; self.n_requests];
+        for l in 0..self.n_requests {
+            if self.demand[l] > 0.0 {
+                for i in 0..self.n_stations {
+                    x[l][i] = plan.flow[l][i] / self.demand[l];
+                }
+            } else {
+                // Zero-demand requests are free: put them on their
+                // cheapest station.
+                let best = argmin(&self.unit_cost[l]);
+                x[l][best] = 1.0;
+            }
+            // Transport slack can leave a hair of unassigned mass from
+            // rounding; renormalize.
+            let total: f64 = x[l].iter().sum();
+            if total > 0.0 && (total - 1.0).abs() > 1e-12 {
+                for v in x[l].iter_mut() {
+                    *v /= total;
+                }
+            }
+        }
+        let y = self.optimal_y(&x);
+        let objective = self.objective_of(&x, &y);
+        Ok(FractionalSolution { x, y, objective })
+    }
+
+    /// Exact solve of the full LP (including the instantiation term)
+    /// through the dense simplex. Intended for small instances.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the dense-solver errors.
+    pub fn solve_exact(&self) -> Result<FractionalSolution, SolveError> {
+        let (nr, ns, nk) = (self.n_requests, self.n_stations, self.n_services);
+        let n_x = nr * ns;
+        let xv = |l: usize, i: usize| l * ns + i;
+        let yv = |k: usize, i: usize| n_x + k * ns + i;
+
+        let mut c = vec![0.0; n_x + nk * ns];
+        for l in 0..nr {
+            for i in 0..ns {
+                c[xv(l, i)] = self.demand[l] * self.unit_cost[l][i] / nr as f64;
+            }
+        }
+        for k in 0..nk {
+            for i in 0..ns {
+                c[yv(k, i)] = self.inst_delay[i][k] / nr as f64;
+            }
+        }
+        let mut lp = LinearProgram::minimize(c);
+        // (4) assignment.
+        for l in 0..nr {
+            let terms: Vec<(usize, f64)> = (0..ns).map(|i| (xv(l, i), 1.0)).collect();
+            lp.constrain(terms, Relation::Eq, 1.0);
+        }
+        // (5) capacity.
+        for i in 0..ns {
+            let terms: Vec<(usize, f64)> = (0..nr).map(|l| (xv(l, i), self.demand[l])).collect();
+            lp.constrain(terms, Relation::Le, self.capacity_units[i]);
+        }
+        // (6) y ≥ x.
+        for l in 0..nr {
+            let k = self.service_of[l];
+            for i in 0..ns {
+                lp.constrain(vec![(xv(l, i), 1.0), (yv(k, i), -1.0)], Relation::Le, 0.0);
+            }
+        }
+        // (8) y ≤ 1 (x ≤ 1 follows from (4) and non-negativity).
+        for k in 0..nk {
+            for i in 0..ns {
+                lp.constrain(vec![(yv(k, i), 1.0)], Relation::Le, 1.0);
+            }
+        }
+        let sol = dense::solve(&lp)?;
+        let mut x = vec![vec![0.0; ns]; nr];
+        for l in 0..nr {
+            for i in 0..ns {
+                x[l][i] = sol.x[xv(l, i)];
+            }
+        }
+        let mut y = vec![vec![0.0; ns]; nk];
+        for k in 0..nk {
+            for i in 0..ns {
+                y[k][i] = sol.x[yv(k, i)];
+            }
+        }
+        let objective = self.objective_of(&x, &y);
+        Ok(FractionalSolution { x, y, objective })
+    }
+
+    /// The minimal `y` feasible for (6) given `x`.
+    fn optimal_y(&self, x: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let mut y = vec![vec![0.0; self.n_stations]; self.n_services];
+        for l in 0..self.n_requests {
+            let k = self.service_of[l];
+            for i in 0..self.n_stations {
+                if x[l][i] > y[k][i] {
+                    y[k][i] = x[l][i];
+                }
+            }
+        }
+        y
+    }
+}
+
+fn argmin(xs: &[f64]) -> usize {
+    xs.iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .expect("non-empty slice")
+}
+
+/// A fractional solution `(x*, y*)` to the caching LP.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FractionalSolution {
+    /// `x[l][i]` — fraction of request `l` at station `i`.
+    pub x: Vec<Vec<f64>>,
+    /// `y[k][i]` — caching level of service `k` at station `i`.
+    pub y: Vec<Vec<f64>>,
+    /// Objective (3) at this point.
+    pub objective: f64,
+}
+
+impl FractionalSolution {
+    /// The paper's candidate sets (9): `BS_l^candi = { bs_i : x*_li ≥ γ }`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is not in `(0, 1]`.
+    pub fn candidate_sets(&self, gamma: f64) -> Vec<Vec<usize>> {
+        assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
+        self.x
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v >= gamma)
+                    .map(|(i, _)| i)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Checks LP feasibility of the solution against `lp` within `tol`.
+    pub fn is_feasible(&self, lp: &CachingLp, tol: f64) -> bool {
+        // (4)
+        for row in &self.x {
+            let s: f64 = row.iter().sum();
+            if (s - 1.0).abs() > tol || row.iter().any(|&v| !(-tol..=1.0 + tol).contains(&v)) {
+                return false;
+            }
+        }
+        // (5)
+        for i in 0..lp.n_stations() {
+            let used: f64 = (0..lp.n_requests())
+                .map(|l| self.x[l][i] * lp.demand()[l])
+                .sum();
+            if used > lp.capacity_units()[i] + tol {
+                return false;
+            }
+        }
+        // (6)
+        for l in 0..lp.n_requests() {
+            let k = lp.service_of()[l];
+            for i in 0..lp.n_stations() {
+                if self.y[k][i] + tol < self.x[l][i] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// 3 requests, 2 stations, 2 services. Station 0 cheap but small.
+    fn tiny() -> CachingLp {
+        CachingLp::new(
+            vec![2.0, 2.0, 2.0],
+            vec![0, 0, 1],
+            vec![
+                vec![1.0, 3.0],
+                vec![1.0, 3.0],
+                vec![1.0, 3.0],
+            ],
+            vec![4.0, 10.0],
+            vec![vec![0.5, 0.5], vec![0.5, 0.5]],
+            2,
+        )
+    }
+
+    fn random_instance(rng: &mut StdRng, nr: usize, ns: usize, nk: usize) -> CachingLp {
+        let demand: Vec<f64> = (0..nr).map(|_| rng.random_range(1.0..5.0_f64).round()).collect();
+        let total: f64 = demand.iter().sum();
+        let mut capacity: Vec<f64> = (0..ns).map(|_| rng.random_range(1.0..8.0_f64).round()).collect();
+        let cap_total: f64 = capacity.iter().sum();
+        if cap_total < total * 1.2 {
+            capacity[0] += total * 1.2 - cap_total;
+        }
+        let unit_cost: Vec<Vec<f64>> = (0..nr)
+            .map(|_| (0..ns).map(|_| rng.random_range(1.0..20.0_f64).round()).collect())
+            .collect();
+        let inst: Vec<Vec<f64>> = (0..ns)
+            .map(|_| (0..nk).map(|_| rng.random_range(0.0..2.0)).collect())
+            .collect();
+        let service_of: Vec<usize> = (0..nr).map(|_| rng.random_range(0..nk)).collect();
+        CachingLp::new(demand, service_of, unit_cost, capacity, inst, nk)
+    }
+
+    #[test]
+    fn fast_solution_is_feasible_and_splits_capacity() {
+        let lp = tiny();
+        let sol = lp.solve_fast().unwrap();
+        assert!(sol.is_feasible(&lp, 1e-6));
+        // 6 units of demand, station 0 holds 4, so 2 must overflow to 1.
+        let at0: f64 = (0..3).map(|l| sol.x[l][0] * 2.0).sum();
+        assert!((at0 - 4.0).abs() < 1e-6, "cheap station must saturate");
+    }
+
+    #[test]
+    fn exact_solution_is_feasible() {
+        let lp = tiny();
+        let sol = lp.solve_exact().unwrap();
+        assert!(sol.is_feasible(&lp, 1e-6));
+    }
+
+    #[test]
+    fn fast_objective_close_to_exact_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(123);
+        for case in 0..15 {
+            let lp = random_instance(&mut rng, 4, 3, 2);
+            let fast = lp.solve_fast().unwrap();
+            let exact = lp.solve_exact().unwrap();
+            assert!(fast.is_feasible(&lp, 1e-6), "case {case} fast infeasible");
+            assert!(exact.is_feasible(&lp, 1e-6), "case {case} exact infeasible");
+            // Fast ignores the (small) instantiation term during
+            // optimization, so it can only be worse, and by at most the
+            // total instantiation mass.
+            let max_inst_total: f64 = 3.0 * 2.0 * 2.0 / 4.0; // ns*nk*max_inst/nr
+            assert!(
+                fast.objective >= exact.objective - 1e-6,
+                "case {case}: fast beat the exact optimum"
+            );
+            assert!(
+                fast.objective <= exact.objective + max_inst_total + 1e-6,
+                "case {case}: fast too far from optimum: {} vs {}",
+                fast.objective,
+                exact.objective
+            );
+        }
+    }
+
+    #[test]
+    fn fast_matches_exact_without_instantiation_costs() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for case in 0..10 {
+            let mut lp = random_instance(&mut rng, 4, 3, 2);
+            lp.inst_delay = vec![vec![0.0; 2]; 3];
+            let fast = lp.solve_fast().unwrap();
+            let exact = lp.solve_exact().unwrap();
+            assert!(
+                (fast.objective - exact.objective).abs() < 1e-5,
+                "case {case}: {} vs {}",
+                fast.objective,
+                exact.objective
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_when_demand_exceeds_capacity() {
+        let lp = CachingLp::new(
+            vec![10.0],
+            vec![0],
+            vec![vec![1.0]],
+            vec![5.0],
+            vec![vec![0.0]],
+            1,
+        );
+        assert_eq!(lp.solve_fast(), Err(SolveError::Infeasible));
+    }
+
+    #[test]
+    fn zero_demand_requests_assigned_to_cheapest() {
+        let lp = CachingLp::new(
+            vec![0.0, 1.0],
+            vec![0, 0],
+            vec![vec![5.0, 1.0], vec![1.0, 5.0]],
+            vec![10.0, 10.0],
+            vec![vec![0.0], vec![0.0]],
+            1,
+        );
+        let sol = lp.solve_fast().unwrap();
+        assert!((sol.x[0][1] - 1.0).abs() < 1e-9, "zero-demand to cheapest");
+        assert!(sol.is_feasible(&lp, 1e-6));
+    }
+
+    #[test]
+    fn candidate_sets_respect_gamma() {
+        let sol = FractionalSolution {
+            x: vec![vec![0.7, 0.3, 0.0], vec![0.2, 0.2, 0.6]],
+            y: vec![vec![1.0, 1.0, 1.0]],
+            objective: 0.0,
+        };
+        assert_eq!(sol.candidate_sets(0.3), vec![vec![0, 1], vec![2]]);
+        assert_eq!(sol.candidate_sets(0.65), vec![vec![0], vec![]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must be in (0, 1]")]
+    fn candidate_sets_reject_bad_gamma() {
+        let sol = FractionalSolution {
+            x: vec![],
+            y: vec![],
+            objective: 0.0,
+        };
+        let _ = sol.candidate_sets(0.0);
+    }
+
+    #[test]
+    fn assignment_objective_counts_instances_once() {
+        let lp = tiny();
+        // Both service-0 requests at station 0: one instantiation of
+        // (k=0, i=0); request 2 (service 1) at station 1.
+        let obj = lp.assignment_objective(&[0, 0, 1]);
+        // delay = 2*1 + 2*1 + 2*3 = 10; inst = 0.5 (k0@0) + 0.5 (k1@1).
+        assert!((obj - 11.0 / 3.0).abs() < 1e-9, "got {obj}");
+    }
+
+    #[test]
+    fn respects_capacity_detects_overflow() {
+        let lp = tiny();
+        assert!(!lp.respects_capacity(&[0, 0, 0])); // 6 units at cap 4
+        assert!(lp.respects_capacity(&[0, 0, 1]));
+        assert!(!lp.respects_capacity(&[0, 0, 9])); // out of range
+    }
+
+    #[test]
+    fn y_is_max_over_service_requests() {
+        let lp = tiny();
+        let sol = lp.solve_fast().unwrap();
+        for k in 0..2 {
+            for i in 0..2 {
+                let expect = (0..3)
+                    .filter(|&l| lp.service_of()[l] == k)
+                    .map(|l| sol.x[l][i])
+                    .fold(0.0, f64::max);
+                assert!((sol.y[k][i] - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn objective_of_matches_manual_computation() {
+        let lp = tiny();
+        let x = vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![0.0, 1.0],
+        ];
+        let y = vec![vec![1.0, 1.0], vec![0.0, 1.0]];
+        // delays: 2*1 + 2*3 + 2*3 = 14; inst: 0.5+0.5+0.5 = 1.5.
+        assert!((lp.objective_of(&x, &y) - 15.5 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "service index out of range")]
+    fn bad_service_index_rejected() {
+        let _ = CachingLp::new(
+            vec![1.0],
+            vec![5],
+            vec![vec![1.0]],
+            vec![2.0],
+            vec![vec![0.0]],
+            1,
+        );
+    }
+
+    #[test]
+    fn moderately_large_instance_solves_fast() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let lp = random_instance(&mut rng, 150, 100, 10);
+        let sol = lp.solve_fast().unwrap();
+        assert!(sol.is_feasible(&lp, 1e-5));
+    }
+}

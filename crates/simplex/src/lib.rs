@@ -1,0 +1,43 @@
+//! From-scratch linear-programming substrate.
+//!
+//! Algorithm 1 of the paper relaxes the service-caching ILP (3)–(7) into an
+//! LP each time slot and uses the fractional solution `x*` both as arm
+//! probabilities and to build the candidate sets `BS_l^candi`. This crate
+//! provides everything needed for that, with no external solver:
+//!
+//! * [`problem`] — an LP model builder ([`LinearProgram`]) over `min c·x`
+//!   with `≤ / ≥ / =` rows and non-negative variables.
+//! * [`dense`] — a two-phase primal simplex solver with Bland's rule
+//!   (exact, used for small instances and as the test oracle).
+//! * [`transport`] — a transportation-simplex (MODI) solver for
+//!   `min Σ c_li·z_li` with row supplies and column capacities; the
+//!   caching LP minus the instantiation term is exactly this problem, and
+//!   the specialized solver is orders of magnitude faster than the
+//!   tableau.
+//! * [`caching`] — the paper's caching LP: lowering, exact solve, fast
+//!   transportation-based solve, and fractional-solution extraction.
+//!
+//! # Example
+//!
+//! ```
+//! use simplex::{LinearProgram, Relation};
+//!
+//! // min -x0 - 2 x1  s.t.  x0 + x1 <= 4,  x1 <= 3,  x >= 0.
+//! let mut lp = LinearProgram::minimize(vec![-1.0, -2.0]);
+//! lp.constrain(vec![(0, 1.0), (1, 1.0)], Relation::Le, 4.0);
+//! lp.constrain(vec![(1, 1.0)], Relation::Le, 3.0);
+//! let sol = simplex::dense::solve(&lp)?;
+//! assert!((sol.objective - (-7.0)).abs() < 1e-9);
+//! # Ok::<(), simplex::SolveError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod caching;
+pub mod dense;
+pub mod problem;
+pub mod transport;
+
+pub use caching::{CachingLp, FractionalSolution};
+pub use problem::{LinearProgram, Relation, Solution, SolveError};

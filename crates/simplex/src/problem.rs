@@ -1,0 +1,236 @@
+//! LP model builder and solution types.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Relation of one LP row to its right-hand side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Relation {
+    /// `a·x ≤ b`
+    Le,
+    /// `a·x ≥ b`
+    Ge,
+    /// `a·x = b`
+    Eq,
+}
+
+/// One LP constraint row in sparse form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// `(variable index, coefficient)` pairs; unspecified variables are 0.
+    pub terms: Vec<(usize, f64)>,
+    /// The relation of the row.
+    pub relation: Relation,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A minimization LP over non-negative variables:
+/// `min c·x  s.t.  A x {≤,≥,=} b,  x ≥ 0`.
+///
+/// Upper bounds such as `x_j ≤ 1` are expressed as ordinary `≤` rows.
+///
+/// # Example
+///
+/// ```
+/// use simplex::{LinearProgram, Relation};
+/// let mut lp = LinearProgram::minimize(vec![1.0, 1.0]);
+/// lp.constrain(vec![(0, 1.0), (1, 2.0)], Relation::Ge, 4.0);
+/// assert_eq!(lp.n_vars(), 2);
+/// assert_eq!(lp.n_constraints(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearProgram {
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+impl LinearProgram {
+    /// Creates a minimization problem with the given objective
+    /// coefficients (one per variable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `objective` is empty or contains non-finite values.
+    pub fn minimize(objective: Vec<f64>) -> Self {
+        assert!(!objective.is_empty(), "LP needs at least one variable");
+        assert!(
+            objective.iter().all(|c| c.is_finite()),
+            "objective coefficients must be finite"
+        );
+        LinearProgram {
+            objective,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Adds a constraint row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a term references a variable out of range, a coefficient
+    /// or the rhs is non-finite, or the same variable appears twice.
+    pub fn constrain(&mut self, terms: Vec<(usize, f64)>, relation: Relation, rhs: f64) {
+        assert!(rhs.is_finite(), "rhs must be finite");
+        let mut seen = std::collections::HashSet::new();
+        for &(j, a) in &terms {
+            assert!(j < self.objective.len(), "variable {j} out of range");
+            assert!(a.is_finite(), "coefficient must be finite");
+            assert!(seen.insert(j), "variable {j} repeated in one row");
+        }
+        self.constraints.push(Constraint {
+            terms,
+            relation,
+            rhs,
+        });
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of constraint rows.
+    pub fn n_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Objective coefficients.
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// Constraint rows.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Evaluates the objective at `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n_vars()`.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.n_vars(), "point has wrong dimension");
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Checks whether `x ≥ 0` satisfies every constraint within `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.n_vars() || x.iter().any(|&v| v < -tol) {
+            return false;
+        }
+        self.constraints.iter().all(|c| {
+            let lhs: f64 = c.terms.iter().map(|&(j, a)| a * x[j]).sum();
+            match c.relation {
+                Relation::Le => lhs <= c.rhs + tol,
+                Relation::Ge => lhs >= c.rhs - tol,
+                Relation::Eq => (lhs - c.rhs).abs() <= tol,
+            }
+        })
+    }
+}
+
+/// An optimal LP solution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Solution {
+    /// Optimal objective value.
+    pub objective: f64,
+    /// Optimal point.
+    pub x: Vec<f64>,
+    /// Simplex pivots performed.
+    pub iterations: usize,
+}
+
+/// Why an LP could not be solved to optimality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveError {
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded below on the feasible region.
+    Unbounded,
+    /// The pivot limit was exhausted (cycling safeguard).
+    IterationLimit,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Infeasible => f.write_str("problem is infeasible"),
+            SolveError::Unbounded => f.write_str("objective is unbounded below"),
+            SolveError::IterationLimit => f.write_str("simplex iteration limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_tracks_counts() {
+        let mut lp = LinearProgram::minimize(vec![1.0, 2.0, 3.0]);
+        assert_eq!(lp.n_vars(), 3);
+        lp.constrain(vec![(0, 1.0)], Relation::Le, 5.0);
+        lp.constrain(vec![(1, 1.0), (2, -1.0)], Relation::Eq, 0.0);
+        assert_eq!(lp.n_constraints(), 2);
+    }
+
+    #[test]
+    fn objective_value_is_dot_product() {
+        let lp = LinearProgram::minimize(vec![1.0, -2.0]);
+        assert_eq!(lp.objective_value(&[3.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn feasibility_checks_all_relations() {
+        let mut lp = LinearProgram::minimize(vec![0.0, 0.0]);
+        lp.constrain(vec![(0, 1.0)], Relation::Le, 1.0);
+        lp.constrain(vec![(1, 1.0)], Relation::Ge, 1.0);
+        lp.constrain(vec![(0, 1.0), (1, 1.0)], Relation::Eq, 2.0);
+        assert!(lp.is_feasible(&[1.0, 1.0], 1e-9));
+        assert!(!lp.is_feasible(&[2.0, 0.0], 1e-9)); // violates all three
+        assert!(!lp.is_feasible(&[-0.5, 2.5], 1e-9)); // negative variable
+    }
+
+    #[test]
+    fn feasibility_rejects_wrong_dimension() {
+        let lp = LinearProgram::minimize(vec![1.0, 1.0]);
+        assert!(!lp.is_feasible(&[1.0], 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "variable 5 out of range")]
+    fn constraint_rejects_unknown_variable() {
+        let mut lp = LinearProgram::minimize(vec![1.0]);
+        lp.constrain(vec![(5, 1.0)], Relation::Le, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated in one row")]
+    fn constraint_rejects_duplicate_variable() {
+        let mut lp = LinearProgram::minimize(vec![1.0, 1.0]);
+        lp.constrain(vec![(0, 1.0), (0, 2.0)], Relation::Le, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one variable")]
+    fn empty_objective_rejected() {
+        let _ = LinearProgram::minimize(vec![]);
+    }
+
+    #[test]
+    fn solve_error_messages() {
+        assert_eq!(SolveError::Infeasible.to_string(), "problem is infeasible");
+        assert_eq!(
+            SolveError::Unbounded.to_string(),
+            "objective is unbounded below"
+        );
+        assert_eq!(
+            SolveError::IterationLimit.to_string(),
+            "simplex iteration limit exceeded"
+        );
+    }
+}

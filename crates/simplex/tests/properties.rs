@@ -1,0 +1,163 @@
+//! Property-based tests of the LP substrate: the dense two-phase simplex
+//! is checked against first principles (feasibility, local optimality
+//! versus random feasible points) and the specialized transportation
+//! solver is checked against the dense solver as an oracle.
+
+use proptest::prelude::*;
+use simplex::transport::TransportProblem;
+use simplex::{CachingLp, LinearProgram, Relation, SolveError};
+
+/// Strategy: a random bounded-feasible minimization LP
+/// `min c·x  s.t.  x_j ≤ u_j, Σ x ≥ r`, which is always feasible when
+/// `Σ u ≥ r` (we enforce that) and always bounded (costs ≥ 0).
+fn bounded_lp() -> impl Strategy<Value = (Vec<f64>, Vec<f64>, f64)> {
+    (2usize..6)
+        .prop_flat_map(|n| {
+            (
+                proptest::collection::vec(0.0..10.0f64, n),
+                proptest::collection::vec(1.0..5.0f64, n),
+            )
+        })
+        .prop_flat_map(|(costs, ubs)| {
+            let total: f64 = ubs.iter().sum();
+            (Just(costs), Just(ubs), 0.1..(total * 0.9))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dense_simplex_solution_is_feasible_and_beats_greedy_points(
+        (costs, ubs, required) in bounded_lp()
+    ) {
+        let n = costs.len();
+        let mut lp = LinearProgram::minimize(costs.clone());
+        for (j, &u) in ubs.iter().enumerate() {
+            lp.constrain(vec![(j, 1.0)], Relation::Le, u);
+        }
+        lp.constrain((0..n).map(|j| (j, 1.0)).collect(), Relation::Ge, required);
+        let sol = simplex::dense::solve(&lp).expect("feasible by construction");
+        prop_assert!(lp.is_feasible(&sol.x, 1e-6));
+
+        // Oracle: the true optimum fills cheapest variables first.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| costs[a].partial_cmp(&costs[b]).expect("finite"));
+        let mut left = required;
+        let mut best = 0.0;
+        for &j in &order {
+            let take = left.min(ubs[j]);
+            best += take * costs[j];
+            left -= take;
+            if left <= 0.0 {
+                break;
+            }
+        }
+        prop_assert!(
+            (sol.objective - best).abs() < 1e-6,
+            "simplex {} vs greedy-oracle {}",
+            sol.objective,
+            best
+        );
+    }
+
+    #[test]
+    fn transport_matches_dense_oracle(
+        m in 2usize..4,
+        n in 2usize..4,
+        seed in 0u64..500,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let supply: Vec<f64> = (0..m).map(|_| rng.random_range(1.0..6.0f64).round()).collect();
+        let total: f64 = supply.iter().sum();
+        let mut capacity: Vec<f64> = (0..n).map(|_| rng.random_range(1.0..6.0f64).round()).collect();
+        let cap_total: f64 = capacity.iter().sum();
+        if cap_total < total {
+            capacity[0] += total - cap_total;
+        }
+        let cost: Vec<Vec<f64>> = (0..m)
+            .map(|_| (0..n).map(|_| rng.random_range(1.0..9.0f64).round()).collect())
+            .collect();
+        let fast = TransportProblem::new(supply.clone(), capacity.clone(), cost.clone())
+            .solve()
+            .expect("balanced by construction");
+
+        let mut flat = Vec::new();
+        for row in &cost {
+            flat.extend_from_slice(row);
+        }
+        let mut lp = LinearProgram::minimize(flat);
+        for i in 0..m {
+            lp.constrain((0..n).map(|j| (i * n + j, 1.0)).collect(), Relation::Eq, supply[i]);
+        }
+        for j in 0..n {
+            lp.constrain((0..m).map(|i| (i * n + j, 1.0)).collect(), Relation::Le, capacity[j]);
+        }
+        let exact = simplex::dense::solve(&lp).expect("feasible");
+        prop_assert!(
+            (fast.objective - exact.objective).abs() < 1e-5,
+            "transport {} vs dense {}",
+            fast.objective,
+            exact.objective
+        );
+    }
+
+    #[test]
+    fn caching_lp_fast_solution_is_always_feasible(
+        nr in 2usize..6,
+        ns in 2usize..5,
+        seed in 0u64..500,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let demand: Vec<f64> = (0..nr).map(|_| rng.random_range(0.5..4.0)).collect();
+        let total: f64 = demand.iter().sum();
+        let mut capacity: Vec<f64> = (0..ns).map(|_| rng.random_range(1.0..5.0)).collect();
+        let cap_total: f64 = capacity.iter().sum();
+        if cap_total < total {
+            capacity[0] += total - cap_total + 0.5;
+        }
+        let unit_cost: Vec<Vec<f64>> = (0..nr)
+            .map(|_| (0..ns).map(|_| rng.random_range(1.0..30.0)).collect())
+            .collect();
+        let inst: Vec<Vec<f64>> = (0..ns)
+            .map(|_| (0..2).map(|_| rng.random_range(0.0..3.0)).collect())
+            .collect();
+        let service_of: Vec<usize> = (0..nr).map(|_| rng.random_range(0..2)).collect();
+        let lp = CachingLp::new(demand, service_of, unit_cost, capacity, inst, 2);
+        let sol = lp.solve_fast().expect("capacity fits");
+        prop_assert!(sol.is_feasible(&lp, 1e-6));
+        // Candidate sets shrink monotonically in gamma.
+        let loose = sol.candidate_sets(0.05);
+        let tight = sol.candidate_sets(0.5);
+        for (a, b) in loose.iter().zip(&tight) {
+            for i in b {
+                prop_assert!(a.contains(i), "tight candidate missing from loose set");
+            }
+        }
+    }
+
+    #[test]
+    fn over_demand_is_reported_not_mangled(
+        ns in 1usize..4,
+        seed in 0u64..100,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let capacity: Vec<f64> = (0..ns).map(|_| rng.random_range(0.5..2.0)).collect();
+        let total: f64 = capacity.iter().sum();
+        let lp = CachingLp::new(
+            vec![total + 1.0],
+            vec![0],
+            vec![vec![1.0; ns]],
+            capacity,
+            vec![vec![0.0]; ns],
+            1,
+        );
+        prop_assert_eq!(lp.solve_fast(), Err(SolveError::Infeasible));
+    }
+}

@@ -1,0 +1,16 @@
+#!/bin/bash
+cd /root/repo
+export LEXCACHE_REPEATS=8
+export LEXCACHE_SLOTS=100
+for fig in fig3 fig4 fig5 fig6 fig7 regret_bound summary prediction_mae; do
+  echo "=== $fig start $(date +%T) ==="
+  ./target/release/$fig > results/$fig.txt 2>&1
+  echo "=== $fig done $(date +%T) ==="
+done
+export LEXCACHE_REPEATS=5
+for ab in ablation_gamma ablation_epsilon ablation_lambda ablation_predictor ablation_delay_model; do
+  echo "=== $ab start $(date +%T) ==="
+  ./target/release/$ab > results/$ab.txt 2>&1
+  echo "=== $ab done $(date +%T) ==="
+done
+echo ALL_FIGURES_DONE

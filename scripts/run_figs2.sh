@@ -1,0 +1,19 @@
+#!/bin/bash
+cd /root/repo
+# wait for the first batch to finish
+while ! grep -q ALL_FIGURES_DONE results/run_log.txt; do sleep 10; done
+cargo build --release -p bench >/dev/null 2>&1
+export LEXCACHE_REPEATS=8 LEXCACHE_SLOTS=100
+echo "=== fig5 rerun start $(date +%T) ==="
+./target/release/fig5 > results/fig5.txt 2>&1
+echo "=== fig5 done $(date +%T) ==="
+echo "=== fig7 rerun start $(date +%T) ==="
+./target/release/fig7 > results/fig7.txt 2>&1
+echo "=== fig7 done $(date +%T) ==="
+export LEXCACHE_REPEATS=5
+for ab in ablation_estimator ablation_cache; do
+  echo "=== $ab start $(date +%T) ==="
+  ./target/release/$ab > results/$ab.txt 2>&1
+  echo "=== $ab done $(date +%T) ==="
+done
+echo SECOND_BATCH_DONE

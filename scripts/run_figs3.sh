@@ -1,0 +1,8 @@
+#!/bin/bash
+cd /root/repo
+while ! grep -q SECOND_BATCH_DONE results/run_log2.txt; do sleep 10; done
+export LEXCACHE_REPEATS=6 LEXCACHE_SLOTS=100
+echo "=== ablation_topology start $(date +%T) ==="
+./target/release/ablation_topology > results/ablation_topology.txt 2>&1
+echo "=== ablation_topology done $(date +%T) ==="
+echo THIRD_BATCH_DONE

@@ -1,0 +1,48 @@
+//! # lexcache — Learning for Exception
+//!
+//! A full Rust reproduction of *Learning for Exception: Dynamic Service
+//! Caching in 5G-Enabled MECs with Bursty User Demands* (ICDCS 2020).
+//!
+//! The umbrella crate re-exports every subsystem:
+//!
+//! * [`net`] — the 5G heterogeneous MEC network substrate (base stations,
+//!   tiers, topologies, stochastic delay processes).
+//! * [`workload`] — services, user requests and bursty demand generators,
+//!   plus the synthetic small-sample hotspot trace used to train the GAN.
+//! * [`simplex`] — a from-scratch two-phase primal simplex LP solver and
+//!   the caching ILP → LP lowering.
+//! * [`bandit`] — multi-armed-bandit machinery: arm statistics, ε-greedy
+//!   policies, empirical regret ledgers and the paper's theoretical bound.
+//! * [`neural`] — a minimal from-scratch neural-network library (matrices,
+//!   dense layers, LSTM / Bi-LSTM, Adam) used by the GAN.
+//! * [`infogan`] — the Info-RNN-GAN demand predictor of §V.
+//! * [`forecast`] — the ARMA baseline predictor (`OL_Reg`) and friends.
+//! * [`core`] — the paper's algorithms: `OL_GD`, `OL_GAN`, `Greedy_GD`,
+//!   `Pri_GD`, `OL_Reg`, and the slot-by-slot simulation engine.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lexcache::net::{NetworkConfig, topology::gtitm};
+//! use lexcache::workload::ScenarioConfig;
+//! use lexcache::core::{Episode, OlGd, PolicyConfig};
+//!
+//! let net_cfg = NetworkConfig::paper_defaults();
+//! let topo = gtitm::generate(20, &net_cfg, 7);
+//! let scenario = ScenarioConfig::small().build(&topo, 7);
+//! let mut episode = Episode::new(topo, net_cfg, scenario, 7);
+//! let report = episode.run(&mut OlGd::new(PolicyConfig::default()), 10);
+//! assert_eq!(report.slots.len(), 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use bandit;
+pub use forecast;
+pub use infogan;
+pub use lexcache_core as core;
+pub use mec_net as net;
+pub use mec_workload as workload;
+pub use neural;
+pub use simplex;

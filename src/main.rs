@@ -1,0 +1,338 @@
+//! `lexcache` command-line interface: run simulations, inspect
+//! topologies and workload traces without writing Rust.
+//!
+//! ```text
+//! lexcache simulate --policy ol-gd --stations 100 --slots 100
+//! lexcache simulate --policy ol-gan --demand flash --seed 7 --regret
+//! lexcache topo --kind as1755
+//! lexcache trace --users 20 --cells 5 --slots 200
+//! ```
+
+use lexcache::core::{
+    ol_ewma, ol_naive, CachingPolicy, Episode, EpisodeConfig, GreedyGd, OlGan, OlGd, OlReg, OlUcb,
+    PolicyConfig, PriGd,
+};
+use lexcache::infogan::InfoGanConfig;
+use lexcache::net::topology::{as1755, gtitm, transit_stub};
+use lexcache::net::{NetworkConfig, Topology};
+use lexcache::workload::demand::FlashCrowdConfig;
+use lexcache::workload::scenario::DemandKind;
+use lexcache::workload::{stats, HotspotTrace, ScenarioConfig};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+lexcache — dynamic service caching in 5G MECs (ICDCS 2020 reproduction)
+
+USAGE:
+  lexcache simulate [--policy P] [--topology T] [--stations N]
+                    [--requests N] [--slots N] [--demand D] [--seed S]
+                    [--regret] [--hidden-demands]
+  lexcache topo     [--kind T] [--stations N] [--seed S]
+  lexcache trace    [--users N] [--cells N] [--slots N] [--seed S]
+  lexcache help
+
+OPTIONS:
+  --policy     ol-gd | greedy | pri | ol-reg | ol-gan | ol-ucb |
+               ol-ewma | ol-naive              (default ol-gd)
+  --topology   gtitm | as1755 | transit-stub   (default gtitm)
+  --demand     fixed | flash | mmpp | onoff    (default fixed)
+  --stations   base-station count              (default 100)
+  --requests   request count                   (default 150)
+  --slots      time horizon                    (default 100)
+  --seed       RNG seed                        (default 0)
+  --regret     track clairvoyant regret
+  --hidden-demands  withhold true demands (forced for ol-reg/ol-gan)";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_options(rest) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "simulate" => cmd_simulate(&opts),
+        "topo" => cmd_topo(&opts),
+        "trace" => cmd_trace(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parsed `--key value` options (`--regret`-style flags get value "true").
+type Options = HashMap<String, String>;
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    const FLAGS: [&str; 2] = ["regret", "hidden-demands"];
+    let mut opts = HashMap::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let key = arg
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --option, got `{arg}`"))?;
+        if FLAGS.contains(&key) {
+            opts.insert(key.to_string(), "true".to_string());
+        } else {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("--{key} needs a value"))?;
+            opts.insert(key.to_string(), value.clone());
+        }
+    }
+    Ok(opts)
+}
+
+fn get_usize(opts: &Options, key: &str, default: usize) -> Result<usize, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key} expects a positive integer, got `{v}`")),
+    }
+}
+
+fn get_u64(opts: &Options, key: &str, default: u64) -> Result<u64, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key} expects an integer, got `{v}`")),
+    }
+}
+
+fn build_topology(opts: &Options, stations: usize, seed: u64) -> Result<Topology, String> {
+    let cfg = NetworkConfig::paper_defaults();
+    match opts.get("topology").or(opts.get("kind")).map(String::as_str) {
+        None | Some("gtitm") => Ok(gtitm::generate(stations, &cfg, seed)),
+        Some("as1755") => Ok(as1755::scaled(stations, &cfg, seed)),
+        Some("transit-stub") => Ok(transit_stub::generate(
+            transit_stub::TransitStubConfig::for_size(stations),
+            &cfg,
+            seed,
+        )),
+        Some(other) => Err(format!("unknown topology `{other}`")),
+    }
+}
+
+fn demand_kind(opts: &Options) -> Result<DemandKind, String> {
+    match opts.get("demand").map(String::as_str) {
+        None | Some("fixed") => Ok(DemandKind::Fixed),
+        Some("flash") => Ok(DemandKind::Flash(FlashCrowdConfig::default())),
+        Some("mmpp") => Ok(DemandKind::Mmpp {
+            p_busy: 0.2,
+            p_calm: 0.3,
+            busy_extra: 10.0,
+        }),
+        Some("onoff") => Ok(DemandKind::OnOff {
+            p_on: 0.25,
+            scale: 3.0,
+            shape: 1.3,
+            cap: 25.0,
+        }),
+        Some(other) => Err(format!("unknown demand model `{other}`")),
+    }
+}
+
+fn cmd_simulate(opts: &Options) -> Result<(), String> {
+    let stations = get_usize(opts, "stations", 100)?;
+    let requests = get_usize(opts, "requests", 150)?;
+    let slots = get_usize(opts, "slots", 100)?;
+    let seed = get_u64(opts, "seed", 0)?;
+    let net_cfg = NetworkConfig::paper_defaults();
+    let topo = build_topology(opts, stations, seed)?;
+    let scenario = ScenarioConfig::paper_defaults()
+        .with_requests(requests)
+        .with_demand(demand_kind(opts)?)
+        .build(&topo, seed);
+
+    let policy_name = opts.get("policy").map(String::as_str).unwrap_or("ol-gd");
+    let policy_cfg = PolicyConfig::default().with_seed(seed);
+    let mut policy: Box<dyn CachingPolicy> = match policy_name {
+        "ol-gd" => Box::new(OlGd::new(policy_cfg)),
+        "greedy" => Box::new(GreedyGd::new()),
+        "pri" => Box::new(PriGd::new()),
+        "ol-reg" => Box::new(OlReg::new(policy_cfg, 3)),
+        "ol-ucb" => Box::new(OlUcb::new(seed)),
+        "ol-ewma" => Box::new(ol_ewma(policy_cfg)),
+        "ol-naive" => Box::new(ol_naive(policy_cfg)),
+        "ol-gan" => {
+            let mut gan_cfg = InfoGanConfig::paper_defaults(scenario.n_cells());
+            gan_cfg.window = 10;
+            gan_cfg.bins = 24;
+            gan_cfg.mu = 3.0;
+            Box::new(OlGan::new(policy_cfg, gan_cfg, seed))
+        }
+        other => return Err(format!("unknown policy `{other}`")),
+    };
+
+    let hidden = opts.contains_key("hidden-demands")
+        || matches!(
+            policy_name,
+            "ol-reg" | "ol-gan" | "ol-ewma" | "ol-naive"
+        );
+    let mut ep_cfg = EpisodeConfig::new(seed);
+    if hidden {
+        ep_cfg = ep_cfg.hidden_demands();
+    }
+    if opts.contains_key("regret") {
+        ep_cfg = ep_cfg.with_regret();
+    }
+    println!(
+        "simulate: {} on {} ({} stations, {} requests, {} slots, seed {seed})",
+        policy.name(),
+        topo.name(),
+        topo.len(),
+        requests,
+        slots
+    );
+    let mut episode = Episode::with_config(topo, net_cfg, scenario, ep_cfg);
+    let report = episode.run(policy.as_mut(), slots);
+    println!("mean average delay : {:>10.2} ms", report.mean_avg_delay_ms());
+    println!("mean decide time   : {:>10.3} ms/slot", report.mean_decide_us() / 1000.0);
+    println!("remote fallbacks   : {:>10}", report.total_remote());
+    if let Some(regret) = report.cumulative_regret_ms() {
+        println!("cumulative regret  : {:>10.2} ms", regret);
+    }
+    Ok(())
+}
+
+fn cmd_topo(opts: &Options) -> Result<(), String> {
+    let stations = get_usize(opts, "stations", 87)?;
+    let seed = get_u64(opts, "seed", 0)?;
+    let topo = build_topology(opts, stations, seed)?;
+    println!("topology {}", topo.name());
+    println!("stations        : {}", topo.len());
+    println!("links           : {}", topo.edge_count());
+    println!("connected       : {}", topo.is_connected());
+    println!("mean hop length : {:.2}", topo.mean_hop_length());
+    println!("total capacity  : {:.0} MHz", topo.total_capacity_mhz());
+    let mut by_tier = HashMap::new();
+    for bs in topo.stations() {
+        *by_tier.entry(bs.tier().name()).or_insert(0usize) += 1;
+    }
+    let mut tiers: Vec<_> = by_tier.into_iter().collect();
+    tiers.sort();
+    for (tier, count) in tiers {
+        println!("  {tier:<6}: {count}");
+    }
+    Ok(())
+}
+
+fn cmd_trace(opts: &Options) -> Result<(), String> {
+    let users = get_usize(opts, "users", 20)?;
+    let cells = get_usize(opts, "cells", 5)?;
+    let slots = get_usize(opts, "slots", 200)?;
+    if slots < 2 {
+        return Err("--slots must be at least 2 for trace statistics".into());
+    }
+    let seed = get_u64(opts, "seed", 0)?;
+    let trace = HotspotTrace::synthesize(users, cells, 3, slots, seed);
+    println!(
+        "trace: {} users, {} cells, {} slots, {} rows",
+        trace.n_users(),
+        trace.n_cells(),
+        trace.n_slots(),
+        trace.rows().len()
+    );
+    println!("\n{:>6} {:>12} {:>12} {:>12} {:>8}", "cell", "dispersion", "peak/mean", "autocorr(1)", "hurst");
+    for (c, series) in trace.cell_demand_series().iter().enumerate() {
+        println!(
+            "{:>6} {:>12.2} {:>12.2} {:>12.2} {:>8.2}",
+            c,
+            stats::index_of_dispersion(series),
+            stats::peak_to_mean(series),
+            stats::autocorrelation(series, 1),
+            stats::hurst_rs(series),
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(pairs: &[&str]) -> Options {
+        parse_options(&pairs.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+            .expect("valid options")
+    }
+
+    #[test]
+    fn parses_key_value_and_flags() {
+        let o = opts(&["--stations", "40", "--regret", "--policy", "greedy"]);
+        assert_eq!(o.get("stations").map(String::as_str), Some("40"));
+        assert_eq!(o.get("regret").map(String::as_str), Some("true"));
+        assert_eq!(o.get("policy").map(String::as_str), Some("greedy"));
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        let args = vec!["--stations".to_string()];
+        assert!(parse_options(&args).is_err());
+    }
+
+    #[test]
+    fn rejects_positional_arguments() {
+        let args = vec!["fast".to_string()];
+        assert!(parse_options(&args).is_err());
+    }
+
+    #[test]
+    fn numeric_parsing_defaults_and_errors() {
+        let o = opts(&["--slots", "7"]);
+        assert_eq!(get_usize(&o, "slots", 100).expect("parses"), 7);
+        assert_eq!(get_usize(&o, "stations", 100).expect("default"), 100);
+        let bad = opts(&["--slots", "x"]);
+        assert!(get_usize(&bad, "slots", 100).is_err());
+    }
+
+    #[test]
+    fn topology_selection() {
+        let o = opts(&["--topology", "as1755"]);
+        let t = build_topology(&o, 30, 1).expect("builds");
+        assert!(t.name().starts_with("as1755"));
+        let bad = opts(&["--topology", "nope"]);
+        assert!(build_topology(&bad, 10, 1).is_err());
+    }
+
+    #[test]
+    fn demand_selection() {
+        assert_eq!(demand_kind(&opts(&[])).expect("default"), DemandKind::Fixed);
+        assert!(matches!(
+            demand_kind(&opts(&["--demand", "flash"])).expect("flash"),
+            DemandKind::Flash(_)
+        ));
+        assert!(demand_kind(&opts(&["--demand", "zzz"])).is_err());
+    }
+
+    #[test]
+    fn small_simulation_through_cli_path() {
+        let o = opts(&[
+            "--stations", "12", "--requests", "8", "--slots", "3", "--policy", "greedy",
+        ]);
+        cmd_simulate(&o).expect("runs");
+    }
+
+    #[test]
+    fn topo_and_trace_commands_run() {
+        cmd_topo(&opts(&["--stations", "20"])).expect("topo");
+        cmd_trace(&opts(&["--users", "4", "--cells", "2", "--slots", "30"])).expect("trace");
+    }
+}

@@ -1,0 +1,107 @@
+//! End-to-end tests of the `lexcache` command-line binary.
+
+use std::process::Command;
+
+fn lexcache(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_lexcache"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let out = lexcache(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("simulate"));
+}
+
+#[test]
+fn no_arguments_fails_with_usage() {
+    let out = lexcache(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = lexcache(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn unknown_policy_fails_cleanly() {
+    let out = lexcache(&["simulate", "--policy", "magic"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown policy"));
+}
+
+#[test]
+fn topo_reports_structure() {
+    let out = lexcache(&["topo", "--kind", "as1755", "--stations", "87"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("stations        : 87"));
+    assert!(text.contains("connected       : true"));
+    assert!(text.contains("macro"));
+}
+
+#[test]
+fn small_simulation_reports_metrics() {
+    let out = lexcache(&[
+        "simulate",
+        "--policy",
+        "greedy",
+        "--stations",
+        "15",
+        "--requests",
+        "10",
+        "--slots",
+        "4",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("mean average delay"));
+    assert!(text.contains("Greedy_GD"));
+}
+
+#[test]
+fn regret_flag_adds_regret_line() {
+    let out = lexcache(&[
+        "simulate",
+        "--policy",
+        "ol-gd",
+        "--stations",
+        "12",
+        "--requests",
+        "8",
+        "--slots",
+        "3",
+        "--regret",
+    ]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("cumulative regret"));
+}
+
+#[test]
+fn trace_prints_burstiness_table() {
+    let out = lexcache(&["trace", "--users", "6", "--cells", "2", "--slots", "40"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("dispersion"));
+    assert!(text.contains("hurst"));
+}
+
+#[test]
+fn bad_numeric_value_is_reported() {
+    let out = lexcache(&["simulate", "--slots", "many"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--slots"));
+}

@@ -1,0 +1,190 @@
+//! Cross-crate integration tests: the full pipeline from topology
+//! generation through workload synthesis, LP lowering, bandit learning
+//! and GAN prediction to episode metrics.
+
+use lexcache::core::{
+    CachingPolicy, Episode, EpisodeConfig, GreedyGd, OlGan, OlGd, OlReg, PolicyConfig, PriGd,
+};
+use lexcache::infogan::InfoGanConfig;
+use lexcache::net::{topology::as1755, topology::gtitm, NetworkConfig};
+use lexcache::workload::demand::FlashCrowdConfig;
+use lexcache::workload::scenario::DemandKind;
+use lexcache::workload::ScenarioConfig;
+
+fn given_demand_episode(n: usize, seed: u64) -> Episode {
+    let net_cfg = NetworkConfig::paper_defaults();
+    let topo = gtitm::generate(n, &net_cfg, seed);
+    let scenario = ScenarioConfig::small()
+        .with_requests(20)
+        .build(&topo, seed);
+    Episode::new(topo, net_cfg, scenario, seed)
+}
+
+#[test]
+fn all_five_policies_complete_an_episode() {
+    let net_cfg = NetworkConfig::paper_defaults();
+    let horizon = 6;
+    let build = |seed| {
+        let topo = gtitm::generate(20, &net_cfg, seed);
+        let scenario = ScenarioConfig::small()
+            .with_demand(DemandKind::Flash(FlashCrowdConfig::default()))
+            .build(&topo, seed);
+        (topo, scenario)
+    };
+    let (topo, scenario) = build(1);
+    let n_cells = scenario.n_cells();
+    let mut policies: Vec<(Box<dyn CachingPolicy>, bool)> = vec![
+        (Box::new(OlGd::new(PolicyConfig::default())), true),
+        (Box::new(GreedyGd::new()), true),
+        (Box::new(PriGd::new()), true),
+        (Box::new(OlReg::new(PolicyConfig::default(), 3)), false),
+        (
+            Box::new(OlGan::new(
+                PolicyConfig::default(),
+                InfoGanConfig::small(n_cells),
+                1,
+            )),
+            false,
+        ),
+    ];
+    for (policy, given) in policies.iter_mut() {
+        let mut cfg = EpisodeConfig::new(1);
+        if !*given {
+            cfg = cfg.hidden_demands();
+        }
+        let mut episode =
+            Episode::with_config(topo.clone(), net_cfg.clone(), scenario.clone(), cfg);
+        let report = episode.run(policy.as_mut(), horizon);
+        assert_eq!(report.slots.len(), horizon, "{}", report.policy);
+        assert!(
+            report.mean_avg_delay_ms() > 0.0 && report.mean_avg_delay_ms().is_finite(),
+            "{} produced bad delays",
+            report.policy
+        );
+    }
+}
+
+#[test]
+fn seeded_runs_are_bit_identical() {
+    let run = || {
+        let mut episode = given_demand_episode(15, 9);
+        episode
+            .run(&mut OlGd::new(PolicyConfig::default().with_seed(9)), 8)
+            .delay_series()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn learning_converges_toward_clairvoyant_optimum() {
+    // Over a long horizon the per-slot regret of OL_GD should shrink:
+    // compare mean regret of the first and last quarter.
+    let net_cfg = NetworkConfig::paper_defaults();
+    let topo = gtitm::generate(30, &net_cfg, 4);
+    let scenario = ScenarioConfig::small().with_requests(25).build(&topo, 4);
+    let mut episode = Episode::with_config(
+        topo,
+        net_cfg,
+        scenario,
+        EpisodeConfig::new(4).with_regret(),
+    );
+    let horizon = 80;
+    let report = episode.run(&mut OlGd::new(PolicyConfig::default()), horizon);
+    let per_slot: Vec<f64> = report
+        .slots
+        .iter()
+        .map(|s| s.avg_delay_ms - s.optimal_avg_delay_ms.expect("tracked"))
+        .collect();
+    let q = horizon / 4;
+    let early: f64 = per_slot[..q].iter().sum::<f64>() / q as f64;
+    let late: f64 = per_slot[horizon - q..].iter().sum::<f64>() / q as f64;
+    assert!(
+        late < early,
+        "regret should shrink with learning: early {early:.2}, late {late:.2}"
+    );
+}
+
+#[test]
+fn ol_gd_beats_static_baselines_over_seeds() {
+    let horizon = 60;
+    let seeds = [0u64, 1, 2];
+    let mut ol = 0.0;
+    let mut greedy = 0.0;
+    for &seed in &seeds {
+        let mut e1 = given_demand_episode(40, seed);
+        ol += e1
+            .run(&mut OlGd::new(PolicyConfig::default().with_seed(seed)), horizon)
+            .mean_avg_delay_ms();
+        let mut e2 = given_demand_episode(40, seed);
+        greedy += e2.run(&mut GreedyGd::new(), horizon).mean_avg_delay_ms();
+    }
+    assert!(
+        ol < greedy,
+        "OL_GD ({ol:.1}) should beat Greedy_GD ({greedy:.1}) over {} seeds",
+        seeds.len()
+    );
+}
+
+#[test]
+fn as1755_episode_runs_end_to_end() {
+    let net_cfg = NetworkConfig::paper_defaults();
+    let topo = as1755::generate(&net_cfg, 0);
+    let scenario = ScenarioConfig::small().with_requests(30).build(&topo, 2);
+    let mut episode = Episode::new(topo, net_cfg, scenario, 2);
+    let report = episode.run(&mut PriGd::new(), 10);
+    assert_eq!(report.topology, "as1755");
+    assert!(report.mean_avg_delay_ms() > 0.0);
+}
+
+#[test]
+fn gan_pipeline_pretrain_predict_update() {
+    // Synthesize a small-sample trace, pretrain, then run the policy in
+    // the unknown-demand regime — the full Algorithm 2 pipeline.
+    let net_cfg = NetworkConfig::paper_defaults();
+    let topo = gtitm::generate(20, &net_cfg, 5);
+    let scenario = ScenarioConfig::small()
+        .with_requests(16)
+        .with_demand(DemandKind::Flash(FlashCrowdConfig::default()))
+        .build(&topo, 5);
+    let n_cells = scenario.n_cells();
+    let mut cell_basics = vec![0.0; n_cells];
+    for r in scenario.requests() {
+        cell_basics[r.location_cell()] += r.basic_demand();
+    }
+    // Tiny burst-residual pretraining series.
+    let series: Vec<Vec<f64>> = (0..n_cells)
+        .map(|c| {
+            (0..20)
+                .map(|t| if t % 7 == 0 { 10.0 * (c + 1) as f64 } else { 0.0 })
+                .collect()
+        })
+        .collect();
+    let cells: Vec<usize> = (0..n_cells).collect();
+    let mut policy = OlGan::new(PolicyConfig::default(), InfoGanConfig::small(n_cells), 5);
+    policy.pretrain(&series, &cells, 10);
+    let mut episode = Episode::with_config(
+        topo,
+        net_cfg,
+        scenario,
+        EpisodeConfig::new(5).hidden_demands(),
+    );
+    let report = episode.run(&mut policy, 8);
+    assert_eq!(report.policy, "OL_GAN");
+    assert!(report.slots.iter().all(|s| s.avg_delay_ms.is_finite()));
+}
+
+#[test]
+fn runtime_ordering_matches_figure_3b() {
+    // OL_GD (LP per slot) must cost more per decision than the greedy
+    // baselines — the qualitative content of Fig. 3(b).
+    let mut e1 = given_demand_episode(40, 7);
+    let ol = e1.run(&mut OlGd::new(PolicyConfig::default()), 15);
+    let mut e2 = given_demand_episode(40, 7);
+    let greedy = e2.run(&mut GreedyGd::new(), 15);
+    assert!(
+        ol.mean_decide_us() > greedy.mean_decide_us(),
+        "OL_GD {}us vs greedy {}us",
+        ol.mean_decide_us(),
+        greedy.mean_decide_us()
+    );
+}
