@@ -77,7 +77,10 @@ pub fn sample_by_weight<R: Rng + ?Sized>(
         }
         pick -= weights[i];
     }
-    *allowed.last().expect("non-empty allowed")
+    // Rounding can leave `pick` a hair past the final weight;
+    // `allowed` is asserted non-empty at entry, so fall back to the
+    // last arm.
+    allowed[allowed.len() - 1]
 }
 
 #[cfg(test)]

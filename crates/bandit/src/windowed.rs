@@ -49,7 +49,9 @@ impl WindowedArmStats {
         self.values.push_back(value);
         self.sum += value;
         if self.values.len() > self.window {
-            self.sum -= self.values.pop_front().expect("non-empty");
+            if let Some(evicted) = self.values.pop_front() {
+                self.sum -= evicted;
+            }
         }
     }
 

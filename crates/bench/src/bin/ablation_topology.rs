@@ -49,6 +49,7 @@ fn main() {
     );
     let topologies = ["gtitm", "transit-stub", "as1755"];
     for &sensitivity in &[0.0, 2.0] {
+        // lexlint: allow(LX06): sentinel compare — 0.0 is the exact "disabled" config value
         let label = if sensitivity == 0.0 {
             "exogenous congestion only"
         } else {

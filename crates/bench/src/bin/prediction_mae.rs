@@ -74,7 +74,7 @@ fn main() {
     println!("  ARMA (Eq.27): {:.2}", mae(&arma_preds, &actuals));
 
     let mut sorted = actuals.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    lexcache_core::float_ord::sort_floats(&mut sorted);
     let median = sorted[sorted.len() / 2];
     let burst_idx: Vec<usize> = (0..actuals.len())
         .filter(|&i| actuals[i] > 2.0 * median)

@@ -303,7 +303,11 @@ pub fn run_many(spec: &RunSpec, repeats: usize) -> Vec<EpisodeReport> {
             });
         }
     })
-    .expect("worker panicked");
+    .unwrap_or_else(|payload| {
+        // A worker panicked; re-raise its payload on this thread so
+        // the original message and backtrace are preserved.
+        std::panic::resume_unwind(payload)
+    });
     let mut out = results.into_inner();
     out.sort_by_key(|(seed, _)| *seed);
     out.into_iter().map(|(_, r)| r).collect()

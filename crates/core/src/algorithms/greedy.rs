@@ -43,9 +43,10 @@ fn capacities(ctx: &SlotContext<'_>) -> Vec<f64> {
 }
 
 fn demands_of(ctx: &SlotContext<'_>) -> Vec<f64> {
-    ctx.given_demands
-        .expect("the *_GD baselines run in the given-demands regime")
-        .to_vec()
+    let Some(demands) = ctx.given_demands else {
+        panic!("the *_GD baselines run in the given-demands regime; enable reveal_demands")
+    };
+    demands.to_vec()
 }
 
 /// `Greedy_GD`: "each base station greedily selects a service and its

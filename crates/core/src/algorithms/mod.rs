@@ -198,6 +198,7 @@ mod tests {
         // decision must still cover every request.
         let a = policy.decide(&ctx);
         assert_eq!(a.len(), f.demands.len());
+        // lexlint: allow(LX06): asserting the exact zero-initialized fallback
         assert!(policy.forecasts().iter().all(|&v| v == 0.0));
     }
 

@@ -104,6 +104,7 @@ impl OlGan {
             .clone();
         let mut cell_burst = vec![0.0; n_cells];
         for (cell, burst) in cell_burst.iter_mut().enumerate() {
+            // lexlint: allow(LX06): a cell with exactly zero basic demand has no burst to scale
             if cell_basics[cell] == 0.0 || self.cell_history[cell].is_empty() {
                 continue;
             }

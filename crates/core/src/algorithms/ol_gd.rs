@@ -167,7 +167,7 @@ impl OlGdCore {
 /// Indices of the `k` largest entries of `xs`.
 fn top_columns(xs: &[f64], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
-    idx.sort_by(|&a, &b| xs[b].partial_cmp(&xs[a]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| crate::float_ord::total_cmp_f64(&xs[b], &xs[a]));
     idx.truncate(k.max(1));
     idx
 }
@@ -219,11 +219,7 @@ pub(crate) fn repair_capacity(
         // Requests currently on the overloaded station, largest demand
         // first (moving one big request restores feasibility fastest).
         let mut here: Vec<usize> = (0..columns.len()).filter(|&l| columns[l] == over).collect();
-        here.sort_by(|&a, &b| {
-            demands[b]
-                .partial_cmp(&demands[a])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        here.sort_by(|&a, &b| crate::float_ord::total_cmp_f64(&demands[b], &demands[a]));
         let victim = here[0];
         // Cheapest alternative with slack; remote as last resort.
         let mut best = n;
@@ -281,9 +277,9 @@ impl CachingPolicy for OlGd {
     }
 
     fn decide(&mut self, ctx: &SlotContext<'_>) -> Assignment {
-        let demands = ctx
-            .given_demands
-            .expect("OL_GD runs in the given-demands regime");
+        let Some(demands) = ctx.given_demands else {
+            panic!("OL_GD runs in the given-demands regime; enable reveal_demands")
+        };
         self.core.decide_with_demands(ctx, demands)
     }
 

@@ -51,9 +51,9 @@ impl CachingPolicy for OlUcb {
     }
 
     fn decide(&mut self, ctx: &SlotContext<'_>) -> Assignment {
-        let demands = ctx
-            .given_demands
-            .expect("OL_UCB runs in the given-demands regime");
+        let Some(demands) = ctx.given_demands else {
+            panic!("OL_UCB runs in the given-demands regime; enable reveal_demands")
+        };
         let n = ctx.topo.len();
         self.slot += 1;
         let t = self.slot;

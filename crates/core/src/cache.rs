@@ -12,7 +12,7 @@
 use mec_net::delay::InstantiationDelays;
 use mec_net::BsId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Live service instances across slots, with idle-eviction and an
 /// optional per-station instance limit (LRU within the station).
@@ -20,8 +20,11 @@ use std::collections::HashMap;
 pub struct CacheState {
     n_services: usize,
     n_stations: usize,
-    /// `(service, station) → slot of last use`.
-    last_used: HashMap<(usize, usize), usize>,
+    /// `(service, station) → slot of last use`. A `BTreeMap` so that
+    /// iteration (eviction scans, serialization) follows the fixed
+    /// `(service, station)` order rather than hasher state — the cache
+    /// is on the per-slot decision path (lexlint LX03).
+    last_used: BTreeMap<(usize, usize), usize>,
     /// Evict instances idle for more than this many slots (`None` =
     /// never).
     idle_ttl: Option<usize>,
@@ -42,7 +45,7 @@ impl CacheState {
         CacheState {
             n_services,
             n_stations,
-            last_used: HashMap::new(),
+            last_used: BTreeMap::new(),
             idle_ttl: None,
             per_station_limit: None,
         }

@@ -1,0 +1,149 @@
+//! Deterministic float ordering.
+//!
+//! `partial_cmp(..).unwrap_or(Ordering::Equal)` silently treats a NaN
+//! as equal to everything, so one NaN sneaking into a reward vector
+//! reorders caching decisions differently from run to run instead of
+//! failing loudly. These helpers wrap [`f64::total_cmp`] — the IEEE 754
+//! `totalOrder` predicate — which gives every bit pattern, NaNs
+//! included, one fixed position: `-NaN < -∞ < … < -0.0 < +0.0 < … <
+//! +∞ < +NaN`. Same-seed episodes therefore sort identically even in
+//! the presence of pathological values, and a NaN surfaces at the
+//! extreme of the order where it is visible, rather than vanishing
+//! into an arbitrary mid-sequence position.
+//!
+//! The `lexlint` rule LX02 bans the NaN-swallowing pattern
+//! workspace-wide; crates below `lexcache-core` in the dependency
+//! graph (`simplex`, `mec-workload`, …) use `f64::total_cmp` directly,
+//! everything above uses these helpers.
+
+use std::cmp::Ordering;
+
+/// Total order on `f64` — [`f64::total_cmp`] as a named function, so
+/// call sites read `sort_by(total_cmp_f64)` and comparator closures
+/// don't re-derive NaN handling each time.
+///
+/// # Example
+///
+/// ```
+/// use lexcache_core::float_ord::total_cmp_f64;
+/// use std::cmp::Ordering;
+/// assert_eq!(total_cmp_f64(&1.0, &2.0), Ordering::Less);
+/// // NaN has a definite position instead of comparing "equal".
+/// assert_eq!(total_cmp_f64(&f64::NAN, &f64::INFINITY), Ordering::Greater);
+/// ```
+pub fn total_cmp_f64(a: &f64, b: &f64) -> Ordering {
+    a.total_cmp(b)
+}
+
+/// Sorts a float slice ascending under the total order. NaNs sort to
+/// the ends (−NaN first, +NaN last) instead of poisoning the
+/// comparison sort's transitivity assumptions.
+///
+/// # Example
+///
+/// ```
+/// use lexcache_core::float_ord::sort_floats;
+/// let mut v = vec![2.0, f64::NAN, 1.0];
+/// sort_floats(&mut v);
+/// assert_eq!(v[0], 1.0);
+/// assert_eq!(v[1], 2.0);
+/// assert!(v[2].is_nan());
+/// ```
+pub fn sort_floats(xs: &mut [f64]) {
+    xs.sort_by(total_cmp_f64);
+}
+
+/// Index of the maximum under the total order; ties keep the **last**
+/// maximal element, matching `Iterator::max_by`, so migrated argmax
+/// call sites keep their tie-breaking behaviour bit-for-bit. Returns
+/// `None` on an empty slice.
+pub fn argmax_f64(xs: &[f64]) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (i, x) in xs.iter().enumerate() {
+        match best {
+            Some(b) if x.total_cmp(&xs[b]).is_lt() => {}
+            _ => best = Some(i),
+        }
+    }
+    best
+}
+
+/// Index of the minimum under the total order; ties keep the **first**
+/// minimal element, matching `Iterator::min_by`. Returns `None` on an
+/// empty slice.
+pub fn argmin_f64(xs: &[f64]) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (i, x) in xs.iter().enumerate() {
+        match best {
+            Some(b) if x.total_cmp(&xs[b]).is_lt() => best = Some(i),
+            None => best = Some(i),
+            _ => {}
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_order_places_nan_deterministically() {
+        let mut v = vec![f64::NAN, 1.0, -f64::NAN, f64::NEG_INFINITY, 0.0];
+        sort_floats(&mut v);
+        assert!(v[0].is_nan() && v[0].is_sign_negative());
+        assert_eq!(v[1], f64::NEG_INFINITY);
+        assert_eq!(v[2], 0.0);
+        assert_eq!(v[3], 1.0);
+        assert!(v[4].is_nan() && v[4].is_sign_positive());
+    }
+
+    #[test]
+    fn sorting_is_reproducible_with_nans() {
+        let base = vec![3.0, f64::NAN, 1.0, 2.0, f64::NAN];
+        let mut a = base.clone();
+        let mut b = base;
+        sort_floats(&mut a);
+        sort_floats(&mut b);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&b));
+    }
+
+    #[test]
+    fn argmax_matches_iterator_max_by_tie_breaking() {
+        let xs = [1.0, 3.0, 3.0, 2.0];
+        let reference = xs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i);
+        assert_eq!(argmax_f64(&xs), reference);
+        assert_eq!(argmax_f64(&xs), Some(2), "ties keep the last maximum");
+    }
+
+    #[test]
+    fn argmin_matches_iterator_min_by_tie_breaking() {
+        let xs = [2.0, 1.0, 1.0, 3.0];
+        let reference = xs
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i);
+        assert_eq!(argmin_f64(&xs), reference);
+        assert_eq!(argmin_f64(&xs), Some(1), "ties keep the first minimum");
+    }
+
+    #[test]
+    fn empty_slices_yield_none() {
+        assert_eq!(argmax_f64(&[]), None);
+        assert_eq!(argmin_f64(&[]), None);
+    }
+
+    #[test]
+    fn negative_zero_orders_below_positive_zero() {
+        let mut v = vec![0.0, -0.0];
+        sort_floats(&mut v);
+        assert!(v[0].is_sign_negative());
+        assert!(v[1].is_sign_positive());
+    }
+}

@@ -47,6 +47,7 @@
 pub mod algorithms;
 pub mod assignment;
 pub mod cache;
+pub mod float_ord;
 pub mod lowering;
 pub mod metrics;
 pub mod policy;

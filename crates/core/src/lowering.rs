@@ -23,8 +23,11 @@ impl TransferCosts {
     /// Computes the transfer matrix with Dijkstra over link delays from
     /// every distinct registered station.
     pub fn compute(topo: &Topology, scenario: &Scenario) -> Self {
-        let mut by_source: std::collections::HashMap<usize, Vec<f64>> =
-            std::collections::HashMap::new();
+        // BTreeMap, not HashMap: this cache is keyed by station index
+        // on the per-episode decision path, and same-seed runs must
+        // not depend on hasher state (lexlint LX03).
+        let mut by_source: std::collections::BTreeMap<usize, Vec<f64>> =
+            std::collections::BTreeMap::new();
         let cost = scenario
             .requests()
             .iter()
@@ -85,14 +88,20 @@ fn dijkstra(topo: &Topology, src: usize) -> Vec<f64> {
         .collect()
 }
 
-/// Total-ordered wrapper for non-NaN f64 keys in the heap.
-#[derive(PartialEq, PartialOrd)]
+/// Total-ordered wrapper for f64 keys in the heap, ordered by
+/// [`f64::total_cmp`] so even a NaN delay has a definite position
+/// instead of breaking the heap invariant.
+#[derive(PartialEq)]
 struct Ordered(f64);
 impl Eq for Ordered {}
-#[allow(clippy::derive_ord_xor_partial_ord)]
+impl PartialOrd for Ordered {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
 impl Ord for Ordered {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.partial_cmp(other).expect("delays are never NaN")
+        crate::float_ord::total_cmp_f64(&self.0, &other.0)
     }
 }
 fn ordered(v: f64) -> Ordered {

@@ -267,12 +267,7 @@ impl Predictor for FittedAr {
 fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     let n = b.len();
     for col in 0..n {
-        let pivot = (col..n).max_by(|&r1, &r2| {
-            a[r1][col]
-                .abs()
-                .partial_cmp(&a[r2][col].abs())
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })?;
+        let pivot = (col..n).max_by(|&r1, &r2| a[r1][col].abs().total_cmp(&a[r2][col].abs()))?;
         if a[pivot][col].abs() < 1e-12 {
             return None;
         }
@@ -280,6 +275,7 @@ fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
         b.swap(col, pivot);
         for row in (col + 1)..n {
             let f = a[row][col] / a[col][col];
+            // lexlint: allow(LX06): exact-zero sparsity skip in elimination
             if f != 0.0 {
                 for k in col..n {
                     a[row][k] -= f * a[col][k];

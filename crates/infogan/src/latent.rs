@@ -76,7 +76,9 @@ impl DemandQuantizer {
 
     /// Largest representable value.
     pub fn max_value(&self) -> f64 {
-        *self.levels.last().expect("non-empty levels")
+        // `bins >= 2` is asserted at construction, so the final level
+        // always exists.
+        self.levels[self.levels.len() - 1]
     }
 
     /// The level values.

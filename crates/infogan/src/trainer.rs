@@ -471,7 +471,9 @@ impl InfoRnnGan {
             })
             .collect();
         let trace = self.generator.forward_seq(&inputs);
-        let last = trace.logits.last().expect("non-empty window");
+        // One logit row per input step; `window >= 1` is a config
+        // invariant, so the final row always exists.
+        let last = &trace.logits[trace.logits.len() - 1];
         (self.quant.expectation_of_logits(last) * self.scale).max(0.0)
     }
 
@@ -508,22 +510,31 @@ impl InfoRnnGan {
         let trace = self.discriminator.forward_seq(&norm);
         let mut votes = vec![0usize; self.cfg.n_cells];
         for logits in &trace.q_logits {
-            let qp = softmax(logits);
-            let best = qp
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-                .map(|(i, _)| i)
-                .expect("non-empty q vector");
-            votes[best] += 1;
+            votes[argmax_total(&softmax(logits))] += 1;
         }
-        votes
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &v)| v)
-            .map(|(i, _)| i)
-            .expect("non-empty votes")
+        // Majority vote; `n_cells >= 1` is a config invariant, so the
+        // vote vector is never empty. Last max on ties, matching the
+        // former `max_by_key` behaviour.
+        let mut best = 0;
+        for (i, &v) in votes.iter().enumerate() {
+            if v >= votes[best] {
+                best = i;
+            }
+        }
+        best
     }
+}
+
+/// Argmax under `f64::total_cmp` (last max wins ties, matching the
+/// old `max_by` behaviour); returns 0 on an empty slice.
+fn argmax_total(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for i in 1..xs.len() {
+        if xs[i].total_cmp(&xs[best]).is_ge() {
+            best = i;
+        }
+    }
+    best
 }
 
 #[cfg(test)]

@@ -1,0 +1,345 @@
+//! `lexlint.toml`: the allowlist and per-rule configuration.
+//!
+//! Parsed with a hand-rolled reader for the small TOML subset the tool
+//! needs — `[table]` / `[[array-of-table]]` headers, `key = "string"`,
+//! `key = ["array", "of", "strings"]` (single- or multi-line) and `#`
+//! comments. Unknown keys are ignored so the format can grow without
+//! breaking older checkouts.
+//!
+//! ```toml
+//! # Directories (workspace-relative prefixes) that form the
+//! # simulation/decision path, where LX03 forbids default-hasher maps.
+//! [lx03]
+//! paths = ["crates/core/src", "crates/simplex/src"]
+//!
+//! # A vetted exception: suppress one rule in one file, for lines
+//! # containing `pattern`. `reason` is mandatory.
+//! [[allow]]
+//! rule = "LX01"
+//! file = "crates/simplex/src/transport.rs"
+//! pattern = "expect(\"leaving arc"
+//! reason = "spanning-tree invariant; panic message carries context"
+//! ```
+
+/// One `[[allow]]` entry: a vetted, documented exception.
+#[derive(Debug, Clone, Default)]
+pub struct AllowEntry {
+    /// Rule id, e.g. `"LX01"`.
+    pub rule: String,
+    /// Workspace-relative file path the exception applies to.
+    pub file: String,
+    /// Substring the offending source line must contain. Empty matches
+    /// any line in the file (file-wide exception).
+    pub pattern: String,
+    /// Why this exception is sound. Entries without a reason are
+    /// rejected at load time.
+    pub reason: String,
+}
+
+/// Parsed configuration.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Directory prefixes where LX03 (no default-hasher maps) applies.
+    pub lx03_paths: Vec<String>,
+    /// Vetted exceptions.
+    pub allows: Vec<AllowEntry>,
+}
+
+impl Config {
+    /// Whether a finding for `rule` at `file`:`line_text` is covered by
+    /// an allowlist entry.
+    pub fn is_allowed(&self, rule: &str, file: &str, line_text: &str) -> bool {
+        self.allows.iter().any(|a| {
+            a.rule == rule
+                && a.file == file
+                && (a.pattern.is_empty() || line_text.contains(&a.pattern))
+        })
+    }
+
+    /// Whether LX03 applies to `file` (a workspace-relative path).
+    pub fn lx03_applies(&self, file: &str) -> bool {
+        self.lx03_paths.iter().any(|p| file.starts_with(p.as_str()))
+    }
+}
+
+/// Parses the configuration text. Returns `Err` with a line-numbered
+/// message on malformed input or an `[[allow]]` entry missing its
+/// `reason`.
+pub fn parse(text: &str) -> Result<Config, String> {
+    let mut cfg = Config::default();
+    let mut section = String::new();
+    let mut pending: Option<AllowEntry> = None;
+
+    // Join multi-line arrays: buffer until brackets balance.
+    let mut logical: Vec<(usize, String)> = Vec::new();
+    let mut buf = String::new();
+    let mut buf_line = 0usize;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw);
+        if buf.is_empty() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            buf_line = idx + 1;
+            buf.push_str(&line);
+        } else {
+            buf.push(' ');
+            buf.push_str(&line);
+        }
+        if balanced(&buf) {
+            logical.push((buf_line, std::mem::take(&mut buf)));
+        }
+    }
+    if !buf.is_empty() {
+        return Err(format!("line {buf_line}: unterminated array"));
+    }
+
+    for (lineno, line) in logical {
+        let line = line.trim().to_string();
+        if let Some(name) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+            flush_allow(&mut cfg, &mut pending)?;
+            section = name.trim().to_string();
+            if section == "allow" {
+                pending = Some(AllowEntry::default());
+            }
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            flush_allow(&mut cfg, &mut pending)?;
+            section = name.trim().to_string();
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("line {lineno}: expected `key = value`, got `{line}`"));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        match (section.as_str(), key) {
+            ("lx03", "paths") => {
+                cfg.lx03_paths = parse_string_array(value)
+                    .map_err(|e| format!("line {lineno}: {e}"))?;
+            }
+            ("allow", _) => {
+                let entry = pending
+                    .as_mut()
+                    .ok_or_else(|| format!("line {lineno}: key outside [[allow]] table"))?;
+                let s = parse_string(value).map_err(|e| format!("line {lineno}: {e}"))?;
+                match key {
+                    "rule" => entry.rule = s,
+                    "file" => entry.file = s,
+                    "pattern" => entry.pattern = s,
+                    "reason" => entry.reason = s,
+                    _ => {} // forward compatibility
+                }
+            }
+            _ => {} // unknown section/key: ignore
+        }
+    }
+    flush_allow(&mut cfg, &mut pending)?;
+    Ok(cfg)
+}
+
+/// Loads and parses a config file; a missing file yields the default
+/// (empty) configuration so the tool runs out of the box.
+pub fn load(path: &std::path::Path) -> Result<Config, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => parse(&text).map_err(|e| format!("{}: {e}", path.display())),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Config::default()),
+        Err(e) => Err(format!("{}: {e}", path.display())),
+    }
+}
+
+fn flush_allow(cfg: &mut Config, pending: &mut Option<AllowEntry>) -> Result<(), String> {
+    if let Some(entry) = pending.take() {
+        if entry.rule.is_empty() || entry.file.is_empty() {
+            return Err("[[allow]] entry needs both `rule` and `file`".to_string());
+        }
+        if entry.reason.trim().is_empty() {
+            return Err(format!(
+                "[[allow]] entry for {} in {} has no `reason` — every exception must be justified",
+                entry.rule, entry.file
+            ));
+        }
+        cfg.allows.push(entry);
+    }
+    Ok(())
+}
+
+/// Strips a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> String {
+    let mut out = String::new();
+    let mut in_str = false;
+    let mut escape = false;
+    for c in line.chars() {
+        if escape {
+            out.push(c);
+            escape = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => {
+                out.push(c);
+                escape = true;
+            }
+            '"' => {
+                in_str = !in_str;
+                out.push(c);
+            }
+            '#' if !in_str => break,
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Whether brackets and quotes are balanced (so a logical line ended).
+fn balanced(s: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut escape = false;
+    for c in s.chars() {
+        if escape {
+            escape = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escape = true,
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth <= 0 && !in_str
+}
+
+/// Parses `"a string"` with `\"` / `\\` escapes.
+fn parse_string(value: &str) -> Result<String, String> {
+    let v = value.trim();
+    let inner = v
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| format!("expected a quoted string, got `{v}`"))?;
+    let mut out = String::new();
+    let mut escape = false;
+    for c in inner.chars() {
+        if escape {
+            out.push(c);
+            escape = false;
+        } else if c == '\\' {
+            escape = true;
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+/// Parses `["a", "b", "c"]`.
+fn parse_string_array(value: &str) -> Result<Vec<String>, String> {
+    let v = value.trim();
+    let inner = v
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| format!("expected an array, got `{v}`"))?;
+    let mut out = Vec::new();
+    for part in split_top_level(inner) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        out.push(parse_string(part)?);
+    }
+    Ok(out)
+}
+
+/// Splits on commas outside quotes.
+fn split_top_level(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    let mut escape = false;
+    for c in s.chars() {
+        if escape {
+            cur.push(c);
+            escape = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => {
+                cur.push(c);
+                escape = true;
+            }
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ',' if !in_str => parts.push(std::mem::take(&mut cur)),
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_lx03_paths_and_allows() {
+        let cfg = parse(
+            r#"
+# comment
+[lx03]
+paths = ["crates/core/src", "crates/simplex/src"]
+
+[[allow]]
+rule = "LX01"
+file = "crates/foo/src/lib.rs"
+pattern = "expect(\"invariant\")"
+reason = "constructor guarantees non-empty"
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.lx03_paths.len(), 2);
+        assert_eq!(cfg.allows.len(), 1);
+        assert!(cfg.lx03_applies("crates/core/src/sim.rs"));
+        assert!(!cfg.lx03_applies("crates/neural/src/lstm.rs"));
+        assert!(cfg.is_allowed(
+            "LX01",
+            "crates/foo/src/lib.rs",
+            r#"let x = y.expect("invariant");"#
+        ));
+        assert!(!cfg.is_allowed("LX01", "crates/foo/src/lib.rs", "let x = y.unwrap();"));
+    }
+
+    #[test]
+    fn multi_line_arrays() {
+        let cfg = parse("[lx03]\npaths = [\n  \"a\",\n  \"b\",\n]\n").unwrap();
+        assert_eq!(cfg.lx03_paths, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn allow_without_reason_is_rejected() {
+        let err = parse("[[allow]]\nrule = \"LX01\"\nfile = \"x.rs\"\n").unwrap_err();
+        assert!(err.contains("reason"), "{err}");
+    }
+
+    #[test]
+    fn empty_pattern_matches_whole_file() {
+        let cfg = parse(
+            "[[allow]]\nrule = \"LX06\"\nfile = \"f.rs\"\nreason = \"vetted\"\n",
+        )
+        .unwrap();
+        assert!(cfg.is_allowed("LX06", "f.rs", "anything == 0.0"));
+    }
+
+    #[test]
+    fn missing_file_loads_default() {
+        let cfg = load(std::path::Path::new("/nonexistent/lexlint.toml")).unwrap();
+        assert!(cfg.allows.is_empty() && cfg.lx03_paths.is_empty());
+    }
+}

@@ -1,0 +1,514 @@
+//! A from-scratch lexer for the subset of Rust surface syntax the rule
+//! engine needs: identifiers, literals, punctuation and comments, each
+//! tagged with its 1-based source line.
+//!
+//! It is deliberately *not* a full Rust lexer — no token trees, no
+//! macro expansion — but it gets the hard cases right that a regex
+//! scanner gets wrong: nested block comments, raw strings, byte
+//! strings, char literals vs. lifetimes, and float literals vs. range
+//! expressions. Those are exactly the cases that make `grep`-based
+//! lint rules misfire inside string fixtures and doc comments.
+
+/// What a token is, at the granularity the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `fn`, `HashMap`, …).
+    Ident,
+    /// Lifetime such as `'a` (distinct from char literals).
+    Lifetime,
+    /// Integer literal (`42`, `0xff`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `2e-3`, `0.5f32`).
+    Float,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Punctuation; multi-character operators such as `==` and `!=`
+    /// arrive as a single token.
+    Punct,
+}
+
+/// One code token with its source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Exact source text of the token.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// A comment with its starting line. Doc comments are included; the
+/// rules that look for `// lexlint: …` markers scan these.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// Comment body including the `//` / `/*` introducer.
+    pub text: String,
+}
+
+/// The lexed form of one source file: code tokens and comments,
+/// separated so rules can pattern-match on clean token adjacency while
+/// still consulting comments for suppression markers.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order (comments excluded).
+    pub toks: Vec<Tok>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first so greedy matching works.
+const OPERATORS: &[&str] = &[
+    "..=", "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Lexes `src` into tokens and comments. Never fails: unexpected bytes
+/// are emitted as single-character punctuation so the rules always see
+/// the rest of the file.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let n = b.len();
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comments (incl. `///` and `//!`).
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i;
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                text: b[start..i].iter().collect(),
+            });
+            continue;
+        }
+        // Block comments, which nest in Rust.
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                text: b[start..i].iter().collect(),
+            });
+            continue;
+        }
+        // Raw strings r"…" / r#"…"# and their byte variants.
+        if (c == 'r' || c == 'b') && is_raw_string_start(&b, i) {
+            let (tok, nl) = lex_raw_string(&b, i, line);
+            i += tok.text.chars().count();
+            out.toks.push(tok);
+            line += nl;
+            continue;
+        }
+        // Plain and byte strings.
+        if c == '"' || (c == 'b' && i + 1 < n && b[i + 1] == '"') {
+            let start = i;
+            let start_line = line;
+            if c == 'b' {
+                i += 1;
+            }
+            i += 1; // opening quote
+            while i < n {
+                if b[i] == '\\' {
+                    if b.get(i + 1) == Some(&'\n') {
+                        line += 1;
+                    }
+                    i += 2;
+                } else if b[i] == '"' {
+                    i += 1;
+                    break;
+                } else {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Str,
+                text: b[start..i.min(n)].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Char literal vs. lifetime.
+        if c == '\'' || (c == 'b' && i + 1 < n && b[i + 1] == '\'') {
+            let start = i;
+            let mut j = i + if c == 'b' { 2 } else { 1 };
+            if j < n && b[j] == '\\' {
+                // Escaped char literal: consume escape + closing quote.
+                j += 2;
+                while j < n && b[j] != '\'' {
+                    j += 1;
+                }
+                i = (j + 1).min(n);
+                out.toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+                continue;
+            }
+            // Non-identifier single char followed by a closing quote:
+            // a char literal such as `'"'`, `' '` or `'('`. (Identifier
+            // chars are disambiguated against lifetimes below.)
+            if j + 1 < n
+                && b[j] != '\''
+                && !(b[j].is_alphanumeric() || b[j] == '_')
+                && b[j + 1] == '\''
+            {
+                i = j + 2;
+                out.toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+                continue;
+            }
+            // Scan an identifier run after the quote.
+            let mut k = j;
+            while k < n && (b[k].is_alphanumeric() || b[k] == '_') {
+                k += 1;
+            }
+            if k < n && b[k] == '\'' && k > j {
+                // 'a' — char literal.
+                i = k + 1;
+                out.toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            } else {
+                // 'ident — lifetime (or a stray quote, lexed the same).
+                i = k.max(j);
+                out.toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+                if i == start {
+                    i += 1; // lone quote: never stall
+                }
+            }
+            continue;
+        }
+        // Identifiers and keywords.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let (tok, len) = lex_number(&b, i, line);
+            i += len;
+            out.toks.push(tok);
+            continue;
+        }
+        // Multi-character operators, longest match first.
+        let mut matched = false;
+        for op in OPERATORS {
+            let oc: Vec<char> = op.chars().collect();
+            if i + oc.len() <= n && b[i..i + oc.len()] == oc[..] {
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (*op).to_string(),
+                    line,
+                });
+                i += oc.len();
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Whether position `i` starts a raw (possibly byte) string: `r"`,
+/// `r#`, `br"`, `br#`.
+fn is_raw_string_start(b: &[char], i: usize) -> bool {
+    let n = b.len();
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+        if j >= n || b[j] != 'r' {
+            return false;
+        }
+    }
+    if b[j] != 'r' {
+        return false;
+    }
+    j += 1;
+    while j < n && b[j] == '#' {
+        j += 1;
+    }
+    j < n && b[j] == '"'
+}
+
+/// Lexes a raw string starting at `i`; returns the token and how many
+/// newlines it spans.
+fn lex_raw_string(b: &[char], i: usize, line: usize) -> (Tok, usize) {
+    let n = b.len();
+    let start = i;
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+    }
+    j += 1; // 'r'
+    let mut hashes = 0;
+    while j < n && b[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // opening quote
+    let mut newlines = 0;
+    while j < n {
+        if b[j] == '\n' {
+            newlines += 1;
+            j += 1;
+            continue;
+        }
+        if b[j] == '"' {
+            // Need `hashes` trailing #s to close.
+            let mut k = j + 1;
+            let mut seen = 0;
+            while k < n && b[k] == '#' && seen < hashes {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                j = k;
+                break;
+            }
+        }
+        j += 1;
+    }
+    (
+        Tok {
+            kind: TokKind::Str,
+            text: b[start..j.min(n)].iter().collect(),
+            line,
+        },
+        newlines,
+    )
+}
+
+/// Lexes a number starting at `i`; distinguishes ints from floats,
+/// treating `0..n` as int + range rather than a malformed float.
+fn lex_number(b: &[char], i: usize, line: usize) -> (Tok, usize) {
+    let n = b.len();
+    let start = i;
+    let mut j = i;
+    let mut is_float = false;
+    // Hex/octal/binary prefixes are always ints.
+    if b[j] == '0' && j + 1 < n && matches!(b[j + 1], 'x' | 'o' | 'b') {
+        j += 2;
+        while j < n && (b[j].is_ascii_alphanumeric() || b[j] == '_') {
+            j += 1;
+        }
+        return (
+            Tok {
+                kind: TokKind::Int,
+                text: b[start..j].iter().collect(),
+                line,
+            },
+            j - start,
+        );
+    }
+    while j < n && (b[j].is_ascii_digit() || b[j] == '_') {
+        j += 1;
+    }
+    // Fractional part — but not `..` (range) and not `.method()`.
+    if j < n && b[j] == '.' {
+        let next = b.get(j + 1).copied();
+        let is_range = next == Some('.');
+        let is_method = next.map(|c| c.is_alphabetic() || c == '_').unwrap_or(false);
+        if !is_range && !is_method {
+            is_float = true;
+            j += 1;
+            while j < n && (b[j].is_ascii_digit() || b[j] == '_') {
+                j += 1;
+            }
+        }
+    }
+    // Exponent.
+    if j < n && matches!(b[j], 'e' | 'E') {
+        let mut k = j + 1;
+        if k < n && matches!(b[k], '+' | '-') {
+            k += 1;
+        }
+        if k < n && b[k].is_ascii_digit() {
+            is_float = true;
+            j = k;
+            while j < n && (b[j].is_ascii_digit() || b[j] == '_') {
+                j += 1;
+            }
+        }
+    }
+    // Type suffix (`f64` marks a float, `u32` an int).
+    if j < n && (b[j].is_alphabetic() || b[j] == '_') {
+        let sstart = j;
+        while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+            j += 1;
+        }
+        let suffix: String = b[sstart..j].iter().collect();
+        if suffix == "f32" || suffix == "f64" {
+            is_float = true;
+        }
+    }
+    (
+        Tok {
+            kind: if is_float { TokKind::Float } else { TokKind::Int },
+            text: b[start..j].iter().collect(),
+            line,
+        },
+        j - start,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).toks.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn distinguishes_lifetimes_from_chars() {
+        let ks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        assert!(ks.contains(&(TokKind::Lifetime, "'a".into())));
+        assert!(ks.contains(&(TokKind::Char, "'x'".into())));
+    }
+
+    #[test]
+    fn punctuation_char_literals_do_not_open_strings() {
+        // `'"'` once desynced the lexer into treating the rest of the
+        // file as a string; keep a regression test for each shape.
+        let ks = kinds("match c { '\"' => 1, ' ' => 2, '(' => 3, _ => x.unwrap() }");
+        assert!(ks.contains(&(TokKind::Char, "'\"'".into())));
+        assert!(ks.contains(&(TokKind::Char, "' '".into())));
+        assert!(ks.contains(&(TokKind::Char, "'('".into())));
+        assert!(ks.contains(&(TokKind::Ident, "unwrap".into())));
+    }
+
+    #[test]
+    fn range_is_not_a_float() {
+        let ks = kinds("for i in 0..10 { let x = 1.5; }");
+        assert!(ks.contains(&(TokKind::Int, "0".into())));
+        assert!(ks.contains(&(TokKind::Punct, "..".into())));
+        assert!(ks.contains(&(TokKind::Float, "1.5".into())));
+    }
+
+    #[test]
+    fn int_method_call_is_not_a_float() {
+        let ks = kinds("let x = 1.max(2);");
+        assert!(ks.contains(&(TokKind::Int, "1".into())));
+        assert!(ks.contains(&(TokKind::Ident, "max".into())));
+    }
+
+    #[test]
+    fn trailing_dot_float() {
+        let ks = kinds("let x = 1. + 2.0f64;");
+        assert!(ks.contains(&(TokKind::Float, "1.".into())));
+        assert!(ks.contains(&(TokKind::Float, "2.0f64".into())));
+    }
+
+    #[test]
+    fn comments_do_not_produce_code_tokens() {
+        let lexed = lex("// has unwrap() inside\nlet x = 1; /* expect( */");
+        assert!(!lexed.toks.iter().any(|t| t.is_ident("unwrap")));
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].line, 1);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("/* a /* b */ c */ let x = 1;");
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.toks.iter().any(|t| t.is_ident("let")));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes() {
+        let lexed = lex(r####"let s = r#"has "quotes" and unwrap()"#; let y = 2;"####);
+        assert!(!lexed.toks.iter().any(|t| t.is_ident("unwrap")));
+        assert!(lexed.toks.iter().any(|t| t.is_ident("y")));
+    }
+
+    #[test]
+    fn equality_operators_are_single_tokens() {
+        let ks = kinds("a == b != c <= d");
+        assert!(ks.contains(&(TokKind::Punct, "==".into())));
+        assert!(ks.contains(&(TokKind::Punct, "!=".into())));
+        assert!(ks.contains(&(TokKind::Punct, "<=".into())));
+    }
+
+    #[test]
+    fn lines_are_tracked_across_strings() {
+        let lexed = lex("let a = \"x\ny\";\nlet b = 1;");
+        let b = lexed.toks.iter().find(|t| t.is_ident("b")).map(|t| t.line);
+        assert_eq!(b, Some(3));
+    }
+}

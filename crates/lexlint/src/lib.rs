@@ -1,0 +1,145 @@
+//! `lexlint` — a from-scratch determinism & numerical-safety linter
+//! for this workspace.
+//!
+//! The paper's regret results are only reproducible if a fixed seed
+//! yields a bit-identical episode. Two bug classes silently break that:
+//! default-hasher map iteration (order reseeds per process) and
+//! NaN-swallowing float comparisons (`partial_cmp(..).unwrap_or(Equal)`
+//! turns a NaN into "everything is equal" instead of failing loudly).
+//! `lexlint` walks every `crates/*/src/**/*.rs` and `src/**/*.rs` file
+//! and enforces six machine-checkable invariants ([`rules`]) with a
+//! hand-rolled lexer ([`lexer`]) — no external parser, in the spirit of
+//! the workspace's from-scratch substrates.
+//!
+//! Run it as:
+//!
+//! ```text
+//! cargo run -p lexlint -- check [--format json] [--fix-hints] [--root DIR]
+//! ```
+//!
+//! Exceptions are vetted through `lexlint.toml` ([`config`]) or inline
+//! `// lexlint: allow(LXnn): reason` comments; both require a reason.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use config::Config;
+pub use report::Format;
+pub use rules::Finding;
+
+use std::path::{Path, PathBuf};
+
+/// Collects the workspace-relative paths of every file lexlint checks:
+/// `src/**/*.rs` and `crates/*/src/**/*.rs` under `root`, sorted so
+/// output order is deterministic.
+pub fn collect_targets(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let top = root.join("src");
+    if top.is_dir() {
+        walk_rs(&top, &mut files)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&crates)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        for member in members {
+            let src = member.join("src");
+            if src.is_dir() {
+                walk_rs(&src, &mut files)?;
+            }
+        }
+    }
+    // Workspace-relative, sorted.
+    let mut rel: Vec<PathBuf> = files
+        .into_iter()
+        .map(|p| p.strip_prefix(root).map(|r| r.to_path_buf()).unwrap_or(p))
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk_rs(&path, out)?;
+        } else if path.extension().map(|e| e == "rs").unwrap_or(false) {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Runs every rule over every target file under `root`. Findings are
+/// ordered by (file, line, rule) — the collection order is already
+/// deterministic.
+pub fn check_workspace(root: &Path, cfg: &Config) -> Result<Vec<Finding>, String> {
+    let targets = collect_targets(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let mut findings = Vec::new();
+    for rel in &targets {
+        let abs = root.join(rel);
+        let src = std::fs::read_to_string(&abs)
+            .map_err(|e| format!("reading {}: {e}", abs.display()))?;
+        let rel_str = rel
+            .to_str()
+            .map(|s| s.replace('\\', "/"))
+            .unwrap_or_else(|| rel.display().to_string());
+        findings.extend(rules::check_file(&rel_str, &src, cfg));
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn this_workspace_is_clean() {
+        // Dogfood: the repo that ships lexlint must pass lexlint. The
+        // test mirrors the CLI so `cargo test` alone catches rule
+        // regressions even if the verify script is skipped.
+        let root = workspace_root();
+        let cfg = config::load(&root.join("lexlint.toml")).expect("config parses");
+        let findings = check_workspace(&root, &cfg).expect("walk succeeds");
+        let rendered = report::render(&findings, Format::Text, true);
+        assert!(findings.is_empty(), "lexlint violations:\n{rendered}");
+    }
+
+    #[test]
+    fn collect_targets_is_sorted_and_rs_only() {
+        let root = workspace_root();
+        let targets = collect_targets(&root).expect("walk succeeds");
+        assert!(!targets.is_empty());
+        let mut sorted = targets.clone();
+        sorted.sort();
+        assert_eq!(targets, sorted, "target order must be deterministic");
+        assert!(targets
+            .iter()
+            .all(|p| p.extension().map(|e| e == "rs").unwrap_or(false)));
+        // Fixture files live under tests/, never under src/, so the
+        // workspace scan must not pick them up.
+        assert!(targets.iter().all(|p| !p.to_string_lossy().contains("fixtures")));
+    }
+
+    fn workspace_root() -> PathBuf {
+        // crates/lexlint → workspace root is two levels up.
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .map(|p| p.to_path_buf())
+            .unwrap_or_else(|| PathBuf::from("."))
+    }
+}

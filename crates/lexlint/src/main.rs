@@ -1,0 +1,97 @@
+//! CLI entry point: `cargo run -p lexlint -- check [options]`.
+//!
+//! ```text
+//! lexlint check                  lint the workspace, text output
+//! lexlint check --format json    one JSON record per finding
+//! lexlint check --fix-hints      append a suggested fix per finding
+//! lexlint check --root DIR       lint a different workspace root
+//! lexlint check --config FILE    explicit lexlint.toml path
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use lexlint::{check_workspace, config, report, Format};
+use std::path::PathBuf;
+
+fn main() {
+    std::process::exit(run(std::env::args().skip(1).collect()));
+}
+
+fn run(args: Vec<String>) -> i32 {
+    let mut it = args.into_iter();
+    match it.next().as_deref() {
+        Some("check") => {}
+        Some("--help") | Some("-h") => {
+            eprintln!("usage: lexlint check [--format text|json] [--fix-hints] [--root DIR] [--config FILE]");
+            return 0;
+        }
+        None => {
+            eprintln!("usage: lexlint check [--format text|json] [--fix-hints] [--root DIR] [--config FILE]");
+            return 2;
+        }
+        Some(other) => {
+            eprintln!("lexlint: unknown command `{other}` (try `check`)");
+            return 2;
+        }
+    }
+
+    let mut format = Format::Text;
+    let mut fix_hints = false;
+    let mut root = PathBuf::from(".");
+    let mut config_path: Option<PathBuf> = None;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().as_deref() {
+                Some("json") => format = Format::Json,
+                Some("text") => format = Format::Text,
+                other => {
+                    eprintln!("lexlint: --format expects `text` or `json`, got {other:?}");
+                    return 2;
+                }
+            },
+            "--fix-hints" => fix_hints = true,
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("lexlint: --root expects a directory");
+                    return 2;
+                }
+            },
+            "--config" => match it.next() {
+                Some(f) => config_path = Some(PathBuf::from(f)),
+                None => {
+                    eprintln!("lexlint: --config expects a file");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("lexlint: unknown option `{other}`");
+                return 2;
+            }
+        }
+    }
+
+    let cfg_file = config_path.unwrap_or_else(|| root.join("lexlint.toml"));
+    let cfg = match config::load(&cfg_file) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("lexlint: {e}");
+            return 2;
+        }
+    };
+    let findings = match check_workspace(&root, &cfg) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("lexlint: {e}");
+            return 2;
+        }
+    };
+    print!("{}", report::render(&findings, format, fix_hints));
+    if findings.is_empty() {
+        0
+    } else {
+        1
+    }
+}

@@ -1,0 +1,127 @@
+//! Rendering findings as human-readable text or line-delimited JSON.
+
+use crate::rules::Finding;
+
+/// Output format of the `check` command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// `file:line: [RULE] snippet` lines plus a summary.
+    Text,
+    /// One JSON object per finding: `{"rule", "file", "line", "snippet"}`.
+    Json,
+}
+
+/// Renders findings to a string in the requested format.
+pub fn render(findings: &[Finding], format: Format, fix_hints: bool) -> String {
+    match format {
+        Format::Text => render_text(findings, fix_hints),
+        Format::Json => render_json(findings),
+    }
+}
+
+fn render_text(findings: &[Finding], fix_hints: bool) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n",
+            f.file, f.line, f.rule, f.snippet
+        ));
+        if fix_hints {
+            out.push_str(&format!("    fix: {}\n", f.hint));
+        }
+    }
+    if findings.is_empty() {
+        out.push_str("lexlint: clean — no violations\n");
+    } else {
+        let mut by_rule: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+        for f in findings {
+            *by_rule.entry(f.rule).or_insert(0) += 1;
+        }
+        let breakdown: Vec<String> = by_rule
+            .iter()
+            .map(|(r, n)| format!("{r}: {n}"))
+            .collect();
+        out.push_str(&format!(
+            "lexlint: {} violation(s) ({})\n",
+            findings.len(),
+            breakdown.join(", ")
+        ));
+    }
+    out
+}
+
+fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"snippet\":\"{}\"}}\n",
+            escape(f.rule),
+            escape(&f.file),
+            f.line,
+            escape(&f.snippet)
+        ));
+    }
+    out
+}
+
+/// Minimal JSON string escaping.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one() -> Vec<Finding> {
+        vec![Finding {
+            rule: "LX06",
+            file: "crates/a/src/lib.rs".to_string(),
+            line: 3,
+            snippet: "if x == 0.0 { \"quoted\" }".to_string(),
+            hint: "use a tolerance",
+        }]
+    }
+
+    #[test]
+    fn text_contains_location_and_summary() {
+        let s = render(&one(), Format::Text, false);
+        assert!(s.contains("crates/a/src/lib.rs:3: [LX06]"));
+        assert!(s.contains("1 violation(s) (LX06: 1)"));
+        assert!(!s.contains("fix:"));
+    }
+
+    #[test]
+    fn fix_hints_are_optional() {
+        let s = render(&one(), Format::Text, true);
+        assert!(s.contains("fix: use a tolerance"));
+    }
+
+    #[test]
+    fn json_is_one_record_per_line_with_escaping() {
+        let s = render(&one(), Format::Json, false);
+        let line = s.lines().next().unwrap_or("");
+        assert!(line.starts_with("{\"rule\":\"LX06\""));
+        assert!(line.contains("\\\"quoted\\\""));
+        assert!(line.contains("\"line\":3"));
+    }
+
+    #[test]
+    fn clean_run_says_so() {
+        let s = render(&[], Format::Text, false);
+        assert!(s.contains("clean"));
+        assert!(render(&[], Format::Json, false).is_empty());
+    }
+}

@@ -1,0 +1,76 @@
+//! End-to-end CLI tests: run the built `lexlint` binary against the
+//! deliberately-dirty mini workspace in `tests/fixtures/ws/` and
+//! against this repository itself.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn lexlint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_lexlint"))
+        .args(args)
+        .output()
+        .expect("spawn lexlint")
+}
+
+fn fixture_ws() -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/ws")
+        .display()
+        .to_string()
+}
+
+#[test]
+fn dirty_workspace_exits_nonzero_with_text_findings() {
+    let out = lexlint(&["check", "--root", &fixture_ws()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    for rule in ["LX01", "LX03", "LX06"] {
+        assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
+    }
+    // The config-allowlisted sentinel comparison must not surface.
+    assert!(!stdout.contains("vetted-sentinel"), "allowlist ignored:\n{stdout}");
+}
+
+#[test]
+fn json_format_emits_one_record_per_finding() {
+    let out = lexlint(&["check", "--root", &fixture_ws(), "--format", "json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    let records: Vec<&str> = stdout.lines().filter(|l| !l.is_empty()).collect();
+    assert!(records.len() >= 4, "expected >=4 findings, got:\n{stdout}");
+    for rec in records {
+        assert!(rec.starts_with('{') && rec.ends_with('}'), "not an object: {rec}");
+        for key in ["\"rule\"", "\"file\"", "\"line\"", "\"snippet\""] {
+            assert!(rec.contains(key), "missing {key} in {rec}");
+        }
+    }
+}
+
+#[test]
+fn fix_hints_add_suggestions() {
+    let out = lexlint(&["check", "--root", &fixture_ws(), "--fix-hints"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    assert!(stdout.contains("fix:"), "no hints in:\n{stdout}");
+}
+
+#[test]
+fn this_repository_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .display()
+        .to_string();
+    let out = lexlint(&["check", "--root", &root]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "findings:\n{stdout}");
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    assert_eq!(lexlint(&[]).status.code(), Some(2));
+    assert_eq!(lexlint(&["bogus"]).status.code(), Some(2));
+    assert_eq!(lexlint(&["check", "--format", "yaml"]).status.code(), Some(2));
+    assert_eq!(lexlint(&["--help"]).status.code(), Some(0));
+}

@@ -1,0 +1,40 @@
+//! LX01 fixture: `.unwrap()` / `.expect()` in library code.
+//! Expected findings (plain): lines tagged VIOLATION below.
+
+pub fn plain_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap() // VIOLATION LX01
+}
+
+pub fn plain_expect(x: Option<u32>) -> u32 {
+    x.expect("always present") // VIOLATION LX01
+}
+
+pub fn suppressed(x: Option<u32>) -> u32 {
+    // lexlint: allow(LX01): checked non-empty two lines up
+    x.unwrap()
+}
+
+pub fn allowlisted_via_config(x: Option<u32>) -> u32 {
+    x.expect("vetted-by-config") // neutralized by [[allow]] in the test
+}
+
+pub fn not_a_method_call() -> &'static str {
+    // Bare identifiers named `unwrap` are not findings.
+    fn unwrap() -> &'static str {
+        "ok"
+    }
+    unwrap()
+}
+
+pub fn unwrap_or_is_fine(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_exempt() {
+        assert_eq!(Some(3).unwrap(), 3);
+        assert_eq!(Some(4).expect("test"), 4);
+    }
+}

@@ -1,0 +1,35 @@
+//! LX02 fixture: NaN-swallowing continuations of `partial_cmp`.
+
+use std::cmp::Ordering;
+
+pub fn bad_unwrap_or(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal)); // VIOLATION LX02
+}
+
+pub fn bad_unwrap_or_else(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or_else(|| Ordering::Equal)); // VIOLATION LX02
+}
+
+pub fn bad_expect(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite")); // VIOLATION LX02
+}
+
+pub fn bad_plain_unwrap(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); // VIOLATION LX02 (and LX01)
+}
+
+pub fn good_total_cmp(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}
+
+pub fn good_handled(a: f64, b: f64) -> Ordering {
+    // Explicitly handling the None arm is fine.
+    match a.partial_cmp(&b) {
+        Some(o) => o,
+        None => Ordering::Less,
+    }
+}
+
+pub fn allowlisted_via_config(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal)); // vetted-lx02-site
+}

@@ -1,0 +1,29 @@
+//! LX03 fixture: default-hasher maps on the decision path. The test
+//! passes this file under a configured `[lx03] paths` prefix.
+
+use std::collections::{BTreeMap, HashMap, HashSet}; // VIOLATION LX03 (x2: HashMap, HashSet)
+
+pub fn bad_map() -> HashMap<u32, f64> {
+    HashMap::new() // VIOLATION LX03 (return type line above also flags)
+}
+
+pub fn good_map() -> BTreeMap<u32, f64> {
+    BTreeMap::new()
+}
+
+pub fn suppressed_probe(items: &[u32]) -> bool {
+    // lexlint: allow(LX03): ephemeral membership probe, never iterated
+    let set: HashSet<u32> = items.iter().copied().collect();
+    set.contains(&7)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn hashmap_in_tests_is_exempt() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        assert!(m.is_empty());
+    }
+}

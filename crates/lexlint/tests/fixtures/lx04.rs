@@ -1,0 +1,37 @@
+//! LX04 fixture: unseeded randomness outside tests.
+
+pub fn bad_thread_rng() -> u64 {
+    let mut rng = rand::thread_rng(); // VIOLATION LX04
+    rng.random()
+}
+
+pub fn bad_rand_rng() -> u64 {
+    let mut rng = rand::rng(); // VIOLATION LX04
+    rng.random()
+}
+
+pub fn bad_from_entropy() -> StdRng {
+    StdRng::from_entropy() // VIOLATION LX04
+}
+
+pub fn good_seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+pub fn suppressed() -> u64 {
+    // lexlint: allow(LX04): jitter for a human-facing demo, never simulated
+    rand::thread_rng().random()
+}
+
+pub fn rng_as_a_variable_is_fine(rng: &mut StdRng) -> u64 {
+    // A local named `rng` is not an unseeded source.
+    rng.random()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn thread_rng_in_tests_is_exempt() {
+        let _ = rand::thread_rng();
+    }
+}

@@ -1,0 +1,21 @@
+//! LX05 fixture: `#[allow(...)]` needs a `// lexlint: why` note.
+
+#[allow(dead_code)] // VIOLATION LX05 — no why-note
+fn unjustified() {}
+
+// lexlint: why retained for the public API sketch in the README
+#[allow(dead_code)]
+fn justified_on_previous_line() {}
+
+#[allow(dead_code)] // lexlint: why exercised only behind the bench feature
+fn justified_same_line() {}
+
+#[allow(clippy::too_many_arguments)] // VIOLATION LX05 — no why-note
+fn unjustified_clippy(_a: u8, _b: u8, _c: u8, _d: u8, _e: u8, _f: u8, _g: u8, _h: u8) {}
+
+fn allow_as_an_identifier_is_fine() {
+    fn allow(x: u32) -> u32 {
+        x
+    }
+    let _ = allow(1);
+}

@@ -1,0 +1,19 @@
+//! Deliberately violating source for the CLI integration test.
+
+use std::collections::HashMap; // LX03
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap() // LX01
+}
+
+pub fn close_enough(x: f64) -> bool {
+    x == 0.25 // LX06
+}
+
+pub fn allowlisted_sentinel(x: f64) -> bool {
+    x == -1.0 // vetted-sentinel
+}
+
+pub fn counts() -> HashMap<u32, u32> {
+    HashMap::new() // LX03
+}

@@ -1,0 +1,113 @@
+//! Fixture-driven rule tests: each `tests/fixtures/lx0N.rs` file holds
+//! positive sites (expected findings), inline-suppressed sites and one
+//! site the config allowlist below neutralizes.
+
+use lexlint::config;
+use lexlint::rules::check_file;
+use lexlint::Config;
+
+/// Config used across fixtures: LX03 applies under the fixtures path,
+/// and one vetted exception per rule that advertises one.
+fn fixture_config() -> Config {
+    config::parse(
+        r#"
+[lx03]
+paths = ["crates/lexlint/tests/fixtures"]
+
+[[allow]]
+rule = "LX01"
+file = "crates/lexlint/tests/fixtures/lx01.rs"
+pattern = "vetted-by-config"
+reason = "fixture: exercises the config allowlist"
+
+[[allow]]
+rule = "LX02"
+file = "crates/lexlint/tests/fixtures/lx02.rs"
+pattern = "vetted-lx02-site"
+reason = "fixture: exercises the config allowlist"
+
+[[allow]]
+rule = "LX06"
+file = "crates/lexlint/tests/fixtures/lx06.rs"
+pattern = "vetted-lx06-site"
+reason = "fixture: exercises the config allowlist"
+"#,
+    )
+    .expect("fixture config parses")
+}
+
+fn rule_count(file: &str, src: &str, cfg: &Config, rule: &str) -> usize {
+    check_file(file, src, cfg)
+        .into_iter()
+        .filter(|f| f.rule == rule)
+        .count()
+}
+
+#[test]
+fn lx01_fixture() {
+    let src = include_str!("fixtures/lx01.rs");
+    let path = "crates/lexlint/tests/fixtures/lx01.rs";
+    // Two plain violations; the suppressed and allowlisted sites and the
+    // #[cfg(test)] module contribute nothing.
+    assert_eq!(rule_count(path, src, &fixture_config(), "LX01"), 2);
+    // Without the allowlist the vetted site surfaces too.
+    assert_eq!(rule_count(path, src, &Config::default(), "LX01"), 3);
+}
+
+#[test]
+fn lx02_fixture() {
+    let src = include_str!("fixtures/lx02.rs");
+    let path = "crates/lexlint/tests/fixtures/lx02.rs";
+    // unwrap_or, unwrap_or_else, expect, plain unwrap — the total_cmp
+    // and matched variants stay clean.
+    assert_eq!(rule_count(path, src, &fixture_config(), "LX02"), 4);
+    assert_eq!(rule_count(path, src, &Config::default(), "LX02"), 5);
+}
+
+#[test]
+fn lx03_fixture() {
+    let src = include_str!("fixtures/lx03.rs");
+    let path = "crates/lexlint/tests/fixtures/lx03.rs";
+    // use-line HashMap + HashSet, return type, constructor; the
+    // suppressed probe and the test module are exempt.
+    assert_eq!(rule_count(path, src, &fixture_config(), "LX03"), 4);
+    // Outside the configured decision path the rule is silent.
+    assert_eq!(rule_count(path, src, &Config::default(), "LX03"), 0);
+}
+
+#[test]
+fn lx04_fixture() {
+    let src = include_str!("fixtures/lx04.rs");
+    let path = "crates/lexlint/tests/fixtures/lx04.rs";
+    // thread_rng, rand::rng(), from_entropy; seeded construction, the
+    // suppressed site and the test module are exempt.
+    assert_eq!(rule_count(path, src, &fixture_config(), "LX04"), 3);
+}
+
+#[test]
+fn lx05_fixture() {
+    let src = include_str!("fixtures/lx05.rs");
+    let path = "crates/lexlint/tests/fixtures/lx05.rs";
+    // Two allows without a why-note; both justified forms pass.
+    assert_eq!(rule_count(path, src, &fixture_config(), "LX05"), 2);
+}
+
+#[test]
+fn lx06_fixture() {
+    let src = include_str!("fixtures/lx06.rs");
+    let path = "crates/lexlint/tests/fixtures/lx06.rs";
+    assert_eq!(rule_count(path, src, &fixture_config(), "LX06"), 3);
+    assert_eq!(rule_count(path, src, &Config::default(), "LX06"), 4);
+}
+
+#[test]
+fn findings_carry_line_and_snippet() {
+    let src = include_str!("fixtures/lx01.rs");
+    let path = "crates/lexlint/tests/fixtures/lx01.rs";
+    let findings = check_file(path, src, &Config::default());
+    let first = findings.iter().find(|f| f.rule == "LX01").expect("finding");
+    assert_eq!(first.file, path);
+    assert!(first.line > 0);
+    assert!(first.snippet.contains("unwrap"), "snippet: {}", first.snippet);
+    assert!(!first.hint.is_empty());
+}

@@ -240,6 +240,7 @@ impl CongestionDelay {
             .p_enter
             .iter()
             .map(|&pe| {
+                // lexlint: allow(LX06): exact-zero divisor guard for a frozen chain
                 if pe + self.p_exit == 0.0 {
                     0.0
                 } else {
@@ -300,6 +301,7 @@ impl DelayProcess for CongestionDelay {
 
     fn true_mean(&self, bs: BsId) -> f64 {
         let i = bs.index();
+        // lexlint: allow(LX06): exact-zero divisor guard for a frozen chain
         let pi_c = if self.p_enter[i] + self.p_exit == 0.0 {
             0.0
         } else {

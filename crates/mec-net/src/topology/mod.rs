@@ -62,7 +62,7 @@ impl Topology {
             "one delay per edge required"
         );
         let mut adj = vec![Vec::new(); n];
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for &(u, v) in &edges {
             assert!(u < n && v < n, "edge endpoint out of range");
             assert_ne!(u, v, "self-loops are not allowed");

@@ -259,8 +259,12 @@ impl DemandProcess for FlashCrowd {
             .iter()
             .map(|ev| self.intensity(ev) >= cutoff)
             .collect();
-        let mut it = keep.iter();
-        self.events.retain(|_| *it.next().expect("one flag per event"));
+        let mut idx = 0;
+        self.events.retain(|_| {
+            let flag = keep[idx];
+            idx += 1;
+            flag
+        });
         // Maybe start a new event in a random cell (onset phase).
         if self.rng.random::<f64>() < self.cfg.event_probability {
             let cell = self.rng.random_range(0..self.n_cells);

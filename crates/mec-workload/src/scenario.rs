@@ -215,7 +215,7 @@ fn nearest_macro(topo: &Topology, macros: &[usize], p: Position) -> usize {
         .min_by(|(_, &a), (_, &b)| {
             let da = topo.stations()[a].position().distance(p);
             let db = topo.stations()[b].position().distance(p);
-            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+            da.total_cmp(&db)
         })
         .map(|(i, _)| i)
         .unwrap_or(0)

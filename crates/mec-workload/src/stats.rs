@@ -37,6 +37,7 @@ pub fn variance(xs: &[f64]) -> f64 {
 pub fn index_of_dispersion(xs: &[f64]) -> f64 {
     assert!(xs.iter().all(|&x| x >= 0.0), "demand must be non-negative");
     let m = mean(xs);
+    // lexlint: allow(LX06): exact-zero divisor guard; only true zero is degenerate
     if m == 0.0 {
         0.0
     } else {
@@ -52,6 +53,7 @@ pub fn index_of_dispersion(xs: &[f64]) -> f64 {
 pub fn peak_to_mean(xs: &[f64]) -> f64 {
     assert!(xs.iter().all(|&x| x >= 0.0), "demand must be non-negative");
     let m = mean(xs);
+    // lexlint: allow(LX06): exact-zero divisor guard; only true zero is degenerate
     if m == 0.0 {
         0.0
     } else {
@@ -69,6 +71,7 @@ pub fn autocorrelation(xs: &[f64], k: usize) -> f64 {
     assert!(k < xs.len(), "lag must be shorter than the series");
     let m = mean(xs);
     let var = variance(xs);
+    // lexlint: allow(LX06): exact-zero divisor guard; only true zero is degenerate
     if var == 0.0 {
         return 0.0;
     }
@@ -122,6 +125,7 @@ pub fn hurst_rs(xs: &[f64]) -> f64 {
 fn rescaled_range(block: &[f64]) -> Option<f64> {
     let m = mean(block);
     let sd = variance(block).sqrt();
+    // lexlint: allow(LX06): exact-zero divisor guard; only true zero is degenerate
     if sd == 0.0 {
         return None;
     }

@@ -71,11 +71,17 @@ impl OneHot {
     /// Panics if `code.len() != n_classes` or `code` is empty.
     pub fn decode(self, code: &[f64]) -> usize {
         assert_eq!(code.len(), self.n_classes, "code length mismatch");
-        code.iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-            .map(|(i, _)| i)
-            .expect("non-empty code")
+        assert!(!code.is_empty(), "code must not be empty");
+        // Argmax under f64::total_cmp (last max on ties, matching the
+        // old max_by) so a NaN logit orders deterministically instead
+        // of collapsing the comparison to Equal.
+        let mut best = 0;
+        for i in 1..code.len() {
+            if code[i].total_cmp(&code[best]).is_ge() {
+                best = i;
+            }
+        }
+        best
     }
 }
 

@@ -145,7 +145,8 @@ mod tests {
         .expect("round trip");
         for (s, t) in source.iter().zip(&target) {
             assert_eq!(s.value, t.value);
-            assert!(t.grad.as_slice().iter().all(|&g| g == 0.0));
+            // lexlint: allow(LX06): asserting the exact zero-initialized gradient
+        assert!(t.grad.as_slice().iter().all(|&g| g == 0.0));
         }
     }
 

@@ -37,6 +37,7 @@ pub fn mse(pred: &[f64], target: &[f64]) -> (f64, Vec<f64>) {
 ///
 /// Panics if `label` is not 0 or 1.
 pub fn bce(prob: f64, label: f64) -> (f64, f64) {
+    // lexlint: allow(LX06): labels are exact 0/1 by construction
     assert!(label == 0.0 || label == 1.0, "label must be 0 or 1");
     let p = prob.clamp(1e-7, 1.0 - 1e-7);
     let loss = -(label * p.ln() + (1.0 - label) * (1.0 - p).ln());
@@ -52,6 +53,7 @@ pub fn bce(prob: f64, label: f64) -> (f64, f64) {
 ///
 /// Panics if `label` is not 0 or 1.
 pub fn bce_with_logit(logit: f64, label: f64) -> (f64, f64) {
+    // lexlint: allow(LX06): labels are exact 0/1 by construction
     assert!(label == 0.0 || label == 1.0, "label must be 0 or 1");
     let loss = crate::activation::softplus(logit) - label * logit;
     let grad = crate::activation::sigmoid(logit) - label;
@@ -99,6 +101,7 @@ mod tests {
     fn mse_zero_at_perfect_prediction() {
         let (l, g) = mse(&[1.0, 2.0], &[1.0, 2.0]);
         assert_eq!(l, 0.0);
+        // lexlint: allow(LX06): gradient of a perfect prediction is exactly zero
         assert!(g.iter().all(|&v| v == 0.0));
     }
 

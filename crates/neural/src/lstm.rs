@@ -102,8 +102,10 @@ impl LstmCell {
         };
         for x in xs {
             assert_eq!(x.len(), self.input, "input width mismatch");
-            let h_prev = trace.hs.last().expect("initialized").clone();
-            let c_prev = trace.cs.last().expect("initialized").clone();
+            // `hs`/`cs` are seeded with the zero state above, so the
+            // final entry always exists.
+            let h_prev = trace.hs[trace.hs.len() - 1].clone();
+            let c_prev = trace.cs[trace.cs.len() - 1].clone();
             let mut z = self.w.value.matvec(x);
             let zu = self.u.value.matvec(&h_prev);
             for ((zv, uv), bv) in z.iter_mut().zip(&zu).zip(self.b.value.as_slice()) {

@@ -147,6 +147,7 @@ impl Matrix {
         for r in 0..self.rows {
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
             let xr = x[r];
+            // lexlint: allow(LX06): exact-zero sparsity skip; result is bit-identical
             if xr != 0.0 {
                 for (yc, a) in y.iter_mut().zip(row) {
                     *yc += a * xr;
@@ -165,6 +166,7 @@ impl Matrix {
         assert_eq!(u.len(), self.rows, "outer: rows mismatch");
         assert_eq!(v.len(), self.cols, "outer: cols mismatch");
         for (r, &ur) in u.iter().enumerate() {
+            // lexlint: allow(LX06): exact-zero sparsity skip; result is bit-identical
             if ur != 0.0 {
                 let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
                 for (a, &vc) in row.iter_mut().zip(v) {
@@ -189,6 +191,7 @@ mod tests {
         let m = Matrix::zeros(2, 3);
         assert_eq!(m.rows(), 2);
         assert_eq!(m.cols(), 3);
+        // lexlint: allow(LX06): asserting the exact zero-initialized matrix
         assert!(m.as_slice().iter().all(|&v| v == 0.0));
     }
 

@@ -57,6 +57,7 @@ mod tests {
         let mut p = Param::xavier(2, 2, 1);
         p.grad.set(0, 0, 5.0);
         p.zero_grad();
+        // lexlint: allow(LX06): asserting the exact zero-initialized gradient
         assert!(p.grad.as_slice().iter().all(|&g| g == 0.0));
     }
 

@@ -311,12 +311,18 @@ impl CachingLp {
     }
 }
 
+/// Index of the smallest entry under `f64::total_cmp` (first on ties,
+/// like `Iterator::min_by`); 0 on an empty slice. Total order keeps a
+/// NaN cost from silently comparing "equal" to everything and letting
+/// hasher-like nondeterminism into the rounding step.
 fn argmin(xs: &[f64]) -> usize {
-    xs.iter()
-        .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-        .map(|(i, _)| i)
-        .expect("non-empty slice")
+    let mut best = 0;
+    for i in 1..xs.len() {
+        if xs[i].total_cmp(&xs[best]).is_lt() {
+            best = i;
+        }
+    }
+    best
 }
 
 /// A fractional solution `(x*, y*)` to the caching LP.

@@ -183,6 +183,7 @@ impl Tableau {
         row[..n_cols].copy_from_slice(c);
         for (i, &b) in self.basis.iter().enumerate() {
             let cb = c[b];
+            // lexlint: allow(LX06): exact-zero sparsity skip — an eps band would change the pivot arithmetic
             if cb != 0.0 {
                 for j in 0..=n_cols {
                     row[j] -= cb * self.rows[i][j];
@@ -274,6 +275,7 @@ impl Tableau {
         for (r, row) in self.rows.iter_mut().enumerate() {
             if r != i {
                 let factor = row[j];
+                // lexlint: allow(LX06): exact-zero sparsity skip — an eps band would change the pivot arithmetic
                 if factor != 0.0 {
                     for (v, p) in row.iter_mut().zip(&pivot_row) {
                         *v -= factor * p;
@@ -282,6 +284,7 @@ impl Tableau {
             }
         }
         let factor = self.cost[j];
+        // lexlint: allow(LX06): exact-zero sparsity skip — an eps band would change the pivot arithmetic
         if factor != 0.0 {
             for (v, p) in self.cost.iter_mut().zip(&pivot_row) {
                 *v -= factor * p;

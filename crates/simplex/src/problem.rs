@@ -72,7 +72,7 @@ impl LinearProgram {
     /// or the rhs is non-finite, or the same variable appears twice.
     pub fn constrain(&mut self, terms: Vec<(usize, f64)>, relation: Relation, rhs: f64) {
         assert!(rhs.is_finite(), "rhs must be finite");
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for &(j, a) in &terms {
             assert!(j < self.objective.len(), "variable {j} out of range");
             assert!(a.is_finite(), "coefficient must be finite");

@@ -321,11 +321,9 @@ impl Modi {
         }
         let leaving = cycle[leave_pos];
         self.flow[leaving.0 * self.n + leaving.1] = 0.0;
-        let basis_idx = self
-            .basis
-            .iter()
-            .position(|&c| c == leaving)
-            .expect("leaving arc must be basic");
+        let Some(basis_idx) = self.basis.iter().position(|&c| c == leaving) else {
+            panic!("leaving arc {leaving:?} is not in the basis — spanning-tree invariant broken")
+        };
         self.basis[basis_idx] = (ei, ej);
         self.is_basic[leaving.0 * self.n + leaving.1] = false;
         self.is_basic[ei * self.n + ej] = true;
@@ -363,7 +361,9 @@ impl Modi {
         let mut arcs = vec![(ei, ej)];
         let mut node = m + ej;
         while node != ei {
-            let (parent, arc) = prev[node].expect("basis tree must connect all nodes");
+            let Some((parent, arc)) = prev[node] else {
+                panic!("basis tree does not connect node {node} — cannot close the pivot cycle")
+            };
             arcs.push(arc);
             node = parent;
         }

@@ -42,7 +42,7 @@ proptest! {
 
         // Oracle: the true optimum fills cheapest variables first.
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| costs[a].partial_cmp(&costs[b]).expect("finite"));
+        order.sort_by(|&a, &b| costs[a].total_cmp(&costs[b]));
         let mut left = required;
         let mut best = 0.0;
         for &j in &order {

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# One-command local gate: formatting, clippy, the lexlint static
+# analysis pass, and the full test suite. Run from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> lexlint"
+cargo run -q -p lexlint -- check
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> all checks passed"

@@ -8,6 +8,8 @@
 //! lexcache trace --users 20 --cells 5 --slots 200
 //! ```
 
+#![forbid(unsafe_code)]
+
 use lexcache::core::{
     ol_ewma, ol_naive, CachingPolicy, Episode, EpisodeConfig, GreedyGd, OlGan, OlGd, OlReg, OlUcb,
     PolicyConfig, PriGd,
@@ -18,7 +20,7 @@ use lexcache::net::{NetworkConfig, Topology};
 use lexcache::workload::demand::FlashCrowdConfig;
 use lexcache::workload::scenario::DemandKind;
 use lexcache::workload::{stats, HotspotTrace, ScenarioConfig};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -77,11 +79,11 @@ fn main() -> ExitCode {
 }
 
 /// Parsed `--key value` options (`--regret`-style flags get value "true").
-type Options = HashMap<String, String>;
+type Options = BTreeMap<String, String>;
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
     const FLAGS: [&str; 2] = ["regret", "hidden-demands"];
-    let mut opts = HashMap::new();
+    let mut opts = BTreeMap::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let key = arg
@@ -223,7 +225,7 @@ fn cmd_topo(opts: &Options) -> Result<(), String> {
     println!("connected       : {}", topo.is_connected());
     println!("mean hop length : {:.2}", topo.mean_hop_length());
     println!("total capacity  : {:.0} MHz", topo.total_capacity_mhz());
-    let mut by_tier = HashMap::new();
+    let mut by_tier = BTreeMap::new();
     for bs in topo.stations() {
         *by_tier.entry(bs.tier().name()).or_insert(0usize) += 1;
     }
