@@ -96,6 +96,9 @@ impl ArmSet {
     ///
     /// Panics if `i` is out of range or `value` non-finite.
     pub fn observe(&mut self, i: usize, value: f64) {
+        if lexcache_obs::is_enabled() {
+            lexcache_obs::counter(&format!("bandit/arm/{i:03}/pulls"), 1);
+        }
         self.arms[i].observe(value);
     }
 

@@ -55,11 +55,7 @@ impl EpsilonSchedule {
 ///
 /// Panics if `allowed` is empty, an index is out of range, or a weight is
 /// negative/non-finite.
-pub fn sample_by_weight<R: Rng + ?Sized>(
-    rng: &mut R,
-    weights: &[f64],
-    allowed: &[usize],
-) -> usize {
+pub fn sample_by_weight<R: Rng + ?Sized>(rng: &mut R, weights: &[f64], allowed: &[usize]) -> usize {
     assert!(!allowed.is_empty(), "allowed set must not be empty");
     let mut total = 0.0;
     for &i in allowed {

@@ -106,6 +106,7 @@ impl RegretLedger {
             achieved.is_finite() && optimal.is_finite(),
             "ledger entries must be finite"
         );
+        lexcache_obs::gauge("bandit/regret_gap", achieved - optimal);
         self.achieved.push(achieved);
         self.optimal.push(optimal);
     }

@@ -236,10 +236,7 @@ mod tests {
         }
         let d = discounted.mean().expect("observed");
         let f = flat.mean().expect("observed");
-        assert!(
-            d < 30.0,
-            "discounted mean should track the new regime: {d}"
-        );
+        assert!(d < 30.0, "discounted mean should track the new regime: {d}");
         assert!(f > 80.0, "flat mean should lag: {f}");
     }
 

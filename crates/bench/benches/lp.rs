@@ -87,5 +87,10 @@ fn bench_caching_lp(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dense_simplex, bench_transport, bench_caching_lp);
+criterion_group!(
+    benches,
+    bench_dense_simplex,
+    bench_transport,
+    bench_caching_lp
+);
 criterion_main!(benches);

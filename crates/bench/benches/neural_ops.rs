@@ -38,7 +38,9 @@ fn bench_bilstm(c: &mut Criterion) {
     let xs: Vec<Vec<f64>> = (0..12)
         .map(|t| (0..8).map(|j| ((t + j) % 4) as f64 / 4.0).collect())
         .collect();
-    c.bench_function("bilstm_forward_h16_t12", |b| b.iter(|| net.forward_seq(&xs)));
+    c.bench_function("bilstm_forward_h16_t12", |b| {
+        b.iter(|| net.forward_seq(&xs))
+    });
 }
 
 fn bench_gan_step(c: &mut Criterion) {
@@ -47,14 +49,14 @@ fn bench_gan_step(c: &mut Criterion) {
     let mut cfg = InfoGanConfig::paper_defaults(10);
     cfg.window = 10;
     let mut gan = InfoRnnGan::new(cfg, 3);
-    let window: Vec<f64> = (0..11).map(|t| if t % 5 == 0 { 40.0 } else { 2.0 }).collect();
+    let window: Vec<f64> = (0..11)
+        .map(|t| if t % 5 == 0 { 40.0 } else { 2.0 })
+        .collect();
     group.bench_function("train_window_paper_cfg", |b| {
         b.iter(|| gan.train_window(&window, 3))
     });
     let history: Vec<f64> = (0..30).map(|t| (t % 6) as f64).collect();
-    group.bench_function("predict_next", |b| {
-        b.iter(|| gan.predict_next(&history, 3))
-    });
+    group.bench_function("predict_next", |b| b.iter(|| gan.predict_next(&history, 3)));
     group.finish();
 }
 

@@ -5,7 +5,7 @@
 //! which is why the reproduction keeps the paper's accounting as
 //! default).
 
-use bench::{mean_std, repeats, Algo, RunSpec, Table};
+use bench::{maybe_obs_profile, mean_std, repeats, Algo, RunSpec, Table};
 use lexcache_core::{Episode, EpisodeConfig};
 use mec_net::NetworkConfig;
 
@@ -20,7 +20,9 @@ fn run(algo: Algo, amortize: bool, seed: u64) -> f64 {
         ep_cfg = ep_cfg.with_amortized_instantiation();
     }
     let mut episode = Episode::with_config(topo, net_cfg, scenario, ep_cfg);
-    episode.run(policy.as_mut(), spec.horizon).mean_avg_delay_ms()
+    episode
+        .run(policy.as_mut(), spec.horizon)
+        .mean_avg_delay_ms()
 }
 
 fn main() {
@@ -55,4 +57,10 @@ fn main() {
     );
     println!("{}", table.render());
     println!("ranking must be unchanged between the two accountings");
+
+    let profile: Vec<(&str, RunSpec)> = algos
+        .iter()
+        .map(|&a| (a.name(), RunSpec::fig3(a)))
+        .collect();
+    maybe_obs_profile("ablation_cache", &profile);
 }

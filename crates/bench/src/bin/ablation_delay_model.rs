@@ -4,7 +4,7 @@
 //! and `OL_GD`'s edge shrinks; under congestion-modulated delays with
 //! heterogeneous congestion-proneness the learner's advantage widens.
 
-use bench::{mean_std, repeats, Algo, RunSpec, Table};
+use bench::{maybe_obs_profile, mean_std, repeats, Algo, RunSpec, Table};
 use lexcache_core::{DelayModelKind, Episode, EpisodeConfig};
 use mec_net::NetworkConfig;
 
@@ -49,6 +49,12 @@ fn main() {
     table.series("Greedy_GD", greedy);
     table.series("advantage_%", advantage);
     println!("{}", table.render());
+
+    let profile = [
+        ("OL_GD", RunSpec::fig3(Algo::OlGd)),
+        ("Greedy_GD", RunSpec::fig3(Algo::GreedyGd)),
+    ];
+    maybe_obs_profile("ablation_delay_model", &profile);
 }
 
 fn run_with_model(algo: Algo, model: DelayModelKind, seed: u64) -> f64 {

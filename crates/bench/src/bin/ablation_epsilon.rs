@@ -2,7 +2,7 @@
 //! versus the `c/t` decay that Theorem 1's analysis assumes.
 
 use bandit::EpsilonSchedule;
-use bench::{mean_std, repeats, run_many, Algo, RunSpec, Table};
+use bench::{maybe_obs_profile, mean_std, repeats, run_many, Algo, RunSpec, Table};
 use lexcache_core::PolicyConfig;
 
 fn main() {
@@ -37,4 +37,17 @@ fn main() {
     table.series("std", stds);
     println!("{}", table.render());
     println!("expectation: decaying schedules dominate the constant 1/4 once arms converge");
+
+    let profile: Vec<(&str, RunSpec)> = schedules
+        .iter()
+        .map(|&(name, schedule)| {
+            (
+                name,
+                RunSpec::fig3(Algo::OlGdWith(
+                    PolicyConfig::default().with_epsilon(schedule),
+                )),
+            )
+        })
+        .collect();
+    maybe_obs_profile("ablation_epsilon", &profile);
 }

@@ -6,7 +6,7 @@
 //! changes on the congestion time scale. The sample mean converges to
 //! the long-run mean; windowed/discounted estimators track regimes.
 
-use bench::{mean_std, repeats, run_many, Algo, RunSpec, Table};
+use bench::{maybe_obs_profile, mean_std, repeats, run_many, Algo, RunSpec, Table};
 use lexcache_core::policy::EstimatorKind;
 use lexcache_core::PolicyConfig;
 
@@ -40,4 +40,17 @@ fn main() {
     table.series("mean_delay_ms", delays);
     table.series("std", stds);
     println!("{}", table.render());
+
+    let profile: Vec<(&str, RunSpec)> = estimators
+        .iter()
+        .map(|&(name, estimator)| {
+            (
+                name,
+                RunSpec::fig3(Algo::OlGdWith(
+                    PolicyConfig::default().with_estimator(estimator),
+                )),
+            )
+        })
+        .collect();
+    maybe_obs_profile("ablation_estimator", &profile);
 }

@@ -6,7 +6,7 @@
 //! sweep shows the sensitivity.
 
 use bandit::EpsilonSchedule;
-use bench::{mean_std, repeats, run_many, Algo, RunSpec, Table};
+use bench::{maybe_obs_profile, mean_std, repeats, run_many, Algo, RunSpec, Table};
 use lexcache_core::PolicyConfig;
 
 fn main() {
@@ -36,4 +36,21 @@ fn main() {
     table.series("mean_delay_ms", delays);
     table.series("std", stds);
     println!("{}", table.render());
+
+    let labels: Vec<String> = gammas.iter().map(|g| format!("gamma={g}")).collect();
+    let profile: Vec<(&str, RunSpec)> = labels
+        .iter()
+        .zip(&gammas)
+        .map(|(label, &gamma)| {
+            (
+                label.as_str(),
+                RunSpec::fig3(Algo::OlGdWith(
+                    PolicyConfig::default()
+                        .with_gamma(gamma)
+                        .with_epsilon(EpsilonSchedule::Decay { c: 0.5 }),
+                )),
+            )
+        })
+        .collect();
+    maybe_obs_profile("ablation_gamma", &profile);
 }

@@ -5,7 +5,7 @@
 //! the paper argues collapses without the latent-code regularizer);
 //! `μ = 0` removes the supervised prediction term.
 
-use bench::{mean_std, repeats, run_many, Algo, RunSpec, Table};
+use bench::{maybe_obs_profile, mean_std, repeats, run_many, Algo, RunSpec, Table};
 
 fn main() {
     let cells: [(&str, f64, f64); 5] = [
@@ -36,4 +36,10 @@ fn main() {
     table.series("mean_delay_ms", delays);
     table.series("std", stds);
     println!("{}", table.render());
+
+    let profile: Vec<(&str, RunSpec)> = cells
+        .iter()
+        .map(|&(name, lambda, mu)| (name, RunSpec::fig6(Algo::OlGanWith { lambda, mu })))
+        .collect();
+    maybe_obs_profile("ablation_lambda", &profile);
 }

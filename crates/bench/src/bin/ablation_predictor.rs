@@ -4,7 +4,7 @@
 //! last-value, plus the clairvoyant upper bound (`OL_GD` with the true
 //! demands revealed).
 
-use bench::{mean_std, repeats, run_many, Algo, RunSpec, Table};
+use bench::{maybe_obs_profile, mean_std, repeats, run_many, Algo, RunSpec, Table};
 
 fn main() {
     let repeats = repeats().min(8);
@@ -44,4 +44,10 @@ fn main() {
     table.series("std", stds);
     println!("{}", table.render());
     println!("expectation: clairvoyant <= OL_GAN < classical forecasters");
+
+    let profile: Vec<(&str, RunSpec)> = algos
+        .iter()
+        .map(|&(name, algo)| (name, RunSpec::fig6(algo)))
+        .collect();
+    maybe_obs_profile("ablation_predictor", &profile);
 }

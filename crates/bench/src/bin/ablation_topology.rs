@@ -8,7 +8,7 @@
 //! and with load-driven congestion added
 //! (`EpisodeConfig::with_load_sensitivity`).
 
-use bench::{mean_std, repeats, Algo, RunSpec, Table, TopoKind};
+use bench::{maybe_obs_profile, mean_std, repeats, Algo, RunSpec, Table, TopoKind};
 use lexcache_core::{Episode, EpisodeConfig};
 use mec_net::topology::transit_stub;
 use mec_net::NetworkConfig;
@@ -55,10 +55,7 @@ fn main() {
         } else {
             "with load-driven congestion (s = 2)"
         };
-        let mut table = Table::new(
-            format!("OL_GD advantage by topology — {label}"),
-            "topology",
-        );
+        let mut table = Table::new(format!("OL_GD advantage by topology — {label}"), "topology");
         table.x_values(topologies.iter().map(|t| t.to_string()));
         let mut ol = Vec::new();
         let mut greedy = Vec::new();
@@ -83,4 +80,10 @@ fn main() {
     }
     println!("expectation: with load-driven congestion the advantage grows on");
     println!("path-concentrated topologies (as1755 > transit-stub > gtitm)");
+
+    let profile = [
+        ("OL_GD", RunSpec::fig3(Algo::OlGd)),
+        ("Greedy_GD", RunSpec::fig3(Algo::GreedyGd)),
+    ];
+    maybe_obs_profile("ablation_topology", &profile);
 }

@@ -3,7 +3,10 @@
 //!
 //! (a) average delay per time slot; (b) running time per time slot.
 
-use bench::{mean_delay_series, repeats, run_many, Algo, RunSpec, Table};
+use bench::{
+    maybe_obs_profile, maybe_write_json, mean_delay_series, repeats, run_many, Algo, JsonSeries,
+    RunSpec, Table,
+};
 
 fn main() {
     let repeats = repeats();
@@ -14,20 +17,19 @@ fn main() {
         repeats
     );
 
-    let mut delay = Table::new(
-        "Fig. 3(a) — average delay per time slot (ms)",
-        "slot",
-    );
-    let mut runtime = Table::new(
-        "Fig. 3(b) — running time per time slot (ms)",
-        "slot",
-    );
+    let mut delay = Table::new("Fig. 3(a) — average delay per time slot (ms)", "slot");
+    let mut runtime = Table::new("Fig. 3(b) — running time per time slot (ms)", "slot");
     let mut first = true;
     let mut means = Vec::new();
+    let mut json = Vec::new();
     for algo in algos {
         let spec = RunSpec::fig3(algo);
         let reports = run_many(&spec, repeats);
         let series = mean_delay_series(&reports);
+        json.push(JsonSeries {
+            label: algo.name().to_string(),
+            reports: reports.clone(),
+        });
         if first {
             let xs: Vec<String> = (1..=series.len()).map(|t| t.to_string()).collect();
             delay.x_values(xs.clone());
@@ -61,4 +63,11 @@ fn main() {
             );
         }
     }
+
+    maybe_write_json("fig3", &json);
+    let profile: Vec<(&str, RunSpec)> = algos
+        .iter()
+        .map(|&a| (a.name(), RunSpec::fig3(a)))
+        .collect();
+    maybe_obs_profile("fig3", &profile);
 }

@@ -4,7 +4,10 @@
 //! (a) mean average delay vs network size; (b) mean per-slot running
 //! time vs network size.
 
-use bench::{mean_std, repeats, run_many, Algo, RunSpec, Table};
+use bench::{
+    maybe_obs_profile, maybe_write_json, mean_std, repeats, run_many, Algo, JsonSeries, RunSpec,
+    Table,
+};
 use mec_workload::scenario::DemandKind;
 use mec_workload::ScenarioConfig;
 
@@ -27,6 +30,7 @@ fn main() {
     delay.x_values(sizes.iter().map(|n| n.to_string()));
     runtime.x_values(sizes.iter().map(|n| n.to_string()));
 
+    let mut json = Vec::new();
     for algo in algos {
         let mut delays = Vec::new();
         let mut runtimes = Vec::new();
@@ -37,6 +41,10 @@ fn main() {
                 ..RunSpec::fig3(algo)
             };
             let reports = run_many(&spec, repeats);
+            json.push(JsonSeries {
+                label: format!("{}/{n}", algo.name()),
+                reports: reports.clone(),
+            });
             let (d, _) = mean_std(
                 &reports
                     .iter()
@@ -57,4 +65,11 @@ fn main() {
     }
     println!("{}", delay.render());
     println!("{}", runtime.render());
+
+    maybe_write_json("fig4", &json);
+    let profile: Vec<(&str, RunSpec)> = algos
+        .iter()
+        .map(|&a| (a.name(), RunSpec::fig3(a)))
+        .collect();
+    maybe_obs_profile("fig4", &profile);
 }

@@ -5,7 +5,10 @@
 //! graphs because real topologies have more bottleneck links; the
 //! headline section compares the gap against Fig. 3's.
 
-use bench::{mean_delay_series, repeats, run_many, Algo, RunSpec, Table, TopoKind};
+use bench::{
+    maybe_obs_profile, maybe_write_json, mean_delay_series, repeats, run_many, Algo, JsonSeries,
+    RunSpec, Table, TopoKind,
+};
 use mec_net::topology::as1755;
 use mec_workload::scenario::DemandKind;
 use mec_workload::ScenarioConfig;
@@ -20,19 +23,31 @@ fn main() {
         repeats
     );
 
-    let mut delay = Table::new("Fig. 5(a) — average delay per time slot on AS1755 (ms)", "slot");
-    let mut runtime = Table::new("Fig. 5(b) — running time per time slot on AS1755 (ms)", "slot");
+    let mut delay = Table::new(
+        "Fig. 5(a) — average delay per time slot on AS1755 (ms)",
+        "slot",
+    );
+    let mut runtime = Table::new(
+        "Fig. 5(b) — running time per time slot on AS1755 (ms)",
+        "slot",
+    );
+    let as_spec = |algo| RunSpec {
+        topo: TopoKind::As1755,
+        n_stations: as1755::AS1755_NODES,
+        scenario: ScenarioConfig::paper_defaults().with_demand(DemandKind::Fixed),
+        ..RunSpec::fig3(algo)
+    };
     let mut first = true;
     let mut means = Vec::new();
+    let mut json = Vec::new();
     for algo in algos {
-        let spec = RunSpec {
-            topo: TopoKind::As1755,
-            n_stations: as1755::AS1755_NODES,
-            scenario: ScenarioConfig::paper_defaults().with_demand(DemandKind::Fixed),
-            ..RunSpec::fig3(algo)
-        };
+        let spec = as_spec(algo);
         let reports = run_many(&spec, repeats);
         let series = mean_delay_series(&reports);
+        json.push(JsonSeries {
+            label: algo.name().to_string(),
+            reports: reports.clone(),
+        });
         if first {
             let xs: Vec<String> = (1..=series.len()).map(|t| t.to_string()).collect();
             delay.x_values(xs.clone());
@@ -69,4 +84,8 @@ fn main() {
         }
     }
     println!("(compare against the synthetic-topology gap printed by `fig3`)");
+
+    maybe_write_json("fig5", &json);
+    let profile: Vec<(&str, RunSpec)> = algos.iter().map(|&a| (a.name(), as_spec(a))).collect();
+    maybe_obs_profile("fig5", &profile);
 }

@@ -5,7 +5,10 @@
 //! the paper reports `OL_GAN` costing roughly 4× `OL_Reg`'s runtime for
 //! a clearly lower delay.
 
-use bench::{mean_delay_series, repeats, run_many, Algo, RunSpec, Table};
+use bench::{
+    maybe_obs_profile, maybe_write_json, mean_delay_series, repeats, run_many, Algo, JsonSeries,
+    RunSpec, Table,
+};
 
 fn main() {
     let repeats = repeats();
@@ -20,10 +23,15 @@ fn main() {
     let mut runtime = Table::new("Fig. 6(b) — running time per time slot (ms)", "slot");
     let mut first = true;
     let mut summary = Vec::new();
+    let mut json = Vec::new();
     for algo in algos {
         let spec = RunSpec::fig6(algo);
         let reports = run_many(&spec, repeats);
         let series = mean_delay_series(&reports);
+        json.push(JsonSeries {
+            label: algo.name().to_string(),
+            reports: reports.clone(),
+        });
         if first {
             let xs: Vec<String> = (1..=series.len()).map(|t| t.to_string()).collect();
             delay.x_values(xs.clone());
@@ -49,8 +57,14 @@ fn main() {
     println!("{}", runtime.render());
 
     println!("# Headline");
-    let gan = summary.iter().find(|(n, _, _)| *n == "OL_GAN").expect("ran");
-    let reg = summary.iter().find(|(n, _, _)| *n == "OL_Reg").expect("ran");
+    let gan = summary
+        .iter()
+        .find(|(n, _, _)| *n == "OL_GAN")
+        .expect("ran");
+    let reg = summary
+        .iter()
+        .find(|(n, _, _)| *n == "OL_Reg")
+        .expect("ran");
     println!(
         "delay: OL_GAN {:.2} vs OL_Reg {:.2} ms ({:+.1}%)",
         gan.1,
@@ -63,4 +77,11 @@ fn main() {
         reg.2,
         gan.2 / reg.2
     );
+
+    maybe_write_json("fig6", &json);
+    let profile: Vec<(&str, RunSpec)> = algos
+        .iter()
+        .map(|&a| (a.name(), RunSpec::fig6(a)))
+        .collect();
+    maybe_obs_profile("fig6", &profile);
 }

@@ -1,7 +1,10 @@
 //! Fig. 7: `OL_GAN` vs `OL_Reg` (unknown demands) with the network size
 //! varied from 50 to 300 stations, plus the AS1755 real topology.
 
-use bench::{mean_std, repeats, run_many, Algo, RunSpec, Table, TopoKind};
+use bench::{
+    maybe_obs_profile, maybe_write_json, mean_std, repeats, run_many, Algo, JsonSeries, RunSpec,
+    Table, TopoKind,
+};
 use mec_net::topology::as1755;
 use mec_workload::demand::FlashCrowdConfig;
 use mec_workload::scenario::DemandKind;
@@ -34,6 +37,7 @@ fn main() {
 
     let mut delay = Table::new("Fig. 7(a) — average delay vs network size (ms)", "stations");
     delay.x_values(sizes.iter().map(|n| n.to_string()));
+    let mut json = Vec::new();
     for algo in algos {
         let mut delays = Vec::new();
         for &n in &sizes {
@@ -44,6 +48,10 @@ fn main() {
                 ..base
             };
             let reports = run_many(&spec, repeats);
+            json.push(JsonSeries {
+                label: format!("{}/{n}", algo.name()),
+                reports: reports.clone(),
+            });
             let (d, _) = mean_std(
                 &reports
                     .iter()
@@ -56,7 +64,10 @@ fn main() {
     }
     println!("{}", delay.render());
 
-    let mut real = Table::new("Fig. 7(b) — AS1755: delay (ms) and runtime (ms/slot)", "metric");
+    let mut real = Table::new(
+        "Fig. 7(b) — AS1755: delay (ms) and runtime (ms/slot)",
+        "metric",
+    );
     real.x_values(["avg_delay_ms".into(), "runtime_ms_per_slot".into()]);
     for algo in algos {
         let spec = RunSpec {
@@ -82,4 +93,11 @@ fn main() {
         real.series(algo.name(), vec![d, rt]);
     }
     println!("{}", real.render());
+
+    maybe_write_json("fig7", &json);
+    let profile: Vec<(&str, RunSpec)> = algos
+        .iter()
+        .map(|&a| (a.name(), RunSpec::fig6(a)))
+        .collect();
+    maybe_obs_profile("fig7", &profile);
 }

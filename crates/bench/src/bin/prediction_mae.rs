@@ -12,6 +12,7 @@ use mec_workload::demand::{DemandProcess as _, FlashCrowd, FlashCrowdConfig};
 use mec_workload::ScenarioConfig;
 
 fn main() {
+    let obs_session = bench::maybe_obs_begin("prediction_mae");
     let net = NetworkConfig::paper_defaults();
     let topo = gtitm::generate(100, &net, 1);
     let scenario = ScenarioConfig::paper_defaults().build(&topo, 1);
@@ -82,8 +83,14 @@ fn main() {
     if !burst_idx.is_empty() {
         let pick = |xs: &[f64]| -> Vec<f64> { burst_idx.iter().map(|&i| xs[i]).collect() };
         let (ga, aa, ac) = (pick(&gan_preds), pick(&arma_preds), pick(&actuals));
-        println!("\nburst slots only ({} of {}):", burst_idx.len(), actuals.len());
+        println!(
+            "\nburst slots only ({} of {}):",
+            burst_idx.len(),
+            actuals.len()
+        );
         println!("  Info-RNN-GAN: {:.2}", mae(&ga, &ac));
         println!("  ARMA (Eq.27): {:.2}", mae(&aa, &ac));
     }
+
+    bench::maybe_obs_finish("prediction_mae", obs_session);
 }

@@ -6,7 +6,7 @@
 //! should stay below the bound and flatten logarithmically.
 
 use bandit::{theorem1_bound, EpsilonSchedule, GapParams};
-use bench::{repeats, run_many, Algo, RunSpec, Table, TopoKind};
+use bench::{maybe_obs_profile, repeats, run_many, Algo, RunSpec, Table, TopoKind};
 use lexcache_core::PolicyConfig;
 use mec_workload::scenario::DemandKind;
 use mec_workload::ScenarioConfig;
@@ -55,9 +55,7 @@ fn main() {
         gamma,
     };
     let sigma = gap.sigma();
-    let bound_curve: Vec<f64> = (1..=horizon)
-        .map(|t| theorem1_bound(sigma, t, c))
-        .collect();
+    let bound_curve: Vec<f64> = (1..=horizon).map(|t| theorem1_bound(sigma, t, c)).collect();
 
     let mut table = Table::new(
         "Cumulative regret: empirical (per-request ms) vs Theorem 1 bound",
@@ -84,7 +82,11 @@ fn main() {
     println!("final empirical regret: {final_emp:.2}, bound: {final_bound:.2}");
     println!(
         "empirical within bound: {}",
-        if final_emp <= final_bound { "yes" } else { "NO" }
+        if final_emp <= final_bound {
+            "yes"
+        } else {
+            "NO"
+        }
     );
     // Logarithmic growth check: the second half should add less regret
     // than the first half.
@@ -94,4 +96,6 @@ fn main() {
         final_emp - half,
         if final_emp - half < half { "yes" } else { "NO" }
     );
+
+    maybe_obs_profile("regret_bound", &[("OL_GD", spec.clone())]);
 }

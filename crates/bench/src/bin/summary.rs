@@ -4,7 +4,10 @@
 //! Aggregates the Fig. 3 (given-demand) and Fig. 6 (unknown-demand)
 //! settings into one improvement table.
 
-use bench::{mean_std, repeats, run_many, Algo, RunSpec, Table};
+use bench::{
+    maybe_obs_profile, maybe_write_json, mean_std, repeats, run_many, Algo, JsonSeries, RunSpec,
+    Table,
+};
 
 fn main() {
     let repeats = repeats();
@@ -14,19 +17,31 @@ fn main() {
         repeats
     );
 
-    let mut table = Table::new("Mean average delay (ms) and std over topologies", "algorithm");
+    let mut table = Table::new(
+        "Mean average delay (ms) and std over topologies",
+        "algorithm",
+    );
     let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    let mut json = Vec::new();
     for algo in [Algo::OlGd, Algo::GreedyGd, Algo::PriGd] {
         let reports = run_many(&RunSpec::fig3(algo), repeats);
         let values: Vec<f64> = reports.iter().map(|r| r.mean_avg_delay_ms()).collect();
         let (m, s) = mean_std(&values);
         rows.push((format!("{} (given)", algo.name()), m, s));
+        json.push(JsonSeries {
+            label: format!("{}/given", algo.name()),
+            reports,
+        });
     }
     for algo in [Algo::OlGan, Algo::OlReg] {
         let reports = run_many(&RunSpec::fig6(algo), repeats);
         let values: Vec<f64> = reports.iter().map(|r| r.mean_avg_delay_ms()).collect();
         let (m, s) = mean_std(&values);
         rows.push((format!("{} (unknown)", algo.name()), m, s));
+        json.push(JsonSeries {
+            label: format!("{}/unknown", algo.name()),
+            reports,
+        });
     }
     table.x_values(rows.iter().map(|(n, _, _)| n.clone()));
     table.series("mean_delay_ms", rows.iter().map(|(_, m, _)| *m).collect());
@@ -34,7 +49,12 @@ fn main() {
     println!("{}", table.render());
 
     println!("# Improvements (positive = proposed algorithm is better)");
-    let get = |name: &str| rows.iter().find(|(n, _, _)| n.starts_with(name)).expect("ran").1;
+    let get = |name: &str| {
+        rows.iter()
+            .find(|(n, _, _)| n.starts_with(name))
+            .expect("ran")
+            .1
+    };
     let ol_gd = get("OL_GD");
     let ol_gan = get("OL_GAN");
     for baseline in ["Greedy_GD", "Pri_GD"] {
@@ -44,4 +64,14 @@ fn main() {
     let reg = get("OL_Reg");
     println!("OL_GAN vs OL_Reg: {:.1}%", (reg - ol_gan) / reg * 100.0);
     println!("\npaper claim: proposed algorithms outperform baselines by around 15%");
+
+    maybe_write_json("summary", &json);
+    let profile = [
+        ("OL_GD", RunSpec::fig3(Algo::OlGd)),
+        ("Greedy_GD", RunSpec::fig3(Algo::GreedyGd)),
+        ("Pri_GD", RunSpec::fig3(Algo::PriGd)),
+        ("OL_GAN", RunSpec::fig6(Algo::OlGan)),
+        ("OL_Reg", RunSpec::fig6(Algo::OlReg)),
+    ];
+    maybe_obs_profile("summary", &profile);
 }

@@ -16,6 +16,12 @@
 //!   paper).
 //! * `LEXCACHE_THREADS` — worker threads for the topology sweep (default:
 //!   available parallelism).
+//! * `LEXCACHE_OBS=1` — after the normal sweep, run one instrumented
+//!   single-threaded episode per policy (seed 0), write the raw event
+//!   stream to `results/obs_<bin>.jsonl`, and print a per-policy phase
+//!   breakdown table (see README "Observability").
+//! * `LEXCACHE_JSON=1` (or the `--json` flag) — also write the raw
+//!   per-seed [`EpisodeReport`]s as `results/<bin>.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +37,7 @@ use mec_workload::demand::{DemandProcess as _, FlashCrowd, FlashCrowdConfig};
 use mec_workload::scenario::DemandKind;
 use mec_workload::{Scenario, ScenarioConfig};
 use parking_lot::Mutex;
+use serde::Serialize;
 
 /// Number of repeated topologies per data point (`LEXCACHE_REPEATS`).
 pub fn repeats() -> usize {
@@ -311,6 +318,137 @@ pub fn run_many(spec: &RunSpec, repeats: usize) -> Vec<EpisodeReport> {
     let mut out = results.into_inner();
     out.sort_by_key(|(seed, _)| *seed);
     out.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Whether the instrumented-profile mode is on (`LEXCACHE_OBS=1`).
+pub fn obs_enabled() -> bool {
+    std::env::var("LEXCACHE_OBS").is_ok_and(|v| v == "1")
+}
+
+/// Whether machine-readable JSON output was requested, via the
+/// `--json` flag or `LEXCACHE_JSON=1`.
+pub fn json_requested() -> bool {
+    std::env::args().any(|a| a == "--json")
+        || std::env::var("LEXCACHE_JSON").is_ok_and(|v| v == "1")
+}
+
+/// One labelled series of per-seed episode reports — the JSON shape
+/// written next to every figure's text table.
+#[derive(Debug, Clone, Serialize)]
+pub struct JsonSeries {
+    /// Series label (policy name or sweep point).
+    pub label: String,
+    /// Per-seed reports, ordered by seed.
+    pub reports: Vec<EpisodeReport>,
+}
+
+/// Writes the series as `results/<bin>.json` if JSON output is on
+/// (encoded through [`EpisodeReport`]'s serde derives). Errors are
+/// reported on stderr, never fatal: the text tables already printed.
+pub fn maybe_write_json(bin: &str, series: &[JsonSeries]) {
+    if !json_requested() {
+        return;
+    }
+    let _ = std::fs::create_dir_all("results");
+    let path = format!("results/{bin}.json");
+    match lexcache_obs::json::to_string(&series) {
+        Ok(text) => match std::fs::write(&path, text) {
+            Ok(()) => println!("\njson reports written to {path}"),
+            Err(e) => eprintln!("json: cannot write {path}: {e}"),
+        },
+        Err(e) => eprintln!("json: cannot encode reports: {e}"),
+    }
+}
+
+/// With `LEXCACHE_OBS=1`, runs one instrumented single-threaded episode
+/// per labelled spec (seed 0), appends the raw event stream of all of
+/// them to `results/obs_<bin>.jsonl`, and prints a per-policy phase
+/// breakdown plus a coverage line comparing the summed `decide/*` span
+/// times against the episode's reported decide total.
+///
+/// The profile episode is separate from the main sweep on purpose: the
+/// sweep runs policies concurrently, and a process-global sink would
+/// interleave their events. One dedicated episode per policy keeps the
+/// stream attributable and the default run untouched.
+pub fn maybe_obs_profile(bin: &str, specs: &[(&str, RunSpec)]) {
+    if !obs_enabled() {
+        return;
+    }
+    let _ = std::fs::create_dir_all("results");
+    let path = format!("results/obs_{bin}.jsonl");
+    let file = match std::fs::File::create(&path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("obs: cannot create {path}: {e}");
+            return;
+        }
+    };
+    let writer = lexcache_obs::SharedWriter::new(Box::new(std::io::BufWriter::new(file)));
+    println!(
+        "\n# observability profile (LEXCACHE_OBS=1): one instrumented episode per policy, seed 0"
+    );
+    for (label, spec) in specs {
+        let registry = lexcache_obs::SharedRegistry::new();
+        let tee = lexcache_obs::Tee::new(
+            Box::new(lexcache_obs::JsonlSink::new(writer.clone())),
+            Box::new(registry.clone()),
+        );
+        lexcache_obs::install(Box::new(tee));
+        lexcache_obs::mark(&format!("profile/{label}"));
+        let report = run_one(spec, 0);
+        drop(lexcache_obs::uninstall());
+        let snap = registry.snapshot();
+        println!("\n## {label}");
+        print!("{}", snap.render_table());
+        let instrumented_ms = snap.span_total_us_with_prefix("decide/") / 1_000.0;
+        let reported_ms = report.total_decide_ms();
+        let pct = if reported_ms > 0.0 {
+            100.0 * instrumented_ms / reported_ms
+        } else {
+            0.0
+        };
+        println!(
+            "decide coverage: instrumented phases {instrumented_ms:.3} ms \
+             of reported decide total {reported_ms:.3} ms ({pct:.1}%)"
+        );
+    }
+    println!("\nobs events written to {path}");
+}
+
+/// With `LEXCACHE_OBS=1`, installs a JSONL + registry sink covering the
+/// rest of the process — for bins whose work is not an episode sweep
+/// (e.g. the prediction audit). Returns the registry handle to pass to
+/// [`maybe_obs_finish`]; `None` when profiling is off.
+pub fn maybe_obs_begin(bin: &str) -> Option<lexcache_obs::SharedRegistry> {
+    if !obs_enabled() {
+        return None;
+    }
+    let _ = std::fs::create_dir_all("results");
+    let path = format!("results/obs_{bin}.jsonl");
+    let file = match std::fs::File::create(&path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("obs: cannot create {path}: {e}");
+            return None;
+        }
+    };
+    let registry = lexcache_obs::SharedRegistry::new();
+    let tee = lexcache_obs::Tee::new(
+        Box::new(lexcache_obs::JsonlSink::new(std::io::BufWriter::new(file))),
+        Box::new(registry.clone()),
+    );
+    lexcache_obs::install(Box::new(tee));
+    Some(registry)
+}
+
+/// Uninstalls the sink installed by [`maybe_obs_begin`] and prints the
+/// aggregated phase/counter breakdown.
+pub fn maybe_obs_finish(bin: &str, registry: Option<lexcache_obs::SharedRegistry>) {
+    let Some(registry) = registry else { return };
+    drop(lexcache_obs::uninstall());
+    println!("\n# observability profile (LEXCACHE_OBS=1)");
+    print!("{}", registry.snapshot().render_table());
+    println!("obs events written to results/obs_{bin}.jsonl");
 }
 
 /// Mean and (population) standard deviation.

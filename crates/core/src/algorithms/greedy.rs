@@ -2,6 +2,7 @@
 
 use crate::assignment::{Assignment, Target};
 use crate::policy::{CachingPolicy, SlotContext, SlotFeedback};
+use lexcache_obs as obs;
 use mec_net::BsId;
 
 /// Picks, for one request, the cheapest station (by static historical
@@ -76,6 +77,7 @@ impl CachingPolicy for GreedyGd {
     }
 
     fn decide(&mut self, ctx: &SlotContext<'_>) -> Assignment {
+        let _span = obs::span("decide/greedy");
         let demands = demands_of(ctx);
         let capacity = capacities(ctx);
         let mut load = vec![0.0; ctx.topo.len()];
@@ -107,6 +109,7 @@ impl CachingPolicy for PriGd {
     }
 
     fn decide(&mut self, ctx: &SlotContext<'_>) -> Assignment {
+        let _span = obs::span("decide/greedy");
         let demands = demands_of(ctx);
         let capacity = capacities(ctx);
         let mut load = vec![0.0; ctx.topo.len()];

@@ -4,6 +4,7 @@ use crate::algorithms::OlGdCore;
 use crate::assignment::Assignment;
 use crate::policy::{CachingPolicy, PolicyConfig, SlotContext, SlotFeedback};
 use infogan::{InfoGanConfig, InfoRnnGan};
+use lexcache_obs as obs;
 
 /// Algorithm 2: per slot, the generator predicts each cell's aggregate
 /// bursty demand conditioned on the cell's one-hot latent code and recent
@@ -133,7 +134,10 @@ impl CachingPolicy for OlGan {
     }
 
     fn decide(&mut self, ctx: &SlotContext<'_>) -> Assignment {
-        let predicted = self.predicted_demands(ctx);
+        let predicted = {
+            let _span = obs::span("decide/predict");
+            self.predicted_demands(ctx)
+        };
         self.core.decide_with_demands(ctx, &predicted)
     }
 
@@ -147,14 +151,11 @@ impl CachingPolicy for OlGan {
         let n_cells = self.cell_history.len();
         let mut aggregate = vec![0.0; n_cells];
         let mut members = vec![0usize; n_cells];
-        for (d, &cell) in feedback
-            .realized_demands
-            .iter()
-            .zip(feedback.request_cells)
-        {
+        for (d, &cell) in feedback.realized_demands.iter().zip(feedback.request_cells) {
             aggregate[cell] += d;
             members[cell] += 1;
         }
+        let _span = obs::span("feedback/gan_update");
         for cell in 0..n_cells {
             if members[cell] == 0 {
                 continue;
@@ -163,6 +164,7 @@ impl CachingPolicy for OlGan {
             self.cell_history[cell].push(residual);
             for _ in 0..self.online_steps {
                 let _ = self.gan.online_update(&self.cell_history[cell], cell);
+                obs::counter("gan/online_updates", 1);
             }
         }
     }

@@ -4,6 +4,7 @@ use crate::assignment::{Assignment, Target};
 use crate::lowering::build_caching_lp;
 use crate::policy::{CachingPolicy, EstimatorKind, PolicyConfig, SlotContext, SlotFeedback};
 use bandit::{sample_by_weight, ArmSet, DiscountedArmStats, WindowedArmSet};
+use lexcache_obs as obs;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -19,9 +20,7 @@ impl ArmBank {
     fn new(kind: EstimatorKind, n: usize) -> ArmBank {
         match kind {
             EstimatorKind::SampleMean => ArmBank::Mean(ArmSet::new(n)),
-            EstimatorKind::Windowed { window } => {
-                ArmBank::Windowed(WindowedArmSet::new(n, window))
-            }
+            EstimatorKind::Windowed { window } => ArmBank::Windowed(WindowedArmSet::new(n, window)),
             EstimatorKind::Discounted { gamma } => {
                 ArmBank::Discounted(vec![DiscountedArmStats::new(gamma); n])
             }
@@ -96,18 +95,32 @@ impl OlGdCore {
         let arms = self.arms.get_or_insert_with(|| ArmBank::new(kind, n));
         // Line 3–4: relax the ILP into an LP over believed delays and
         // extract the fractional solution and candidate sets.
-        let believed = arms.means_or(ctx.prior_delay);
-        let lp = build_caching_lp(
-            ctx.topo,
-            ctx.scenario,
-            ctx.transfer,
-            &believed,
-            demands,
-            ctx.remote_delay,
-        );
-        let columns = match lp.solve_fast() {
+        let believed = {
+            let _span = obs::span("decide/estimate");
+            arms.means_or(ctx.prior_delay)
+        };
+        let lp = {
+            let _span = obs::span("decide/lp_build");
+            build_caching_lp(
+                ctx.topo,
+                ctx.scenario,
+                ctx.transfer,
+                &believed,
+                demands,
+                ctx.remote_delay,
+            )
+        };
+        let solved = {
+            let _span = obs::span("decide/lp_solve");
+            lp.solve_fast()
+        };
+        let columns = match solved {
             Ok(sol) => {
-                let candidates = sol.candidate_sets(self.cfg.gamma);
+                let candidates = {
+                    let _span = obs::span("decide/candidates");
+                    sol.candidate_sets(self.cfg.gamma)
+                };
+                let _span = obs::span("decide/select");
                 let eps = self.cfg.epsilon.epsilon(ctx.slot);
                 let all_cols: Vec<usize> = (0..n).collect();
                 (0..demands.len())
@@ -122,8 +135,10 @@ impl OlGdCore {
                             candidates[l].clone()
                         };
                         if !explore {
+                            obs::counter("bandit/exploit", 1);
                             sample_by_weight(&mut self.rng, &sol.x[l], &cands)
                         } else {
+                            obs::counter("bandit/explore", 1);
                             let non_cand: Vec<usize> = all_cols
                                 .iter()
                                 .copied()
@@ -141,11 +156,17 @@ impl OlGdCore {
             // The remote column keeps the LP feasible, so errors here can
             // only be iteration-limit pathologies; degrade to the static
             // greedy choice instead of crashing mid-episode.
-            Err(_) => (0..demands.len())
-                .map(|l| cheapest_column(ctx, l, &believed))
-                .collect(),
+            Err(_) => {
+                obs::counter("decide/lp_fallback", 1);
+                (0..demands.len())
+                    .map(|l| cheapest_column(ctx, l, &believed))
+                    .collect()
+            }
         };
-        let columns = repair_capacity(ctx, columns, demands, &believed);
+        let columns = {
+            let _span = obs::span("decide/repair");
+            repair_capacity(ctx, columns, demands, &believed)
+        };
         Assignment::new(
             columns
                 .into_iter()

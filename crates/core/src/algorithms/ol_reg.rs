@@ -5,6 +5,7 @@ use crate::algorithms::OlGdCore;
 use crate::assignment::Assignment;
 use crate::policy::{CachingPolicy, PolicyConfig, SlotContext, SlotFeedback};
 use forecast::{Ewma, Holt, MultiSeries, NaiveLast, PaperArma, Predictor};
+use lexcache_obs as obs;
 
 /// Algorithm 1's body driven by a bank of per-request scalar
 /// forecasters: each slot the bank predicts every request's demand, the
@@ -55,18 +56,22 @@ impl<P: Predictor + std::fmt::Debug> CachingPolicy for OlForecast<P> {
             .get_or_insert_with(|| MultiSeries::from_fn(requests.len(), make));
         // Until history accumulates the forecast degenerates to 0; fall
         // back to the known basic-demand floor.
-        let predicted: Vec<f64> = predictors
-            .predict_all()
-            .into_iter()
-            .zip(requests)
-            .map(|(p, r)| p.max(r.basic_demand()))
-            .collect();
+        let predicted: Vec<f64> = {
+            let _span = obs::span("decide/forecast");
+            predictors
+                .predict_all()
+                .into_iter()
+                .zip(requests)
+                .map(|(p, r)| p.max(r.basic_demand()))
+                .collect()
+        };
         self.core.decide_with_demands(ctx, &predicted)
     }
 
     fn observe(&mut self, feedback: &SlotFeedback<'_>) {
         self.core.observe_delays(feedback);
         if let Some(p) = self.predictors.as_mut() {
+            let _span = obs::span("feedback/forecast");
             p.observe_all(feedback.realized_demands);
         }
     }

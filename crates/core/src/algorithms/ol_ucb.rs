@@ -15,6 +15,7 @@ use crate::assignment::{Assignment, Target};
 use crate::lowering::build_caching_lp;
 use crate::policy::{CachingPolicy, SlotContext, SlotFeedback};
 use bandit::{sample_by_weight, ArmSet};
+use lexcache_obs as obs;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -60,35 +61,52 @@ impl CachingPolicy for OlUcb {
         let arms = self.arms.get_or_insert_with(|| ArmSet::new(n));
         // Optimistic believed delays: LCB for pulled arms, a fraction of
         // the prior for unpulled ones (so every station gets tried).
-        let believed: Vec<f64> = (0..n)
-            .map(|i| {
-                if arms.pulls(i) == 0 {
-                    0.25 * ctx.prior_delay[i]
-                } else {
-                    arms.stats()[i].lcb(t).max(0.05 * ctx.prior_delay[i])
-                }
-            })
-            .collect();
-        let lp = build_caching_lp(
-            ctx.topo,
-            ctx.scenario,
-            ctx.transfer,
-            &believed,
-            demands,
-            ctx.remote_delay,
-        );
-        let columns: Vec<usize> = match lp.solve_fast() {
+        let believed: Vec<f64> = {
+            let _span = obs::span("decide/estimate");
+            (0..n)
+                .map(|i| {
+                    if arms.pulls(i) == 0 {
+                        0.25 * ctx.prior_delay[i]
+                    } else {
+                        arms.stats()[i].lcb(t).max(0.05 * ctx.prior_delay[i])
+                    }
+                })
+                .collect()
+        };
+        let lp = {
+            let _span = obs::span("decide/lp_build");
+            build_caching_lp(
+                ctx.topo,
+                ctx.scenario,
+                ctx.transfer,
+                &believed,
+                demands,
+                ctx.remote_delay,
+            )
+        };
+        let solved = {
+            let _span = obs::span("decide/lp_solve");
+            lp.solve_fast()
+        };
+        let columns: Vec<usize> = match solved {
             Ok(sol) => {
+                let _span = obs::span("decide/select");
                 let all: Vec<usize> = (0..=n).collect();
                 (0..demands.len())
                     .map(|l| sample_by_weight(&mut self.rng, &sol.x[l], &all))
                     .collect()
             }
-            Err(_) => (0..demands.len())
-                .map(|_| self.rng.random_range(0..n))
-                .collect(),
+            Err(_) => {
+                obs::counter("decide/lp_fallback", 1);
+                (0..demands.len())
+                    .map(|_| self.rng.random_range(0..n))
+                    .collect()
+            }
         };
-        let columns = repair_capacity(ctx, columns, demands, &believed);
+        let columns = {
+            let _span = obs::span("decide/repair");
+            repair_capacity(ctx, columns, demands, &believed)
+        };
         Assignment::new(
             columns
                 .into_iter()

@@ -9,6 +9,7 @@
 //! simulator's scoring between the two accounting modes (compared by the
 //! `ablation_cache` bench).
 
+use lexcache_obs as obs;
 use mec_net::delay::InstantiationDelays;
 use mec_net::BsId;
 use serde::{Deserialize, Serialize};
@@ -118,11 +119,17 @@ impl CacheState {
             assert!(i < self.n_stations, "station out of range");
             if self.last_used.insert((k, i), slot).is_none() {
                 cost += inst.get(BsId(i), k);
+                obs::counter("cache/insert", 1);
+            } else {
+                obs::counter("cache/hit", 1);
             }
         }
         // Idle eviction.
         if let Some(ttl) = self.idle_ttl {
-            self.last_used.retain(|_, &mut last| slot.saturating_sub(last) <= ttl);
+            let before = self.last_used.len();
+            self.last_used
+                .retain(|_, &mut last| slot.saturating_sub(last) <= ttl);
+            obs::counter("cache/evict_ttl", (before - self.last_used.len()) as u64);
         }
         // Per-station LRU cap. Instances used *this* slot are never
         // evicted (limit permitting the used set is assumed).
@@ -140,6 +147,7 @@ impl CacheState {
                     here.sort_by_key(|&((k, _), last)| (last, k));
                     for &(key, _) in here.iter().take(here.len() - limit) {
                         self.last_used.remove(&key);
+                        obs::counter("cache/evict_lru", 1);
                     }
                 }
             }

@@ -53,7 +53,9 @@ pub mod metrics;
 pub mod policy;
 pub mod sim;
 
-pub use algorithms::{ol_ewma, ol_holt, ol_naive, GreedyGd, OlForecast, OlGan, OlGd, OlReg, OlUcb, PriGd};
+pub use algorithms::{
+    ol_ewma, ol_holt, ol_naive, GreedyGd, OlForecast, OlGan, OlGd, OlReg, OlUcb, PriGd,
+};
 pub use assignment::{Assignment, Target};
 pub use cache::CacheState;
 pub use lowering::TransferCosts;

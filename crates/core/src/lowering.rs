@@ -236,8 +236,7 @@ mod tests {
                 .edges()
                 .iter()
                 .position(|&(u, v)| {
-                    (u == src.index() && v == nb.index())
-                        || (v == src.index() && u == nb.index())
+                    (u == src.index() && v == nb.index()) || (v == src.index() && u == nb.index())
                 })
                 .unwrap();
             assert!(t.get(0, nb) <= topo.edge_delay_ms(e) + 1e-9);
@@ -253,7 +252,11 @@ mod tests {
             .iter()
             .map(|b| cfg.tier(b.tier()).unit_delay_ms.mid())
             .collect();
-        let demands: Vec<f64> = scenario.requests().iter().map(|r| r.basic_demand()).collect();
+        let demands: Vec<f64> = scenario
+            .requests()
+            .iter()
+            .map(|r| r.basic_demand())
+            .collect();
         let lp = build_caching_lp(&topo, &scenario, &transfer, &believed, &demands, 75.0);
         assert_eq!(lp.n_stations(), topo.len() + 1);
         // Remote unit cost is the configured mean for every request.
@@ -284,7 +287,11 @@ mod tests {
         // Station 0 is believed nearly free; everything else is awful.
         let mut believed = vec![500.0; topo.len()];
         believed[0] = 0.1;
-        let demands: Vec<f64> = scenario.requests().iter().map(|r| r.basic_demand()).collect();
+        let demands: Vec<f64> = scenario
+            .requests()
+            .iter()
+            .map(|r| r.basic_demand())
+            .collect();
         let lp = build_caching_lp(&topo, &scenario, &transfer, &believed, &demands, 75.0);
         let sol = lp.solve_fast().unwrap();
         let mass_at_0: f64 = (0..lp.n_requests()).map(|l| sol.x[l][0]).sum();

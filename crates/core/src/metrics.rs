@@ -41,9 +41,15 @@ impl EpisodeReport {
         self.slots.iter().map(|s| s.avg_delay_ms).sum::<f64>() / self.slots.len() as f64
     }
 
+    /// Total decision runtime over the horizon, µs — the single
+    /// summation behind every decide-time statistic.
+    fn total_decide_us(&self) -> f64 {
+        self.slots.iter().map(|s| s.decide_us).sum()
+    }
+
     /// Total decision runtime over the horizon, ms.
     pub fn total_decide_ms(&self) -> f64 {
-        self.slots.iter().map(|s| s.decide_us).sum::<f64>() / 1_000.0
+        self.total_decide_us() / 1_000.0
     }
 
     /// Mean per-slot decision runtime, µs.
@@ -51,7 +57,26 @@ impl EpisodeReport {
         if self.slots.is_empty() {
             return 0.0;
         }
-        self.slots.iter().map(|s| s.decide_us).sum::<f64>() / self.slots.len() as f64
+        self.total_decide_us() / self.slots.len() as f64
+    }
+
+    /// Nearest-rank percentile of the per-slot decision runtime, µs.
+    /// `q` is clamped to `[0, 1]`; returns 0 for an empty report.
+    pub fn decide_us_percentile(&self, q: f64) -> f64 {
+        if self.slots.is_empty() {
+            return 0.0;
+        }
+        let mut sorted: Vec<f64> = self.slots.iter().map(|s| s.decide_us).collect();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as usize).clamp(1, n);
+        sorted[rank - 1]
+    }
+
+    /// 99th-percentile per-slot decision runtime, µs — the LP-solve
+    /// tail that per-slot means hide.
+    pub fn p99_decide_us(&self) -> f64 {
+        self.decide_us_percentile(0.99)
     }
 
     /// Cumulative regret against the clairvoyant optimum, if tracked:
@@ -112,6 +137,42 @@ mod tests {
         assert_eq!(r.total_decide_ms(), 0.2);
         assert_eq!(r.delay_series(), vec![10.0, 20.0]);
         assert_eq!(r.total_remote(), 1);
+    }
+
+    #[test]
+    fn decide_percentiles_use_nearest_rank() {
+        let mut slots: Vec<SlotMetrics> = (1..=100)
+            .map(|i| SlotMetrics {
+                slot: i,
+                avg_delay_ms: 1.0,
+                decide_us: i as f64,
+                optimal_avg_delay_ms: None,
+                remote_count: 0,
+            })
+            .collect();
+        // Shuffle-ish ordering: percentiles must sort, not trust input.
+        slots.reverse();
+        let r = EpisodeReport {
+            policy: "p".into(),
+            topology: "t".into(),
+            slots,
+        };
+        assert_eq!(r.p99_decide_us(), 99.0);
+        assert_eq!(r.decide_us_percentile(0.5), 50.0);
+        assert_eq!(r.decide_us_percentile(0.0), 1.0);
+        assert_eq!(r.decide_us_percentile(1.0), 100.0);
+        assert_eq!(r.decide_us_percentile(2.0), 100.0, "q clamps");
+        assert_eq!(r.total_decide_ms(), r.mean_decide_us() * 100.0 / 1_000.0);
+    }
+
+    #[test]
+    fn empty_percentile_is_zero() {
+        let r = EpisodeReport {
+            policy: "p".into(),
+            topology: "t".into(),
+            slots: vec![],
+        };
+        assert_eq!(r.p99_decide_us(), 0.0);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::lowering::{build_caching_lp, TransferCosts};
 use crate::metrics::{EpisodeReport, SlotMetrics};
 use crate::policy::{CachingPolicy, SlotContext, SlotFeedback};
+use lexcache_obs as obs;
 use mec_net::delay::{CongestionDelay, DelayProcess, RemoteDcDelay, UniformTierDelay};
 use mec_net::{NetworkConfig, Topology};
 use mec_workload::demand::DemandProcess as _;
@@ -260,8 +261,7 @@ impl Episode {
             match t {
                 crate::Target::Edge(bs) => {
                     let i = bs.index();
-                    total += demands[l]
-                        * (realized[i] * overload[i] + self.transfer.get(l, *bs));
+                    total += demands[l] * (realized[i] * overload[i] + self.transfer.get(l, *bs));
                     let k = self.scenario.requests()[l].service().index();
                     used.insert((k, i));
                 }
@@ -292,26 +292,36 @@ impl Episode {
         let mut slots = Vec::with_capacity(horizon);
 
         for slot in 1..=horizon {
+            obs::gauge("sim/slot", slot as f64);
             // The environment reveals this slot's demands and (hidden)
             // delays.
-            self.scenario.demand_mut().advance();
-            let demands = self.scenario.demand().demands();
-            self.delay.advance();
-            self.remote.advance();
-
-            let ctx = SlotContext {
-                slot,
-                topo: &self.topo,
-                scenario: &self.scenario,
-                given_demands: self.cfg.reveal_demands.then_some(demands.as_slice()),
-                transfer: &self.transfer,
-                prior_delay: &self.prior_delay,
-                remote_delay: self.net_cfg.remote_dc_delay_ms.mid(),
-                net_cfg: &self.net_cfg,
+            let demands = {
+                let _span = obs::span("sim/demand");
+                self.scenario.demand_mut().advance();
+                let demands = self.scenario.demand().demands();
+                self.delay.advance();
+                self.remote.advance();
+                demands
             };
+
+            let ctx = {
+                let _span = obs::span("sim/context");
+                SlotContext {
+                    slot,
+                    topo: &self.topo,
+                    scenario: &self.scenario,
+                    given_demands: self.cfg.reveal_demands.then_some(demands.as_slice()),
+                    transfer: &self.transfer,
+                    prior_delay: &self.prior_delay,
+                    remote_delay: self.net_cfg.remote_dc_delay_ms.mid(),
+                    net_cfg: &self.net_cfg,
+                }
+            };
+            let decide_span = obs::span("sim/decide");
             let started = Instant::now();
             let assignment = policy.decide(&ctx);
             let decide_us = started.elapsed().as_secs_f64() * 1e6;
+            drop(decide_span);
             assert_eq!(
                 assignment.len(),
                 n_requests,
@@ -325,6 +335,7 @@ impl Episode {
             // the paper's bursty-demand story hinges on. The clairvoyant
             // optimum below respects capacities exactly and never
             // overloads.
+            let realize_span = obs::span("sim/realize");
             let mut realized: Vec<f64> = (0..n)
                 .map(|i| self.delay.as_dyn().unit_delay(mec_net::BsId(i)))
                 .collect();
@@ -345,14 +356,19 @@ impl Episode {
             }
             let (processing, used_instances) =
                 self.score_processing(&assignment, &demands, &realized);
-            let inst_cost = if self.cfg.amortize_instantiation {
-                self.cache
-                    .apply(slot, &used_instances, self.scenario.instantiation())
-            } else {
-                used_instances
-                    .iter()
-                    .map(|&(k, i)| self.scenario.instantiation().get(mec_net::BsId(i), k))
-                    .sum()
+            drop(realize_span);
+            let inst_cost = {
+                let _span = obs::span("sim/cache_apply");
+                obs::counter("cache/instances_used", used_instances.len() as u64);
+                if self.cfg.amortize_instantiation {
+                    self.cache
+                        .apply(slot, &used_instances, self.scenario.instantiation())
+                } else {
+                    used_instances
+                        .iter()
+                        .map(|&(k, i)| self.scenario.instantiation().get(mec_net::BsId(i), k))
+                        .sum()
+                }
             };
             let avg_delay_ms = (processing + inst_cost) / n_requests as f64;
             // Clairvoyant reference: the processing-delay LP optimum
@@ -363,6 +379,7 @@ impl Episode {
             // lower bound on integral assignments, while the pure
             // processing optimum is.
             let optimal_avg_delay_ms = if self.cfg.track_regret {
+                let _span = obs::span("sim/regret_lp");
                 let true_lp = build_caching_lp(
                     &self.topo,
                     &self.scenario,
@@ -372,8 +389,7 @@ impl Episode {
                     self.remote.unit_delay(),
                 );
                 true_lp.solve_fast().ok().map(|sol| {
-                    let zero_y =
-                        vec![vec![0.0; true_lp.n_stations()]; true_lp.n_services()];
+                    let zero_y = vec![vec![0.0; true_lp.n_stations()]; true_lp.n_services()];
                     true_lp.objective_of(&sol.x, &zero_y)
                 })
             } else {
@@ -382,6 +398,7 @@ impl Episode {
 
             // Bandit feedback: only stations actually played reveal their
             // realized delay.
+            let feedback_span = obs::span("sim/feedback");
             let observed: Vec<(usize, f64)> = assignment
                 .stations_used()
                 .into_iter()
@@ -394,6 +411,8 @@ impl Episode {
                 request_cells: &request_cells,
             };
             policy.observe(&feedback);
+            obs::counter("sim/remote_requests", assignment.remote_count() as u64);
+            drop(feedback_span);
 
             slots.push(SlotMetrics {
                 slot,
@@ -414,8 +433,8 @@ impl Episode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::assignment::Target;
     use crate::algorithms::{GreedyGd, OlGd, OlReg, PriGd};
+    use crate::assignment::Target;
     use crate::policy::PolicyConfig;
     use mec_net::topology::gtitm;
     use mec_workload::ScenarioConfig;
@@ -462,8 +481,7 @@ mod tests {
         let cfg = NetworkConfig::paper_defaults();
         let topo = gtitm::generate(15, &cfg, 3);
         let scenario = ScenarioConfig::small().build(&topo, 3);
-        let mut ep =
-            Episode::with_config(topo, cfg, scenario, EpisodeConfig::new(3).with_regret());
+        let mut ep = Episode::with_config(topo, cfg, scenario, EpisodeConfig::new(3).with_regret());
         let report = ep.run(&mut OlGd::new(PolicyConfig::default()), 6);
         for s in &report.slots {
             let opt = s.optimal_avg_delay_ms.expect("tracked");
@@ -503,7 +521,10 @@ mod tests {
             greedy_total += e1.run(&mut GreedyGd::new(), horizon).mean_avg_delay_ms();
             let mut e2 = episode(seed);
             ol_total += e2
-                .run(&mut OlGd::new(PolicyConfig::default().with_seed(seed)), horizon)
+                .run(
+                    &mut OlGd::new(PolicyConfig::default().with_seed(seed)),
+                    horizon,
+                )
                 .mean_avg_delay_ms();
         }
         assert!(
@@ -521,12 +542,8 @@ mod tests {
                 mec_workload::demand::FlashCrowdConfig::default(),
             ))
             .build(&topo, 5);
-        let mut ep = Episode::with_config(
-            topo,
-            cfg,
-            scenario,
-            EpisodeConfig::new(5).hidden_demands(),
-        );
+        let mut ep =
+            Episode::with_config(topo, cfg, scenario, EpisodeConfig::new(5).hidden_demands());
         let report = ep.run(&mut OlReg::new(PolicyConfig::default(), 3), 10);
         assert_eq!(report.slots.len(), 10);
         assert!(report.mean_avg_delay_ms() > 0.0);
@@ -635,9 +652,7 @@ mod tests {
         }
         let cfg = NetworkConfig::paper_defaults();
         let topo = gtitm::generate(8, &cfg, 9);
-        let scenario = ScenarioConfig::small()
-            .with_requests(40)
-            .build(&topo, 9);
+        let scenario = ScenarioConfig::small().with_requests(40).build(&topo, 9);
         let caps: Vec<f64> = topo
             .stations()
             .iter()

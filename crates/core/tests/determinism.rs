@@ -67,6 +67,34 @@ fn same_seed_episodes_are_bit_identical() {
 }
 
 #[test]
+fn observability_sinks_do_not_perturb_results() {
+    // The obs layer must be write-only: installing a sink (NoopSink or
+    // a collecting registry) cannot change a single bit of the episode
+    // outcome, only record it.
+    let make: Box<dyn Fn() -> Box<dyn CachingPolicy>> =
+        Box::new(|| Box::new(OlGd::new(PolicyConfig::default())));
+    let baseline = run_once(5, make.as_ref());
+
+    lexcache_obs::install(Box::new(lexcache_obs::NoopSink));
+    let with_noop = run_once(5, make.as_ref());
+    drop(lexcache_obs::uninstall());
+    assert_identical(&baseline, &with_noop);
+
+    let registry = lexcache_obs::SharedRegistry::new();
+    lexcache_obs::install(Box::new(registry.clone()));
+    let with_registry = run_once(5, make.as_ref());
+    drop(lexcache_obs::uninstall());
+    assert_identical(&baseline, &with_registry);
+
+    let snap = registry.snapshot();
+    assert!(!snap.is_empty(), "registry collected no events");
+    assert!(
+        snap.spans().contains_key("sim/decide"),
+        "expected per-slot sim/decide spans in the registry"
+    );
+}
+
+#[test]
 fn different_seeds_actually_diverge() {
     // Sanity check that the comparison above is not vacuous: distinct
     // seeds must produce distinct delay traces.

@@ -27,7 +27,8 @@ pub fn mae(pred: &[f64], actual: &[f64]) -> f64 {
 /// Panics if the slices differ in length or are empty.
 pub fn rmse(pred: &[f64], actual: &[f64]) -> f64 {
     check(pred, actual);
-    (pred.iter()
+    (pred
+        .iter()
         .zip(actual)
         .map(|(p, a)| (p - a) * (p - a))
         .sum::<f64>()

@@ -57,11 +57,7 @@ impl Generator {
     pub fn forward_seq(&self, xs: &[Vec<f64>]) -> GenTrace {
         let t1 = self.l1.forward_seq(xs);
         let t2 = self.l2.forward_seq(t1.outputs());
-        let logits = t2
-            .outputs()
-            .iter()
-            .map(|h| self.head.forward(h))
-            .collect();
+        let logits = t2.outputs().iter().map(|h| self.head.forward(h)).collect();
         GenTrace { t1, t2, logits }
     }
 
@@ -350,11 +346,7 @@ mod tests {
         let trace = d.forward_seq(&[0.5, 0.2]);
         d.zero_grad();
         let _ = d.backward_seq(&trace, &[1.0, 1.0], None);
-        let q_grad_norm: f64 = d
-            .q_params_mut()
-            .iter()
-            .map(|p| p.grad.norm())
-            .sum();
+        let q_grad_norm: f64 = d.q_params_mut().iter().map(|p| p.grad.norm()).sum();
         assert_eq!(q_grad_norm, 0.0, "q head untouched without q grads");
         let qg = vec![vec![1.0, -1.0]; 2];
         let _ = d.backward_seq(&trace, &[0.0, 0.0], Some(&qg));

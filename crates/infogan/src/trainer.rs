@@ -2,6 +2,7 @@
 
 use crate::latent::{one_hot, DemandQuantizer, NoiseSource};
 use crate::model::{Discriminator, Generator};
+use lexcache_obs as obs;
 use neural::activation::{softmax, softmax_backward};
 use neural::loss::{bce_with_logit, cross_entropy};
 use neural::optim::{clip_grad_norm, Adam};
@@ -81,7 +82,10 @@ impl InfoGanConfig {
         assert!(self.window >= 2, "window must cover at least two slots");
         assert!(self.lambda >= 0.0, "lambda must be non-negative");
         assert!(self.mu >= 0.0, "mu must be non-negative");
-        assert!(self.lr_g > 0.0 && self.lr_d > 0.0, "learning rates positive");
+        assert!(
+            self.lr_g > 0.0 && self.lr_d > 0.0,
+            "learning rates positive"
+        );
         assert!(self.clip > 0.0, "clip must be positive");
     }
 }
@@ -249,6 +253,11 @@ impl InfoRnnGan {
             report.d_loss.push(d_sum / n);
             report.g_adv.push(g_sum / n);
             report.q_ce.push(q_sum / n);
+            if obs::is_enabled() {
+                obs::gauge("gan/d_loss", d_sum / n);
+                obs::gauge("gan/g_adv", g_sum / n);
+                obs::gauge("gan/q_ce", q_sum / n);
+            }
         }
         report
     }
@@ -345,12 +354,12 @@ impl InfoRnnGan {
             .backward_seq(&fake_trace, &d_grads_fake, None);
         {
             let mut params = self.discriminator.adversarial_params_mut();
-            clip_grad_norm(&mut params, self.cfg.clip);
+            clip_tracked(&mut params, self.cfg.clip);
             self.adam_d.step(params);
         }
         {
             let mut params = self.discriminator.q_params_mut();
-            clip_grad_norm(&mut params, self.cfg.clip);
+            clip_tracked(&mut params, self.cfg.clip);
             self.adam_q.step(params);
         }
         self.discriminator.zero_grad();
@@ -421,13 +430,13 @@ impl InfoRnnGan {
         self.generator.backward_seq(&inputs, &gen_trace, &d_logits);
         {
             let mut params = self.generator.params_mut();
-            clip_grad_norm(&mut params, self.cfg.clip);
+            clip_tracked(&mut params, self.cfg.clip);
             self.adam_g.step(params);
         }
         self.generator.zero_grad();
         {
             let mut params = self.discriminator.q_params_mut();
-            clip_grad_norm(&mut params, self.cfg.clip);
+            clip_tracked(&mut params, self.cfg.clip);
             self.adam_q.step(params);
         }
         self.discriminator.zero_grad();
@@ -522,6 +531,15 @@ impl InfoRnnGan {
             }
         }
         best
+    }
+}
+
+/// Clips the gradient norm and counts a `gan/clip_trips` observability
+/// event whenever the pre-clip norm actually exceeded the threshold.
+fn clip_tracked(params: &mut [&mut neural::Param], clip: f64) {
+    let norm = clip_grad_norm(params, clip);
+    if norm > clip {
+        obs::counter("gan/clip_trips", 1);
     }
 }
 

@@ -110,14 +110,16 @@ pub fn parse(text: &str) -> Result<Config, String> {
             continue;
         }
         let Some((key, value)) = line.split_once('=') else {
-            return Err(format!("line {lineno}: expected `key = value`, got `{line}`"));
+            return Err(format!(
+                "line {lineno}: expected `key = value`, got `{line}`"
+            ));
         };
         let key = key.trim();
         let value = value.trim();
         match (section.as_str(), key) {
             ("lx03", "paths") => {
-                cfg.lx03_paths = parse_string_array(value)
-                    .map_err(|e| format!("line {lineno}: {e}"))?;
+                cfg.lx03_paths =
+                    parse_string_array(value).map_err(|e| format!("line {lineno}: {e}"))?;
             }
             ("allow", _) => {
                 let entry = pending
@@ -330,10 +332,8 @@ reason = "constructor guarantees non-empty"
 
     #[test]
     fn empty_pattern_matches_whole_file() {
-        let cfg = parse(
-            "[[allow]]\nrule = \"LX06\"\nfile = \"f.rs\"\nreason = \"vetted\"\n",
-        )
-        .unwrap();
+        let cfg =
+            parse("[[allow]]\nrule = \"LX06\"\nfile = \"f.rs\"\nreason = \"vetted\"\n").unwrap();
         assert!(cfg.is_allowed("LX06", "f.rs", "anything == 0.0"));
     }
 

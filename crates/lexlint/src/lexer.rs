@@ -419,7 +419,11 @@ fn lex_number(b: &[char], i: usize, line: usize) -> (Tok, usize) {
     }
     (
         Tok {
-            kind: if is_float { TokKind::Float } else { TokKind::Int },
+            kind: if is_float {
+                TokKind::Float
+            } else {
+                TokKind::Int
+            },
             text: b[start..j].iter().collect(),
             line,
         },
@@ -432,7 +436,11 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<(TokKind, String)> {
-        lex(src).toks.into_iter().map(|t| (t.kind, t.text)).collect()
+        lex(src)
+            .toks
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
     }
 
     #[test]

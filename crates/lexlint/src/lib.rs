@@ -91,8 +91,8 @@ pub fn check_workspace(root: &Path, cfg: &Config) -> Result<Vec<Finding>, String
     let mut findings = Vec::new();
     for rel in &targets {
         let abs = root.join(rel);
-        let src = std::fs::read_to_string(&abs)
-            .map_err(|e| format!("reading {}: {e}", abs.display()))?;
+        let src =
+            std::fs::read_to_string(&abs).map_err(|e| format!("reading {}: {e}", abs.display()))?;
         let rel_str = rel
             .to_str()
             .map(|s| s.replace('\\', "/"))
@@ -131,7 +131,9 @@ mod tests {
             .all(|p| p.extension().map(|e| e == "rs").unwrap_or(false)));
         // Fixture files live under tests/, never under src/, so the
         // workspace scan must not pick them up.
-        assert!(targets.iter().all(|p| !p.to_string_lossy().contains("fixtures")));
+        assert!(targets
+            .iter()
+            .all(|p| !p.to_string_lossy().contains("fixtures")));
     }
 
     fn workspace_root() -> PathBuf {

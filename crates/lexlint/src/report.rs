@@ -33,14 +33,12 @@ fn render_text(findings: &[Finding], fix_hints: bool) -> String {
     if findings.is_empty() {
         out.push_str("lexlint: clean — no violations\n");
     } else {
-        let mut by_rule: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+        let mut by_rule: std::collections::BTreeMap<&str, usize> =
+            std::collections::BTreeMap::new();
         for f in findings {
             *by_rule.entry(f.rule).or_insert(0) += 1;
         }
-        let breakdown: Vec<String> = by_rule
-            .iter()
-            .map(|(r, n)| format!("{r}: {n}"))
-            .collect();
+        let breakdown: Vec<String> = by_rule.iter().map(|(r, n)| format!("{r}: {n}")).collect();
         out.push_str(&format!(
             "lexlint: {} violation(s) ({})\n",
             findings.len(),

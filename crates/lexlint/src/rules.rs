@@ -254,10 +254,7 @@ fn is_attribute_head(toks: &[Tok], i: usize) -> bool {
     if i >= 2 && toks[i - 1].is_punct("[") && toks[i - 2].is_punct("#") {
         return true;
     }
-    i >= 3
-        && toks[i - 1].is_punct("[")
-        && toks[i - 2].is_punct("!")
-        && toks[i - 3].is_punct("#")
+    i >= 3 && toks[i - 1].is_punct("[") && toks[i - 2].is_punct("!") && toks[i - 3].is_punct("#")
 }
 
 /// Line of the `#` that opens the attribute containing `toks[i]`.
@@ -277,7 +274,12 @@ fn float_operand(toks: &[Tok], i: usize) -> bool {
         if r.kind == TokKind::Float {
             return true;
         }
-        if r.is_punct("-") && toks.get(i + 2).map(|t| t.kind == TokKind::Float).unwrap_or(false) {
+        if r.is_punct("-")
+            && toks
+                .get(i + 2)
+                .map(|t| t.kind == TokKind::Float)
+                .unwrap_or(false)
+        {
             return true;
         }
         if (r.is_ident("f64") || r.is_ident("f32"))
@@ -387,9 +389,7 @@ fn is_cfg_test_attr(toks: &[Tok], i: usize) -> bool {
             }
         } else if depth > 0 && toks[k].is_ident("test") {
             // `cfg(not(test))` guards non-test code — not a test region.
-            let negated = k >= 2
-                && toks[k - 1].is_punct("(")
-                && toks[k - 2].is_ident("not");
+            let negated = k >= 2 && toks[k - 1].is_punct("(") && toks[k - 2].is_ident("not");
             if !negated {
                 return true;
             }
@@ -458,11 +458,17 @@ mod tests {
 
     fn findings(file: &str, src: &str) -> Vec<&'static str> {
         let cfg = Config::default();
-        check_file(file, src, &cfg).into_iter().map(|f| f.rule).collect()
+        check_file(file, src, &cfg)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
     }
 
     fn findings_with(file: &str, src: &str, cfg: &Config) -> Vec<&'static str> {
-        check_file(file, src, cfg).into_iter().map(|f| f.rule).collect()
+        check_file(file, src, cfg)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
     }
 
     #[test]
@@ -502,7 +508,8 @@ mod tests {
     #[test]
     fn lx03_only_fires_on_configured_paths() {
         let cfg = crate::config::parse("[lx03]\npaths = [\"crates/core/src\"]\n").unwrap();
-        let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u8, u8> = HashMap::new(); }";
+        let src =
+            "use std::collections::HashMap;\nfn f() { let m: HashMap<u8, u8> = HashMap::new(); }";
         assert_eq!(
             findings_with("crates/core/src/cache.rs", src, &cfg),
             vec!["LX03", "LX03", "LX03"]
@@ -513,7 +520,10 @@ mod tests {
     #[test]
     fn lx04_flags_thread_rng_and_rand_rng() {
         assert_eq!(
-            findings("crates/a/src/lib.rs", "fn f() { let mut r = rand::thread_rng(); }"),
+            findings(
+                "crates/a/src/lib.rs",
+                "fn f() { let mut r = rand::thread_rng(); }"
+            ),
             vec!["LX04"]
         );
         assert_eq!(
@@ -551,7 +561,10 @@ mod tests {
             vec!["LX06"]
         );
         assert_eq!(
-            findings("crates/a/src/lib.rs", "fn f(x: f64) -> bool { x == f64::INFINITY }"),
+            findings(
+                "crates/a/src/lib.rs",
+                "fn f(x: f64) -> bool { x == f64::INFINITY }"
+            ),
             vec!["LX06"]
         );
         // A unary minus must not hide the float literal.
@@ -584,7 +597,10 @@ mod tests {
         let src = "fn f(x: Option<u8>) -> u8 { x.expect(\"invariant\") }";
         assert!(findings_with("crates/a/src/lib.rs", src, &cfg).is_empty());
         let other = "fn f(x: Option<u8>) -> u8 { x.expect(\"other\") }";
-        assert_eq!(findings_with("crates/a/src/lib.rs", other, &cfg), vec!["LX01"]);
+        assert_eq!(
+            findings_with("crates/a/src/lib.rs", other, &cfg),
+            vec!["LX01"]
+        );
     }
 
     #[test]

@@ -28,7 +28,10 @@ fn dirty_workspace_exits_nonzero_with_text_findings() {
         assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
     }
     // The config-allowlisted sentinel comparison must not surface.
-    assert!(!stdout.contains("vetted-sentinel"), "allowlist ignored:\n{stdout}");
+    assert!(
+        !stdout.contains("vetted-sentinel"),
+        "allowlist ignored:\n{stdout}"
+    );
 }
 
 #[test]
@@ -39,7 +42,10 @@ fn json_format_emits_one_record_per_finding() {
     let records: Vec<&str> = stdout.lines().filter(|l| !l.is_empty()).collect();
     assert!(records.len() >= 4, "expected >=4 findings, got:\n{stdout}");
     for rec in records {
-        assert!(rec.starts_with('{') && rec.ends_with('}'), "not an object: {rec}");
+        assert!(
+            rec.starts_with('{') && rec.ends_with('}'),
+            "not an object: {rec}"
+        );
         for key in ["\"rule\"", "\"file\"", "\"line\"", "\"snippet\""] {
             assert!(rec.contains(key), "missing {key} in {rec}");
         }
@@ -71,6 +77,9 @@ fn this_repository_is_clean() {
 fn usage_errors_exit_two() {
     assert_eq!(lexlint(&[]).status.code(), Some(2));
     assert_eq!(lexlint(&["bogus"]).status.code(), Some(2));
-    assert_eq!(lexlint(&["check", "--format", "yaml"]).status.code(), Some(2));
+    assert_eq!(
+        lexlint(&["check", "--format", "yaml"]).status.code(),
+        Some(2)
+    );
     assert_eq!(lexlint(&["--help"]).status.code(), Some(0));
 }

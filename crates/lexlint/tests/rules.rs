@@ -108,6 +108,10 @@ fn findings_carry_line_and_snippet() {
     let first = findings.iter().find(|f| f.rule == "LX01").expect("finding");
     assert_eq!(first.file, path);
     assert!(first.line > 0);
-    assert!(first.snippet.contains("unwrap"), "snippet: {}", first.snippet);
+    assert!(
+        first.snippet.contains("unwrap"),
+        "snippet: {}",
+        first.snippet
+    );
     assert!(!first.hint.is_empty());
 }

@@ -348,12 +348,7 @@ impl InstantiationDelays {
     /// # Panics
     ///
     /// Panics if `range_ms.0 > range_ms.1` or either is negative.
-    pub fn generate(
-        n_stations: usize,
-        n_services: usize,
-        range_ms: (f64, f64),
-        seed: u64,
-    ) -> Self {
+    pub fn generate(n_stations: usize, n_services: usize, range_ms: (f64, f64), seed: u64) -> Self {
         assert!(
             range_ms.0 >= 0.0 && range_ms.0 <= range_ms.1,
             "invalid instantiation delay range"
@@ -406,7 +401,10 @@ impl InstantiationDelays {
         if self.delays_ms.is_empty() {
             return 0.0;
         }
-        let max = self.delays_ms.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+        let max = self
+            .delays_ms
+            .iter()
+            .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
         let min = self.delays_ms.iter().fold(f64::INFINITY, |a, &b| a.min(b));
         max - min
     }

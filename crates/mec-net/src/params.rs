@@ -19,7 +19,10 @@ impl Range {
     ///
     /// Panics if `lo > hi` or either bound is non-finite.
     pub fn new(lo: f64, hi: f64) -> Self {
-        assert!(lo.is_finite() && hi.is_finite(), "range bounds must be finite");
+        assert!(
+            lo.is_finite() && hi.is_finite(),
+            "range bounds must be finite"
+        );
         assert!(lo <= hi, "range lower bound must not exceed upper bound");
         Range { lo, hi }
     }

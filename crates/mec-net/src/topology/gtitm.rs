@@ -164,9 +164,21 @@ mod tests {
     fn tier_mix_matches_fractions() {
         let cfg = NetworkConfig::paper_defaults();
         let t = generate(100, &cfg, 1);
-        let n_macro = t.stations().iter().filter(|b| b.tier() == Tier::Macro).count();
-        let n_micro = t.stations().iter().filter(|b| b.tier() == Tier::Micro).count();
-        let n_femto = t.stations().iter().filter(|b| b.tier() == Tier::Femto).count();
+        let n_macro = t
+            .stations()
+            .iter()
+            .filter(|b| b.tier() == Tier::Macro)
+            .count();
+        let n_micro = t
+            .stations()
+            .iter()
+            .filter(|b| b.tier() == Tier::Micro)
+            .count();
+        let n_femto = t
+            .stations()
+            .iter()
+            .filter(|b| b.tier() == Tier::Femto)
+            .count();
         assert_eq!(n_macro, 10);
         assert_eq!(n_micro, 45);
         assert_eq!(n_femto, 45);

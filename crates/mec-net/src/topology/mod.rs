@@ -301,12 +301,7 @@ mod tests {
     #[should_panic(expected = "self-loops")]
     fn self_loop_rejected() {
         let t = star(3);
-        let _ = Topology::new(
-            "bad",
-            t.stations().to_vec(),
-            vec![(1, 1)],
-            vec![1.0],
-        );
+        let _ = Topology::new("bad", t.stations().to_vec(), vec![(1, 1)], vec![1.0]);
     }
 
     #[test]

@@ -38,10 +38,10 @@ impl TransitStubConfig {
         assert!(n > 0, "topology must contain at least one station");
         let transit_nodes = ((n as f64).sqrt() / 2.0).ceil().max(1.0) as usize;
         let stub_size = 4.min(n).max(1);
-        let per_transit =
-            ((n.saturating_sub(transit_nodes)) as f64 / (transit_nodes * stub_size) as f64)
-                .ceil()
-                .max(1.0) as usize;
+        let per_transit = ((n.saturating_sub(transit_nodes)) as f64
+            / (transit_nodes * stub_size) as f64)
+            .ceil()
+            .max(1.0) as usize;
         TransitStubConfig {
             transit_nodes,
             stubs_per_transit: per_transit,
@@ -76,7 +76,10 @@ impl TransitStubConfig {
 /// ```
 pub fn generate(shape: TransitStubConfig, cfg: &NetworkConfig, seed: u64) -> Topology {
     assert!(shape.transit_nodes > 0, "need at least one transit node");
-    assert!(shape.stubs_per_transit > 0, "need at least one stub per transit");
+    assert!(
+        shape.stubs_per_transit > 0,
+        "need at least one stub per transit"
+    );
     assert!(shape.stub_size > 0, "stubs need at least one node");
     let mut rng = StdRng::seed_from_u64(seed ^ 0x7245_5b);
     let n = shape.total_nodes();
@@ -142,12 +145,7 @@ pub fn generate(shape: TransitStubConfig, cfg: &NetworkConfig, seed: u64) -> Top
         .iter()
         .map(|_| rng.random_range(LINK_DELAY_MS.0..=LINK_DELAY_MS.1))
         .collect();
-    Topology::new(
-        format!("transit-stub-{n}"),
-        stations,
-        edges,
-        edge_delay_ms,
-    )
+    Topology::new(format!("transit-stub-{n}"), stations, edges, edge_delay_ms)
 }
 
 #[cfg(test)]

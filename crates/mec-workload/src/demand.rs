@@ -6,6 +6,7 @@
 //! monitoring period").
 
 use crate::request::{Request, RequestId};
+use lexcache_obs as obs;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -277,7 +278,9 @@ impl DemandProcess for FlashCrowd {
                 peak,
                 phase: 0,
             });
+            obs::mark("workload/burst_onset");
         }
+        obs::gauge("workload/active_events", self.events.len() as f64);
         // Realize demands: basic + sum of active bursts in the cell, with
         // small per-user jitter.
         let burst_per_cell: Vec<f64> = (0..self.n_cells)
@@ -367,7 +370,11 @@ impl DemandProcess for Mmpp {
     fn advance(&mut self) {
         for b in self.busy.iter_mut() {
             let flip: f64 = self.rng.random();
-            *b = if *b { flip >= self.p_calm } else { flip < self.p_busy };
+            *b = if *b {
+                flip >= self.p_calm
+            } else {
+                flip < self.p_busy
+            };
         }
         for i in 0..self.current.len() {
             let extra = if self.busy[self.cells[i]] {

@@ -1,8 +1,6 @@
 //! Scenario assembly: services + requests + demand process for one episode.
 
-use crate::demand::{
-    DemandModel, FixedDemand, FlashCrowd, FlashCrowdConfig, Mmpp, OnOffHeavyTail,
-};
+use crate::demand::{DemandModel, FixedDemand, FlashCrowd, FlashCrowdConfig, Mmpp, OnOffHeavyTail};
 use crate::request::{Request, RequestId};
 use crate::service::{Service, ServiceId, ServiceKind};
 use mec_net::delay::InstantiationDelays;
@@ -183,7 +181,9 @@ impl ScenarioConfig {
                 scale,
                 shape,
                 cap,
-            } => DemandModel::OnOff(OnOffHeavyTail::new(&requests, p_on, scale, shape, cap, seed)),
+            } => DemandModel::OnOff(OnOffHeavyTail::new(
+                &requests, p_on, scale, shape, cap, seed,
+            )),
         };
 
         let instantiation = InstantiationDelays::generate(
@@ -348,7 +348,8 @@ mod tests {
     #[test]
     fn flash_scenario_respects_floor() {
         let t = topo();
-        let cfg = ScenarioConfig::small().with_demand(DemandKind::Flash(FlashCrowdConfig::default()));
+        let cfg =
+            ScenarioConfig::small().with_demand(DemandKind::Flash(FlashCrowdConfig::default()));
         let mut s = cfg.build(&t, 4);
         let basics: Vec<f64> = s.requests().iter().map(|r| r.basic_demand()).collect();
         for _ in 0..50 {

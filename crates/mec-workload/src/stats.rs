@@ -189,7 +189,9 @@ mod tests {
 
     #[test]
     fn autocorrelation_of_alternating_series_is_negative() {
-        let xs: Vec<f64> = (0..40).map(|t| if t % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xs: Vec<f64> = (0..40)
+            .map(|t| if t % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(autocorrelation(&xs, 1) < -0.9);
         assert!(autocorrelation(&xs, 2) > 0.9);
     }

@@ -170,7 +170,11 @@ impl HotspotTrace {
     /// requests for `n_slots` slots (advances the process).
     pub fn record<P: DemandProcess>(requests: &[Request], process: &mut P, n_slots: usize) -> Self {
         assert!(n_slots > 0, "n_slots must be positive");
-        assert_eq!(requests.len(), process.n_requests(), "request count mismatch");
+        assert_eq!(
+            requests.len(),
+            process.n_requests(),
+            "request count mismatch"
+        );
         let n_cells = requests
             .iter()
             .map(|r| r.location_cell())

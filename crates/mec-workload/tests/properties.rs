@@ -3,12 +3,10 @@
 //! traces round-trip through their binary codec, and one-hot coding is
 //! lossless.
 
-use mec_workload::demand::{
-    DemandProcess, FlashCrowd, FlashCrowdConfig, Mmpp, OnOffHeavyTail,
-};
-use mec_workload::{HotspotTrace, OneHot, Request, RequestId, ServiceId};
 use mec_net::station::Position;
 use mec_net::BsId;
+use mec_workload::demand::{DemandProcess, FlashCrowd, FlashCrowdConfig, Mmpp, OnOffHeavyTail};
+use mec_workload::{HotspotTrace, OneHot, Request, RequestId, ServiceId};
 use proptest::prelude::*;
 
 fn requests(n: usize, n_cells: usize, base: f64) -> Vec<Request> {

@@ -129,9 +129,7 @@ mod tests {
             xp[j] += h;
             let mut xm = x;
             xm[j] -= h;
-            let f = |v: &[f64]| -> f64 {
-                softmax(v).iter().zip(&ds).map(|(a, b)| a * b).sum()
-            };
+            let f = |v: &[f64]| -> f64 { softmax(v).iter().zip(&ds).map(|(a, b)| a * b).sum() };
             let numeric = (f(&xp) - f(&xm)) / (2.0 * h);
             assert!((analytic[j] - numeric).abs() < 1e-6, "j={j}");
         }

@@ -138,15 +138,11 @@ mod tests {
         let source = params();
         let bytes = export_params(&source.iter().collect::<Vec<_>>());
         let mut target = vec![Param::zeros(3, 2), Param::zeros(1, 4)];
-        import_params(
-            &mut target.iter_mut().collect::<Vec<_>>(),
-            bytes,
-        )
-        .expect("round trip");
+        import_params(&mut target.iter_mut().collect::<Vec<_>>(), bytes).expect("round trip");
         for (s, t) in source.iter().zip(&target) {
             assert_eq!(s.value, t.value);
             // lexlint: allow(LX06): asserting the exact zero-initialized gradient
-        assert!(t.grad.as_slice().iter().all(|&g| g == 0.0));
+            assert!(t.grad.as_slice().iter().all(|&g| g == 0.0));
         }
     }
 

@@ -105,9 +105,7 @@ mod tests {
         let mut layer = Dense::new(3, 2, 7);
         let x = [0.5, -1.0, 2.0];
         let dy = [1.0, -2.0];
-        let loss = |l: &Dense| -> f64 {
-            l.forward(&x).iter().zip(&dy).map(|(a, b)| a * b).sum()
-        };
+        let loss = |l: &Dense| -> f64 { l.forward(&x).iter().zip(&dy).map(|(a, b)| a * b).sum() };
         layer.zero_grad();
         let dx = layer.backward(&x, &dy);
         let h = 1e-6;
@@ -135,9 +133,8 @@ mod tests {
             xp[j] += h;
             let mut xm = x;
             xm[j] -= h;
-            let f = |v: &[f64]| -> f64 {
-                layer.forward(v).iter().zip(&dy).map(|(a, b)| a * b).sum()
-            };
+            let f =
+                |v: &[f64]| -> f64 { layer.forward(v).iter().zip(&dy).map(|(a, b)| a * b).sum() };
             let numeric = (f(&xp) - f(&xm)) / (2.0 * h);
             assert!((dx[j] - numeric).abs() < 1e-6, "dx[{j}]");
         }

@@ -47,8 +47,8 @@
 pub mod activation;
 pub mod codec;
 pub mod dense;
-pub mod lstm;
 pub mod loss;
+pub mod lstm;
 pub mod matrix;
 pub mod optim;
 pub mod param;

@@ -436,10 +436,7 @@ mod tests {
                 let mut down = xs.clone();
                 down[t][j] -= h;
                 let numeric = (loss(&net, &up) - loss(&net, &down)) / (2.0 * h);
-                assert!(
-                    (dxs[t][j] - numeric).abs() < 1e-5,
-                    "bilstm dx[{t}][{j}]"
-                );
+                assert!((dxs[t][j] - numeric).abs() < 1e-5, "bilstm dx[{t}][{j}]");
             }
         }
         // One sampled parameter per direction.

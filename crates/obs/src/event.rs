@@ -1,0 +1,62 @@
+//! The event model: every observation is one flat, serializable record.
+//!
+//! Events are deliberately a single flat struct rather than an enum of
+//! payloads: a JSONL consumer can filter on `kind` without a schema per
+//! variant, and the in-memory [`crate::Registry`] aggregates by
+//! `(kind, name)` alone.
+
+use serde::{Deserialize, Serialize};
+
+/// What kind of observation an [`Event`] carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A span was opened; `value` is 0.
+    SpanEnter,
+    /// A span was closed; `value` is the elapsed wall-clock time in µs
+    /// (the only nondeterministic field in the stream).
+    SpanExit,
+    /// A monotonic counter increment; `value` is the delta.
+    Counter,
+    /// A level sample; `value` is the new level.
+    Gauge,
+    /// A histogram sample; `value` is the observation.
+    Hist,
+    /// A point-in-time marker (e.g. "a burst started"); `value` is 1.
+    Mark,
+}
+
+/// One observation flowing from an instrumentation site to the
+/// installed [`crate::Sink`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// The observation kind.
+    pub kind: EventKind,
+    /// Hierarchical name, `/`-separated (e.g. `decide/lp_solve`).
+    pub name: String,
+    /// Kind-dependent payload; see [`EventKind`].
+    pub value: f64,
+    /// Span nesting depth at the emission site (0 = top level).
+    pub depth: u32,
+    /// Sequence number within the sink's lifetime (reset on install).
+    pub seq: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_compare_by_all_fields() {
+        let a = Event {
+            kind: EventKind::Counter,
+            name: "cache/hit".into(),
+            value: 1.0,
+            depth: 2,
+            seq: 7,
+        };
+        let mut b = a.clone();
+        assert_eq!(a, b);
+        b.seq = 8;
+        assert_ne!(a, b);
+    }
+}

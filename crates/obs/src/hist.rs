@@ -1,0 +1,262 @@
+//! Fixed-bucket log-scale histogram with p50/p90/p99 readout.
+//!
+//! Buckets are derived from the IEEE-754 exponent and the top two
+//! mantissa bits, so indexing needs no `log2` call and is bit-exact on
+//! every platform: each power-of-two octave is split into 4 geometric
+//! sub-buckets (≤ 25% relative width). The range spans `2^-10` up to
+//! `2^22` — amply covering µs-scale span timings (sub-ns to ~4 s) —
+//! with under/overflow clamped to the edge buckets.
+
+use serde::{Deserialize, Serialize};
+
+/// Exponent of the lowest bucket edge (`2^-10` ≈ 9.8e-4).
+const MIN_EXP: i64 = -10;
+/// Geometric sub-buckets per power-of-two octave.
+const SUB_BUCKETS: i64 = 4;
+/// Number of octaves covered.
+const N_OCTAVES: i64 = 32;
+/// Total bucket count (32 octaves × 4 sub-buckets).
+pub const N_BUCKETS: usize = (N_OCTAVES * SUB_BUCKETS) as usize;
+
+/// `2^exp` for the small exponent range the bucket edges need,
+/// computed by bit assembly (no libm, bit-exact everywhere).
+fn pow2(exp: i64) -> f64 {
+    f64::from_bits(((exp + 1023) as u64) << 52)
+}
+
+/// A fixed-size log-scale histogram of non-negative samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; N_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Bucket index for `v`. Non-positive and non-finite values land in
+    /// bucket 0; values above the range land in the last bucket.
+    pub fn bucket_of(v: f64) -> usize {
+        if !v.is_finite() || !(v > 0.0) {
+            return 0;
+        }
+        let bits = v.to_bits();
+        let exp = ((bits >> 52) & 0x7ff) as i64 - 1023;
+        let sub = ((bits >> 50) & 0x3) as i64;
+        let idx = (exp - MIN_EXP) * SUB_BUCKETS + sub;
+        idx.clamp(0, N_BUCKETS as i64 - 1) as usize
+    }
+
+    /// Lower edge of bucket `idx`; `bucket_edge(N_BUCKETS)` is the upper
+    /// edge of the last bucket. Edges follow
+    /// `2^(MIN_EXP + idx/4) · (1 + (idx mod 4)/4)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx > N_BUCKETS`.
+    pub fn bucket_edge(idx: usize) -> f64 {
+        assert!(idx <= N_BUCKETS, "bucket edge out of range");
+        let idx = idx as i64;
+        let exp = MIN_EXP + idx / SUB_BUCKETS;
+        let frac = 1.0 + (idx % SUB_BUCKETS) as f64 / SUB_BUCKETS as f64;
+        frac * pow2(exp)
+    }
+
+    /// Records one sample. Non-finite samples are dropped.
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        self.counts[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Nearest-rank quantile estimate: the midpoint of the bucket
+    /// holding the rank-`⌈q·n⌉` sample, clamped to the exact observed
+    /// `[min, max]`. Relative error is bounded by the ≤ 25% bucket
+    /// width. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                let mid = 0.5 * (Self::bucket_edge(i) + Self::bucket_edge(i + 1));
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Per-bucket counts (index with [`Histogram::bucket_edge`]).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact() {
+        // 1.0 = 2^0 with zero mantissa: first sub-bucket of octave 10.
+        assert_eq!(Histogram::bucket_of(1.0), 40);
+        assert_eq!(Histogram::bucket_of(1.25), 41);
+        assert_eq!(Histogram::bucket_of(1.5), 42);
+        assert_eq!(Histogram::bucket_of(1.75), 43);
+        assert_eq!(Histogram::bucket_of(1.999), 43);
+        assert_eq!(Histogram::bucket_of(2.0), 44);
+        // Edges reproduce the same boundaries exactly.
+        assert_eq!(Histogram::bucket_edge(40), 1.0);
+        assert_eq!(Histogram::bucket_edge(41), 1.25);
+        assert_eq!(Histogram::bucket_edge(44), 2.0);
+        assert_eq!(Histogram::bucket_edge(0), pow2(MIN_EXP));
+    }
+
+    #[test]
+    fn out_of_range_samples_clamp_to_edge_buckets() {
+        assert_eq!(Histogram::bucket_of(0.0), 0);
+        assert_eq!(Histogram::bucket_of(-5.0), 0);
+        assert_eq!(Histogram::bucket_of(f64::NAN), 0);
+        assert_eq!(Histogram::bucket_of(1e-9), 0);
+        assert_eq!(Histogram::bucket_of(1e300), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn every_edge_maps_to_its_own_bucket() {
+        for idx in 0..N_BUCKETS {
+            let lo = Histogram::bucket_edge(idx);
+            assert_eq!(Histogram::bucket_of(lo), idx, "edge of bucket {idx}");
+            let hi = Histogram::bucket_edge(idx + 1);
+            assert!(hi > lo, "edges must be strictly increasing");
+        }
+    }
+
+    #[test]
+    fn quantiles_track_a_uniform_ramp() {
+        let mut h = Histogram::new();
+        for v in 1..=100 {
+            h.record(v as f64);
+        }
+        assert_eq!(h.count(), 100);
+        assert!((h.mean() - 50.5).abs() < 1e-12, "mean is exact");
+        let p50 = h.p50();
+        assert!((40.0..=63.0).contains(&p50), "p50 = {p50}");
+        let p90 = h.p90();
+        assert!((72.0..=100.0).contains(&p90), "p90 = {p90}");
+        let p99 = h.p99();
+        assert!((87.0..=100.0).contains(&p99), "p99 = {p99}");
+        assert!(h.quantile(1.0) <= 100.0);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 100.0);
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_the_sample() {
+        let mut h = Histogram::new();
+        h.record(3.0);
+        // Bucket midpoint is clamped to the observed min/max.
+        assert_eq!(h.p50(), 3.0);
+        assert_eq!(h.p99(), 3.0);
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn non_finite_samples_are_dropped() {
+        let mut h = Histogram::new();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 0);
+    }
+}

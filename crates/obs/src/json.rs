@@ -1,0 +1,774 @@
+//! Minimal JSON support built directly on `serde`.
+//!
+//! The workspace deliberately carries no JSON crate, so `lexcache-obs`
+//! provides its own compact encoder — a full [`serde::Serializer`] that
+//! works with any `#[derive(Serialize)]` type (events, `EpisodeReport`,
+//! …) — and a small recursive-descent parser used by tests and tooling
+//! to read the emitted JSONL back.
+//!
+//! Encoding rules: compact (no whitespace), UTF-8, `\uXXXX` escapes for
+//! control characters, and non-finite floats encoded as `null` so the
+//! output is always valid JSON.
+
+use serde::ser::{self, Serialize};
+use std::fmt::{self, Write as _};
+
+/// Serialization or parse error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// Encodes any `Serialize` value as compact JSON.
+pub fn to_string<T: ?Sized + Serialize>(value: &T) -> Result<String, Error> {
+    let mut ser = Serializer { out: String::new() };
+    value.serialize(&mut ser)?;
+    Ok(ser.out)
+}
+
+/// Compact JSON `serde::Serializer` writing into a `String`.
+pub struct Serializer {
+    out: String,
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// In-progress sequence/map/struct state shared by every compound kind.
+pub struct Compound<'a> {
+    ser: &'a mut Serializer,
+    first: bool,
+    close: &'static str,
+}
+
+impl<'a> ser::Serializer for &'a mut Serializer {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = Compound<'a>;
+    type SerializeTuple = Compound<'a>;
+    type SerializeTupleStruct = Compound<'a>;
+    type SerializeTupleVariant = Compound<'a>;
+    type SerializeMap = Compound<'a>;
+    type SerializeStruct = Compound<'a>;
+    type SerializeStructVariant = Compound<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), Error> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_i8(self, v: i8) -> Result<(), Error> {
+        self.serialize_i64(v as i64)
+    }
+
+    fn serialize_i16(self, v: i16) -> Result<(), Error> {
+        self.serialize_i64(v as i64)
+    }
+
+    fn serialize_i32(self, v: i32) -> Result<(), Error> {
+        self.serialize_i64(v as i64)
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), Error> {
+        let _ = write!(self.out, "{v}");
+        Ok(())
+    }
+
+    fn serialize_u8(self, v: u8) -> Result<(), Error> {
+        self.serialize_u64(v as u64)
+    }
+
+    fn serialize_u16(self, v: u16) -> Result<(), Error> {
+        self.serialize_u64(v as u64)
+    }
+
+    fn serialize_u32(self, v: u32) -> Result<(), Error> {
+        self.serialize_u64(v as u64)
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), Error> {
+        let _ = write!(self.out, "{v}");
+        Ok(())
+    }
+
+    fn serialize_f32(self, v: f32) -> Result<(), Error> {
+        self.serialize_f64(v as f64)
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), Error> {
+        if v.is_finite() {
+            let _ = write!(self.out, "{v}");
+        } else {
+            self.out.push_str("null");
+        }
+        Ok(())
+    }
+
+    fn serialize_char(self, v: char) -> Result<(), Error> {
+        let mut buf = [0u8; 4];
+        escape_into(&mut self.out, v.encode_utf8(&mut buf));
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), Error> {
+        escape_into(&mut self.out, v);
+        Ok(())
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), Error> {
+        self.out.push('[');
+        for (i, b) in v.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            let _ = write!(self.out, "{b}");
+        }
+        self.out.push(']');
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_some<T>(self, value: &T) -> Result<(), Error>
+    where
+        T: ?Sized + Serialize,
+    {
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<(), Error> {
+        self.serialize_str(variant)
+    }
+
+    fn serialize_newtype_struct<T>(self, _name: &'static str, value: &T) -> Result<(), Error>
+    where
+        T: ?Sized + Serialize,
+    {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<(), Error>
+    where
+        T: ?Sized + Serialize,
+    {
+        self.out.push('{');
+        escape_into(&mut self.out, variant);
+        self.out.push(':');
+        value.serialize(&mut *self)?;
+        self.out.push('}');
+        Ok(())
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Compound<'a>, Error> {
+        self.out.push('[');
+        Ok(Compound {
+            ser: self,
+            first: true,
+            close: "]",
+        })
+    }
+
+    fn serialize_tuple(self, _len: usize) -> Result<Compound<'a>, Error> {
+        self.serialize_seq(None)
+    }
+
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, Error> {
+        self.serialize_seq(None)
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, Error> {
+        self.out.push('{');
+        escape_into(&mut self.out, variant);
+        self.out.push_str(":[");
+        Ok(Compound {
+            ser: self,
+            first: true,
+            close: "]}",
+        })
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<Compound<'a>, Error> {
+        self.out.push('{');
+        Ok(Compound {
+            ser: self,
+            first: true,
+            close: "}",
+        })
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Compound<'a>, Error> {
+        self.serialize_map(None)
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, Error> {
+        self.out.push('{');
+        escape_into(&mut self.out, variant);
+        self.out.push_str(":{");
+        Ok(Compound {
+            ser: self,
+            first: true,
+            close: "}}",
+        })
+    }
+}
+
+impl Compound<'_> {
+    fn comma(&mut self) {
+        if !self.first {
+            self.ser.out.push(',');
+        }
+        self.first = false;
+    }
+
+    fn named_field<T>(&mut self, key: &'static str, value: &T) -> Result<(), Error>
+    where
+        T: ?Sized + Serialize,
+    {
+        self.comma();
+        escape_into(&mut self.ser.out, key);
+        self.ser.out.push(':');
+        value.serialize(&mut *self.ser)
+    }
+
+    fn finish(self) -> Result<(), Error> {
+        self.ser.out.push_str(self.close);
+        Ok(())
+    }
+}
+
+impl ser::SerializeSeq for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T>(&mut self, value: &T) -> Result<(), Error>
+    where
+        T: ?Sized + Serialize,
+    {
+        self.comma();
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl ser::SerializeTuple for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T>(&mut self, value: &T) -> Result<(), Error>
+    where
+        T: ?Sized + Serialize,
+    {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl ser::SerializeTupleStruct for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T>(&mut self, value: &T) -> Result<(), Error>
+    where
+        T: ?Sized + Serialize,
+    {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl ser::SerializeTupleVariant for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T>(&mut self, value: &T) -> Result<(), Error>
+    where
+        T: ?Sized + Serialize,
+    {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl ser::SerializeMap for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_key<T>(&mut self, key: &T) -> Result<(), Error>
+    where
+        T: ?Sized + Serialize,
+    {
+        self.comma();
+        // JSON object keys must be strings: keys that serialize to a
+        // bare token (numbers, booleans) are re-wrapped in quotes.
+        let mut tmp = Serializer { out: String::new() };
+        key.serialize(&mut tmp)?;
+        if tmp.out.starts_with('"') {
+            self.ser.out.push_str(&tmp.out);
+        } else {
+            escape_into(&mut self.ser.out, &tmp.out);
+        }
+        self.ser.out.push(':');
+        Ok(())
+    }
+
+    fn serialize_value<T>(&mut self, value: &T) -> Result<(), Error>
+    where
+        T: ?Sized + Serialize,
+    {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl ser::SerializeStruct for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T>(&mut self, key: &'static str, value: &T) -> Result<(), Error>
+    where
+        T: ?Sized + Serialize,
+    {
+        self.named_field(key, value)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl ser::SerializeStructVariant for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T>(&mut self, key: &'static str, value: &T) -> Result<(), Error>
+    where
+        T: ?Sized + Serialize,
+    {
+        self.named_field(key, value)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup (first match in source order).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        if let Json::Obj(pairs) = self {
+            pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        } else {
+            None
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        if let Json::Num(n) = self {
+            Some(*n)
+        } else {
+            None
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        if let Json::Str(s) = self {
+            Some(s)
+        } else {
+            None
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        if let Json::Arr(items) = self {
+            Some(items)
+        } else {
+            None
+        }
+    }
+}
+
+/// Parses one complete JSON document.
+pub fn parse(text: &str) -> Result<Json, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing data at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected {:?} at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, Error> {
+        match self.peek() {
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(_) => self.number(),
+            None => Err(Error("unexpected end of input".into())),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out: Vec<u8> = Vec::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(Error("unterminated string".into()));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => {
+                    return String::from_utf8(out)
+                        .map_err(|_| Error("invalid UTF-8 in string".into()));
+                }
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(Error("unterminated escape".into()));
+                    };
+                    self.pos += 1;
+                    let ch = match esc {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        b'n' => '\n',
+                        b'r' => '\r',
+                        b't' => '\t',
+                        b'b' => '\u{8}',
+                        b'f' => '\u{c}',
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error("invalid \\u escape".into()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error("invalid \\u escape".into()))?;
+                            self.pos += 4;
+                            // Surrogate halves fall back to the
+                            // replacement character; the encoder never
+                            // emits them.
+                            char::from_u32(code).unwrap_or('\u{fffd}')
+                        }
+                        _ => return Err(Error(format!("bad escape at byte {}", self.pos))),
+                    };
+                    let mut buf = [0u8; 4];
+                    out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+                }
+                other => out.push(other),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, Error> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".into()))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| Error(format!("invalid number {text:?} at byte {start}")))
+    }
+
+    fn array(&mut self) -> Result<Json, Error> {
+        self.eat(b'[')?;
+        self.skip_ws();
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                    self.skip_ws();
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(Error(format!("expected ',' or ']' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, Error> {
+        self.eat(b'{')?;
+        self.skip_ws();
+        let mut pairs = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                    self.skip_ws();
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(Error(format!("expected ',' or '}}' at byte {}", self.pos))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[derive(serde::Serialize)]
+    struct Demo {
+        name: String,
+        value: f64,
+        flags: Vec<bool>,
+        opt: Option<u32>,
+        none: Option<u32>,
+    }
+
+    #[test]
+    fn serializes_structs_compactly() {
+        let d = Demo {
+            name: "a\"b".into(),
+            value: 1.5,
+            flags: vec![true, false],
+            opt: Some(3),
+            none: None,
+        };
+        let s = to_string(&d).expect("serialize");
+        assert_eq!(
+            s,
+            r#"{"name":"a\"b","value":1.5,"flags":[true,false],"opt":3,"none":null}"#
+        );
+    }
+
+    #[test]
+    fn unit_variants_serialize_as_bare_strings() {
+        #[derive(serde::Serialize)]
+        enum Kind {
+            Alpha,
+            Beta,
+        }
+        assert_eq!(to_string(&Kind::Alpha).expect("ser"), "\"Alpha\"");
+        assert_eq!(to_string(&Kind::Beta).expect("ser"), "\"Beta\"");
+    }
+
+    #[test]
+    fn maps_keep_string_keys() {
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), 7u64);
+        assert_eq!(to_string(&m).expect("ser"), r#"{"k":7}"#);
+        let mut by_int = BTreeMap::new();
+        by_int.insert(3u32, "x");
+        assert_eq!(to_string(&by_int).expect("ser"), r#"{"3":"x"}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(to_string(&f64::NAN).expect("ser"), "null");
+        assert_eq!(to_string(&f64::INFINITY).expect("ser"), "null");
+        assert_eq!(to_string(&1.0_f64).expect("ser"), "1");
+    }
+
+    #[test]
+    fn parses_back_what_it_writes() {
+        let d = Demo {
+            name: "tab\there".into(),
+            value: 0.125,
+            flags: vec![false],
+            opt: None,
+            none: Some(9),
+        };
+        let text = to_string(&d).expect("serialize");
+        let v = parse(&text).expect("parse");
+        assert_eq!(v.get("name").and_then(Json::as_str), Some("tab\there"));
+        assert_eq!(v.get("value").and_then(Json::as_f64), Some(0.125));
+        assert_eq!(v.get("opt"), Some(&Json::Null));
+        assert_eq!(v.get("none").and_then(Json::as_f64), Some(9.0));
+        let flags = v.get("flags").and_then(Json::as_array).expect("array");
+        assert_eq!(flags, &[Json::Bool(false)]);
+    }
+
+    #[test]
+    fn parser_handles_whitespace_escapes_and_nesting() {
+        let v = parse(" { \"a\" : [ 1 , {\"b\": \"\\u0041\\n\"} ] } ").expect("parse");
+        let arr = v.get("a").and_then(Json::as_array).expect("array");
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[1].get("b").and_then(Json::as_str), Some("A\n"));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("nul").is_err());
+        assert!(parse("{\"a\":1} x").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! `lexcache-obs` — zero-dependency observability for the lexcache
+//! decision pipeline: hierarchical span timers, named counters and
+//! gauges, fixed-bucket log-scale histograms with p50/p90/p99 readout,
+//! and pluggable sinks (in-memory [`Registry`], JSONL event writer,
+//! human-readable summary tables).
+//!
+//! # Design
+//!
+//! Instrumentation sites call the free functions in this crate
+//! ([`span`], [`counter`], [`gauge`], [`observe`], [`mark`]). A single
+//! process-wide sink, set with [`install`], receives every event; with
+//! no sink installed (the default) every emit function returns after
+//! one relaxed atomic load, so the instrumented hot paths cost nothing
+//! measurable. Timing uses only the monotonic [`std::time::Instant`] —
+//! never the system date — and the event stream is deterministic in
+//! everything except the µs duration carried by span-exit events.
+//!
+//! # Example
+//!
+//! ```
+//! let registry = lexcache_obs::SharedRegistry::new();
+//! lexcache_obs::install(Box::new(registry.clone()));
+//! {
+//!     let _span = lexcache_obs::span("demo/work");
+//!     lexcache_obs::counter("demo/items", 3);
+//! }
+//! drop(lexcache_obs::uninstall());
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counter("demo/items"), 3);
+//! assert_eq!(snap.span_stats("demo/work").map(|s| s.count), Some(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod hist;
+pub mod json;
+pub mod registry;
+pub mod sink;
+
+pub use event::{Event, EventKind};
+pub use hist::Histogram;
+pub use registry::{Registry, SharedRegistry, SpanStats};
+pub use sink::{JsonlSink, NoopSink, SharedWriter, Sink, Tee};
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SEQ: AtomicU64 = AtomicU64::new(0);
+static SINK: Mutex<Option<Box<dyn Sink>>> = Mutex::new(None);
+
+thread_local! {
+    static DEPTH: Cell<u32> = Cell::new(0);
+}
+
+/// Whether a sink is installed. Emit functions are no-ops when false;
+/// call sites that build dynamic names should check this first to skip
+/// the formatting work entirely.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn sink_lock() -> MutexGuard<'static, Option<Box<dyn Sink>>> {
+    SINK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Installs `sink` as the process-wide event sink and enables emission.
+/// The event sequence counter restarts at 0 so separate profiled runs
+/// are comparable.
+pub fn install(sink: Box<dyn Sink>) {
+    let mut slot = sink_lock();
+    SEQ.store(0, Ordering::SeqCst);
+    *slot = Some(sink);
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Disables emission, flushes, and returns the previously installed
+/// sink (if any) so the caller can read aggregated state back out.
+pub fn uninstall() -> Option<Box<dyn Sink>> {
+    let mut slot = sink_lock();
+    ENABLED.store(false, Ordering::SeqCst);
+    let mut taken = slot.take();
+    if let Some(s) = taken.as_mut() {
+        s.flush();
+    }
+    taken
+}
+
+fn emit(kind: EventKind, name: &str, value: f64, depth: u32) {
+    let event = Event {
+        kind,
+        name: name.to_string(),
+        value,
+        depth,
+        seq: SEQ.fetch_add(1, Ordering::Relaxed),
+    };
+    if let Some(sink) = sink_lock().as_mut() {
+        sink.record(&event);
+    }
+}
+
+fn current_depth() -> u32 {
+    DEPTH.with(Cell::get)
+}
+
+/// Adds `delta` to the named counter.
+#[inline]
+pub fn counter(name: &str, delta: u64) {
+    if is_enabled() {
+        emit(EventKind::Counter, name, delta as f64, current_depth());
+    }
+}
+
+/// Sets the named gauge to `value`.
+#[inline]
+pub fn gauge(name: &str, value: f64) {
+    if is_enabled() {
+        emit(EventKind::Gauge, name, value, current_depth());
+    }
+}
+
+/// Records one sample into the named histogram.
+#[inline]
+pub fn observe(name: &str, value: f64) {
+    if is_enabled() {
+        emit(EventKind::Hist, name, value, current_depth());
+    }
+}
+
+/// Emits a point-in-time marker (e.g. "a demand burst started").
+#[inline]
+pub fn mark(name: &str) {
+    if is_enabled() {
+        emit(EventKind::Mark, name, 1.0, current_depth());
+    }
+}
+
+/// RAII timer over a named span. The span opens when created and closes
+/// (emitting its elapsed µs) when the guard drops — bind it:
+/// `let _span = lexcache_obs::span("decide/lp_solve");`.
+#[must_use = "bind the guard to a local; the span closes when it is dropped"]
+pub struct SpanGuard {
+    inner: Option<SpanInner>,
+}
+
+struct SpanInner {
+    name: String,
+    start: Instant,
+    depth: u32,
+}
+
+/// Opens a hierarchical span. Nesting depth is tracked per thread and
+/// stamped on every event, so sinks can reconstruct the call tree.
+/// When no sink is installed this is a single atomic load.
+#[inline]
+pub fn span(name: &str) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard { inner: None };
+    }
+    let depth = DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v + 1);
+        v
+    });
+    emit(EventKind::SpanEnter, name, 0.0, depth);
+    SpanGuard {
+        inner: Some(SpanInner {
+            name: name.to_string(),
+            start: Instant::now(),
+            depth,
+        }),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            let elapsed_us = inner.start.elapsed().as_secs_f64() * 1e6;
+            DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+            if is_enabled() {
+                emit(EventKind::SpanExit, &inner.name, elapsed_us, inner.depth);
+            }
+        }
+    }
+}

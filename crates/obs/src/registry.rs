@@ -1,0 +1,336 @@
+//! In-memory aggregation sink and the human-readable summary renderer.
+
+use crate::event::{Event, EventKind};
+use crate::hist::Histogram;
+use crate::sink::Sink;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// Aggregate statistics for one span name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanStats {
+    /// Completed (exited) span count.
+    pub count: u64,
+    /// Total wall-clock time inside the span, µs.
+    pub total_us: f64,
+    /// Log-bucket histogram of individual span durations, µs.
+    pub hist: Histogram,
+}
+
+/// In-memory sink: aggregates counters, gauges, histograms, marks and
+/// span timings by name, and (optionally) retains the raw event stream
+/// so tests can assert on ordering and nesting.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, Histogram>,
+    spans: BTreeMap<String, SpanStats>,
+    marks: BTreeMap<String, u64>,
+    events: Vec<Event>,
+    keep_events: bool,
+}
+
+impl Registry {
+    /// An empty registry that aggregates but drops raw events.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty registry that also retains every raw event.
+    pub fn with_events() -> Self {
+        Registry {
+            keep_events: true,
+            ..Self::default()
+        }
+    }
+
+    pub(crate) fn ingest(&mut self, event: &Event) {
+        if self.keep_events {
+            self.events.push(event.clone());
+        }
+        match event.kind {
+            EventKind::SpanEnter => {}
+            EventKind::SpanExit => {
+                let s = self.spans.entry(event.name.clone()).or_default();
+                s.count += 1;
+                s.total_us += event.value;
+                s.hist.record(event.value);
+            }
+            EventKind::Counter => {
+                *self.counters.entry(event.name.clone()).or_insert(0) += event.value as u64;
+            }
+            EventKind::Gauge => {
+                self.gauges.insert(event.name.clone(), event.value);
+            }
+            EventKind::Hist => {
+                self.hists
+                    .entry(event.name.clone())
+                    .or_default()
+                    .record(event.value);
+            }
+            EventKind::Mark => {
+                *self.marks.entry(event.name.clone()).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Current value of a counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Last recorded level of a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram for a name fed via `observe`.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// Aggregated timings for a span name.
+    pub fn span_stats(&self, name: &str) -> Option<&SpanStats> {
+        self.spans.get(name)
+    }
+
+    /// How many times a marker fired.
+    pub fn mark_count(&self, name: &str) -> u64 {
+        self.marks.get(name).copied().unwrap_or(0)
+    }
+
+    /// The retained raw event stream (empty unless built
+    /// [`Registry::with_events`]).
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// All counters, name-ordered.
+    pub fn counters(&self) -> &BTreeMap<String, u64> {
+        &self.counters
+    }
+
+    /// All gauges, name-ordered.
+    pub fn gauges(&self) -> &BTreeMap<String, f64> {
+        &self.gauges
+    }
+
+    /// All span aggregates, name-ordered.
+    pub fn spans(&self) -> &BTreeMap<String, SpanStats> {
+        &self.spans
+    }
+
+    /// All markers, name-ordered.
+    pub fn marks(&self) -> &BTreeMap<String, u64> {
+        &self.marks
+    }
+
+    /// True when nothing at all has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.hists.is_empty()
+            && self.spans.is_empty()
+            && self.marks.is_empty()
+            && self.events.is_empty()
+    }
+
+    /// Total time (µs) across all spans whose name starts with `prefix`
+    /// — e.g. `"decide/"` sums a policy's per-phase decision spans.
+    pub fn span_total_us_with_prefix(&self, prefix: &str) -> f64 {
+        self.spans
+            .iter()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .map(|(_, s)| s.total_us)
+            .sum()
+    }
+
+    /// Renders the aggregate state as an aligned, human-readable table:
+    /// one section each for spans (with p50/p90/p99 µs), counters,
+    /// gauges, histograms and marks. Empty sections are omitted.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<32} {:>8} {:>11} {:>10} {:>10} {:>10} {:>10}",
+                "span", "count", "total_ms", "mean_us", "p50_us", "p90_us", "p99_us"
+            );
+            for (name, s) in &self.spans {
+                let mean = if s.count == 0 {
+                    0.0
+                } else {
+                    s.total_us / s.count as f64
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<32} {:>8} {:>11.3} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+                    name,
+                    s.count,
+                    s.total_us / 1_000.0,
+                    mean,
+                    s.hist.p50(),
+                    s.hist.p90(),
+                    s.hist.p99()
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "{:<32} {:>12}", "counter", "value");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "{name:<32} {v:>12}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "{:<32} {:>12}", "gauge", "last");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "{name:<32} {v:>12.4}");
+            }
+        }
+        if !self.hists.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<32} {:>8} {:>10} {:>10} {:>10}",
+                "histogram", "count", "mean", "p50", "p99"
+            );
+            for (name, h) in &self.hists {
+                let _ = writeln!(
+                    out,
+                    "{:<32} {:>8} {:>10.3} {:>10.3} {:>10.3}",
+                    name,
+                    h.count(),
+                    h.mean(),
+                    h.p50(),
+                    h.p99()
+                );
+            }
+        }
+        if !self.marks.is_empty() {
+            let _ = writeln!(out, "{:<32} {:>12}", "mark", "count");
+            for (name, v) in &self.marks {
+                let _ = writeln!(out, "{name:<32} {v:>12}");
+            }
+        }
+        out
+    }
+}
+
+impl Sink for Registry {
+    fn record(&mut self, event: &Event) {
+        self.ingest(event);
+    }
+}
+
+/// A cloneable handle around a [`Registry`]: install one clone as the
+/// global sink and keep another for readout after uninstalling.
+#[derive(Debug, Clone, Default)]
+pub struct SharedRegistry(Arc<Mutex<Registry>>);
+
+impl SharedRegistry {
+    /// A fresh shared registry (aggregates only).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A fresh shared registry that also retains raw events.
+    pub fn with_events() -> Self {
+        SharedRegistry(Arc::new(Mutex::new(Registry::with_events())))
+    }
+
+    /// A snapshot of the aggregated state so far.
+    pub fn snapshot(&self) -> Registry {
+        self.0.lock().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+}
+
+impl Sink for SharedRegistry {
+    fn record(&mut self, event: &Event) {
+        self.0
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .ingest(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, name: &str, value: f64) -> Event {
+        Event {
+            kind,
+            name: name.into(),
+            value,
+            depth: 0,
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn aggregates_by_kind_and_name() {
+        let mut r = Registry::new();
+        r.ingest(&ev(EventKind::Counter, "c", 2.0));
+        r.ingest(&ev(EventKind::Counter, "c", 3.0));
+        r.ingest(&ev(EventKind::Gauge, "g", 1.5));
+        r.ingest(&ev(EventKind::Gauge, "g", 2.5));
+        r.ingest(&ev(EventKind::Hist, "h", 10.0));
+        r.ingest(&ev(EventKind::SpanExit, "s", 100.0));
+        r.ingest(&ev(EventKind::SpanExit, "s", 300.0));
+        r.ingest(&ev(EventKind::Mark, "m", 1.0));
+        assert_eq!(r.counter("c"), 5);
+        assert_eq!(r.gauge("g"), Some(2.5), "gauge keeps the last level");
+        assert_eq!(r.histogram("h").map(Histogram::count), Some(1));
+        let s = r.span_stats("s").expect("span recorded");
+        assert_eq!(s.count, 2);
+        assert!((s.total_us - 400.0).abs() < 1e-12);
+        assert_eq!(r.mark_count("m"), 1);
+        assert!(!r.is_empty());
+        assert_eq!(r.events().len(), 0, "events dropped unless requested");
+    }
+
+    #[test]
+    fn with_events_retains_the_stream() {
+        let mut r = Registry::with_events();
+        r.ingest(&ev(EventKind::Counter, "c", 1.0));
+        r.ingest(&ev(EventKind::Mark, "m", 1.0));
+        assert_eq!(r.events().len(), 2);
+        assert_eq!(r.events()[0].name, "c");
+    }
+
+    #[test]
+    fn prefix_sum_covers_only_matching_spans() {
+        let mut r = Registry::new();
+        r.ingest(&ev(EventKind::SpanExit, "decide/lp", 100.0));
+        r.ingest(&ev(EventKind::SpanExit, "decide/round", 50.0));
+        r.ingest(&ev(EventKind::SpanExit, "sim/decide", 500.0));
+        let sum = r.span_total_us_with_prefix("decide/");
+        assert!((sum - 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_table_lists_every_section() {
+        let mut r = Registry::new();
+        r.ingest(&ev(EventKind::SpanExit, "phase/a", 120.0));
+        r.ingest(&ev(EventKind::Counter, "hits", 7.0));
+        r.ingest(&ev(EventKind::Gauge, "level", 0.5));
+        r.ingest(&ev(EventKind::Hist, "sizes", 32.0));
+        r.ingest(&ev(EventKind::Mark, "burst", 1.0));
+        let table = r.render_table();
+        for needle in [
+            "span", "phase/a", "hits", "level", "sizes", "burst", "p99_us",
+        ] {
+            assert!(table.contains(needle), "table missing {needle}:\n{table}");
+        }
+    }
+
+    #[test]
+    fn shared_registry_snapshot_reads_through_the_clone() {
+        let shared = SharedRegistry::new();
+        let mut writer = shared.clone();
+        writer.record(&ev(EventKind::Counter, "k", 4.0));
+        assert_eq!(shared.snapshot().counter("k"), 4);
+        assert!(SharedRegistry::with_events().snapshot().is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! Pluggable event sinks: no-op, JSONL writer, and fan-out.
+
+use crate::event::Event;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// Receives every [`Event`] emitted while installed as the global sink.
+///
+/// Implementations must be `Send`: events can arrive from any thread
+/// (the bench harness runs episodes on a scoped thread pool).
+pub trait Sink: Send {
+    /// Records one event.
+    fn record(&mut self, event: &Event);
+
+    /// Flushes buffered output; called on uninstall. No-op by default.
+    fn flush(&mut self) {}
+}
+
+/// Discards everything. This is the cost model for "instrumentation
+/// present but disabled": with no sink installed the emit macros never
+/// reach a sink at all, and with `NoopSink` installed every record is
+/// an inlined empty call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    #[inline]
+    fn record(&mut self, _event: &Event) {}
+
+    #[inline]
+    fn flush(&mut self) {}
+}
+
+/// Writes each event as one compact JSON line (JSONL), encoded through
+/// the event's serde `Serialize` derive.
+pub struct JsonlSink<W: Write + Send> {
+    out: W,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps a writer (e.g. a `BufWriter<File>` under `results/`).
+    pub fn new(out: W) -> Self {
+        JsonlSink { out }
+    }
+
+    /// Returns the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write + Send> Sink for JsonlSink<W> {
+    fn record(&mut self, event: &Event) {
+        if let Ok(line) = crate::json::to_string(event) {
+            let _ = writeln!(self.out, "{line}");
+        }
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Fans every event out to two sinks, e.g. a JSONL file plus an
+/// in-memory [`crate::Registry`] for the summary table.
+pub struct Tee {
+    a: Box<dyn Sink>,
+    b: Box<dyn Sink>,
+}
+
+impl Tee {
+    /// Combines two sinks; both receive every event in order.
+    pub fn new(a: Box<dyn Sink>, b: Box<dyn Sink>) -> Self {
+        Tee { a, b }
+    }
+}
+
+impl Sink for Tee {
+    fn record(&mut self, event: &Event) {
+        self.a.record(event);
+        self.b.record(event);
+    }
+
+    fn flush(&mut self) {
+        self.a.flush();
+        self.b.flush();
+    }
+}
+
+/// A cloneable writer handle so one output file can back several
+/// consecutive sink installations (the bench profiler reinstalls a
+/// fresh registry per policy while appending to one JSONL file).
+#[derive(Clone)]
+pub struct SharedWriter(Arc<Mutex<Box<dyn Write + Send>>>);
+
+impl SharedWriter {
+    /// Wraps a writer in a shared, lock-guarded handle.
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
+        SharedWriter(Arc::new(Mutex::new(out)))
+    }
+}
+
+impl Write for SharedWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap_or_else(|p| p.into_inner()).write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.0.lock().unwrap_or_else(|p| p.into_inner()).flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(name: &str, value: f64) -> Event {
+        Event {
+            kind: EventKind::Counter,
+            name: name.into(),
+            value,
+            depth: 0,
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(&ev("a", 1.0));
+        sink.record(&ev("b", 2.0));
+        let text = String::from_utf8(sink.into_inner()).expect("utf8");
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn tee_duplicates_to_both_sinks() {
+        let left = crate::SharedRegistry::new();
+        let right = crate::SharedRegistry::new();
+        let mut tee = Tee::new(Box::new(left.clone()), Box::new(right.clone()));
+        tee.record(&ev("x", 5.0));
+        assert_eq!(left.snapshot().counter("x"), 5);
+        assert_eq!(right.snapshot().counter("x"), 5);
+    }
+
+    #[test]
+    fn shared_writer_clones_append_to_one_buffer() {
+        // Two JSONL sinks over clones of one shared writer interleave
+        // into the same byte stream.
+        let buf: Vec<u8> = Vec::new();
+        let shared = SharedWriter::new(Box::new(std::io::Cursor::new(buf)));
+        let mut s1 = JsonlSink::new(shared.clone());
+        let mut s2 = JsonlSink::new(shared);
+        s1.record(&ev("one", 1.0));
+        s2.record(&ev("two", 2.0));
+        s1.flush();
+    }
+}

@@ -1,0 +1,146 @@
+//! End-to-end tests of the global dispatcher. Everything lives in one
+//! test function: the sink is process-wide state, and `cargo test`
+//! runs test functions concurrently.
+
+use lexcache_obs::{
+    install, json, span, uninstall, Event, EventKind, JsonlSink, NoopSink, SharedRegistry,
+    SharedWriter, Sink, Tee,
+};
+
+#[test]
+fn global_dispatcher_end_to_end() {
+    // --- Disabled by default: emissions go nowhere. ---------------------
+    assert!(!lexcache_obs::is_enabled());
+    lexcache_obs::counter("pre/install", 1);
+    {
+        let _span = span("pre/install_span");
+    }
+
+    // --- NoopSink: events flow but nothing is recorded anywhere. --------
+    install(Box::new(NoopSink));
+    assert!(lexcache_obs::is_enabled());
+    lexcache_obs::counter("noop/counter", 5);
+    {
+        let _span = span("noop/span");
+    }
+    let sink = uninstall();
+    assert!(sink.is_some(), "NoopSink handed back on uninstall");
+    assert!(!lexcache_obs::is_enabled());
+
+    // A registry installed *after* the noop period sees zero events —
+    // neither the pre-install emissions nor the noop-period ones leaked.
+    let probe = SharedRegistry::with_events();
+    install(Box::new(probe.clone()));
+    drop(uninstall());
+    assert!(probe.snapshot().is_empty(), "zero events recorded");
+
+    // --- Span nesting, ordering, and sequence numbers. ------------------
+    let registry = SharedRegistry::with_events();
+    install(Box::new(registry.clone()));
+    {
+        let _outer = span("outer");
+        lexcache_obs::counter("inner/work", 2);
+        {
+            let _inner = span("inner");
+        }
+        lexcache_obs::gauge("inner/level", 1.5);
+        lexcache_obs::observe("inner/sample", 40.0);
+        lexcache_obs::mark("inner/tick");
+    }
+    drop(uninstall());
+    let snap = registry.snapshot();
+
+    let kinds: Vec<(EventKind, String, u32)> = snap
+        .events()
+        .iter()
+        .map(|e| (e.kind, e.name.clone(), e.depth))
+        .collect();
+    assert_eq!(
+        kinds,
+        vec![
+            (EventKind::SpanEnter, "outer".to_string(), 0),
+            (EventKind::Counter, "inner/work".to_string(), 1),
+            (EventKind::SpanEnter, "inner".to_string(), 1),
+            (EventKind::SpanExit, "inner".to_string(), 1),
+            (EventKind::Gauge, "inner/level".to_string(), 1),
+            (EventKind::Hist, "inner/sample".to_string(), 1),
+            (EventKind::Mark, "inner/tick".to_string(), 1),
+            (EventKind::SpanExit, "outer".to_string(), 0),
+        ],
+        "events arrive in program order with correct nesting depth"
+    );
+    let seqs: Vec<u64> = snap.events().iter().map(|e| e.seq).collect();
+    assert_eq!(
+        seqs,
+        (0..8).collect::<Vec<u64>>(),
+        "seq restarts at install"
+    );
+    let outer = snap.span_stats("outer").expect("outer span aggregated");
+    let inner = snap.span_stats("inner").expect("inner span aggregated");
+    assert_eq!((outer.count, inner.count), (1, 1));
+    assert!(
+        outer.total_us >= inner.total_us,
+        "outer span contains inner span"
+    );
+    assert_eq!(snap.counter("inner/work"), 2);
+    assert_eq!(snap.mark_count("inner/tick"), 1);
+
+    // --- JSONL round-trip through serde. --------------------------------
+    let writer = SharedWriter::new(Box::new(Vec::new()));
+    let jsonl = SharedRegistry::with_events();
+    install(Box::new(Tee::new(
+        Box::new(JsonlSink::new(writer.clone())),
+        Box::new(jsonl.clone()),
+    )));
+    {
+        let _span = span("rt/phase");
+        lexcache_obs::counter("rt/count", 3);
+    }
+    drop(uninstall());
+    let recorded = jsonl.snapshot();
+
+    // Re-encode the retained events and parse each line back: every
+    // field must survive the serde → JSON → parse trip exactly (the
+    // timing field is f64 and `{}`-formatted floats re-parse exactly).
+    for event in recorded.events() {
+        let line = json::to_string(event).expect("encode");
+        let v = json::parse(&line).expect("parse");
+        let rebuilt = Event {
+            kind: match v.get("kind").and_then(json::Json::as_str) {
+                Some("SpanEnter") => EventKind::SpanEnter,
+                Some("SpanExit") => EventKind::SpanExit,
+                Some("Counter") => EventKind::Counter,
+                Some("Gauge") => EventKind::Gauge,
+                Some("Hist") => EventKind::Hist,
+                Some("Mark") => EventKind::Mark,
+                other => panic!("unknown kind {other:?}"),
+            },
+            name: v
+                .get("name")
+                .and_then(json::Json::as_str)
+                .expect("name")
+                .to_string(),
+            value: v.get("value").and_then(json::Json::as_f64).expect("value"),
+            depth: v.get("depth").and_then(json::Json::as_f64).expect("depth") as u32,
+            seq: v.get("seq").and_then(json::Json::as_f64).expect("seq") as u64,
+        };
+        assert_eq!(&rebuilt, event, "JSONL round-trip must be lossless");
+    }
+
+    // --- A sink that panics must not poison future installs. ------------
+    struct PanickySink;
+    impl Sink for PanickySink {
+        fn record(&mut self, _event: &Event) {
+            panic!("sink failure");
+        }
+    }
+    install(Box::new(PanickySink));
+    let boom = std::panic::catch_unwind(|| lexcache_obs::counter("boom", 1));
+    assert!(boom.is_err(), "panicking sink propagates");
+    drop(uninstall());
+    let after = SharedRegistry::new();
+    install(Box::new(after.clone()));
+    lexcache_obs::counter("recovered", 1);
+    drop(uninstall());
+    assert_eq!(after.snapshot().counter("recovered"), 1);
+}

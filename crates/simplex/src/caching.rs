@@ -398,11 +398,7 @@ mod tests {
         CachingLp::new(
             vec![2.0, 2.0, 2.0],
             vec![0, 0, 1],
-            vec![
-                vec![1.0, 3.0],
-                vec![1.0, 3.0],
-                vec![1.0, 3.0],
-            ],
+            vec![vec![1.0, 3.0], vec![1.0, 3.0], vec![1.0, 3.0]],
             vec![4.0, 10.0],
             vec![vec![0.5, 0.5], vec![0.5, 0.5]],
             2,
@@ -410,15 +406,23 @@ mod tests {
     }
 
     fn random_instance(rng: &mut StdRng, nr: usize, ns: usize, nk: usize) -> CachingLp {
-        let demand: Vec<f64> = (0..nr).map(|_| rng.random_range(1.0..5.0_f64).round()).collect();
+        let demand: Vec<f64> = (0..nr)
+            .map(|_| rng.random_range(1.0..5.0_f64).round())
+            .collect();
         let total: f64 = demand.iter().sum();
-        let mut capacity: Vec<f64> = (0..ns).map(|_| rng.random_range(1.0..8.0_f64).round()).collect();
+        let mut capacity: Vec<f64> = (0..ns)
+            .map(|_| rng.random_range(1.0..8.0_f64).round())
+            .collect();
         let cap_total: f64 = capacity.iter().sum();
         if cap_total < total * 1.2 {
             capacity[0] += total * 1.2 - cap_total;
         }
         let unit_cost: Vec<Vec<f64>> = (0..nr)
-            .map(|_| (0..ns).map(|_| rng.random_range(1.0..20.0_f64).round()).collect())
+            .map(|_| {
+                (0..ns)
+                    .map(|_| rng.random_range(1.0..20.0_f64).round())
+                    .collect()
+            })
             .collect();
         let inst: Vec<Vec<f64>> = (0..ns)
             .map(|_| (0..nk).map(|_| rng.random_range(0.0..2.0)).collect())
@@ -573,11 +577,7 @@ mod tests {
     #[test]
     fn objective_of_matches_manual_computation() {
         let lp = tiny();
-        let x = vec![
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-            vec![0.0, 1.0],
-        ];
+        let x = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.0, 1.0]];
         let y = vec![vec![1.0, 1.0], vec![0.0, 1.0]];
         // delays: 2*1 + 2*3 + 2*3 = 14; inst: 0.5+0.5+0.5 = 1.5.
         assert!((lp.objective_of(&x, &y) - 15.5 / 3.0).abs() < 1e-9);

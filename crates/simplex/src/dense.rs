@@ -10,6 +10,7 @@
 //! specialized transportation solver.
 
 use crate::problem::{LinearProgram, Relation, Solution, SolveError};
+use lexcache_obs as obs;
 
 const TOL: f64 = 1e-9;
 
@@ -44,8 +45,25 @@ pub fn solve(lp: &LinearProgram) -> Result<Solution, SolveError> {
 ///
 /// As for [`solve`].
 pub fn solve_with_limit(lp: &LinearProgram, max_pivots: usize) -> Result<Solution, SolveError> {
-    let mut t = Tableau::build(lp);
     let mut pivots = 0usize;
+    let mut bland = 0usize;
+    let result = run_two_phase(lp, max_pivots, &mut pivots, &mut bland);
+    if obs::is_enabled() {
+        obs::counter("simplex/pivots", pivots as u64);
+        obs::counter("simplex/bland_pivots", bland as u64);
+        obs::gauge("simplex/rows", lp.n_constraints() as f64);
+        obs::gauge("simplex/cols", lp.n_vars() as f64);
+    }
+    result
+}
+
+fn run_two_phase(
+    lp: &LinearProgram,
+    max_pivots: usize,
+    pivots: &mut usize,
+    bland: &mut usize,
+) -> Result<Solution, SolveError> {
+    let mut t = Tableau::build(lp);
 
     // Phase 1: minimize the sum of artificials.
     if t.n_artificial > 0 {
@@ -54,7 +72,7 @@ pub fn solve_with_limit(lp: &LinearProgram, max_pivots: usize) -> Result<Solutio
             c1[j] = 1.0;
         }
         t.reset_cost_row(&c1);
-        t.optimize(&mut pivots, max_pivots, None)?;
+        t.optimize(pivots, max_pivots, None, bland)?;
         if t.objective() > 1e-7 {
             return Err(SolveError::Infeasible);
         }
@@ -66,7 +84,7 @@ pub fn solve_with_limit(lp: &LinearProgram, max_pivots: usize) -> Result<Solutio
     c2[..lp.n_vars()].copy_from_slice(lp.objective());
     t.reset_cost_row(&c2);
     let bar_from = t.first_artificial_col();
-    t.optimize(&mut pivots, max_pivots, bar_from)?;
+    t.optimize(pivots, max_pivots, bar_from, bland)?;
 
     let mut x = vec![0.0; lp.n_vars()];
     for (i, &b) in t.basis.iter().enumerate() {
@@ -77,7 +95,7 @@ pub fn solve_with_limit(lp: &LinearProgram, max_pivots: usize) -> Result<Solutio
     Ok(Solution {
         objective: lp.objective_value(&x),
         x,
-        iterations: pivots,
+        iterations: *pivots,
     })
 }
 
@@ -195,12 +213,14 @@ impl Tableau {
 
     /// Primal simplex iterations until optimal. `barred_from` bars
     /// entering columns at or beyond the given index (artificials in
-    /// phase 2).
+    /// phase 2). `bland` counts the degenerate-regime pivots taken under
+    /// Bland's rule.
     fn optimize(
         &mut self,
         pivots: &mut usize,
         max_pivots: usize,
         barred_from: Option<usize>,
+        bland: &mut usize,
     ) -> Result<(), SolveError> {
         let bar = barred_from.unwrap_or(self.n_cols);
         let bland_after = max_pivots / 2;
@@ -215,6 +235,9 @@ impl Tableau {
             };
             self.pivot(i, j);
             *pivots += 1;
+            if use_bland {
+                *bland += 1;
+            }
             if *pivots >= max_pivots {
                 return Err(SolveError::IterationLimit);
             }

@@ -13,6 +13,7 @@
 //! improves it with MODI pivots until no reduced cost is negative.
 
 use crate::problem::SolveError;
+use lexcache_obs as obs;
 use serde::{Deserialize, Serialize};
 
 const TOL: f64 = 1e-9;
@@ -51,10 +52,7 @@ impl TransportProblem {
         assert_eq!(cost.len(), supply.len(), "one cost row per source");
         for row in &cost {
             assert_eq!(row.len(), capacity.len(), "one cost per sink");
-            assert!(
-                row.iter().all(|c| c.is_finite()),
-                "costs must be finite"
-            );
+            assert!(row.iter().all(|c| c.is_finite()), "costs must be finite");
         }
         assert!(
             supply.iter().all(|s| s.is_finite() && *s >= 0.0),
@@ -151,6 +149,10 @@ impl TransportProblem {
                 flow[i][j] = f;
                 objective += f * self.cost[i][j];
             }
+        }
+        if obs::is_enabled() {
+            obs::counter("transport/pivots", pivots as u64);
+            obs::gauge("transport/cells", (m * n) as f64);
         }
         Ok(TransportSolution {
             flow,
@@ -460,11 +462,7 @@ mod tests {
 
     #[test]
     fn unbalanced_spare_capacity() {
-        let p = TransportProblem::new(
-            vec![2.0],
-            vec![10.0, 10.0],
-            vec![vec![5.0, 1.0]],
-        );
+        let p = TransportProblem::new(vec![2.0], vec![10.0, 10.0], vec![vec![5.0, 1.0]]);
         let sol = p.solve().unwrap();
         check_feasible(&p, &sol);
         assert!((sol.objective - 2.0).abs() < 1e-9);
@@ -479,11 +477,7 @@ mod tests {
 
     #[test]
     fn zero_supply_sources_ok() {
-        let p = TransportProblem::new(
-            vec![0.0, 3.0],
-            vec![3.0],
-            vec![vec![1.0], vec![2.0]],
-        );
+        let p = TransportProblem::new(vec![0.0, 3.0], vec![3.0], vec![vec![1.0], vec![2.0]]);
         let sol = p.solve().unwrap();
         check_feasible(&p, &sol);
         assert!((sol.objective - 6.0).abs() < 1e-9);
@@ -513,17 +507,24 @@ mod tests {
         for case in 0..25 {
             let m = rng.random_range(2..5);
             let n = rng.random_range(2..5);
-            let supply: Vec<f64> = (0..m).map(|_| rng.random_range(1.0..8.0_f64).round()).collect();
+            let supply: Vec<f64> = (0..m)
+                .map(|_| rng.random_range(1.0..8.0_f64).round())
+                .collect();
             let total: f64 = supply.iter().sum();
             // Capacities guaranteed to fit the supply.
-            let mut capacity: Vec<f64> =
-                (0..n).map(|_| rng.random_range(1.0..8.0_f64).round()).collect();
+            let mut capacity: Vec<f64> = (0..n)
+                .map(|_| rng.random_range(1.0..8.0_f64).round())
+                .collect();
             let cap_total: f64 = capacity.iter().sum();
             if cap_total < total {
                 capacity[0] += total - cap_total + 1.0;
             }
             let cost: Vec<Vec<f64>> = (0..m)
-                .map(|_| (0..n).map(|_| rng.random_range(1.0..10.0_f64).round()).collect())
+                .map(|_| {
+                    (0..n)
+                        .map(|_| rng.random_range(1.0..10.0_f64).round())
+                        .collect()
+                })
                 .collect();
             let p = TransportProblem::new(supply.clone(), capacity.clone(), cost.clone());
             let fast = p.solve().unwrap();

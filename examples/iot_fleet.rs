@@ -46,8 +46,7 @@ fn main() {
         "policy", "avg delay (ms)", "remote tasks", "ms/slot"
     );
     for policy in policies.iter_mut() {
-        let mut episode =
-            Episode::new(topo.clone(), net_cfg.clone(), scenario.clone(), 3);
+        let mut episode = Episode::new(topo.clone(), net_cfg.clone(), scenario.clone(), 3);
         let report = episode.run(policy.as_mut(), horizon);
         println!(
             "{:>10} {:>16.2} {:>14} {:>10.3}",

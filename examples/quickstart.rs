@@ -45,7 +45,10 @@ fn main() {
     let mut greedy_episode = Episode::new(topo, net_cfg, scenario, 42);
     let greedy = greedy_episode.run(&mut GreedyGd::new(), horizon);
 
-    println!("\n{:>10} {:>16} {:>18}", "policy", "avg delay (ms)", "decide (ms/slot)");
+    println!(
+        "\n{:>10} {:>16} {:>18}",
+        "policy", "avg delay (ms)", "decide (ms/slot)"
+    );
     for report in [&ol, &greedy] {
         println!(
             "{:>10} {:>16.2} {:>18.3}",
@@ -54,8 +57,7 @@ fn main() {
             report.mean_decide_us() / 1000.0
         );
     }
-    let gain = (greedy.mean_avg_delay_ms() - ol.mean_avg_delay_ms())
-        / greedy.mean_avg_delay_ms()
-        * 100.0;
+    let gain =
+        (greedy.mean_avg_delay_ms() - ol.mean_avg_delay_ms()) / greedy.mean_avg_delay_ms() * 100.0;
     println!("\nOL_GD improves on Greedy_GD by {gain:.1}% (paper reports ~15% at 100 slots)");
 }

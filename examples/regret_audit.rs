@@ -51,7 +51,10 @@ fn main() {
     .sigma();
 
     println!("sigma (Lemma 1 gap): {sigma:.1}");
-    println!("\n{:>6} {:>20} {:>20}", "slot", "empirical regret", "Theorem 1 bound");
+    println!(
+        "\n{:>6} {:>20} {:>20}",
+        "slot", "empirical regret", "Theorem 1 bound"
+    );
     for t in (9..horizon).step_by(10) {
         println!(
             "{:>6} {:>20.2} {:>20.2}",
@@ -62,7 +65,10 @@ fn main() {
     }
     let total = curve.last().copied().unwrap_or(0.0);
     let bound = theorem1_bound(sigma, horizon, c);
-    println!("\nfinal: empirical {total:.1} <= bound {bound:.1}: {}", total <= bound);
+    println!(
+        "\nfinal: empirical {total:.1} <= bound {bound:.1}: {}",
+        total <= bound
+    );
     let half = curve[horizon / 2 - 1];
     println!(
         "log-like growth (second half {:.1} < first half {:.1}): {}",

@@ -17,11 +17,9 @@ use lexcache::workload::ScenarioConfig;
 fn build(kind: &str, net_cfg: &NetworkConfig) -> Topology {
     match kind {
         "gtitm" => gtitm::generate(87, net_cfg, 3),
-        "transit-stub" => transit_stub::generate(
-            transit_stub::TransitStubConfig::for_size(87),
-            net_cfg,
-            3,
-        ),
+        "transit-stub" => {
+            transit_stub::generate(transit_stub::TransitStubConfig::for_size(87), net_cfg, 3)
+        }
         _ => as1755::generate(net_cfg, 0),
     }
 }

@@ -92,9 +92,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         if FLAGS.contains(&key) {
             opts.insert(key.to_string(), "true".to_string());
         } else {
-            let value = it
-                .next()
-                .ok_or_else(|| format!("--{key} needs a value"))?;
+            let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
             opts.insert(key.to_string(), value.clone());
         }
     }
@@ -121,7 +119,11 @@ fn get_u64(opts: &Options, key: &str, default: u64) -> Result<u64, String> {
 
 fn build_topology(opts: &Options, stations: usize, seed: u64) -> Result<Topology, String> {
     let cfg = NetworkConfig::paper_defaults();
-    match opts.get("topology").or(opts.get("kind")).map(String::as_str) {
+    match opts
+        .get("topology")
+        .or(opts.get("kind"))
+        .map(String::as_str)
+    {
         None | Some("gtitm") => Ok(gtitm::generate(stations, &cfg, seed)),
         Some("as1755") => Ok(as1755::scaled(stations, &cfg, seed)),
         Some("transit-stub") => Ok(transit_stub::generate(
@@ -185,10 +187,7 @@ fn cmd_simulate(opts: &Options) -> Result<(), String> {
     };
 
     let hidden = opts.contains_key("hidden-demands")
-        || matches!(
-            policy_name,
-            "ol-reg" | "ol-gan" | "ol-ewma" | "ol-naive"
-        );
+        || matches!(policy_name, "ol-reg" | "ol-gan" | "ol-ewma" | "ol-naive");
     let mut ep_cfg = EpisodeConfig::new(seed);
     if hidden {
         ep_cfg = ep_cfg.hidden_demands();
@@ -206,8 +205,14 @@ fn cmd_simulate(opts: &Options) -> Result<(), String> {
     );
     let mut episode = Episode::with_config(topo, net_cfg, scenario, ep_cfg);
     let report = episode.run(policy.as_mut(), slots);
-    println!("mean average delay : {:>10.2} ms", report.mean_avg_delay_ms());
-    println!("mean decide time   : {:>10.3} ms/slot", report.mean_decide_us() / 1000.0);
+    println!(
+        "mean average delay : {:>10.2} ms",
+        report.mean_avg_delay_ms()
+    );
+    println!(
+        "mean decide time   : {:>10.3} ms/slot",
+        report.mean_decide_us() / 1000.0
+    );
     println!("remote fallbacks   : {:>10}", report.total_remote());
     if let Some(regret) = report.cumulative_regret_ms() {
         println!("cumulative regret  : {:>10.2} ms", regret);
@@ -253,7 +258,10 @@ fn cmd_trace(opts: &Options) -> Result<(), String> {
         trace.n_slots(),
         trace.rows().len()
     );
-    println!("\n{:>6} {:>12} {:>12} {:>12} {:>8}", "cell", "dispersion", "peak/mean", "autocorr(1)", "hurst");
+    println!(
+        "\n{:>6} {:>12} {:>12} {:>12} {:>8}",
+        "cell", "dispersion", "peak/mean", "autocorr(1)", "hurst"
+    );
     for (c, series) in trace.cell_demand_series().iter().enumerate() {
         println!(
             "{:>6} {:>12.2} {:>12.2} {:>12.2} {:>8.2}",
@@ -327,7 +335,14 @@ mod tests {
     #[test]
     fn small_simulation_through_cli_path() {
         let o = opts(&[
-            "--stations", "12", "--requests", "8", "--slots", "3", "--policy", "greedy",
+            "--stations",
+            "12",
+            "--requests",
+            "8",
+            "--slots",
+            "3",
+            "--policy",
+            "greedy",
         ]);
         cmd_simulate(&o).expect("runs");
     }

@@ -14,9 +14,7 @@ use lexcache::workload::ScenarioConfig;
 fn given_demand_episode(n: usize, seed: u64) -> Episode {
     let net_cfg = NetworkConfig::paper_defaults();
     let topo = gtitm::generate(n, &net_cfg, seed);
-    let scenario = ScenarioConfig::small()
-        .with_requests(20)
-        .build(&topo, seed);
+    let scenario = ScenarioConfig::small().with_requests(20).build(&topo, seed);
     Episode::new(topo, net_cfg, scenario, seed)
 }
 
@@ -82,12 +80,8 @@ fn learning_converges_toward_clairvoyant_optimum() {
     let net_cfg = NetworkConfig::paper_defaults();
     let topo = gtitm::generate(30, &net_cfg, 4);
     let scenario = ScenarioConfig::small().with_requests(25).build(&topo, 4);
-    let mut episode = Episode::with_config(
-        topo,
-        net_cfg,
-        scenario,
-        EpisodeConfig::new(4).with_regret(),
-    );
+    let mut episode =
+        Episode::with_config(topo, net_cfg, scenario, EpisodeConfig::new(4).with_regret());
     let horizon = 80;
     let report = episode.run(&mut OlGd::new(PolicyConfig::default()), horizon);
     let per_slot: Vec<f64> = report
@@ -113,7 +107,10 @@ fn ol_gd_beats_static_baselines_over_seeds() {
     for &seed in &seeds {
         let mut e1 = given_demand_episode(40, seed);
         ol += e1
-            .run(&mut OlGd::new(PolicyConfig::default().with_seed(seed)), horizon)
+            .run(
+                &mut OlGd::new(PolicyConfig::default().with_seed(seed)),
+                horizon,
+            )
             .mean_avg_delay_ms();
         let mut e2 = given_demand_episode(40, seed);
         greedy += e2.run(&mut GreedyGd::new(), horizon).mean_avg_delay_ms();
@@ -155,7 +152,13 @@ fn gan_pipeline_pretrain_predict_update() {
     let series: Vec<Vec<f64>> = (0..n_cells)
         .map(|c| {
             (0..20)
-                .map(|t| if t % 7 == 0 { 10.0 * (c + 1) as f64 } else { 0.0 })
+                .map(|t| {
+                    if t % 7 == 0 {
+                        10.0 * (c + 1) as f64
+                    } else {
+                        0.0
+                    }
+                })
                 .collect()
         })
         .collect();

@@ -44,15 +44,23 @@ fn lemma1_sigma_covers_realized_per_slot_gap() {
     let topo = gtitm::generate(12, &cfg, 1);
     let scenario = ScenarioConfig::small().build(&topo, 1);
     let n = topo.len();
-    let demands: Vec<f64> = scenario.requests().iter().map(|r| r.basic_demand()).collect();
+    let demands: Vec<f64> = scenario
+        .requests()
+        .iter()
+        .map(|r| r.basic_demand())
+        .collect();
     let believed: Vec<f64> = topo
         .stations()
         .iter()
         .map(|b| cfg.tier(b.tier()).unit_delay_ms.hi)
         .collect();
     let lp = lexcache::core::lowering::build_caching_lp(
-        &topo, &scenario, &lexcache::core::TransferCosts::compute(&topo, &scenario),
-        &believed, &demands, 75.0,
+        &topo,
+        &scenario,
+        &lexcache::core::TransferCosts::compute(&topo, &scenario),
+        &believed,
+        &demands,
+        75.0,
     );
     // Best vs worst single-station assignment (per-request local view).
     let mut best = f64::INFINITY;
