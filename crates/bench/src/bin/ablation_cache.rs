@@ -39,9 +39,14 @@ fn main() {
     table.x_values(algos.iter().map(|a| a.name().to_string()));
     let mut per_slot = Vec::new();
     let mut amortized = Vec::new();
+    let base = bench::base_seed();
     for algo in algos {
-        let ps: Vec<f64> = (0..repeats as u64).map(|s| run(algo, false, s)).collect();
-        let am: Vec<f64> = (0..repeats as u64).map(|s| run(algo, true, s)).collect();
+        let ps: Vec<f64> = (0..repeats as u64)
+            .map(|s| run(algo, false, base + s))
+            .collect();
+        let am: Vec<f64> = (0..repeats as u64)
+            .map(|s| run(algo, true, base + s))
+            .collect();
         per_slot.push(mean_std(&ps).0);
         amortized.push(mean_std(&am).0);
     }

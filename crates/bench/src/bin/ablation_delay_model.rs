@@ -32,12 +32,13 @@ fn main() {
     let mut ol = Vec::new();
     let mut greedy = Vec::new();
     let mut advantage = Vec::new();
+    let base = bench::base_seed();
     for &(_, model) in &models {
         let mut ol_vals = Vec::new();
         let mut gr_vals = Vec::new();
-        for seed in 0..repeats as u64 {
-            ol_vals.push(run_with_model(Algo::OlGd, model, seed));
-            gr_vals.push(run_with_model(Algo::GreedyGd, model, seed));
+        for s in 0..repeats as u64 {
+            ol_vals.push(run_with_model(Algo::OlGd, model, base + s));
+            gr_vals.push(run_with_model(Algo::GreedyGd, model, base + s));
         }
         let (om, _) = mean_std(&ol_vals);
         let (gm, _) = mean_std(&gr_vals);

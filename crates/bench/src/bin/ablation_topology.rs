@@ -60,12 +60,13 @@ fn main() {
         let mut ol = Vec::new();
         let mut greedy = Vec::new();
         let mut advantage = Vec::new();
+        let base = bench::base_seed();
         for topo in topologies {
             let ol_vals: Vec<f64> = (0..repeats as u64)
-                .map(|s| run(Algo::OlGd, topo, sensitivity, s))
+                .map(|s| run(Algo::OlGd, topo, sensitivity, base + s))
                 .collect();
             let gr_vals: Vec<f64> = (0..repeats as u64)
-                .map(|s| run(Algo::GreedyGd, topo, sensitivity, s))
+                .map(|s| run(Algo::GreedyGd, topo, sensitivity, base + s))
                 .collect();
             let (om, _) = mean_std(&ol_vals);
             let (gm, _) = mean_std(&gr_vals);

@@ -13,9 +13,12 @@ use mec_workload::ScenarioConfig;
 
 fn main() {
     let obs_session = bench::maybe_obs_begin("prediction_mae");
+    // All seeds shift together under `--seed` / `LEXCACHE_SEED`; the
+    // defaults (base 0) match the original fixed seeds exactly.
+    let base = bench::base_seed();
     let net = NetworkConfig::paper_defaults();
-    let topo = gtitm::generate(100, &net, 1);
-    let scenario = ScenarioConfig::paper_defaults().build(&topo, 1);
+    let topo = gtitm::generate(100, &net, base + 1);
+    let scenario = ScenarioConfig::paper_defaults().build(&topo, base + 1);
     let n_cells = scenario.n_cells();
     let mut cell_basics = vec![0.0; n_cells];
     for r in scenario.requests() {
@@ -24,16 +27,16 @@ fn main() {
     println!("prediction audit: {n_cells} cells, pretrain 60 slots, evaluate 80 slots\n");
 
     // Small-sample pretraining trace (burst residuals).
-    let (series, cells) = bench::pretraining_series(&scenario, 999, 60);
+    let (series, cells) = bench::pretraining_series(&scenario, base + 999, 60);
     let mut gan_cfg = InfoGanConfig::paper_defaults(n_cells);
     gan_cfg.window = 10;
     gan_cfg.mu = 3.0;
     gan_cfg.bins = 24;
-    let mut gan = InfoRnnGan::new(gan_cfg, 7);
+    let mut gan = InfoRnnGan::new(gan_cfg, base + 7);
     gan.fit(&series, &cells, 120);
 
     // Held-out evaluation realization.
-    let mut process = FlashCrowd::new(scenario.requests(), FlashCrowdConfig::default(), 1);
+    let mut process = FlashCrowd::new(scenario.requests(), FlashCrowdConfig::default(), base + 1);
     let horizon = 80;
     let mut cell_series = vec![Vec::new(); n_cells];
     for _ in 0..horizon {

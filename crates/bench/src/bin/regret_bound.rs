@@ -6,7 +6,7 @@
 //! should stay below the bound and flatten logarithmically.
 
 use bandit::{theorem1_bound, EpsilonSchedule, GapParams};
-use bench::{maybe_obs_profile, repeats, run_many, Algo, RunSpec, Table, TopoKind};
+use bench::{maybe_obs_profile, repeats, run_many, Algo, FaultConfig, RunSpec, Table, TopoKind};
 use lexcache_core::PolicyConfig;
 use mec_workload::scenario::DemandKind;
 use mec_workload::ScenarioConfig;
@@ -33,6 +33,7 @@ fn main() {
                 .with_epsilon(EpsilonSchedule::Decay { c }),
         ),
         track_regret: true,
+        faults: FaultConfig::none(),
     };
     let reports = run_many(&spec, repeats);
 

@@ -16,6 +16,9 @@
 //!   paper).
 //! * `LEXCACHE_THREADS` — worker threads for the topology sweep (default:
 //!   available parallelism).
+//! * `--seed N` (flag) or `LEXCACHE_SEED` — base seed added to every
+//!   sweep's per-repeat seed (default 0), so whole experiments replay on
+//!   a different seed set without recompiling.
 //! * `LEXCACHE_OBS=1` — after the normal sweep, run one instrumented
 //!   single-threaded episode per policy (seed 0), write the raw event
 //!   stream to `results/obs_<bin>.jsonl`, and print a per-policy phase
@@ -27,9 +30,10 @@
 #![warn(missing_docs)]
 
 use infogan::InfoGanConfig;
+pub use lexcache_core::FaultConfig;
 use lexcache_core::{
     ol_ewma, ol_holt, ol_naive, CachingPolicy, Episode, EpisodeConfig, EpisodeReport, GreedyGd,
-    OlGan, OlGd, OlReg, PolicyConfig, PriGd,
+    OlGan, OlGd, OlReg, OlUcb, PolicyConfig, PriGd,
 };
 use mec_net::topology::{as1755, gtitm};
 use mec_net::{NetworkConfig, Topology};
@@ -65,6 +69,31 @@ fn env_usize(key: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Base seed added to every sweep's per-repeat seed: the `--seed N` /
+/// `--seed=N` flag wins, then the `LEXCACHE_SEED` env var, default 0.
+pub fn base_seed() -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    seed_from_args(&args).unwrap_or_else(|| {
+        std::env::var("LEXCACHE_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    })
+}
+
+fn seed_from_args(args: &[String]) -> Option<u64> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--seed" {
+            return it.next().and_then(|v| v.parse().ok());
+        }
+        if let Some(v) = a.strip_prefix("--seed=") {
+            return v.parse().ok();
+        }
+    }
+    None
+}
+
 /// Which topology family a data point uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TopoKind {
@@ -89,6 +118,8 @@ impl TopoKind {
 pub enum Algo {
     /// Algorithm 1 with the default decaying exploration.
     OlGd,
+    /// The optimism-driven `OL_UCB` variant (given demands).
+    OlUcb,
     /// `Greedy_GD`.
     GreedyGd,
     /// `Pri_GD` of [20].
@@ -119,6 +150,7 @@ impl Algo {
     pub fn name(self) -> &'static str {
         match self {
             Algo::OlGd | Algo::OlGdWith(_) => "OL_GD",
+            Algo::OlUcb => "OL_UCB",
             Algo::GreedyGd => "Greedy_GD",
             Algo::PriGd => "Pri_GD",
             Algo::OlReg => "OL_Reg",
@@ -159,6 +191,9 @@ pub struct RunSpec {
     pub algo: Algo,
     /// Track clairvoyant regret.
     pub track_regret: bool,
+    /// Fault injection ([`FaultConfig::none`] = disabled, the default
+    /// for every figure spec).
+    pub faults: FaultConfig,
 }
 
 impl RunSpec {
@@ -172,6 +207,7 @@ impl RunSpec {
             horizon: slots(),
             algo,
             track_regret: false,
+            faults: FaultConfig::none(),
         }
     }
 
@@ -185,7 +221,14 @@ impl RunSpec {
             horizon: slots(),
             algo,
             track_regret: false,
+            faults: FaultConfig::none(),
         }
+    }
+
+    /// Overrides the fault configuration.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
     }
 }
 
@@ -197,6 +240,7 @@ pub fn make_policy(spec: &RunSpec, scenario: &Scenario, seed: u64) -> Box<dyn Ca
     let cfg = PolicyConfig::default().with_seed(seed);
     match spec.algo {
         Algo::OlGd => Box::new(OlGd::new(cfg)),
+        Algo::OlUcb => Box::new(OlUcb::new(seed)),
         Algo::OlGdWith(custom) => Box::new(OlGd::new(custom.with_seed(seed))),
         Algo::GreedyGd => Box::new(GreedyGd::new()),
         Algo::PriGd => Box::new(PriGd::new()),
@@ -288,25 +332,28 @@ pub fn run_one(spec: &RunSpec, seed: u64) -> EpisodeReport {
     if spec.track_regret {
         ep_cfg = ep_cfg.with_regret();
     }
+    ep_cfg = ep_cfg.with_faults(spec.faults);
     let mut episode = Episode::with_config(topo, net_cfg, scenario, ep_cfg);
     episode.run(policy.as_mut(), spec.horizon)
 }
 
 /// Runs the spec over `repeats` seeded topologies in parallel and
-/// returns the per-seed reports (ordered by seed).
+/// returns the per-repeat reports (ordered; repeat `i` uses episode seed
+/// [`base_seed`]` + i`).
 pub fn run_many(spec: &RunSpec, repeats: usize) -> Vec<EpisodeReport> {
     let results: Mutex<Vec<(u64, EpisodeReport)>> = Mutex::new(Vec::with_capacity(repeats));
     let next = std::sync::atomic::AtomicU64::new(0);
     let workers = threads().min(repeats.max(1));
+    let base = base_seed();
     crossbeam::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|_| loop {
-                let seed = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-                if seed >= repeats as u64 {
+                let idx = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                if idx >= repeats as u64 {
                     break;
                 }
-                let report = run_one(spec, seed);
-                results.lock().push((seed, report));
+                let report = run_one(spec, base + idx);
+                results.lock().push((idx, report));
             });
         }
     })
@@ -316,7 +363,7 @@ pub fn run_many(spec: &RunSpec, repeats: usize) -> Vec<EpisodeReport> {
         std::panic::resume_unwind(payload)
     });
     let mut out = results.into_inner();
-    out.sort_by_key(|(seed, _)| *seed);
+    out.sort_by_key(|(idx, _)| *idx);
     out.into_iter().map(|(_, r)| r).collect()
 }
 
@@ -361,7 +408,7 @@ pub fn maybe_write_json(bin: &str, series: &[JsonSeries]) {
 }
 
 /// With `LEXCACHE_OBS=1`, runs one instrumented single-threaded episode
-/// per labelled spec (seed 0), appends the raw event stream of all of
+/// per labelled spec (the base seed), appends the raw event stream of all of
 /// them to `results/obs_<bin>.jsonl`, and prints a per-policy phase
 /// breakdown plus a coverage line comparing the summed `decide/*` span
 /// times against the episode's reported decide total.
@@ -385,7 +432,9 @@ pub fn maybe_obs_profile(bin: &str, specs: &[(&str, RunSpec)]) {
     };
     let writer = lexcache_obs::SharedWriter::new(Box::new(std::io::BufWriter::new(file)));
     println!(
-        "\n# observability profile (LEXCACHE_OBS=1): one instrumented episode per policy, seed 0"
+        "\n# observability profile (LEXCACHE_OBS=1): one instrumented episode per policy, \
+         seed {}",
+        base_seed()
     );
     for (label, spec) in specs {
         let registry = lexcache_obs::SharedRegistry::new();
@@ -395,7 +444,7 @@ pub fn maybe_obs_profile(bin: &str, specs: &[(&str, RunSpec)]) {
         );
         lexcache_obs::install(Box::new(tee));
         lexcache_obs::mark(&format!("profile/{label}"));
-        let report = run_one(spec, 0);
+        let report = run_one(spec, base_seed());
         drop(lexcache_obs::uninstall());
         let snap = registry.snapshot();
         println!("\n## {label}");
@@ -559,6 +608,19 @@ mod tests {
     }
 
     #[test]
+    fn seed_flag_parsing() {
+        let args = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
+        assert_eq!(seed_from_args(&args(&["bin", "--seed", "42"])), Some(42));
+        assert_eq!(
+            seed_from_args(&args(&["bin", "--seed=7", "--json"])),
+            Some(7)
+        );
+        assert_eq!(seed_from_args(&args(&["bin", "--json"])), None);
+        assert_eq!(seed_from_args(&args(&["bin", "--seed"])), None);
+        assert_eq!(seed_from_args(&args(&["bin", "--seed", "x"])), None);
+    }
+
+    #[test]
     fn mean_std_basics() {
         let (m, s) = mean_std(&[2.0, 4.0]);
         assert_eq!(m, 3.0);
@@ -595,6 +657,7 @@ mod tests {
             horizon: 4,
             algo: Algo::GreedyGd,
             track_regret: false,
+            faults: FaultConfig::none(),
         };
         let reports = run_many(&spec, 2);
         assert_eq!(reports.len(), 2);
@@ -610,6 +673,7 @@ mod tests {
             horizon: 3,
             algo: Algo::PriGd,
             track_regret: false,
+            faults: FaultConfig::none(),
         };
         let a = run_many(&spec, 3);
         let b = run_many(&spec, 3);

@@ -18,7 +18,7 @@ fn greedy_pick(
     let mut best: Option<usize> = None;
     let mut best_cost = ctx.remote_delay;
     for i in 0..n {
-        if load[i] + demand <= capacity[i] + 1e-9 {
+        if ctx.station_up[i] && load[i] + demand <= capacity[i] + 1e-9 {
             let c = ctx.prior_delay[i] + ctx.transfer.get(l, BsId(i));
             if c < best_cost {
                 best_cost = c;
@@ -36,10 +36,13 @@ fn greedy_pick(
 }
 
 fn capacities(ctx: &SlotContext<'_>) -> Vec<f64> {
+    // Brown-outs shrink the usable capacity; `* 1.0` is bit-exact when
+    // fault injection is disabled.
     ctx.topo
         .stations()
         .iter()
-        .map(|bs| bs.capacity_mhz() / ctx.scenario.c_unit_mhz())
+        .zip(ctx.capacity_factor)
+        .map(|(bs, &f)| (bs.capacity_mhz() / ctx.scenario.c_unit_mhz()) * f)
         .collect()
 }
 

@@ -31,6 +31,8 @@ mod tests {
         transfer: TransferCosts,
         prior: Vec<f64>,
         demands: Vec<f64>,
+        up: Vec<bool>,
+        factor: Vec<f64>,
     }
 
     fn fixture(seed: u64) -> Fixture {
@@ -48,6 +50,7 @@ mod tests {
             .iter()
             .map(|r| r.basic_demand())
             .collect();
+        let n = topo.len();
         Fixture {
             topo,
             net_cfg,
@@ -55,6 +58,8 @@ mod tests {
             transfer,
             prior,
             demands,
+            up: vec![true; n],
+            factor: vec![1.0; n],
         }
     }
 
@@ -69,6 +74,8 @@ mod tests {
                 prior_delay: &self.prior,
                 remote_delay: 75.0,
                 net_cfg: &self.net_cfg,
+                station_up: &self.up,
+                capacity_factor: &self.factor,
             }
         }
     }
@@ -146,6 +153,7 @@ mod tests {
             observed_unit_delay: &observed,
             realized_demands: &f.demands,
             request_cells: &vec![0; f.demands.len()],
+            station_up: &f.up,
         });
         for i in 0..f.topo.len() {
             if played.contains(&i) {
@@ -176,6 +184,7 @@ mod tests {
                 observed_unit_delay: &played,
                 realized_demands: &f.demands,
                 request_cells: &vec![0; f.demands.len()],
+                station_up: &f.up,
             });
         }
         // Optimism should have spread trials across a sizable share of

@@ -1,7 +1,7 @@
 //! Algorithm 1: `OL_GD` — online learning with given demands.
 
 use crate::assignment::{Assignment, Target};
-use crate::lowering::build_caching_lp;
+use crate::lowering::build_caching_lp_masked;
 use crate::policy::{CachingPolicy, EstimatorKind, PolicyConfig, SlotContext, SlotFeedback};
 use bandit::{sample_by_weight, ArmSet, DiscountedArmStats, WindowedArmSet};
 use lexcache_obs as obs;
@@ -101,13 +101,15 @@ impl OlGdCore {
         };
         let lp = {
             let _span = obs::span("decide/lp_build");
-            build_caching_lp(
+            build_caching_lp_masked(
                 ctx.topo,
                 ctx.scenario,
                 ctx.transfer,
                 &believed,
                 demands,
                 ctx.remote_delay,
+                ctx.station_up,
+                ctx.capacity_factor,
             )
         };
         let solved = {
@@ -122,30 +124,42 @@ impl OlGdCore {
                 };
                 let _span = obs::span("decide/select");
                 let eps = self.cfg.epsilon.epsilon(ctx.slot);
-                let all_cols: Vec<usize> = (0..n).collect();
+                // Down stations are masked out of both exploitation and
+                // exploration; with every station alive these are the
+                // full `0..n` (and `vec![n]` never triggers), so the
+                // fault-free path is unchanged.
+                let alive_cols: Vec<usize> = (0..n).filter(|&i| ctx.station_up[i]).collect();
                 (0..demands.len())
                     .map(|l| {
                         // Lines 5–9: exploit the candidate set with
                         // probability 1 − ε_t (weighted by x*), explore a
                         // non-candidate station otherwise.
                         let explore = self.rng.random::<f64>() >= 1.0 - eps;
-                        let cands = if candidates[l].is_empty() {
+                        let mut cands = if candidates[l].is_empty() {
                             top_columns(&sol.x[l], 3)
                         } else {
                             candidates[l].clone()
                         };
+                        cands.retain(|&c| c == n || ctx.station_up[c]);
+                        if cands.is_empty() {
+                            cands = vec![n];
+                        }
                         if !explore {
                             obs::counter("bandit/exploit", 1);
                             sample_by_weight(&mut self.rng, &sol.x[l], &cands)
                         } else {
                             obs::counter("bandit/explore", 1);
-                            let non_cand: Vec<usize> = all_cols
+                            let non_cand: Vec<usize> = alive_cols
                                 .iter()
                                 .copied()
                                 .filter(|c| !cands.contains(c))
                                 .collect();
                             if non_cand.is_empty() {
-                                self.rng.random_range(0..n)
+                                if alive_cols.is_empty() {
+                                    n
+                                } else {
+                                    alive_cols[self.rng.random_range(0..alive_cols.len())]
+                                }
                             } else {
                                 non_cand[self.rng.random_range(0..non_cand.len())]
                             }
@@ -176,10 +190,14 @@ impl OlGdCore {
     }
 
     /// Line 10–11: observe the realized unit delay of each played arm.
+    /// Arms of down stations are frozen — an outage's delay sample says
+    /// nothing about the station's delay when it is serving.
     pub(crate) fn observe_delays(&mut self, feedback: &SlotFeedback<'_>) {
         if let Some(arms) = self.arms.as_mut() {
             for &(i, d) in feedback.observed_unit_delay {
-                arms.observe(i, d);
+                if feedback.station_up[i] {
+                    arms.observe(i, d);
+                }
             }
         }
     }
@@ -193,12 +211,15 @@ fn top_columns(xs: &[f64], k: usize) -> Vec<usize> {
     idx
 }
 
-/// The believed-cheapest column (edge or remote) for request `l`.
+/// The believed-cheapest *alive* column (edge or remote) for request `l`.
 fn cheapest_column(ctx: &SlotContext<'_>, l: usize, believed: &[f64]) -> usize {
     let n = ctx.topo.len();
     let mut best = n; // remote
     let mut best_cost = ctx.remote_delay;
     for i in 0..n {
+        if !ctx.station_up[i] {
+            continue;
+        }
         let c = believed[i] + ctx.transfer.get(l, mec_net::BsId(i));
         if c < best_cost {
             best_cost = c;
@@ -221,11 +242,21 @@ pub(crate) fn repair_capacity(
     believed: &[f64],
 ) -> Vec<usize> {
     let n = ctx.topo.len();
+    // Down stations get zero usable capacity and brown-outs scale it
+    // down, so the same overload loop also drains every request off a
+    // failed station. With all stations alive the `* 1.0` is bit-exact.
     let capacity: Vec<f64> = ctx
         .topo
         .stations()
         .iter()
-        .map(|bs| bs.capacity_mhz() / ctx.scenario.c_unit_mhz())
+        .enumerate()
+        .map(|(i, bs)| {
+            if ctx.station_up[i] {
+                (bs.capacity_mhz() / ctx.scenario.c_unit_mhz()) * ctx.capacity_factor[i]
+            } else {
+                0.0
+            }
+        })
         .collect();
     let mut load = vec![0.0; n];
     for (l, &c) in columns.iter().enumerate() {
@@ -234,7 +265,9 @@ pub(crate) fn repair_capacity(
         }
     }
     loop {
-        let Some(over) = (0..n).find(|&i| load[i] > capacity[i] + 1e-9) else {
+        let Some(over) = (0..n).find(|&i| {
+            load[i] > capacity[i] + 1e-9 || (!ctx.station_up[i] && columns.iter().any(|&c| c == i))
+        }) else {
             return columns;
         };
         // Requests currently on the overloaded station, largest demand
@@ -246,7 +279,7 @@ pub(crate) fn repair_capacity(
         let mut best = n;
         let mut best_cost = ctx.remote_delay;
         for i in 0..n {
-            if i != over && load[i] + demands[victim] <= capacity[i] + 1e-9 {
+            if i != over && ctx.station_up[i] && load[i] + demands[victim] <= capacity[i] + 1e-9 {
                 let c = believed[i] + ctx.transfer.get(victim, mec_net::BsId(i));
                 if c < best_cost {
                     best_cost = c;

@@ -12,7 +12,7 @@
 
 use crate::algorithms::ol_gd::repair_capacity;
 use crate::assignment::{Assignment, Target};
-use crate::lowering::build_caching_lp;
+use crate::lowering::build_caching_lp_masked;
 use crate::policy::{CachingPolicy, SlotContext, SlotFeedback};
 use bandit::{sample_by_weight, ArmSet};
 use lexcache_obs as obs;
@@ -75,13 +75,15 @@ impl CachingPolicy for OlUcb {
         };
         let lp = {
             let _span = obs::span("decide/lp_build");
-            build_caching_lp(
+            build_caching_lp_masked(
                 ctx.topo,
                 ctx.scenario,
                 ctx.transfer,
                 &believed,
                 demands,
                 ctx.remote_delay,
+                ctx.station_up,
+                ctx.capacity_factor,
             )
         };
         let solved = {
@@ -91,15 +93,27 @@ impl CachingPolicy for OlUcb {
         let columns: Vec<usize> = match solved {
             Ok(sol) => {
                 let _span = obs::span("decide/select");
-                let all: Vec<usize> = (0..=n).collect();
+                // Alive stations plus the remote column; the full `0..=n`
+                // (and an unchanged RNG stream) when nothing is down.
+                let all: Vec<usize> = (0..n)
+                    .filter(|&i| ctx.station_up[i])
+                    .chain(std::iter::once(n))
+                    .collect();
                 (0..demands.len())
                     .map(|l| sample_by_weight(&mut self.rng, &sol.x[l], &all))
                     .collect()
             }
             Err(_) => {
                 obs::counter("decide/lp_fallback", 1);
+                let alive: Vec<usize> = (0..n).filter(|&i| ctx.station_up[i]).collect();
                 (0..demands.len())
-                    .map(|_| self.rng.random_range(0..n))
+                    .map(|_| {
+                        if alive.is_empty() {
+                            n
+                        } else {
+                            alive[self.rng.random_range(0..alive.len())]
+                        }
+                    })
                     .collect()
             }
         };
@@ -118,7 +132,10 @@ impl CachingPolicy for OlUcb {
     fn observe(&mut self, feedback: &SlotFeedback<'_>) {
         if let Some(arms) = self.arms.as_mut() {
             for &(i, d) in feedback.observed_unit_delay {
-                arms.observe(i, d);
+                // Freeze the arms of down stations (see `OlGdCore`).
+                if feedback.station_up[i] {
+                    arms.observe(i, d);
+                }
             }
         }
     }

@@ -154,6 +154,18 @@ impl CacheState {
         }
         cost
     }
+
+    /// Evicts every live instance at `bs` — a station outage loses its
+    /// warm cloudlet state, so instances there must pay instantiation
+    /// again after the station recovers. Returns the number of instances
+    /// lost and counts them as `cache/lost_on_failure`.
+    pub fn evict_station(&mut self, bs: BsId) -> usize {
+        let before = self.last_used.len();
+        self.last_used.retain(|&(_, i), _| i != bs.index());
+        let lost = before - self.last_used.len();
+        obs::counter("cache/lost_on_failure", lost as u64);
+        lost
+    }
 }
 
 #[cfg(test)]
@@ -218,6 +230,23 @@ mod tests {
         let _ = cache.apply(4, &[(2, 0)], &inst());
         assert!(cache.is_cached(0, BsId(0)), "recently touched survives");
         assert!(!cache.is_cached(1, BsId(0)), "stale one evicted");
+    }
+
+    #[test]
+    fn station_eviction_loses_warm_instances() {
+        let mut cache = CacheState::new(3, 4);
+        let _ = cache.apply(1, &[(0, 2), (1, 2), (0, 3)], &inst());
+        assert_eq!(cache.live_count(), 3);
+        let lost = cache.evict_station(BsId(2));
+        assert_eq!(lost, 2);
+        assert!(!cache.is_cached(0, BsId(2)));
+        assert!(!cache.is_cached(1, BsId(2)));
+        assert!(cache.is_cached(0, BsId(3)), "other stations untouched");
+        // Re-use after the outage pays instantiation again.
+        let cost = cache.apply(2, &[(0, 2)], &inst());
+        assert_eq!(cost, 10.0);
+        // Evicting an empty station is a no-op.
+        assert_eq!(cache.evict_station(BsId(1)), 0);
     }
 
     #[test]

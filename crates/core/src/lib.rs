@@ -23,7 +23,11 @@
 //! [`Episode`] runs any [`CachingPolicy`] against a topology, a bursty
 //! workload and a hidden delay process, recording average delay, decision
 //! runtime and (optionally) per-slot regret against the clairvoyant LP
-//! optimum.
+//! optimum. With [`FaultConfig`] enabled it also injects seeded station
+//! outages, link failures and capacity brown-outs: failed stations lose
+//! their warm cache, policies see per-slot liveness through
+//! [`SlotContext`], and a repair pass re-routes anything still assigned
+//! to a down station.
 //!
 //! # Example
 //!
@@ -59,6 +63,7 @@ pub use algorithms::{
 pub use assignment::{Assignment, Target};
 pub use cache::CacheState;
 pub use lowering::TransferCosts;
+pub use mec_net::FaultConfig;
 pub use metrics::{EpisodeReport, SlotMetrics};
 pub use policy::{CachingPolicy, PolicyConfig, SlotContext, SlotFeedback};
 pub use sim::{DelayModelKind, Episode, EpisodeConfig};

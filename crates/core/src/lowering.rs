@@ -23,6 +23,19 @@ impl TransferCosts {
     /// Computes the transfer matrix with Dijkstra over link delays from
     /// every distinct registered station.
     pub fn compute(topo: &Topology, scenario: &Scenario) -> Self {
+        Self::compute_masked(topo, scenario, &vec![true; topo.edge_count()])
+    }
+
+    /// Like [`TransferCosts::compute`] but skipping dead links:
+    /// `link_up[e]` mirrors `topo.edges()[e]`. Stations reachable only
+    /// through dead links get the same large-but-finite unreachable
+    /// penalty as disconnected ones, keeping the LP well-posed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link_up.len() != topo.edge_count()`.
+    pub fn compute_masked(topo: &Topology, scenario: &Scenario, link_up: &[bool]) -> Self {
+        assert_eq!(link_up.len(), topo.edge_count(), "one flag per edge");
         // BTreeMap, not HashMap: this cache is keyed by station index
         // on the per-episode decision path, and same-seed runs must
         // not depend on hasher state (lexlint LX03).
@@ -35,7 +48,7 @@ impl TransferCosts {
                 let src = r.registered_bs().index();
                 by_source
                     .entry(src)
-                    .or_insert_with(|| dijkstra(topo, src))
+                    .or_insert_with(|| dijkstra(topo, src, link_up))
                     .clone()
             })
             .collect();
@@ -53,17 +66,20 @@ impl TransferCosts {
     }
 }
 
-/// Shortest-path delays (ms) from `src` to every station over the link
-/// delays; unreachable stations get a large-but-finite penalty so the LP
-/// stays well-posed.
-fn dijkstra(topo: &Topology, src: usize) -> Vec<f64> {
+/// Shortest-path delays (ms) from `src` to every station over the alive
+/// link delays; unreachable stations get a large-but-finite penalty so
+/// the LP stays well-posed.
+fn dijkstra(topo: &Topology, src: usize, link_up: &[bool]) -> Vec<f64> {
     const UNREACHABLE_MS: f64 = 1_000.0;
     let n = topo.len();
     let mut dist = vec![f64::INFINITY; n];
     dist[src] = 0.0;
-    // Edge lookup: adjacency with delays.
+    // Edge lookup: adjacency with delays, dead links excluded.
     let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
     for (e, &(u, v)) in topo.edges().iter().enumerate() {
+        if !link_up[e] {
+            continue;
+        }
         let d = topo.edge_delay_ms(e);
         adj[u].push((v, d));
         adj[v].push((u, d));
@@ -129,6 +145,40 @@ pub fn build_caching_lp(
     demands: &[f64],
     remote_delay: f64,
 ) -> CachingLp {
+    build_caching_lp_masked(
+        topo,
+        scenario,
+        transfer,
+        believed_delay,
+        demands,
+        remote_delay,
+        &vec![true; topo.len()],
+        &vec![1.0; topo.len()],
+    )
+}
+
+/// Fault-aware variant of [`build_caching_lp`]: down stations get zero
+/// capacity (the balanced transportation solver then routes zero flow to
+/// them), and alive stations' capacities are scaled by their brown-out
+/// factor. With every station up at factor 1 this is value-identical to
+/// the unmasked builder.
+///
+/// # Panics
+///
+/// Panics on the same inconsistencies as [`build_caching_lp`], or if the
+/// mask vectors do not have one entry per station.
+// lexlint: why the two mask slices belong next to the five LP inputs; a params struct would be ceremony for one internal call site
+#[allow(clippy::too_many_arguments)]
+pub fn build_caching_lp_masked(
+    topo: &Topology,
+    scenario: &Scenario,
+    transfer: &TransferCosts,
+    believed_delay: &[f64],
+    demands: &[f64],
+    remote_delay: f64,
+    station_up: &[bool],
+    capacity_factor: &[f64],
+) -> CachingLp {
     let n = topo.len();
     assert_eq!(believed_delay.len(), n, "one believed delay per station");
     assert_eq!(
@@ -137,6 +187,8 @@ pub fn build_caching_lp(
         "one demand per request"
     );
     assert!(remote_delay > 0.0, "remote delay must be positive");
+    assert_eq!(station_up.len(), n, "one up flag per station");
+    assert_eq!(capacity_factor.len(), n, "one capacity factor per station");
     let total_demand: f64 = demands.iter().sum();
 
     let unit_cost: Vec<Vec<f64>> = scenario
@@ -155,7 +207,14 @@ pub fn build_caching_lp(
     let mut capacity_units: Vec<f64> = topo
         .stations()
         .iter()
-        .map(|bs| bs.capacity_mhz() / scenario.c_unit_mhz())
+        .enumerate()
+        .map(|(i, bs)| {
+            if station_up[i] {
+                (bs.capacity_mhz() / scenario.c_unit_mhz()) * capacity_factor[i]
+            } else {
+                0.0
+            }
+        })
         .collect();
     capacity_units.push(total_demand.max(1.0));
 
@@ -278,6 +337,119 @@ mod tests {
         let lp = build_caching_lp(&topo, &scenario, &transfer, &believed, &demands, 75.0);
         let sol = lp.solve_fast().expect("remote column keeps LP feasible");
         assert!(sol.is_feasible(&lp, 1e-4));
+    }
+
+    #[test]
+    fn all_alive_mask_matches_unmasked_builder_exactly() {
+        let (topo, cfg, scenario) = setup();
+        let transfer = TransferCosts::compute(&topo, &scenario);
+        let believed: Vec<f64> = topo
+            .stations()
+            .iter()
+            .map(|b| cfg.tier(b.tier()).unit_delay_ms.mid())
+            .collect();
+        let demands: Vec<f64> = scenario
+            .requests()
+            .iter()
+            .map(|r| r.basic_demand())
+            .collect();
+        let masked_transfer =
+            TransferCosts::compute_masked(&topo, &scenario, &vec![true; topo.edge_count()]);
+        assert_eq!(transfer, masked_transfer);
+        let plain = build_caching_lp(&topo, &scenario, &transfer, &believed, &demands, 75.0);
+        let masked = build_caching_lp_masked(
+            &topo,
+            &scenario,
+            &transfer,
+            &believed,
+            &demands,
+            75.0,
+            &vec![true; topo.len()],
+            &vec![1.0; topo.len()],
+        );
+        assert_eq!(plain.capacity_units(), masked.capacity_units());
+        assert_eq!(plain.unit_cost(), masked.unit_cost());
+    }
+
+    #[test]
+    fn dead_links_raise_transfer_costs() {
+        let (topo, _, scenario) = setup();
+        let alive = TransferCosts::compute(&topo, &scenario);
+        // Kill every link: every off-registered station becomes
+        // unreachable (cost 1000), registered stations stay at 0.
+        let dead = TransferCosts::compute_masked(&topo, &scenario, &vec![false; topo.edge_count()]);
+        for (l, r) in scenario.requests().iter().enumerate() {
+            for i in 0..topo.len() {
+                let bs = BsId(i);
+                if bs == r.registered_bs() {
+                    assert_eq!(dead.get(l, bs), 0.0);
+                } else {
+                    assert_eq!(dead.get(l, bs), 1_000.0);
+                    assert!(alive.get(l, bs) <= dead.get(l, bs));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn down_station_receives_no_lp_flow() {
+        let (topo, _cfg, scenario) = setup();
+        let transfer = TransferCosts::compute(&topo, &scenario);
+        // Station 0 is believed nearly free but down: mass must go
+        // elsewhere even though its column is by far the cheapest.
+        let mut believed = vec![500.0; topo.len()];
+        believed[0] = 0.1;
+        let demands: Vec<f64> = scenario
+            .requests()
+            .iter()
+            .map(|r| r.basic_demand())
+            .collect();
+        let mut station_up = vec![true; topo.len()];
+        station_up[0] = false;
+        let lp = build_caching_lp_masked(
+            &topo,
+            &scenario,
+            &transfer,
+            &believed,
+            &demands,
+            75.0,
+            &station_up,
+            &vec![1.0; topo.len()],
+        );
+        assert_eq!(lp.capacity_units()[0], 0.0);
+        let sol = lp.solve_fast().unwrap();
+        let mass_at_0: f64 = (0..lp.n_requests()).map(|l| sol.x[l][0]).sum();
+        assert!(mass_at_0.abs() < 1e-9, "down station attracted {mass_at_0}");
+    }
+
+    #[test]
+    fn brownout_factor_scales_lp_capacity() {
+        let (topo, cfg, scenario) = setup();
+        let transfer = TransferCosts::compute(&topo, &scenario);
+        let believed: Vec<f64> = topo
+            .stations()
+            .iter()
+            .map(|b| cfg.tier(b.tier()).unit_delay_ms.mid())
+            .collect();
+        let demands: Vec<f64> = scenario
+            .requests()
+            .iter()
+            .map(|r| r.basic_demand())
+            .collect();
+        let lp = build_caching_lp_masked(
+            &topo,
+            &scenario,
+            &transfer,
+            &believed,
+            &demands,
+            75.0,
+            &vec![true; topo.len()],
+            &vec![0.5; topo.len()],
+        );
+        for (i, bs) in topo.stations().iter().enumerate() {
+            let full = bs.capacity_mhz() / scenario.c_unit_mhz();
+            assert!((lp.capacity_units()[i] - full * 0.5).abs() < 1e-12);
+        }
     }
 
     #[test]

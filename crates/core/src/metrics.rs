@@ -19,6 +19,16 @@ pub struct SlotMetrics {
     pub optimal_avg_delay_ms: Option<f64>,
     /// Requests that had to fall back to the remote data centre.
     pub remote_count: usize,
+    /// Requests whose assignment targeted a station that failed this
+    /// slot and were re-routed to another alive station by the repair
+    /// pass (0 when fault injection is disabled).
+    #[serde(default)]
+    pub rerouted_count: usize,
+    /// Requests pushed to the remote data centre by the repair pass
+    /// because no alive station had spare capacity (a subset of
+    /// `remote_count`; 0 when fault injection is disabled).
+    #[serde(default)]
+    pub dropped_count: usize,
 }
 
 /// The result of running one policy for a horizon of slots.
@@ -109,6 +119,18 @@ impl EpisodeReport {
     pub fn total_remote(&self) -> usize {
         self.slots.iter().map(|s| s.remote_count).sum()
     }
+
+    /// Total requests re-routed to another alive station by the
+    /// fault-repair pass.
+    pub fn total_rerouted(&self) -> usize {
+        self.slots.iter().map(|s| s.rerouted_count).sum()
+    }
+
+    /// Total requests the fault-repair pass pushed to the remote data
+    /// centre for lack of alive edge capacity.
+    pub fn total_dropped(&self) -> usize {
+        self.slots.iter().map(|s| s.dropped_count).sum()
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +144,8 @@ mod tests {
             decide_us: 100.0,
             optimal_avg_delay_ms: opt,
             remote_count: i % 2,
+            rerouted_count: i,
+            dropped_count: i % 3,
         }
     }
 
@@ -137,6 +161,8 @@ mod tests {
         assert_eq!(r.total_decide_ms(), 0.2);
         assert_eq!(r.delay_series(), vec![10.0, 20.0]);
         assert_eq!(r.total_remote(), 1);
+        assert_eq!(r.total_rerouted(), 3);
+        assert_eq!(r.total_dropped(), 3);
     }
 
     #[test]
@@ -148,6 +174,8 @@ mod tests {
                 decide_us: i as f64,
                 optimal_avg_delay_ms: None,
                 remote_count: 0,
+                rerouted_count: 0,
+                dropped_count: 0,
             })
             .collect();
         // Shuffle-ish ordering: percentiles must sort, not trust input.

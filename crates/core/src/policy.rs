@@ -31,6 +31,13 @@ pub struct SlotContext<'a> {
     pub remote_delay: f64,
     /// The network configuration reference.
     pub net_cfg: &'a mec_net::NetworkConfig,
+    /// `station_up[i]` — whether `BsId(i)` is alive this slot. Policies
+    /// must not assign requests to down stations; all-true when fault
+    /// injection is disabled.
+    pub station_up: &'a [bool],
+    /// Per-station usable-capacity multiplier in `(0, 1]` (capacity
+    /// brown-outs); all-ones when fault injection is disabled.
+    pub capacity_factor: &'a [f64],
 }
 
 /// End-of-slot feedback: what the environment revealed.
@@ -47,6 +54,10 @@ pub struct SlotFeedback<'a> {
     /// The location cell of every request (constant, repeated for
     /// convenience).
     pub request_cells: &'a [usize],
+    /// `station_up[i]` — whether `BsId(i)` was alive this slot. Learners
+    /// should freeze the bandit arms of down stations rather than feed
+    /// them spurious samples.
+    pub station_up: &'a [bool],
 }
 
 /// A per-slot service caching and task offloading algorithm.

@@ -1,15 +1,14 @@
 //! The slot-by-slot simulation engine.
 
-use crate::lowering::{build_caching_lp, TransferCosts};
+use crate::lowering::{build_caching_lp_masked, TransferCosts};
 use crate::metrics::{EpisodeReport, SlotMetrics};
 use crate::policy::{CachingPolicy, SlotContext, SlotFeedback};
 use lexcache_obs as obs;
 use mec_net::delay::{CongestionDelay, DelayProcess, RemoteDcDelay, UniformTierDelay};
-use mec_net::{NetworkConfig, Topology};
+use mec_net::{FaultConfig, FaultProcess, NetworkConfig, Topology};
 use mec_workload::demand::DemandProcess as _;
 use mec_workload::Scenario;
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 /// Which hidden unit-delay process drives the episode.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -65,6 +64,12 @@ pub struct EpisodeConfig {
     /// observations see the load-scaled delay, so learners can discover
     /// and avoid crowded stations.
     pub load_sensitivity: f64,
+    /// Seeded fault injection: station outages, link failures and
+    /// capacity brown-outs ([`FaultConfig::none`] by default — no fault
+    /// process is even constructed, so the simulation is bit-identical
+    /// to a build without fault support).
+    #[serde(default)]
+    pub faults: FaultConfig,
     /// Environment seed (delay realizations).
     pub seed: u64,
 }
@@ -78,6 +83,7 @@ impl EpisodeConfig {
             track_regret: false,
             amortize_instantiation: false,
             load_sensitivity: 0.0,
+            faults: FaultConfig::none(),
             seed,
         }
     }
@@ -114,6 +120,19 @@ impl EpisodeConfig {
     pub fn with_load_sensitivity(mut self, sensitivity: f64) -> Self {
         assert!(sensitivity >= 0.0, "sensitivity must be non-negative");
         self.load_sensitivity = sensitivity;
+        self
+    }
+
+    /// Enables seeded fault injection (station outages, link failures,
+    /// capacity brown-outs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate in `faults` is outside `[0, 1]` (see
+    /// [`FaultConfig::validate`]).
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        faults.validate();
+        self.faults = faults;
         self
     }
 }
@@ -155,6 +174,18 @@ pub struct Episode {
     remote: RemoteDcDelay,
     cfg: EpisodeConfig,
     cache: crate::CacheState,
+    /// `Some` only when `cfg.faults.is_enabled()` — a disabled fault
+    /// model costs nothing and changes nothing.
+    faults: Option<FaultProcess>,
+    /// Per-slot liveness snapshot handed to the policy (all-true when
+    /// faults are off).
+    station_up: Vec<bool>,
+    /// Per-slot brown-out capacity multipliers (all-ones when faults are
+    /// off).
+    capacity_factor: Vec<f64>,
+    /// Transfer costs re-routed around dead links; `None` until the
+    /// first link-state change, after which it shadows `transfer`.
+    transfer_masked: Option<TransferCosts>,
 }
 
 impl Episode {
@@ -200,6 +231,11 @@ impl Episode {
         };
         let remote = RemoteDcDelay::new(&net_cfg, cfg.seed);
         let cache = crate::CacheState::new(scenario.services().len(), topo.len());
+        let faults = cfg
+            .faults
+            .is_enabled()
+            .then(|| FaultProcess::new(&topo, cfg.faults, cfg.seed));
+        let n = topo.len();
         Episode {
             topo,
             net_cfg,
@@ -210,6 +246,10 @@ impl Episode {
             remote,
             cfg,
             cache,
+            faults,
+            station_up: vec![true; n],
+            capacity_factor: vec![1.0; n],
+            transfer_masked: None,
         }
     }
 
@@ -239,6 +279,7 @@ impl Episode {
         assignment: &crate::Assignment,
         demands: &[f64],
         realized: &[f64],
+        transfer: &TransferCosts,
     ) -> (f64, Vec<(usize, usize)>) {
         let n = self.topo.len();
         let c_unit = self.scenario.c_unit_mhz();
@@ -250,7 +291,10 @@ impl Episode {
         }
         let overload: Vec<f64> = (0..n)
             .map(|i| {
-                let cap = self.topo.stations()[i].capacity_mhz() / c_unit;
+                // Brown-outs shrink the usable capacity, so congestion
+                // kicks in earlier (`* 1.0` bit-exact without faults).
+                let cap =
+                    (self.topo.stations()[i].capacity_mhz() / c_unit) * self.capacity_factor[i];
                 let ratio = (load[i] / cap).max(1.0);
                 ratio * ratio
             })
@@ -261,7 +305,7 @@ impl Episode {
             match t {
                 crate::Target::Edge(bs) => {
                     let i = bs.index();
-                    total += demands[l] * (realized[i] * overload[i] + self.transfer.get(l, *bs));
+                    total += demands[l] * (realized[i] * overload[i] + transfer.get(l, *bs));
                     let k = self.scenario.requests()[l].service().index();
                     used.insert((k, i));
                 }
@@ -271,6 +315,78 @@ impl Episode {
             }
         }
         (total, used.into_iter().collect())
+    }
+
+    /// Safety net run after `decide` when faults are active: any request
+    /// still assigned to a down station is re-routed to its cheapest
+    /// alive station with spare (brown-out-adjusted) capacity, or to the
+    /// remote data centre when none has room. Returns the repaired
+    /// assignment plus `(rerouted, dropped)` counts.
+    fn repair_faulted_assignment(
+        &self,
+        assignment: crate::Assignment,
+        demands: &[f64],
+        transfer: &TransferCosts,
+        station_up: &[bool],
+        capacity_factor: &[f64],
+    ) -> (crate::Assignment, usize, usize) {
+        let n = self.topo.len();
+        let c_unit = self.scenario.c_unit_mhz();
+        let capacity: Vec<f64> = self
+            .topo
+            .stations()
+            .iter()
+            .enumerate()
+            .map(|(i, bs)| {
+                if station_up[i] {
+                    (bs.capacity_mhz() / c_unit) * capacity_factor[i]
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mut targets: Vec<crate::Target> = assignment.targets().to_vec();
+        let mut load = vec![0.0; n];
+        for (l, t) in targets.iter().enumerate() {
+            if let crate::Target::Edge(bs) = t {
+                if station_up[bs.index()] {
+                    load[bs.index()] += demands[l];
+                }
+            }
+        }
+        let mut rerouted = 0;
+        let mut dropped = 0;
+        for l in 0..targets.len() {
+            let crate::Target::Edge(bs) = targets[l] else {
+                continue;
+            };
+            if station_up[bs.index()] {
+                continue;
+            }
+            let mut best: Option<usize> = None;
+            let mut best_cost = self.net_cfg.remote_dc_delay_ms.mid();
+            for i in 0..n {
+                if station_up[i] && load[i] + demands[l] <= capacity[i] + 1e-9 {
+                    let c = self.prior_delay[i] + transfer.get(l, mec_net::BsId(i));
+                    if c < best_cost {
+                        best_cost = c;
+                        best = Some(i);
+                    }
+                }
+            }
+            match best {
+                Some(i) => {
+                    load[i] += demands[l];
+                    targets[l] = crate::Target::Edge(mec_net::BsId(i));
+                    rerouted += 1;
+                }
+                None => {
+                    targets[l] = crate::Target::Remote;
+                    dropped += 1;
+                }
+            }
+        }
+        (crate::Assignment::new(targets), rerouted, dropped)
     }
 
     /// Runs `policy` for `horizon` slots and collects metrics.
@@ -304,6 +420,33 @@ impl Episode {
                 demands
             };
 
+            // Fault injection: advance the outage/link/brown-out chains,
+            // lose the warm cache of freshly failed stations and reroute
+            // transfer paths around dead links. Skipped entirely (not
+            // just a no-op) when faults are disabled.
+            if self.faults.is_some() {
+                let _span = obs::span("sim/faults");
+                if let Some(fp) = self.faults.as_mut() {
+                    fp.advance(&self.topo);
+                    for &bs in fp.newly_failed() {
+                        self.cache.evict_station(bs);
+                    }
+                    if fp.injected_last_slot() > 0 {
+                        obs::counter("faults/injected", fp.injected_last_slot() as u64);
+                    }
+                    if fp.links_changed() {
+                        self.transfer_masked = Some(TransferCosts::compute_masked(
+                            &self.topo,
+                            &self.scenario,
+                            fp.link_up(),
+                        ));
+                    }
+                    self.station_up.copy_from_slice(fp.station_up());
+                    self.capacity_factor.copy_from_slice(fp.capacity_factors());
+                }
+            }
+            let transfer_now = self.transfer_masked.as_ref().unwrap_or(&self.transfer);
+
             let ctx = {
                 let _span = obs::span("sim/context");
                 SlotContext {
@@ -311,22 +454,47 @@ impl Episode {
                     topo: &self.topo,
                     scenario: &self.scenario,
                     given_demands: self.cfg.reveal_demands.then_some(demands.as_slice()),
-                    transfer: &self.transfer,
+                    transfer: transfer_now,
                     prior_delay: &self.prior_delay,
                     remote_delay: self.net_cfg.remote_dc_delay_ms.mid(),
                     net_cfg: &self.net_cfg,
+                    station_up: &self.station_up,
+                    capacity_factor: &self.capacity_factor,
                 }
             };
             let decide_span = obs::span("sim/decide");
-            let started = Instant::now();
+            let watch = obs::Stopwatch::start();
             let assignment = policy.decide(&ctx);
-            let decide_us = started.elapsed().as_secs_f64() * 1e6;
+            let decide_us = watch.elapsed_us();
             drop(decide_span);
             assert_eq!(
                 assignment.len(),
                 n_requests,
                 "assignment must cover every request"
             );
+            drop(ctx);
+
+            // Graceful degradation: nothing may stay assigned to a down
+            // station, whatever the policy returned.
+            let (assignment, rerouted_count, dropped_count) = if self.faults.is_some() {
+                let _span = obs::span("sim/fault_repair");
+                let (repaired, rerouted, dropped) = self.repair_faulted_assignment(
+                    assignment,
+                    &demands,
+                    transfer_now,
+                    &self.station_up,
+                    &self.capacity_factor,
+                );
+                if rerouted > 0 {
+                    obs::counter("requests/rerouted", rerouted as u64);
+                }
+                if dropped > 0 {
+                    obs::counter("requests/dropped", dropped as u64);
+                }
+                (repaired, rerouted, dropped)
+            } else {
+                (assignment, 0, 0)
+            };
 
             // Score against the realized delays. A station whose
             // realized load exceeds its capacity queues: its unit delay
@@ -350,12 +518,13 @@ impl Episode {
                     }
                 }
                 for (i, r) in realized.iter_mut().enumerate() {
-                    let cap = self.topo.stations()[i].capacity_mhz() / c_unit;
+                    let cap =
+                        (self.topo.stations()[i].capacity_mhz() / c_unit) * self.capacity_factor[i];
                     *r *= 1.0 + self.cfg.load_sensitivity * (load[i] / cap);
                 }
             }
             let (processing, used_instances) =
-                self.score_processing(&assignment, &demands, &realized);
+                self.score_processing(&assignment, &demands, &realized, transfer_now);
             drop(realize_span);
             let inst_cost = {
                 let _span = obs::span("sim/cache_apply");
@@ -380,13 +549,15 @@ impl Episode {
             // processing optimum is.
             let optimal_avg_delay_ms = if self.cfg.track_regret {
                 let _span = obs::span("sim/regret_lp");
-                let true_lp = build_caching_lp(
+                let true_lp = build_caching_lp_masked(
                     &self.topo,
                     &self.scenario,
-                    &self.transfer,
+                    transfer_now,
                     &realized,
                     &demands,
                     self.remote.unit_delay(),
+                    &self.station_up,
+                    &self.capacity_factor,
                 );
                 true_lp.solve_fast().ok().map(|sol| {
                     let zero_y = vec![vec![0.0; true_lp.n_stations()]; true_lp.n_services()];
@@ -409,6 +580,7 @@ impl Episode {
                 observed_unit_delay: &observed,
                 realized_demands: &demands,
                 request_cells: &request_cells,
+                station_up: &self.station_up,
             };
             policy.observe(&feedback);
             obs::counter("sim/remote_requests", assignment.remote_count() as u64);
@@ -420,6 +592,8 @@ impl Episode {
                 decide_us,
                 optimal_avg_delay_ms,
                 remote_count: assignment.remote_count(),
+                rerouted_count,
+                dropped_count,
             });
         }
         EpisodeReport {
@@ -623,6 +797,183 @@ mod tests {
     fn zero_horizon_rejected() {
         let mut ep = episode(1);
         let _ = ep.run(&mut GreedyGd::new(), 0);
+    }
+
+    #[test]
+    fn zero_rate_faults_match_plain_episode_bit_for_bit() {
+        let plain = {
+            let mut ep = episode(13);
+            ep.run(&mut OlGd::new(PolicyConfig::default()), 10)
+        };
+        let with_disabled_faults = {
+            let cfg = NetworkConfig::paper_defaults();
+            let topo = gtitm::generate(20, &cfg, 13);
+            let scenario = ScenarioConfig::small().build(&topo, 13);
+            let ep_cfg = EpisodeConfig::new(13).with_faults(FaultConfig::intensity(0.0));
+            let mut ep = Episode::with_config(topo, cfg, scenario, ep_cfg);
+            ep.run(&mut OlGd::new(PolicyConfig::default()), 10)
+        };
+        let bits = |r: &EpisodeReport| -> Vec<(u64, usize)> {
+            r.slots
+                .iter()
+                .map(|s| (s.avg_delay_ms.to_bits(), s.remote_count))
+                .collect()
+        };
+        assert_eq!(bits(&plain), bits(&with_disabled_faults));
+        assert_eq!(with_disabled_faults.total_rerouted(), 0);
+        assert_eq!(with_disabled_faults.total_dropped(), 0);
+    }
+
+    #[test]
+    fn faulty_episodes_are_deterministic() {
+        let run = || {
+            let cfg = NetworkConfig::paper_defaults();
+            let topo = gtitm::generate(20, &cfg, 21);
+            let scenario = ScenarioConfig::small().build(&topo, 21);
+            let ep_cfg = EpisodeConfig::new(21).with_faults(FaultConfig::intensity(0.1));
+            let mut ep = Episode::with_config(topo, cfg, scenario, ep_cfg);
+            ep.run(&mut OlGd::new(PolicyConfig::default()), 15)
+        };
+        let a = run();
+        let b = run();
+        let bits = |r: &EpisodeReport| -> Vec<(u64, usize, usize, usize)> {
+            r.slots
+                .iter()
+                .map(|s| {
+                    (
+                        s.avg_delay_ms.to_bits(),
+                        s.remote_count,
+                        s.rerouted_count,
+                        s.dropped_count,
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(bits(&a), bits(&b), "same seed, same faults, same run");
+    }
+
+    #[test]
+    fn repair_pass_moves_requests_off_down_stations() {
+        let ep = episode(17);
+        let n = ep.topology().len();
+        let n_req = ep.scenario().requests().len();
+        let demands = vec![1.0; n_req];
+        let mut station_up = vec![true; n];
+        station_up[0] = false;
+        let capacity_factor = vec![1.0; n];
+        // A pathological policy output: everything on the down station.
+        let broken = crate::Assignment::new(vec![Target::Edge(mec_net::BsId(0)); n_req]);
+        let (repaired, rerouted, dropped) = ep.repair_faulted_assignment(
+            broken,
+            &demands,
+            ep.transfer(),
+            &station_up,
+            &capacity_factor,
+        );
+        assert_eq!(rerouted + dropped, n_req, "every request was touched");
+        let mut load = vec![0.0; n];
+        for (l, t) in repaired.targets().iter().enumerate() {
+            if let Target::Edge(bs) = t {
+                assert_ne!(bs.index(), 0, "request {l} still on the down station");
+                load[bs.index()] += demands[l];
+            }
+        }
+        for (i, &l) in load.iter().enumerate() {
+            let cap = ep.topology().stations()[i].capacity_mhz() / ep.scenario().c_unit_mhz();
+            assert!(l <= cap + 1e-6, "station {i} overloaded after repair: {l}");
+        }
+    }
+
+    #[test]
+    fn faulted_runs_reroute_a_fault_oblivious_policy() {
+        // A policy that ignores `station_up` entirely: the simulator's
+        // repair pass must still keep its requests off down stations.
+        struct StickToZero;
+        impl CachingPolicy for StickToZero {
+            fn name(&self) -> &'static str {
+                "Stick0"
+            }
+            fn decide(&mut self, ctx: &SlotContext<'_>) -> crate::Assignment {
+                let n_req = ctx.scenario.requests().len();
+                crate::Assignment::new(vec![Target::Edge(mec_net::BsId(0)); n_req])
+            }
+            fn observe(&mut self, _fb: &SlotFeedback<'_>) {}
+        }
+        let cfg = NetworkConfig::paper_defaults();
+        let topo = gtitm::generate(10, &cfg, 23);
+        let scenario = ScenarioConfig::small().build(&topo, 23);
+        let faults = FaultConfig {
+            outage_rate: 0.9,
+            repair_rate: 0.1,
+            ..FaultConfig::none()
+        };
+        let ep_cfg = EpisodeConfig::new(23).with_faults(faults);
+        let mut ep = Episode::with_config(topo, cfg, scenario, ep_cfg);
+        let report = ep.run(&mut StickToZero, 30);
+        assert!(
+            report.total_rerouted() + report.total_dropped() > 0,
+            "station 0 was down at some point; repairs must show up"
+        );
+    }
+
+    #[test]
+    fn policies_avoid_down_stations_and_reduced_capacity_under_faults() {
+        // Audit every decision *before* the simulator's repair pass:
+        // fault-aware policies must keep clear of down stations and obey
+        // the brown-out-reduced capacities on their own.
+        struct Audit(Box<dyn CachingPolicy>, bool);
+        impl CachingPolicy for Audit {
+            fn name(&self) -> &'static str {
+                self.0.name()
+            }
+            fn decide(&mut self, ctx: &SlotContext<'_>) -> crate::Assignment {
+                let a = self.0.decide(ctx);
+                let demands = ctx.given_demands.unwrap();
+                let n = ctx.topo.len();
+                let mut load = vec![0.0; n];
+                for (l, t) in a.targets().iter().enumerate() {
+                    if let Target::Edge(bs) = t {
+                        assert!(
+                            ctx.station_up[bs.index()],
+                            "request {l} assigned to down station {}",
+                            bs.index()
+                        );
+                        load[bs.index()] += demands[l];
+                    }
+                }
+                for (i, &l) in load.iter().enumerate() {
+                    let cap = (ctx.topo.stations()[i].capacity_mhz() / ctx.scenario.c_unit_mhz())
+                        * ctx.capacity_factor[i];
+                    assert!(l <= cap + 1e-6, "station {i} over effective capacity: {l}");
+                }
+                if ctx.station_up.iter().any(|&u| !u) {
+                    self.1 = true;
+                }
+                a
+            }
+            fn observe(&mut self, fb: &SlotFeedback<'_>) {
+                self.0.observe(fb);
+            }
+        }
+        for (policy, label) in [
+            (
+                Box::new(OlGd::new(PolicyConfig::default())) as Box<dyn CachingPolicy>,
+                "OL_GD",
+            ),
+            (
+                Box::new(GreedyGd::new()) as Box<dyn CachingPolicy>,
+                "greedy",
+            ),
+        ] {
+            let cfg = NetworkConfig::paper_defaults();
+            let topo = gtitm::generate(15, &cfg, 29);
+            let scenario = ScenarioConfig::small().build(&topo, 29);
+            let ep_cfg = EpisodeConfig::new(29).with_faults(FaultConfig::intensity(0.2));
+            let mut ep = Episode::with_config(topo, cfg, scenario, ep_cfg);
+            let mut audit = Audit(policy, false);
+            let _ = ep.run(&mut audit, 25);
+            assert!(audit.1, "{label}: no slot ever had a down station");
+        }
     }
 
     #[test]

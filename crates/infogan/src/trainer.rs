@@ -266,11 +266,59 @@ impl InfoRnnGan {
     /// `window + 1`; the first value is the seed context, the remaining
     /// `window` values are the real sequence.
     ///
+    /// The step is guarded against divergence: if it produces a
+    /// non-finite loss or pushes any weight past [`PARAM_LIMIT`], the
+    /// model is rolled back to its pre-step weights, the optimizer
+    /// moments are reset (they carry the blow-up), the `gan/rollbacks`
+    /// obs counter is bumped, and sanitized (finite-or-zero) losses are
+    /// returned so callers keep working with a last-good model.
+    ///
     /// # Panics
     ///
     /// Panics if the window has the wrong length or `cell` is out of
     /// range.
     pub fn train_window(&mut self, window: &[f64], cell: usize) -> StepLosses {
+        let snapshot = self.export_weights();
+        let losses = self.adversarial_step(window, cell);
+        if self.step_is_healthy(&losses) {
+            return losses;
+        }
+        obs::counter("gan/rollbacks", 1);
+        let restored = self.import_weights(snapshot);
+        assert!(
+            restored.is_ok(),
+            "restoring a snapshot of this very model cannot fail"
+        );
+        // Diverged first/second moments would immediately relaunch the
+        // blow-up on the next step; restart the optimizers cold.
+        self.adam_g = Adam::new(self.cfg.lr_g);
+        self.adam_d = Adam::new(self.cfg.lr_d);
+        self.adam_q = Adam::new(self.cfg.lr_g);
+        let sane = |l: f64| if l.is_finite() { l } else { 0.0 };
+        StepLosses {
+            d_loss: sane(losses.d_loss),
+            g_adv: sane(losses.g_adv),
+            q_ce: sane(losses.q_ce),
+        }
+    }
+
+    /// Whether the last step left the model usable: finite losses and
+    /// every weight finite with magnitude at most [`PARAM_LIMIT`].
+    fn step_is_healthy(&mut self, losses: &StepLosses) -> bool {
+        if !(losses.d_loss.is_finite() && losses.g_adv.is_finite() && losses.q_ce.is_finite()) {
+            return false;
+        }
+        let mut params = self.generator.params_mut();
+        params.extend(self.discriminator.all_params_mut());
+        params.iter().all(|p| {
+            p.value
+                .as_slice()
+                .iter()
+                .all(|v| v.is_finite() && v.abs() <= PARAM_LIMIT)
+        })
+    }
+
+    fn adversarial_step(&mut self, window: &[f64], cell: usize) -> StepLosses {
         assert_eq!(
             window.len(),
             self.cfg.window + 1,
@@ -534,6 +582,11 @@ impl InfoRnnGan {
     }
 }
 
+/// Largest weight magnitude [`InfoRnnGan::train_window`] accepts before
+/// rolling the step back. Healthy weights of these small networks stay
+/// within single digits; 1e6 only trips on genuine divergence.
+pub const PARAM_LIMIT: f64 = 1e6;
+
 /// Clips the gradient norm and counts a `gan/clip_trips` observability
 /// event whenever the pre-clip norm actually exceeded the threshold.
 fn clip_tracked(params: &mut [&mut neural::Param], clip: f64) {
@@ -710,6 +763,50 @@ mod tests {
         let bundle = small.export_weights();
         let mut big = InfoRnnGan::new(InfoGanConfig::paper_defaults(2), 1);
         assert!(big.import_weights(bundle).is_err());
+    }
+
+    /// One test covers both guard outcomes (healthy pass-through and
+    /// forced rollback) because it installs the process-global obs sink:
+    /// splitting it would let the two halves race under the parallel
+    /// test runner.
+    #[test]
+    fn divergence_guard_rolls_back_and_passes_healthy_steps() {
+        let registry = obs::SharedRegistry::new();
+        obs::install(Box::new(registry.clone()));
+
+        // Healthy step at a sane learning rate: weights move, no trip.
+        let mut gan = InfoRnnGan::new(InfoGanConfig::small(2), 3);
+        let before = gan.export_weights();
+        let losses = gan.train_window(&[1.0, 2.0, 1.0, 3.0, 1.0, 2.0, 1.0, 4.0, 1.0], 1);
+        assert!(losses.d_loss.is_finite());
+        let after = gan.export_weights();
+        assert_ne!(before, after, "a healthy step must actually learn");
+        assert_eq!(registry.snapshot().counter("gan/rollbacks"), 0);
+
+        // An absurd learning rate makes Adam jump every coordinate by
+        // roughly ±lr, far past PARAM_LIMIT, so the very first step must
+        // trip the guard. window+1 values for window = 8.
+        let mut cfg = InfoGanConfig::small(2);
+        cfg.lr_g = 1e9;
+        cfg.lr_d = 1e9;
+        let mut gan = InfoRnnGan::new(cfg, 3);
+        let before = gan.export_weights();
+        let losses = gan.train_window(&[1.0; 9], 0);
+        drop(obs::uninstall());
+
+        let snap = registry.snapshot();
+        assert!(
+            snap.counter("gan/rollbacks") >= 1,
+            "forced divergence must be counted as a rollback"
+        );
+        assert!(losses.d_loss.is_finite());
+        assert!(losses.g_adv.is_finite());
+        assert!(losses.q_ce.is_finite());
+        let after = gan.export_weights();
+        assert_eq!(before, after, "weights must be bit-identical post-rollback");
+        // The rolled-back model keeps predicting finite values.
+        let p = gan.predict_next(&[1.0, 1.0], 0);
+        assert!(p.is_finite() && p >= 0.0);
     }
 
     #[test]

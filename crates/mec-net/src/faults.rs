@@ -1,0 +1,502 @@
+//! Seeded fault injection: station outages, link failures and capacity
+//! brown-outs.
+//!
+//! The paper's premise is "learning for exception", yet its model keeps
+//! every base station, backhaul link and solver call perfectly reliable.
+//! Real MEC deployments lose cloudlets and links routinely, so this
+//! module adds a deterministic fault process layered on top of a
+//! [`Topology`]:
+//!
+//! * **Station outages** — a two-state (up / down) Markov chain per
+//!   station, mirroring the congestion chain of
+//!   [`crate::delay::CongestionDelay`]. Stations are heterogeneous:
+//!   station `i` fails at rate `p_fail · u_i` with `u_i ~ U(0.5, 1.5)`
+//!   drawn once at construction.
+//! * **Correlated regional outages** — a fresh failure can cascade to
+//!   alive stations within a configurable radius (power feeds and
+//!   backhaul aggregation are shared regionally), in a single bounded
+//!   pass per slot.
+//! * **Link failures** — a two-state Markov chain per topology edge;
+//!   dead edges must be excluded from transfer-cost shortest paths.
+//! * **Capacity brown-outs** — a two-state Markov chain per station that
+//!   scales usable cloudlet capacity by a factor in `(0, 1]` while
+//!   active (thermal throttling, partial rack loss).
+//!
+//! All chains are driven by one `StdRng` seeded from the episode seed,
+//! so same-seed runs are bit-identical. A [`FaultConfig`] with every
+//! rate at zero is "disabled": callers should skip constructing the
+//! process entirely (see [`FaultConfig::is_enabled`]) so fault-free runs
+//! take exactly the pre-fault code path.
+
+use crate::station::BsId;
+use crate::topology::Topology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the fault-injection process.
+///
+/// All rates are per-slot probabilities in `[0, 1]`. The default
+/// configuration ([`FaultConfig::none`]) injects nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Mean per-slot probability that an up station fails. Per-station
+    /// heterogeneity multiplies this by `u_i ~ U(0.5, 1.5)`, capped at 1.
+    pub outage_rate: f64,
+    /// Per-slot probability that a down station comes back up.
+    pub repair_rate: f64,
+    /// Per-slot probability that an up link fails.
+    pub link_failure_rate: f64,
+    /// Per-slot probability that a down link is repaired.
+    pub link_repair_rate: f64,
+    /// Per-slot probability that a station enters a capacity brown-out.
+    pub brownout_rate: f64,
+    /// Per-slot probability that a browned-out station recovers.
+    pub brownout_recovery_rate: f64,
+    /// Usable-capacity multiplier while browned out, in `(0, 1]`.
+    pub brownout_factor: f64,
+    /// Radius in metres within which a fresh station failure can cascade
+    /// to neighbouring stations (shared power feed / aggregation point).
+    pub correlation_radius_m: f64,
+    /// Probability that a given alive station inside the radius of a
+    /// fresh failure goes down with it.
+    pub correlation_probability: f64,
+}
+
+impl FaultConfig {
+    /// The disabled configuration: every rate zero, nothing injected.
+    pub fn none() -> Self {
+        FaultConfig {
+            outage_rate: 0.0,
+            repair_rate: 0.0,
+            link_failure_rate: 0.0,
+            link_repair_rate: 0.0,
+            brownout_rate: 0.0,
+            brownout_recovery_rate: 0.0,
+            brownout_factor: 1.0,
+            correlation_radius_m: 0.0,
+            correlation_probability: 0.0,
+        }
+    }
+
+    /// A single-knob configuration used by the fault ablation sweep:
+    /// stations fail at `rate`, links at `rate / 2`, brown-outs at
+    /// `rate`, all repairing at 0.3/slot, with half-capacity brown-outs
+    /// and a 100 m / 0.5-probability regional cascade.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not in `[0, 1]`.
+    pub fn intensity(rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "fault rate must be in [0, 1]");
+        FaultConfig {
+            outage_rate: rate,
+            repair_rate: 0.3,
+            link_failure_rate: rate / 2.0,
+            link_repair_rate: 0.3,
+            brownout_rate: rate,
+            brownout_recovery_rate: 0.3,
+            brownout_factor: 0.5,
+            correlation_radius_m: 100.0,
+            correlation_probability: 0.5,
+        }
+    }
+
+    /// Whether this configuration can inject any fault at all.
+    ///
+    /// When false, callers should not construct a [`FaultProcess`]: the
+    /// fault-free code path then stays bit-identical to a build without
+    /// fault injection.
+    pub fn is_enabled(&self) -> bool {
+        self.outage_rate > 0.0 || self.link_failure_rate > 0.0 || self.brownout_rate > 0.0
+    }
+
+    /// Validates every field range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate or probability is outside `[0, 1]`, if
+    /// `brownout_factor` is outside `(0, 1]`, or if
+    /// `correlation_radius_m` is negative or non-finite.
+    pub fn validate(&self) {
+        let probs = [
+            ("outage_rate", self.outage_rate),
+            ("repair_rate", self.repair_rate),
+            ("link_failure_rate", self.link_failure_rate),
+            ("link_repair_rate", self.link_repair_rate),
+            ("brownout_rate", self.brownout_rate),
+            ("brownout_recovery_rate", self.brownout_recovery_rate),
+            ("correlation_probability", self.correlation_probability),
+        ];
+        for (name, p) in probs {
+            assert!((0.0..=1.0).contains(&p), "{name} must be in [0, 1]");
+        }
+        assert!(
+            self.brownout_factor > 0.0 && self.brownout_factor <= 1.0,
+            "brownout_factor must be in (0, 1]"
+        );
+        assert!(
+            self.correlation_radius_m >= 0.0 && self.correlation_radius_m.is_finite(),
+            "correlation_radius_m must be finite and non-negative"
+        );
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::none()
+    }
+}
+
+/// The seeded per-slot fault process over one topology.
+///
+/// Construct once per episode (only when the config
+/// [is enabled](FaultConfig::is_enabled)) and call [`advance`] at the
+/// start of each slot, then read the state accessors.
+///
+/// [`advance`]: FaultProcess::advance
+///
+/// # Example
+///
+/// ```
+/// use mec_net::{FaultConfig, FaultProcess, NetworkConfig, topology::gtitm};
+/// let cfg = NetworkConfig::paper_defaults();
+/// let topo = gtitm::generate(20, &cfg, 7);
+/// let mut faults = FaultProcess::new(&topo, FaultConfig::intensity(0.1), 7);
+/// faults.advance();
+/// assert_eq!(faults.station_up().len(), topo.len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultProcess {
+    cfg: FaultConfig,
+    /// Per-station failure probability (`outage_rate · u_i`, capped).
+    p_fail: Vec<f64>,
+    /// Station positions, for the regional cascade.
+    positions: Vec<(f64, f64)>,
+    station_up: Vec<bool>,
+    browned_out: Vec<bool>,
+    capacity_factor: Vec<f64>,
+    link_up: Vec<bool>,
+    newly_failed: Vec<BsId>,
+    injected_last_slot: usize,
+    links_changed: bool,
+    rng: StdRng,
+}
+
+impl FaultProcess {
+    /// Builds the process for every station and edge of `topo`.
+    ///
+    /// Everything starts alive; the first faults can appear on the first
+    /// [`advance`](FaultProcess::advance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`FaultConfig::validate`].
+    pub fn new(topo: &Topology, cfg: FaultConfig, seed: u64) -> Self {
+        cfg.validate();
+        let n = topo.len();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xfa0175);
+        let p_fail = (0..n)
+            .map(|_| (cfg.outage_rate * rng.random_range(0.5..=1.5)).min(1.0))
+            .collect();
+        let positions = topo
+            .stations()
+            .iter()
+            .map(|bs| (bs.position().x, bs.position().y))
+            .collect();
+        FaultProcess {
+            cfg,
+            p_fail,
+            positions,
+            station_up: vec![true; n],
+            browned_out: vec![false; n],
+            capacity_factor: vec![1.0; n],
+            link_up: vec![true; topo.edge_count()],
+            newly_failed: Vec::new(),
+            injected_last_slot: 0,
+            links_changed: false,
+            rng,
+        }
+    }
+
+    /// Advances every fault chain by one slot.
+    ///
+    /// `topo` must be the topology the process was built for (it supplies
+    /// the edge list for link chains).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topo` has a different station or edge count than the
+    /// topology used at construction.
+    pub fn advance(&mut self, topo: &Topology) {
+        assert_eq!(topo.len(), self.station_up.len(), "topology mismatch");
+        assert_eq!(topo.edge_count(), self.link_up.len(), "topology mismatch");
+        self.newly_failed.clear();
+        self.injected_last_slot = 0;
+        self.links_changed = false;
+
+        // Station up/down Markov chains.
+        for i in 0..self.station_up.len() {
+            let flip: f64 = self.rng.random();
+            if self.station_up[i] {
+                if flip < self.p_fail[i] {
+                    self.station_up[i] = false;
+                    self.newly_failed.push(BsId(i));
+                }
+            } else if flip < self.cfg.repair_rate {
+                self.station_up[i] = true;
+            }
+        }
+
+        // Regional cascade: one bounded pass over this slot's primary
+        // failures; cascaded stations do not trigger further cascades.
+        if self.cfg.correlation_probability > 0.0 && self.cfg.correlation_radius_m > 0.0 {
+            let primaries = self.newly_failed.clone();
+            for src in primaries {
+                let (sx, sy) = self.positions[src.index()];
+                for j in 0..self.station_up.len() {
+                    if !self.station_up[j] {
+                        continue;
+                    }
+                    let (jx, jy) = self.positions[j];
+                    if (sx - jx).hypot(sy - jy) <= self.cfg.correlation_radius_m {
+                        let flip: f64 = self.rng.random();
+                        if flip < self.cfg.correlation_probability {
+                            self.station_up[j] = false;
+                            self.newly_failed.push(BsId(j));
+                        }
+                    }
+                }
+            }
+        }
+        self.injected_last_slot += self.newly_failed.len();
+
+        // Capacity brown-out chains.
+        for i in 0..self.browned_out.len() {
+            let flip: f64 = self.rng.random();
+            if self.browned_out[i] {
+                if flip < self.cfg.brownout_recovery_rate {
+                    self.browned_out[i] = false;
+                }
+            } else if flip < self.cfg.brownout_rate {
+                self.browned_out[i] = true;
+                self.injected_last_slot += 1;
+            }
+            self.capacity_factor[i] = if self.browned_out[i] {
+                self.cfg.brownout_factor
+            } else {
+                1.0
+            };
+        }
+
+        // Link up/down chains.
+        for e in 0..self.link_up.len() {
+            let flip: f64 = self.rng.random();
+            if self.link_up[e] {
+                if flip < self.cfg.link_failure_rate {
+                    self.link_up[e] = false;
+                    self.links_changed = true;
+                    self.injected_last_slot += 1;
+                }
+            } else if flip < self.cfg.link_repair_rate {
+                self.link_up[e] = true;
+                self.links_changed = true;
+            }
+        }
+    }
+
+    /// `station_up()[i]` — whether `BsId(i)` is alive this slot.
+    pub fn station_up(&self) -> &[bool] {
+        &self.station_up
+    }
+
+    /// Per-station usable-capacity multiplier this slot (1.0 when
+    /// healthy, [`FaultConfig::brownout_factor`] while browned out).
+    pub fn capacity_factors(&self) -> &[f64] {
+        &self.capacity_factor
+    }
+
+    /// `link_up()[e]` — whether topology edge `e` is alive this slot.
+    pub fn link_up(&self) -> &[bool] {
+        &self.link_up
+    }
+
+    /// Stations that went down on the last [`advance`], cascades
+    /// included. Their warm caches must be evicted.
+    ///
+    /// [`advance`]: FaultProcess::advance
+    pub fn newly_failed(&self) -> &[BsId] {
+        &self.newly_failed
+    }
+
+    /// Number of fault events (station failures, brown-out entries, link
+    /// failures) injected by the last [`advance`].
+    ///
+    /// [`advance`]: FaultProcess::advance
+    pub fn injected_last_slot(&self) -> usize {
+        self.injected_last_slot
+    }
+
+    /// Whether any link changed state (failed *or* repaired) on the last
+    /// [`advance`]; transfer costs must be recomputed when true.
+    ///
+    /// [`advance`]: FaultProcess::advance
+    pub fn links_changed(&self) -> bool {
+        self.links_changed
+    }
+
+    /// Number of stations currently down.
+    pub fn down_count(&self) -> usize {
+        self.station_up.iter().filter(|&&u| !u).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::NetworkConfig;
+    use crate::topology::gtitm;
+
+    fn topo() -> Topology {
+        gtitm::generate(30, &NetworkConfig::paper_defaults(), 11)
+    }
+
+    #[test]
+    fn default_config_is_disabled_and_valid() {
+        let cfg = FaultConfig::default();
+        assert!(!cfg.is_enabled());
+        cfg.validate();
+        assert_eq!(cfg, FaultConfig::none());
+    }
+
+    #[test]
+    fn intensity_zero_is_disabled_and_positive_is_enabled() {
+        assert!(!FaultConfig::intensity(0.0).is_enabled());
+        assert!(FaultConfig::intensity(0.01).is_enabled());
+        FaultConfig::intensity(1.0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "fault rate must be in [0, 1]")]
+    fn intensity_rejects_out_of_range() {
+        let _ = FaultConfig::intensity(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "brownout_factor must be in (0, 1]")]
+    fn validate_rejects_zero_brownout_factor() {
+        let cfg = FaultConfig {
+            brownout_factor: 0.0,
+            ..FaultConfig::none()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    fn process_is_deterministic_per_seed() {
+        let t = topo();
+        let cfg = FaultConfig::intensity(0.2);
+        let mut a = FaultProcess::new(&t, cfg, 9);
+        let mut b = FaultProcess::new(&t, cfg, 9);
+        for _ in 0..60 {
+            a.advance(&t);
+            b.advance(&t);
+            assert_eq!(a.station_up(), b.station_up());
+            assert_eq!(a.capacity_factors(), b.capacity_factors());
+            assert_eq!(a.link_up(), b.link_up());
+            assert_eq!(a.newly_failed(), b.newly_failed());
+            assert_eq!(a.injected_last_slot(), b.injected_last_slot());
+        }
+    }
+
+    #[test]
+    fn faults_eventually_appear_and_repair() {
+        let t = topo();
+        let mut p = FaultProcess::new(&t, FaultConfig::intensity(0.3), 5);
+        let mut saw_down = false;
+        let mut saw_recovery = false;
+        let mut was_down = false;
+        for _ in 0..200 {
+            p.advance(&t);
+            if p.down_count() > 0 {
+                saw_down = true;
+                was_down = true;
+            } else if was_down {
+                saw_recovery = true;
+            }
+        }
+        assert!(saw_down, "no outage in 200 slots at rate 0.3");
+        assert!(saw_recovery, "no repair in 200 slots at repair rate 0.3");
+    }
+
+    #[test]
+    fn brownouts_scale_capacity_factor() {
+        let t = topo();
+        let cfg = FaultConfig {
+            brownout_rate: 1.0,
+            brownout_recovery_rate: 0.0,
+            brownout_factor: 0.5,
+            ..FaultConfig::none()
+        };
+        let mut p = FaultProcess::new(&t, cfg, 3);
+        p.advance(&t);
+        for &f in p.capacity_factors() {
+            assert_eq!(f, 0.5);
+        }
+        // Stations stay up: brown-outs degrade, they do not kill.
+        assert!(p.station_up().iter().all(|&u| u));
+    }
+
+    #[test]
+    fn total_cascade_takes_down_everything_at_once() {
+        let t = topo();
+        // Certain cascade over an unbounded radius: the first primary
+        // failure drags every other alive station down in the same slot.
+        let cfg = FaultConfig {
+            outage_rate: 0.05,
+            repair_rate: 0.0,
+            correlation_radius_m: 1e9,
+            correlation_probability: 1.0,
+            ..FaultConfig::none()
+        };
+        let mut p = FaultProcess::new(&t, cfg, 7);
+        for _ in 0..200 {
+            p.advance(&t);
+            if !p.newly_failed().is_empty() {
+                assert_eq!(p.down_count(), t.len(), "cascade must be total");
+                return;
+            }
+        }
+        panic!("no primary failure in 200 slots at rate 0.05");
+    }
+
+    #[test]
+    fn link_failures_flag_links_changed() {
+        let t = topo();
+        let cfg = FaultConfig {
+            link_failure_rate: 1.0,
+            link_repair_rate: 0.0,
+            ..FaultConfig::none()
+        };
+        let mut p = FaultProcess::new(&t, cfg, 1);
+        p.advance(&t);
+        assert!(p.links_changed());
+        assert!(p.link_up().iter().all(|&u| !u));
+        assert_eq!(p.injected_last_slot(), t.edge_count());
+        // All dead already: nothing can change further.
+        p.advance(&t);
+        assert!(!p.links_changed());
+    }
+
+    #[test]
+    fn disabled_rates_inject_nothing() {
+        let t = topo();
+        let mut p = FaultProcess::new(&t, FaultConfig::none(), 2);
+        for _ in 0..50 {
+            p.advance(&t);
+            assert_eq!(p.injected_last_slot(), 0);
+            assert_eq!(p.down_count(), 0);
+            assert!(p.link_up().iter().all(|&u| u));
+        }
+    }
+}

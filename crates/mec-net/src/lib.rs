@@ -21,6 +21,9 @@
 //! * [`delay`] — unit-processing-delay processes `X_i(t)` per base station
 //!   (uniform per-tier, congestion-modulated, drifting) and instantiation
 //!   delays `d_ins(i, k)` for caching a service instance.
+//! * [`faults`] — seeded fault injection: per-station outage Markov
+//!   chains, correlated regional failures, link failures and capacity
+//!   brown-outs for robustness studies beyond the paper's setup.
 //!
 //! # Example
 //!
@@ -38,11 +41,13 @@
 #![warn(missing_docs)]
 
 pub mod delay;
+pub mod faults;
 pub mod params;
 pub mod station;
 pub mod topology;
 
 pub use delay::{DelayProcess, DelaySample, InstantiationDelays};
+pub use faults::{FaultConfig, FaultProcess};
 pub use params::{NetworkConfig, TierParams};
 pub use station::{BaseStation, BsId, Tier};
 pub use topology::Topology;

@@ -188,3 +188,29 @@ impl Drop for SpanGuard {
         }
     }
 }
+
+/// A plain monotonic stopwatch for call sites that need the elapsed
+/// duration as a *value* (e.g. per-slot decide times stored in metrics)
+/// rather than as a span event. Allocation-free and independent of
+/// whether a sink is installed, so measurement code outside this crate
+/// never has to touch [`std::time::Instant`] directly.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts the stopwatch now.
+    #[inline]
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Microseconds elapsed since [`Stopwatch::start`].
+    #[inline]
+    pub fn elapsed_us(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e6
+    }
+}

@@ -79,13 +79,17 @@ impl TransportProblem {
         self.capacity.len()
     }
 
-    /// Solves the problem.
+    /// Solves the problem with the default pivot budget.
+    ///
+    /// If MODI fails to converge within the budget the solver does not
+    /// spin: it returns the best feasible basis reached so far (every
+    /// MODI basis is primal-feasible) and bumps the
+    /// `simplex/budget_trips` obs counter. The budget scales with the
+    /// instance, so in practice only adversarial cycling would trip it.
     ///
     /// # Errors
     ///
-    /// [`SolveError::Infeasible`] if total supply exceeds total capacity;
-    /// [`SolveError::IterationLimit`] if MODI fails to converge within
-    /// the pivot budget.
+    /// [`SolveError::Infeasible`] if total supply exceeds total capacity.
     ///
     /// # Example
     ///
@@ -101,6 +105,24 @@ impl TransportProblem {
     /// # Ok::<(), simplex::SolveError>(())
     /// ```
     pub fn solve(&self) -> Result<TransportSolution, SolveError> {
+        self.solve_inner(None)
+    }
+
+    /// Solves with an explicit pivot budget (graceful-degradation hook).
+    ///
+    /// At most `max_pivots` MODI pivots are performed; if improving moves
+    /// remain when the budget runs out, the current feasible basis is
+    /// returned as a suboptimal-but-valid plan and the
+    /// `simplex/budget_trips` obs counter is bumped.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`] if total supply exceeds total capacity.
+    pub fn solve_with_budget(&self, max_pivots: usize) -> Result<TransportSolution, SolveError> {
+        self.solve_inner(Some(max_pivots))
+    }
+
+    fn solve_inner(&self, budget: Option<usize>) -> Result<TransportSolution, SolveError> {
         let total_supply: f64 = self.supply.iter().sum();
         let total_capacity: f64 = self.capacity.iter().sum();
         if total_supply > total_capacity + 1e-7 {
@@ -127,18 +149,24 @@ impl TransportProblem {
         };
 
         let mut state = Modi::northwest(&supply, &self.capacity, m, n);
-        let max_pivots = 50 * (m + n) * (m + n).max(16);
+        let max_pivots = budget.unwrap_or(50 * (m + n) * (m + n).max(16));
         let mut pivots = 0usize;
         loop {
             state.compute_potentials(&cost_at);
             let Some((ei, ej)) = state.entering(&cost_at, pivots > max_pivots / 2) else {
                 break;
             };
+            if pivots >= max_pivots {
+                // Budget exhausted with improving moves left: the basis
+                // is still primal-feasible, so degrade gracefully to it
+                // instead of spinning or erroring out.
+                if obs::is_enabled() {
+                    obs::counter("simplex/budget_trips", 1);
+                }
+                break;
+            }
             state.pivot(ei, ej);
             pivots += 1;
-            if pivots > max_pivots {
-                return Err(SolveError::IterationLimit);
-            }
         }
 
         let mut flow = vec![vec![0.0; n]; m_real];
@@ -575,5 +603,41 @@ mod tests {
     #[should_panic(expected = "one cost per sink")]
     fn ragged_cost_matrix_rejected() {
         let _ = TransportProblem::new(vec![1.0], vec![1.0, 2.0], vec![vec![1.0]]);
+    }
+
+    #[test]
+    fn budget_exhaustion_falls_back_to_feasible_basis() {
+        // Same instance as `balanced_three_by_three`: the north-west
+        // start costs 110 while the optimum is 80, so improving moves
+        // exist and a zero budget must trip immediately.
+        let p = TransportProblem::new(
+            vec![10.0, 20.0, 30.0],
+            vec![20.0, 20.0, 20.0],
+            vec![
+                vec![2.0, 2.0, 2.0],
+                vec![1.0, 3.0, 3.0],
+                vec![3.0, 1.0, 2.0],
+            ],
+        );
+        let registry = obs::SharedRegistry::new();
+        obs::install(Box::new(registry.clone()));
+        let sol = p.solve_with_budget(0).unwrap();
+        drop(obs::uninstall());
+
+        let snap = registry.snapshot();
+        assert!(
+            snap.counter("simplex/budget_trips") >= 1,
+            "forced budget trip must be counted"
+        );
+        check_feasible(&p, &sol);
+        assert_eq!(sol.iterations, 0);
+        // Suboptimal but valid: objective sits between the optimum and
+        // the north-west start.
+        assert!(sol.objective >= 80.0 - 1e-6);
+        assert!(sol.objective <= 110.0 + 1e-6);
+
+        // A generous budget still reaches the optimum.
+        let full = p.solve_with_budget(10_000).unwrap();
+        assert!((full.objective - 80.0).abs() < 1e-6);
     }
 }
