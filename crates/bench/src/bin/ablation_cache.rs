@@ -37,18 +37,21 @@ fn main() {
     );
     let algos = [Algo::OlGd, Algo::GreedyGd, Algo::PriGd];
     table.x_values(algos.iter().map(|a| a.name().to_string()));
+    // Job graph: one series per (algo, accounting) pair, seeds
+    // positional per repeat — identical to the old serial loops.
+    let points: Vec<(Algo, bool)> = algos
+        .iter()
+        .flat_map(|&algo| [(algo, false), (algo, true)])
+        .collect();
+    let cells = bench::run_cells(points.len(), repeats, |series, seed| {
+        let (algo, amortize) = points[series];
+        run(algo, amortize, seed)
+    });
     let mut per_slot = Vec::new();
     let mut amortized = Vec::new();
-    let base = bench::base_seed();
-    for algo in algos {
-        let ps: Vec<f64> = (0..repeats as u64)
-            .map(|s| run(algo, false, base + s))
-            .collect();
-        let am: Vec<f64> = (0..repeats as u64)
-            .map(|s| run(algo, true, base + s))
-            .collect();
-        per_slot.push(mean_std(&ps).0);
-        amortized.push(mean_std(&am).0);
+    for pair in cells.chunks(2) {
+        per_slot.push(mean_std(&pair[0]).0);
+        amortized.push(mean_std(&pair[1]).0);
     }
     table.series("per_slot_ms", per_slot.clone());
     table.series("warm_cache_ms", amortized.clone());

@@ -29,19 +29,22 @@ fn main() {
 
     let mut table = Table::new("OL_GD vs Greedy_GD across delay models", "delay model");
     table.x_values(models.iter().map(|(n, _)| n.to_string()));
+    // Job graph: one series per (delay model, algorithm) pair, seeds
+    // positional per repeat — identical to the old serial loops.
+    let points: Vec<(DelayModelKind, Algo)> = models
+        .iter()
+        .flat_map(|&(_, model)| [(model, Algo::OlGd), (model, Algo::GreedyGd)])
+        .collect();
+    let cells = bench::run_cells(points.len(), repeats, |series, seed| {
+        let (model, algo) = points[series];
+        run_with_model(algo, model, seed)
+    });
     let mut ol = Vec::new();
     let mut greedy = Vec::new();
     let mut advantage = Vec::new();
-    let base = bench::base_seed();
-    for &(_, model) in &models {
-        let mut ol_vals = Vec::new();
-        let mut gr_vals = Vec::new();
-        for s in 0..repeats as u64 {
-            ol_vals.push(run_with_model(Algo::OlGd, model, base + s));
-            gr_vals.push(run_with_model(Algo::GreedyGd, model, base + s));
-        }
-        let (om, _) = mean_std(&ol_vals);
-        let (gm, _) = mean_std(&gr_vals);
+    for pair in cells.chunks(2) {
+        let (om, _) = mean_std(&pair[0]);
+        let (gm, _) = mean_std(&pair[1]);
         ol.push(om);
         greedy.push(gm);
         advantage.push((gm - om) / gm * 100.0);

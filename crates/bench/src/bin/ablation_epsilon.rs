@@ -2,7 +2,7 @@
 //! versus the `c/t` decay that Theorem 1's analysis assumes.
 
 use bandit::EpsilonSchedule;
-use bench::{maybe_obs_profile, mean_std, repeats, run_many, Algo, RunSpec, Table};
+use bench::{maybe_obs_profile, mean_std, repeats, run_grid, Algo, RunSpec, Table};
 use lexcache_core::PolicyConfig;
 
 fn main() {
@@ -21,13 +21,17 @@ fn main() {
 
     let mut table = Table::new("OL_GD delay vs epsilon schedule", "schedule");
     table.x_values(schedules.iter().map(|(n, _)| n.to_string()));
+    let specs: Vec<RunSpec> = schedules
+        .iter()
+        .map(|&(_, schedule)| {
+            RunSpec::fig3(Algo::OlGdWith(
+                PolicyConfig::default().with_epsilon(schedule),
+            ))
+        })
+        .collect();
     let mut delays = Vec::new();
     let mut stds = Vec::new();
-    for &(_, schedule) in &schedules {
-        let spec = RunSpec::fig3(Algo::OlGdWith(
-            PolicyConfig::default().with_epsilon(schedule),
-        ));
-        let reports = run_many(&spec, repeats);
+    for reports in run_grid(&specs, repeats) {
         let values: Vec<f64> = reports.iter().map(|r| r.mean_avg_delay_ms()).collect();
         let (m, s) = mean_std(&values);
         delays.push(m);

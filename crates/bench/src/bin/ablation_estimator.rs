@@ -6,7 +6,7 @@
 //! changes on the congestion time scale. The sample mean converges to
 //! the long-run mean; windowed/discounted estimators track regimes.
 
-use bench::{maybe_obs_profile, mean_std, repeats, run_many, Algo, RunSpec, Table};
+use bench::{maybe_obs_profile, mean_std, repeats, run_grid, Algo, RunSpec, Table};
 use lexcache_core::policy::EstimatorKind;
 use lexcache_core::PolicyConfig;
 
@@ -25,13 +25,17 @@ fn main() {
 
     let mut table = Table::new("OL_GD delay vs estimator", "estimator");
     table.x_values(estimators.iter().map(|(n, _)| n.to_string()));
+    let specs: Vec<RunSpec> = estimators
+        .iter()
+        .map(|&(_, estimator)| {
+            RunSpec::fig3(Algo::OlGdWith(
+                PolicyConfig::default().with_estimator(estimator),
+            ))
+        })
+        .collect();
     let mut delays = Vec::new();
     let mut stds = Vec::new();
-    for &(_, estimator) in &estimators {
-        let spec = RunSpec::fig3(Algo::OlGdWith(
-            PolicyConfig::default().with_estimator(estimator),
-        ));
-        let reports = run_many(&spec, repeats);
+    for reports in run_grid(&specs, repeats) {
         let values: Vec<f64> = reports.iter().map(|r| r.mean_avg_delay_ms()).collect();
         let (m, s) = mean_std(&values);
         delays.push(m);

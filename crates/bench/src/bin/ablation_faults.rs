@@ -14,7 +14,7 @@
 //! job) and asserts the reported metrics are finite.
 
 use bench::{
-    maybe_obs_profile, maybe_write_json, mean_std, repeats, run_many, Algo, FaultConfig,
+    maybe_obs_profile, maybe_write_json, mean_std, repeats, run_grid, Algo, FaultConfig,
     JsonSeries, RunSpec, Table,
 };
 use mec_workload::ScenarioConfig;
@@ -45,7 +45,7 @@ fn spec_for(algo: Algo, rate: f64) -> RunSpec {
 }
 
 fn main() {
-    if std::env::args().any(|a| a == "--smoke") {
+    if bench::smoke_requested() {
         smoke();
         return;
     }
@@ -62,13 +62,20 @@ fn main() {
         "outage rate",
     );
     disruption.x_values(RATES.iter().map(|r| format!("{r}")));
+    // One job graph over every (algo, rate) sweep point.
+    let specs: Vec<RunSpec> = ALGOS
+        .iter()
+        .flat_map(|&algo| RATES.iter().map(move |&rate| spec_for(algo, rate)))
+        .collect();
+    let results = run_grid(&specs, repeats);
+
     let mut json = Vec::new();
+    let mut rows = results.into_iter();
     for algo in ALGOS {
         let mut delays = Vec::new();
         let mut displaced = Vec::new();
         for &rate in &RATES {
-            let spec = spec_for(algo, rate);
-            let reports = run_many(&spec, repeats);
+            let reports = rows.next().expect("one row per sweep point");
             let vals: Vec<f64> = reports.iter().map(|r| r.mean_avg_delay_ms()).collect();
             delays.push(mean_std(&vals).0);
             let moved: Vec<f64> = reports

@@ -6,7 +6,7 @@
 //! sweep shows the sensitivity.
 
 use bandit::EpsilonSchedule;
-use bench::{maybe_obs_profile, mean_std, repeats, run_many, Algo, RunSpec, Table};
+use bench::{maybe_obs_profile, mean_std, repeats, run_grid, Algo, RunSpec, Table};
 use lexcache_core::PolicyConfig;
 
 fn main() {
@@ -19,15 +19,19 @@ fn main() {
 
     let mut table = Table::new("OL_GD delay vs gamma", "gamma");
     table.x_values(gammas.iter().map(|g| format!("{g}")));
+    let specs: Vec<RunSpec> = gammas
+        .iter()
+        .map(|&gamma| {
+            RunSpec::fig3(Algo::OlGdWith(
+                PolicyConfig::default()
+                    .with_gamma(gamma)
+                    .with_epsilon(EpsilonSchedule::Decay { c: 0.5 }),
+            ))
+        })
+        .collect();
     let mut delays = Vec::new();
     let mut stds = Vec::new();
-    for &gamma in &gammas {
-        let spec = RunSpec::fig3(Algo::OlGdWith(
-            PolicyConfig::default()
-                .with_gamma(gamma)
-                .with_epsilon(EpsilonSchedule::Decay { c: 0.5 }),
-        ));
-        let reports = run_many(&spec, repeats);
+    for reports in run_grid(&specs, repeats) {
         let values: Vec<f64> = reports.iter().map(|r| r.mean_avg_delay_ms()).collect();
         let (m, s) = mean_std(&values);
         delays.push(m);

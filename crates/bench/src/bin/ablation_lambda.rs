@@ -5,7 +5,7 @@
 //! the paper argues collapses without the latent-code regularizer);
 //! `μ = 0` removes the supervised prediction term.
 
-use bench::{maybe_obs_profile, mean_std, repeats, run_many, Algo, RunSpec, Table};
+use bench::{maybe_obs_profile, mean_std, repeats, run_grid, Algo, RunSpec, Table};
 
 fn main() {
     let cells: [(&str, f64, f64); 5] = [
@@ -23,11 +23,13 @@ fn main() {
 
     let mut table = Table::new("OL_GAN delay vs loss weights", "setting");
     table.x_values(cells.iter().map(|(n, _, _)| n.to_string()));
+    let specs: Vec<RunSpec> = cells
+        .iter()
+        .map(|&(_, lambda, mu)| RunSpec::fig6(Algo::OlGanWith { lambda, mu }))
+        .collect();
     let mut delays = Vec::new();
     let mut stds = Vec::new();
-    for &(_, lambda, mu) in &cells {
-        let spec = RunSpec::fig6(Algo::OlGanWith { lambda, mu });
-        let reports = run_many(&spec, repeats);
+    for reports in run_grid(&specs, repeats) {
         let values: Vec<f64> = reports.iter().map(|r| r.mean_avg_delay_ms()).collect();
         let (m, s) = mean_std(&values);
         delays.push(m);

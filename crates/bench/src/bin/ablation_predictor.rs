@@ -4,7 +4,7 @@
 //! last-value, plus the clairvoyant upper bound (`OL_GD` with the true
 //! demands revealed).
 
-use bench::{maybe_obs_profile, mean_std, repeats, run_many, Algo, RunSpec, Table};
+use bench::{maybe_obs_profile, mean_std, repeats, run_grid, Algo, RunSpec, Table};
 
 fn main() {
     let repeats = repeats().min(8);
@@ -23,18 +23,12 @@ fn main() {
     ];
     let mut table = Table::new("delay vs predictor family", "predictor");
     table.x_values(algos.iter().map(|(n, _)| n.to_string()));
+    // `OL_GD` rides along as the clairvoyant reference: `fig6` keeps
+    // the bursty scenario, and the given-demand regime reveals it.
+    let specs: Vec<RunSpec> = algos.iter().map(|&(_, algo)| RunSpec::fig6(algo)).collect();
     let mut delays = Vec::new();
     let mut stds = Vec::new();
-    for &(_, algo) in &algos {
-        let mut spec = RunSpec::fig6(algo);
-        if let Algo::OlGd = algo {
-            // Clairvoyant reference: reveal the true bursty demands.
-            spec = RunSpec {
-                algo: Algo::OlGd,
-                ..RunSpec::fig6(Algo::OlGd)
-            };
-        }
-        let reports = run_many(&spec, repeats);
+    for reports in run_grid(&specs, repeats) {
         let values: Vec<f64> = reports.iter().map(|r| r.mean_avg_delay_ms()).collect();
         let (m, s) = mean_std(&values);
         delays.push(m);

@@ -57,19 +57,22 @@ fn main() {
         };
         let mut table = Table::new(format!("OL_GD advantage by topology — {label}"), "topology");
         table.x_values(topologies.iter().map(|t| t.to_string()));
+        // Job graph: one series per (topology, algorithm) pair at this
+        // sensitivity, seeds positional per repeat.
+        let points: Vec<(&str, Algo)> = topologies
+            .iter()
+            .flat_map(|&topo| [(topo, Algo::OlGd), (topo, Algo::GreedyGd)])
+            .collect();
+        let cells = bench::run_cells(points.len(), repeats, |series, seed| {
+            let (topo, algo) = points[series];
+            run(algo, topo, sensitivity, seed)
+        });
         let mut ol = Vec::new();
         let mut greedy = Vec::new();
         let mut advantage = Vec::new();
-        let base = bench::base_seed();
-        for topo in topologies {
-            let ol_vals: Vec<f64> = (0..repeats as u64)
-                .map(|s| run(Algo::OlGd, topo, sensitivity, base + s))
-                .collect();
-            let gr_vals: Vec<f64> = (0..repeats as u64)
-                .map(|s| run(Algo::GreedyGd, topo, sensitivity, base + s))
-                .collect();
-            let (om, _) = mean_std(&ol_vals);
-            let (gm, _) = mean_std(&gr_vals);
+        for pair in cells.chunks(2) {
+            let (om, _) = mean_std(&pair[0]);
+            let (gm, _) = mean_std(&pair[1]);
             ol.push(om);
             greedy.push(gm);
             advantage.push((gm - om) / gm * 100.0);

@@ -1,0 +1,181 @@
+//! Statistical perf harness: times the episode decide/step hot paths
+//! per policy under the runner's measurement discipline (fixed warmup,
+//! fixed iteration counts, median/p90 over repeats, monotonic clock
+//! only) and writes `BENCH_runner.json` at the repo root.
+//!
+//! Flags:
+//!
+//! * `--smoke` — the CI plan: tiny episodes, minimal repeats;
+//! * `--update-baseline` — also rewrite `ci/BENCH_baseline.json` with
+//!   this run (do this on a quiet machine, then commit the file);
+//! * `--seed N` — base seed for the measured episodes.
+//!
+//! Every cell stores both absolute ns and `ratio` — the median
+//! normalised by a fixed integer calibration spin timed on the same
+//! machine — so the committed baseline compares *shape* across
+//! hardware. When `ci/BENCH_baseline.json` exists the run compares
+//! against it and exits non-zero if any cell's ratio regressed by more
+//! than 25%. Measurement runs strictly serially: worker threads would
+//! share cores with the measured episode and corrupt the timings.
+
+use bench::{run_one, Algo, RunSpec};
+use lexcache_runner::{calibrate, compare, summarize, BenchOpts, BenchReport};
+use mec_workload::ScenarioConfig;
+
+/// Regression threshold enforced against the committed baseline.
+const THRESHOLD_PCT: f64 = 25.0;
+/// Report written at the repo root (run the bin from there).
+const REPORT_PATH: &str = "BENCH_runner.json";
+/// Committed baseline the CI gate compares against.
+const BASELINE_PATH: &str = "ci/BENCH_baseline.json";
+
+/// The measured policy set. `OL_GAN` is excluded: its per-episode GAN
+/// pretraining dwarfs the decide/step paths this harness tracks.
+const POLICIES: [Algo; 5] = [
+    Algo::OlGd,
+    Algo::OlUcb,
+    Algo::GreedyGd,
+    Algo::PriGd,
+    Algo::OlReg,
+];
+
+/// The episode each measured iteration runs.
+fn spec_for(algo: Algo, smoke: bool) -> RunSpec {
+    let base = if algo.hidden_demands() {
+        RunSpec::fig6(algo)
+    } else {
+        RunSpec::fig3(algo)
+    };
+    if smoke {
+        RunSpec {
+            n_stations: 12,
+            scenario: ScenarioConfig::small(),
+            horizon: 6,
+            ..base
+        }
+    } else {
+        RunSpec {
+            n_stations: 50,
+            horizon: 40,
+            ..base
+        }
+    }
+}
+
+/// Times one policy's episodes: returns per-slot decide and step
+/// measurements (ns). Decide comes from the episode's own per-slot
+/// stopwatch; step is the remaining per-slot time (demand advance,
+/// assignment realization, cache application, feedback).
+fn time_policy(
+    spec: &RunSpec,
+    opts: BenchOpts,
+    seed: u64,
+) -> (lexcache_runner::Measurement, lexcache_runner::Measurement) {
+    let horizon = spec.horizon.max(1) as f64;
+    for _ in 0..opts.warmup_iters {
+        std::hint::black_box(run_one(spec, seed));
+    }
+    let iters = opts.iters.max(1);
+    let mut decide_ns = Vec::with_capacity(opts.repeats);
+    let mut step_ns = Vec::with_capacity(opts.repeats);
+    for _ in 0..opts.repeats {
+        let mut batch_total_ns = 0.0;
+        let mut batch_decide_ns = 0.0;
+        for _ in 0..iters {
+            let mut report = None;
+            batch_total_ns += lexcache_runner::time_once_ns(|| {
+                report = Some(run_one(spec, seed));
+            });
+            let report = report.expect("episode ran");
+            batch_decide_ns += report.mean_decide_us() * 1_000.0;
+            std::hint::black_box(&report);
+        }
+        let slot_ns = batch_total_ns / iters as f64 / horizon;
+        let decide = batch_decide_ns / iters as f64;
+        decide_ns.push(decide);
+        step_ns.push((slot_ns - decide).max(0.0));
+    }
+    (summarize(iters, &decide_ns), summarize(iters, &step_ns))
+}
+
+fn main() {
+    let cli = bench::cli::Cli::from_env();
+    let update_baseline = std::env::args().any(|a| a == "--update-baseline");
+    let (mode, opts) = if cli.smoke {
+        ("smoke", BenchOpts::smoke())
+    } else {
+        ("standard", BenchOpts::standard())
+    };
+    let seed = bench::base_seed();
+    println!(
+        "bench_runner — mode {mode}: warmup {}, {} iters x {} repeats per policy, seed {seed}",
+        opts.warmup_iters, opts.iters, opts.repeats
+    );
+
+    let calibration_ns = calibrate();
+    println!("calibration spin: {calibration_ns:.1} ns/iter\n");
+    let mut report = BenchReport::new(mode, calibration_ns);
+    report.note = format!("seed {seed}; per-slot decide/step ns per policy");
+
+    println!(
+        "{:<12} {:>14} {:>14} {:>14} {:>14}",
+        "policy", "decide_med_ns", "decide_p90_ns", "step_med_ns", "step_p90_ns"
+    );
+    for algo in POLICIES {
+        let spec = spec_for(algo, cli.smoke);
+        let (decide, step) = time_policy(&spec, opts, seed);
+        println!(
+            "{:<12} {:>14.0} {:>14.0} {:>14.0} {:>14.0}",
+            algo.name(),
+            decide.median_ns,
+            decide.p90_ns,
+            step.median_ns,
+            step.p90_ns
+        );
+        report.push(format!("{}/decide", algo.name()), &decide);
+        report.push(format!("{}/step", algo.name()), &step);
+    }
+
+    match std::fs::write(REPORT_PATH, report.to_json()) {
+        Ok(()) => println!("\nreport written to {REPORT_PATH}"),
+        Err(e) => {
+            eprintln!("cannot write {REPORT_PATH}: {e}");
+            std::process::exit(2);
+        }
+    }
+
+    if update_baseline {
+        if let Err(e) = std::fs::write(BASELINE_PATH, report.to_json()) {
+            eprintln!("cannot write {BASELINE_PATH}: {e}");
+            std::process::exit(2);
+        }
+        println!("baseline updated at {BASELINE_PATH}");
+        return;
+    }
+
+    match std::fs::read_to_string(BASELINE_PATH) {
+        Ok(text) => match BenchReport::from_json(&text) {
+            Ok(baseline) => {
+                if baseline.mode != report.mode {
+                    println!(
+                        "\nbaseline mode {:?} differs from this run ({:?}); gate skipped",
+                        baseline.mode, report.mode
+                    );
+                    return;
+                }
+                let cmp = compare(&baseline, &report, THRESHOLD_PCT);
+                print!("\n{}", cmp.render());
+                if !cmp.passed() {
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("cannot parse {BASELINE_PATH}: {e}");
+                std::process::exit(2);
+            }
+        },
+        Err(_) => {
+            println!("\nno baseline at {BASELINE_PATH}; gate skipped (run --update-baseline)");
+        }
+    }
+}

@@ -4,7 +4,7 @@
 //! (a) average delay per time slot; (b) running time per time slot.
 
 use bench::{
-    maybe_obs_profile, maybe_write_json, mean_delay_series, repeats, run_many, Algo, JsonSeries,
+    maybe_obs_profile, maybe_write_json, mean_delay_series, repeats, run_grid, Algo, JsonSeries,
     RunSpec, Table,
 };
 
@@ -22,9 +22,8 @@ fn main() {
     let mut first = true;
     let mut means = Vec::new();
     let mut json = Vec::new();
-    for algo in algos {
-        let spec = RunSpec::fig3(algo);
-        let reports = run_many(&spec, repeats);
+    let specs: Vec<RunSpec> = algos.iter().map(|&a| RunSpec::fig3(a)).collect();
+    for (algo, reports) in algos.iter().copied().zip(run_grid(&specs, repeats)) {
         let series = mean_delay_series(&reports);
         json.push(JsonSeries {
             label: algo.name().to_string(),

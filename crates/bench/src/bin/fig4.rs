@@ -5,7 +5,7 @@
 //! time vs network size.
 
 use bench::{
-    maybe_obs_profile, maybe_write_json, mean_std, repeats, run_many, Algo, JsonSeries, RunSpec,
+    maybe_obs_profile, maybe_write_json, mean_std, repeats, run_grid, Algo, JsonSeries, RunSpec,
     Table,
 };
 use mec_workload::scenario::DemandKind;
@@ -30,17 +30,28 @@ fn main() {
     delay.x_values(sizes.iter().map(|n| n.to_string()));
     runtime.x_values(sizes.iter().map(|n| n.to_string()));
 
+    // One flat job graph over every (algo, size) sweep point.
+    let points: Vec<(Algo, usize)> = algos
+        .iter()
+        .flat_map(|&algo| sizes.iter().map(move |&n| (algo, n)))
+        .collect();
+    let specs: Vec<RunSpec> = points
+        .iter()
+        .map(|&(algo, n)| RunSpec {
+            n_stations: n,
+            scenario: ScenarioConfig::paper_defaults().with_demand(DemandKind::Fixed),
+            ..RunSpec::fig3(algo)
+        })
+        .collect();
+    let results = run_grid(&specs, repeats);
+
     let mut json = Vec::new();
+    let mut rows = results.into_iter();
     for algo in algos {
         let mut delays = Vec::new();
         let mut runtimes = Vec::new();
         for &n in &sizes {
-            let spec = RunSpec {
-                n_stations: n,
-                scenario: ScenarioConfig::paper_defaults().with_demand(DemandKind::Fixed),
-                ..RunSpec::fig3(algo)
-            };
-            let reports = run_many(&spec, repeats);
+            let reports = rows.next().expect("one row per sweep point");
             json.push(JsonSeries {
                 label: format!("{}/{n}", algo.name()),
                 reports: reports.clone(),

@@ -6,7 +6,7 @@
 //! headline section compares the gap against Fig. 3's.
 
 use bench::{
-    maybe_obs_profile, maybe_write_json, mean_delay_series, repeats, run_many, Algo, JsonSeries,
+    maybe_obs_profile, maybe_write_json, mean_delay_series, repeats, run_grid, Algo, JsonSeries,
     RunSpec, Table, TopoKind,
 };
 use mec_net::topology::as1755;
@@ -40,9 +40,8 @@ fn main() {
     let mut first = true;
     let mut means = Vec::new();
     let mut json = Vec::new();
-    for algo in algos {
-        let spec = as_spec(algo);
-        let reports = run_many(&spec, repeats);
+    let specs: Vec<RunSpec> = algos.iter().map(|&a| as_spec(a)).collect();
+    for (algo, reports) in algos.iter().copied().zip(run_grid(&specs, repeats)) {
         let series = mean_delay_series(&reports);
         json.push(JsonSeries {
             label: algo.name().to_string(),

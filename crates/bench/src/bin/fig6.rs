@@ -6,7 +6,7 @@
 //! a clearly lower delay.
 
 use bench::{
-    maybe_obs_profile, maybe_write_json, mean_delay_series, repeats, run_many, Algo, JsonSeries,
+    maybe_obs_profile, maybe_write_json, mean_delay_series, repeats, run_grid, Algo, JsonSeries,
     RunSpec, Table,
 };
 
@@ -24,9 +24,8 @@ fn main() {
     let mut first = true;
     let mut summary = Vec::new();
     let mut json = Vec::new();
-    for algo in algos {
-        let spec = RunSpec::fig6(algo);
-        let reports = run_many(&spec, repeats);
+    let specs: Vec<RunSpec> = algos.iter().map(|&a| RunSpec::fig6(a)).collect();
+    for (algo, reports) in algos.iter().copied().zip(run_grid(&specs, repeats)) {
         let series = mean_delay_series(&reports);
         json.push(JsonSeries {
             label: algo.name().to_string(),

@@ -2,7 +2,7 @@
 //! varied from 50 to 300 stations, plus the AS1755 real topology.
 
 use bench::{
-    maybe_obs_profile, maybe_write_json, mean_std, repeats, run_many, Algo, JsonSeries, RunSpec,
+    maybe_obs_profile, maybe_write_json, mean_std, repeats, run_grid, Algo, JsonSeries, RunSpec,
     Table, TopoKind,
 };
 use mec_net::topology::as1755;
@@ -37,17 +37,30 @@ fn main() {
 
     let mut delay = Table::new("Fig. 7(a) — average delay vs network size (ms)", "stations");
     delay.x_values(sizes.iter().map(|n| n.to_string()));
-    let mut json = Vec::new();
-    for algo in algos {
-        let mut delays = Vec::new();
-        for &n in &sizes {
+    // One flat job graph over every (algo, size) sweep point.
+    let points: Vec<(Algo, usize)> = algos
+        .iter()
+        .flat_map(|&algo| sizes.iter().map(move |&n| (algo, n)))
+        .collect();
+    let specs: Vec<RunSpec> = points
+        .iter()
+        .map(|&(algo, n)| {
             let base = RunSpec::fig6(algo);
-            let spec = RunSpec {
+            RunSpec {
                 n_stations: n,
                 scenario: base.scenario.with_requests(requests_for(n)),
                 ..base
-            };
-            let reports = run_many(&spec, repeats);
+            }
+        })
+        .collect();
+    let results = run_grid(&specs, repeats);
+
+    let mut json = Vec::new();
+    let mut rows = results.into_iter();
+    for algo in algos {
+        let mut delays = Vec::new();
+        for &n in &sizes {
+            let reports = rows.next().expect("one row per sweep point");
             json.push(JsonSeries {
                 label: format!("{}/{n}", algo.name()),
                 reports: reports.clone(),
@@ -69,15 +82,17 @@ fn main() {
         "metric",
     );
     real.x_values(["avg_delay_ms".into(), "runtime_ms_per_slot".into()]);
-    for algo in algos {
-        let spec = RunSpec {
+    let real_specs: Vec<RunSpec> = algos
+        .iter()
+        .map(|&algo| RunSpec {
             topo: TopoKind::As1755,
             n_stations: as1755::AS1755_NODES,
             scenario: ScenarioConfig::paper_defaults()
                 .with_demand(DemandKind::Flash(FlashCrowdConfig::default())),
             ..RunSpec::fig6(algo)
-        };
-        let reports = run_many(&spec, repeats);
+        })
+        .collect();
+    for (algo, reports) in algos.iter().copied().zip(run_grid(&real_specs, repeats)) {
         let (d, _) = mean_std(
             &reports
                 .iter()

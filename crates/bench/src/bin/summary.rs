@@ -5,7 +5,7 @@
 //! settings into one improvement table.
 
 use bench::{
-    maybe_obs_profile, maybe_write_json, mean_std, repeats, run_many, Algo, JsonSeries, RunSpec,
+    maybe_obs_profile, maybe_write_json, mean_std, repeats, run_grid, Algo, JsonSeries, RunSpec,
     Table,
 };
 
@@ -21,25 +21,25 @@ fn main() {
         "Mean average delay (ms) and std over topologies",
         "algorithm",
     );
+    // One job graph covering both regimes: the three given-demand
+    // policies on the Fig. 3 setting, the two unknown-demand ones on
+    // the Fig. 6 setting.
+    let cells: Vec<(Algo, &str, RunSpec)> = vec![
+        (Algo::OlGd, "given", RunSpec::fig3(Algo::OlGd)),
+        (Algo::GreedyGd, "given", RunSpec::fig3(Algo::GreedyGd)),
+        (Algo::PriGd, "given", RunSpec::fig3(Algo::PriGd)),
+        (Algo::OlGan, "unknown", RunSpec::fig6(Algo::OlGan)),
+        (Algo::OlReg, "unknown", RunSpec::fig6(Algo::OlReg)),
+    ];
+    let specs: Vec<RunSpec> = cells.iter().map(|(_, _, s)| s.clone()).collect();
     let mut rows: Vec<(String, f64, f64)> = Vec::new();
     let mut json = Vec::new();
-    for algo in [Algo::OlGd, Algo::GreedyGd, Algo::PriGd] {
-        let reports = run_many(&RunSpec::fig3(algo), repeats);
+    for ((algo, regime, _), reports) in cells.iter().zip(run_grid(&specs, repeats)) {
         let values: Vec<f64> = reports.iter().map(|r| r.mean_avg_delay_ms()).collect();
         let (m, s) = mean_std(&values);
-        rows.push((format!("{} (given)", algo.name()), m, s));
+        rows.push((format!("{} ({regime})", algo.name()), m, s));
         json.push(JsonSeries {
-            label: format!("{}/given", algo.name()),
-            reports,
-        });
-    }
-    for algo in [Algo::OlGan, Algo::OlReg] {
-        let reports = run_many(&RunSpec::fig6(algo), repeats);
-        let values: Vec<f64> = reports.iter().map(|r| r.mean_avg_delay_ms()).collect();
-        let (m, s) = mean_std(&values);
-        rows.push((format!("{} (unknown)", algo.name()), m, s));
-        json.push(JsonSeries {
-            label: format!("{}/unknown", algo.name()),
+            label: format!("{}/{regime}", algo.name()),
             reports,
         });
     }

@@ -1,0 +1,110 @@
+//! Shared command-line handling for every bench binary.
+//!
+//! All 17 binaries accept the same four flags, parsed here once instead
+//! of ad hoc per bin:
+//!
+//! * `--smoke` — tiny CI-sized run (each bin decides what that means);
+//! * `--json` — also write machine-readable JSON next to the tables;
+//! * `--seed N` / `--seed=N` — base seed added to every per-repeat seed;
+//! * `--threads N` / `--threads=N` — worker threads for parallel sweeps
+//!   (`1` forces the serial path; the result is bit-identical either
+//!   way).
+//!
+//! Flags win over their environment-variable twins (`LEXCACHE_SEED`,
+//! `LEXCACHE_JSON`, `LEXCACHE_THREADS`), which stay supported so
+//! existing scripts keep working. Unknown arguments are ignored, as
+//! they always were.
+
+/// Parsed command-line flags common to every bench binary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Cli {
+    /// `--smoke`: run the bin's reduced CI-sized variant.
+    pub smoke: bool,
+    /// `--json`: write machine-readable output next to the text tables.
+    pub json: bool,
+    /// `--seed N`: base seed (flag form; `None` = flag absent).
+    pub seed: Option<u64>,
+    /// `--threads N`: sweep worker count (flag form; `None` = absent).
+    pub threads: Option<usize>,
+}
+
+impl Cli {
+    /// Parses a flag list (binary name already stripped). Values that
+    /// fail to parse are treated as absent rather than fatal.
+    pub fn from_args(args: &[String]) -> Cli {
+        let mut cli = Cli::default();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--smoke" => cli.smoke = true,
+                "--json" => cli.json = true,
+                "--seed" => cli.seed = it.next().and_then(|v| v.parse().ok()),
+                "--threads" => cli.threads = it.next().and_then(|v| v.parse().ok()),
+                other => {
+                    if let Some(v) = other.strip_prefix("--seed=") {
+                        cli.seed = v.parse().ok();
+                    } else if let Some(v) = other.strip_prefix("--threads=") {
+                        cli.threads = v.parse().ok();
+                    }
+                }
+            }
+        }
+        // A zero thread count is meaningless; treat it as absent.
+        if cli.threads == Some(0) {
+            cli.threads = None;
+        }
+        cli
+    }
+
+    /// Parses the current process's arguments.
+    pub fn from_env() -> Cli {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Cli::from_args(&args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Cli {
+        let args: Vec<String> = v.iter().map(|s| s.to_string()).collect();
+        Cli::from_args(&args)
+    }
+
+    #[test]
+    fn defaults_are_all_off() {
+        assert_eq!(parse(&[]), Cli::default());
+    }
+
+    #[test]
+    fn boolean_flags_toggle() {
+        let cli = parse(&["--smoke", "--json"]);
+        assert!(cli.smoke && cli.json);
+        assert_eq!(cli.seed, None);
+        assert_eq!(cli.threads, None);
+    }
+
+    #[test]
+    fn valued_flags_accept_both_forms() {
+        assert_eq!(parse(&["--seed", "42"]).seed, Some(42));
+        assert_eq!(parse(&["--seed=7", "--json"]).seed, Some(7));
+        assert_eq!(parse(&["--threads", "8"]).threads, Some(8));
+        assert_eq!(parse(&["--threads=1"]).threads, Some(1));
+    }
+
+    #[test]
+    fn malformed_values_read_as_absent() {
+        assert_eq!(parse(&["--seed"]).seed, None);
+        assert_eq!(parse(&["--seed", "x"]).seed, None);
+        assert_eq!(parse(&["--threads=none"]).threads, None);
+        assert_eq!(parse(&["--threads", "0"]).threads, None, "zero is absent");
+    }
+
+    #[test]
+    fn unknown_arguments_are_ignored() {
+        let cli = parse(&["positional", "--verbose", "--seed", "3"]);
+        assert_eq!(cli.seed, Some(3));
+        assert!(!cli.smoke && !cli.json);
+    }
+}

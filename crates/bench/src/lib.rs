@@ -14,8 +14,10 @@
 //!   the paper uses 80).
 //! * `LEXCACHE_SLOTS` — time horizon per episode (default 100, as in the
 //!   paper).
-//! * `LEXCACHE_THREADS` — worker threads for the topology sweep (default:
-//!   available parallelism).
+//! * `--threads N` (flag) or `LEXCACHE_THREADS` — worker threads for the
+//!   sweep job graph (default: available parallelism; `1` forces the
+//!   serial path). The reduction is canonical-order, so the worker count
+//!   never changes a bit of any result.
 //! * `--seed N` (flag) or `LEXCACHE_SEED` — base seed added to every
 //!   sweep's per-repeat seed (default 0), so whole experiments replay on
 //!   a different seed set without recompiling.
@@ -29,6 +31,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
+
+use cli::Cli;
 use infogan::InfoGanConfig;
 pub use lexcache_core::FaultConfig;
 use lexcache_core::{
@@ -40,7 +45,6 @@ use mec_net::{NetworkConfig, Topology};
 use mec_workload::demand::{DemandProcess as _, FlashCrowd, FlashCrowdConfig};
 use mec_workload::scenario::DemandKind;
 use mec_workload::{Scenario, ScenarioConfig};
-use parking_lot::Mutex;
 use serde::Serialize;
 
 /// Number of repeated topologies per data point (`LEXCACHE_REPEATS`).
@@ -53,12 +57,12 @@ pub fn slots() -> usize {
     env_usize("LEXCACHE_SLOTS", 100)
 }
 
-/// Worker threads for sweeps (`LEXCACHE_THREADS`).
+/// Worker threads for sweeps: the `--threads N` / `--threads=N` flag
+/// wins, then `LEXCACHE_THREADS`, then available parallelism.
 pub fn threads() -> usize {
-    env_usize(
-        "LEXCACHE_THREADS",
-        std::thread::available_parallelism().map_or(4, |n| n.get()),
-    )
+    Cli::from_env()
+        .threads
+        .unwrap_or_else(|| env_usize("LEXCACHE_THREADS", lexcache_runner::available_threads()))
 }
 
 fn env_usize(key: &str, default: usize) -> usize {
@@ -72,8 +76,7 @@ fn env_usize(key: &str, default: usize) -> usize {
 /// Base seed added to every sweep's per-repeat seed: the `--seed N` /
 /// `--seed=N` flag wins, then the `LEXCACHE_SEED` env var, default 0.
 pub fn base_seed() -> u64 {
-    let args: Vec<String> = std::env::args().collect();
-    seed_from_args(&args).unwrap_or_else(|| {
+    Cli::from_env().seed.unwrap_or_else(|| {
         std::env::var("LEXCACHE_SEED")
             .ok()
             .and_then(|v| v.parse().ok())
@@ -81,17 +84,9 @@ pub fn base_seed() -> u64 {
     })
 }
 
-fn seed_from_args(args: &[String]) -> Option<u64> {
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        if a == "--seed" {
-            return it.next().and_then(|v| v.parse().ok());
-        }
-        if let Some(v) = a.strip_prefix("--seed=") {
-            return v.parse().ok();
-        }
-    }
-    None
+/// Whether the reduced CI-sized run was requested (`--smoke`).
+pub fn smoke_requested() -> bool {
+    Cli::from_env().smoke
 }
 
 /// Which topology family a data point uses.
@@ -339,32 +334,89 @@ pub fn run_one(spec: &RunSpec, seed: u64) -> EpisodeReport {
 
 /// Runs the spec over `repeats` seeded topologies in parallel and
 /// returns the per-repeat reports (ordered; repeat `i` uses episode seed
-/// [`base_seed`]` + i`).
+/// [`base_seed`]` + i`). A thin wrapper over [`run_many_with`] using the
+/// process-wide thread and seed knobs.
 pub fn run_many(spec: &RunSpec, repeats: usize) -> Vec<EpisodeReport> {
-    let results: Mutex<Vec<(u64, EpisodeReport)>> = Mutex::new(Vec::with_capacity(repeats));
-    let next = std::sync::atomic::AtomicU64::new(0);
-    let workers = threads().min(repeats.max(1));
-    let base = base_seed();
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let idx = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-                if idx >= repeats as u64 {
-                    break;
-                }
-                let report = run_one(spec, base + idx);
-                results.lock().push((idx, report));
-            });
-        }
+    run_many_with(spec, repeats, threads(), base_seed())
+}
+
+/// [`run_many`] with explicit worker count and base seed — the
+/// deterministic core the golden-trace tests drive directly. Seeds are
+/// positional (`base + i`), the reduction is canonical-order, and any
+/// installed obs sink sees each repeat's events routed to shard `i`, so
+/// `threads = 8` is bit-identical to `threads = 1`.
+pub fn run_many_with(
+    spec: &RunSpec,
+    repeats: usize,
+    threads: usize,
+    base: u64,
+) -> Vec<EpisodeReport> {
+    lexcache_runner::map_indexed(repeats, threads, |i| {
+        lexcache_obs::set_current_cell(i);
+        run_one(spec, base + i as u64)
     })
-    .unwrap_or_else(|payload| {
-        // A worker panicked; re-raise its payload on this thread so
-        // the original message and backtrace are preserved.
-        std::panic::resume_unwind(payload)
-    });
-    let mut out = results.into_inner();
-    out.sort_by_key(|(idx, _)| *idx);
-    out.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Runs a whole sweep — every `(spec, repeat)` cell — as one parallel
+/// job graph and returns per-spec report vectors in spec order. A thin
+/// wrapper over [`run_grid_with`] using the process-wide knobs.
+pub fn run_grid(specs: &[RunSpec], repeats: usize) -> Vec<Vec<EpisodeReport>> {
+    run_grid_with(specs, repeats, threads(), base_seed())
+}
+
+/// [`run_grid_with`]'s cell `(s, i)` runs `specs[s]` under seed
+/// `base + i` — the same derivation a serial per-spec loop over
+/// [`run_many`] uses, so the two produce identical reports. Obs events
+/// are routed to the cell's canonical index (`s·repeats + i`), letting a
+/// [`lexcache_obs::ShardedRegistry`] sized [`grid_cells`] reduce
+/// deterministically.
+pub fn run_grid_with(
+    specs: &[RunSpec],
+    repeats: usize,
+    threads: usize,
+    base: u64,
+) -> Vec<Vec<EpisodeReport>> {
+    let grid = lexcache_runner::Grid::new(specs.len(), repeats);
+    grid.run(threads, |c| {
+        lexcache_obs::set_current_cell(grid.index(c));
+        run_one(&specs[c.series], base + c.repeat as u64)
+    })
+}
+
+/// Number of cells a [`run_grid`] sweep schedules — the shard count to
+/// give a [`lexcache_obs::ShardedRegistry`] covering it.
+pub fn grid_cells(n_specs: usize, repeats: usize) -> usize {
+    lexcache_runner::Grid::new(n_specs, repeats).n_cells()
+}
+
+/// Parallel sweep for bins whose cell body is not a plain [`run_one`]
+/// (custom episode configs, explicit delay models, …): runs
+/// `n_series × repeats` cells of `f(series, seed)` with the same
+/// positional seeds, canonical reduction and per-cell obs routing as
+/// [`run_grid`], returning one vector per series.
+pub fn run_cells<T: Send>(
+    n_series: usize,
+    repeats: usize,
+    f: impl Fn(usize, u64) -> T + Sync,
+) -> Vec<Vec<T>> {
+    let grid = lexcache_runner::Grid::new(n_series, repeats);
+    let base = base_seed();
+    grid.run(threads(), |c| {
+        lexcache_obs::set_current_cell(grid.index(c));
+        f(c.series, base + c.repeat as u64)
+    })
+}
+
+/// Ensures the shared `results/` output directory exists and returns
+/// its (relative) path. Every sink or report writer goes through here
+/// before opening a file, so no output path ever races directory
+/// creation. Creation failure is reported once on stderr; the
+/// subsequent file open produces the definitive error.
+pub fn results_dir() -> &'static str {
+    if let Err(e) = std::fs::create_dir_all("results") {
+        eprintln!("results: cannot create results/: {e}");
+    }
+    "results"
 }
 
 /// Whether the instrumented-profile mode is on (`LEXCACHE_OBS=1`).
@@ -375,8 +427,7 @@ pub fn obs_enabled() -> bool {
 /// Whether machine-readable JSON output was requested, via the
 /// `--json` flag or `LEXCACHE_JSON=1`.
 pub fn json_requested() -> bool {
-    std::env::args().any(|a| a == "--json")
-        || std::env::var("LEXCACHE_JSON").is_ok_and(|v| v == "1")
+    Cli::from_env().json || std::env::var("LEXCACHE_JSON").is_ok_and(|v| v == "1")
 }
 
 /// One labelled series of per-seed episode reports — the JSON shape
@@ -396,8 +447,7 @@ pub fn maybe_write_json(bin: &str, series: &[JsonSeries]) {
     if !json_requested() {
         return;
     }
-    let _ = std::fs::create_dir_all("results");
-    let path = format!("results/{bin}.json");
+    let path = format!("{}/{bin}.json", results_dir());
     match lexcache_obs::json::to_string(&series) {
         Ok(text) => match std::fs::write(&path, text) {
             Ok(()) => println!("\njson reports written to {path}"),
@@ -421,8 +471,7 @@ pub fn maybe_obs_profile(bin: &str, specs: &[(&str, RunSpec)]) {
     if !obs_enabled() {
         return;
     }
-    let _ = std::fs::create_dir_all("results");
-    let path = format!("results/obs_{bin}.jsonl");
+    let path = format!("{}/obs_{bin}.jsonl", results_dir());
     let file = match std::fs::File::create(&path) {
         Ok(f) => f,
         Err(e) => {
@@ -472,8 +521,7 @@ pub fn maybe_obs_begin(bin: &str) -> Option<lexcache_obs::SharedRegistry> {
     if !obs_enabled() {
         return None;
     }
-    let _ = std::fs::create_dir_all("results");
-    let path = format!("results/obs_{bin}.jsonl");
+    let path = format!("{}/obs_{bin}.jsonl", results_dir());
     let file = match std::fs::File::create(&path) {
         Ok(f) => f,
         Err(e) => {
@@ -608,19 +656,6 @@ mod tests {
     }
 
     #[test]
-    fn seed_flag_parsing() {
-        let args = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
-        assert_eq!(seed_from_args(&args(&["bin", "--seed", "42"])), Some(42));
-        assert_eq!(
-            seed_from_args(&args(&["bin", "--seed=7", "--json"])),
-            Some(7)
-        );
-        assert_eq!(seed_from_args(&args(&["bin", "--json"])), None);
-        assert_eq!(seed_from_args(&args(&["bin", "--seed"])), None);
-        assert_eq!(seed_from_args(&args(&["bin", "--seed", "x"])), None);
-    }
-
-    #[test]
     fn mean_std_basics() {
         let (m, s) = mean_std(&[2.0, 4.0]);
         assert_eq!(m, 3.0);
@@ -679,6 +714,45 @@ mod tests {
         let b = run_many(&spec, 3);
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.delay_series(), y.delay_series());
+        }
+    }
+
+    #[test]
+    fn grid_matches_per_spec_serial_loops() {
+        // One parallel job graph over every (spec, repeat) cell must
+        // reproduce the serial per-spec loops bit-for-bit.
+        let spec = |algo| RunSpec {
+            topo: TopoKind::Gtitm,
+            n_stations: 10,
+            scenario: ScenarioConfig::small(),
+            horizon: 3,
+            algo,
+            track_regret: false,
+            faults: FaultConfig::none(),
+        };
+        let specs = [spec(Algo::GreedyGd), spec(Algo::PriGd)];
+        let grid = run_grid_with(&specs, 2, 4, 5);
+        assert_eq!(grid.len(), 2);
+        for (s, reports) in grid.iter().enumerate() {
+            let serial = run_many_with(&specs[s], 2, 1, 5);
+            assert_eq!(reports.len(), serial.len());
+            for (p, q) in reports.iter().zip(&serial) {
+                let pb: Vec<u64> = p.delay_series().iter().map(|v| v.to_bits()).collect();
+                let qb: Vec<u64> = q.delay_series().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(pb, qb);
+            }
+        }
+        assert_eq!(grid_cells(specs.len(), 2), 4);
+    }
+
+    #[test]
+    fn run_cells_uses_positional_seeds() {
+        let cells = run_cells(2, 3, |series, seed| (series, seed));
+        assert_eq!(cells.len(), 2);
+        let base = base_seed();
+        for (s, row) in cells.iter().enumerate() {
+            let want: Vec<(usize, u64)> = (0..3).map(|i| (s, base + i)).collect();
+            assert_eq!(row, &want);
         }
     }
 

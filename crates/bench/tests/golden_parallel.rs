@@ -1,0 +1,131 @@
+//! Golden-trace regression test for the parallel experiment engine.
+//!
+//! The runner's determinism contract says `--threads N` must be
+//! bit-identical to `--threads 1` — positional seeds, canonical-order
+//! reduction, per-cell obs shards merged in canonical order. This test
+//! pins that end to end for two sweep shapes drawn from the real bins
+//! (a figure-style policy sweep and a fault-injection ablation sweep):
+//!
+//! * every [`EpisodeReport`] must serialize to the **same bytes**
+//!   (after stripping the one wall-clock field, `decide_us`), and
+//! * the merged observability registries must agree on every counter,
+//!   marker, gauge, histogram and span count.
+//!
+//! Everything runs in a single `#[test]` because the obs sink is
+//! process-global: concurrent tests installing their own sinks would
+//! race on it.
+
+use bench::{Algo, FaultConfig, RunSpec};
+use lexcache_obs::{Registry, ShardedRegistry};
+use mec_workload::ScenarioConfig;
+
+/// Shrinks a figure spec to smoke size so the four sweeps finish in
+/// seconds.
+fn tiny(spec: RunSpec) -> RunSpec {
+    RunSpec {
+        n_stations: 12,
+        scenario: ScenarioConfig::small(),
+        horizon: 6,
+        ..spec
+    }
+}
+
+/// Runs one sweep with the obs pipeline attached and returns the
+/// serialized (timing-stripped) reports in canonical cell order plus
+/// the canonically merged registry.
+fn run_instrumented(
+    specs: &[RunSpec],
+    repeats: usize,
+    threads: usize,
+    base: u64,
+) -> (Vec<String>, Registry) {
+    let sharded = ShardedRegistry::new(bench::grid_cells(specs.len(), repeats));
+    lexcache_obs::install(Box::new(sharded.clone()));
+    let rows = bench::run_grid_with(specs, repeats, threads, base);
+    drop(lexcache_obs::uninstall());
+    let json: Vec<String> = rows
+        .iter()
+        .flatten()
+        .map(|r| lexcache_obs::json::to_string(&r.with_zeroed_timings()).expect("serialize"))
+        .collect();
+    (json, sharded.merged())
+}
+
+#[test]
+fn parallel_runs_are_byte_identical_to_serial() {
+    const REPEATS: usize = 3;
+    const BASE: u64 = 42;
+    let sweeps: [(&str, Vec<RunSpec>); 2] = [
+        (
+            "fig3/fig6-shaped policy sweep",
+            vec![
+                tiny(RunSpec::fig3(Algo::OlGd)),
+                tiny(RunSpec::fig3(Algo::GreedyGd)),
+                tiny(RunSpec::fig6(Algo::OlReg)),
+            ],
+        ),
+        (
+            "ablation_faults-shaped sweep",
+            vec![
+                tiny(RunSpec::fig3(Algo::OlGd).with_faults(FaultConfig::intensity(0.1))),
+                tiny(RunSpec::fig6(Algo::OlReg).with_faults(FaultConfig::intensity(0.05))),
+            ],
+        ),
+    ];
+
+    for (name, specs) in &sweeps {
+        let (serial_json, serial_obs) = run_instrumented(specs, REPEATS, 1, BASE);
+        let (parallel_json, parallel_obs) = run_instrumented(specs, REPEATS, 4, BASE);
+
+        // The reports themselves: one JSON string per cell, canonical
+        // order, byte-for-byte equal.
+        assert_eq!(
+            serial_json.len(),
+            specs.len() * REPEATS,
+            "{name}: unexpected cell count"
+        );
+        assert_eq!(
+            serial_json, parallel_json,
+            "{name}: EpisodeReport bytes diverged between 1 and 4 threads"
+        );
+
+        // The merged obs registries: same aggregates bit for bit.
+        assert!(
+            !serial_obs.counters().is_empty(),
+            "{name}: episodes emitted no counters — the comparison would be vacuous"
+        );
+        assert_eq!(
+            serial_obs.counters(),
+            parallel_obs.counters(),
+            "{name}: merged counters diverged"
+        );
+        assert_eq!(
+            serial_obs.marks(),
+            parallel_obs.marks(),
+            "{name}: merged markers diverged"
+        );
+        assert_eq!(
+            serial_obs.gauges(),
+            parallel_obs.gauges(),
+            "{name}: merged gauges diverged"
+        );
+        assert_eq!(
+            serial_obs.hists(),
+            parallel_obs.hists(),
+            "{name}: merged histograms diverged"
+        );
+        // Span durations are wall-clock; only the counts are part of
+        // the determinism contract.
+        let span_counts = |reg: &Registry| -> Vec<(String, u64)> {
+            reg.spans()
+                .iter()
+                .map(|(k, s)| (k.clone(), s.count))
+                .collect()
+        };
+        assert_eq!(
+            span_counts(&serial_obs),
+            span_counts(&parallel_obs),
+            "{name}: merged span counts diverged"
+        );
+    }
+}

@@ -43,6 +43,20 @@ pub struct EpisodeReport {
 }
 
 impl EpisodeReport {
+    /// A copy with every wall-clock field (`decide_us`) zeroed.
+    ///
+    /// Everything else in a report is a deterministic function of the
+    /// seed; `decide_us` is the one measured quantity. Golden-trace
+    /// tests comparing serial vs parallel runs byte-for-byte strip it
+    /// first so the comparison covers exactly the deterministic state.
+    pub fn with_zeroed_timings(&self) -> EpisodeReport {
+        let mut out = self.clone();
+        for slot in &mut out.slots {
+            slot.decide_us = 0.0;
+        }
+        out
+    }
+
     /// Mean achieved average delay over all slots, ms.
     pub fn mean_avg_delay_ms(&self) -> f64 {
         if self.slots.is_empty() {
@@ -147,6 +161,21 @@ mod tests {
             rerouted_count: i,
             dropped_count: i % 3,
         }
+    }
+
+    #[test]
+    fn zeroed_timings_strip_only_the_wall_clock() {
+        let r = EpisodeReport {
+            policy: "test".into(),
+            topology: "t".into(),
+            slots: vec![slot(1, 10.0, Some(8.0)), slot(2, 20.0, None)],
+        };
+        let z = r.with_zeroed_timings();
+        assert_eq!(z.total_decide_ms(), 0.0);
+        assert_eq!(z.mean_avg_delay_ms(), r.mean_avg_delay_ms());
+        assert_eq!(z.slots[0].optimal_avg_delay_ms, Some(8.0));
+        assert_eq!(z.total_remote(), r.total_remote());
+        assert_eq!(r.total_decide_ms(), 0.2, "the original is untouched");
     }
 
     #[test]

@@ -173,6 +173,28 @@ impl Histogram {
     pub fn counts(&self) -> &[u64] {
         &self.counts
     }
+
+    /// Folds `other` into `self`: bucket counts add position-wise,
+    /// totals and sample counts add, min/max widen. Because bucketing
+    /// is bit-exact, merging per-cell histograms in any grouping gives
+    /// the same buckets as recording every sample into one histogram —
+    /// the property the parallel experiment runner relies on.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -250,6 +272,41 @@ mod tests {
         assert_eq!(h.p50(), 0.0);
         assert_eq!(h.min(), 0.0);
         assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        let mut all = Histogram::new();
+        for v in 1..=40 {
+            let v = v as f64 * 0.37;
+            if v < 8.0 {
+                left.record(v);
+            } else {
+                right.record(v);
+            }
+            all.record(v);
+        }
+        let mut merged = left.clone();
+        merged.merge(&right);
+        assert_eq!(merged, all, "bucket-wise merge must equal direct recording");
+        assert_eq!(merged.count(), 40);
+        assert_eq!(merged.min(), all.min());
+        assert_eq!(merged.max(), all.max());
+    }
+
+    #[test]
+    fn merging_empty_is_identity_both_ways() {
+        let mut h = Histogram::new();
+        h.record(2.0);
+        h.record(5.0);
+        let snapshot = h.clone();
+        h.merge(&Histogram::new());
+        assert_eq!(h, snapshot, "merging an empty histogram changes nothing");
+        let mut empty = Histogram::new();
+        empty.merge(&snapshot);
+        assert_eq!(empty, snapshot, "merging into empty copies exactly");
     }
 
     #[test]

@@ -37,11 +37,13 @@ pub mod event;
 pub mod hist;
 pub mod json;
 pub mod registry;
+pub mod shard;
 pub mod sink;
 
 pub use event::{Event, EventKind};
 pub use hist::Histogram;
 pub use registry::{Registry, SharedRegistry, SpanStats};
+pub use shard::{current_cell, set_current_cell, ShardedRegistry};
 pub use sink::{JsonlSink, NoopSink, SharedWriter, Sink, Tee};
 
 use std::cell::Cell;

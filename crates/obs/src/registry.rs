@@ -117,6 +117,11 @@ impl Registry {
         &self.gauges
     }
 
+    /// All histograms, name-ordered.
+    pub fn hists(&self) -> &BTreeMap<String, Histogram> {
+        &self.hists
+    }
+
     /// All span aggregates, name-ordered.
     pub fn spans(&self) -> &BTreeMap<String, SpanStats> {
         &self.spans
@@ -145,6 +150,46 @@ impl Registry {
             .filter(|(name, _)| name.starts_with(prefix))
             .map(|(_, s)| s.total_us)
             .sum()
+    }
+
+    /// Folds `other` into `self` — the reduction the parallel
+    /// experiment runner applies to per-cell registries, **in canonical
+    /// cell order**, after a sweep:
+    ///
+    /// * counters and marks sum;
+    /// * gauges take the merged-in value (so folding cells in canonical
+    ///   order leaves the last cell's level, exactly as one serial
+    ///   registry would);
+    /// * histogram buckets add position-wise;
+    /// * span aggregates add (counts, totals, duration histograms);
+    /// * retained raw events append in merge order.
+    ///
+    /// Every non-timing aggregate is therefore bit-identical to what a
+    /// single registry would have collected serially; span *durations*
+    /// remain wall-clock measurements, deterministic in count but not
+    /// in magnitude.
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            self.gauges.insert(name.clone(), *v);
+        }
+        for (name, h) in &other.hists {
+            self.hists.entry(name.clone()).or_default().merge(h);
+        }
+        for (name, s) in &other.spans {
+            let mine = self.spans.entry(name.clone()).or_default();
+            mine.count += s.count;
+            mine.total_us += s.total_us;
+            mine.hist.merge(&s.hist);
+        }
+        for (name, v) in &other.marks {
+            *self.marks.entry(name.clone()).or_insert(0) += v;
+        }
+        if !other.events.is_empty() {
+            self.events.extend(other.events.iter().cloned());
+        }
     }
 
     /// Renders the aggregate state as an aligned, human-readable table:
@@ -323,6 +368,115 @@ mod tests {
         ] {
             assert!(table.contains(needle), "table missing {needle}:\n{table}");
         }
+    }
+
+    #[test]
+    fn merge_sums_counters_marks_and_spans() {
+        let mut a = Registry::new();
+        a.ingest(&ev(EventKind::Counter, "c", 2.0));
+        a.ingest(&ev(EventKind::Mark, "m", 1.0));
+        a.ingest(&ev(EventKind::SpanExit, "s", 100.0));
+        let mut b = Registry::new();
+        b.ingest(&ev(EventKind::Counter, "c", 3.0));
+        b.ingest(&ev(EventKind::Counter, "only_b", 7.0));
+        b.ingest(&ev(EventKind::Mark, "m", 1.0));
+        b.ingest(&ev(EventKind::SpanExit, "s", 300.0));
+        b.ingest(&ev(EventKind::SpanExit, "s", 200.0));
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 5);
+        assert_eq!(a.counter("only_b"), 7);
+        assert_eq!(a.mark_count("m"), 2);
+        let s = a.span_stats("s").expect("merged span");
+        assert_eq!(s.count, 3);
+        assert!((s.total_us - 600.0).abs() < 1e-12);
+        assert_eq!(s.hist.count(), 3);
+    }
+
+    #[test]
+    fn merge_gauges_take_last_in_canonical_order() {
+        // Folding per-cell registries 0, 1, 2 in canonical order must
+        // leave cell 2's gauge level — what one serial registry keeps.
+        let mut cells = Vec::new();
+        for level in [0.1, 0.2, 0.3] {
+            let mut r = Registry::new();
+            r.ingest(&ev(EventKind::Gauge, "g", level));
+            cells.push(r);
+        }
+        let mut merged = Registry::new();
+        for cell in &cells {
+            merged.merge(cell);
+        }
+        assert_eq!(merged.gauge("g"), Some(0.3));
+        // A cell without the gauge leaves the level untouched.
+        merged.merge(&Registry::new());
+        assert_eq!(merged.gauge("g"), Some(0.3));
+    }
+
+    #[test]
+    fn merge_adds_histogram_buckets() {
+        let mut a = Registry::new();
+        a.ingest(&ev(EventKind::Hist, "h", 1.0));
+        a.ingest(&ev(EventKind::Hist, "h", 2.0));
+        let mut b = Registry::new();
+        b.ingest(&ev(EventKind::Hist, "h", 2.0));
+        b.ingest(&ev(EventKind::Hist, "other", 9.0));
+        a.merge(&b);
+        let h = a.histogram("h").expect("merged histogram");
+        assert_eq!(h.count(), 3);
+        assert!((h.sum() - 5.0).abs() < 1e-12);
+        assert_eq!(a.histogram("other").map(Histogram::count), Some(1));
+    }
+
+    #[test]
+    fn merge_equals_serial_ingestion() {
+        // Splitting one event stream across per-cell registries and
+        // folding them back in order must equal ingesting serially.
+        let events = [
+            ev(EventKind::Counter, "requests", 4.0),
+            ev(EventKind::Gauge, "loss", 0.9),
+            ev(EventKind::Hist, "sizes", 3.0),
+            ev(EventKind::SpanExit, "decide", 120.0),
+            ev(EventKind::Counter, "requests", 1.0),
+            ev(EventKind::Gauge, "loss", 0.5),
+            ev(EventKind::Hist, "sizes", 7.0),
+            ev(EventKind::Mark, "burst", 1.0),
+        ];
+        let mut serial = Registry::new();
+        for e in &events {
+            serial.ingest(e);
+        }
+        let mut cell0 = Registry::new();
+        let mut cell1 = Registry::new();
+        for (i, e) in events.iter().enumerate() {
+            if i < 4 {
+                cell0.ingest(e);
+            } else {
+                cell1.ingest(e);
+            }
+        }
+        let mut merged = Registry::new();
+        merged.merge(&cell0);
+        merged.merge(&cell1);
+        assert_eq!(merged.counters(), serial.counters());
+        assert_eq!(merged.gauges(), serial.gauges());
+        assert_eq!(merged.marks(), serial.marks());
+        assert_eq!(merged.spans(), serial.spans());
+        assert_eq!(
+            merged.histogram("sizes"),
+            serial.histogram("sizes"),
+            "bucket-wise merge equals serial recording"
+        );
+    }
+
+    #[test]
+    fn merge_appends_retained_events() {
+        let mut a = Registry::with_events();
+        a.ingest(&ev(EventKind::Counter, "c", 1.0));
+        let mut b = Registry::with_events();
+        b.ingest(&ev(EventKind::Mark, "m", 1.0));
+        a.merge(&b);
+        assert_eq!(a.events().len(), 2);
+        assert_eq!(a.events()[1].name, "m");
     }
 
     #[test]

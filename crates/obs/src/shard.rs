@@ -1,0 +1,186 @@
+//! Per-cell event routing for parallel sweeps.
+//!
+//! The emit functions in this crate fan into one process-global sink,
+//! which is ambiguous once a thread pool runs many experiment cells
+//! concurrently: a single registry would fold cells together in
+//! completion order, and float accumulation order — hence bits — would
+//! depend on scheduling. [`ShardedRegistry`] restores determinism by
+//! keeping **one registry per cell** and routing every event to the
+//! shard named by a thread-local cell id, which the runner's worker
+//! sets (via [`set_current_cell`]) immediately before executing each
+//! cell. After the sweep, [`ShardedRegistry::merged`] folds the shards
+//! in canonical cell order, so the aggregate is bit-identical no
+//! matter how many workers ran or how their cells interleaved.
+
+use crate::registry::Registry;
+use crate::sink::Sink;
+use crate::Event;
+use std::cell::Cell;
+use std::sync::{Arc, Mutex};
+
+thread_local! {
+    static CURRENT_CELL: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Declares which experiment cell this thread is currently executing;
+/// every event the thread emits afterwards lands in that cell's shard.
+/// Workers call this right before each cell body.
+pub fn set_current_cell(idx: usize) {
+    CURRENT_CELL.with(|c| c.set(idx));
+}
+
+/// The cell id last set on this thread (0 if never set).
+pub fn current_cell() -> usize {
+    CURRENT_CELL.with(Cell::get)
+}
+
+/// A sink holding one [`Registry`] per experiment cell, routed by
+/// [`set_current_cell`]. Cloneable: install one clone as the global
+/// sink and keep another to read the shards back after uninstalling.
+/// Each shard has its own lock, so concurrent cells on different
+/// threads never contend with each other inside the sink.
+#[derive(Debug, Clone)]
+pub struct ShardedRegistry {
+    shards: Arc<Vec<Mutex<Registry>>>,
+}
+
+impl ShardedRegistry {
+    /// A sink with `n_cells` shards (at least one: out-of-range cell
+    /// ids clamp to the last shard rather than dropping events).
+    pub fn new(n_cells: usize) -> Self {
+        let shards = (0..n_cells.max(1))
+            .map(|_| Mutex::new(Registry::new()))
+            .collect();
+        ShardedRegistry {
+            shards: Arc::new(shards),
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_cells(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// A snapshot of one cell's registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn cell_snapshot(&self, idx: usize) -> Registry {
+        self.shards[idx]
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
+    /// Folds every shard into one registry **in canonical cell order**
+    /// (shard 0 first). Counters, marks, histograms and span counts
+    /// come out bit-identical to a serial single-registry run; gauges
+    /// keep the last cell's level, exactly as a serial run would.
+    pub fn merged(&self) -> Registry {
+        let mut out = Registry::new();
+        for shard in self.shards.iter() {
+            out.merge(&shard.lock().unwrap_or_else(|p| p.into_inner()));
+        }
+        out
+    }
+}
+
+impl Sink for ShardedRegistry {
+    fn record(&mut self, event: &Event) {
+        let idx = current_cell().min(self.shards.len() - 1);
+        self.shards[idx]
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .ingest(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(kind: EventKind, name: &str, value: f64) -> Event {
+        Event {
+            kind,
+            name: name.into(),
+            value,
+            depth: 0,
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn events_route_to_the_current_cell() {
+        let sharded = ShardedRegistry::new(3);
+        let mut writer = sharded.clone();
+        set_current_cell(0);
+        writer.record(&ev(EventKind::Counter, "c", 1.0));
+        set_current_cell(2);
+        writer.record(&ev(EventKind::Counter, "c", 5.0));
+        assert_eq!(sharded.cell_snapshot(0).counter("c"), 1);
+        assert_eq!(sharded.cell_snapshot(1).counter("c"), 0);
+        assert_eq!(sharded.cell_snapshot(2).counter("c"), 5);
+        assert_eq!(sharded.merged().counter("c"), 6);
+        set_current_cell(0);
+    }
+
+    #[test]
+    fn out_of_range_cells_clamp_to_last_shard() {
+        let sharded = ShardedRegistry::new(2);
+        let mut writer = sharded.clone();
+        set_current_cell(99);
+        writer.record(&ev(EventKind::Mark, "m", 1.0));
+        assert_eq!(sharded.cell_snapshot(1).mark_count("m"), 1);
+        set_current_cell(0);
+        assert_eq!(sharded.n_cells(), 2);
+        assert!(ShardedRegistry::new(0).n_cells() == 1, "never zero shards");
+    }
+
+    #[test]
+    fn merged_is_canonical_regardless_of_write_order() {
+        // Write cells in scrambled "completion" order; the merged
+        // gauge must still be cell 2's (canonical last), not the last
+        // written.
+        let sharded = ShardedRegistry::new(3);
+        let mut writer = sharded.clone();
+        for &(cell, level) in &[(2usize, 0.3), (0, 0.1), (1, 0.2)] {
+            set_current_cell(cell);
+            writer.record(&ev(EventKind::Gauge, "g", level));
+            writer.record(&ev(EventKind::Counter, "n", 1.0));
+        }
+        let merged = sharded.merged();
+        assert_eq!(merged.gauge("g"), Some(0.3));
+        assert_eq!(merged.counter("n"), 3);
+        set_current_cell(0);
+    }
+
+    #[test]
+    fn parallel_writers_match_a_serial_registry() {
+        let n = 8;
+        let sharded = ShardedRegistry::new(n);
+        std::thread::scope(|scope| {
+            for cell in 0..n {
+                let mut writer = sharded.clone();
+                scope.spawn(move || {
+                    set_current_cell(cell);
+                    for i in 0..50 {
+                        writer.record(&ev(EventKind::Counter, "work", 1.0));
+                        writer.record(&ev(EventKind::Hist, "sizes", (cell * 50 + i) as f64));
+                    }
+                });
+            }
+        });
+        let mut serial = Registry::new();
+        for cell in 0..n {
+            for i in 0..50 {
+                serial.ingest(&ev(EventKind::Counter, "work", 1.0));
+                serial.ingest(&ev(EventKind::Hist, "sizes", (cell * 50 + i) as f64));
+            }
+        }
+        let merged = sharded.merged();
+        assert_eq!(merged.counter("work"), serial.counter("work"));
+        assert_eq!(merged.histogram("sizes"), serial.histogram("sizes"));
+    }
+}

@@ -1,0 +1,142 @@
+//! The experiment job graph: a rectangular grid of
+//! `(series, repeat)` cells in canonical row-major order.
+//!
+//! A "series" is one sweep point — a policy, an ε value, a topology
+//! family, a fault intensity — and a "repeat" is one seeded topology.
+//! Canonical order is *all repeats of series 0, then series 1, …*: the
+//! exact order the pre-runner nested serial loops visited cells, so a
+//! cell's flat index (and any seed derived from its repeat index) is
+//! independent of the worker count.
+
+use crate::pool::map_indexed;
+
+/// One cell of the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellId {
+    /// Sweep-point index (policy / parameter value / topology …).
+    pub series: usize,
+    /// Repeat index within the series; callers derive the episode seed
+    /// as `base_seed + repeat`, exactly as the serial loops did.
+    pub repeat: usize,
+}
+
+/// A rectangular `n_series × repeats` job graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grid {
+    /// Number of sweep points.
+    pub n_series: usize,
+    /// Seeded repeats per sweep point.
+    pub repeats: usize,
+}
+
+impl Grid {
+    /// A grid of `n_series` sweep points × `repeats` seeds each.
+    pub fn new(n_series: usize, repeats: usize) -> Self {
+        Grid { n_series, repeats }
+    }
+
+    /// Total cell count.
+    pub fn n_cells(&self) -> usize {
+        self.n_series * self.repeats
+    }
+
+    /// The cell at canonical flat index `idx` (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is empty (`repeats == 0`).
+    pub fn cell(&self, idx: usize) -> CellId {
+        CellId {
+            series: idx / self.repeats,
+            repeat: idx % self.repeats,
+        }
+    }
+
+    /// The canonical flat index of `cell` (inverse of [`Grid::cell`]).
+    pub fn index(&self, cell: CellId) -> usize {
+        cell.series * self.repeats + cell.repeat
+    }
+
+    /// Executes every cell on up to `threads` workers and returns the
+    /// results grouped per series, each series' repeats in seed order —
+    /// bit-identical to running the same closure in a serial nested
+    /// loop (`threads = 1` *is* that loop).
+    pub fn run<T, F>(&self, threads: usize, f: F) -> Vec<Vec<T>>
+    where
+        T: Send,
+        F: Fn(CellId) -> T + Sync,
+    {
+        if self.repeats == 0 {
+            return (0..self.n_series).map(|_| Vec::new()).collect();
+        }
+        let flat = map_indexed(self.n_cells(), threads, |i| f(self.cell(i)));
+        let mut rows = Vec::with_capacity(self.n_series);
+        let mut it = flat.into_iter();
+        for _ in 0..self.n_series {
+            rows.push(it.by_ref().take(self.repeats).collect());
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_index_roundtrips() {
+        let g = Grid::new(5, 7);
+        for idx in 0..g.n_cells() {
+            let c = g.cell(idx);
+            assert_eq!(g.index(c), idx);
+            assert!(c.series < 5 && c.repeat < 7);
+        }
+        // Row-major: all repeats of one series are contiguous.
+        assert_eq!(
+            g.cell(0),
+            CellId {
+                series: 0,
+                repeat: 0
+            }
+        );
+        assert_eq!(
+            g.cell(6),
+            CellId {
+                series: 0,
+                repeat: 6
+            }
+        );
+        assert_eq!(
+            g.cell(7),
+            CellId {
+                series: 1,
+                repeat: 0
+            }
+        );
+    }
+
+    #[test]
+    fn run_groups_rows_in_canonical_order() {
+        let g = Grid::new(3, 4);
+        let serial = g.run(1, |c| (c.series, c.repeat));
+        assert_eq!(serial.len(), 3);
+        for (s, row) in serial.iter().enumerate() {
+            assert_eq!(row.len(), 4);
+            for (r, &cell) in row.iter().enumerate() {
+                assert_eq!(cell, (s, r));
+            }
+        }
+        for threads in [2, 5, 12] {
+            assert_eq!(g.run(threads, |c| (c.series, c.repeat)), serial);
+        }
+    }
+
+    #[test]
+    fn empty_grids_yield_empty_rows() {
+        let g = Grid::new(3, 0);
+        let rows = g.run(4, |c| c.repeat);
+        assert_eq!(rows, vec![Vec::new(), Vec::new(), Vec::new()]);
+        let g0 = Grid::new(0, 5);
+        assert!(g0.run(4, |c| c.repeat).is_empty());
+    }
+}

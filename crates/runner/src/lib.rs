@@ -1,0 +1,53 @@
+//! `lexcache-runner` — deterministic parallel experiment engine and
+//! statistical perf harness.
+//!
+//! The evaluation grid of the paper (§VI) is large: six policy
+//! families × many seeds × sweeps over ε, γ, λ, topology, cache size
+//! and fault intensity. This crate turns such a sweep into a job graph
+//! of `(series, repeat)` cells ([`Grid`]) and executes it on a
+//! hand-rolled scoped thread pool ([`pool`]): plain `std` threads
+//! pulling chunked index ranges from a closeable [`JobQueue`] built on
+//! one `Mutex` + `Condvar`. No external dependencies, no unsafe code.
+//!
+//! # Determinism contract
+//!
+//! Parallelism must never change a result bit. The engine guarantees:
+//!
+//! * **Seed derivation is positional.** A cell's identity — and
+//!   therefore whatever seed the caller derives from it — depends only
+//!   on its canonical index, never on which worker ran it or when.
+//! * **Reduction is canonical.** Results are re-ordered into canonical
+//!   cell order (the exact order a serial nested loop visits) before
+//!   they are returned, regardless of completion order.
+//! * **`threads = 1` is the serial path.** One worker short-circuits
+//!   to a plain in-order loop on the calling thread — byte-for-byte
+//!   the pre-runner behaviour.
+//!
+//! Given a pure per-cell function, `threads = 8` output is therefore
+//! bit-identical to `threads = 1` (the golden-trace regression test in
+//! `crates/bench` pins this end to end, including merged observability
+//! registries).
+//!
+//! # Statistical bench mode
+//!
+//! [`stats`] implements the measurement discipline for the repo's perf
+//! trajectory: monotonic-clock timing only, explicit warmup, fixed
+//! iteration counts, and median / p90 across repeats rather than a
+//! single noisy sample. [`report`] defines the `BENCH_runner.json`
+//! schema, a hand-rolled encoder/parser for it ([`mini_json`]), and a
+//! baseline comparison that fails on regressions beyond a threshold —
+//! the contract behind the `bench-smoke` CI job.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod mini_json;
+pub mod pool;
+pub mod report;
+pub mod stats;
+
+pub use grid::{CellId, Grid};
+pub use pool::{available_threads, map_indexed, JobQueue};
+pub use report::{compare, BenchCell, BenchReport, Comparison, Regression};
+pub use stats::{calibrate, measure, summarize, time_once_ns, BenchOpts, Measurement};

@@ -1,0 +1,270 @@
+//! The scoped thread pool: a closeable chunked work queue behind one
+//! `Mutex`/`Condvar`, drained by plain `std::thread::scope` workers.
+//!
+//! The pool is deliberately minimal: it executes a *fixed* set of
+//! index-addressed jobs and returns their results in index order. All
+//! determinism-sensitive policy (seed derivation, reduction order)
+//! lives in the caller; the pool only promises that every index runs
+//! exactly once and that the output `Vec` is canonical.
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Worker count of the machine (≥ 1): `std::thread::available_parallelism`
+/// with a serial fallback when the platform cannot report it.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    jobs: VecDeque<Range<usize>>,
+    closed: bool,
+}
+
+/// A multi-producer multi-consumer queue of index ranges ("chunks")
+/// with close semantics: [`JobQueue::pop`] blocks on the condvar while
+/// the queue is open and empty, and returns `None` once it is closed
+/// and drained. Poisoning is recovered (the queue state is a plain
+/// `VecDeque`, always valid), matching the workspace-wide
+/// `lock().unwrap_or_else(PoisonError::into_inner)` idiom.
+#[derive(Debug, Default)]
+pub struct JobQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+impl JobQueue {
+    /// An empty, open queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Enqueues one chunk of job indices. Empty ranges are ignored.
+    pub fn push(&self, jobs: Range<usize>) {
+        if jobs.is_empty() {
+            return;
+        }
+        self.lock().jobs.push_back(jobs);
+        self.ready.notify_one();
+    }
+
+    /// Closes the queue: pending chunks still drain, then every blocked
+    /// and future [`JobQueue::pop`] returns `None`.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Dequeues the next chunk, blocking while the queue is open and
+    /// empty. Returns `None` once closed and drained.
+    pub fn pop(&self) -> Option<Range<usize>> {
+        let mut st = self.lock();
+        loop {
+            if let Some(chunk) = st.jobs.pop_front() {
+                return Some(chunk);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.ready.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Number of chunks currently queued.
+    pub fn len(&self) -> usize {
+        self.lock().jobs.len()
+    }
+
+    /// Whether no chunk is currently queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Chunk width used to split `n` jobs across `workers`: roughly four
+/// chunks per worker so stragglers rebalance, never below one. The
+/// split affects scheduling only — results are reduced in canonical
+/// order either way.
+pub fn chunk_size(n: usize, workers: usize) -> usize {
+    (n / workers.max(1).saturating_mul(4)).max(1)
+}
+
+/// Runs `f` over every index in `0..n` on up to `threads` workers and
+/// returns the results **in index order** regardless of completion
+/// order. `threads <= 1` (or `n <= 1`) short-circuits to a plain
+/// serial in-order loop on the calling thread — the exact pre-pool
+/// code path.
+///
+/// A panic inside `f` propagates to the caller once the scope joins
+/// (std re-raises the first worker payload), so failures are never
+/// swallowed into partial results.
+///
+/// # Panics
+///
+/// Panics if a worker failed to deliver a result (only possible if `f`
+/// panicked, which re-raises first).
+pub fn map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = threads.min(n).max(1);
+    if workers == 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let queue = JobQueue::new();
+    let chunk = chunk_size(n, workers);
+    let mut start = 0;
+    while start < n {
+        let end = (start + chunk).min(n);
+        queue.push(start..end);
+        start = end;
+    }
+    queue.close();
+
+    let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                while let Some(range) = queue.pop() {
+                    // Buffer the chunk locally so the results lock is
+                    // taken once per chunk, not once per cell.
+                    let mut local: Vec<(usize, T)> = Vec::with_capacity(range.len());
+                    for i in range {
+                        local.push((i, f(i)));
+                    }
+                    collected
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .append(&mut local);
+                }
+            });
+        }
+    });
+
+    let mut out = collected.into_inner().unwrap_or_else(|p| p.into_inner());
+    out.sort_by_key(|&(i, _)| i);
+    assert_eq!(out.len(), n, "pool delivered a wrong result count");
+    out.into_iter().map(|(_, v)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn queue_drains_in_fifo_order_then_closes() {
+        let q = JobQueue::new();
+        q.push(0..2);
+        q.push(2..5);
+        q.push(5..5); // empty: ignored
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(0..2));
+        assert_eq!(q.pop(), Some(2..5));
+        assert!(q.is_empty());
+        q.close();
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "closed queue stays closed");
+    }
+
+    #[test]
+    fn pop_blocks_until_push_or_close() {
+        let q = std::sync::Arc::new(JobQueue::new());
+        let q2 = q.clone();
+        let handle = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.push(3..4);
+        assert_eq!(handle.join().expect("no panic"), Some(3..4));
+
+        let q3 = q.clone();
+        let handle = std::thread::spawn(move || q3.pop());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        assert_eq!(handle.join().expect("no panic"), None);
+    }
+
+    #[test]
+    fn chunking_covers_every_index_once() {
+        for (n, workers) in [(1, 8), (7, 2), (100, 16), (64, 64), (5, 1)] {
+            let c = chunk_size(n, workers);
+            assert!(c >= 1);
+            let mut seen = vec![0u32; n];
+            let mut start = 0;
+            while start < n {
+                let end = (start + c).min(n);
+                for i in start..end {
+                    seen[i] += 1;
+                }
+                start = end;
+            }
+            assert!(seen.iter().all(|&s| s == 1), "n={n} workers={workers}");
+        }
+    }
+
+    #[test]
+    fn map_indexed_returns_canonical_order() {
+        let out = map_indexed(100, 8, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        // A cell function whose result depends only on the index.
+        let cell = |i: usize| {
+            let mut acc = i as u64 ^ 0x9e37_79b9_7f4a_7c15;
+            for _ in 0..50 {
+                acc = acc
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+            }
+            acc
+        };
+        let serial = map_indexed(37, 1, cell);
+        for threads in [2, 3, 8] {
+            assert_eq!(map_indexed(37, threads, cell), serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn every_cell_runs_exactly_once() {
+        let n = 200;
+        let counters: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        map_indexed(n, 6, |i| counters[i].fetch_add(1, Ordering::SeqCst));
+        assert!(counters.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn zero_jobs_is_empty() {
+        let out: Vec<usize> = map_indexed(0, 4, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            map_indexed(16, 4, |i| {
+                if i == 9 {
+                    panic!("cell 9 exploded");
+                }
+                i
+            })
+        });
+        assert!(result.is_err(), "panic must not be swallowed");
+    }
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+}

@@ -1,0 +1,387 @@
+//! The `BENCH_runner.json` schema, its encoder/parser, and the
+//! baseline comparison behind the `bench-smoke` CI gate.
+//!
+//! A report is a flat list of measured cells (`"<policy>/<phase>"`,
+//! e.g. `"OL_GD/decide"`), each carrying its iteration plan, the
+//! median/p90/min/mean ns per iteration, and `ratio` — the median
+//! normalised by the machine's [`crate::calibrate`] spin. Regression
+//! comparison runs on `ratio`, so a committed baseline from one
+//! machine remains meaningful on another: both numerator and
+//! denominator scale with the hardware.
+
+use crate::mini_json::{fmt_f64, parse, quote, Value};
+use crate::stats::Measurement;
+use std::fmt::Write as _;
+
+/// Schema tag written into every report.
+pub const SCHEMA: &str = "lexcache-bench/1";
+
+/// One measured cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchCell {
+    /// Cell id, `"<policy>/<phase>"`.
+    pub id: String,
+    /// Iterations per measured batch.
+    pub iters: u64,
+    /// Measured batches.
+    pub repeats: u64,
+    /// Median ns/iter across batches.
+    pub median_ns: f64,
+    /// p90 ns/iter across batches.
+    pub p90_ns: f64,
+    /// Fastest batch ns/iter.
+    pub min_ns: f64,
+    /// Mean ns/iter across batches.
+    pub mean_ns: f64,
+    /// `median_ns / calibration_ns` — the machine-relative statistic
+    /// baselines compare.
+    pub ratio: f64,
+}
+
+/// A full bench report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Measurement plan label (`"smoke"`, `"full"`, …).
+    pub mode: String,
+    /// Median ns/iter of the calibration spin on this machine.
+    pub calibration_ns: f64,
+    /// Free-text provenance note (e.g. "provisional seed baseline").
+    pub note: String,
+    /// Measured cells, in measurement order.
+    pub cells: Vec<BenchCell>,
+}
+
+impl BenchReport {
+    /// An empty report for `mode` on a machine whose calibration spin
+    /// measured `calibration_ns`.
+    pub fn new(mode: impl Into<String>, calibration_ns: f64) -> Self {
+        BenchReport {
+            mode: mode.into(),
+            calibration_ns,
+            note: String::new(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// Appends one measured cell, deriving its calibration ratio.
+    pub fn push(&mut self, id: impl Into<String>, m: &Measurement) {
+        let ratio = if self.calibration_ns > 0.0 {
+            m.median_ns / self.calibration_ns
+        } else {
+            0.0
+        };
+        self.cells.push(BenchCell {
+            id: id.into(),
+            iters: m.iters,
+            repeats: m.repeats,
+            median_ns: m.median_ns,
+            p90_ns: m.p90_ns,
+            min_ns: m.min_ns,
+            mean_ns: m.mean_ns,
+            ratio,
+        });
+    }
+
+    /// Looks a cell up by id.
+    pub fn cell(&self, id: &str) -> Option<&BenchCell> {
+        self.cells.iter().find(|c| c.id == id)
+    }
+
+    /// Encodes the report as diff-friendly JSON (one cell per line).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema\": {},", quote(SCHEMA));
+        let _ = writeln!(out, "  \"mode\": {},", quote(&self.mode));
+        let _ = writeln!(
+            out,
+            "  \"calibration_ns\": {},",
+            fmt_f64(self.calibration_ns)
+        );
+        let _ = writeln!(out, "  \"note\": {},", quote(&self.note));
+        let _ = writeln!(out, "  \"cells\": [");
+        for (i, c) in self.cells.iter().enumerate() {
+            let comma = if i + 1 < self.cells.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"id\": {}, \"iters\": {}, \"repeats\": {}, \
+                 \"median_ns\": {}, \"p90_ns\": {}, \"min_ns\": {}, \
+                 \"mean_ns\": {}, \"ratio\": {}}}{comma}",
+                quote(&c.id),
+                c.iters,
+                c.repeats,
+                fmt_f64(c.median_ns),
+                fmt_f64(c.p90_ns),
+                fmt_f64(c.min_ns),
+                fmt_f64(c.mean_ns),
+                fmt_f64(c.ratio),
+            );
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// Parses a report back from [`BenchReport::to_json`] output (or
+    /// any JSON document with the same shape).
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let doc = parse(text)?;
+        let schema = doc
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or("missing schema")?;
+        if schema != SCHEMA {
+            return Err(format!("unsupported schema {schema:?}"));
+        }
+        let num = |v: &Value, key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("missing number {key:?}"))
+        };
+        let mut report = BenchReport::new(
+            doc.get("mode").and_then(Value::as_str).unwrap_or("unknown"),
+            num(&doc, "calibration_ns")?,
+        );
+        report.note = doc
+            .get("note")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string();
+        let cells = doc
+            .get("cells")
+            .and_then(Value::as_array)
+            .ok_or("missing cells array")?;
+        for c in cells {
+            report.cells.push(BenchCell {
+                id: c
+                    .get("id")
+                    .and_then(Value::as_str)
+                    .ok_or("cell missing id")?
+                    .to_string(),
+                iters: num(c, "iters")? as u64,
+                repeats: num(c, "repeats")? as u64,
+                median_ns: num(c, "median_ns")?,
+                p90_ns: num(c, "p90_ns")?,
+                min_ns: num(c, "min_ns")?,
+                mean_ns: num(c, "mean_ns")?,
+                ratio: num(c, "ratio")?,
+            });
+        }
+        Ok(report)
+    }
+}
+
+/// One cell whose calibration ratio moved versus the baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Cell id.
+    pub id: String,
+    /// Baseline ratio.
+    pub baseline: f64,
+    /// Current ratio.
+    pub current: f64,
+    /// Signed change in percent (positive = slower).
+    pub change_pct: f64,
+}
+
+/// The outcome of comparing a current report against a baseline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Comparison {
+    /// Cells slower than baseline by more than the threshold.
+    pub regressions: Vec<Regression>,
+    /// Cells faster than baseline by more than the threshold.
+    pub improvements: Vec<Regression>,
+    /// Baseline cells absent from the current report.
+    pub missing: Vec<String>,
+    /// The threshold applied, percent.
+    pub threshold_pct: f64,
+}
+
+impl Comparison {
+    /// Whether the gate passes (no regression beyond the threshold).
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Human-readable summary, one line per moved cell.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.regressions {
+            let _ = writeln!(
+                out,
+                "REGRESSION  {:<24} ratio {:.3} -> {:.3} ({:+.1}%)",
+                r.id, r.baseline, r.current, r.change_pct
+            );
+        }
+        for r in &self.improvements {
+            let _ = writeln!(
+                out,
+                "improved    {:<24} ratio {:.3} -> {:.3} ({:+.1}%)",
+                r.id, r.baseline, r.current, r.change_pct
+            );
+        }
+        for id in &self.missing {
+            let _ = writeln!(out, "missing     {id:<24} (in baseline, not measured now)");
+        }
+        if self.passed() {
+            let _ = writeln!(
+                out,
+                "bench gate: PASS (no cell regressed > {:.0}%)",
+                self.threshold_pct
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "bench gate: FAIL ({} cell(s) regressed > {:.0}%)",
+                self.regressions.len(),
+                self.threshold_pct
+            );
+        }
+        out
+    }
+}
+
+/// Compares calibration-normalised medians: a cell regresses when its
+/// current ratio exceeds the baseline ratio by more than
+/// `threshold_pct` percent. Cells new in `current` are ignored (a new
+/// benchmark cannot regress); baseline cells with a non-positive ratio
+/// are skipped (nothing meaningful to compare).
+pub fn compare(baseline: &BenchReport, current: &BenchReport, threshold_pct: f64) -> Comparison {
+    let mut out = Comparison {
+        threshold_pct,
+        ..Comparison::default()
+    };
+    for b in &baseline.cells {
+        if b.ratio <= 0.0 {
+            continue;
+        }
+        let Some(c) = current.cell(&b.id) else {
+            out.missing.push(b.id.clone());
+            continue;
+        };
+        let change_pct = (c.ratio - b.ratio) / b.ratio * 100.0;
+        let moved = Regression {
+            id: b.id.clone(),
+            baseline: b.ratio,
+            current: c.ratio,
+            change_pct,
+        };
+        if change_pct > threshold_pct {
+            out.regressions.push(moved);
+        } else if change_pct < -threshold_pct {
+            out.improvements.push(moved);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(median: f64) -> Measurement {
+        Measurement {
+            iters: 3,
+            repeats: 5,
+            median_ns: median,
+            p90_ns: median * 1.2,
+            min_ns: median * 0.9,
+            mean_ns: median * 1.05,
+        }
+    }
+
+    fn sample_report() -> BenchReport {
+        let mut r = BenchReport::new("smoke", 100.0);
+        r.note = "unit fixture".to_string();
+        r.push("OL_GD/decide", &m(500.0));
+        r.push("OL_GD/step", &m(50.0));
+        r
+    }
+
+    #[test]
+    fn ratios_are_calibration_relative() {
+        let r = sample_report();
+        let cell = r.cell("OL_GD/decide").expect("present");
+        assert!((cell.ratio - 5.0).abs() < 1e-12);
+        assert_eq!(r.cell("nope"), None);
+    }
+
+    #[test]
+    fn zero_calibration_yields_zero_ratio() {
+        let mut r = BenchReport::new("smoke", 0.0);
+        r.push("x", &m(10.0));
+        assert_eq!(r.cells[0].ratio, 0.0);
+    }
+
+    #[test]
+    fn json_roundtrips_exactly() {
+        let r = sample_report();
+        let text = r.to_json();
+        assert!(text.contains("\"schema\": \"lexcache-bench/1\""));
+        let back = BenchReport::from_json(&text).expect("parses");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn from_json_rejects_wrong_schema() {
+        let text = sample_report()
+            .to_json()
+            .replace("lexcache-bench/1", "other/9");
+        assert!(BenchReport::from_json(&text).is_err());
+        assert!(BenchReport::from_json("{}").is_err());
+        assert!(BenchReport::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn compare_flags_only_beyond_threshold() {
+        let base = sample_report();
+        let mut cur = BenchReport::new("smoke", 100.0);
+        cur.push("OL_GD/decide", &m(700.0)); // +40%: regression
+        cur.push("OL_GD/step", &m(55.0)); // +10%: within threshold
+        let cmp = compare(&base, &cur, 25.0);
+        assert!(!cmp.passed());
+        assert_eq!(cmp.regressions.len(), 1);
+        assert_eq!(cmp.regressions[0].id, "OL_GD/decide");
+        assert!((cmp.regressions[0].change_pct - 40.0).abs() < 1e-9);
+        assert!(cmp.improvements.is_empty());
+        assert!(cmp.missing.is_empty());
+        assert!(cmp.render().contains("FAIL"));
+    }
+
+    #[test]
+    fn compare_normalises_across_machine_speed() {
+        // Same workload on a machine 3x slower: ns triple everywhere,
+        // including calibration, so ratios — and the gate — hold.
+        let base = sample_report();
+        let mut cur = BenchReport::new("smoke", 300.0);
+        cur.push("OL_GD/decide", &m(1500.0));
+        cur.push("OL_GD/step", &m(150.0));
+        let cmp = compare(&base, &cur, 25.0);
+        assert!(cmp.passed(), "{}", cmp.render());
+        assert!(cmp.improvements.is_empty());
+    }
+
+    #[test]
+    fn compare_reports_missing_and_improvements() {
+        let mut base = sample_report();
+        base.push("OL_UCB/decide", &m(400.0));
+        let mut cur = BenchReport::new("smoke", 100.0);
+        cur.push("OL_GD/decide", &m(200.0)); // -60%: improvement
+        cur.push("OL_GD/step", &m(50.0));
+        let cmp = compare(&base, &cur, 25.0);
+        assert!(cmp.passed(), "missing cells do not fail the gate");
+        assert_eq!(cmp.improvements.len(), 1);
+        assert_eq!(cmp.missing, vec!["OL_UCB/decide".to_string()]);
+        assert!(cmp.render().contains("missing"));
+    }
+
+    #[test]
+    fn provisional_baseline_cells_are_skipped() {
+        // ratio <= 0 marks a cell as "schema only, never measured".
+        let mut base = BenchReport::new("provisional", 0.0);
+        base.push("OL_GD/decide", &m(500.0)); // ratio 0 (calibration 0)
+        let mut cur = BenchReport::new("smoke", 100.0);
+        cur.push("OL_GD/decide", &m(999999.0));
+        assert!(compare(&base, &cur, 25.0).passed());
+    }
+}

@@ -1,0 +1,207 @@
+//! The statistical measurement discipline behind the perf trajectory.
+//!
+//! Every timing follows the same protocol: a fixed number of warmup
+//! iterations (never measured), then `repeats` measured batches of a
+//! *fixed* iteration count each, on the monotonic clock only. The
+//! statistic of record is the **median** ns/iteration across repeats
+//! (robust to one preempted batch), with p90 and min reported
+//! alongside. Nothing in the measured region may read wall-clock time
+//! or derive seeds from it — measured workloads take their seeds as
+//! plain inputs.
+
+use std::time::Instant;
+
+/// Iteration plan for one measured cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchOpts {
+    /// Unmeasured warmup iterations executed first.
+    pub warmup_iters: u64,
+    /// Iterations per measured batch (fixed, never adaptive — adaptive
+    /// counts would couple the workload to the clock).
+    pub iters: u64,
+    /// Measured batches; the median across them is the statistic.
+    pub repeats: usize,
+}
+
+impl BenchOpts {
+    /// CI smoke plan: minimal but still a real median-of-repeats.
+    pub fn smoke() -> Self {
+        BenchOpts {
+            warmup_iters: 1,
+            iters: 2,
+            repeats: 3,
+        }
+    }
+
+    /// Default local plan.
+    pub fn standard() -> Self {
+        BenchOpts {
+            warmup_iters: 3,
+            iters: 5,
+            repeats: 7,
+        }
+    }
+}
+
+/// Aggregated timing of one cell, in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Iterations per measured batch.
+    pub iters: u64,
+    /// Number of measured batches.
+    pub repeats: u64,
+    /// Median ns/iter across batches — the statistic of record.
+    pub median_ns: f64,
+    /// 90th-percentile ns/iter across batches (nearest rank).
+    pub p90_ns: f64,
+    /// Fastest batch, ns/iter.
+    pub min_ns: f64,
+    /// Mean ns/iter across batches.
+    pub mean_ns: f64,
+}
+
+/// Nearest-rank quantile of an ascending-sorted slice (0 when empty).
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let n = sorted.len();
+    let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+/// Reduces per-batch ns/iteration samples to a [`Measurement`].
+pub fn summarize(iters: u64, ns_per_iter: &[f64]) -> Measurement {
+    let mut sorted = ns_per_iter.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let mean = if sorted.is_empty() {
+        0.0
+    } else {
+        sorted.iter().sum::<f64>() / sorted.len() as f64
+    };
+    Measurement {
+        iters,
+        repeats: sorted.len() as u64,
+        median_ns: quantile_sorted(&sorted, 0.50),
+        p90_ns: quantile_sorted(&sorted, 0.90),
+        min_ns: sorted.first().copied().unwrap_or(0.0),
+        mean_ns: mean,
+    }
+}
+
+/// Times one closure call on the monotonic clock, in nanoseconds.
+pub fn time_once_ns<F: FnOnce()>(f: F) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64() * 1e9
+}
+
+/// Measures `f` under `opts`: warmup, then `repeats` batches of
+/// `iters` calls each, reduced by [`summarize`].
+pub fn measure<F: FnMut()>(opts: BenchOpts, mut f: F) -> Measurement {
+    for _ in 0..opts.warmup_iters {
+        f();
+    }
+    let mut ns_per_iter = Vec::with_capacity(opts.repeats);
+    let iters = opts.iters.max(1);
+    for _ in 0..opts.repeats {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let total_ns = start.elapsed().as_secs_f64() * 1e9;
+        ns_per_iter.push(total_ns / iters as f64);
+    }
+    summarize(iters, &ns_per_iter)
+}
+
+/// Spin length of the calibration workload.
+const CALIBRATION_STEPS: u64 = 100_000;
+
+/// Times a fixed, seed-free integer workload (an LCG spin) and returns
+/// its median ns/iteration. Bench reports store every cell both in
+/// absolute ns and as a ratio to this number, so baselines compare
+/// *shape* across machines of different speeds instead of absolute
+/// nanoseconds.
+pub fn calibrate() -> f64 {
+    let opts = BenchOpts {
+        warmup_iters: 2,
+        iters: 10,
+        repeats: 5,
+    };
+    measure(opts, || {
+        let mut acc: u64 = 0x9e37_79b9_7f4a_7c15;
+        for _ in 0..CALIBRATION_STEPS {
+            acc = acc
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+        }
+        std::hint::black_box(acc);
+    })
+    .median_ns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_use_nearest_rank() {
+        let sorted: Vec<f64> = (1..=10).map(|v| v as f64).collect();
+        assert_eq!(quantile_sorted(&sorted, 0.50), 5.0);
+        assert_eq!(quantile_sorted(&sorted, 0.90), 9.0);
+        assert_eq!(quantile_sorted(&sorted, 0.0), 1.0);
+        assert_eq!(quantile_sorted(&sorted, 1.0), 10.0);
+        assert_eq!(quantile_sorted(&sorted, 2.0), 10.0, "q clamps");
+        assert_eq!(quantile_sorted(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn summarize_is_order_independent() {
+        let a = summarize(4, &[3.0, 1.0, 2.0]);
+        let b = summarize(4, &[1.0, 2.0, 3.0]);
+        assert_eq!(a, b);
+        assert_eq!(a.median_ns, 2.0);
+        assert_eq!(a.min_ns, 1.0);
+        assert_eq!(a.p90_ns, 3.0);
+        assert!((a.mean_ns - 2.0).abs() < 1e-12);
+        assert_eq!(a.repeats, 3);
+        assert_eq!(a.iters, 4);
+    }
+
+    #[test]
+    fn summarize_empty_is_zeroed() {
+        let m = summarize(1, &[]);
+        assert_eq!(m.median_ns, 0.0);
+        assert_eq!(m.repeats, 0);
+    }
+
+    #[test]
+    fn measure_counts_calls_exactly() {
+        let mut calls = 0u64;
+        let opts = BenchOpts {
+            warmup_iters: 2,
+            iters: 3,
+            repeats: 4,
+        };
+        let m = measure(opts, || calls += 1);
+        assert_eq!(calls, 2 + 3 * 4, "warmup + iters×repeats");
+        assert_eq!(m.repeats, 4);
+        assert!(m.median_ns >= 0.0 && m.median_ns.is_finite());
+        assert!(m.min_ns <= m.median_ns && m.median_ns <= m.p90_ns);
+    }
+
+    #[test]
+    fn time_once_is_nonnegative_and_finite() {
+        let ns = time_once_ns(|| {
+            std::hint::black_box(21 + 21);
+        });
+        assert!(ns >= 0.0 && ns.is_finite());
+    }
+
+    #[test]
+    fn calibration_measures_real_work() {
+        let ns = calibrate();
+        assert!(ns.is_finite() && ns > 0.0, "calibration spin took {ns} ns");
+    }
+}

@@ -1,0 +1,66 @@
+//! Cross-module regression tests for the runner's headline invariant:
+//! worker count never changes a bit of the reduced output.
+
+use lexcache_runner::{compare, map_indexed, BenchReport, Grid, Measurement};
+
+/// A deterministic stand-in for an episode: a seeded integer recurrence
+/// whose result depends only on the derived seed, with a workload that
+/// varies by cell so completion order genuinely scrambles.
+fn fake_episode(seed: u64) -> Vec<u64> {
+    let mut acc = seed ^ 0x9e37_79b9_7f4a_7c15;
+    let steps = 100 + (seed % 37) * 50;
+    let mut trace = Vec::new();
+    for i in 0..steps {
+        acc = acc
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        if i % 25 == 0 {
+            trace.push(acc);
+        }
+    }
+    trace
+}
+
+#[test]
+fn grid_reduction_is_bit_identical_across_worker_counts() {
+    let grid = Grid::new(4, 6);
+    let base_seed = 17u64;
+    let run = |threads: usize| {
+        grid.run(threads, |c| {
+            // Seed derivation is positional: series picks the spec,
+            // repeat picks the seed — exactly the serial convention.
+            fake_episode(base_seed + c.repeat as u64 + 1000 * c.series as u64)
+        })
+    };
+    let serial = run(1);
+    for threads in [2, 4, 8, 32] {
+        assert_eq!(run(threads), serial, "threads={threads} diverged");
+    }
+}
+
+#[test]
+fn map_indexed_interleaves_unequal_workloads_correctly() {
+    // Heavier cells finish later; canonical reduction must hide that.
+    let serial: Vec<u64> = (0..40).map(|i| fake_episode(i as u64)[0]).collect();
+    let parallel = map_indexed(40, 7, |i| fake_episode(i as u64)[0]);
+    assert_eq!(parallel, serial);
+}
+
+#[test]
+fn bench_report_pipeline_roundtrip() {
+    // measure-free pipeline check: summarize → report → json → compare.
+    let mut report = BenchReport::new("smoke", 50.0);
+    let m = Measurement {
+        iters: 2,
+        repeats: 3,
+        median_ns: 100.0,
+        p90_ns: 120.0,
+        min_ns: 90.0,
+        mean_ns: 105.0,
+    };
+    report.push("policy/decide", &m);
+    let parsed = BenchReport::from_json(&report.to_json()).expect("roundtrip");
+    let cmp = compare(&parsed, &report, 25.0);
+    assert!(cmp.passed());
+    assert!(cmp.improvements.is_empty() && cmp.missing.is_empty());
+}
