@@ -26,6 +26,7 @@ fn run(algo: Algo, amortize: bool, seed: u64) -> f64 {
 }
 
 fn main() {
+    bench::init_bin("ablation_cache");
     let repeats = repeats();
     println!(
         "Ablation — instantiation accounting, Fig. 3 setting, {} topologies\n",

@@ -9,6 +9,7 @@ use lexcache_core::{DelayModelKind, Episode, EpisodeConfig};
 use mec_net::NetworkConfig;
 
 fn main() {
+    bench::init_bin("ablation_delay_model");
     let repeats = repeats();
     println!(
         "Ablation — delay model, Fig. 3 setting, {} topologies\n",

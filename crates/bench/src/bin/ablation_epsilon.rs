@@ -6,6 +6,7 @@ use bench::{maybe_obs_profile, mean_std, repeats, run_grid, Algo, RunSpec, Table
 use lexcache_core::PolicyConfig;
 
 fn main() {
+    bench::init_bin("ablation_epsilon");
     let schedules: [(&str, EpsilonSchedule); 5] = [
         ("const_1/4 (Alg.1)", EpsilonSchedule::Constant(0.25)),
         ("const_0.1", EpsilonSchedule::Constant(0.1)),

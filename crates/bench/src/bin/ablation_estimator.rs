@@ -11,6 +11,7 @@ use lexcache_core::policy::EstimatorKind;
 use lexcache_core::PolicyConfig;
 
 fn main() {
+    bench::init_bin("ablation_estimator");
     let estimators: [(&str, EstimatorKind); 4] = [
         ("sample_mean (paper)", EstimatorKind::SampleMean),
         ("windowed_10", EstimatorKind::Windowed { window: 10 }),

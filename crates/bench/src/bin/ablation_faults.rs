@@ -45,6 +45,7 @@ fn spec_for(algo: Algo, rate: f64) -> RunSpec {
 }
 
 fn main() {
+    bench::init_bin("ablation_faults");
     if bench::smoke_requested() {
         smoke();
         return;

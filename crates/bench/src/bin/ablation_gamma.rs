@@ -10,6 +10,7 @@ use bench::{maybe_obs_profile, mean_std, repeats, run_grid, Algo, RunSpec, Table
 use lexcache_core::PolicyConfig;
 
 fn main() {
+    bench::init_bin("ablation_gamma");
     let gammas = [0.05, 0.1, 0.2, 0.3, 0.5];
     let repeats = repeats();
     println!(

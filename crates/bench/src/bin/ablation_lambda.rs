@@ -8,6 +8,7 @@
 use bench::{maybe_obs_profile, mean_std, repeats, run_grid, Algo, RunSpec, Table};
 
 fn main() {
+    bench::init_bin("ablation_lambda");
     let cells: [(&str, f64, f64); 5] = [
         ("lambda=0 (plain GAN)", 0.0, 1.0),
         ("lambda=0.1", 0.1, 1.0),

@@ -7,6 +7,7 @@
 use bench::{maybe_obs_profile, mean_std, repeats, run_grid, Algo, RunSpec, Table};
 
 fn main() {
+    bench::init_bin("ablation_predictor");
     let repeats = repeats().min(8);
     println!(
         "Ablation — predictor family, Fig. 6 setting, {} topologies\n",

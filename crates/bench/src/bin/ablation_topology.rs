@@ -42,6 +42,7 @@ fn run(algo: Algo, topo_name: &str, load_sensitivity: f64, seed: u64) -> f64 {
 }
 
 fn main() {
+    bench::init_bin("ablation_topology");
     let repeats = repeats();
     println!(
         "Ablation — topology family x congestion mechanism, {STATIONS} stations, {} topologies\n",

@@ -99,8 +99,10 @@ fn time_policy(
 }
 
 fn main() {
-    let cli = bench::cli::Cli::from_env();
-    let update_baseline = std::env::args().any(|a| a == "--update-baseline");
+    // Strict CLI validation; journaling is armed but never touched —
+    // this bin times serially and runs no sweep cells.
+    let cli = bench::init_bin("bench_runner");
+    let update_baseline = cli.update_baseline;
     let (mode, opts) = if cli.smoke {
         ("smoke", BenchOpts::smoke())
     } else {
@@ -136,7 +138,11 @@ fn main() {
         report.push(format!("{}/step", algo.name()), &step);
     }
 
-    match std::fs::write(REPORT_PATH, report.to_json()) {
+    // Reports are published atomically (temp + rename): a crash or
+    // Ctrl-C mid-write can never leave a torn JSON for the CI gate or
+    // a later --update-baseline commit to trip over.
+    let json = report.to_json();
+    match lexcache_runner::atomic_write(std::path::Path::new(REPORT_PATH), &json) {
         Ok(()) => println!("\nreport written to {REPORT_PATH}"),
         Err(e) => {
             eprintln!("cannot write {REPORT_PATH}: {e}");
@@ -145,7 +151,7 @@ fn main() {
     }
 
     if update_baseline {
-        if let Err(e) = std::fs::write(BASELINE_PATH, report.to_json()) {
+        if let Err(e) = lexcache_runner::atomic_write(std::path::Path::new(BASELINE_PATH), &json) {
             eprintln!("cannot write {BASELINE_PATH}: {e}");
             std::process::exit(2);
         }
@@ -153,29 +159,45 @@ fn main() {
         return;
     }
 
-    match std::fs::read_to_string(BASELINE_PATH) {
+    // Gate: a missing or malformed baseline is a hard failure, not a
+    // silent skip — an accidentally deleted or corrupted committed
+    // baseline must not read as "gate passed" in CI.
+    let baseline = match std::fs::read_to_string(BASELINE_PATH) {
         Ok(text) => match BenchReport::from_json(&text) {
-            Ok(baseline) => {
-                if baseline.mode != report.mode {
-                    println!(
-                        "\nbaseline mode {:?} differs from this run ({:?}); gate skipped",
-                        baseline.mode, report.mode
-                    );
-                    return;
-                }
-                let cmp = compare(&baseline, &report, THRESHOLD_PCT);
-                print!("\n{}", cmp.render());
-                if !cmp.passed() {
-                    std::process::exit(1);
-                }
-            }
+            Ok(baseline) => baseline,
             Err(e) => {
-                eprintln!("cannot parse {BASELINE_PATH}: {e}");
+                eprintln!(
+                    "bench gate: cannot parse {BASELINE_PATH}: {e}\n\
+                     regenerate it with --update-baseline on a quiet machine and commit it"
+                );
                 std::process::exit(2);
             }
         },
-        Err(_) => {
-            println!("\nno baseline at {BASELINE_PATH}; gate skipped (run --update-baseline)");
+        Err(e) => {
+            eprintln!(
+                "bench gate: cannot read {BASELINE_PATH}: {e}\n\
+                 regenerate it with --update-baseline on a quiet machine and commit it"
+            );
+            std::process::exit(2);
         }
+    };
+    if baseline.mode != report.mode {
+        println!(
+            "\nbaseline mode {:?} differs from this run ({:?}); gate skipped",
+            baseline.mode, report.mode
+        );
+        return;
+    }
+    // A freshly seeded repo ships an all-zero baseline; `compare` skips
+    // such cells, so say out loud that nothing was actually gated.
+    if baseline.cells.iter().all(|c| c.ratio <= 0.0) {
+        println!("\nbaseline provisional (ratio<=0) — gate skipped");
+        println!("arm the gate: re-run with --update-baseline on a quiet machine and commit");
+        return;
+    }
+    let cmp = compare(&baseline, &report, THRESHOLD_PCT);
+    print!("\n{}", cmp.render());
+    if !cmp.passed() {
+        std::process::exit(1);
     }
 }

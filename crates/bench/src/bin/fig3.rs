@@ -9,6 +9,7 @@ use bench::{
 };
 
 fn main() {
+    bench::init_bin("fig3");
     let repeats = repeats();
     let algos = [Algo::OlGd, Algo::GreedyGd, Algo::PriGd];
     println!(

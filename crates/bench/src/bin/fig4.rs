@@ -12,6 +12,7 @@ use mec_workload::scenario::DemandKind;
 use mec_workload::ScenarioConfig;
 
 fn main() {
+    bench::init_bin("fig4");
     let sizes = [50usize, 100, 150, 200];
     let algos = [Algo::OlGd, Algo::GreedyGd, Algo::PriGd];
     let repeats = repeats();

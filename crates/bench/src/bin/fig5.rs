@@ -14,6 +14,7 @@ use mec_workload::scenario::DemandKind;
 use mec_workload::ScenarioConfig;
 
 fn main() {
+    bench::init_bin("fig5");
     let repeats = repeats();
     let algos = [Algo::OlGd, Algo::GreedyGd, Algo::PriGd];
     println!(

@@ -11,6 +11,7 @@ use bench::{
 };
 
 fn main() {
+    bench::init_bin("fig6");
     let repeats = repeats();
     let algos = [Algo::OlGan, Algo::OlReg];
     println!(

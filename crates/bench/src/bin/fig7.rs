@@ -25,6 +25,7 @@ fn requests_for(stations: usize) -> usize {
 }
 
 fn main() {
+    bench::init_bin("fig7");
     let sizes = [50usize, 100, 150, 200, 250, 300];
     let algos = [Algo::OlGan, Algo::OlReg];
     let repeats = repeats();

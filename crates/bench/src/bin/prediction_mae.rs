@@ -12,6 +12,7 @@ use mec_workload::demand::{DemandProcess as _, FlashCrowd, FlashCrowdConfig};
 use mec_workload::ScenarioConfig;
 
 fn main() {
+    bench::init_bin("prediction_mae");
     let obs_session = bench::maybe_obs_begin("prediction_mae");
     // All seeds shift together under `--seed` / `LEXCACHE_SEED`; the
     // defaults (base 0) match the original fixed seeds exactly.

@@ -12,6 +12,7 @@ use mec_workload::scenario::DemandKind;
 use mec_workload::ScenarioConfig;
 
 fn main() {
+    bench::init_bin("regret_bound");
     let repeats = repeats().min(5);
     let horizon = bench::slots();
     let c = 0.5;

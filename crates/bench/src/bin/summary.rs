@@ -10,6 +10,7 @@ use bench::{
 };
 
 fn main() {
+    bench::init_bin("summary");
     let repeats = repeats();
     println!(
         "Headline summary — 100 stations, {} slots, {} topologies per cell\n",

@@ -1,22 +1,35 @@
 //! Shared command-line handling for every bench binary.
 //!
-//! All 17 binaries accept the same four flags, parsed here once instead
-//! of ad hoc per bin:
-//!
-//! * `--smoke` — tiny CI-sized run (each bin decides what that means);
-//! * `--json` — also write machine-readable JSON next to the tables;
-//! * `--seed N` / `--seed=N` — base seed added to every per-repeat seed;
-//! * `--threads N` / `--threads=N` — worker threads for parallel sweeps
-//!   (`1` forces the serial path; the result is bit-identical either
-//!   way).
+//! All binaries accept the same flag set, parsed here once instead of
+//! ad hoc per bin. Parsing is *strict*: unknown flags, positional
+//! arguments, missing or non-numeric values, `--threads 0` and
+//! `--cell-budget-ms 0` are errors — [`crate::init_bin`] prints the
+//! one-line reason plus [`USAGE`] and exits with status 2, instead of
+//! the old silent fallback to defaults.
 //!
 //! Flags win over their environment-variable twins (`LEXCACHE_SEED`,
-//! `LEXCACHE_JSON`, `LEXCACHE_THREADS`), which stay supported so
-//! existing scripts keep working. Unknown arguments are ignored, as
-//! they always were.
+//! `LEXCACHE_JSON`, `LEXCACHE_THREADS`, `LEXCACHE_RETRIES`,
+//! `LEXCACHE_CELL_BUDGET_MS`, `LEXCACHE_RESUME`, `LEXCACHE_JOURNAL`),
+//! which stay supported so existing scripts keep working.
+
+/// One-screen flag reference printed by `--help` and after parse
+/// errors.
+pub const USAGE: &str = "\
+common flags (every bench bin):
+  --smoke                reduced CI-sized run
+  --json                 also write machine-readable JSON next to the tables
+  --seed <N>             base seed added to every per-repeat seed
+  --threads <N>          sweep worker threads (>= 1; 1 forces the serial path)
+  --max-retries <N>      re-runs of a panicked cell before quarantine (default 1)
+  --cell-budget-ms <N>   per-cell watchdog budget; slower cells are flagged TimedOut
+  --resume <journal>     splice completed cells from a checkpoint journal, run the rest
+  --journal <path>       checkpoint journal path (default results/<bin>.journal.jsonl)
+  --no-journal           disable checkpoint journaling for this run
+  --update-baseline      (bench_runner only) rewrite ci/BENCH_baseline.json
+  --help                 print this help and exit";
 
 /// Parsed command-line flags common to every bench binary.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Cli {
     /// `--smoke`: run the bin's reduced CI-sized variant.
     pub smoke: bool,
@@ -26,85 +39,163 @@ pub struct Cli {
     pub seed: Option<u64>,
     /// `--threads N`: sweep worker count (flag form; `None` = absent).
     pub threads: Option<usize>,
+    /// `--max-retries N`: panicked-cell retry budget (`None` = absent).
+    pub max_retries: Option<u32>,
+    /// `--cell-budget-ms N`: watchdog budget (`None` = no watchdog).
+    pub cell_budget_ms: Option<u64>,
+    /// `--resume PATH`: checkpoint journal to splice completed cells
+    /// from.
+    pub resume: Option<String>,
+    /// `--journal PATH`: where to write this run's checkpoint journal.
+    pub journal: Option<String>,
+    /// `--no-journal`: disable checkpoint journaling.
+    pub no_journal: bool,
+    /// `--update-baseline`: rewrite the perf baseline (bench_runner).
+    pub update_baseline: bool,
+    /// `--help`: print [`USAGE`] and exit.
+    pub help: bool,
 }
 
 impl Cli {
-    /// Parses a flag list (binary name already stripped). Values that
-    /// fail to parse are treated as absent rather than fatal.
-    pub fn from_args(args: &[String]) -> Cli {
+    /// Parses a flag list (binary name already stripped). Strict: any
+    /// unknown argument, missing value or malformed number is an
+    /// `Err` with a one-line reason.
+    pub fn from_args(args: &[String]) -> Result<Cli, String> {
         let mut cli = Cli::default();
         let mut it = args.iter();
-        while let Some(a) = it.next() {
-            match a.as_str() {
+        while let Some(arg) = it.next() {
+            let (flag, inline) = match arg.split_once('=') {
+                Some((f, v)) if f.starts_with("--") => (f, Some(v.to_string())),
+                _ => (arg.as_str(), None),
+            };
+            let mut value = |name: &str| -> Result<String, String> {
+                match (&inline, it.next()) {
+                    (Some(v), _) => Ok(v.clone()),
+                    (None, Some(v)) => Ok(v.clone()),
+                    (None, None) => Err(format!("{name} requires a value")),
+                }
+            };
+            match flag {
+                "--smoke" | "--json" | "--no-journal" | "--update-baseline" | "--help"
+                    if inline.is_some() =>
+                {
+                    return Err(format!("{flag} takes no value"));
+                }
                 "--smoke" => cli.smoke = true,
                 "--json" => cli.json = true,
-                "--seed" => cli.seed = it.next().and_then(|v| v.parse().ok()),
-                "--threads" => cli.threads = it.next().and_then(|v| v.parse().ok()),
-                other => {
-                    if let Some(v) = other.strip_prefix("--seed=") {
-                        cli.seed = v.parse().ok();
-                    } else if let Some(v) = other.strip_prefix("--threads=") {
-                        cli.threads = v.parse().ok();
+                "--no-journal" => cli.no_journal = true,
+                "--update-baseline" => cli.update_baseline = true,
+                "--help" => cli.help = true,
+                "--seed" => cli.seed = Some(parse_num(flag, &value(flag)?)?),
+                "--threads" => {
+                    let n: usize = parse_num(flag, &value(flag)?)?;
+                    if n == 0 {
+                        return Err("--threads must be at least 1".to_string());
                     }
+                    cli.threads = Some(n);
                 }
+                "--max-retries" => cli.max_retries = Some(parse_num(flag, &value(flag)?)?),
+                "--cell-budget-ms" => {
+                    let ms: u64 = parse_num(flag, &value(flag)?)?;
+                    if ms == 0 {
+                        return Err("--cell-budget-ms must be at least 1".to_string());
+                    }
+                    cli.cell_budget_ms = Some(ms);
+                }
+                "--resume" => cli.resume = Some(value(flag)?),
+                "--journal" => cli.journal = Some(value(flag)?),
+                other => return Err(format!("unknown argument {other:?}")),
             }
         }
-        // A zero thread count is meaningless; treat it as absent.
-        if cli.threads == Some(0) {
-            cli.threads = None;
-        }
-        cli
+        Ok(cli)
     }
 
-    /// Parses the current process's arguments.
+    /// Parses the current process's arguments, falling back to the
+    /// defaults if they do not parse. Library helpers (`threads()`,
+    /// `base_seed()`, …) use this so they stay usable from test
+    /// harnesses whose own arguments are not bench flags; binaries get
+    /// strictness through [`crate::init_bin`], which calls
+    /// [`Cli::from_args`] and exits on `Err`.
     pub fn from_env() -> Cli {
         let args: Vec<String> = std::env::args().skip(1).collect();
-        Cli::from_args(&args)
+        Cli::from_args(&args).unwrap_or_default()
     }
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, text: &str) -> Result<T, String> {
+    text.parse()
+        .map_err(|_| format!("{flag}: invalid value {text:?}"))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn parse(v: &[&str]) -> Cli {
+    fn parse(v: &[&str]) -> Result<Cli, String> {
         let args: Vec<String> = v.iter().map(|s| s.to_string()).collect();
         Cli::from_args(&args)
     }
 
+    fn ok(v: &[&str]) -> Cli {
+        parse(v).expect("args parse")
+    }
+
     #[test]
     fn defaults_are_all_off() {
-        assert_eq!(parse(&[]), Cli::default());
+        assert_eq!(ok(&[]), Cli::default());
     }
 
     #[test]
     fn boolean_flags_toggle() {
-        let cli = parse(&["--smoke", "--json"]);
-        assert!(cli.smoke && cli.json);
+        let cli = ok(&["--smoke", "--json", "--no-journal", "--update-baseline"]);
+        assert!(cli.smoke && cli.json && cli.no_journal && cli.update_baseline);
         assert_eq!(cli.seed, None);
         assert_eq!(cli.threads, None);
+        assert!(ok(&["--help"]).help);
     }
 
     #[test]
     fn valued_flags_accept_both_forms() {
-        assert_eq!(parse(&["--seed", "42"]).seed, Some(42));
-        assert_eq!(parse(&["--seed=7", "--json"]).seed, Some(7));
-        assert_eq!(parse(&["--threads", "8"]).threads, Some(8));
-        assert_eq!(parse(&["--threads=1"]).threads, Some(1));
+        assert_eq!(ok(&["--seed", "42"]).seed, Some(42));
+        assert_eq!(ok(&["--seed=7", "--json"]).seed, Some(7));
+        assert_eq!(ok(&["--threads", "8"]).threads, Some(8));
+        assert_eq!(ok(&["--threads=1"]).threads, Some(1));
+        assert_eq!(ok(&["--max-retries", "0"]).max_retries, Some(0));
+        assert_eq!(ok(&["--cell-budget-ms=500"]).cell_budget_ms, Some(500));
+        assert_eq!(
+            ok(&["--resume", "results/fig3.journal.jsonl"])
+                .resume
+                .as_deref(),
+            Some("results/fig3.journal.jsonl")
+        );
+        assert_eq!(
+            ok(&["--journal=j.jsonl"]).journal.as_deref(),
+            Some("j.jsonl")
+        );
     }
 
     #[test]
-    fn malformed_values_read_as_absent() {
-        assert_eq!(parse(&["--seed"]).seed, None);
-        assert_eq!(parse(&["--seed", "x"]).seed, None);
-        assert_eq!(parse(&["--threads=none"]).threads, None);
-        assert_eq!(parse(&["--threads", "0"]).threads, None, "zero is absent");
+    fn malformed_values_are_errors() {
+        assert!(parse(&["--seed"]).is_err(), "missing value");
+        assert!(parse(&["--seed", "x"]).is_err(), "non-numeric seed");
+        assert!(parse(&["--threads=none"]).is_err());
+        assert!(parse(&["--threads", "0"]).is_err(), "zero threads");
+        assert!(parse(&["--cell-budget-ms", "0"]).is_err(), "zero budget");
+        assert!(parse(&["--resume"]).is_err(), "missing path");
+        assert!(parse(&["--smoke=1"]).is_err(), "boolean with value");
     }
 
     #[test]
-    fn unknown_arguments_are_ignored() {
-        let cli = parse(&["positional", "--verbose", "--seed", "3"]);
-        assert_eq!(cli.seed, Some(3));
-        assert!(!cli.smoke && !cli.json);
+    fn unknown_arguments_are_errors() {
+        assert!(parse(&["positional"]).is_err());
+        assert!(parse(&["--verbose"]).is_err());
+        let e = parse(&["--sed", "3"]).expect_err("typo rejected");
+        assert!(e.contains("--sed"), "error names the offender: {e}");
+    }
+
+    #[test]
+    fn big_seeds_do_not_truncate() {
+        let max = u64::MAX.to_string();
+        assert_eq!(ok(&["--seed", &max]).seed, Some(u64::MAX));
     }
 }

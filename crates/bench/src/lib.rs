@@ -27,11 +27,27 @@
 //!   breakdown table (see README "Observability").
 //! * `LEXCACHE_JSON=1` (or the `--json` flag) — also write the raw
 //!   per-seed [`EpisodeReport`]s as `results/<bin>.json`.
+//! * `--max-retries N` / `LEXCACHE_RETRIES` — re-runs of a panicked
+//!   sweep cell (same positional seed) before quarantine (default 1).
+//! * `--cell-budget-ms N` / `LEXCACHE_CELL_BUDGET_MS` — per-cell
+//!   watchdog budget; slower cells are flagged, never killed.
+//! * `--resume PATH` / `LEXCACHE_RESUME` — splice completed cells from
+//!   a checkpoint journal; `--journal PATH` / `--no-journal` /
+//!   `LEXCACHE_JOURNAL` control where this run checkpoints (default
+//!   `results/<bin>.journal.jsonl`). See [`sweep`].
+//! * `LEXCACHE_ZERO_TIMINGS=1` — zero the wall-clock `decide_us`
+//!   fields in JSON reports so two runs of the same seeds are
+//!   byte-comparable (the resume-smoke CI diff).
+//!
+//! Every binary starts with [`init_bin`], which strictly validates the
+//! shared CLI (unknown flags, `--threads 0` and malformed values exit
+//! with status 2) and arms crash-safe checkpoint journaling.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod sweep;
 
 use cli::Cli;
 use infogan::InfoGanConfig;
@@ -46,6 +62,7 @@ use mec_workload::demand::{DemandProcess as _, FlashCrowd, FlashCrowdConfig};
 use mec_workload::scenario::DemandKind;
 use mec_workload::{Scenario, ScenarioConfig};
 use serde::Serialize;
+pub use sweep::{init_bin, Checkpoint, QuarantinedCell, SweepOptions};
 
 /// Number of repeated topologies per data point (`LEXCACHE_REPEATS`).
 pub fn repeats() -> usize {
@@ -334,10 +351,15 @@ pub fn run_one(spec: &RunSpec, seed: u64) -> EpisodeReport {
 
 /// Runs the spec over `repeats` seeded topologies in parallel and
 /// returns the per-repeat reports (ordered; repeat `i` uses episode seed
-/// [`base_seed`]` + i`). A thin wrapper over [`run_many_with`] using the
-/// process-wide thread and seed knobs.
+/// [`base_seed`]` + i`). Routed through the crash-safe sweep layer
+/// ([`sweep::run_sweep_or_exit`]): panicked repeats are retried with the
+/// same seed then quarantined, and completed repeats are checkpointed
+/// when the process is an armed bin.
 pub fn run_many(spec: &RunSpec, repeats: usize) -> Vec<EpisodeReport> {
-    run_many_with(spec, repeats, threads(), base_seed())
+    let rows = sweep::run_sweep_or_exit(1, repeats, &SweepOptions::from_env(), |_, seed| {
+        run_one(spec, seed)
+    });
+    rows.into_iter().next().unwrap_or_default()
 }
 
 /// [`run_many`] with explicit worker count and base seed — the
@@ -358,10 +380,16 @@ pub fn run_many_with(
 }
 
 /// Runs a whole sweep — every `(spec, repeat)` cell — as one parallel
-/// job graph and returns per-spec report vectors in spec order. A thin
-/// wrapper over [`run_grid_with`] using the process-wide knobs.
+/// job graph and returns per-spec report vectors in spec order, using
+/// the process-wide knobs (worker count, base seed, retry budget,
+/// watchdog, checkpoint journaling — see [`sweep`]).
 pub fn run_grid(specs: &[RunSpec], repeats: usize) -> Vec<Vec<EpisodeReport>> {
-    run_grid_with(specs, repeats, threads(), base_seed())
+    sweep::run_sweep_or_exit(
+        specs.len(),
+        repeats,
+        &SweepOptions::from_env(),
+        |s, seed| run_one(&specs[s], seed),
+    )
 }
 
 /// [`run_grid_with`]'s cell `(s, i)` runs `specs[s]` under seed
@@ -376,11 +404,12 @@ pub fn run_grid_with(
     threads: usize,
     base: u64,
 ) -> Vec<Vec<EpisodeReport>> {
-    let grid = lexcache_runner::Grid::new(specs.len(), repeats);
-    grid.run(threads, |c| {
-        lexcache_obs::set_current_cell(grid.index(c));
-        run_one(&specs[c.series], base + c.repeat as u64)
-    })
+    sweep::run_sweep_or_exit(
+        specs.len(),
+        repeats,
+        &SweepOptions::explicit(threads, base),
+        |s, seed| run_one(&specs[s], seed),
+    )
 }
 
 /// Number of cells a [`run_grid`] sweep schedules — the shard count to
@@ -392,19 +421,16 @@ pub fn grid_cells(n_specs: usize, repeats: usize) -> usize {
 /// Parallel sweep for bins whose cell body is not a plain [`run_one`]
 /// (custom episode configs, explicit delay models, …): runs
 /// `n_series × repeats` cells of `f(series, seed)` with the same
-/// positional seeds, canonical reduction and per-cell obs routing as
-/// [`run_grid`], returning one vector per series.
-pub fn run_cells<T: Send>(
+/// positional seeds, canonical reduction, per-cell obs routing and
+/// crash-safety (retry, quarantine, checkpoint/resume) as
+/// [`run_grid`], returning one vector per series. The cell type must
+/// be journalable ([`Checkpoint`]; `f64` and [`EpisodeReport`] are).
+pub fn run_cells<T: Send + Checkpoint>(
     n_series: usize,
     repeats: usize,
     f: impl Fn(usize, u64) -> T + Sync,
 ) -> Vec<Vec<T>> {
-    let grid = lexcache_runner::Grid::new(n_series, repeats);
-    let base = base_seed();
-    grid.run(threads(), |c| {
-        lexcache_obs::set_current_cell(grid.index(c));
-        f(c.series, base + c.repeat as u64)
-    })
+    sweep::run_sweep_or_exit(n_series, repeats, &SweepOptions::from_env(), f)
 }
 
 /// Ensures the shared `results/` output directory exists and returns
@@ -440,16 +466,42 @@ pub struct JsonSeries {
     pub reports: Vec<EpisodeReport>,
 }
 
+/// Whether wall-clock timing fields should be zeroed in JSON reports
+/// (`LEXCACHE_ZERO_TIMINGS=1`), making two runs of the same seeds
+/// byte-comparable — the invariant the resume-smoke CI job diffs.
+pub fn zero_timings_requested() -> bool {
+    std::env::var("LEXCACHE_ZERO_TIMINGS").is_ok_and(|v| v == "1")
+}
+
 /// Writes the series as `results/<bin>.json` if JSON output is on
-/// (encoded through [`EpisodeReport`]'s serde derives). Errors are
-/// reported on stderr, never fatal: the text tables already printed.
+/// (encoded through [`EpisodeReport`]'s serde derives). The write is
+/// atomic (temp file + rename), so a crash or Ctrl-C never leaves a
+/// torn report. Errors are reported on stderr, never fatal: the text
+/// tables already printed.
 pub fn maybe_write_json(bin: &str, series: &[JsonSeries]) {
     if !json_requested() {
         return;
     }
     let path = format!("{}/{bin}.json", results_dir());
-    match lexcache_obs::json::to_string(&series) {
-        Ok(text) => match std::fs::write(&path, text) {
+    let stripped: Vec<JsonSeries>;
+    let payload: &[JsonSeries] = if zero_timings_requested() {
+        stripped = series
+            .iter()
+            .map(|s| JsonSeries {
+                label: s.label.clone(),
+                reports: s
+                    .reports
+                    .iter()
+                    .map(EpisodeReport::with_zeroed_timings)
+                    .collect(),
+            })
+            .collect();
+        &stripped
+    } else {
+        series
+    };
+    match lexcache_obs::json::to_string(&payload) {
+        Ok(text) => match lexcache_runner::atomic_write(std::path::Path::new(&path), &text) {
             Ok(()) => println!("\njson reports written to {path}"),
             Err(e) => eprintln!("json: cannot write {path}: {e}"),
         },
@@ -472,14 +524,15 @@ pub fn maybe_obs_profile(bin: &str, specs: &[(&str, RunSpec)]) {
         return;
     }
     let path = format!("{}/obs_{bin}.jsonl", results_dir());
-    let file = match std::fs::File::create(&path) {
+    let tmp = format!("{path}.tmp");
+    let file = match std::fs::File::create(&tmp) {
         Ok(f) => f,
         Err(e) => {
-            eprintln!("obs: cannot create {path}: {e}");
+            eprintln!("obs: cannot create {tmp}: {e}");
             return;
         }
     };
-    let writer = lexcache_obs::SharedWriter::new(Box::new(std::io::BufWriter::new(file)));
+    let mut writer = lexcache_obs::SharedWriter::new(Box::new(std::io::BufWriter::new(file)));
     println!(
         "\n# observability profile (LEXCACHE_OBS=1): one instrumented episode per policy, \
          seed {}",
@@ -510,7 +563,14 @@ pub fn maybe_obs_profile(bin: &str, specs: &[(&str, RunSpec)]) {
              of reported decide total {reported_ms:.3} ms ({pct:.1}%)"
         );
     }
-    println!("\nobs events written to {path}");
+    // The stream went to a temp file; publish it atomically so a crash
+    // mid-profile never leaves a torn results/obs_<bin>.jsonl.
+    use std::io::Write as _;
+    let _ = writer.flush();
+    match std::fs::rename(&tmp, &path) {
+        Ok(()) => println!("\nobs events written to {path}"),
+        Err(e) => eprintln!("obs: cannot publish {path}: {e}"),
+    }
 }
 
 /// With `LEXCACHE_OBS=1`, installs a JSONL + registry sink covering the
@@ -521,11 +581,11 @@ pub fn maybe_obs_begin(bin: &str) -> Option<lexcache_obs::SharedRegistry> {
     if !obs_enabled() {
         return None;
     }
-    let path = format!("{}/obs_{bin}.jsonl", results_dir());
-    let file = match std::fs::File::create(&path) {
+    let tmp = format!("{}/obs_{bin}.jsonl.tmp", results_dir());
+    let file = match std::fs::File::create(&tmp) {
         Ok(f) => f,
         Err(e) => {
-            eprintln!("obs: cannot create {path}: {e}");
+            eprintln!("obs: cannot create {tmp}: {e}");
             return None;
         }
     };
@@ -542,10 +602,16 @@ pub fn maybe_obs_begin(bin: &str) -> Option<lexcache_obs::SharedRegistry> {
 /// aggregated phase/counter breakdown.
 pub fn maybe_obs_finish(bin: &str, registry: Option<lexcache_obs::SharedRegistry>) {
     let Some(registry) = registry else { return };
+    // Uninstall flushes and drops the sink (closing the temp file), so
+    // the rename below publishes a complete event stream atomically.
     drop(lexcache_obs::uninstall());
     println!("\n# observability profile (LEXCACHE_OBS=1)");
     print!("{}", registry.snapshot().render_table());
-    println!("obs events written to results/obs_{bin}.jsonl");
+    let path = format!("{}/obs_{bin}.jsonl", results_dir());
+    match std::fs::rename(format!("{path}.tmp"), &path) {
+        Ok(()) => println!("obs events written to {path}"),
+        Err(e) => eprintln!("obs: cannot publish {path}: {e}"),
+    }
 }
 
 /// Mean and (population) standard deviation.
@@ -743,6 +809,24 @@ mod tests {
             }
         }
         assert_eq!(grid_cells(specs.len(), 2), 4);
+    }
+
+    // Minimal journalable cell type so `run_cells` (whose bound is
+    // `Checkpoint`) can be exercised with a plain tuple.
+    impl Checkpoint for (usize, u64) {
+        fn encode(&self) -> String {
+            format!("{} {}", self.0, self.1)
+        }
+
+        fn decode(text: &str) -> Result<Self, String> {
+            let (a, b) = text
+                .split_once(' ')
+                .ok_or_else(|| "missing separator".to_string())?;
+            Ok((
+                a.parse().map_err(|_| "bad usize".to_string())?,
+                b.parse().map_err(|_| "bad u64".to_string())?,
+            ))
+        }
     }
 
     #[test]

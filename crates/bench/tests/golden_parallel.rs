@@ -11,13 +11,25 @@
 //! * the merged observability registries must agree on every counter,
 //!   marker, gauge, histogram and span count.
 //!
-//! Everything runs in a single `#[test]` because the obs sink is
-//! process-global: concurrent tests installing their own sinks would
-//! race on it.
+//! It then pins the crash-safety half of the contract:
+//!
+//! * a sweep killed after N cells and resumed from its checkpoint
+//!   journal (`--resume`) must produce **byte-identical**
+//!   timing-stripped reports to an uninterrupted run, at 1 and at 4
+//!   worker threads, re-running only the missing cells;
+//! * a cell that panics once is retried with the *same* positional
+//!   seed and the sweep's final reports are unchanged.
+//!
+//! Everything runs in a single `#[test]` because the obs sink and the
+//! sweep journaling (`BIN`) state are process-global: concurrent tests
+//! installing their own would race on them.
 
-use bench::{Algo, FaultConfig, RunSpec};
+use bench::sweep::{self, arm_journaling, disarm_journaling};
+use bench::{Algo, FaultConfig, RunSpec, SweepOptions};
 use lexcache_obs::{Registry, ShardedRegistry};
+use lexcache_runner::Journal;
 use mec_workload::ScenarioConfig;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Shrinks a figure spec to smoke size so the four sweeps finish in
 /// seconds.
@@ -128,4 +140,136 @@ fn parallel_runs_are_byte_identical_to_serial() {
             "{name}: merged span counts diverged"
         );
     }
+
+    resume_is_byte_identical();
+    flaky_cell_recovers_bit_identically();
+}
+
+/// Serializes every report of a sweep with its wall-clock timings
+/// zeroed — the byte-comparison currency of the golden contract.
+fn zeroed_json(rows: &[Vec<lexcache_core::EpisodeReport>]) -> Vec<String> {
+    rows.iter()
+        .flatten()
+        .map(|r| lexcache_obs::json::to_string(&r.with_zeroed_timings()).expect("serialize"))
+        .collect()
+}
+
+/// The checkpoint/resume golden: journal a clean serial sweep, simulate
+/// a `kill -9` after 3 of 6 cells by truncating the journal, resume
+/// from the stub at 1 and 4 threads, and require byte-identical reports
+/// while only the 3 missing cells re-run.
+fn resume_is_byte_identical() {
+    const REPEATS: usize = 3;
+    const BASE: u64 = 42;
+    let specs = vec![
+        tiny(RunSpec::fig3(Algo::OlGd)),
+        tiny(RunSpec::fig6(Algo::OlReg)),
+    ];
+    let n_cells = specs.len() * REPEATS;
+
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let ref_journal = dir.join(format!("lexcache_golden_{pid}_ref.jsonl"));
+    let trunc_journal = dir.join(format!("lexcache_golden_{pid}_trunc.jsonl"));
+
+    // Uninterrupted serial reference, journaled.
+    arm_journaling("golden", Some(ref_journal.clone()), None).expect("arm");
+    let clean = bench::run_grid_with(&specs, REPEATS, 1, BASE);
+    disarm_journaling();
+    let clean_json = zeroed_json(&clean);
+    let full_text = std::fs::read_to_string(&ref_journal).expect("journal written");
+    assert_eq!(
+        full_text.lines().count(),
+        1 + n_cells,
+        "journal must hold one header plus one record per cell"
+    );
+
+    // "kill -9 after 3 cells": keep the header and the first 3 records.
+    let stub: String = full_text
+        .lines()
+        .take(4)
+        .map(|l| format!("{l}\n"))
+        .collect();
+    std::fs::write(&trunc_journal, &stub).expect("write stub");
+
+    for threads in [1usize, 4] {
+        let fresh_journal = dir.join(format!("lexcache_golden_{pid}_resume_{threads}.jsonl"));
+        let ran = AtomicUsize::new(0);
+        arm_journaling("golden", Some(fresh_journal.clone()), Some(&trunc_journal)).expect("arm");
+        let resumed = sweep::run_sweep(
+            specs.len(),
+            REPEATS,
+            &SweepOptions::explicit(threads, BASE),
+            |s, seed| {
+                ran.fetch_add(1, Ordering::SeqCst);
+                bench::run_one(&specs[s], seed)
+            },
+        )
+        .expect("no quarantine");
+        disarm_journaling();
+
+        assert_eq!(
+            ran.load(Ordering::SeqCst),
+            n_cells - 3,
+            "threads {threads}: resume must re-run only the cells missing from the journal"
+        );
+        assert_eq!(
+            zeroed_json(&resumed),
+            clean_json,
+            "threads {threads}: resumed reports diverged from the uninterrupted run"
+        );
+        // The fresh journal is itself complete and resumable (spliced
+        // cells re-recorded verbatim, new cells appended).
+        let reloaded = Journal::load(&fresh_journal).expect("fresh journal loads");
+        assert_eq!(
+            reloaded.cells_for(0).len(),
+            n_cells,
+            "threads {threads}: resumed run must leave a complete journal"
+        );
+        if threads == 1 {
+            // Serial completion order is canonical, so the resumed
+            // journal reproduces the reference byte for byte.
+            let fresh_text = std::fs::read_to_string(&fresh_journal).expect("read");
+            assert_eq!(fresh_text, full_text, "serial resumed journal diverged");
+        }
+        let _ = std::fs::remove_file(&fresh_journal);
+    }
+    let _ = std::fs::remove_file(&ref_journal);
+    let _ = std::fs::remove_file(&trunc_journal);
+}
+
+/// A cell that panics on its first attempt is retried with the same
+/// positional seed; the sweep's reports must match a clean run exactly.
+fn flaky_cell_recovers_bit_identically() {
+    const REPEATS: usize = 2;
+    const BASE: u64 = 7;
+    let specs = vec![
+        tiny(RunSpec::fig3(Algo::GreedyGd)),
+        tiny(RunSpec::fig3(Algo::PriGd)),
+    ];
+
+    let clean = bench::run_grid_with(&specs, REPEATS, 1, BASE);
+    let tripped = AtomicUsize::new(0);
+    let flaky = sweep::run_sweep(
+        specs.len(),
+        REPEATS,
+        &SweepOptions::explicit(4, BASE),
+        |s, seed| {
+            if s == 1 && seed == BASE + 1 && tripped.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("transient failure injected by the golden test");
+            }
+            bench::run_one(&specs[s], seed)
+        },
+    )
+    .expect("retry must recover the flaky cell");
+    assert_eq!(
+        tripped.load(Ordering::SeqCst),
+        2,
+        "the flaky cell must run exactly twice (panic, then retry)"
+    );
+    assert_eq!(
+        zeroed_json(&flaky),
+        zeroed_json(&clean),
+        "reports after a retried panic diverged from the clean run"
+    );
 }

@@ -36,6 +36,7 @@
 pub mod event;
 pub mod hist;
 pub mod json;
+pub mod names;
 pub mod registry;
 pub mod shard;
 pub mod sink;

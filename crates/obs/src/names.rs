@@ -1,0 +1,21 @@
+//! Well-known metric names shared across crates.
+//!
+//! Most instrumentation names live next to their emission site (the
+//! sim, the policies), but the runner robustness counters are emitted
+//! from `crates/bench`'s sweep orchestration on behalf of the zero-dep
+//! `crates/runner` executor — a shared constant here keeps the name
+//! from drifting between the emitter and every dashboard/test that
+//! reads it.
+
+/// Counter: cell attempts that panicked (caught by the robust
+/// executor; one increment per caught panic, including retries).
+pub const RUNNER_PANICS: &str = "runner/panics";
+
+/// Counter: re-executions scheduled for panicked cells (a cell that
+/// panics and is quarantined without another attempt increments
+/// [`RUNNER_PANICS`] but not this).
+pub const RUNNER_RETRIES: &str = "runner/retries";
+
+/// Counter: cells that finished over their watchdog wall-clock budget
+/// (flagged `TimedOut`, value still used).
+pub const RUNNER_TIMEOUTS: &str = "runner/timeouts";

@@ -70,12 +70,49 @@ impl Grid {
             return (0..self.n_series).map(|_| Vec::new()).collect();
         }
         let flat = map_indexed(self.n_cells(), threads, |i| f(self.cell(i)));
+        self.rows_from_flat(flat)
+    }
+
+    /// Groups a flat canonical-order result vector into per-series
+    /// rows (the [`Grid::run`] return shape).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat.len()` is not exactly [`Grid::n_cells`].
+    pub fn rows_from_flat<T>(&self, flat: Vec<T>) -> Vec<Vec<T>> {
+        assert_eq!(
+            flat.len(),
+            self.n_cells(),
+            "flat results must cover the grid"
+        );
         let mut rows = Vec::with_capacity(self.n_series);
         let mut it = flat.into_iter();
         for _ in 0..self.n_series {
             rows.push(it.by_ref().take(self.repeats).collect());
         }
         rows
+    }
+
+    /// Groups index-tagged results — produced in *any* order, e.g. a
+    /// mix of freshly executed cells and cells spliced back from a
+    /// resume journal — into canonical per-series rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `indexed` carries every flat index `0..n_cells`
+    /// exactly once (a duplicate or gap means the sweep lost a cell,
+    /// which must never be papered over).
+    pub fn rows_from_indexed<T>(&self, mut indexed: Vec<(usize, T)>) -> Vec<Vec<T>> {
+        indexed.sort_by_key(|&(i, _)| i);
+        assert_eq!(
+            indexed.len(),
+            self.n_cells(),
+            "indexed results must cover the grid"
+        );
+        for (pos, &(i, _)) in indexed.iter().enumerate() {
+            assert_eq!(i, pos, "indexed results must cover every cell exactly once");
+        }
+        self.rows_from_flat(indexed.into_iter().map(|(_, v)| v).collect())
     }
 }
 
@@ -129,6 +166,27 @@ mod tests {
         for threads in [2, 5, 12] {
             assert_eq!(g.run(threads, |c| (c.series, c.repeat)), serial);
         }
+    }
+
+    #[test]
+    fn rows_from_indexed_restores_canonical_order() {
+        let g = Grid::new(2, 3);
+        // Completion order scrambled, as a resumed parallel sweep
+        // would produce it.
+        let indexed = vec![(4, "e"), (0, "a"), (5, "f"), (2, "c"), (1, "b"), (3, "d")];
+        assert_eq!(
+            g.rows_from_indexed(indexed),
+            vec![vec!["a", "b", "c"], vec!["d", "e", "f"]]
+        );
+    }
+
+    #[test]
+    fn rows_from_indexed_rejects_gaps_and_duplicates() {
+        let g = Grid::new(1, 3);
+        let dup = std::panic::catch_unwind(|| g.rows_from_indexed(vec![(0, 1), (0, 2), (2, 3)]));
+        assert!(dup.is_err(), "duplicate index must panic");
+        let short = std::panic::catch_unwind(|| g.rows_from_indexed(vec![(0, 1)]));
+        assert!(short.is_err(), "missing cells must panic");
     }
 
     #[test]

@@ -28,6 +28,19 @@
 //! `crates/bench` pins this end to end, including merged observability
 //! registries).
 //!
+//! # Fault tolerance
+//!
+//! Long sweeps must survive failures of the harness itself, so the
+//! pool has a robust sibling, [`pool::run_robust`]: every cell runs
+//! under `catch_unwind` ([`outcome`]), panicked cells are re-executed
+//! with the *same* positional seed up to a retry budget and then
+//! quarantined instead of tearing the sweep down, and an optional
+//! monotonic-clock watchdog flags cells exceeding a wall-clock budget
+//! without interrupting them. Completed cells can be checkpointed to
+//! an atomically rewritten JSONL journal ([`journal`]) and spliced
+//! back in canonical order on `--resume`, so an interrupted sweep's
+//! final report is byte-identical to an uninterrupted run.
+//!
 //! # Statistical bench mode
 //!
 //! [`stats`] implements the measurement discipline for the repo's perf
@@ -42,12 +55,16 @@
 #![warn(missing_docs)]
 
 pub mod grid;
+pub mod journal;
 pub mod mini_json;
+pub mod outcome;
 pub mod pool;
 pub mod report;
 pub mod stats;
 
 pub use grid::{CellId, Grid};
-pub use pool::{available_threads, map_indexed, JobQueue};
+pub use journal::{atomic_write, fnv1a64, CellEntry, Journal, JournalWriter, SweepMeta};
+pub use outcome::{panic_message, CellEvent, CellOutcome, RunPolicy};
+pub use pool::{available_threads, map_indexed, run_robust, JobQueue};
 pub use report::{compare, BenchCell, BenchReport, Comparison, Regression};
 pub use stats::{calibrate, measure, summarize, time_once_ns, BenchOpts, Measurement};

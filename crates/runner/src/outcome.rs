@@ -1,0 +1,211 @@
+//! Per-cell execution outcomes, retry policy and lifecycle events for
+//! the fault-tolerant executor ([`crate::pool::run_robust`]).
+//!
+//! The plain pool ([`crate::pool::map_indexed`]) propagates the first
+//! worker panic and tears the whole sweep down — correct for unit
+//! tests, fatal for an hours-long evaluation grid. The robust executor
+//! instead captures each cell's fate as a [`CellOutcome`]: the value,
+//! a value flagged as over-budget, or a quarantined panic after the
+//! retry budget is spent. Retries always re-run the *same* cell index,
+//! so the positional seed a caller derives from it is unchanged —
+//! retrying is about transient environment failures, never about
+//! reshuffling randomness.
+
+use std::any::Any;
+
+/// Failure-handling policy for one sweep: how often a panicked cell is
+/// re-executed before quarantine, and an optional per-cell wall-clock
+/// budget enforced by the watchdog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunPolicy {
+    /// Re-executions of a panicked cell before it is quarantined; the
+    /// cell runs at most `max_retries + 1` times. `0` quarantines on
+    /// the first panic.
+    pub max_retries: u32,
+    /// Per-cell wall-clock budget in milliseconds. Cells exceeding it
+    /// are *flagged* as [`CellOutcome::TimedOut`] (the worker is never
+    /// killed — the result is still produced and still deterministic);
+    /// `None` disables the watchdog.
+    pub cell_budget_ms: Option<u64>,
+}
+
+impl Default for RunPolicy {
+    /// One retry, no watchdog — survive a single transient failure per
+    /// cell without masking a systematically broken one.
+    fn default() -> Self {
+        RunPolicy {
+            max_retries: 1,
+            cell_budget_ms: None,
+        }
+    }
+}
+
+impl RunPolicy {
+    /// This policy with the retry budget set to `max_retries`.
+    pub fn with_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// This policy with the watchdog budget set to `budget_ms`.
+    pub fn with_budget_ms(mut self, budget_ms: u64) -> Self {
+        self.cell_budget_ms = Some(budget_ms);
+        self
+    }
+}
+
+/// The fate of one cell under the robust executor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellOutcome<T> {
+    /// The cell produced a value within budget.
+    Ok(T),
+    /// The cell produced a value but exceeded the watchdog budget.
+    /// The value is just as valid (and just as deterministic) as an
+    /// [`CellOutcome::Ok`] one — the flag exists so hung LP solves or
+    /// diverged trainings are visible in reports, not silent.
+    TimedOut {
+        /// The produced value.
+        value: T,
+        /// Observed wall-clock time of the final attempt.
+        elapsed_ms: u64,
+        /// The budget it exceeded.
+        budget_ms: u64,
+    },
+    /// Every attempt panicked; the cell is quarantined.
+    Panicked {
+        /// Panic payload of the last attempt, rendered as text.
+        message: String,
+        /// Total attempts made (`max_retries + 1`).
+        attempts: u32,
+    },
+}
+
+impl<T> CellOutcome<T> {
+    /// The produced value, if any ([`CellOutcome::Ok`] or
+    /// [`CellOutcome::TimedOut`]).
+    pub fn value(&self) -> Option<&T> {
+        match self {
+            CellOutcome::Ok(v) | CellOutcome::TimedOut { value: v, .. } => Some(v),
+            CellOutcome::Panicked { .. } => None,
+        }
+    }
+
+    /// Consumes the outcome, returning the produced value if any.
+    pub fn into_value(self) -> Option<T> {
+        match self {
+            CellOutcome::Ok(v) | CellOutcome::TimedOut { value: v, .. } => Some(v),
+            CellOutcome::Panicked { .. } => None,
+        }
+    }
+
+    /// Whether the cell was quarantined.
+    pub fn is_panicked(&self) -> bool {
+        matches!(self, CellOutcome::Panicked { .. })
+    }
+
+    /// Whether the cell finished over the watchdog budget.
+    pub fn is_timed_out(&self) -> bool {
+        matches!(self, CellOutcome::TimedOut { .. })
+    }
+}
+
+/// Lifecycle notifications emitted by the robust executor while a
+/// sweep runs. The callback fires on whichever thread observed the
+/// event (worker or watchdog), so handlers must be `Sync`; cell
+/// indices are canonical flat indices into the executor's `0..n`.
+#[derive(Debug)]
+pub enum CellEvent<'a, T> {
+    /// An attempt of a cell panicked; `will_retry` tells whether the
+    /// executor is about to re-run it or quarantine it.
+    PanicCaught {
+        /// Canonical index of the cell.
+        cell: usize,
+        /// 1-based attempt number that panicked.
+        attempt: u32,
+        /// Rendered panic payload.
+        message: &'a str,
+        /// Whether another attempt follows.
+        will_retry: bool,
+    },
+    /// The watchdog noticed a cell still running past its budget.
+    /// Fired at most once per cell; the worker keeps running.
+    LongRunning {
+        /// Canonical index of the cell.
+        cell: usize,
+        /// Elapsed wall-clock time when the watchdog looked.
+        elapsed_ms: u64,
+        /// The configured budget.
+        budget_ms: u64,
+    },
+    /// A cell reached its final outcome (in any order across cells).
+    /// For `Ok` / `TimedOut` outcomes this is the journaling point:
+    /// the value is complete and will not change.
+    Finished {
+        /// Canonical index of the cell.
+        cell: usize,
+        /// The final outcome.
+        outcome: &'a CellOutcome<T>,
+    },
+}
+
+/// Renders a `catch_unwind` payload as text: `&str` and `String`
+/// payloads (everything `panic!` produces) pass through, anything
+/// exotic gets a placeholder.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_one_retry_no_watchdog() {
+        let p = RunPolicy::default();
+        assert_eq!(p.max_retries, 1);
+        assert_eq!(p.cell_budget_ms, None);
+        let p = p.with_retries(3).with_budget_ms(250);
+        assert_eq!(p.max_retries, 3);
+        assert_eq!(p.cell_budget_ms, Some(250));
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let ok: CellOutcome<u32> = CellOutcome::Ok(7);
+        assert_eq!(ok.value(), Some(&7));
+        assert!(!ok.is_panicked() && !ok.is_timed_out());
+
+        let late: CellOutcome<u32> = CellOutcome::TimedOut {
+            value: 8,
+            elapsed_ms: 120,
+            budget_ms: 100,
+        };
+        assert_eq!(late.value(), Some(&8));
+        assert!(late.is_timed_out());
+        assert_eq!(late.into_value(), Some(8));
+
+        let dead: CellOutcome<u32> = CellOutcome::Panicked {
+            message: "boom".to_string(),
+            attempts: 2,
+        };
+        assert_eq!(dead.value(), None);
+        assert!(dead.is_panicked());
+        assert_eq!(dead.into_value(), None);
+    }
+
+    #[test]
+    fn panic_payloads_render_as_text() {
+        let static_payload: Box<dyn Any + Send> = Box::new("static boom");
+        assert_eq!(panic_message(static_payload.as_ref()), "static boom");
+        let owned: Box<dyn Any + Send> = Box::new("formatted 42".to_string());
+        assert_eq!(panic_message(owned.as_ref()), "formatted 42");
+        let exotic: Box<dyn Any + Send> = Box::new(17u64);
+        assert_eq!(panic_message(exotic.as_ref()), "<non-string panic payload>");
+    }
+}

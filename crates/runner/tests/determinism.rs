@@ -1,7 +1,11 @@
 //! Cross-module regression tests for the runner's headline invariant:
 //! worker count never changes a bit of the reduced output.
 
-use lexcache_runner::{compare, map_indexed, BenchReport, Grid, Measurement};
+use lexcache_runner::journal::{CellEntry, Journal, JournalWriter, SweepMeta};
+use lexcache_runner::{
+    compare, map_indexed, run_robust, BenchReport, CellOutcome, Grid, Measurement, RunPolicy,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A deterministic stand-in for an episode: a seeded integer recurrence
 /// whose result depends only on the derived seed, with a workload that
@@ -44,6 +48,143 @@ fn map_indexed_interleaves_unequal_workloads_correctly() {
     let serial: Vec<u64> = (0..40).map(|i| fake_episode(i as u64)[0]).collect();
     let parallel = map_indexed(40, 7, |i| fake_episode(i as u64)[0]);
     assert_eq!(parallel, serial);
+}
+
+#[test]
+fn robust_path_with_flaky_cell_is_bit_identical_across_worker_counts() {
+    // One cell panics on its first attempt at every worker count; the
+    // retried result must splice back so outcomes stay bit-identical
+    // to a clean serial run.
+    let grid = Grid::new(3, 5);
+    let n = grid.n_cells();
+    let base_seed = 99u64;
+    let cell_value = |i: usize| {
+        fake_episode(base_seed + grid.cell(i).repeat as u64 + 71 * grid.cell(i).series as u64)
+    };
+    let serial: Vec<Vec<u64>> = (0..n).map(cell_value).collect();
+
+    for threads in [1, 2, 4, 8] {
+        let attempts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let outcomes = run_robust(
+            n,
+            threads,
+            RunPolicy::default(),
+            |i| {
+                if i == 7 && attempts[i].fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("transient failure on first attempt");
+                }
+                cell_value(i)
+            },
+            |_| (),
+        );
+        let values: Vec<Vec<u64>> = outcomes
+            .into_iter()
+            .map(|o| o.into_value().expect("flaky cell recovers"))
+            .collect();
+        assert_eq!(values, serial, "threads={threads} diverged");
+        assert_eq!(attempts[7].load(Ordering::SeqCst), 2);
+    }
+}
+
+#[test]
+fn journal_resume_splices_to_a_bit_identical_sweep() {
+    // Simulate kill-after-N: journal a full sweep, truncate to the
+    // first N cell records, then "resume" by running only the missing
+    // cells and splicing — the reduced rows must match an
+    // uninterrupted run exactly.
+    let grid = Grid::new(2, 4);
+    let n = grid.n_cells();
+    let base_seed = 5u64;
+    let value = |i: usize| fake_episode(base_seed + grid.cell(i).repeat as u64)[0];
+    let encode = |v: u64| v.to_string();
+
+    let dir = std::env::temp_dir().join(format!("lexcache_resume_unit_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("sweep.journal.jsonl");
+    let meta = SweepMeta {
+        sweep: 0,
+        bin: "determinism-test".to_string(),
+        n_series: grid.n_series,
+        repeats: grid.repeats,
+        base_seed,
+    };
+
+    let mut w = JournalWriter::create(path.clone());
+    w.begin_sweep(&meta).expect("header");
+    for i in 0..n {
+        w.record(&CellEntry {
+            sweep: 0,
+            cell: i,
+            seed: base_seed + grid.cell(i).repeat as u64,
+            payload: encode(value(i)),
+        })
+        .expect("record");
+    }
+
+    // Kill after 3 cells: keep the header plus the first 3 records.
+    let full_text = std::fs::read_to_string(&path).expect("journal exists");
+    let killed: String = full_text
+        .lines()
+        .take(4)
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let journal = Journal::from_text(&killed).expect("truncated journal parses");
+    assert_eq!(journal.sweep(0), Some(&meta));
+    let done = journal.cells_for(0);
+    assert_eq!(done.len(), 3);
+
+    // Resume: run only pending cells, splice recorded payloads back.
+    let pending: Vec<usize> = (0..n).filter(|i| !done.contains_key(i)).collect();
+    let executed = run_robust(
+        pending.len(),
+        4,
+        RunPolicy::default(),
+        |local| value(pending[local]),
+        |_| (),
+    );
+    let mut indexed: Vec<(usize, u64)> = done
+        .iter()
+        .map(|(&i, e)| (i, e.payload.parse::<u64>().expect("recorded payload")))
+        .collect();
+    for (local, outcome) in executed.into_iter().enumerate() {
+        indexed.push((pending[local], outcome.into_value().expect("clean cells")));
+    }
+    let resumed = grid.rows_from_indexed(indexed);
+    let uninterrupted = grid.run(1, |c| value(grid.index(c)));
+    assert_eq!(resumed, uninterrupted, "resume must be bit-identical");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn quarantine_reports_every_panicked_cell() {
+    let outcomes = run_robust(
+        10,
+        3,
+        RunPolicy::default().with_retries(1),
+        |i| {
+            if i % 4 == 2 {
+                panic!("cell {i} is broken");
+            }
+            i
+        },
+        |_| (),
+    );
+    let quarantined: Vec<usize> = outcomes
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.is_panicked())
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(quarantined, vec![2, 6]);
+    for (i, o) in outcomes.iter().enumerate() {
+        if !quarantined.contains(&i) {
+            assert_eq!(o.value(), Some(&i), "healthy cells still complete");
+        }
+    }
+    if let CellOutcome::Panicked { message, attempts } = &outcomes[6] {
+        assert_eq!(*attempts, 2);
+        assert!(message.contains("cell 6"));
+    }
 }
 
 #[test]
