@@ -17,7 +17,7 @@ use mec_workload::ScenarioConfig;
 /// under which big networks absorb bursts without contention and the two
 /// predictors converge (see EXPERIMENTS.md).
 fn requests_for(stations: usize) -> usize {
-    if std::env::var("LEXCACHE_SCALE_LOAD").map_or(false, |v| v == "1") {
+    if bench::cli::env_var("LEXCACHE_SCALE_LOAD").is_some_and(|v| v == "1") {
         (stations * 3) / 2
     } else {
         150

@@ -122,6 +122,15 @@ impl Cli {
     }
 }
 
+/// The workspace's single environment-variable gateway. Every
+/// `LEXCACHE_*` knob is read through here — lexlint rule LX10 bans
+/// `std::env::var` everywhere else — so the full set of hidden
+/// configuration a run can depend on is auditable in one module.
+/// Unset and non-UTF-8 values both read as `None`.
+pub fn env_var(key: &str) -> Option<String> {
+    std::env::var(key).ok()
+}
+
 fn parse_num<T: std::str::FromStr>(flag: &str, text: &str) -> Result<T, String> {
     text.parse()
         .map_err(|_| format!("{flag}: invalid value {text:?}"))

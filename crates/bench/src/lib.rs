@@ -83,8 +83,7 @@ pub fn threads() -> usize {
 }
 
 fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key)
-        .ok()
+    cli::env_var(key)
         .and_then(|v| v.parse().ok())
         .filter(|&v| v > 0)
         .unwrap_or(default)
@@ -94,8 +93,7 @@ fn env_usize(key: &str, default: usize) -> usize {
 /// `--seed=N` flag wins, then the `LEXCACHE_SEED` env var, default 0.
 pub fn base_seed() -> u64 {
     Cli::from_env().seed.unwrap_or_else(|| {
-        std::env::var("LEXCACHE_SEED")
-            .ok()
+        cli::env_var("LEXCACHE_SEED")
             .and_then(|v| v.parse().ok())
             .unwrap_or(0)
     })
@@ -447,13 +445,13 @@ pub fn results_dir() -> &'static str {
 
 /// Whether the instrumented-profile mode is on (`LEXCACHE_OBS=1`).
 pub fn obs_enabled() -> bool {
-    std::env::var("LEXCACHE_OBS").is_ok_and(|v| v == "1")
+    cli::env_var("LEXCACHE_OBS").is_some_and(|v| v == "1")
 }
 
 /// Whether machine-readable JSON output was requested, via the
 /// `--json` flag or `LEXCACHE_JSON=1`.
 pub fn json_requested() -> bool {
-    Cli::from_env().json || std::env::var("LEXCACHE_JSON").is_ok_and(|v| v == "1")
+    Cli::from_env().json || cli::env_var("LEXCACHE_JSON").is_some_and(|v| v == "1")
 }
 
 /// One labelled series of per-seed episode reports — the JSON shape
@@ -470,7 +468,7 @@ pub struct JsonSeries {
 /// (`LEXCACHE_ZERO_TIMINGS=1`), making two runs of the same seeds
 /// byte-comparable — the invariant the resume-smoke CI job diffs.
 pub fn zero_timings_requested() -> bool {
-    std::env::var("LEXCACHE_ZERO_TIMINGS").is_ok_and(|v| v == "1")
+    cli::env_var("LEXCACHE_ZERO_TIMINGS").is_some_and(|v| v == "1")
 }
 
 /// Writes the series as `results/<bin>.json` if JSON output is on
@@ -525,6 +523,7 @@ pub fn maybe_obs_profile(bin: &str, specs: &[(&str, RunSpec)]) {
     }
     let path = format!("{}/obs_{bin}.jsonl", results_dir());
     let tmp = format!("{path}.tmp");
+    // lexlint: allow(LX12): streaming sink writes .tmp, published below via atomic rename
     let file = match std::fs::File::create(&tmp) {
         Ok(f) => f,
         Err(e) => {
@@ -582,6 +581,7 @@ pub fn maybe_obs_begin(bin: &str) -> Option<lexcache_obs::SharedRegistry> {
         return None;
     }
     let tmp = format!("{}/obs_{bin}.jsonl.tmp", results_dir());
+    // lexlint: allow(LX12): streaming sink writes .tmp, published by maybe_obs_finish via rename
     let file = match std::fs::File::create(&tmp) {
         Ok(f) => f,
         Err(e) => {

@@ -149,14 +149,12 @@ impl SweepOptions {
     pub fn from_env() -> SweepOptions {
         let cli = Cli::from_env();
         let max_retries = cli.max_retries.unwrap_or_else(|| {
-            std::env::var("LEXCACHE_RETRIES")
-                .ok()
+            crate::cli::env_var("LEXCACHE_RETRIES")
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(1)
         });
         let cell_budget_ms = cli.cell_budget_ms.or_else(|| {
-            std::env::var("LEXCACHE_CELL_BUDGET_MS")
-                .ok()
+            crate::cli::env_var("LEXCACHE_CELL_BUDGET_MS")
                 .and_then(|v| v.parse().ok())
                 .filter(|&v| v > 0)
         });
@@ -363,7 +361,7 @@ fn journal_cell(sweep: Option<usize>, cell: usize, seed: u64, payload: String) {
 /// every attempt; `LEXCACHE_PANIC_CELL=<cell>:<k>` only on its first
 /// `k` attempts (so retries can be observed succeeding).
 fn panic_injection() -> Option<(usize, u32)> {
-    let spec = std::env::var("LEXCACHE_PANIC_CELL").ok()?;
+    let spec = crate::cli::env_var("LEXCACHE_PANIC_CELL")?;
     let (cell, times) = match spec.split_once(':') {
         Some((c, k)) => (c.parse().ok()?, k.parse().ok()?),
         None => (spec.parse().ok()?, u32::MAX),
@@ -584,7 +582,7 @@ pub fn init_bin(bin: &str) -> Cli {
         std::process::exit(0);
     }
 
-    let env_journal = std::env::var("LEXCACHE_JOURNAL").ok();
+    let env_journal = crate::cli::env_var("LEXCACHE_JOURNAL");
     let journal_off = cli.no_journal || env_journal.as_deref() == Some("0");
     let journal = if journal_off {
         None
@@ -600,7 +598,7 @@ pub fn init_bin(bin: &str) -> Cli {
     let resume = cli
         .resume
         .clone()
-        .or_else(|| std::env::var("LEXCACHE_RESUME").ok());
+        .or_else(|| crate::cli::env_var("LEXCACHE_RESUME"));
     let resume_path = resume.as_ref().map(PathBuf::from);
 
     if let Err(e) = arm_journaling(bin, journal, resume_path.as_deref()) {

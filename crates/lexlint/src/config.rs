@@ -41,6 +41,22 @@ pub struct AllowEntry {
 pub struct Config {
     /// Directory prefixes where LX03 (no default-hasher maps) applies.
     pub lx03_paths: Vec<String>,
+    /// Path prefixes exempt from LX07 — the workspace's designated
+    /// wall-clock boundary (normally just `crates/runner/src/clock.rs`).
+    pub lx07_allow: Vec<String>,
+    /// Path prefixes exempt from LX08 (lock discipline).
+    pub lx08_allow: Vec<String>,
+    /// Path prefixes exempt from LX09 — where raw `thread::spawn` is
+    /// the implementation of the sanctioned pool itself.
+    pub lx09_allow: Vec<String>,
+    /// Path prefixes exempt from LX10 — the audited env-read gateway.
+    pub lx10_allow: Vec<String>,
+    /// Path prefixes exempt from LX12 — where `atomic_write` itself
+    /// performs the raw write it exists to encapsulate.
+    pub lx12_allow: Vec<String>,
+    /// FNV-1a digest of the raw config text; keys the lint cache so a
+    /// config edit invalidates every cached verdict.
+    pub digest: u64,
     /// Vetted exceptions.
     pub allows: Vec<AllowEntry>,
 }
@@ -60,13 +76,30 @@ impl Config {
     pub fn lx03_applies(&self, file: &str) -> bool {
         self.lx03_paths.iter().any(|p| file.starts_with(p.as_str()))
     }
+
+    /// Whether `file` sits under a per-rule `allow_paths` prefix for
+    /// `rule` (LX07/LX08/LX09/LX10/LX12 accept path allowlists).
+    pub fn rule_path_allowed(&self, rule: &str, file: &str) -> bool {
+        let paths = match rule {
+            "LX07" => &self.lx07_allow,
+            "LX08" => &self.lx08_allow,
+            "LX09" => &self.lx09_allow,
+            "LX10" => &self.lx10_allow,
+            "LX12" => &self.lx12_allow,
+            _ => return false,
+        };
+        paths.iter().any(|p| file.starts_with(p.as_str()))
+    }
 }
 
 /// Parses the configuration text. Returns `Err` with a line-numbered
 /// message on malformed input or an `[[allow]]` entry missing its
 /// `reason`.
 pub fn parse(text: &str) -> Result<Config, String> {
-    let mut cfg = Config::default();
+    let mut cfg = Config {
+        digest: lexcache_runner::fnv1a64(text.as_bytes()),
+        ..Config::default()
+    };
     let mut section = String::new();
     let mut pending: Option<AllowEntry> = None;
 
@@ -120,6 +153,20 @@ pub fn parse(text: &str) -> Result<Config, String> {
             ("lx03", "paths") => {
                 cfg.lx03_paths =
                     parse_string_array(value).map_err(|e| format!("line {lineno}: {e}"))?;
+            }
+            ("lx07", "allow_paths")
+            | ("lx08", "allow_paths")
+            | ("lx09", "allow_paths")
+            | ("lx10", "allow_paths")
+            | ("lx12", "allow_paths") => {
+                let paths = parse_string_array(value).map_err(|e| format!("line {lineno}: {e}"))?;
+                match section.as_str() {
+                    "lx07" => cfg.lx07_allow = paths,
+                    "lx08" => cfg.lx08_allow = paths,
+                    "lx09" => cfg.lx09_allow = paths,
+                    "lx10" => cfg.lx10_allow = paths,
+                    _ => cfg.lx12_allow = paths,
+                }
             }
             ("allow", _) => {
                 let entry = pending
@@ -316,6 +363,34 @@ reason = "constructor guarantees non-empty"
             r#"let x = y.expect("invariant");"#
         ));
         assert!(!cfg.is_allowed("LX01", "crates/foo/src/lib.rs", "let x = y.unwrap();"));
+    }
+
+    #[test]
+    fn parses_rule_allow_paths() {
+        let cfg = parse(
+            "[lx07]\nallow_paths = [\"crates/runner/src/clock.rs\"]\n\
+             [lx09]\nallow_paths = [\"crates/runner/src\"]\n\
+             [lx10]\nallow_paths = [\"crates/bench/src/cli.rs\"]\n\
+             [lx12]\nallow_paths = [\"crates/runner/src/journal.rs\"]\n",
+        )
+        .unwrap();
+        assert!(cfg.rule_path_allowed("LX07", "crates/runner/src/clock.rs"));
+        assert!(!cfg.rule_path_allowed("LX07", "crates/runner/src/pool.rs"));
+        assert!(cfg.rule_path_allowed("LX09", "crates/runner/src/pool.rs"));
+        assert!(cfg.rule_path_allowed("LX10", "crates/bench/src/cli.rs"));
+        assert!(!cfg.rule_path_allowed("LX10", "crates/bench/src/lib.rs"));
+        assert!(cfg.rule_path_allowed("LX12", "crates/runner/src/journal.rs"));
+        assert!(!cfg.rule_path_allowed("LX01", "crates/runner/src/pool.rs"));
+    }
+
+    #[test]
+    fn digest_tracks_text_changes() {
+        let a = parse("[lx03]\npaths = [\"a\"]\n").unwrap();
+        let b = parse("[lx03]\npaths = [\"b\"]\n").unwrap();
+        let a2 = parse("[lx03]\npaths = [\"a\"]\n").unwrap();
+        assert_ne!(a.digest, b.digest);
+        assert_eq!(a.digest, a2.digest);
+        assert_ne!(a.digest, 0, "real text never digests to the default");
     }
 
     #[test]

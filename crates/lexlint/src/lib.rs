@@ -2,19 +2,26 @@
 //! for this workspace.
 //!
 //! The paper's regret results are only reproducible if a fixed seed
-//! yields a bit-identical episode. Two bug classes silently break that:
-//! default-hasher map iteration (order reseeds per process) and
-//! NaN-swallowing float comparisons (`partial_cmp(..).unwrap_or(Equal)`
-//! turns a NaN into "everything is equal" instead of failing loudly).
-//! `lexlint` walks every `crates/*/src/**/*.rs` and `src/**/*.rs` file
-//! and enforces six machine-checkable invariants ([`rules`]) with a
-//! hand-rolled lexer ([`lexer`]) — no external parser, in the spirit of
-//! the workspace's from-scratch substrates.
+//! yields a bit-identical episode. Several bug classes silently break
+//! that: default-hasher map iteration (order reseeds per process),
+//! NaN-swallowing float comparisons, ad-hoc wall-clock reads, hidden
+//! `std::env::var` configuration, raw thread spawns, and result files
+//! written without the atomic-rename protocol. `lexlint` walks every
+//! `crates/*/src/**/*.rs` and `src/**/*.rs` file and enforces twelve
+//! machine-checkable invariants — LX01–LX06 are token-local
+//! ([`rules`]); LX07–LX12 are symbol-aware ([`xrules`]), built on a
+//! lightweight parse layer ([`parse`]) and a workspace symbol table
+//! ([`symbols`]) — with a hand-rolled lexer ([`lexer`]), no external
+//! parser, in the spirit of the workspace's from-scratch substrates.
 //!
-//! Run it as:
+//! The engine dogfoods the workspace's own thread pool
+//! ([`lexcache_runner::map_indexed`]) to lex and analyze files in
+//! parallel, and keeps an incremental cache ([`cache`]) so a warm run
+//! re-analyzes only changed files while producing a byte-identical
+//! report. Run it as:
 //!
 //! ```text
-//! cargo run -p lexlint -- check [--format json] [--fix-hints] [--root DIR]
+//! cargo run -p lexlint -- check [--format text|json|sarif] [--fix]
 //! ```
 //!
 //! Exceptions are vetted through `lexlint.toml` ([`config`]) or inline
@@ -23,15 +30,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod config;
+pub mod fix;
 pub mod lexer;
+pub mod parse;
 pub mod report;
 pub mod rules;
+pub mod symbols;
+pub mod xrules;
 
 pub use config::Config;
 pub use report::Format;
 pub use rules::Finding;
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 /// Collects the workspace-relative paths of every file lexlint checks:
@@ -83,23 +96,155 @@ fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Runs every rule over every target file under `root`. Findings are
-/// ordered by (file, line, rule) — the collection order is already
-/// deterministic.
-pub fn check_workspace(root: &Path, cfg: &Config) -> Result<Vec<Finding>, String> {
+/// How the engine runs: worker count for the parallel phases and where
+/// (if anywhere) the incremental cache lives.
+#[derive(Debug, Clone, Default)]
+pub struct EngineOptions {
+    /// Worker threads for the lex/parse and analyze phases; `0` means
+    /// one detected core per worker.
+    pub threads: usize,
+    /// Path of `.lexlint-cache.json`; `None` disables the cache.
+    pub cache_path: Option<PathBuf>,
+}
+
+/// What a lint run produced, including cache effectiveness counters.
+#[derive(Debug)]
+pub struct LintOutcome {
+    /// All surviving findings in canonical (file, line, rule) order.
+    pub findings: Vec<Finding>,
+    /// Number of target files.
+    pub total: usize,
+    /// Files whose rules actually ran this time.
+    pub analyzed: usize,
+    /// Files whose verdicts were reused from the cache.
+    pub reused: usize,
+}
+
+struct ParsedFile {
+    rel: String,
+    src: String,
+    lexed: lexer::Lexed,
+    ast: parse::FileAst,
+    digest: u64,
+}
+
+/// The full engine: parallel lex/parse of every target, workspace
+/// symbol table, cache lookup, parallel analysis of the misses, cache
+/// write-back.
+///
+/// Every file is lexed and parsed on every run — the symbol table must
+/// see the whole workspace — but rule analysis (the expensive,
+/// verdict-producing phase) is skipped for files whose bytes, the
+/// config, and the symbol surface are all unchanged. Findings come out
+/// in canonical order whether they were computed or reused, so a warm
+/// run's report is byte-identical to a cold run's.
+pub fn check_workspace_with(
+    root: &Path,
+    cfg: &Config,
+    opts: &EngineOptions,
+) -> Result<LintOutcome, String> {
     let targets = collect_targets(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
-    let mut findings = Vec::new();
-    for rel in &targets {
-        let abs = root.join(rel);
-        let src =
-            std::fs::read_to_string(&abs).map_err(|e| format!("reading {}: {e}", abs.display()))?;
-        let rel_str = rel
-            .to_str()
-            .map(|s| s.replace('\\', "/"))
-            .unwrap_or_else(|| rel.display().to_string());
-        findings.extend(rules::check_file(&rel_str, &src, cfg));
+    let threads = if opts.threads == 0 {
+        lexcache_runner::available_threads()
+    } else {
+        opts.threads
+    };
+
+    // Phase 1: read + lex + parse every target in parallel.
+    let parsed: Vec<Result<ParsedFile, String>> =
+        lexcache_runner::map_indexed(targets.len(), threads, |i| {
+            let rel = &targets[i];
+            let abs = root.join(rel);
+            let src = std::fs::read_to_string(&abs)
+                .map_err(|e| format!("reading {}: {e}", abs.display()))?;
+            let rel_str = rel
+                .to_str()
+                .map(|s| s.replace('\\', "/"))
+                .unwrap_or_else(|| rel.display().to_string());
+            let lexed = lexer::lex(&src);
+            let ast = parse::parse(&lexed.toks);
+            let digest = lexcache_runner::fnv1a64(src.as_bytes());
+            Ok(ParsedFile {
+                rel: rel_str,
+                src,
+                lexed,
+                ast,
+                digest,
+            })
+        });
+    let mut files = Vec::with_capacity(parsed.len());
+    for p in parsed {
+        files.push(p?);
     }
-    Ok(findings)
+
+    // Phase 2: symbol table over the whole workspace (canonical order —
+    // `targets` is sorted), then split cache hits from misses.
+    let symbols = symbols::build(files.iter().map(|p| (p.rel.as_str(), &p.ast)));
+    let cache = match &opts.cache_path {
+        Some(path) => cache::load(path, cfg.digest, symbols.digest),
+        None => cache::Cache::default(),
+    };
+    let misses: Vec<usize> = (0..files.len())
+        .filter(|&i| cache.lookup(&files[i].rel, files[i].digest).is_none())
+        .collect();
+
+    // Phase 3: analyze the misses in parallel.
+    let fresh: Vec<Vec<Finding>> = lexcache_runner::map_indexed(misses.len(), threads, |k| {
+        let p = &files[misses[k]];
+        let mut found = rules::check_lexed(&p.rel, &p.src, &p.lexed, cfg);
+        found.extend(xrules::check_file_x(
+            &p.rel, &p.src, &p.lexed, &p.ast, &symbols, cfg,
+        ));
+        // Canonical per-file order, so cached and fresh verdicts render
+        // identically.
+        found.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+        found
+    });
+    let fresh_by_index: BTreeMap<usize, Vec<Finding>> = misses.iter().copied().zip(fresh).collect();
+
+    // Phase 4: assemble the report in target order and write the cache
+    // back.
+    let mut findings = Vec::new();
+    let mut entries: BTreeMap<String, cache::FileEntry> = BTreeMap::new();
+    for (i, p) in files.iter().enumerate() {
+        let file_findings: Vec<Finding> = match fresh_by_index.get(&i) {
+            Some(fs) => fs.clone(),
+            None => cache
+                .lookup(&p.rel, p.digest)
+                .map(|fs| fs.to_vec())
+                .unwrap_or_default(),
+        };
+        entries.insert(
+            p.rel.clone(),
+            cache::FileEntry {
+                digest: p.digest,
+                findings: file_findings.clone(),
+            },
+        );
+        findings.extend(file_findings);
+    }
+    if let Some(path) = &opts.cache_path {
+        cache::save(path, cfg.digest, symbols.digest, &entries)
+            .map_err(|e| format!("writing cache {}: {e}", path.display()))?;
+    }
+    Ok(LintOutcome {
+        findings,
+        total: files.len(),
+        analyzed: misses.len(),
+        reused: files.len() - misses.len(),
+    })
+}
+
+/// Runs every rule over every target file under `root`, serially and
+/// without a cache. Findings are ordered by (file, line, rule). This is
+/// the simple entry point tests and tools use; the CLI drives
+/// [`check_workspace_with`].
+pub fn check_workspace(root: &Path, cfg: &Config) -> Result<Vec<Finding>, String> {
+    let opts = EngineOptions {
+        threads: 1,
+        cache_path: None,
+    };
+    check_workspace_with(root, cfg, &opts).map(|o| o.findings)
 }
 
 #[cfg(test)]
@@ -108,14 +253,37 @@ mod tests {
 
     #[test]
     fn this_workspace_is_clean() {
-        // Dogfood: the repo that ships lexlint must pass lexlint. The
-        // test mirrors the CLI so `cargo test` alone catches rule
-        // regressions even if the verify script is skipped.
+        // Dogfood: the repo that ships lexlint must pass lexlint — now
+        // including the symbol-aware rules LX07–LX12. The test mirrors
+        // the CLI so `cargo test` alone catches rule regressions even
+        // if the verify script is skipped.
         let root = workspace_root();
         let cfg = config::load(&root.join("lexlint.toml")).expect("config parses");
         let findings = check_workspace(&root, &cfg).expect("walk succeeds");
         let rendered = report::render(&findings, Format::Text, true);
         assert!(findings.is_empty(), "lexlint violations:\n{rendered}");
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_run() {
+        let root = workspace_root();
+        let cfg = config::load(&root.join("lexlint.toml")).expect("config parses");
+        let serial = check_workspace(&root, &cfg).expect("serial");
+        let parallel = check_workspace_with(
+            &root,
+            &cfg,
+            &EngineOptions {
+                threads: 4,
+                cache_path: None,
+            },
+        )
+        .expect("parallel");
+        assert_eq!(
+            serial, parallel.findings,
+            "worker count must never change the report"
+        );
+        assert_eq!(parallel.analyzed, parallel.total);
+        assert_eq!(parallel.reused, 0);
     }
 
     #[test]

@@ -3,20 +3,116 @@
 //! ```text
 //! lexlint check                  lint the workspace, text output
 //! lexlint check --format json    one JSON record per finding
+//! lexlint check --format sarif   SARIF 2.1.0 document
 //! lexlint check --fix-hints      append a suggested fix per finding
+//! lexlint check --fix            apply machine-applicable suggestions
+//! lexlint check --fix-check      exit 1 if any autofix is unapplied
+//! lexlint check --threads N      parallel analysis workers
+//! lexlint check --no-cache       skip the incremental cache
+//! lexlint check --cache FILE     explicit cache path
 //! lexlint check --root DIR       lint a different workspace root
 //! lexlint check --config FILE    explicit lexlint.toml path
 //! ```
 //!
-//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+//! Argument parsing follows the same strict contract as `bench::cli`:
+//! any unknown flag or malformed value prints the reason plus usage and
+//! exits 2 — never a silent default. Both `--flag value` and
+//! `--flag=value` forms are accepted.
+//!
+//! Exit codes: 0 clean, 1 violations found (or, with `--fix-check`,
+//! unapplied autofixes), 2 usage or I/O error.
 
 #![forbid(unsafe_code)]
 
-use lexlint::{check_workspace, config, report, Format};
+use lexlint::{check_workspace_with, config, fix, report, EngineOptions, Format};
 use std::path::PathBuf;
+
+const USAGE: &str = "usage: lexlint check [--format text|json|sarif] [--fix-hints] \
+[--fix] [--fix-check] [--threads N] [--no-cache] [--cache FILE] [--root DIR] [--config FILE]";
 
 fn main() {
     std::process::exit(run(std::env::args().skip(1).collect()));
+}
+
+struct Opts {
+    format: Format,
+    fix_hints: bool,
+    apply_fixes: bool,
+    fix_check: bool,
+    threads: usize,
+    no_cache: bool,
+    cache: Option<PathBuf>,
+    root: PathBuf,
+    config_path: Option<PathBuf>,
+}
+
+/// Strict flag parsing; `Err(reason)` becomes reason + usage + exit 2.
+fn parse(args: Vec<String>) -> Result<Opts, String> {
+    let mut opts = Opts {
+        format: Format::Text,
+        fix_hints: false,
+        apply_fixes: false,
+        fix_check: false,
+        threads: 0,
+        no_cache: false,
+        cache: None,
+        root: PathBuf::from("."),
+        config_path: None,
+    };
+    let mut it = args.into_iter().peekable();
+    while let Some(arg) = it.next() {
+        // Accept `--flag=value` by splitting once on `=`.
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f.to_string(), Some(v.to_string())),
+            None => (arg, None),
+        };
+        let value = |it: &mut std::iter::Peekable<std::vec::IntoIter<String>>| {
+            inline
+                .clone()
+                .or_else(|| it.next())
+                .ok_or_else(|| format!("{flag} expects a value"))
+        };
+        let boolean = matches!(
+            flag.as_str(),
+            "--fix-hints" | "--fix" | "--fix-check" | "--no-cache"
+        );
+        if boolean && inline.is_some() {
+            return Err(format!("{flag} does not take a value"));
+        }
+        match flag.as_str() {
+            "--format" => {
+                opts.format = match value(&mut it)?.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "sarif" => Format::Sarif,
+                    other => {
+                        return Err(format!(
+                            "--format expects `text`, `json` or `sarif`, got `{other}`"
+                        ))
+                    }
+                }
+            }
+            "--fix-hints" => opts.fix_hints = true,
+            "--fix" => opts.apply_fixes = true,
+            "--fix-check" => opts.fix_check = true,
+            "--threads" => {
+                let v = value(&mut it)?;
+                opts.threads =
+                    v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        format!("--threads expects a positive integer, got `{v}`")
+                    })?;
+            }
+            "--no-cache" => opts.no_cache = true,
+            "--cache" => opts.cache = Some(PathBuf::from(value(&mut it)?)),
+            "--root" => opts.root = PathBuf::from(value(&mut it)?),
+            "--config" => opts.config_path = Some(PathBuf::from(value(&mut it)?)),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if opts.apply_fixes && opts.fix_check {
+        return Err("--fix and --fix-check are mutually exclusive".to_string());
+    }
+    Ok(opts)
 }
 
 fn run(args: Vec<String>) -> i32 {
@@ -24,56 +120,33 @@ fn run(args: Vec<String>) -> i32 {
     match it.next().as_deref() {
         Some("check") => {}
         Some("--help") | Some("-h") => {
-            eprintln!("usage: lexlint check [--format text|json] [--fix-hints] [--root DIR] [--config FILE]");
+            eprintln!("{USAGE}");
             return 0;
         }
         None => {
-            eprintln!("usage: lexlint check [--format text|json] [--fix-hints] [--root DIR] [--config FILE]");
+            eprintln!("{USAGE}");
             return 2;
         }
         Some(other) => {
             eprintln!("lexlint: unknown command `{other}` (try `check`)");
+            eprintln!("{USAGE}");
             return 2;
         }
     }
 
-    let mut format = Format::Text;
-    let mut fix_hints = false;
-    let mut root = PathBuf::from(".");
-    let mut config_path: Option<PathBuf> = None;
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--format" => match it.next().as_deref() {
-                Some("json") => format = Format::Json,
-                Some("text") => format = Format::Text,
-                other => {
-                    eprintln!("lexlint: --format expects `text` or `json`, got {other:?}");
-                    return 2;
-                }
-            },
-            "--fix-hints" => fix_hints = true,
-            "--root" => match it.next() {
-                Some(dir) => root = PathBuf::from(dir),
-                None => {
-                    eprintln!("lexlint: --root expects a directory");
-                    return 2;
-                }
-            },
-            "--config" => match it.next() {
-                Some(f) => config_path = Some(PathBuf::from(f)),
-                None => {
-                    eprintln!("lexlint: --config expects a file");
-                    return 2;
-                }
-            },
-            other => {
-                eprintln!("lexlint: unknown option `{other}`");
-                return 2;
-            }
+    let opts = match parse(it.collect()) {
+        Ok(opts) => opts,
+        Err(reason) => {
+            eprintln!("lexlint: {reason}");
+            eprintln!("{USAGE}");
+            return 2;
         }
-    }
+    };
 
-    let cfg_file = config_path.unwrap_or_else(|| root.join("lexlint.toml"));
+    let cfg_file = opts
+        .config_path
+        .clone()
+        .unwrap_or_else(|| opts.root.join("lexlint.toml"));
     let cfg = match config::load(&cfg_file) {
         Ok(cfg) => cfg,
         Err(e) => {
@@ -81,15 +154,65 @@ fn run(args: Vec<String>) -> i32 {
             return 2;
         }
     };
-    let findings = match check_workspace(&root, &cfg) {
-        Ok(f) => f,
+    let engine = EngineOptions {
+        threads: opts.threads,
+        cache_path: if opts.no_cache {
+            None
+        } else {
+            Some(
+                opts.cache
+                    .clone()
+                    .unwrap_or_else(|| opts.root.join(".lexlint-cache.json")),
+            )
+        },
+    };
+    let mut outcome = match check_workspace_with(&opts.root, &cfg, &engine) {
+        Ok(o) => o,
         Err(e) => {
             eprintln!("lexlint: {e}");
             return 2;
         }
     };
-    print!("{}", report::render(&findings, format, fix_hints));
-    if findings.is_empty() {
+
+    if opts.apply_fixes {
+        let applied = match fix::apply(&opts.root, &outcome.findings) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("lexlint: {e}");
+                return 2;
+            }
+        };
+        eprintln!(
+            "lexlint: applied {} autofix(es), {} stale",
+            applied.applied, applied.stale
+        );
+        // Re-run once so the report and exit code describe the
+        // post-fix tree.
+        outcome = match check_workspace_with(&opts.root, &cfg, &engine) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("lexlint: {e}");
+                return 2;
+            }
+        };
+    }
+
+    eprintln!(
+        "lexlint: {} file(s), {} analyzed, {} reused from cache",
+        outcome.total, outcome.analyzed, outcome.reused
+    );
+    print!(
+        "{}",
+        report::render(&outcome.findings, opts.format, opts.fix_hints)
+    );
+    if opts.fix_check {
+        let n = fix::applicable(&outcome.findings);
+        if n > 0 {
+            eprintln!("lexlint: {n} machine-applicable autofix(es) not applied (run `lexlint check --fix`)");
+            return 1;
+        }
+    }
+    if outcome.findings.is_empty() {
         0
     } else {
         1

@@ -1,14 +1,19 @@
-//! Rendering findings as human-readable text or line-delimited JSON.
+//! Rendering findings as human-readable text, line-delimited JSON, or
+//! a minimal SARIF 2.1.0 document for code-scanning upload.
 
-use crate::rules::Finding;
+use crate::rules::{self, Finding};
 
 /// Output format of the `check` command.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Format {
-    /// `file:line: [RULE] snippet` lines plus a summary.
+    /// `file:line: severity [RULE] snippet` lines plus a summary.
     Text,
-    /// One JSON object per finding: `{"rule", "file", "line", "snippet"}`.
+    /// One JSON object per finding:
+    /// `{"rule", "severity", "file", "line", "snippet", "hint", "suggestion"}`.
     Json,
+    /// A single SARIF 2.1.0 document (one run, all twelve rules
+    /// declared, one result per finding).
+    Sarif,
 }
 
 /// Renders findings to a string in the requested format.
@@ -16,6 +21,7 @@ pub fn render(findings: &[Finding], format: Format, fix_hints: bool) -> String {
     match format {
         Format::Text => render_text(findings, fix_hints),
         Format::Json => render_json(findings),
+        Format::Sarif => render_sarif(findings),
     }
 }
 
@@ -23,11 +29,18 @@ fn render_text(findings: &[Finding], fix_hints: bool) -> String {
     let mut out = String::new();
     for f in findings {
         out.push_str(&format!(
-            "{}:{}: [{}] {}\n",
-            f.file, f.line, f.rule, f.snippet
+            "{}:{}: {} [{}] {}\n",
+            f.file,
+            f.line,
+            rules::severity(f.rule),
+            f.rule,
+            f.snippet
         ));
         if fix_hints {
             out.push_str(&format!("    fix: {}\n", f.hint));
+            if let Some(s) = &f.suggestion {
+                out.push_str(&format!("    autofix: `{}` -> `{}`\n", s.find, s.replace));
+            }
         }
     }
     if findings.is_empty() {
@@ -51,14 +64,61 @@ fn render_text(findings: &[Finding], fix_hints: bool) -> String {
 fn render_json(findings: &[Finding]) -> String {
     let mut out = String::new();
     for f in findings {
+        let suggestion = match &f.suggestion {
+            None => "null".to_string(),
+            Some(s) => format!(
+                "{{\"find\":\"{}\",\"replace\":\"{}\"}}",
+                escape(&s.find),
+                escape(&s.replace)
+            ),
+        };
         out.push_str(&format!(
-            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"snippet\":\"{}\"}}\n",
+            "{{\"rule\":\"{}\",\"severity\":\"{}\",\"file\":\"{}\",\"line\":{},\"snippet\":\"{}\",\"hint\":\"{}\",\"suggestion\":{}}}\n",
             escape(f.rule),
+            rules::severity(f.rule),
             escape(&f.file),
             f.line,
-            escape(&f.snippet)
+            escape(&f.snippet),
+            escape(f.hint),
+            suggestion
         ));
     }
+    out
+}
+
+fn render_sarif(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    out.push_str("{\"version\":\"2.1.0\",");
+    out.push_str("\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",");
+    out.push_str("\"runs\":[{\"tool\":{\"driver\":{\"name\":\"lexlint\",\"rules\":[");
+    for (i, rule) in rules::RULE_IDS.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}}}}",
+            escape(rule),
+            escape(rules::hint_for(rule))
+        ));
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        // SARIF levels are `error` / `warning` / `note`; ours map 1:1.
+        out.push_str(&format!(
+            "{{\"ruleId\":\"{}\",\"level\":\"{}\",\"message\":{{\"text\":\"{}\"}},\
+             \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\"}},\
+             \"region\":{{\"startLine\":{}}}}}}}]}}",
+            escape(f.rule),
+            rules::severity(f.rule),
+            escape(&format!("{} — {}", f.snippet, f.hint)),
+            escape(&f.file),
+            f.line
+        ));
+    }
+    out.push_str("]}]}\n");
     out
 }
 
@@ -82,6 +142,7 @@ fn escape(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rules::Suggestion;
 
     fn one() -> Vec<Finding> {
         vec![Finding {
@@ -90,30 +151,75 @@ mod tests {
             line: 3,
             snippet: "if x == 0.0 { \"quoted\" }".to_string(),
             hint: "use a tolerance",
+            suggestion: None,
         }]
     }
 
     #[test]
-    fn text_contains_location_and_summary() {
+    fn text_contains_location_severity_and_summary() {
         let s = render(&one(), Format::Text, false);
-        assert!(s.contains("crates/a/src/lib.rs:3: [LX06]"));
+        assert!(s.contains("crates/a/src/lib.rs:3: error [LX06]"));
         assert!(s.contains("1 violation(s) (LX06: 1)"));
         assert!(!s.contains("fix:"));
     }
 
     #[test]
-    fn fix_hints_are_optional() {
+    fn fix_hints_are_optional_and_autofixes_shown() {
         let s = render(&one(), Format::Text, true);
         assert!(s.contains("fix: use a tolerance"));
+        assert!(!s.contains("autofix:"), "no suggestion attached");
+
+        let mut with_sug = one();
+        with_sug[0].suggestion = Some(Suggestion {
+            find: "HashMap".to_string(),
+            replace: "BTreeMap".to_string(),
+        });
+        let s = render(&with_sug, Format::Text, true);
+        assert!(s.contains("autofix: `HashMap` -> `BTreeMap`"));
     }
 
     #[test]
     fn json_is_one_record_per_line_with_escaping() {
         let s = render(&one(), Format::Json, false);
         let line = s.lines().next().unwrap_or("");
-        assert!(line.starts_with("{\"rule\":\"LX06\""));
+        assert!(line.starts_with("{\"rule\":\"LX06\",\"severity\":\"error\""));
         assert!(line.contains("\\\"quoted\\\""));
         assert!(line.contains("\"line\":3"));
+        assert!(line.contains("\"hint\":\"use a tolerance\""));
+        assert!(line.ends_with("\"suggestion\":null}"));
+    }
+
+    #[test]
+    fn json_serializes_suggestions_inline() {
+        let mut fs = one();
+        fs[0].suggestion = Some(Suggestion {
+            find: "a\"b".to_string(),
+            replace: "c".to_string(),
+        });
+        let s = render(&fs, Format::Json, false);
+        assert!(s.contains("\"suggestion\":{\"find\":\"a\\\"b\",\"replace\":\"c\"}"));
+    }
+
+    #[test]
+    fn sarif_declares_all_rules_and_locates_results() {
+        let s = render(&one(), Format::Sarif, false);
+        assert!(s.contains("\"version\":\"2.1.0\""));
+        for rule in rules::RULE_IDS {
+            assert!(s.contains(&format!("\"id\":\"{rule}\"")), "{rule} declared");
+        }
+        assert!(s.contains("\"ruleId\":\"LX06\""));
+        assert!(s.contains("\"uri\":\"crates/a/src/lib.rs\""));
+        assert!(s.contains("\"startLine\":3"));
+        // A warning-severity rule maps to SARIF level `warning`.
+        let warn = vec![Finding {
+            rule: "LX11",
+            file: "x.rs".to_string(),
+            line: 1,
+            snippet: "s".to_string(),
+            hint: "h",
+            suggestion: None,
+        }];
+        assert!(render(&warn, Format::Sarif, false).contains("\"level\":\"warning\""));
     }
 
     #[test]
@@ -121,5 +227,10 @@ mod tests {
         let s = render(&[], Format::Text, false);
         assert!(s.contains("clean"));
         assert!(render(&[], Format::Json, false).is_empty());
+        let sarif = render(&[], Format::Sarif, false);
+        assert!(
+            sarif.contains("\"results\":[]"),
+            "SARIF is always a document"
+        );
     }
 }

@@ -1,4 +1,6 @@
-//! The six lexlint rules, applied to one lexed file at a time.
+//! The per-file token rules LX01–LX06 (the symbol-aware rules LX07–
+//! LX12 live in [`crate::xrules`]), applied to one lexed file at a
+//! time.
 //!
 //! | rule | invariant |
 //! |------|-----------|
@@ -14,10 +16,43 @@
 //! `[[allow]]` entry in `lexlint.toml`. Both require a reason.
 
 use crate::config::Config;
-use crate::lexer::{lex, Comment, Tok, TokKind};
+use crate::lexer::{lex, Comment, Lexed, Tok, TokKind};
+
+/// Every rule id this engine knows, in report order.
+pub const RULE_IDS: &[&str] = &[
+    "LX01", "LX02", "LX03", "LX04", "LX05", "LX06", "LX07", "LX08", "LX09", "LX10", "LX11", "LX12",
+];
+
+/// Resolves a rule-id string to its canonical `&'static str` (used
+/// when findings are re-hydrated from the lint cache).
+pub fn rule_id(name: &str) -> Option<&'static str> {
+    RULE_IDS.iter().copied().find(|r| *r == name)
+}
+
+/// Report severity of a rule: advisory rules (justification-style,
+/// where the fix is a comment) are warnings, the rest are errors.
+/// Every finding fails the run either way — severity feeds CI
+/// annotation levels, not the exit code.
+pub fn severity(rule: &str) -> &'static str {
+    match rule {
+        "LX05" | "LX11" => "warning",
+        _ => "error",
+    }
+}
+
+/// A machine-applicable replacement on the finding's line: substitute
+/// the first occurrence of `find` with `replace`. Only attached when
+/// the rewrite is provably behavior-preserving (`--fix` applies them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suggestion {
+    /// Exact substring of the source line to replace.
+    pub find: String,
+    /// Replacement text.
+    pub replace: String,
+}
 
 /// One rule violation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     /// Rule id, e.g. `"LX02"`.
     pub rule: &'static str,
@@ -29,6 +64,8 @@ pub struct Finding {
     pub snippet: String,
     /// A one-line suggested fix.
     pub hint: &'static str,
+    /// Machine-applicable fix, when the rewrite is mechanical.
+    pub suggestion: Option<Suggestion>,
 }
 
 /// How a file participates in the rules.
@@ -54,26 +91,33 @@ pub fn role_of(file: &str) -> FileRole {
 /// Checks one file's source text; returns surviving findings (inline
 /// and config suppressions already applied).
 pub fn check_file(file: &str, src: &str, cfg: &Config) -> Vec<Finding> {
-    let lexed = lex(src);
+    check_lexed(file, src, &lex(src), cfg)
+}
+
+/// [`check_file`] on an already-lexed file — the engine lexes once and
+/// shares the token stream between this pass and [`crate::xrules`].
+pub fn check_lexed(file: &str, src: &str, lexed: &Lexed, cfg: &Config) -> Vec<Finding> {
     let lines: Vec<&str> = src.lines().collect();
     let role = role_of(file);
     let test_regions = test_mod_regions(&lexed.toks);
     let in_test = |line: usize| test_regions.iter().any(|&(a, b)| line >= a && line <= b);
 
     let mut raw: Vec<Finding> = Vec::new();
-    let mut push = |rule: &'static str, line: usize, hint: &'static str| {
-        let snippet = lines
-            .get(line.saturating_sub(1))
-            .map(|l| l.trim().to_string())
-            .unwrap_or_default();
-        raw.push(Finding {
-            rule,
-            file: file.to_string(),
-            line,
-            snippet,
-            hint,
-        });
-    };
+    let mut push =
+        |rule: &'static str, line: usize, hint: &'static str, sug: Option<Suggestion>| {
+            let snippet = lines
+                .get(line.saturating_sub(1))
+                .map(|l| l.trim().to_string())
+                .unwrap_or_default();
+            raw.push(Finding {
+                rule,
+                file: file.to_string(),
+                line,
+                snippet,
+                hint,
+                suggestion: sug,
+            });
+        };
 
     let toks = &lexed.toks;
     for (i, t) in toks.iter().enumerate() {
@@ -90,6 +134,7 @@ pub fn check_file(file: &str, src: &str, cfg: &Config) -> Vec<Finding> {
                         "LX01",
                         t.line,
                         "handle the None/Err arm explicitly (match / let-else / unwrap_or_else), or allowlist with a reason",
+                        None,
                     );
                 }
                 // LX02: NaN-swallowing chains off partial_cmp.
@@ -99,6 +144,7 @@ pub fn check_file(file: &str, src: &str, cfg: &Config) -> Vec<Finding> {
                             "LX02",
                             line,
                             "use f64::total_cmp (or lexcache_core::float_ord::total_cmp_f64) so NaNs order deterministically",
+                            None,
                         );
                     }
                 }
@@ -107,10 +153,21 @@ pub fn check_file(file: &str, src: &str, cfg: &Config) -> Vec<Finding> {
                     && cfg.lx03_applies(file)
                     && !in_test(t.line)
                 {
+                    // Mechanical rewrite: the BTree twins live in
+                    // std::collections too, so even `use` lines fix up.
+                    let replace = if t.text == "HashMap" {
+                        "BTreeMap"
+                    } else {
+                        "BTreeSet"
+                    };
                     push(
                         "LX03",
                         t.line,
                         "use BTreeMap/BTreeSet (or an explicitly seeded hasher) — default-hasher iteration order is randomized per process",
+                        Some(Suggestion {
+                            find: t.text.clone(),
+                            replace: replace.to_string(),
+                        }),
                     );
                 }
                 // LX04: unseeded randomness outside tests.
@@ -127,6 +184,7 @@ pub fn check_file(file: &str, src: &str, cfg: &Config) -> Vec<Finding> {
                             "LX04",
                             t.line,
                             "seed the generator from the episode/config seed (e.g. StdRng::seed_from_u64) so runs are reproducible",
+                            None,
                         );
                     }
                 }
@@ -140,6 +198,7 @@ pub fn check_file(file: &str, src: &str, cfg: &Config) -> Vec<Finding> {
                         "LX05",
                         t.line,
                         "add `// lexlint: why <reason>` on the same or preceding line, or remove the allow",
+                        None,
                     );
                 }
             }
@@ -150,6 +209,7 @@ pub fn check_file(file: &str, src: &str, cfg: &Config) -> Vec<Finding> {
                         "LX06",
                         t.line,
                         "compare with an explicit tolerance, use total_cmp, or justify with `// lexlint: allow(LX06): <reason>`",
+                        None,
                     );
                 }
             }
@@ -163,13 +223,33 @@ pub fn check_file(file: &str, src: &str, cfg: &Config) -> Vec<Finding> {
         .collect()
 }
 
+/// The canonical hint text for a rule — used to re-hydrate cached
+/// findings without storing the (static) hint per entry.
+pub fn hint_for(rule: &str) -> &'static str {
+    match rule {
+        "LX01" => "handle the None/Err arm explicitly (match / let-else / unwrap_or_else), or allowlist with a reason",
+        "LX02" => "use f64::total_cmp (or lexcache_core::float_ord::total_cmp_f64) so NaNs order deterministically",
+        "LX03" => "use BTreeMap/BTreeSet (or an explicitly seeded hasher) — default-hasher iteration order is randomized per process",
+        "LX04" => "seed the generator from the episode/config seed (e.g. StdRng::seed_from_u64) so runs are reproducible",
+        "LX05" => "add `// lexlint: why <reason>` on the same or preceding line, or remove the allow",
+        "LX06" => "compare with an explicit tolerance, use total_cmp, or justify with `// lexlint: allow(LX06): <reason>`",
+        "LX07" => "route timing through obs::Stopwatch — the raw clock boundary is crates/runner/src/clock.rs (lexlint.toml [lx07])",
+        "LX08" => "drop or narrow the held MutexGuard before acquiring another lock or waiting — nested guards deadlock pool-shaped code",
+        "LX09" => "use the scoped pool (lexcache_runner::map_indexed / run_robust) instead of raw std::thread::spawn",
+        "LX10" => "read configuration through bench::cli::env_var so every knob is a visible, reproducible input",
+        "LX11" => "a Relaxed load feeding a branch needs `// lexlint: why <reason>` (or a stronger ordering)",
+        "LX12" => "route results/ writes through lexcache_runner::atomic_write (temp + rename) so readers never see a torn file",
+        _ => "see the lexlint rules table in README.md",
+    }
+}
+
 /// Whether the token before `i` is a `.` (method-call position).
-fn prev_is_dot(toks: &[Tok], i: usize) -> bool {
+pub(crate) fn prev_is_dot(toks: &[Tok], i: usize) -> bool {
     i > 0 && toks[i - 1].is_punct(".")
 }
 
 /// Whether the token after `i` is the punct `p`.
-fn next_is(toks: &[Tok], i: usize, p: &str) -> bool {
+pub(crate) fn next_is(toks: &[Tok], i: usize, p: &str) -> bool {
     toks.get(i + 1).map(|t| t.is_punct(p)).unwrap_or(false)
 }
 
@@ -307,7 +387,7 @@ fn float_operand(toks: &[Tok], i: usize) -> bool {
 }
 
 /// Line ranges (inclusive) of `#[cfg(test)] mod … { … }` bodies.
-fn test_mod_regions(toks: &[Tok]) -> Vec<(usize, usize)> {
+pub(crate) fn test_mod_regions(toks: &[Tok]) -> Vec<(usize, usize)> {
     let mut regions = Vec::new();
     let mut i = 0;
     while i < toks.len() {
@@ -419,7 +499,7 @@ fn skip_attribute(toks: &[Tok], i: usize) -> usize {
 }
 
 /// Whether a `// lexlint: why …` comment sits on `line` or `line-1`.
-fn has_why_comment(comments: &[Comment], line: usize) -> bool {
+pub(crate) fn has_why_comment(comments: &[Comment], line: usize) -> bool {
     comments.iter().any(|c| {
         (c.line == line || c.line + 1 == line)
             && c.text.contains("lexlint: why")
@@ -429,7 +509,7 @@ fn has_why_comment(comments: &[Comment], line: usize) -> bool {
 
 /// Whether a finding is suppressed by `// lexlint: allow(LXnn): …` on
 /// its own or the preceding line.
-fn inline_suppressed(comments: &[Comment], f: &Finding) -> bool {
+pub(crate) fn inline_suppressed(comments: &[Comment], f: &Finding) -> bool {
     let marker = format!("lexlint: allow({})", f.rule);
     comments.iter().any(|c| {
         (c.line == f.line || c.line + 1 == f.line)

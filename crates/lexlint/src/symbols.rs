@@ -1,0 +1,110 @@
+//! The workspace symbol table: what one file must know about the
+//! others before cross-file rules can run.
+//!
+//! Built from every target file's [`FileAst`](crate::parse::FileAst)
+//! in canonical path order, it records the `pub fn` surface of the
+//! workspace — in particular which functions return a `MutexGuard`, so
+//! LX08 can treat `bin_state()` the same as a literal `.lock()` call —
+//! and digests that surface with the journal's FNV-1a hash. The digest
+//! keys the incremental cache: editing a file invalidates only that
+//! file *unless* the edit changes a `pub fn` signature, in which case
+//! every cached verdict that might have depended on it is discarded.
+
+use crate::parse::FileAst;
+use std::collections::BTreeSet;
+
+/// Cross-file facts the rules consult.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// Names of `pub fn`s anywhere in the workspace whose return type
+    /// mentions `MutexGuard` — calling one acquires a lock.
+    pub guard_fns: BTreeSet<String>,
+    /// FNV-1a digest over every `pub fn` signature (file, name, return
+    /// tokens), in canonical file order.
+    pub digest: u64,
+}
+
+impl SymbolTable {
+    /// Whether calling `name` is known to acquire a `MutexGuard`.
+    pub fn acquires_guard(&self, name: &str) -> bool {
+        self.guard_fns.contains(name)
+    }
+}
+
+/// Builds the table from `(workspace-relative path, ast)` pairs, which
+/// must already be in canonical (sorted-path) order so the digest is
+/// deterministic.
+pub fn build<'a, I>(files: I) -> SymbolTable
+where
+    I: IntoIterator<Item = (&'a str, &'a FileAst)>,
+{
+    let mut guard_fns = BTreeSet::new();
+    let mut sig = String::new();
+    for (file, ast) in files {
+        for f in &ast.fns {
+            if !f.is_pub {
+                continue;
+            }
+            sig.push_str(file);
+            sig.push_str("::");
+            sig.push_str(&f.name);
+            sig.push_str(" -> ");
+            sig.push_str(&f.ret.join(" "));
+            sig.push('\n');
+            if f.ret.iter().any(|t| t == "MutexGuard") {
+                guard_fns.insert(f.name.clone());
+            }
+        }
+    }
+    SymbolTable {
+        guard_fns,
+        digest: lexcache_runner::fnv1a64(sig.as_bytes()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse;
+
+    fn ast(src: &str) -> FileAst {
+        parse(&lex(src).toks)
+    }
+
+    #[test]
+    fn pub_guard_returning_fns_are_indexed() {
+        let a = ast(
+            "pub fn bin_state() -> MutexGuard<'static, u8> { S.lock().unwrap() }\n\
+             fn private_lock() -> MutexGuard<'static, u8> { S.lock().unwrap() }\n\
+             pub fn plain() -> u8 { 1 }\n",
+        );
+        let table = build([("crates/a/src/lib.rs", &a)]);
+        assert!(table.acquires_guard("bin_state"));
+        assert!(
+            !table.acquires_guard("private_lock"),
+            "private fns are per-file knowledge, not workspace symbols"
+        );
+        assert!(!table.acquires_guard("plain"));
+    }
+
+    #[test]
+    fn digest_ignores_bodies_but_tracks_signatures() {
+        let a1 = ast("pub fn f() -> u8 { 1 }");
+        let a2 = ast("pub fn f() -> u8 { 2 }");
+        let a3 = ast("pub fn f() -> u16 { 1 }");
+        let d1 = build([("x.rs", &a1)]).digest;
+        let d2 = build([("x.rs", &a2)]).digest;
+        let d3 = build([("x.rs", &a3)]).digest;
+        assert_eq!(d1, d2, "body edits keep the symbol surface stable");
+        assert_ne!(d1, d3, "signature edits change the digest");
+    }
+
+    #[test]
+    fn empty_workspace_digests_consistently() {
+        let t1 = build(std::iter::empty());
+        let t2 = build(std::iter::empty());
+        assert_eq!(t1.digest, t2.digest);
+        assert!(t1.guard_fns.is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! Incremental-cache integration tests: a synthetic workspace in a
+//! temp directory, linted through the real binary with a real cache
+//! file. The invariants under test are the ISSUE acceptance criteria:
+//! a warm re-run re-analyzes zero unchanged files while producing a
+//! byte-identical report; editing one file re-analyzes only that file;
+//! and config edits cold-start the whole cache.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+struct Ws {
+    root: PathBuf,
+}
+
+impl Ws {
+    fn new(name: &str) -> Ws {
+        let root = std::env::temp_dir().join(format!("lexlint-it-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(root.join("src")).expect("mkdir");
+        std::fs::write(root.join("lexlint.toml"), "[lx03]\npaths = [\"src\"]\n").expect("config");
+        std::fs::write(
+            root.join("src/clean.rs"),
+            "pub fn twice(x: u32) -> u32 {\n    x * 2\n}\n",
+        )
+        .expect("clean");
+        std::fs::write(
+            root.join("src/dirty.rs"),
+            "use std::collections::HashMap;\n\
+             pub fn counts() -> HashMap<u32, u32> {\n    HashMap::new()\n}\n",
+        )
+        .expect("dirty");
+        Ws { root }
+    }
+
+    fn run(&self, extra: &[&str]) -> Output {
+        let root = self.root.display().to_string();
+        let cache = self.root.join(".lexlint-cache.json").display().to_string();
+        let mut args = vec![
+            "check", "--root", &root, "--cache", &cache, "--format", "json",
+        ];
+        args.extend_from_slice(extra);
+        Command::new(env!("CARGO_BIN_EXE_lexlint"))
+            .args(&args)
+            .output()
+            .expect("spawn lexlint")
+    }
+}
+
+impl Drop for Ws {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+/// Extracts (total, analyzed, reused) from the stats line on stderr:
+/// `lexlint: N file(s), A analyzed, R reused from cache`.
+fn stats(out: &Output) -> (usize, usize, usize) {
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let line = stderr
+        .lines()
+        .find(|l| l.contains("analyzed") && l.contains("reused"))
+        .unwrap_or_else(|| panic!("no stats line in:\n{stderr}"));
+    let nums: Vec<usize> = line
+        .split(|c: char| !c.is_ascii_digit())
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().expect("number"))
+        .collect();
+    (nums[0], nums[1], nums[2])
+}
+
+#[test]
+fn warm_run_reuses_everything_with_byte_identical_report() {
+    let ws = Ws::new("warm");
+    let cold = ws.run(&[]);
+    assert_eq!(cold.status.code(), Some(1), "LX03 findings expected");
+    assert_eq!(stats(&cold), (2, 2, 0), "cold run analyzes everything");
+
+    let warm = ws.run(&[]);
+    assert_eq!(warm.status.code(), Some(1));
+    assert_eq!(stats(&warm), (2, 0, 2), "warm run re-analyzes nothing");
+    assert_eq!(
+        cold.stdout, warm.stdout,
+        "warm report must be byte-identical to the cold one"
+    );
+}
+
+#[test]
+fn editing_one_file_reanalyzes_only_that_file() {
+    let ws = Ws::new("edit");
+    let cold = ws.run(&[]);
+    assert_eq!(stats(&cold), (2, 2, 0));
+
+    // A comment-only edit: verdicts stay the same, digest does not.
+    std::fs::write(
+        ws.root.join("src/clean.rs"),
+        "// touched\npub fn twice(x: u32) -> u32 {\n    x * 2\n}\n",
+    )
+    .expect("edit");
+    let after = ws.run(&[]);
+    assert_eq!(stats(&after), (2, 1, 1), "one miss, one hit");
+    assert_eq!(
+        cold.stdout, after.stdout,
+        "clean-file edit must not change the findings"
+    );
+}
+
+#[test]
+fn config_change_cold_starts_the_cache() {
+    let ws = Ws::new("config");
+    let cold = ws.run(&[]);
+    assert_eq!(stats(&cold), (2, 2, 0));
+
+    // Allowlisting the HashMap sites changes what the rules produce, so
+    // every cached verdict keyed by the old config must be discarded.
+    std::fs::write(
+        ws.root.join("lexlint.toml"),
+        "[lx03]\npaths = [\"src\"]\n\n[[allow]]\nrule = \"LX03\"\nfile = \"src/dirty.rs\"\n\
+         pattern = \"HashMap\"\nreason = \"cache test: vetted\"\n",
+    )
+    .expect("config edit");
+    let after = ws.run(&[]);
+    assert_eq!(stats(&after), (2, 2, 0), "config digest cold-starts");
+    assert_eq!(after.status.code(), Some(0), "allowlist neutralizes LX03");
+}
+
+#[test]
+fn symbol_surface_change_cold_starts_the_cache() {
+    let ws = Ws::new("symbols");
+    let cold = ws.run(&[]);
+    assert_eq!(stats(&cold), (2, 2, 0));
+
+    // Adding a pub fn whose signature returns a MutexGuard changes the
+    // workspace symbol surface other files' LX08 verdicts depend on.
+    std::fs::write(
+        ws.root.join("src/clean.rs"),
+        "pub fn twice(x: u32) -> u32 {\n    x * 2\n}\n\
+         pub fn guard() -> std::sync::MutexGuard<'static, u8> {\n    todo!()\n}\n",
+    )
+    .expect("edit");
+    let after = ws.run(&[]);
+    assert_eq!(
+        stats(&after),
+        (2, 2, 0),
+        "signature edits invalidate every file, not just the edited one"
+    );
+}
+
+#[test]
+fn no_cache_flag_skips_the_cache_file() {
+    let ws = Ws::new("nocache");
+    let out = ws.run(&["--no-cache"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        !Path::new(&ws.root.join(".lexlint-cache.json")).exists(),
+        "--no-cache must not write a cache file"
+    );
+}

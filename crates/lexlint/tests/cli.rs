@@ -1,6 +1,9 @@
 //! End-to-end CLI tests: run the built `lexlint` binary against the
 //! deliberately-dirty mini workspace in `tests/fixtures/ws/` and
-//! against this repository itself.
+//! against this repository itself. Runs here pass `--no-cache` so the
+//! checked-in fixture tree and the repository stay byte-identical;
+//! cache behaviour is exercised in `tests/cache.rs` against a copy in
+//! a temp directory.
 
 use std::path::Path;
 use std::process::{Command, Output};
@@ -21,10 +24,12 @@ fn fixture_ws() -> String {
 
 #[test]
 fn dirty_workspace_exits_nonzero_with_text_findings() {
-    let out = lexlint(&["check", "--root", &fixture_ws()]);
+    let out = lexlint(&["check", "--no-cache", "--root", &fixture_ws()]);
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8(out.stdout).expect("utf-8");
-    for rule in ["LX01", "LX03", "LX06"] {
+    for rule in [
+        "LX01", "LX03", "LX06", "LX07", "LX08", "LX09", "LX10", "LX11", "LX12",
+    ] {
         assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
     }
     // The config-allowlisted sentinel comparison must not surface.
@@ -36,28 +41,84 @@ fn dirty_workspace_exits_nonzero_with_text_findings() {
 
 #[test]
 fn json_format_emits_one_record_per_finding() {
-    let out = lexlint(&["check", "--root", &fixture_ws(), "--format", "json"]);
+    let out = lexlint(&[
+        "check",
+        "--no-cache",
+        "--root",
+        &fixture_ws(),
+        "--format",
+        "json",
+    ]);
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8(out.stdout).expect("utf-8");
     let records: Vec<&str> = stdout.lines().filter(|l| !l.is_empty()).collect();
-    assert!(records.len() >= 4, "expected >=4 findings, got:\n{stdout}");
+    assert!(records.len() >= 9, "expected >=9 findings, got:\n{stdout}");
     for rec in records {
         assert!(
             rec.starts_with('{') && rec.ends_with('}'),
             "not an object: {rec}"
         );
-        for key in ["\"rule\"", "\"file\"", "\"line\"", "\"snippet\""] {
+        for key in [
+            "\"rule\"",
+            "\"severity\"",
+            "\"file\"",
+            "\"line\"",
+            "\"snippet\"",
+            "\"hint\"",
+            "\"suggestion\"",
+        ] {
             assert!(rec.contains(key), "missing {key} in {rec}");
         }
     }
 }
 
 #[test]
+fn sarif_format_is_one_document() {
+    let out = lexlint(&[
+        "check",
+        "--no-cache",
+        "--root",
+        &fixture_ws(),
+        "--format=sarif",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    assert!(stdout.contains("\"version\":\"2.1.0\""));
+    assert!(stdout.contains("\"ruleId\":\"LX07\""), "sarif:\n{stdout}");
+    assert!(stdout.contains("src/bad.rs"));
+}
+
+#[test]
 fn fix_hints_add_suggestions() {
-    let out = lexlint(&["check", "--root", &fixture_ws(), "--fix-hints"]);
+    let out = lexlint(&[
+        "check",
+        "--no-cache",
+        "--root",
+        &fixture_ws(),
+        "--fix-hints",
+    ]);
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8(out.stdout).expect("utf-8");
     assert!(stdout.contains("fix:"), "no hints in:\n{stdout}");
+}
+
+#[test]
+fn fix_check_reports_unapplied_autofixes() {
+    // The ws fixture has LX03 findings with machine-applicable
+    // suggestions, so check mode must fail and say why.
+    let out = lexlint(&[
+        "check",
+        "--no-cache",
+        "--root",
+        &fixture_ws(),
+        "--fix-check",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).expect("utf-8");
+    assert!(
+        stderr.contains("autofix") && stderr.contains("--fix"),
+        "stderr:\n{stderr}"
+    );
 }
 
 #[test]
@@ -68,18 +129,75 @@ fn this_repository_is_clean() {
         .expect("workspace root")
         .display()
         .to_string();
-    let out = lexlint(&["check", "--root", &root]);
+    let out = lexlint(&["check", "--no-cache", "--root", &root]);
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert_eq!(out.status.code(), Some(0), "findings:\n{stdout}");
 }
 
 #[test]
-fn usage_errors_exit_two() {
-    assert_eq!(lexlint(&[]).status.code(), Some(2));
-    assert_eq!(lexlint(&["bogus"]).status.code(), Some(2));
-    assert_eq!(
-        lexlint(&["check", "--format", "yaml"]).status.code(),
-        Some(2)
-    );
+fn usage_errors_exit_two_with_usage_text() {
+    // The strictness contract mirrors bench::cli: unknown flags and
+    // malformed values print the reason plus usage and exit 2.
+    for bad in [
+        vec![],
+        vec!["bogus"],
+        vec!["check", "--format", "yaml"],
+        vec!["check", "--format"],
+        vec!["check", "--bogus-flag"],
+        vec!["check", "--threads", "0"],
+        vec!["check", "--threads", "many"],
+        vec!["check", "--threads"],
+        vec!["check", "--fix-hints=1"],
+        vec!["check", "--fix", "--fix-check"],
+        vec!["check", "--cache"],
+    ] {
+        let out = lexlint(&bad);
+        assert_eq!(out.status.code(), Some(2), "args {bad:?} should exit 2");
+        let stderr = String::from_utf8(out.stderr).expect("utf-8");
+        assert!(
+            stderr.contains("usage: lexlint check"),
+            "args {bad:?} missing usage:\n{stderr}"
+        );
+    }
     assert_eq!(lexlint(&["--help"]).status.code(), Some(0));
+}
+
+#[test]
+fn flag_equals_value_form_is_accepted() {
+    let out = lexlint(&[
+        "check",
+        "--no-cache",
+        &format!("--root={}", fixture_ws()),
+        "--format=json",
+        "--threads=2",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    assert!(stdout.lines().next().unwrap_or("").starts_with('{'));
+}
+
+#[test]
+fn thread_count_does_not_change_the_report() {
+    let one = lexlint(&[
+        "check",
+        "--no-cache",
+        "--root",
+        &fixture_ws(),
+        "--threads",
+        "1",
+    ]);
+    let four = lexlint(&[
+        "check",
+        "--no-cache",
+        "--root",
+        &fixture_ws(),
+        "--threads",
+        "4",
+    ]);
+    assert_eq!(one.status.code(), four.status.code());
+    assert_eq!(
+        String::from_utf8_lossy(&one.stdout),
+        String::from_utf8_lossy(&four.stdout),
+        "parallel lint must be deterministic"
+    );
 }

@@ -1,0 +1,25 @@
+//! LX07 fixture: raw wall-clock reads outside the clock boundary.
+use std::time::Instant; // import-level finding
+
+pub fn bad_timing() -> f64 {
+    let start = std::time::Instant::now(); // finding with autofix
+    start.elapsed().as_secs_f64()
+}
+
+pub fn bad_wall() -> std::time::SystemTime {
+    // ret-type finding + call finding
+    std::time::SystemTime::now()
+}
+
+pub fn vetted() {
+    // lexlint: allow(LX07): fixture probe — measures the linter itself
+    let _ = std::time::Instant::now();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

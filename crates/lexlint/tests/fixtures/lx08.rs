@@ -1,0 +1,50 @@
+//! LX08 fixture: lock discipline — nested guards and condvar waits.
+use std::sync::{Condvar, Mutex};
+
+pub fn nested_guards(a: &Mutex<u8>, b: &Mutex<u8>) -> u8 {
+    let ga = a.lock().unwrap_or_else(|p| p.into_inner());
+    let gb = b.lock().unwrap_or_else(|p| p.into_inner()); // finding: second guard
+    *ga + *gb
+}
+
+pub fn wait_with_extra(q: &(Mutex<bool>, Condvar), m: &Mutex<u8>) {
+    let g = q.0.lock().unwrap_or_else(|p| p.into_inner());
+    let extra = m.lock().unwrap_or_else(|p| p.into_inner()); // finding: second guard
+    let _g = q.1.wait(g).unwrap_or_else(|p| p.into_inner()); // finding: wait holding `extra`
+    drop(extra);
+}
+
+pub fn sequential_scopes(a: &Mutex<u8>, b: &Mutex<u8>) -> u8 {
+    let mut total = 0;
+    {
+        let ga = a.lock().unwrap_or_else(|p| p.into_inner());
+        total += *ga;
+    }
+    {
+        let gb = b.lock().unwrap_or_else(|p| p.into_inner());
+        total += *gb;
+    }
+    total
+}
+
+pub fn explicit_drop(a: &Mutex<u8>, b: &Mutex<u8>) {
+    let ga = a.lock().unwrap_or_else(|p| p.into_inner());
+    drop(ga);
+    let gb = b.lock().unwrap_or_else(|p| p.into_inner());
+    drop(gb);
+}
+
+pub fn condvar_idiom(q: &(Mutex<bool>, Condvar)) {
+    let mut done = q.0.lock().unwrap_or_else(|p| p.into_inner());
+    while !*done {
+        done = q.1.wait(done).unwrap_or_else(|p| p.into_inner());
+    }
+}
+
+pub fn vetted(a: &Mutex<u8>, b: &Mutex<u8>) {
+    let ga = a.lock().unwrap_or_else(|p| p.into_inner());
+    // lexlint: allow(LX08): fixture probe — a→b order holds everywhere
+    let gb = b.lock().unwrap_or_else(|p| p.into_inner());
+    drop(gb);
+    drop(ga);
+}

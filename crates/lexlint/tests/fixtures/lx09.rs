@@ -1,0 +1,28 @@
+//! LX09 fixture: raw thread spawns vs the scoped pool.
+use std::thread::spawn; // import-level finding
+
+pub fn bad_spawn() {
+    let handle = std::thread::spawn(|| 1); // finding
+    let _ = handle.join();
+}
+
+pub fn good_scoped() {
+    std::thread::scope(|s| {
+        s.spawn(|| 2);
+    });
+}
+
+pub fn vetted() {
+    // lexlint: allow(LX09): fixture probe — joined immediately below
+    let handle = std::thread::spawn(|| 3);
+    let _ = handle.join();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn spawning_in_tests_is_fine() {
+        let handle = std::thread::spawn(|| 4);
+        let _ = handle.join();
+    }
+}

@@ -1,0 +1,23 @@
+//! LX10 fixture: hidden env configuration vs the audited gateway.
+use std::env::var; // import-level finding
+
+pub fn bad_env() -> Option<String> {
+    std::env::var("LEXCACHE_HIDDEN").ok() // finding
+}
+
+pub fn args_are_fine() -> usize {
+    std::env::args().count()
+}
+
+pub fn vetted() -> Option<String> {
+    // lexlint: allow(LX10): fixture probe — documents the gateway rule
+    std::env::var("LEXCACHE_PROBE").ok()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn env_reads_in_tests_are_fine() {
+        let _ = std::env::var("LEXCACHE_TEST");
+    }
+}

@@ -1,0 +1,32 @@
+//! LX11 fixture: branch-feeding Relaxed loads need a why-comment.
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub fn bad_branch(flag: &AtomicBool) -> u64 {
+    if flag.load(Ordering::Relaxed) {
+        // finding above: Relaxed load in an `if` head, no why-comment
+        1
+    } else {
+        0
+    }
+}
+
+pub fn bad_predicate(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Relaxed) // finding: `-> bool` branches at call sites
+}
+
+pub fn justified(flag: &AtomicBool) -> u64 {
+    // lexlint: why a stale read only delays one poll tick, never a result
+    if flag.load(Ordering::Relaxed) {
+        1
+    } else {
+        0
+    }
+}
+
+pub fn straight_line(counter: &AtomicU64) -> u64 {
+    counter.load(Ordering::Relaxed)
+}
+
+pub fn acquire_in_branch(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Acquire)
+}

@@ -1,0 +1,24 @@
+//! LX12 fixture: raw writes into results/ vs atomic_write.
+
+pub fn bad_direct() {
+    let _ = std::fs::write("results/table.txt", "x"); // finding: literal path
+}
+
+pub fn bad_tainted() {
+    let path = format!("{}/fig.json", results_dir());
+    let tmp = format!("{path}.tmp");
+    let _ = std::fs::File::create(&tmp); // finding: transitive taint
+}
+
+pub fn good_elsewhere() {
+    let _ = std::fs::write("target/scratch.txt", "x");
+}
+
+pub fn vetted() {
+    // lexlint: allow(LX12): fixture probe — published via rename
+    let _ = std::fs::File::create("results/probe.tmp");
+}
+
+fn results_dir() -> &'static str {
+    "results"
+}

@@ -17,3 +17,31 @@ pub fn allowlisted_sentinel(x: f64) -> bool {
 pub fn counts() -> HashMap<u32, u32> {
     HashMap::new() // LX03
 }
+
+pub fn timing() -> std::time::Duration {
+    let start = std::time::Instant::now(); // LX07
+    start.elapsed()
+}
+
+pub fn two_guards(a: &std::sync::Mutex<u8>, b: &std::sync::Mutex<u8>) -> u8 {
+    let ga = a.lock().unwrap_or_else(|p| p.into_inner());
+    let gb = b.lock().unwrap_or_else(|p| p.into_inner()); // LX08
+    *ga + *gb
+}
+
+pub fn spawn_off() -> u8 {
+    let handle = std::thread::spawn(|| 1); // LX09
+    handle.join().unwrap_or(0)
+}
+
+pub fn hidden_knob() -> Option<String> {
+    std::env::var("WS_KNOB").ok() // LX10
+}
+
+pub fn busy(flag: &std::sync::atomic::AtomicBool) -> bool {
+    flag.load(std::sync::atomic::Ordering::Relaxed) // LX11
+}
+
+pub fn raw_results_write() {
+    let _ = std::fs::write("results/ws.txt", "x"); // LX12
+}

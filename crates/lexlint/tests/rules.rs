@@ -1,10 +1,12 @@
-//! Fixture-driven rule tests: each `tests/fixtures/lx0N.rs` file holds
+//! Fixture-driven rule tests: each `tests/fixtures/lxNN.rs` file holds
 //! positive sites (expected findings), inline-suppressed sites and one
-//! site the config allowlist below neutralizes.
+//! site the config allowlist below neutralizes. LX07–LX12 fixtures run
+//! through the symbol-aware engine (`xrules`) with a single-file
+//! symbol table.
 
 use lexlint::config;
 use lexlint::rules::check_file;
-use lexlint::Config;
+use lexlint::{lexer, parse, symbols, xrules, Config};
 
 /// Config used across fixtures: LX03 applies under the fixtures path,
 /// and one vetted exception per rule that advertises one.
@@ -98,6 +100,97 @@ fn lx06_fixture() {
     let path = "crates/lexlint/tests/fixtures/lx06.rs";
     assert_eq!(rule_count(path, src, &fixture_config(), "LX06"), 3);
     assert_eq!(rule_count(path, src, &Config::default(), "LX06"), 4);
+}
+
+fn xrule_count(file: &str, src: &str, cfg: &Config, rule: &str) -> usize {
+    let lexed = lexer::lex(src);
+    let ast = parse::parse(&lexed.toks);
+    let table = symbols::build([(file, &ast)]);
+    xrules::check_file_x(file, src, &lexed, &ast, &table, cfg)
+        .into_iter()
+        .filter(|f| f.rule == rule)
+        .count()
+}
+
+/// Config that allowlists the fixtures directory for one rule — the
+/// shape `lexlint.toml` uses for the real clock/pool/cli/journal
+/// boundaries.
+fn allow_fixture_dir(section: &str) -> Config {
+    config::parse(&format!(
+        "[{section}]\nallow_paths = [\"crates/lexlint/tests/fixtures\"]\n"
+    ))
+    .expect("allow config parses")
+}
+
+#[test]
+fn lx07_fixture() {
+    let src = include_str!("fixtures/lx07.rs");
+    let path = "crates/lexlint/tests/fixtures/lx07.rs";
+    // Import, Instant::now call, SystemTime ret type + call; the
+    // inline-allowed probe and the test module are exempt.
+    assert_eq!(xrule_count(path, src, &Config::default(), "LX07"), 4);
+    assert_eq!(
+        xrule_count(path, src, &allow_fixture_dir("lx07"), "LX07"),
+        0
+    );
+}
+
+#[test]
+fn lx08_fixture() {
+    let src = include_str!("fixtures/lx08.rs");
+    let path = "crates/lexlint/tests/fixtures/lx08.rs";
+    // Second guard in nested_guards; second guard + foreign-guard wait
+    // in wait_with_extra. Scoped, dropped and condvar-idiom fns stay
+    // clean, the vetted site is inline-allowed.
+    assert_eq!(xrule_count(path, src, &Config::default(), "LX08"), 3);
+}
+
+#[test]
+fn lx09_fixture() {
+    let src = include_str!("fixtures/lx09.rs");
+    let path = "crates/lexlint/tests/fixtures/lx09.rs";
+    // Import + raw spawn; scope.spawn, the vetted probe and the test
+    // module are exempt.
+    assert_eq!(xrule_count(path, src, &Config::default(), "LX09"), 2);
+    assert_eq!(
+        xrule_count(path, src, &allow_fixture_dir("lx09"), "LX09"),
+        0
+    );
+}
+
+#[test]
+fn lx10_fixture() {
+    let src = include_str!("fixtures/lx10.rs");
+    let path = "crates/lexlint/tests/fixtures/lx10.rs";
+    // Import + env::var call; env::args, the vetted probe and the test
+    // module are exempt.
+    assert_eq!(xrule_count(path, src, &Config::default(), "LX10"), 2);
+    assert_eq!(
+        xrule_count(path, src, &allow_fixture_dir("lx10"), "LX10"),
+        0
+    );
+}
+
+#[test]
+fn lx11_fixture() {
+    let src = include_str!("fixtures/lx11.rs");
+    let path = "crates/lexlint/tests/fixtures/lx11.rs";
+    // `if` head + `-> bool` predicate; the why-commented, straight-line
+    // and Acquire sites stay clean.
+    assert_eq!(xrule_count(path, src, &Config::default(), "LX11"), 2);
+}
+
+#[test]
+fn lx12_fixture() {
+    let src = include_str!("fixtures/lx12.rs");
+    let path = "crates/lexlint/tests/fixtures/lx12.rs";
+    // Literal results/ write + taint-tracked File::create; the
+    // target/ write and the vetted probe stay clean.
+    assert_eq!(xrule_count(path, src, &Config::default(), "LX12"), 2);
+    assert_eq!(
+        xrule_count(path, src, &allow_fixture_dir("lx12"), "LX12"),
+        0
+    );
 }
 
 #[test]

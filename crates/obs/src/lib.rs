@@ -11,9 +11,11 @@
 //! process-wide sink, set with [`install`], receives every event; with
 //! no sink installed (the default) every emit function returns after
 //! one relaxed atomic load, so the instrumented hot paths cost nothing
-//! measurable. Timing uses only the monotonic [`std::time::Instant`] —
-//! never the system date — and the event stream is deterministic in
-//! everything except the µs duration carried by span-exit events.
+//! measurable. Timing goes through the workspace's single monotonic
+//! clock boundary ([`Stopwatch`], re-exported from
+//! `lexcache_runner::clock`) — never the system date — and the event
+//! stream is deterministic in everything except the µs duration
+//! carried by span-exit events.
 //!
 //! # Example
 //!
@@ -50,7 +52,11 @@ pub use sink::{JsonlSink, NoopSink, SharedWriter, Sink, Tee};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
-use std::time::Instant;
+
+/// The workspace-wide monotonic stopwatch (re-exported from
+/// `lexcache_runner::clock` so instrumentation call sites never touch
+/// `std::time::Instant` directly — lexlint rule LX07).
+pub use lexcache_runner::clock::Stopwatch;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static SEQ: AtomicU64 = AtomicU64::new(0);
@@ -65,6 +71,7 @@ thread_local! {
 /// the formatting work entirely.
 #[inline]
 pub fn is_enabled() -> bool {
+    // lexlint: why gating only — a stale read skips or keeps one event, never a result
     ENABLED.load(Ordering::Relaxed)
 }
 
@@ -153,7 +160,7 @@ pub struct SpanGuard {
 
 struct SpanInner {
     name: String,
-    start: Instant,
+    start: Stopwatch,
     depth: u32,
 }
 
@@ -174,7 +181,7 @@ pub fn span(name: &str) -> SpanGuard {
     SpanGuard {
         inner: Some(SpanInner {
             name: name.to_string(),
-            start: Instant::now(),
+            start: Stopwatch::start(),
             depth,
         }),
     }
@@ -183,37 +190,11 @@ pub fn span(name: &str) -> SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(inner) = self.inner.take() {
-            let elapsed_us = inner.start.elapsed().as_secs_f64() * 1e6;
+            let elapsed_us = inner.start.elapsed_us();
             DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
             if is_enabled() {
                 emit(EventKind::SpanExit, &inner.name, elapsed_us, inner.depth);
             }
         }
-    }
-}
-
-/// A plain monotonic stopwatch for call sites that need the elapsed
-/// duration as a *value* (e.g. per-slot decide times stored in metrics)
-/// rather than as a span event. Allocation-free and independent of
-/// whether a sink is installed, so measurement code outside this crate
-/// never has to touch [`std::time::Instant`] directly.
-#[derive(Debug, Clone, Copy)]
-pub struct Stopwatch {
-    start: Instant,
-}
-
-impl Stopwatch {
-    /// Starts the stopwatch now.
-    #[inline]
-    pub fn start() -> Self {
-        Stopwatch {
-            start: Instant::now(),
-        }
-    }
-
-    /// Microseconds elapsed since [`Stopwatch::start`].
-    #[inline]
-    pub fn elapsed_us(&self) -> f64 {
-        self.start.elapsed().as_secs_f64() * 1e6
     }
 }

@@ -1,0 +1,94 @@
+//! The workspace's single wall-clock boundary.
+//!
+//! Every monotonic-time read in the workspace goes through
+//! [`Stopwatch`]; this file is the only place allowed to touch
+//! [`std::time::Instant`] directly (lexlint rule LX07 enforces that —
+//! see `lexlint.toml` `[lx07]`). Centralising the clock keeps the
+//! determinism audit surface to one file: timing can never leak into a
+//! seed, a reduction order, or a cached decision without passing
+//! through here.
+//!
+//! The stopwatch is `Copy`, allocation-free and independent of any
+//! observability sink, so it is safe to store in shared registries
+//! (e.g. the pool's in-flight cell map) and to read from watchdog
+//! threads.
+
+use std::time::{Duration, Instant};
+
+/// A plain monotonic stopwatch: starts on construction, reports the
+/// elapsed duration on demand. Never reads the system date.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts the stopwatch now.
+    #[inline]
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since [`Stopwatch::start`] as a [`Duration`].
+    #[inline]
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Nanoseconds elapsed since [`Stopwatch::start`].
+    #[inline]
+    pub fn elapsed_ns(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e9
+    }
+
+    /// Microseconds elapsed since [`Stopwatch::start`].
+    #[inline]
+    pub fn elapsed_us(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e6
+    }
+
+    /// Whole milliseconds elapsed since [`Stopwatch::start`].
+    #[inline]
+    pub fn elapsed_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone_nonnegative() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_ns();
+        let b = sw.elapsed_ns();
+        assert!(a >= 0.0 && a.is_finite());
+        assert!(b >= a, "monotonic clock never goes backwards");
+    }
+
+    #[test]
+    fn units_are_consistent() {
+        let sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(5));
+        let ns = sw.elapsed_ns();
+        let us = sw.elapsed_us();
+        let ms = sw.elapsed_ms();
+        assert!(ns >= 5e6, "slept at least 5 ms, got {ns} ns");
+        assert!(us >= 5e3 && us <= ns, "µs within ns bound");
+        assert!((ms as f64) * 1e6 <= ns * 1.01, "ms floor within ns bound");
+    }
+
+    #[test]
+    fn copy_semantics_share_the_start_point() {
+        let sw = Stopwatch::start();
+        let copy = sw;
+        // The copy shares the original's start instant, so a strictly
+        // later read must report at least as much elapsed time.
+        let first = sw.elapsed();
+        let second = copy.elapsed();
+        assert!(second >= first, "{second:?} < {first:?}");
+    }
+}

@@ -54,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod grid;
 pub mod journal;
 pub mod mini_json;
@@ -62,6 +63,7 @@ pub mod pool;
 pub mod report;
 pub mod stats;
 
+pub use clock::Stopwatch;
 pub use grid::{CellId, Grid};
 pub use journal::{atomic_write, fnv1a64, CellEntry, Journal, JournalWriter, SweepMeta};
 pub use outcome::{panic_message, CellEvent, CellOutcome, RunPolicy};

@@ -7,12 +7,13 @@
 //! lives in the caller; the pool only promises that every index runs
 //! exactly once and that the output `Vec` is canonical.
 
+use crate::clock::Stopwatch;
 use crate::outcome::{panic_message, CellEvent, CellOutcome, RunPolicy};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Condvar, Mutex, MutexGuard};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Worker count of the machine (≥ 1): `std::thread::available_parallelism`
 /// with a serial fallback when the platform cannot report it.
@@ -165,16 +166,16 @@ where
 /// which cells are currently executing and since when.
 #[derive(Debug, Default)]
 struct Inflight {
-    cells: Mutex<BTreeMap<usize, Instant>>,
+    cells: Mutex<BTreeMap<usize, Stopwatch>>,
 }
 
 impl Inflight {
-    fn lock(&self) -> MutexGuard<'_, BTreeMap<usize, Instant>> {
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<usize, Stopwatch>> {
         self.cells.lock().unwrap_or_else(|p| p.into_inner())
     }
 
     fn enter(&self, cell: usize) {
-        self.lock().insert(cell, Instant::now());
+        self.lock().insert(cell, Stopwatch::start());
     }
 
     fn exit(&self, cell: usize) {
@@ -214,9 +215,9 @@ where
         if let Some(inf) = inflight {
             inf.enter(cell);
         }
-        let started = Instant::now();
+        let started = Stopwatch::start();
         let run = catch_unwind(AssertUnwindSafe(|| f(cell)));
-        let elapsed_ms = started.elapsed().as_millis() as u64;
+        let elapsed_ms = started.elapsed_ms();
         if let Some(inf) = inflight {
             inf.exit(cell);
         }

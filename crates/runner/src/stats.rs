@@ -9,7 +9,7 @@
 //! or derive seeds from it — measured workloads take their seeds as
 //! plain inputs.
 
-use std::time::Instant;
+use crate::clock::Stopwatch;
 
 /// Iteration plan for one measured cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,9 +91,9 @@ pub fn summarize(iters: u64, ns_per_iter: &[f64]) -> Measurement {
 
 /// Times one closure call on the monotonic clock, in nanoseconds.
 pub fn time_once_ns<F: FnOnce()>(f: F) -> f64 {
-    let start = Instant::now();
+    let start = Stopwatch::start();
     f();
-    start.elapsed().as_secs_f64() * 1e9
+    start.elapsed_ns()
 }
 
 /// Measures `f` under `opts`: warmup, then `repeats` batches of
@@ -105,11 +105,11 @@ pub fn measure<F: FnMut()>(opts: BenchOpts, mut f: F) -> Measurement {
     let mut ns_per_iter = Vec::with_capacity(opts.repeats);
     let iters = opts.iters.max(1);
     for _ in 0..opts.repeats {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         for _ in 0..iters {
             f();
         }
-        let total_ns = start.elapsed().as_secs_f64() * 1e9;
+        let total_ns = start.elapsed_ns();
         ns_per_iter.push(total_ns / iters as f64);
     }
     summarize(iters, &ns_per_iter)

@@ -11,7 +11,10 @@ echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> lexlint"
-cargo run -q -p lexlint -- check
+# --fix-check also fails when a machine-applicable autofix is pending;
+# the incremental cache (.lexlint-cache.json, git-ignored) makes repeat
+# runs re-analyze only changed files.
+cargo run -q -p lexlint -- check --fix-check
 
 echo "==> cargo test"
 cargo test -q --workspace

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Runs lexlint over the workspace and re-emits every finding as a
+# GitHub Actions workflow command (::error / ::warning), so findings
+# show up as inline annotations on the PR diff. Exit status is
+# lexlint's own (0 clean, 1 findings, 2 usage/I-O error), so the CI
+# step still fails on violations.
+#
+# Usage: scripts/lint_annotations.sh [extra lexlint flags...]
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+out=$(cargo run -q -p lexlint -- check --format json "$@")
+status=$?
+
+printf '%s\n' "$out" | python3 -c '
+import json, sys
+
+def esc(s):
+    return s.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+for line in sys.stdin:
+    line = line.strip()
+    if not line:
+        continue
+    f = json.loads(line)
+    level = "error" if f["severity"] == "error" else "warning"
+    msg = esc(f"{f['rule']}: {f['snippet']} — fix: {f['hint']}")
+    print(f"::{level} file={f['file']},line={f['line']}::{msg}")
+'
+
+exit "$status"
