@@ -72,4 +72,5 @@ fn main() {
         .map(|&a| (a.name(), RunSpec::fig3(a)))
         .collect();
     maybe_obs_profile("ablation_cache", &profile);
+    bench::maybe_trace_export("ablation_cache");
 }

@@ -60,6 +60,7 @@ fn main() {
         ("Greedy_GD", RunSpec::fig3(Algo::GreedyGd)),
     ];
     maybe_obs_profile("ablation_delay_model", &profile);
+    bench::maybe_trace_export("ablation_delay_model");
 }
 
 fn run_with_model(algo: Algo, model: DelayModelKind, seed: u64) -> f64 {

@@ -55,4 +55,5 @@ fn main() {
         })
         .collect();
     maybe_obs_profile("ablation_epsilon", &profile);
+    bench::maybe_trace_export("ablation_epsilon");
 }

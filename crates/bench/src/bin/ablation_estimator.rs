@@ -58,4 +58,5 @@ fn main() {
         })
         .collect();
     maybe_obs_profile("ablation_estimator", &profile);
+    bench::maybe_trace_export("ablation_estimator");
 }

@@ -48,6 +48,7 @@ fn main() {
     bench::init_bin("ablation_faults");
     if bench::smoke_requested() {
         smoke();
+        bench::maybe_trace_export("ablation_faults");
         return;
     }
     let repeats = repeats().min(5);
@@ -106,6 +107,7 @@ fn main() {
         .map(|&a| (a.name(), spec_for(a, 0.1)))
         .collect();
     maybe_obs_profile("ablation_faults", &profile);
+    bench::maybe_trace_export("ablation_faults");
 }
 
 /// One tiny fault-injected episode per policy — fast enough for CI.

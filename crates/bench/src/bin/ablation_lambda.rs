@@ -45,4 +45,5 @@ fn main() {
         .map(|&(name, lambda, mu)| (name, RunSpec::fig6(Algo::OlGanWith { lambda, mu })))
         .collect();
     maybe_obs_profile("ablation_lambda", &profile);
+    bench::maybe_trace_export("ablation_lambda");
 }

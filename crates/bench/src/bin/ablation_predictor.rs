@@ -45,4 +45,5 @@ fn main() {
         .map(|&(name, algo)| (name, RunSpec::fig6(algo)))
         .collect();
     maybe_obs_profile("ablation_predictor", &profile);
+    bench::maybe_trace_export("ablation_predictor");
 }

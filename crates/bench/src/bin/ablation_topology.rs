@@ -91,4 +91,5 @@ fn main() {
         ("Greedy_GD", RunSpec::fig3(Algo::GreedyGd)),
     ];
     maybe_obs_profile("ablation_topology", &profile);
+    bench::maybe_trace_export("ablation_topology");
 }

@@ -149,6 +149,7 @@ fn main() {
             std::process::exit(2);
         }
     }
+    bench::maybe_trace_export("bench_runner");
 
     if update_baseline {
         if let Err(e) = lexcache_runner::atomic_write(std::path::Path::new(BASELINE_PATH), &json) {
@@ -188,12 +189,13 @@ fn main() {
         );
         return;
     }
-    // A freshly seeded repo ships an all-zero baseline; `compare` skips
-    // such cells, so say out loud that nothing was actually gated.
+    // An all-zero baseline means nothing would actually be gated;
+    // `compare` skips such cells, so a green exit here would read as
+    // "gate passed" in CI while measuring nothing. Fail loudly instead.
     if baseline.cells.iter().all(|c| c.ratio <= 0.0) {
-        println!("\nbaseline provisional (ratio<=0) — gate skipped");
-        println!("arm the gate: re-run with --update-baseline on a quiet machine and commit");
-        return;
+        eprintln!("bench gate: {BASELINE_PATH} is provisional (every ratio <= 0) — nothing gated");
+        eprintln!("regenerate it: run `bench_runner --update-baseline` on a quiet machine and commit {BASELINE_PATH}");
+        std::process::exit(2);
     }
     let cmp = compare(&baseline, &report, THRESHOLD_PCT);
     print!("\n{}", cmp.render());

@@ -70,4 +70,5 @@ fn main() {
         .map(|&a| (a.name(), RunSpec::fig3(a)))
         .collect();
     maybe_obs_profile("fig3", &profile);
+    bench::maybe_trace_export("fig3");
 }

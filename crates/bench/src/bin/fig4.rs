@@ -84,4 +84,5 @@ fn main() {
         .map(|&a| (a.name(), RunSpec::fig3(a)))
         .collect();
     maybe_obs_profile("fig4", &profile);
+    bench::maybe_trace_export("fig4");
 }

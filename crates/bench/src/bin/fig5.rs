@@ -88,4 +88,5 @@ fn main() {
     maybe_write_json("fig5", &json);
     let profile: Vec<(&str, RunSpec)> = algos.iter().map(|&a| (a.name(), as_spec(a))).collect();
     maybe_obs_profile("fig5", &profile);
+    bench::maybe_trace_export("fig5");
 }

@@ -84,4 +84,5 @@ fn main() {
         .map(|&a| (a.name(), RunSpec::fig6(a)))
         .collect();
     maybe_obs_profile("fig6", &profile);
+    bench::maybe_trace_export("fig6");
 }

@@ -116,4 +116,5 @@ fn main() {
         .map(|&a| (a.name(), RunSpec::fig6(a)))
         .collect();
     maybe_obs_profile("fig7", &profile);
+    bench::maybe_trace_export("fig7");
 }

@@ -96,5 +96,6 @@ fn main() {
         println!("  ARMA (Eq.27): {:.2}", mae(&aa, &ac));
     }
 
-    bench::maybe_obs_finish("prediction_mae", obs_session);
+    bench::maybe_obs_finish(obs_session);
+    bench::maybe_trace_export("prediction_mae");
 }

@@ -100,4 +100,5 @@ fn main() {
     );
 
     maybe_obs_profile("regret_bound", &[("OL_GD", spec.clone())]);
+    bench::maybe_trace_export("regret_bound");
 }

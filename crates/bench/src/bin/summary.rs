@@ -75,4 +75,5 @@ fn main() {
         ("OL_Reg", RunSpec::fig6(Algo::OlReg)),
     ];
     maybe_obs_profile("summary", &profile);
+    bench::maybe_trace_export("summary");
 }

@@ -9,8 +9,9 @@
 //!
 //! Flags win over their environment-variable twins (`LEXCACHE_SEED`,
 //! `LEXCACHE_JSON`, `LEXCACHE_THREADS`, `LEXCACHE_RETRIES`,
-//! `LEXCACHE_CELL_BUDGET_MS`, `LEXCACHE_RESUME`, `LEXCACHE_JOURNAL`),
-//! which stay supported so existing scripts keep working.
+//! `LEXCACHE_CELL_BUDGET_MS`, `LEXCACHE_RESUME`, `LEXCACHE_JOURNAL`,
+//! `LEXCACHE_TRACE`), which stay supported so existing scripts keep
+//! working.
 
 /// One-screen flag reference printed by `--help` and after parse
 /// errors.
@@ -25,6 +26,8 @@ common flags (every bench bin):
   --resume <journal>     splice completed cells from a checkpoint journal, run the rest
   --journal <path>       checkpoint journal path (default results/<bin>.journal.jsonl)
   --no-journal           disable checkpoint journaling for this run
+  --trace                record a per-thread event trace; export results/trace_<bin>.json
+                         (Perfetto) + .folded (flamegraph) + decide-phase table
   --update-baseline      (bench_runner only) rewrite ci/BENCH_baseline.json
   --help                 print this help and exit";
 
@@ -50,6 +53,8 @@ pub struct Cli {
     pub journal: Option<String>,
     /// `--no-journal`: disable checkpoint journaling.
     pub no_journal: bool,
+    /// `--trace`: record a structured event trace and export it.
+    pub trace: bool,
     /// `--update-baseline`: rewrite the perf baseline (bench_runner).
     pub update_baseline: bool,
     /// `--help`: print [`USAGE`] and exit.
@@ -76,7 +81,8 @@ impl Cli {
                 }
             };
             match flag {
-                "--smoke" | "--json" | "--no-journal" | "--update-baseline" | "--help"
+                "--smoke" | "--json" | "--no-journal" | "--trace" | "--update-baseline"
+                | "--help"
                     if inline.is_some() =>
                 {
                     return Err(format!("{flag} takes no value"));
@@ -84,6 +90,7 @@ impl Cli {
                 "--smoke" => cli.smoke = true,
                 "--json" => cli.json = true,
                 "--no-journal" => cli.no_journal = true,
+                "--trace" => cli.trace = true,
                 "--update-baseline" => cli.update_baseline = true,
                 "--help" => cli.help = true,
                 "--seed" => cli.seed = Some(parse_num(flag, &value(flag)?)?),
@@ -156,11 +163,19 @@ mod tests {
 
     #[test]
     fn boolean_flags_toggle() {
-        let cli = ok(&["--smoke", "--json", "--no-journal", "--update-baseline"]);
+        let cli = ok(&[
+            "--smoke",
+            "--json",
+            "--no-journal",
+            "--trace",
+            "--update-baseline",
+        ]);
         assert!(cli.smoke && cli.json && cli.no_journal && cli.update_baseline);
+        assert!(cli.trace);
         assert_eq!(cli.seed, None);
         assert_eq!(cli.threads, None);
         assert!(ok(&["--help"]).help);
+        assert!(!ok(&[]).trace, "tracing is off by default");
     }
 
     #[test]
@@ -192,6 +207,7 @@ mod tests {
         assert!(parse(&["--cell-budget-ms", "0"]).is_err(), "zero budget");
         assert!(parse(&["--resume"]).is_err(), "missing path");
         assert!(parse(&["--smoke=1"]).is_err(), "boolean with value");
+        assert!(parse(&["--trace=1"]).is_err(), "boolean with value");
     }
 
     #[test]

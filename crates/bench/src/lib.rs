@@ -37,7 +37,15 @@
 //!   `results/<bin>.journal.jsonl`). See [`sweep`].
 //! * `LEXCACHE_ZERO_TIMINGS=1` — zero the wall-clock `decide_us`
 //!   fields in JSON reports so two runs of the same seeds are
-//!   byte-comparable (the resume-smoke CI diff).
+//!   byte-comparable (the resume-smoke CI diff). Also zeroes trace
+//!   timestamps, making `--trace` exports byte-identical across
+//!   thread counts (the trace-smoke CI diff).
+//! * `--trace` (flag) or `LEXCACHE_TRACE=1` — record a per-thread
+//!   event trace of the whole run and export
+//!   `results/trace_<bin>.json` (Chrome Trace Format / Perfetto),
+//!   `results/trace_<bin>.folded` (flamegraph fold) and a per-policy
+//!   decide-phase attribution table. `LEXCACHE_TRACE_CAP` sets the
+//!   per-thread ring capacity in events (default 2^18).
 //!
 //! Every binary starts with [`init_bin`], which strictly validates the
 //! shared CLI (unknown flags, `--threads 0` and malformed values exit
@@ -354,6 +362,9 @@ pub fn run_one(spec: &RunSpec, seed: u64) -> EpisodeReport {
 /// same seed then quarantined, and completed repeats are checkpointed
 /// when the process is an armed bin.
 pub fn run_many(spec: &RunSpec, repeats: usize) -> Vec<EpisodeReport> {
+    if lexcache_obs::trace::is_on() {
+        lexcache_obs::trace::label_next_sweep(vec![spec.algo.name().to_string()]);
+    }
     let rows = sweep::run_sweep_or_exit(1, repeats, &SweepOptions::from_env(), |_, seed| {
         run_one(spec, seed)
     });
@@ -382,12 +393,24 @@ pub fn run_many_with(
 /// the process-wide knobs (worker count, base seed, retry budget,
 /// watchdog, checkpoint journaling — see [`sweep`]).
 pub fn run_grid(specs: &[RunSpec], repeats: usize) -> Vec<Vec<EpisodeReport>> {
+    label_sweep_from_specs(specs);
     sweep::run_sweep_or_exit(
         specs.len(),
         repeats,
         &SweepOptions::from_env(),
         |s, seed| run_one(&specs[s], seed),
     )
+}
+
+/// Declares the upcoming sweep's series labels to the trace layer (one
+/// per spec, the policy display names), so `--trace` exports can name
+/// cell tracks and attribute decide phases per policy.
+fn label_sweep_from_specs(specs: &[RunSpec]) {
+    if lexcache_obs::trace::is_on() {
+        lexcache_obs::trace::label_next_sweep(
+            specs.iter().map(|s| s.algo.name().to_string()).collect(),
+        );
+    }
 }
 
 /// [`run_grid_with`]'s cell `(s, i)` runs `specs[s]` under seed
@@ -402,6 +425,7 @@ pub fn run_grid_with(
     threads: usize,
     base: u64,
 ) -> Vec<Vec<EpisodeReport>> {
+    label_sweep_from_specs(specs);
     sweep::run_sweep_or_exit(
         specs.len(),
         repeats,
@@ -522,16 +546,10 @@ pub fn maybe_obs_profile(bin: &str, specs: &[(&str, RunSpec)]) {
         return;
     }
     let path = format!("{}/obs_{bin}.jsonl", results_dir());
-    let tmp = format!("{path}.tmp");
-    // lexlint: allow(LX12): streaming sink writes .tmp, published below via atomic rename
-    let file = match std::fs::File::create(&tmp) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("obs: cannot create {tmp}: {e}");
-            return;
-        }
-    };
-    let mut writer = lexcache_obs::SharedWriter::new(Box::new(std::io::BufWriter::new(file)));
+    // Events accumulate in memory and land on disk in one atomic
+    // temp+rename publish, so a crash mid-profile never leaves a torn
+    // results/obs_<bin>.jsonl (lexlint rule LX12).
+    let sink = lexcache_obs::AtomicJsonl::create(std::path::Path::new(&path));
     println!(
         "\n# observability profile (LEXCACHE_OBS=1): one instrumented episode per policy, \
          seed {}",
@@ -539,10 +557,7 @@ pub fn maybe_obs_profile(bin: &str, specs: &[(&str, RunSpec)]) {
     );
     for (label, spec) in specs {
         let registry = lexcache_obs::SharedRegistry::new();
-        let tee = lexcache_obs::Tee::new(
-            Box::new(lexcache_obs::JsonlSink::new(writer.clone())),
-            Box::new(registry.clone()),
-        );
+        let tee = lexcache_obs::Tee::new(Box::new(sink.clone()), Box::new(registry.clone()));
         lexcache_obs::install(Box::new(tee));
         lexcache_obs::mark(&format!("profile/{label}"));
         let report = run_one(spec, base_seed());
@@ -562,56 +577,91 @@ pub fn maybe_obs_profile(bin: &str, specs: &[(&str, RunSpec)]) {
              of reported decide total {reported_ms:.3} ms ({pct:.1}%)"
         );
     }
-    // The stream went to a temp file; publish it atomically so a crash
-    // mid-profile never leaves a torn results/obs_<bin>.jsonl.
-    use std::io::Write as _;
-    let _ = writer.flush();
-    match std::fs::rename(&tmp, &path) {
+    match sink.publish() {
         Ok(()) => println!("\nobs events written to {path}"),
         Err(e) => eprintln!("obs: cannot publish {path}: {e}"),
     }
 }
 
+/// An in-flight whole-process observability session started by
+/// [`maybe_obs_begin`]: the aggregating registry plus the atomic JSONL
+/// sink that will publish the event stream on finish.
+pub struct ObsSession {
+    registry: lexcache_obs::SharedRegistry,
+    sink: lexcache_obs::AtomicJsonl,
+}
+
 /// With `LEXCACHE_OBS=1`, installs a JSONL + registry sink covering the
 /// rest of the process — for bins whose work is not an episode sweep
-/// (e.g. the prediction audit). Returns the registry handle to pass to
+/// (e.g. the prediction audit). Returns the session handle to pass to
 /// [`maybe_obs_finish`]; `None` when profiling is off.
-pub fn maybe_obs_begin(bin: &str) -> Option<lexcache_obs::SharedRegistry> {
+pub fn maybe_obs_begin(bin: &str) -> Option<ObsSession> {
     if !obs_enabled() {
         return None;
     }
-    let tmp = format!("{}/obs_{bin}.jsonl.tmp", results_dir());
-    // lexlint: allow(LX12): streaming sink writes .tmp, published by maybe_obs_finish via rename
-    let file = match std::fs::File::create(&tmp) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("obs: cannot create {tmp}: {e}");
-            return None;
-        }
-    };
+    let path = format!("{}/obs_{bin}.jsonl", results_dir());
+    let sink = lexcache_obs::AtomicJsonl::create(std::path::Path::new(&path));
     let registry = lexcache_obs::SharedRegistry::new();
-    let tee = lexcache_obs::Tee::new(
-        Box::new(lexcache_obs::JsonlSink::new(std::io::BufWriter::new(file))),
-        Box::new(registry.clone()),
-    );
+    let tee = lexcache_obs::Tee::new(Box::new(sink.clone()), Box::new(registry.clone()));
     lexcache_obs::install(Box::new(tee));
-    Some(registry)
+    Some(ObsSession { registry, sink })
 }
 
-/// Uninstalls the sink installed by [`maybe_obs_begin`] and prints the
-/// aggregated phase/counter breakdown.
-pub fn maybe_obs_finish(bin: &str, registry: Option<lexcache_obs::SharedRegistry>) {
-    let Some(registry) = registry else { return };
-    // Uninstall flushes and drops the sink (closing the temp file), so
-    // the rename below publishes a complete event stream atomically.
+/// Uninstalls the sink installed by [`maybe_obs_begin`], prints the
+/// aggregated phase/counter breakdown and publishes the event stream
+/// atomically (temp + rename).
+pub fn maybe_obs_finish(session: Option<ObsSession>) {
+    let Some(session) = session else { return };
     drop(lexcache_obs::uninstall());
     println!("\n# observability profile (LEXCACHE_OBS=1)");
-    print!("{}", registry.snapshot().render_table());
-    let path = format!("{}/obs_{bin}.jsonl", results_dir());
-    match std::fs::rename(format!("{path}.tmp"), &path) {
+    print!("{}", session.registry.snapshot().render_table());
+    let path = session.sink.path().display().to_string();
+    match session.sink.publish() {
         Ok(()) => println!("obs events written to {path}"),
         Err(e) => eprintln!("obs: cannot publish {path}: {e}"),
     }
+}
+
+/// Whether event tracing is on for this process (armed by
+/// [`init_bin`] from `--trace` / `LEXCACHE_TRACE=1`).
+pub fn trace_requested() -> bool {
+    lexcache_obs::trace::is_on()
+}
+
+/// If tracing is on, collects the recording and exports it: prints the
+/// per-policy decide-phase attribution table, then writes
+/// `results/trace_<bin>.json` (Chrome Trace Format — open in Perfetto
+/// or `chrome://tracing`) and `results/trace_<bin>.folded`
+/// (`stack;stack count` lines for `inferno-flamegraph` / speedscope),
+/// both through the atomic temp+rename path. Every bin calls this at
+/// the end of `main`; it is free when tracing is off.
+pub fn maybe_trace_export(bin: &str) {
+    if !trace_requested() {
+        return;
+    }
+    let snap = lexcache_obs::trace::collect();
+    print!("{}", snap.render_decide_summary());
+    if snap.dropped() > 0 {
+        eprintln!(
+            "trace: {} event(s) lost to ring overflow — raise LEXCACHE_TRACE_CAP \
+             for a complete (and thread-count-reproducible) trace",
+            snap.dropped()
+        );
+    }
+    let json_path = format!("{}/trace_{bin}.json", results_dir());
+    match lexcache_runner::atomic_write(std::path::Path::new(&json_path), &snap.to_chrome_json()) {
+        Ok(()) => {}
+        Err(e) => eprintln!("trace: cannot write {json_path}: {e}"),
+    }
+    let folded_path = format!("{}/trace_{bin}.folded", results_dir());
+    match lexcache_runner::atomic_write(std::path::Path::new(&folded_path), &snap.to_folded()) {
+        Ok(()) => {}
+        Err(e) => eprintln!("trace: cannot write {folded_path}: {e}"),
+    }
+    println!(
+        "\ntrace: {} events → {json_path} (Perfetto) + {folded_path} (flame fold)",
+        snap.event_count()
+    );
 }
 
 /// Mean and (population) standard deviation.

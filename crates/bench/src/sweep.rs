@@ -31,8 +31,11 @@ use crate::cli::{Cli, USAGE};
 use lexcache_core::{EpisodeReport, SlotMetrics};
 use lexcache_obs::json::Json;
 use lexcache_obs::names;
+use lexcache_obs::trace;
+use lexcache_obs::Stopwatch;
 use lexcache_runner::journal::{CellEntry, Journal, JournalWriter, SweepMeta};
 use lexcache_runner::{run_robust, CellEvent, CellOutcome, Grid, RunPolicy};
+use std::cell::Cell;
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -356,6 +359,45 @@ fn journal_cell(sweep: Option<usize>, cell: usize, seed: u64, payload: String) {
     }
 }
 
+thread_local! {
+    /// When tracing: the stopwatch started as this thread finished its
+    /// previous cell, so the next cell can report how long the worker
+    /// sat idle in between (queue wait / scheduling gap).
+    static LAST_CELL_DONE: Cell<Option<Stopwatch>> = const { Cell::new(None) };
+}
+
+/// RAII trace instrumentation around one cell body: emits the
+/// queue-wait instant and the `runner/cell` begin on construction, the
+/// matching end on drop — drop-based so a panicking cell still closes
+/// its span before `catch_unwind` sees the payload.
+struct CellTraceGuard {
+    active: bool,
+}
+
+impl CellTraceGuard {
+    fn begin() -> CellTraceGuard {
+        if !trace::is_on() {
+            return CellTraceGuard { active: false };
+        }
+        let wait_ns = LAST_CELL_DONE
+            .with(Cell::get)
+            .map(|sw| sw.elapsed_ns() as u64)
+            .unwrap_or(0);
+        trace::instant_ns(names::RUNNER_QUEUE_WAIT, wait_ns);
+        trace::begin(names::RUNNER_CELL);
+        CellTraceGuard { active: true }
+    }
+}
+
+impl Drop for CellTraceGuard {
+    fn drop(&mut self) {
+        if self.active {
+            trace::end(names::RUNNER_CELL);
+            LAST_CELL_DONE.with(|c| c.set(Some(Stopwatch::start())));
+        }
+    }
+}
+
 /// Deterministic fault injection for CI and the resume-smoke script:
 /// `LEXCACHE_PANIC_CELL=<cell>` makes that flat cell index panic on
 /// every attempt; `LEXCACHE_PANIC_CELL=<cell>:<k>` only on its first
@@ -391,6 +433,7 @@ where
     let grid = Grid::new(n_series, repeats);
     let n = grid.n_cells();
     let (sweep, recorded) = begin_sweep(&grid, opts.base_seed);
+    trace::begin_sweep(n_series, repeats);
 
     // Splice recorded results; anything that fails to decode re-runs.
     let mut indexed: Vec<(usize, T)> = Vec::with_capacity(n);
@@ -420,6 +463,7 @@ where
         let flat = pending[local];
         let c = grid.cell(flat);
         lexcache_obs::set_current_cell(flat);
+        let _cell_trace = CellTraceGuard::begin();
         if let Some((target, times)) = inject {
             if flat == target && inject_attempts[flat].fetch_add(1, Ordering::SeqCst) < times {
                 panic!("injected fault (LEXCACHE_PANIC_CELL={target})");
@@ -438,8 +482,10 @@ where
             let flat = pending[cell];
             let c = grid.cell(flat);
             lexcache_obs::counter(names::RUNNER_PANICS, 1);
+            trace::instant(names::RUNNER_EV_PANIC);
             if will_retry {
                 lexcache_obs::counter(names::RUNNER_RETRIES, 1);
+                trace::instant(names::RUNNER_EV_RETRY);
             }
             let next = if will_retry {
                 "retrying with the same seed"
@@ -460,6 +506,10 @@ where
             budget_ms,
         } => {
             let flat = pending[cell];
+            // Fires on the watchdog thread — its events land on the
+            // main track, not the cell's (the only nondeterministic
+            // trace source; absent unless a watchdog budget is set).
+            trace::instant(names::RUNNER_EV_WATCHDOG);
             eprintln!(
                 "runner: cell {flat} still running after {elapsed_ms} ms \
                  (budget {budget_ms} ms) — letting it finish"
@@ -477,6 +527,7 @@ where
                     budget_ms,
                 } => {
                     lexcache_obs::counter(names::RUNNER_TIMEOUTS, 1);
+                    trace::instant(names::RUNNER_EV_TIMEOUT);
                     eprintln!(
                         "runner: cell {flat} finished over budget ({elapsed_ms} ms > \
                          {budget_ms} ms) — result kept, flagged TimedOut"
@@ -489,6 +540,10 @@ where
     };
 
     let outcomes = run_robust(pending.len(), opts.threads, opts.policy, body, on_event);
+    // Return the orchestrating thread to the epoch's main track so
+    // post-sweep events align whether the serial path (which moves the
+    // main thread through every cell track) or the pool ran.
+    trace::end_sweep();
 
     let mut quarantined = Vec::new();
     for (local, outcome) in outcomes.into_iter().enumerate() {
@@ -567,7 +622,11 @@ where
 /// `LEXCACHE_JOURNAL=PATH`, disabled with `--no-journal` /
 /// `LEXCACHE_JOURNAL=0`. `--resume PATH` / `LEXCACHE_RESUME=PATH`
 /// loads a previous journal (exit 2 if unreadable) and splices its
-/// completed cells into every subsequent sweep.
+/// completed cells into every subsequent sweep. `--trace` /
+/// `LEXCACHE_TRACE=1` turns on event tracing for the whole process
+/// (ring capacity from `LEXCACHE_TRACE_CAP`, timings zeroed under
+/// `LEXCACHE_ZERO_TIMINGS=1`); the bin exports the recording by
+/// calling [`crate::maybe_trace_export`] before exiting.
 pub fn init_bin(bin: &str) -> Cli {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = match Cli::from_args(&args) {
@@ -607,6 +666,18 @@ pub fn init_bin(bin: &str) -> Cli {
     }
     if let Some(path) = &resume_path {
         println!("resume: splicing completed cells from {}", path.display());
+    }
+
+    if cli.trace || crate::cli::env_var("LEXCACHE_TRACE").as_deref() == Some("1") {
+        let capacity = crate::cli::env_var("LEXCACHE_TRACE_CAP")
+            .and_then(|v| v.parse().ok())
+            .filter(|&c: &usize| c > 0)
+            .unwrap_or(trace::DEFAULT_CAPACITY);
+        trace::enable(trace::TraceConfig {
+            zero_timings: crate::zero_timings_requested(),
+            capacity,
+        });
+        println!("trace: recording (per-thread ring capacity {capacity} events)");
     }
     cli
 }

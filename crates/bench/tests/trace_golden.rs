@@ -1,0 +1,95 @@
+//! Golden-trace regression test for `lexcache-trace`.
+//!
+//! The tracing determinism contract extends the runner's: with
+//! timings zeroed (`LEXCACHE_ZERO_TIMINGS=1`), a traced sweep at
+//! `--threads 4` must export the **same bytes** as at `--threads 1` —
+//! every event stamped with its `(epoch, cell)` track at record time,
+//! collection stable-sorted into canonical cell order, names interned
+//! identically. This is what makes a trace diffable evidence rather
+//! than a per-run curiosity.
+//!
+//! Runs as a single `#[test]` in its own integration binary: the
+//! trace recorder (like the obs sink and sweep journaling) is
+//! process-global state, and this binary never arms journaling, so
+//! the sweeps here cannot race the `golden_parallel` suite.
+
+use bench::{Algo, RunSpec};
+use lexcache_obs::trace;
+use mec_workload::ScenarioConfig;
+
+/// Shrinks a figure spec to smoke size so the traced sweeps finish in
+/// seconds.
+fn tiny(spec: RunSpec) -> RunSpec {
+    RunSpec {
+        n_stations: 12,
+        scenario: ScenarioConfig::small(),
+        horizon: 6,
+        ..spec
+    }
+}
+
+/// Runs one traced sweep (timings zeroed) and returns the Chrome
+/// trace bytes, the flame fold, and the recorded event count.
+fn traced_run(
+    specs: &[RunSpec],
+    repeats: usize,
+    threads: usize,
+    base: u64,
+) -> (String, String, usize) {
+    trace::enable(trace::TraceConfig {
+        zero_timings: true,
+        capacity: 1 << 16,
+    });
+    let rows = bench::run_grid_with(specs, repeats, threads, base);
+    assert_eq!(rows.len(), specs.len(), "sweep must complete every series");
+    let snap = trace::collect();
+    trace::disable();
+    assert_eq!(snap.dropped(), 0, "ring overflow would void the comparison");
+    (snap.to_chrome_json(), snap.to_folded(), snap.event_count())
+}
+
+#[test]
+fn zeroed_traces_are_byte_identical_across_thread_counts() {
+    const REPEATS: usize = 3;
+    const BASE: u64 = 42;
+    let specs = vec![
+        tiny(RunSpec::fig3(Algo::OlGd)),
+        tiny(RunSpec::fig3(Algo::GreedyGd)),
+        tiny(RunSpec::fig6(Algo::OlReg)),
+    ];
+
+    let (serial_json, serial_fold, serial_n) = traced_run(&specs, REPEATS, 1, BASE);
+    let (parallel_json, parallel_fold, parallel_n) = traced_run(&specs, REPEATS, 4, BASE);
+
+    assert!(serial_n > 0, "traced sweep recorded no events");
+    assert_eq!(
+        serial_n, parallel_n,
+        "event counts diverged between 1 and 4 threads"
+    );
+    assert_eq!(
+        serial_json, parallel_json,
+        "Chrome trace bytes diverged between 1 and 4 threads"
+    );
+    assert_eq!(
+        serial_fold, parallel_fold,
+        "flame fold diverged between 1 and 4 threads"
+    );
+
+    // Content sanity: the runner spans, the queue-wait instants and
+    // the per-cell track naming all made it into the export.
+    assert!(serial_json.contains("runner/cell"), "missing cell spans");
+    assert!(
+        serial_json.contains("runner/queue_wait"),
+        "missing queue-wait instants"
+    );
+    assert!(
+        serial_json.contains("sweep 1 cell 0 — OL_GD repeat 0"),
+        "missing labelled cell track metadata"
+    );
+
+    // Re-enabling discards the previous recording: a third run traces
+    // from a clean slate and reproduces the same bytes again.
+    let (again_json, _, again_n) = traced_run(&specs, REPEATS, 4, BASE);
+    assert_eq!(again_n, serial_n, "re-enable must reset the recording");
+    assert_eq!(again_json, serial_json, "third run diverged");
+}

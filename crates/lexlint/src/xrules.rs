@@ -9,7 +9,7 @@
 //! | LX09 | no raw `std::thread::spawn` outside the pool crate — all parallelism through the scoped pool |
 //! | LX10 | no `std::env::var` outside the audited `bench::cli` gateway — hidden config breaks reproducibility |
 //! | LX11 | an `Ordering::Relaxed` load that feeds a branch carries a `// lexlint: why` justification |
-//! | LX12 | `File::create` / `fs::write` targeting `results/` routes through `atomic_write` (taint-tracked through local `let` bindings) |
+//! | LX12 | `File::create` / `fs::write` / `BufWriter::new` / `JsonlSink::new` targeting `results/` routes through `atomic_write` (taint-tracked through local `let` bindings) |
 //!
 //! LX08 is where the symbol table earns its keep: a call to any
 //! workspace `pub fn` whose return type mentions `MutexGuard` (e.g.
@@ -317,10 +317,12 @@ fn preceded_by_fn_kw(toks: &[Tok], i: usize) -> bool {
     i > 0 && toks[i - 1].is_ident("fn")
 }
 
-/// LX12 walker: flags `File::create(…)` / `fs::write(…)` whose
-/// argument mentions `results` — directly as a string literal, via a
-/// `results_dir()` call, or transitively through tainted `let`
-/// bindings (`let tmp = format!("{path}.tmp")` where `path` came from
+/// LX12 walker: flags `File::create(…)` / `fs::write(…)` — and the
+/// buffered/sink wrappers `BufWriter::new(…)` / `JsonlSink::new(…)`
+/// that hide the same unbuffered write — whose argument mentions
+/// `results`: directly as a string literal, via a `results_dir()`
+/// call, or transitively through tainted `let` bindings
+/// (`let tmp = format!("{path}.tmp")` where `path` came from
 /// `results_dir()`).
 fn results_write_sites(
     toks: &[Tok],
@@ -369,7 +371,9 @@ fn results_write_sites(
         }
         let t = &toks[i];
         let sink = (t.is_ident("File") && path_call(toks, i, "create"))
-            || (t.is_ident("fs") && path_call(toks, i, "write"));
+            || (t.is_ident("fs") && path_call(toks, i, "write"))
+            || (t.is_ident("BufWriter") && path_call(toks, i, "new"))
+            || (t.is_ident("JsonlSink") && path_call(toks, i, "new"));
         if sink {
             // Balanced argument list opens at i + 3.
             let mut depth = 0i32;
@@ -651,6 +655,28 @@ mod tests {
             vec![("LX12".to_string(), 4)],
             "implicit format capture keeps the taint"
         );
+    }
+
+    #[test]
+    fn lx12_flags_buffered_and_sink_wrappers() {
+        // BufWriter::new / JsonlSink::new hide the same unbuffered
+        // write File::create does; one finding per wrapper site (the
+        // inner File::create sits inside the scanned argument list).
+        let got = findings(
+            "fn f() {\n\
+                 let path = format!(\"{}/obs.jsonl\", results_dir());\n\
+                 let w = BufWriter::new(File::create(&path).unwrap());\n\
+                 let s = JsonlSink::new(\"results/obs_fig3.jsonl\");\n\
+             }\n",
+        );
+        assert_eq!(
+            got,
+            vec![("LX12".to_string(), 3), ("LX12".to_string(), 4)],
+            "buffered wrapper and sink constructor both flagged"
+        );
+
+        let clean = "fn f(p: &Path) { let w = BufWriter::new(File::create(p).unwrap()); }\n";
+        assert!(findings(clean).is_empty(), "untainted wrap is fine");
     }
 
     #[test]

@@ -10,6 +10,11 @@ pub fn bad_tainted() {
     let _ = std::fs::File::create(&tmp); // finding: transitive taint
 }
 
+pub fn bad_buffered() {
+    let path = format!("{}/obs.jsonl", results_dir());
+    let _ = std::io::BufWriter::new(std::fs::File::create(&path).unwrap()); // finding: buffered wrapper
+}
+
 pub fn good_elsewhere() {
     let _ = std::fs::write("target/scratch.txt", "x");
 }

@@ -184,9 +184,10 @@ fn lx11_fixture() {
 fn lx12_fixture() {
     let src = include_str!("fixtures/lx12.rs");
     let path = "crates/lexlint/tests/fixtures/lx12.rs";
-    // Literal results/ write + taint-tracked File::create; the
-    // target/ write and the vetted probe stay clean.
-    assert_eq!(xrule_count(path, src, &Config::default(), "LX12"), 2);
+    // Literal results/ write + taint-tracked File::create + tainted
+    // BufWriter wrap; the target/ write and the vetted probe stay
+    // clean.
+    assert_eq!(xrule_count(path, src, &Config::default(), "LX12"), 3);
     assert_eq!(
         xrule_count(path, src, &allow_fixture_dir("lx12"), "LX12"),
         0

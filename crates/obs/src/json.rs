@@ -43,7 +43,7 @@ pub struct Serializer {
     out: String,
 }
 
-fn escape_into(out: &mut String, s: &str) {
+pub(crate) fn escape_into(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

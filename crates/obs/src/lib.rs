@@ -42,12 +42,14 @@ pub mod names;
 pub mod registry;
 pub mod shard;
 pub mod sink;
+pub mod trace;
 
 pub use event::{Event, EventKind};
 pub use hist::Histogram;
 pub use registry::{Registry, SharedRegistry, SpanStats};
 pub use shard::{current_cell, set_current_cell, ShardedRegistry};
-pub use sink::{JsonlSink, NoopSink, SharedWriter, Sink, Tee};
+pub use sink::{AtomicJsonl, JsonlSink, NoopSink, SharedWriter, Sink, Tee};
+pub use trace::{TraceConfig, TraceSnapshot};
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -143,11 +145,13 @@ pub fn observe(name: &str, value: f64) {
 }
 
 /// Emits a point-in-time marker (e.g. "a demand burst started").
+/// Also recorded as a trace instant when tracing is on.
 #[inline]
 pub fn mark(name: &str) {
     if is_enabled() {
         emit(EventKind::Mark, name, 1.0, current_depth());
     }
+    trace::instant(name);
 }
 
 /// RAII timer over a named span. The span opens when created and closes
@@ -166,10 +170,12 @@ struct SpanInner {
 
 /// Opens a hierarchical span. Nesting depth is tracked per thread and
 /// stamped on every event, so sinks can reconstruct the call tree.
-/// When no sink is installed this is a single atomic load.
+/// When no sink is installed and tracing is off this is two relaxed
+/// atomic loads (the sink gate plus the trace gate).
 #[inline]
 pub fn span(name: &str) -> SpanGuard {
-    if !is_enabled() {
+    let sink_on = is_enabled();
+    if !sink_on && !trace::is_on() {
         return SpanGuard { inner: None };
     }
     let depth = DEPTH.with(|d| {
@@ -177,7 +183,10 @@ pub fn span(name: &str) -> SpanGuard {
         d.set(v + 1);
         v
     });
-    emit(EventKind::SpanEnter, name, 0.0, depth);
+    if sink_on {
+        emit(EventKind::SpanEnter, name, 0.0, depth);
+    }
+    trace::begin(name);
     SpanGuard {
         inner: Some(SpanInner {
             name: name.to_string(),
@@ -195,6 +204,7 @@ impl Drop for SpanGuard {
             if is_enabled() {
                 emit(EventKind::SpanExit, &inner.name, elapsed_us, inner.depth);
             }
+            trace::end(&inner.name);
         }
     }
 }

@@ -19,3 +19,23 @@ pub const RUNNER_RETRIES: &str = "runner/retries";
 /// Counter: cells that finished over their watchdog wall-clock budget
 /// (flagged `TimedOut`, value still used).
 pub const RUNNER_TIMEOUTS: &str = "runner/timeouts";
+
+/// Trace span: one experiment cell's execution, from the moment a
+/// worker picks it up to the moment its body returns (or unwinds).
+pub const RUNNER_CELL: &str = "runner/cell";
+
+/// Trace instant: emitted as a cell starts, carrying the ns the worker
+/// sat idle between its previous cell and this one (queue wait).
+pub const RUNNER_QUEUE_WAIT: &str = "runner/queue_wait";
+
+/// Trace instant: a cell attempt panicked and was caught.
+pub const RUNNER_EV_PANIC: &str = "runner/panic";
+
+/// Trace instant: a panicked cell was scheduled for a same-seed retry.
+pub const RUNNER_EV_RETRY: &str = "runner/retry";
+
+/// Trace instant: the watchdog flagged a cell as over budget.
+pub const RUNNER_EV_WATCHDOG: &str = "runner/watchdog";
+
+/// Trace instant: a cell finished over its wall-clock budget.
+pub const RUNNER_EV_TIMEOUT: &str = "runner/timeout";

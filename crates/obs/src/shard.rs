@@ -23,10 +23,13 @@ thread_local! {
 }
 
 /// Declares which experiment cell this thread is currently executing;
-/// every event the thread emits afterwards lands in that cell's shard.
-/// Workers call this right before each cell body.
+/// every event the thread emits afterwards lands in that cell's shard,
+/// and — when tracing is on — the thread's trace track moves to the
+/// cell ([`crate::trace::note_cell`]), so the trace merges in the same
+/// canonical cell order as the registries.
 pub fn set_current_cell(idx: usize) {
     CURRENT_CELL.with(|c| c.set(idx));
+    crate::trace::note_cell(idx);
 }
 
 /// The cell id last set on this thread (0 if never set).

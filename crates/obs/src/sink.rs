@@ -1,7 +1,9 @@
-//! Pluggable event sinks: no-op, JSONL writer, and fan-out.
+//! Pluggable event sinks: no-op, JSONL writers (streaming and
+//! atomic-publish), and fan-out.
 
 use crate::event::Event;
 use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 /// Receives every [`Event`] emitted while installed as the global sink.
@@ -38,7 +40,10 @@ pub struct JsonlSink<W: Write + Send> {
 }
 
 impl<W: Write + Send> JsonlSink<W> {
-    /// Wraps a writer (e.g. a `BufWriter<File>` under `results/`).
+    /// Wraps a writer (e.g. an in-memory buffer, or a pipe). Files
+    /// under `results/` should use [`AtomicJsonl`] instead, so the
+    /// final artifact appears via the atomic temp+rename path (lexlint
+    /// rule LX12).
     pub fn new(out: W) -> Self {
         JsonlSink { out }
     }
@@ -58,6 +63,57 @@ impl<W: Write + Send> Sink for JsonlSink<W> {
 
     fn flush(&mut self) {
         let _ = self.out.flush();
+    }
+}
+
+/// A JSONL sink that buffers every line in memory and publishes the
+/// whole file atomically (temp + rename via
+/// `lexcache_runner::journal::atomic_write`) when [`AtomicJsonl::publish`]
+/// is called — so a crash mid-episode never leaves a torn
+/// `results/obs_*.jsonl` behind, and readers only ever see complete
+/// artifacts (lexlint rule LX12).
+///
+/// Cloneable: clones share one buffer, so several consecutive sink
+/// installations (the bench profiler reinstalls a fresh registry per
+/// policy) append to one artifact. `publish` can be called from any
+/// clone.
+#[derive(Clone)]
+pub struct AtomicJsonl {
+    buf: Arc<Mutex<String>>,
+    path: Arc<PathBuf>,
+}
+
+impl AtomicJsonl {
+    /// A sink that will publish to `path` (no file is touched until
+    /// [`AtomicJsonl::publish`]).
+    pub fn create(path: &Path) -> Self {
+        AtomicJsonl {
+            buf: Arc::new(Mutex::new(String::new())),
+            path: Arc::new(path.to_path_buf()),
+        }
+    }
+
+    /// The destination path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Writes the buffered lines to the destination atomically
+    /// (temp + rename). Safe to call more than once; later calls
+    /// republish the (possibly longer) buffer.
+    pub fn publish(&self) -> std::io::Result<()> {
+        let buf = self.buf.lock().unwrap_or_else(|p| p.into_inner());
+        lexcache_runner::journal::atomic_write(&self.path, &buf)
+    }
+}
+
+impl Sink for AtomicJsonl {
+    fn record(&mut self, event: &Event) {
+        if let Ok(line) = crate::json::to_string(event) {
+            let mut buf = self.buf.lock().unwrap_or_else(|p| p.into_inner());
+            buf.push_str(&line);
+            buf.push('\n');
+        }
     }
 }
 
@@ -143,6 +199,28 @@ mod tests {
         tee.record(&ev("x", 5.0));
         assert_eq!(left.snapshot().counter("x"), 5);
         assert_eq!(right.snapshot().counter("x"), 5);
+    }
+
+    #[test]
+    fn atomic_jsonl_publishes_whole_file_via_rename() {
+        let dir =
+            std::env::temp_dir().join(format!("lexcache-obs-sink-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("obs_demo.jsonl");
+        let sink = AtomicJsonl::create(&path);
+        let mut w1 = sink.clone();
+        let mut w2 = sink.clone();
+        w1.record(&ev("one", 1.0));
+        assert!(!path.exists(), "nothing on disk before publish");
+        sink.publish().expect("publish");
+        let first = std::fs::read_to_string(&path).expect("read");
+        assert_eq!(first.lines().count(), 1);
+        w2.record(&ev("two", 2.0));
+        sink.publish().expect("republish");
+        let second = std::fs::read_to_string(&path).expect("read");
+        assert_eq!(second.lines().count(), 2, "clones share one buffer");
+        assert!(second.starts_with(&first), "republish extends the file");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Trace-determinism smoke: exercises the lexcache-trace recorder end
+# to end against a real figure bin (fig3) at smoke size.
+#
+#   1. a traced run with timings zeroed at --threads 1 is the byte
+#      reference for results/trace_fig3.json;
+#   2. the same run at --threads 4 must reproduce it byte for byte —
+#      per-cell track stamping plus canonical-order collection is what
+#      makes traces diffable evidence;
+#   3. the exported trace must be valid JSON with a non-empty
+#      traceEvents array, and the flame fold must be non-empty.
+#
+# Run from the repo root: ./scripts/trace_smoke.sh
+set -euo pipefail
+
+BIN=${CARGO_BIN:-"cargo run --release -q -p bench --bin fig3 --"}
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/lexcache_trace_smoke.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+# Small, fast, deterministic: zeroed timings make the trace a pure
+# function of the sweep structure, so thread counts cannot show.
+export LEXCACHE_REPEATS=3
+export LEXCACHE_SLOTS=5
+export LEXCACHE_ZERO_TIMINGS=1
+export LEXCACHE_TRACE=1
+
+fail() { echo "trace_smoke: FAIL: $*" >&2; exit 1; }
+
+echo "== reference: traced serial run =="
+$BIN --threads 1 --no-journal
+[ -s results/trace_fig3.json ] || fail "no trace exported"
+[ -s results/trace_fig3.folded ] || fail "no flame fold exported"
+cp results/trace_fig3.json "$WORK/reference.json"
+cp results/trace_fig3.folded "$WORK/reference.folded"
+
+echo "== traced parallel run must match byte for byte =="
+$BIN --threads 4 --no-journal
+cmp results/trace_fig3.json "$WORK/reference.json" \
+  || fail "trace diverged between --threads 1 and --threads 4"
+cmp results/trace_fig3.folded "$WORK/reference.folded" \
+  || fail "flame fold diverged between --threads 1 and --threads 4"
+
+echo "== exported trace parses and is non-trivial =="
+python3 - <<'EOF' || fail "trace failed validation"
+import json
+with open("results/trace_fig3.json") as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert events, "traceEvents is empty"
+phases = {e["ph"] for e in events}
+assert "M" in phases, "no thread_name metadata"
+assert "B" in phases and "E" in phases, "no begin/end span events"
+names = {e.get("name") for e in events}
+assert "runner/cell" in names, "runner cell spans missing"
+assert "runner/queue_wait" in names, "queue-wait instants missing"
+begins = sum(1 for e in events if e["ph"] == "B")
+ends = sum(1 for e in events if e["ph"] == "E")
+assert begins == ends, f"unbalanced spans: {begins} begins, {ends} ends"
+print(f"   trace ok: {len(events)} events, {len(names)} distinct names")
+EOF
+
+echo "trace_smoke: PASS"
