@@ -42,6 +42,10 @@ fn spec_for(algo: Algo, rate: f64) -> RunSpec {
         ..base
     }
     .with_faults(FaultConfig::intensity(rate))
+    // Unique per-cell label: the sweep runs each policy at every rate,
+    // so trace tracks and decide-phase attribution need more than the
+    // bare policy name.
+    .with_label(format!("{}@{rate}", algo.name()))
 }
 
 fn main() {

@@ -35,6 +35,8 @@ fn main() {
         ),
         track_regret: true,
         faults: FaultConfig::none(),
+        amortize: false,
+        label: None,
     };
     let reports = run_many(&spec, repeats);
 

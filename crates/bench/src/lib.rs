@@ -59,11 +59,11 @@ pub mod sweep;
 
 use cli::Cli;
 use infogan::InfoGanConfig;
-pub use lexcache_core::FaultConfig;
 use lexcache_core::{
-    ol_ewma, ol_holt, ol_naive, CachingPolicy, Episode, EpisodeConfig, EpisodeReport, GreedyGd,
-    OlGan, OlGd, OlReg, OlUcb, PolicyConfig, PriGd,
+    ol_ewma, ol_holt, ol_naive, CachingPolicy, Episode, EpisodeConfig, GreedyGd, OlGan, OlGd,
+    OlReg, OlUcb, PolicyConfig, PriGd,
 };
+pub use lexcache_core::{EpisodeReport, FaultConfig};
 use mec_net::topology::{as1755, gtitm};
 use mec_net::{NetworkConfig, Topology};
 use mec_workload::demand::{DemandProcess as _, FlashCrowd, FlashCrowdConfig};
@@ -212,6 +212,15 @@ pub struct RunSpec {
     /// Fault injection ([`FaultConfig::none`] = disabled, the default
     /// for every figure spec).
     pub faults: FaultConfig,
+    /// Amortize instantiation costs over cache residency (the warm-cache
+    /// accounting the preemption ablation needs; `false` for every
+    /// figure spec — the paper charges instantiation per slot).
+    pub amortize: bool,
+    /// Display-label override for tables, JSON series and trace tracks.
+    /// `None` uses the policy name — ambiguous in sweeps that run the
+    /// same policy at several parameter points, which set e.g.
+    /// `"OL_GD@0.1"` here so trace attribution stays per-cell.
+    pub label: Option<String>,
 }
 
 impl RunSpec {
@@ -226,6 +235,8 @@ impl RunSpec {
             algo,
             track_regret: false,
             faults: FaultConfig::none(),
+            amortize: false,
+            label: None,
         }
     }
 
@@ -240,6 +251,8 @@ impl RunSpec {
             algo,
             track_regret: false,
             faults: FaultConfig::none(),
+            amortize: false,
+            label: None,
         }
     }
 
@@ -247,6 +260,26 @@ impl RunSpec {
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
         self.faults = faults;
         self
+    }
+
+    /// Switches the episode to amortized instantiation accounting.
+    pub fn with_amortize(mut self) -> Self {
+        self.amortize = true;
+        self
+    }
+
+    /// Sets an explicit display label (see the `label` field).
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// The label used for tables, JSON series and trace tracks: the
+    /// explicit override if set, the policy display name otherwise.
+    pub fn display_label(&self) -> String {
+        self.label
+            .clone()
+            .unwrap_or_else(|| self.algo.name().to_string())
     }
 }
 
@@ -350,6 +383,9 @@ pub fn run_one(spec: &RunSpec, seed: u64) -> EpisodeReport {
     if spec.track_regret {
         ep_cfg = ep_cfg.with_regret();
     }
+    if spec.amortize {
+        ep_cfg = ep_cfg.with_amortized_instantiation();
+    }
     ep_cfg = ep_cfg.with_faults(spec.faults);
     let mut episode = Episode::with_config(topo, net_cfg, scenario, ep_cfg);
     episode.run(policy.as_mut(), spec.horizon)
@@ -363,7 +399,7 @@ pub fn run_one(spec: &RunSpec, seed: u64) -> EpisodeReport {
 /// when the process is an armed bin.
 pub fn run_many(spec: &RunSpec, repeats: usize) -> Vec<EpisodeReport> {
     if lexcache_obs::trace::is_on() {
-        lexcache_obs::trace::label_next_sweep(vec![spec.algo.name().to_string()]);
+        lexcache_obs::trace::label_next_sweep(vec![spec.display_label()]);
     }
     let rows = sweep::run_sweep_or_exit(1, repeats, &SweepOptions::from_env(), |_, seed| {
         run_one(spec, seed)
@@ -403,13 +439,13 @@ pub fn run_grid(specs: &[RunSpec], repeats: usize) -> Vec<Vec<EpisodeReport>> {
 }
 
 /// Declares the upcoming sweep's series labels to the trace layer (one
-/// per spec, the policy display names), so `--trace` exports can name
-/// cell tracks and attribute decide phases per policy.
+/// per spec: the explicit label override where set, the policy display
+/// name otherwise), so `--trace` exports can name cell tracks and
+/// attribute decide phases per spec — ablation sweeps that run one
+/// policy at several parameter points stay distinguishable.
 fn label_sweep_from_specs(specs: &[RunSpec]) {
     if lexcache_obs::trace::is_on() {
-        lexcache_obs::trace::label_next_sweep(
-            specs.iter().map(|s| s.algo.name().to_string()).collect(),
-        );
+        lexcache_obs::trace::label_next_sweep(specs.iter().map(RunSpec::display_label).collect());
     }
 }
 
@@ -809,6 +845,8 @@ mod tests {
             algo: Algo::GreedyGd,
             track_regret: false,
             faults: FaultConfig::none(),
+            amortize: false,
+            label: None,
         };
         let reports = run_many(&spec, 2);
         assert_eq!(reports.len(), 2);
@@ -825,6 +863,8 @@ mod tests {
             algo: Algo::PriGd,
             track_regret: false,
             faults: FaultConfig::none(),
+            amortize: false,
+            label: None,
         };
         let a = run_many(&spec, 3);
         let b = run_many(&spec, 3);
@@ -845,6 +885,8 @@ mod tests {
             algo,
             track_regret: false,
             faults: FaultConfig::none(),
+            amortize: false,
+            label: None,
         };
         let specs = [spec(Algo::GreedyGd), spec(Algo::PriGd)];
         let grid = run_grid_with(&specs, 2, 4, 5);

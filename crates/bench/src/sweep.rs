@@ -80,6 +80,9 @@ impl Checkpoint for EpisodeReport {
                 remote_count: usize_field(s, "remote_count")?,
                 rerouted_count: usize_field_or(s, "rerouted_count", 0)?,
                 dropped_count: usize_field_or(s, "dropped_count", 0)?,
+                drained_count: usize_field_or(s, "drained_count", 0)?,
+                migrated_entries: usize_field_or(s, "migrated_entries", 0)?,
+                proactive_reroutes: usize_field_or(s, "proactive_reroutes", 0)?,
             });
         }
         Ok(EpisodeReport {
@@ -699,6 +702,9 @@ mod tests {
                     remote_count: 3,
                     rerouted_count: 0,
                     dropped_count: 0,
+                    drained_count: 0,
+                    migrated_entries: 0,
+                    proactive_reroutes: 0,
                 },
                 SlotMetrics {
                     slot: 2,
@@ -708,6 +714,9 @@ mod tests {
                     remote_count: 0,
                     rerouted_count: 2,
                     dropped_count: 1,
+                    drained_count: 1,
+                    migrated_entries: 4,
+                    proactive_reroutes: 2,
                 },
             ],
         }

@@ -3,8 +3,9 @@
 //! The runner's determinism contract says `--threads N` must be
 //! bit-identical to `--threads 1` — positional seeds, canonical-order
 //! reduction, per-cell obs shards merged in canonical order. This test
-//! pins that end to end for two sweep shapes drawn from the real bins
-//! (a figure-style policy sweep and a fault-injection ablation sweep):
+//! pins that end to end for three sweep shapes drawn from the real bins
+//! (a figure-style policy sweep, a fault-injection ablation sweep, and
+//! a preemption-warning ablation sweep with live drain/migration):
 //!
 //! * every [`EpisodeReport`] must serialize to the **same bytes**
 //!   (after stripping the one wall-clock field, `decide_us`), and
@@ -67,7 +68,7 @@ fn run_instrumented(
 fn parallel_runs_are_byte_identical_to_serial() {
     const REPEATS: usize = 3;
     const BASE: u64 = 42;
-    let sweeps: [(&str, Vec<RunSpec>); 2] = [
+    let sweeps: [(&str, Vec<RunSpec>); 3] = [
         (
             "fig3/fig6-shaped policy sweep",
             vec![
@@ -81,6 +82,29 @@ fn parallel_runs_are_byte_identical_to_serial() {
             vec![
                 tiny(RunSpec::fig3(Algo::OlGd).with_faults(FaultConfig::intensity(0.1))),
                 tiny(RunSpec::fig6(Algo::OlReg).with_faults(FaultConfig::intensity(0.05))),
+            ],
+        ),
+        (
+            "ablation_preempt-shaped sweep",
+            vec![
+                tiny(
+                    RunSpec::fig3(Algo::OlGd)
+                        .with_faults(FaultConfig::preempt(0.2, 3))
+                        .with_amortize()
+                        .with_label("OL_GD@0.2/n3"),
+                ),
+                tiny(
+                    RunSpec::fig3(Algo::GreedyGd)
+                        .with_faults(FaultConfig::preempt(0.2, 1))
+                        .with_amortize()
+                        .with_label("GREEDY_GD@0.2/n1"),
+                ),
+                tiny(
+                    RunSpec::fig6(Algo::OlUcb)
+                        .with_faults(FaultConfig::preempt(0.2, 3))
+                        .with_amortize()
+                        .with_label("OL_UCB@0.2/n3"),
+                ),
             ],
         ),
     ];

@@ -33,6 +33,7 @@ mod tests {
         demands: Vec<f64>,
         up: Vec<bool>,
         factor: Vec<f64>,
+        drain: Vec<mec_net::DrainState>,
     }
 
     fn fixture(seed: u64) -> Fixture {
@@ -60,6 +61,7 @@ mod tests {
             demands,
             up: vec![true; n],
             factor: vec![1.0; n],
+            drain: vec![mec_net::DrainState::Up; n],
         }
     }
 
@@ -76,6 +78,7 @@ mod tests {
                 net_cfg: &self.net_cfg,
                 station_up: &self.up,
                 capacity_factor: &self.factor,
+                drain: &self.drain,
             }
         }
     }

@@ -1,7 +1,7 @@
 //! Algorithm 1: `OL_GD` — online learning with given demands.
 
 use crate::assignment::{Assignment, Target};
-use crate::lowering::build_caching_lp_masked;
+use crate::lowering::build_caching_lp_drain_aware;
 use crate::policy::{CachingPolicy, EstimatorKind, PolicyConfig, SlotContext, SlotFeedback};
 use bandit::{sample_by_weight, ArmSet, DiscountedArmStats, WindowedArmSet};
 use lexcache_obs as obs;
@@ -101,7 +101,10 @@ impl OlGdCore {
         };
         let lp = {
             let _span = obs::span("decide/lp_build");
-            build_caching_lp_masked(
+            // Preemption warnings down-weight draining columns instead
+            // of hard-masking them; with nothing draining this is the
+            // masked builder verbatim.
+            build_caching_lp_drain_aware(
                 ctx.topo,
                 ctx.scenario,
                 ctx.transfer,
@@ -110,6 +113,7 @@ impl OlGdCore {
                 ctx.remote_delay,
                 ctx.station_up,
                 ctx.capacity_factor,
+                ctx.drain,
             )
         };
         let solved = {
@@ -125,10 +129,16 @@ impl OlGdCore {
                 let _span = obs::span("decide/select");
                 let eps = self.cfg.epsilon.epsilon(ctx.slot);
                 // Down stations are masked out of both exploitation and
-                // exploration; with every station alive these are the
-                // full `0..n` (and `vec![n]` never triggers), so the
-                // fault-free path is unchanged.
-                let alive_cols: Vec<usize> = (0..n).filter(|&i| ctx.station_up[i]).collect();
+                // exploration, and draining arms are frozen early: a
+                // station with a scheduled kill is never worth an
+                // exploratory pull (its sample stream is about to stop)
+                // and leaves the candidate set whenever a safe candidate
+                // remains. With every station alive and nothing draining
+                // these are the full `0..n` (and `vec![n]` never
+                // triggers), so the fault-free path is unchanged.
+                let alive_cols: Vec<usize> = (0..n)
+                    .filter(|&i| ctx.station_up[i] && !ctx.drain[i].is_draining())
+                    .collect();
                 (0..demands.len())
                     .map(|l| {
                         // Lines 5–9: exploit the candidate set with
@@ -141,6 +151,9 @@ impl OlGdCore {
                             candidates[l].clone()
                         };
                         cands.retain(|&c| c == n || ctx.station_up[c]);
+                        if cands.iter().any(|&c| c == n || !ctx.drain[c].is_draining()) {
+                            cands.retain(|&c| c == n || !ctx.drain[c].is_draining());
+                        }
                         if cands.is_empty() {
                             cands = vec![n];
                         }

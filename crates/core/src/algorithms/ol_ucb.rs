@@ -12,7 +12,7 @@
 
 use crate::algorithms::ol_gd::repair_capacity;
 use crate::assignment::{Assignment, Target};
-use crate::lowering::build_caching_lp_masked;
+use crate::lowering::build_caching_lp_drain_aware;
 use crate::policy::{CachingPolicy, SlotContext, SlotFeedback};
 use bandit::{sample_by_weight, ArmSet};
 use lexcache_obs as obs;
@@ -61,11 +61,17 @@ impl CachingPolicy for OlUcb {
         let arms = self.arms.get_or_insert_with(|| ArmSet::new(n));
         // Optimistic believed delays: LCB for pulled arms, a fraction of
         // the prior for unpulled ones (so every station gets tried).
+        // Draining arms get no optimism — their sample stream is about
+        // to stop, so spending exploration on them is wasted; they fall
+        // back to the learned mean (or the plain prior if never pulled)
+        // and are additionally down-weighted inside the LP.
         let believed: Vec<f64> = {
             let _span = obs::span("decide/estimate");
             (0..n)
                 .map(|i| {
-                    if arms.pulls(i) == 0 {
+                    if ctx.drain[i].is_draining() {
+                        arms.mean(i).unwrap_or(ctx.prior_delay[i])
+                    } else if arms.pulls(i) == 0 {
                         0.25 * ctx.prior_delay[i]
                     } else {
                         arms.stats()[i].lcb(t).max(0.05 * ctx.prior_delay[i])
@@ -75,7 +81,7 @@ impl CachingPolicy for OlUcb {
         };
         let lp = {
             let _span = obs::span("decide/lp_build");
-            build_caching_lp_masked(
+            build_caching_lp_drain_aware(
                 ctx.topo,
                 ctx.scenario,
                 ctx.transfer,
@@ -84,6 +90,7 @@ impl CachingPolicy for OlUcb {
                 ctx.remote_delay,
                 ctx.station_up,
                 ctx.capacity_factor,
+                ctx.drain,
             )
         };
         let solved = {

@@ -166,6 +166,48 @@ impl CacheState {
         obs::counter("cache/lost_on_failure", lost as u64);
         lost
     }
+
+    /// Migrates up to `budget` warm instances from a draining station to
+    /// a failover target, most-recently-used first (ties broken by
+    /// service id for determinism). Instances whose service is already
+    /// warm at `to` are dropped from `from` without consuming budget —
+    /// the drain consolidates them, nothing is lost. Entries beyond the
+    /// budget stay behind and die with the station. Last-use slots move
+    /// with the instance; a later [`apply`](CacheState::apply) enforces
+    /// any per-station limit at the target as usual. Returns the number
+    /// of instances migrated and counts them as `cache/drained`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either station is out of range or `from == to`.
+    pub fn drain_to(&mut self, from: BsId, to: BsId, budget: usize) -> usize {
+        assert!(from.index() < self.n_stations, "station out of range");
+        assert!(to.index() < self.n_stations, "station out of range");
+        assert_ne!(from, to, "cannot drain a station onto itself");
+        if budget == 0 {
+            return 0;
+        }
+        let mut here: Vec<((usize, usize), usize)> = self
+            .last_used
+            .iter()
+            .filter(|&(&(_, i), _)| i == from.index())
+            .map(|(&key, &last)| (key, last))
+            .collect();
+        here.sort_by_key(|&((k, _), last)| (std::cmp::Reverse(last), k));
+        let mut moved = 0;
+        for ((k, _), last) in here {
+            if moved == budget {
+                break;
+            }
+            self.last_used.remove(&(k, from.index()));
+            if !self.last_used.contains_key(&(k, to.index())) {
+                self.last_used.insert((k, to.index()), last);
+                moved += 1;
+                obs::counter("cache/drained", 1);
+            }
+        }
+        moved
+    }
 }
 
 #[cfg(test)]
@@ -247,6 +289,53 @@ mod tests {
         assert_eq!(cost, 10.0);
         // Evicting an empty station is a no-op.
         assert_eq!(cache.evict_station(BsId(1)), 0);
+    }
+
+    #[test]
+    fn drain_moves_mru_first_within_budget() {
+        let mut cache = CacheState::new(3, 4);
+        let _ = cache.apply(1, &[(0, 0), (1, 0)], &inst());
+        let _ = cache.apply(2, &[(2, 0)], &inst());
+        let moved = cache.drain_to(BsId(0), BsId(1), 2);
+        assert_eq!(moved, 2);
+        // MRU first: service 2 (slot 2) then the slot-1 tie broken by
+        // service id — service 0 moves, service 1 stays behind.
+        assert!(cache.is_cached(2, BsId(1)));
+        assert!(cache.is_cached(0, BsId(1)));
+        assert!(cache.is_cached(1, BsId(0)), "over-budget entry left behind");
+        assert!(!cache.is_cached(2, BsId(0)));
+        // Migrated entries keep their warmth: re-use at the target pays
+        // nothing.
+        let cost = cache.apply(3, &[(2, 1)], &inst());
+        assert_eq!(cost, 0.0);
+    }
+
+    #[test]
+    fn drain_consolidates_duplicates_without_spending_budget() {
+        let mut cache = CacheState::new(3, 4);
+        let _ = cache.apply(1, &[(0, 0), (1, 0), (0, 1)], &inst());
+        // Service 0 is already warm at the target: its doomed copy is
+        // dropped for free, the budget of one still moves service 1.
+        let moved = cache.drain_to(BsId(0), BsId(1), 1);
+        assert_eq!(moved, 1);
+        assert!(cache.is_cached(1, BsId(1)));
+        assert!(cache.is_cached(0, BsId(1)));
+        assert_eq!(cache.live_at(BsId(0)), 0);
+    }
+
+    #[test]
+    fn drain_with_zero_budget_is_a_no_op() {
+        let mut cache = CacheState::new(3, 2);
+        let _ = cache.apply(1, &[(0, 0)], &inst());
+        assert_eq!(cache.drain_to(BsId(0), BsId(1), 0), 0);
+        assert!(cache.is_cached(0, BsId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot drain a station onto itself")]
+    fn drain_to_self_rejected() {
+        let mut cache = CacheState::new(3, 2);
+        let _ = cache.drain_to(BsId(0), BsId(0), 1);
     }
 
     #[test]

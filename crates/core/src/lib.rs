@@ -63,7 +63,7 @@ pub use algorithms::{
 pub use assignment::{Assignment, Target};
 pub use cache::CacheState;
 pub use lowering::TransferCosts;
-pub use mec_net::FaultConfig;
+pub use mec_net::{DrainState, FaultConfig, PreemptNotice};
 pub use metrics::{EpisodeReport, SlotMetrics};
 pub use policy::{CachingPolicy, PolicyConfig, SlotContext, SlotFeedback};
 pub use sim::{DelayModelKind, Episode, EpisodeConfig};

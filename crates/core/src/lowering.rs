@@ -1,6 +1,6 @@
 //! Lowering topology + scenario + believed delays into the caching LP.
 
-use mec_net::{BsId, Topology};
+use mec_net::{BsId, DrainState, Topology};
 use mec_workload::Scenario;
 use simplex::CachingLp;
 
@@ -179,6 +179,97 @@ pub fn build_caching_lp_masked(
     station_up: &[bool],
     capacity_factor: &[f64],
 ) -> CachingLp {
+    build_weighted(
+        topo,
+        scenario,
+        transfer,
+        believed_delay,
+        demands,
+        remote_delay,
+        station_up,
+        capacity_factor,
+        None,
+    )
+}
+
+/// The per-column cost multiplier a draining station carries in the
+/// drain-aware LP: `1 + 1/k` with `k` slots left before the kill.
+/// `Draining(1)` doubles its columns' costs (work placed there is all
+/// but lost), a long notice barely penalizes; non-draining states weigh
+/// `1.0` exactly.
+pub fn drain_cost_weight(state: DrainState) -> f64 {
+    match state {
+        DrainState::Draining(k) => 1.0 + 1.0 / (k.max(1) as f64),
+        _ => 1.0,
+    }
+}
+
+/// Preemption-aware variant of [`build_caching_lp_masked`]: instead of
+/// hard-masking draining stations (they are still alive and serving),
+/// their columns' unit costs are scaled by [`drain_cost_weight`], so the
+/// LP sheds load from doomed stations in proportion to how imminent the
+/// kill is. With no station draining this delegates to the masked
+/// builder and is bit-identical to it — the fault-free and notice-zero
+/// paths never see a weighted cost.
+///
+/// # Panics
+///
+/// Panics on the same inconsistencies as [`build_caching_lp_masked`], or
+/// if `drain` does not have one entry per station.
+// lexlint: why the drain slice rides with the mask slices; same one-call-site ceremony trade-off as the masked builder
+#[allow(clippy::too_many_arguments)]
+pub fn build_caching_lp_drain_aware(
+    topo: &Topology,
+    scenario: &Scenario,
+    transfer: &TransferCosts,
+    believed_delay: &[f64],
+    demands: &[f64],
+    remote_delay: f64,
+    station_up: &[bool],
+    capacity_factor: &[f64],
+    drain: &[DrainState],
+) -> CachingLp {
+    assert_eq!(drain.len(), topo.len(), "one drain state per station");
+    if drain.iter().any(|d| d.is_draining()) {
+        let weights: Vec<f64> = drain.iter().map(|&d| drain_cost_weight(d)).collect();
+        build_weighted(
+            topo,
+            scenario,
+            transfer,
+            believed_delay,
+            demands,
+            remote_delay,
+            station_up,
+            capacity_factor,
+            Some(&weights),
+        )
+    } else {
+        build_caching_lp_masked(
+            topo,
+            scenario,
+            transfer,
+            believed_delay,
+            demands,
+            remote_delay,
+            station_up,
+            capacity_factor,
+        )
+    }
+}
+
+// lexlint: why private trunk shared by the masked and drain-aware builders; it inherits their full argument lists plus the weight option
+#[allow(clippy::too_many_arguments)]
+fn build_weighted(
+    topo: &Topology,
+    scenario: &Scenario,
+    transfer: &TransferCosts,
+    believed_delay: &[f64],
+    demands: &[f64],
+    remote_delay: f64,
+    station_up: &[bool],
+    capacity_factor: &[f64],
+    cost_weight: Option<&[f64]>,
+) -> CachingLp {
     let n = topo.len();
     assert_eq!(believed_delay.len(), n, "one believed delay per station");
     assert_eq!(
@@ -197,7 +288,13 @@ pub fn build_caching_lp_masked(
         .enumerate()
         .map(|(l, _)| {
             let mut row: Vec<f64> = (0..n)
-                .map(|i| believed_delay[i] + transfer.get(l, BsId(i)))
+                .map(|i| {
+                    let base = believed_delay[i] + transfer.get(l, BsId(i));
+                    match cost_weight {
+                        Some(w) => base * w[i],
+                        None => base,
+                    }
+                })
                 .collect();
             row.push(remote_delay);
             row
@@ -450,6 +547,102 @@ mod tests {
             let full = bs.capacity_mhz() / scenario.c_unit_mhz();
             assert!((lp.capacity_units()[i] - full * 0.5).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn drain_cost_weight_shape() {
+        assert_eq!(drain_cost_weight(DrainState::Up), 1.0);
+        assert_eq!(drain_cost_weight(DrainState::Preempted), 1.0);
+        assert_eq!(drain_cost_weight(DrainState::Returning), 1.0);
+        assert_eq!(drain_cost_weight(DrainState::Draining(1)), 2.0);
+        assert!((drain_cost_weight(DrainState::Draining(10)) - 1.1).abs() < 1e-12);
+        // Imminence orders the penalty.
+        assert!(
+            drain_cost_weight(DrainState::Draining(1)) > drain_cost_weight(DrainState::Draining(3))
+        );
+    }
+
+    #[test]
+    fn all_up_drain_states_match_masked_builder_exactly() {
+        let (topo, cfg, scenario) = setup();
+        let transfer = TransferCosts::compute(&topo, &scenario);
+        let believed: Vec<f64> = topo
+            .stations()
+            .iter()
+            .map(|b| cfg.tier(b.tier()).unit_delay_ms.mid())
+            .collect();
+        let demands: Vec<f64> = scenario
+            .requests()
+            .iter()
+            .map(|r| r.basic_demand())
+            .collect();
+        let masked = build_caching_lp_masked(
+            &topo,
+            &scenario,
+            &transfer,
+            &believed,
+            &demands,
+            75.0,
+            &vec![true; topo.len()],
+            &vec![1.0; topo.len()],
+        );
+        let drained = build_caching_lp_drain_aware(
+            &topo,
+            &scenario,
+            &transfer,
+            &believed,
+            &demands,
+            75.0,
+            &vec![true; topo.len()],
+            &vec![1.0; topo.len()],
+            &vec![DrainState::Up; topo.len()],
+        );
+        assert_eq!(masked.unit_cost(), drained.unit_cost());
+        assert_eq!(masked.capacity_units(), drained.capacity_units());
+    }
+
+    #[test]
+    fn draining_columns_are_down_weighted_not_masked() {
+        let (topo, cfg, scenario) = setup();
+        let transfer = TransferCosts::compute(&topo, &scenario);
+        let believed: Vec<f64> = topo
+            .stations()
+            .iter()
+            .map(|b| cfg.tier(b.tier()).unit_delay_ms.mid())
+            .collect();
+        let demands: Vec<f64> = scenario
+            .requests()
+            .iter()
+            .map(|r| r.basic_demand())
+            .collect();
+        let mut drain = vec![DrainState::Up; topo.len()];
+        drain[0] = DrainState::Draining(1);
+        drain[1] = DrainState::Draining(3);
+        let plain = build_caching_lp(&topo, &scenario, &transfer, &believed, &demands, 75.0);
+        let weighted = build_caching_lp_drain_aware(
+            &topo,
+            &scenario,
+            &transfer,
+            &believed,
+            &demands,
+            75.0,
+            &vec![true; topo.len()],
+            &vec![1.0; topo.len()],
+            &drain,
+        );
+        for l in 0..plain.n_requests() {
+            let base0 = plain.unit_cost()[l][0];
+            let base1 = plain.unit_cost()[l][1];
+            assert!((weighted.unit_cost()[l][0] - base0 * 2.0).abs() < 1e-12);
+            assert!((weighted.unit_cost()[l][1] - base1 * (1.0 + 1.0 / 3.0)).abs() < 1e-12);
+            // Untouched columns and the remote column keep their costs.
+            for i in 2..topo.len() {
+                assert_eq!(weighted.unit_cost()[l][i], plain.unit_cost()[l][i]);
+            }
+            assert_eq!(weighted.unit_cost()[l][topo.len()], 75.0);
+        }
+        // Draining stations keep their capacity: they still serve.
+        assert_eq!(weighted.capacity_units(), plain.capacity_units());
     }
 
     #[test]

@@ -29,6 +29,18 @@ pub struct SlotMetrics {
     /// `remote_count`; 0 when fault injection is disabled).
     #[serde(default)]
     pub dropped_count: usize,
+    /// Stations that received a preemption notice this slot and began
+    /// draining (0 when preemption is disabled).
+    #[serde(default)]
+    pub drained_count: usize,
+    /// Warm cache entries migrated off draining stations this slot by
+    /// the drain pass (0 when preemption is disabled).
+    #[serde(default)]
+    pub migrated_entries: usize,
+    /// Requests moved off stations one slot from their scheduled kill by
+    /// the pre-emptive repair pass (0 when preemption is disabled).
+    #[serde(default)]
+    pub proactive_reroutes: usize,
 }
 
 /// The result of running one policy for a horizon of slots.
@@ -145,6 +157,21 @@ impl EpisodeReport {
     pub fn total_dropped(&self) -> usize {
         self.slots.iter().map(|s| s.dropped_count).sum()
     }
+
+    /// Total preemption notices received (stations that began draining).
+    pub fn total_drained(&self) -> usize {
+        self.slots.iter().map(|s| s.drained_count).sum()
+    }
+
+    /// Total warm cache entries migrated off draining stations.
+    pub fn total_migrated(&self) -> usize {
+        self.slots.iter().map(|s| s.migrated_entries).sum()
+    }
+
+    /// Total requests evacuated pre-emptively from doomed stations.
+    pub fn total_proactive_reroutes(&self) -> usize {
+        self.slots.iter().map(|s| s.proactive_reroutes).sum()
+    }
 }
 
 #[cfg(test)]
@@ -160,6 +187,9 @@ mod tests {
             remote_count: i % 2,
             rerouted_count: i,
             dropped_count: i % 3,
+            drained_count: i % 2,
+            migrated_entries: 2 * i,
+            proactive_reroutes: i % 4,
         }
     }
 
@@ -192,6 +222,9 @@ mod tests {
         assert_eq!(r.total_remote(), 1);
         assert_eq!(r.total_rerouted(), 3);
         assert_eq!(r.total_dropped(), 3);
+        assert_eq!(r.total_drained(), 1);
+        assert_eq!(r.total_migrated(), 6);
+        assert_eq!(r.total_proactive_reroutes(), 3);
     }
 
     #[test]
@@ -205,6 +238,9 @@ mod tests {
                 remote_count: 0,
                 rerouted_count: 0,
                 dropped_count: 0,
+                drained_count: 0,
+                migrated_entries: 0,
+                proactive_reroutes: 0,
             })
             .collect();
         // Shuffle-ish ordering: percentiles must sort, not trust input.

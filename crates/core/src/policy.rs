@@ -3,7 +3,7 @@
 use crate::assignment::Assignment;
 use crate::lowering::TransferCosts;
 use bandit::EpsilonSchedule;
-use mec_net::Topology;
+use mec_net::{DrainState, Topology};
 use mec_workload::Scenario;
 use serde::{Deserialize, Serialize};
 
@@ -38,6 +38,13 @@ pub struct SlotContext<'a> {
     /// Per-station usable-capacity multiplier in `(0, 1]` (capacity
     /// brown-outs); all-ones when fault injection is disabled.
     pub capacity_factor: &'a [f64],
+    /// `drain[i]` — where `BsId(i)` sits in the preemption drain
+    /// lifecycle. Draining stations are still alive (`station_up` true)
+    /// but will be killed in `slots_until_kill` slots; warning-aware
+    /// policies shift work off them early, warning-blind baselines may
+    /// ignore this field entirely. All-`Up` when fault injection is
+    /// disabled.
+    pub drain: &'a [DrainState],
 }
 
 /// End-of-slot feedback: what the environment revealed.

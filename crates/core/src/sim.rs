@@ -5,7 +5,7 @@ use crate::metrics::{EpisodeReport, SlotMetrics};
 use crate::policy::{CachingPolicy, SlotContext, SlotFeedback};
 use lexcache_obs as obs;
 use mec_net::delay::{CongestionDelay, DelayProcess, RemoteDcDelay, UniformTierDelay};
-use mec_net::{FaultConfig, FaultProcess, NetworkConfig, Topology};
+use mec_net::{DrainState, FaultConfig, FaultProcess, NetworkConfig, Topology};
 use mec_workload::demand::DemandProcess as _;
 use mec_workload::Scenario;
 use serde::{Deserialize, Serialize};
@@ -70,8 +70,18 @@ pub struct EpisodeConfig {
     /// to a build without fault support).
     #[serde(default)]
     pub faults: FaultConfig,
+    /// How many warm cache entries may be migrated off a station per
+    /// preemption notice (most-recently-used first, see
+    /// [`crate::CacheState::drain_to`]). Only consulted when the fault
+    /// config preempts; entries beyond the budget die with the station.
+    #[serde(default = "default_migration_budget")]
+    pub migration_budget: usize,
     /// Environment seed (delay realizations).
     pub seed: u64,
+}
+
+fn default_migration_budget() -> usize {
+    8
 }
 
 impl EpisodeConfig {
@@ -84,6 +94,7 @@ impl EpisodeConfig {
             amortize_instantiation: false,
             load_sensitivity: 0.0,
             faults: FaultConfig::none(),
+            migration_budget: default_migration_budget(),
             seed,
         }
     }
@@ -135,6 +146,13 @@ impl EpisodeConfig {
         self.faults = faults;
         self
     }
+
+    /// Overrides the per-notice cache migration budget (0 disables
+    /// drain migration entirely).
+    pub fn with_migration_budget(mut self, budget: usize) -> Self {
+        self.migration_budget = budget;
+        self
+    }
 }
 
 enum DelayModel {
@@ -183,6 +201,9 @@ pub struct Episode {
     /// Per-slot brown-out capacity multipliers (all-ones when faults are
     /// off).
     capacity_factor: Vec<f64>,
+    /// Per-slot preemption drain states handed to the policy (all-`Up`
+    /// when faults are off).
+    drain: Vec<DrainState>,
     /// Transfer costs re-routed around dead links; `None` until the
     /// first link-state change, after which it shadows `transfer`.
     transfer_masked: Option<TransferCosts>,
@@ -249,6 +270,7 @@ impl Episode {
             faults,
             station_up: vec![true; n],
             capacity_factor: vec![1.0; n],
+            drain: vec![DrainState::Up; n],
             transfer_masked: None,
         }
     }
@@ -320,8 +342,14 @@ impl Episode {
     /// Safety net run after `decide` when faults are active: any request
     /// still assigned to a down station is re-routed to its cheapest
     /// alive station with spare (brown-out-adjusted) capacity, or to the
-    /// remote data centre when none has room. Returns the repaired
-    /// assignment plus `(rerouted, dropped)` counts.
+    /// remote data centre when none has room. A second, pre-emptive pass
+    /// then evacuates requests parked on stations one slot away from a
+    /// scheduled preemption kill (`Draining(1)`) onto the cheapest alive
+    /// non-draining station with slack — acting on the warning now is
+    /// cheaper than post-outage repair next slot. Returns the repaired
+    /// assignment plus `(rerouted, dropped, proactive)` counts.
+    // lexlint: why the repair pass mirrors the full per-slot fault snapshot; a params struct would be built and torn down once per call site
+    #[allow(clippy::too_many_arguments)]
     fn repair_faulted_assignment(
         &self,
         assignment: crate::Assignment,
@@ -329,7 +357,8 @@ impl Episode {
         transfer: &TransferCosts,
         station_up: &[bool],
         capacity_factor: &[f64],
-    ) -> (crate::Assignment, usize, usize) {
+        drain: &[DrainState],
+    ) -> (crate::Assignment, usize, usize, usize) {
         let n = self.topo.len();
         let c_unit = self.scenario.c_unit_mhz();
         let capacity: Vec<f64> = self
@@ -386,7 +415,50 @@ impl Episode {
                 }
             }
         }
-        (crate::Assignment::new(targets), rerouted, dropped)
+        // Pre-emptive pass: a request still parked on a `Draining(1)`
+        // station would be force-repaired (or lost to the remote tier)
+        // next slot anyway; moving it now, while the station still
+        // serves, avoids instantiating anything new on doomed hardware.
+        // Unlike the down-station pass there is no remote fallback — if
+        // no alive non-draining station has slack, the request stays put
+        // for its final served slot.
+        let mut proactive = 0;
+        if drain.iter().any(|d| *d == DrainState::Draining(1)) {
+            for l in 0..targets.len() {
+                let crate::Target::Edge(bs) = targets[l] else {
+                    continue;
+                };
+                if drain[bs.index()] != DrainState::Draining(1) || !station_up[bs.index()] {
+                    continue;
+                }
+                let mut best: Option<usize> = None;
+                let mut best_cost = f64::INFINITY;
+                for i in 0..n {
+                    if !station_up[i] || drain[i].is_draining() {
+                        continue;
+                    }
+                    if load[i] + demands[l] <= capacity[i] + 1e-9 {
+                        let c = self.prior_delay[i] + transfer.get(l, mec_net::BsId(i));
+                        if c < best_cost {
+                            best_cost = c;
+                            best = Some(i);
+                        }
+                    }
+                }
+                if let Some(i) = best {
+                    load[bs.index()] -= demands[l];
+                    load[i] += demands[l];
+                    targets[l] = crate::Target::Edge(mec_net::BsId(i));
+                    proactive += 1;
+                }
+            }
+        }
+        (
+            crate::Assignment::new(targets),
+            rerouted,
+            dropped,
+            proactive,
+        )
     }
 
     /// Runs `policy` for `horizon` slots and collects metrics.
@@ -424,15 +496,67 @@ impl Episode {
             // lose the warm cache of freshly failed stations and reroute
             // transfer paths around dead links. Skipped entirely (not
             // just a no-op) when faults are disabled.
+            let mut drained_count = 0usize;
+            let mut migrated_entries = 0usize;
             if self.faults.is_some() {
                 let _span = obs::span("sim/faults");
                 if let Some(fp) = self.faults.as_mut() {
                     fp.advance(&self.topo);
+                    let mut killed_while_draining = 0u64;
                     for &bs in fp.newly_failed() {
-                        self.cache.evict_station(bs);
+                        let lost = self.cache.evict_station(bs);
+                        if fp.preempt_killed().contains(&bs) {
+                            killed_while_draining += lost as u64;
+                            obs::mark("faults/preempt_kill");
+                        }
+                    }
+                    if killed_while_draining > 0 {
+                        obs::counter("faults/killed_while_draining", killed_while_draining);
                     }
                     if fp.injected_last_slot() > 0 {
                         obs::counter("faults/injected", fp.injected_last_slot() as u64);
+                    }
+                    // Proactive degradation: every station warned this
+                    // slot drains its warmest cache entries onto the
+                    // cheapest alive station that is not itself doomed,
+                    // up to the migration budget. The rest of the warm
+                    // set dies with the station at kill time.
+                    drained_count = fp.notices().len();
+                    if drained_count > 0 {
+                        obs::counter("faults/preempt_warned", drained_count as u64);
+                    }
+                    for idx in 0..drained_count {
+                        obs::mark("faults/preempt_notice");
+                        let from = fp.notices()[idx].station;
+                        let mut best: Option<usize> = None;
+                        let mut best_cost = f64::INFINITY;
+                        for i in 0..n {
+                            if i == from.index()
+                                || !fp.station_up()[i]
+                                || fp.drain_states()[i].is_draining()
+                            {
+                                continue;
+                            }
+                            let c = self.prior_delay[i];
+                            if c < best_cost {
+                                best_cost = c;
+                                best = Some(i);
+                            }
+                        }
+                        if let Some(i) = best {
+                            let moved = self.cache.drain_to(
+                                from,
+                                mec_net::BsId(i),
+                                self.cfg.migration_budget,
+                            );
+                            if moved > 0 {
+                                migrated_entries += moved;
+                                obs::mark("faults/drain");
+                            }
+                        }
+                    }
+                    if migrated_entries > 0 {
+                        obs::counter("faults/drained", migrated_entries as u64);
                     }
                     if fp.links_changed() {
                         self.transfer_masked = Some(TransferCosts::compute_masked(
@@ -443,6 +567,7 @@ impl Episode {
                     }
                     self.station_up.copy_from_slice(fp.station_up());
                     self.capacity_factor.copy_from_slice(fp.capacity_factors());
+                    self.drain.copy_from_slice(fp.drain_states());
                 }
             }
             let transfer_now = self.transfer_masked.as_ref().unwrap_or(&self.transfer);
@@ -460,6 +585,7 @@ impl Episode {
                     net_cfg: &self.net_cfg,
                     station_up: &self.station_up,
                     capacity_factor: &self.capacity_factor,
+                    drain: &self.drain,
                 }
             };
             let decide_span = obs::span("sim/decide");
@@ -475,26 +601,33 @@ impl Episode {
             drop(ctx);
 
             // Graceful degradation: nothing may stay assigned to a down
-            // station, whatever the policy returned.
-            let (assignment, rerouted_count, dropped_count) = if self.faults.is_some() {
-                let _span = obs::span("sim/fault_repair");
-                let (repaired, rerouted, dropped) = self.repair_faulted_assignment(
-                    assignment,
-                    &demands,
-                    transfer_now,
-                    &self.station_up,
-                    &self.capacity_factor,
-                );
-                if rerouted > 0 {
-                    obs::counter("requests/rerouted", rerouted as u64);
-                }
-                if dropped > 0 {
-                    obs::counter("requests/dropped", dropped as u64);
-                }
-                (repaired, rerouted, dropped)
-            } else {
-                (assignment, 0, 0)
-            };
+            // station, whatever the policy returned — and nothing should
+            // wait out a preemption warning's final slot if a safe
+            // station has room.
+            let (assignment, rerouted_count, dropped_count, proactive_reroutes) =
+                if self.faults.is_some() {
+                    let _span = obs::span("sim/fault_repair");
+                    let (repaired, rerouted, dropped, proactive) = self.repair_faulted_assignment(
+                        assignment,
+                        &demands,
+                        transfer_now,
+                        &self.station_up,
+                        &self.capacity_factor,
+                        &self.drain,
+                    );
+                    if rerouted > 0 {
+                        obs::counter("requests/rerouted", rerouted as u64);
+                    }
+                    if dropped > 0 {
+                        obs::counter("requests/dropped", dropped as u64);
+                    }
+                    if proactive > 0 {
+                        obs::counter("requests/proactive_reroute", proactive as u64);
+                    }
+                    (repaired, rerouted, dropped, proactive)
+                } else {
+                    (assignment, 0, 0, 0)
+                };
 
             // Score against the realized delays. A station whose
             // realized load exceeds its capacity queues: its unit delay
@@ -594,6 +727,9 @@ impl Episode {
                 remote_count: assignment.remote_count(),
                 rerouted_count,
                 dropped_count,
+                drained_count,
+                migrated_entries,
+                proactive_reroutes,
             });
         }
         EpisodeReport {
@@ -863,14 +999,17 @@ mod tests {
         let capacity_factor = vec![1.0; n];
         // A pathological policy output: everything on the down station.
         let broken = crate::Assignment::new(vec![Target::Edge(mec_net::BsId(0)); n_req]);
-        let (repaired, rerouted, dropped) = ep.repair_faulted_assignment(
+        let drain = vec![mec_net::DrainState::Up; n];
+        let (repaired, rerouted, dropped, proactive) = ep.repair_faulted_assignment(
             broken,
             &demands,
             ep.transfer(),
             &station_up,
             &capacity_factor,
+            &drain,
         );
         assert_eq!(rerouted + dropped, n_req, "every request was touched");
+        assert_eq!(proactive, 0, "nothing drains in this scenario");
         let mut load = vec![0.0; n];
         for (l, t) in repaired.targets().iter().enumerate() {
             if let Target::Edge(bs) = t {
@@ -1017,5 +1156,194 @@ mod tests {
                 assert!(l <= caps[i] + 1e-6, "station {i} overloaded: {l}");
             }
         }
+    }
+
+    /// Tentpole pin at the episode level: preemption with a zero-slot
+    /// notice window is the unannounced-outage pipeline bit-for-bit —
+    /// same kills, same repairs, same delays, and none of the
+    /// drain-path metrics ever fire.
+    #[test]
+    fn preempt_notice_zero_episode_matches_unannounced_outage_episode() {
+        let build = |faults: FaultConfig| {
+            let cfg = NetworkConfig::paper_defaults();
+            let topo = gtitm::generate(20, &cfg, 43);
+            let scenario = ScenarioConfig::small().build(&topo, 43);
+            let ep_cfg = EpisodeConfig::new(43)
+                .with_faults(faults)
+                .with_amortized_instantiation();
+            let mut ep = Episode::with_config(topo, cfg, scenario, ep_cfg);
+            ep.run(&mut OlGd::new(PolicyConfig::default()), 25)
+        };
+        let preempt = build(FaultConfig::preempt(0.15, 0));
+        let outage = build(FaultConfig {
+            outage_rate: 0.15,
+            repair_rate: 0.3,
+            correlation_radius_m: 100.0,
+            correlation_probability: 0.5,
+            ..FaultConfig::none()
+        });
+        let bits = |r: &EpisodeReport| -> Vec<(u64, usize, usize, usize)> {
+            r.slots
+                .iter()
+                .map(|s| {
+                    (
+                        s.avg_delay_ms.to_bits(),
+                        s.remote_count,
+                        s.rerouted_count,
+                        s.dropped_count,
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(bits(&preempt), bits(&outage));
+        assert_eq!(preempt.total_drained(), 0, "no warnings at notice zero");
+        assert_eq!(preempt.total_migrated(), 0);
+        assert_eq!(preempt.total_proactive_reroutes(), 0);
+    }
+
+    #[test]
+    fn preemptive_episodes_are_deterministic() {
+        let run = || {
+            let cfg = NetworkConfig::paper_defaults();
+            let topo = gtitm::generate(20, &cfg, 47);
+            let scenario = ScenarioConfig::small().build(&topo, 47);
+            let ep_cfg = EpisodeConfig::new(47)
+                .with_faults(FaultConfig::preempt(0.2, 3))
+                .with_amortized_instantiation();
+            let mut ep = Episode::with_config(topo, cfg, scenario, ep_cfg);
+            ep.run(&mut OlGd::new(PolicyConfig::default()), 30)
+        };
+        let a = run();
+        let b = run();
+        let bits = |r: &EpisodeReport| -> Vec<(u64, usize, usize, usize)> {
+            r.slots
+                .iter()
+                .map(|s| {
+                    (
+                        s.avg_delay_ms.to_bits(),
+                        s.drained_count,
+                        s.migrated_entries,
+                        s.proactive_reroutes,
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(bits(&a), bits(&b), "same seed, same preemptions");
+        assert!(
+            a.total_drained() > 0,
+            "a 0.2 preempt rate over 30 slots must warn at least once"
+        );
+    }
+
+    /// Slot-by-slot audit of the drain pipeline: drain states stay
+    /// consistent with liveness as the policy sees them, and the warm
+    /// cache never holds an entry on a down station — kills evict, and
+    /// neither `apply` nor drain migration may repopulate one.
+    #[test]
+    fn preemption_invariants_hold_slot_by_slot() {
+        let cfg = NetworkConfig::paper_defaults();
+        let topo = gtitm::generate(15, &cfg, 53);
+        let scenario = ScenarioConfig::small().build(&topo, 53);
+        let ep_cfg = EpisodeConfig::new(53)
+            .with_faults(FaultConfig::preempt(0.3, 2))
+            .with_amortized_instantiation();
+        let mut ep = Episode::with_config(topo, cfg, scenario, ep_cfg);
+        let n = ep.topology().len();
+        let mut saw_drain = false;
+        for _ in 0..40 {
+            let _ = ep.run(&mut GreedyGd::new(), 1);
+            for i in 0..n {
+                match ep.drain[i] {
+                    DrainState::Draining(k) => {
+                        saw_drain = true;
+                        assert!(k >= 1, "a zero-countdown station must be dead already");
+                        assert!(ep.station_up[i], "draining station {i} must be up");
+                    }
+                    DrainState::Preempted => {
+                        assert!(!ep.station_up[i], "preempted station {i} must be down");
+                    }
+                    DrainState::Returning | DrainState::Up => {}
+                }
+                if !ep.station_up[i] {
+                    assert_eq!(
+                        ep.cache.live_at(mec_net::BsId(i)),
+                        0,
+                        "down station {i} still holds warm cache entries"
+                    );
+                }
+            }
+        }
+        assert!(saw_drain, "a 0.3 preempt rate must drain at least once");
+    }
+
+    /// The robustness headline: with a usable notice window the pipeline
+    /// (cache migration + pre-emptive reroute + warning-aware learners)
+    /// keeps the learner competitive with — and typically ahead of — the
+    /// warning-blind greedy baseline under the same preemption stream.
+    #[test]
+    fn warned_learner_is_competitive_with_blind_baseline_under_preemption() {
+        let horizon = 50;
+        let mut blind_total = 0.0;
+        let mut warned_total = 0.0;
+        for seed in 0..3 {
+            let build = || {
+                let cfg = NetworkConfig::paper_defaults();
+                let topo = gtitm::generate(20, &cfg, 61 + seed);
+                let scenario = ScenarioConfig::small().build(&topo, 61 + seed);
+                let ep_cfg = EpisodeConfig::new(61 + seed)
+                    .with_faults(FaultConfig::preempt(0.15, 3))
+                    .with_amortized_instantiation();
+                Episode::with_config(topo, cfg, scenario, ep_cfg)
+            };
+            blind_total += build()
+                .run(&mut GreedyGd::new(), horizon)
+                .mean_avg_delay_ms();
+            warned_total += build()
+                .run(
+                    &mut OlGd::new(PolicyConfig::default().with_seed(61 + seed)),
+                    horizon,
+                )
+                .mean_avg_delay_ms();
+        }
+        assert!(
+            warned_total < blind_total * 1.05,
+            "warned OL_GD {warned_total} should be competitive with blind greedy {blind_total}"
+        );
+    }
+
+    /// Drain migration pays for itself: with the same policy, seed and
+    /// fault stream (migration never touches the fault RNG), a non-zero
+    /// migration budget preserves warm entries that a zero budget loses
+    /// with the killed station.
+    #[test]
+    fn drain_migration_preserves_warm_cache_value() {
+        let run = |budget: usize| {
+            let cfg = NetworkConfig::paper_defaults();
+            let topo = gtitm::generate(20, &cfg, 67);
+            let scenario = ScenarioConfig::small().build(&topo, 67);
+            let ep_cfg = EpisodeConfig::new(67)
+                .with_faults(FaultConfig::preempt(0.2, 3))
+                .with_amortized_instantiation()
+                .with_migration_budget(budget);
+            let mut ep = Episode::with_config(topo, cfg, scenario, ep_cfg);
+            ep.run(&mut GreedyGd::new(), 40)
+        };
+        let with_budget = run(8);
+        let without = run(0);
+        assert!(with_budget.total_migrated() > 0, "the budget must be used");
+        assert_eq!(without.total_migrated(), 0, "budget 0 disables migration");
+        // Identical decisions and fault streams: only instantiation
+        // accounting differs, and keeping entries warm can only help.
+        assert!(
+            with_budget.mean_avg_delay_ms() <= without.mean_avg_delay_ms() * 1.02,
+            "migration should not cost delay: {} vs {}",
+            with_budget.mean_avg_delay_ms(),
+            without.mean_avg_delay_ms()
+        );
+        assert_eq!(
+            with_budget.total_rerouted(),
+            without.total_rerouted(),
+            "migration must not perturb the fault stream"
+        );
     }
 }

@@ -1,5 +1,5 @@
-//! Seeded fault injection: station outages, link failures and capacity
-//! brown-outs.
+//! Seeded fault injection: station outages, link failures, capacity
+//! brown-outs and spot-style preemption warnings.
 //!
 //! The paper's premise is "learning for exception", yet its model keeps
 //! every base station, backhaul link and solver call perfectly reliable.
@@ -21,6 +21,14 @@
 //! * **Capacity brown-outs** — a two-state Markov chain per station that
 //!   scales usable cloudlet capacity by a factor in `(0, 1]` while
 //!   active (thermal throttling, partial rack loss).
+//! * **Preemption warnings** — spot-semantics capacity reclaim driven by
+//!   the embedded [`PreemptProcess`]: a station receives a
+//!   [`PreemptNotice`] `notice_slots` slots *before* it is killed, walks
+//!   the drain state machine `Up → Draining(k) → Preempted → Returning`,
+//!   and eventually gets its capacity back. Notices cascade regionally
+//!   through the same correlation machinery as outages, and a zero-slot
+//!   notice window degenerates bit-for-bit into the unannounced outage
+//!   path.
 //!
 //! All chains are driven by one `StdRng` seeded from the episode seed,
 //! so same-seed runs are bit-identical. A [`FaultConfig`] with every
@@ -61,6 +69,19 @@ pub struct FaultConfig {
     /// Probability that a given alive station inside the radius of a
     /// fresh failure goes down with it.
     pub correlation_probability: f64,
+    /// Mean per-slot probability that an up station receives a
+    /// preemption notice. Shares the per-station heterogeneity
+    /// multiplier `u_i` with `outage_rate`.
+    #[serde(default)]
+    pub preempt_rate: f64,
+    /// Slots of warning between a [`PreemptNotice`] and the kill. Zero
+    /// means the kill lands immediately — bit-identical to an
+    /// unannounced outage at the same rate.
+    #[serde(default)]
+    pub preempt_notice_slots: usize,
+    /// Per-slot probability that preempted capacity is returned.
+    #[serde(default)]
+    pub preempt_return_rate: f64,
 }
 
 impl FaultConfig {
@@ -76,6 +97,9 @@ impl FaultConfig {
             brownout_factor: 1.0,
             correlation_radius_m: 0.0,
             correlation_probability: 0.0,
+            preempt_rate: 0.0,
+            preempt_notice_slots: 0,
+            preempt_return_rate: 0.0,
         }
     }
 
@@ -99,7 +123,43 @@ impl FaultConfig {
             brownout_factor: 0.5,
             correlation_radius_m: 100.0,
             correlation_probability: 0.5,
+            ..FaultConfig::none()
         }
+    }
+
+    /// A single-knob preemption configuration used by the preemption
+    /// ablation sweep: stations are preempted at `rate` with
+    /// `notice_slots` slots of warning, reclaimed capacity returns at
+    /// 0.3/slot, and notices cascade regionally with the same 100 m /
+    /// 0.5-probability footprint as [`FaultConfig::intensity`]. The
+    /// ordinary repair rate is set equal to the return rate so a
+    /// zero-slot notice window is bit-identical to an unannounced
+    /// outage process at the same rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not in `[0, 1]`.
+    pub fn preempt(rate: f64, notice_slots: usize) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "preempt rate must be in [0, 1]"
+        );
+        FaultConfig {
+            repair_rate: 0.3,
+            correlation_radius_m: 100.0,
+            correlation_probability: 0.5,
+            preempt_rate: rate,
+            preempt_notice_slots: notice_slots,
+            preempt_return_rate: 0.3,
+            ..FaultConfig::none()
+        }
+    }
+
+    /// Returns `self` with the notice window replaced — the knob the
+    /// preemption ablation sweeps.
+    pub fn with_notice_slots(mut self, notice_slots: usize) -> Self {
+        self.preempt_notice_slots = notice_slots;
+        self
     }
 
     /// Whether this configuration can inject any fault at all.
@@ -108,7 +168,10 @@ impl FaultConfig {
     /// fault-free code path then stays bit-identical to a build without
     /// fault injection.
     pub fn is_enabled(&self) -> bool {
-        self.outage_rate > 0.0 || self.link_failure_rate > 0.0 || self.brownout_rate > 0.0
+        self.outage_rate > 0.0
+            || self.link_failure_rate > 0.0
+            || self.brownout_rate > 0.0
+            || self.preempt_rate > 0.0
     }
 
     /// Validates every field range.
@@ -127,6 +190,8 @@ impl FaultConfig {
             ("brownout_rate", self.brownout_rate),
             ("brownout_recovery_rate", self.brownout_recovery_rate),
             ("correlation_probability", self.correlation_probability),
+            ("preempt_rate", self.preempt_rate),
+            ("preempt_return_rate", self.preempt_return_rate),
         ];
         for (name, p) in probs {
             assert!((0.0..=1.0).contains(&p), "{name} must be in [0, 1]");
@@ -148,6 +213,129 @@ impl Default for FaultConfig {
     }
 }
 
+/// Where a station sits in the preemption drain lifecycle.
+///
+/// Stations not touched by preemption stay [`Up`](DrainState::Up) —
+/// including stations that are down from an *unannounced* outage (the
+/// drain state tracks the preemption overlay, `station_up` tracks
+/// physical liveness). The legal walk is
+/// `Up → Draining(k) → … → Draining(1) → Preempted → Returning → Up`,
+/// with two shortcuts: a zero-slot notice window jumps `Up → Preempted`
+/// directly, and an unannounced outage mid-drain aborts back to `Up`
+/// (down) — the outage superseded the reclaim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DrainState {
+    /// No preemption pending. The station may still be down from an
+    /// ordinary outage.
+    Up,
+    /// Notice received; the station is alive but will be killed in this
+    /// many further slots. `Draining(1)` dies on the next advance.
+    Draining(usize),
+    /// Killed by preemption; capacity reclaimed, station down.
+    Preempted,
+    /// Capacity returned this slot (observable for exactly one slot,
+    /// then the station is a plain `Up` again). Alive at full capacity.
+    Returning,
+}
+
+impl DrainState {
+    /// Whether the station is under an active drain countdown.
+    pub fn is_draining(self) -> bool {
+        matches!(self, DrainState::Draining(_))
+    }
+
+    /// Remaining slots before the scheduled kill, when draining.
+    pub fn slots_until_kill(self) -> Option<usize> {
+        match self {
+            DrainState::Draining(k) => Some(k),
+            _ => None,
+        }
+    }
+}
+
+/// A preemption warning: `station` will be killed `slots_until_kill`
+/// slots after the advance that emitted the notice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PreemptNotice {
+    /// The station being reclaimed.
+    pub station: BsId,
+    /// Slots of warning left at emission time (the configured window).
+    pub slots_until_kill: usize,
+}
+
+/// The spot-preemption component embedded in [`FaultProcess`]: owns the
+/// per-station drain state machine and the notice bookkeeping. It draws
+/// from the fault process's single RNG (inside
+/// [`FaultProcess::advance`]) so enabling preemption never perturbs the
+/// other chains' streams, and a `preempt_rate` of zero leaves every
+/// stream bit-identical to a build without this component.
+#[derive(Debug, Clone)]
+pub struct PreemptProcess {
+    /// Per-station preemption probability (`preempt_rate · u_i`, capped).
+    p_preempt: Vec<f64>,
+    notice_slots: usize,
+    return_rate: f64,
+    drain: Vec<DrainState>,
+    /// Notices issued by the last advance, sorted by station.
+    fresh_notices: Vec<PreemptNotice>,
+    /// Stations killed by preemption on the last advance (subset of
+    /// `newly_failed`), sorted.
+    preempt_killed: Vec<BsId>,
+    enabled: bool,
+}
+
+impl PreemptProcess {
+    fn new(p_preempt: Vec<f64>, cfg: &FaultConfig) -> Self {
+        let n = p_preempt.len();
+        PreemptProcess {
+            p_preempt,
+            notice_slots: cfg.preempt_notice_slots,
+            return_rate: cfg.preempt_return_rate,
+            drain: vec![DrainState::Up; n],
+            fresh_notices: Vec::new(),
+            preempt_killed: Vec::new(),
+            enabled: cfg.preempt_rate > 0.0,
+        }
+    }
+
+    /// Clears per-slot outputs and retires `Returning` markers (they
+    /// are observable for exactly one slot). Draws nothing.
+    fn begin_slot(&mut self) {
+        self.fresh_notices.clear();
+        self.preempt_killed.clear();
+        if self.enabled {
+            for d in &mut self.drain {
+                if *d == DrainState::Returning {
+                    *d = DrainState::Up;
+                }
+            }
+        }
+    }
+
+    /// Per-station drain state, indexed by `BsId`.
+    pub fn drain_states(&self) -> &[DrainState] {
+        &self.drain
+    }
+
+    /// Notices issued by the last advance (direct and cascaded), sorted
+    /// by station.
+    pub fn notices(&self) -> &[PreemptNotice] {
+        &self.fresh_notices
+    }
+
+    /// Stations whose kill landed on the last advance — scheduled
+    /// drain expiries and zero-notice immediate kills. Always a subset
+    /// of [`FaultProcess::newly_failed`], sorted.
+    pub fn preempt_killed(&self) -> &[BsId] {
+        &self.preempt_killed
+    }
+
+    /// Number of stations currently draining.
+    pub fn draining_count(&self) -> usize {
+        self.drain.iter().filter(|d| d.is_draining()).count()
+    }
+}
+
 /// The seeded per-slot fault process over one topology.
 ///
 /// Construct once per episode (only when the config
@@ -163,7 +351,7 @@ impl Default for FaultConfig {
 /// let cfg = NetworkConfig::paper_defaults();
 /// let topo = gtitm::generate(20, &cfg, 7);
 /// let mut faults = FaultProcess::new(&topo, FaultConfig::intensity(0.1), 7);
-/// faults.advance();
+/// faults.advance(&topo);
 /// assert_eq!(faults.station_up().len(), topo.len());
 /// ```
 #[derive(Debug, Clone)]
@@ -180,6 +368,7 @@ pub struct FaultProcess {
     newly_failed: Vec<BsId>,
     injected_last_slot: usize,
     links_changed: bool,
+    preempt: PreemptProcess,
     rng: StdRng,
 }
 
@@ -196,9 +385,16 @@ impl FaultProcess {
         cfg.validate();
         let n = topo.len();
         let mut rng = StdRng::seed_from_u64(seed ^ 0xfa0175);
-        let p_fail = (0..n)
-            .map(|_| (cfg.outage_rate * rng.random_range(0.5..=1.5)).min(1.0))
-            .collect();
+        // One heterogeneity draw per station feeds both the outage and
+        // the preemption probability, so enabling preemption never
+        // shifts the construction-time stream.
+        let mut p_fail = Vec::with_capacity(n);
+        let mut p_preempt = Vec::with_capacity(n);
+        for _ in 0..n {
+            let u: f64 = rng.random_range(0.5..=1.5);
+            p_fail.push((cfg.outage_rate * u).min(1.0));
+            p_preempt.push((cfg.preempt_rate * u).min(1.0));
+        }
         let positions = topo
             .stations()
             .iter()
@@ -215,6 +411,7 @@ impl FaultProcess {
             newly_failed: Vec::new(),
             injected_last_slot: 0,
             links_changed: false,
+            preempt: PreemptProcess::new(p_preempt, &cfg),
             rng,
         }
     }
@@ -234,24 +431,85 @@ impl FaultProcess {
         self.newly_failed.clear();
         self.injected_last_slot = 0;
         self.links_changed = false;
+        self.preempt.begin_slot();
 
-        // Station up/down Markov chains.
+        // Station chains: exactly one flip per station regardless of
+        // state, so the stream layout is invariant to what the flips
+        // decide. Preemption claims the low slice of the flip range and
+        // outages the next, which reduces to the plain `flip < p_fail`
+        // test whenever `preempt_rate` is zero.
+        let notice_slots = self.cfg.preempt_notice_slots;
         for i in 0..self.station_up.len() {
             let flip: f64 = self.rng.random();
-            if self.station_up[i] {
-                if flip < self.p_fail[i] {
-                    self.station_up[i] = false;
-                    self.newly_failed.push(BsId(i));
+            match self.preempt.drain[i] {
+                DrainState::Up => {
+                    if self.station_up[i] {
+                        if flip < self.preempt.p_preempt[i] {
+                            if notice_slots == 0 {
+                                // Immediate reclaim: indistinguishable
+                                // from an unannounced outage downstream.
+                                self.station_up[i] = false;
+                                self.preempt.drain[i] = DrainState::Preempted;
+                                self.newly_failed.push(BsId(i));
+                                self.preempt.preempt_killed.push(BsId(i));
+                            } else {
+                                self.preempt.drain[i] = DrainState::Draining(notice_slots);
+                                self.preempt.fresh_notices.push(PreemptNotice {
+                                    station: BsId(i),
+                                    slots_until_kill: notice_slots,
+                                });
+                            }
+                        } else if flip < self.preempt.p_preempt[i] + self.p_fail[i] {
+                            self.station_up[i] = false;
+                            self.newly_failed.push(BsId(i));
+                        }
+                    } else if flip < self.cfg.repair_rate {
+                        self.station_up[i] = true;
+                    }
                 }
-            } else if flip < self.cfg.repair_rate {
-                self.station_up[i] = true;
+                DrainState::Draining(k) => {
+                    // The flip is still consumed: an unannounced outage
+                    // can strike mid-drain and supersede the reclaim.
+                    if flip < self.p_fail[i] {
+                        self.station_up[i] = false;
+                        self.preempt.drain[i] = DrainState::Up;
+                        self.newly_failed.push(BsId(i));
+                    } else if k <= 1 {
+                        self.station_up[i] = false;
+                        self.preempt.drain[i] = DrainState::Preempted;
+                        self.newly_failed.push(BsId(i));
+                        self.preempt.preempt_killed.push(BsId(i));
+                    } else {
+                        self.preempt.drain[i] = DrainState::Draining(k - 1);
+                    }
+                }
+                DrainState::Preempted => {
+                    if flip < self.preempt.return_rate {
+                        self.station_up[i] = true;
+                        self.preempt.drain[i] = DrainState::Returning;
+                    }
+                }
+                // Retired to Up by begin_slot before any flip.
+                DrainState::Returning => unreachable!("Returning survives begin_slot"),
             }
         }
 
         // Regional cascade: one bounded pass over this slot's primary
         // failures; cascaded stations do not trigger further cascades.
+        // With a positive notice window, scheduled preemption kills are
+        // excluded as sources — their regional correlation already fired
+        // as a notice cascade at warning time. At notice zero they stay
+        // in, which keeps the path bit-identical to plain outages.
         if self.cfg.correlation_probability > 0.0 && self.cfg.correlation_radius_m > 0.0 {
-            let primaries = self.newly_failed.clone();
+            let primaries: Vec<BsId> = if notice_slots > 0 {
+                self.newly_failed
+                    .iter()
+                    .copied()
+                    .filter(|b| !self.preempt.preempt_killed.contains(b))
+                    .collect()
+            } else {
+                self.newly_failed.clone()
+            };
             for src in primaries {
                 let (sx, sy) = self.positions[src.index()];
                 for j in 0..self.station_up.len() {
@@ -263,12 +521,64 @@ impl FaultProcess {
                         let flip: f64 = self.rng.random();
                         if flip < self.cfg.correlation_probability {
                             self.station_up[j] = false;
+                            // An outage supersedes any pending drain.
+                            self.preempt.drain[j] = DrainState::Up;
                             self.newly_failed.push(BsId(j));
                         }
                     }
                 }
             }
         }
+
+        // Notice cascade: fresh warnings spread through the same
+        // regional footprint — a reclaimed rack takes its neighbours'
+        // capacity with it, but with the same warning. Draws nothing
+        // unless preemption is on and this slot issued notices.
+        if self.preempt.enabled
+            && self.cfg.correlation_probability > 0.0
+            && self.cfg.correlation_radius_m > 0.0
+            && !self.preempt.fresh_notices.is_empty()
+        {
+            let primaries: Vec<BsId> = self
+                .preempt
+                .fresh_notices
+                .iter()
+                .map(|n| n.station)
+                .collect();
+            for src in primaries {
+                let (sx, sy) = self.positions[src.index()];
+                for j in 0..self.station_up.len() {
+                    if !self.station_up[j] || self.preempt.drain[j] != DrainState::Up {
+                        continue;
+                    }
+                    let (jx, jy) = self.positions[j];
+                    if (sx - jx).hypot(sy - jy) <= self.cfg.correlation_radius_m {
+                        let flip: f64 = self.rng.random();
+                        if flip < self.cfg.correlation_probability {
+                            self.preempt.drain[j] = DrainState::Draining(notice_slots);
+                            self.preempt.fresh_notices.push(PreemptNotice {
+                                station: BsId(j),
+                                slots_until_kill: notice_slots,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Canonical ordering: cascades append out of index order, and
+        // downstream eviction / migration order must never depend on
+        // insertion order.
+        self.newly_failed.sort_unstable();
+        self.preempt.preempt_killed.sort_unstable();
+        self.preempt
+            .fresh_notices
+            .sort_unstable_by_key(|n| n.station);
+        debug_assert!(
+            self.newly_failed.windows(2).all(|w| w[0] < w[1]),
+            "newly_failed must be strictly sorted (no station fails twice per slot)"
+        );
+
         self.injected_last_slot += self.newly_failed.len();
 
         // Capacity brown-out chains.
@@ -321,8 +631,9 @@ impl FaultProcess {
         &self.link_up
     }
 
-    /// Stations that went down on the last [`advance`], cascades
-    /// included. Their warm caches must be evicted.
+    /// Stations that went down on the last [`advance`], cascades and
+    /// preemption kills included, in canonically sorted order. Their
+    /// warm caches must be evicted.
     ///
     /// [`advance`]: FaultProcess::advance
     pub fn newly_failed(&self) -> &[BsId] {
@@ -348,6 +659,33 @@ impl FaultProcess {
     /// Number of stations currently down.
     pub fn down_count(&self) -> usize {
         self.station_up.iter().filter(|&&u| !u).count()
+    }
+
+    /// The embedded preemption component (drain states, fresh notices,
+    /// kills).
+    pub fn preempt(&self) -> &PreemptProcess {
+        &self.preempt
+    }
+
+    /// Per-station drain state, indexed by `BsId`.
+    pub fn drain_states(&self) -> &[DrainState] {
+        &self.preempt.drain
+    }
+
+    /// Preemption notices issued by the last [`advance`], sorted by
+    /// station.
+    ///
+    /// [`advance`]: FaultProcess::advance
+    pub fn notices(&self) -> &[PreemptNotice] {
+        &self.preempt.fresh_notices
+    }
+
+    /// Stations killed by preemption on the last [`advance`] (always a
+    /// sorted subset of [`newly_failed`](FaultProcess::newly_failed)).
+    ///
+    /// [`advance`]: FaultProcess::advance
+    pub fn preempt_killed(&self) -> &[BsId] {
+        &self.preempt.preempt_killed
     }
 }
 
@@ -390,6 +728,19 @@ mod tests {
             ..FaultConfig::none()
         };
         cfg.validate();
+    }
+
+    #[test]
+    fn preempt_zero_is_disabled_and_positive_is_enabled() {
+        assert!(!FaultConfig::preempt(0.0, 3).is_enabled());
+        assert!(FaultConfig::preempt(0.05, 3).is_enabled());
+        FaultConfig::preempt(1.0, 10).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "preempt rate must be in [0, 1]")]
+    fn preempt_rejects_out_of_range() {
+        let _ = FaultConfig::preempt(-0.1, 3);
     }
 
     #[test]
@@ -497,6 +848,311 @@ mod tests {
             assert_eq!(p.injected_last_slot(), 0);
             assert_eq!(p.down_count(), 0);
             assert!(p.link_up().iter().all(|&u| u));
+        }
+    }
+
+    /// Satellite: `newly_failed` (and the preempt lists) come back in
+    /// canonical sorted order even when cascades append late, so
+    /// downstream eviction order can never depend on insertion order.
+    #[test]
+    fn newly_failed_is_canonically_sorted_under_cascades() {
+        let t = topo();
+        let cfg = FaultConfig {
+            outage_rate: 0.15,
+            repair_rate: 0.4,
+            correlation_radius_m: 500.0,
+            correlation_probability: 0.8,
+            ..FaultConfig::none()
+        };
+        let mut p = FaultProcess::new(&t, cfg, 17);
+        let mut saw_cascade_slot = false;
+        for _ in 0..300 {
+            p.advance(&t);
+            assert!(
+                p.newly_failed().windows(2).all(|w| w[0] < w[1]),
+                "newly_failed must be strictly sorted"
+            );
+            if p.newly_failed().len() > 1 {
+                saw_cascade_slot = true;
+            }
+        }
+        assert!(saw_cascade_slot, "no multi-failure slot in 300 advances");
+    }
+
+    #[test]
+    fn preempt_lists_are_sorted_and_consistent() {
+        let t = topo();
+        let mut p = FaultProcess::new(&t, FaultConfig::preempt(0.2, 3), 23);
+        for _ in 0..300 {
+            p.advance(&t);
+            let notices = p.notices();
+            assert!(notices.windows(2).all(|w| w[0].station < w[1].station));
+            assert!(notices.iter().all(|n| n.slots_until_kill == 3
+                && p.drain_states()[n.station.index()] == DrainState::Draining(3)));
+            let killed = p.preempt_killed();
+            assert!(killed.windows(2).all(|w| w[0] < w[1]));
+            // Every preemption kill is also reported as newly failed.
+            assert!(killed.iter().all(|b| p.newly_failed().contains(b)));
+        }
+    }
+
+    /// Satellite edge case: capacity factors stay within (0, 1] however
+    /// long brown-outs stack — the chain is binary, factors never
+    /// compound below the configured floor.
+    #[test]
+    fn stacked_brownouts_keep_capacity_factors_in_unit_interval() {
+        let t = topo();
+        let cfg = FaultConfig {
+            brownout_rate: 0.9,
+            brownout_recovery_rate: 0.1,
+            brownout_factor: 0.4,
+            ..FaultConfig::none()
+        };
+        let mut p = FaultProcess::new(&t, cfg, 29);
+        for _ in 0..300 {
+            p.advance(&t);
+            for &f in p.capacity_factors() {
+                assert!(f > 0.0 && f <= 1.0, "factor {f} escaped (0, 1]");
+                // The chain assigns the factor verbatim (no arithmetic),
+                // so bit-exact identity is the right check.
+                let (dimmed, full) = (0.4f64.to_bits(), 1.0f64.to_bits());
+                assert!(
+                    f.to_bits() == dimmed || f.to_bits() == full,
+                    "factor {f} compounded"
+                );
+            }
+        }
+    }
+
+    /// Satellite edge case: the cascade machinery must not blow up on a
+    /// single-station topology (no neighbours to drag down).
+    #[test]
+    fn cascade_on_single_station_topology_is_benign() {
+        let t = gtitm::generate(1, &NetworkConfig::paper_defaults(), 13);
+        let cfg = FaultConfig {
+            outage_rate: 0.5,
+            repair_rate: 0.0,
+            correlation_radius_m: 1e9,
+            correlation_probability: 1.0,
+            ..FaultConfig::none()
+        };
+        let mut p = FaultProcess::new(&t, cfg, 13);
+        for _ in 0..100 {
+            p.advance(&t);
+            if !p.newly_failed().is_empty() {
+                assert_eq!(p.newly_failed(), &[BsId(0)]);
+                assert_eq!(p.down_count(), 1);
+                return;
+            }
+        }
+        panic!("no failure in 100 slots at rate 0.5");
+    }
+
+    /// Satellite edge case: accessor call patterns (reading every slot
+    /// vs. rarely, cloning snapshots) must not perturb the RNG stream.
+    #[test]
+    fn advance_is_deterministic_across_interleaved_call_patterns() {
+        let t = topo();
+        let cfg = FaultConfig::intensity(0.25).with_notice_slots(2);
+        let cfg = FaultConfig {
+            preempt_rate: 0.1,
+            preempt_return_rate: 0.3,
+            ..cfg
+        };
+        let mut a = FaultProcess::new(&t, cfg, 31);
+        let mut b = FaultProcess::new(&t, cfg, 31);
+        for slot in 0..100 {
+            a.advance(&t);
+            // `a` is interrogated every slot; `b` only every 10th, with
+            // a clone thrown in to prove snapshots don't draw.
+            let _ = (
+                a.station_up().to_vec(),
+                a.newly_failed().to_vec(),
+                a.notices().to_vec(),
+                a.drain_states().to_vec(),
+                a.capacity_factors().to_vec(),
+                a.down_count(),
+                a.preempt().draining_count(),
+            );
+            b.advance(&t);
+            if slot % 10 == 0 {
+                let snapshot = b.clone();
+                assert_eq!(snapshot.station_up(), a.station_up());
+            }
+            assert_eq!(a.station_up(), b.station_up());
+            assert_eq!(a.newly_failed(), b.newly_failed());
+            assert_eq!(a.notices(), b.notices());
+            assert_eq!(a.drain_states(), b.drain_states());
+            assert_eq!(a.capacity_factors(), b.capacity_factors());
+            assert_eq!(a.link_up(), b.link_up());
+        }
+    }
+
+    /// Tentpole pin: a zero-slot notice window is bit-identical to the
+    /// plain unannounced-outage process at the same rate (same seed,
+    /// same heterogeneity, same cascade, matched repair dynamics).
+    #[test]
+    fn notice_zero_preemption_matches_outage_path_bit_for_bit() {
+        let t = topo();
+        let preempt = FaultConfig::preempt(0.15, 0);
+        let outage = FaultConfig {
+            outage_rate: 0.15,
+            repair_rate: 0.3,
+            correlation_radius_m: 100.0,
+            correlation_probability: 0.5,
+            ..FaultConfig::none()
+        };
+        let mut a = FaultProcess::new(&t, preempt, 37);
+        let mut b = FaultProcess::new(&t, outage, 37);
+        for _ in 0..200 {
+            a.advance(&t);
+            b.advance(&t);
+            assert_eq!(a.station_up(), b.station_up());
+            assert_eq!(a.newly_failed(), b.newly_failed());
+            assert_eq!(a.capacity_factors(), b.capacity_factors());
+            assert_eq!(a.link_up(), b.link_up());
+            assert_eq!(a.injected_last_slot(), b.injected_last_slot());
+            // The preempt config never issues a warning at notice zero,
+            // and its direct kills are reported as preemptions (cascade
+            // victims are plain outages in both configs).
+            assert!(a.notices().is_empty());
+            assert!(a
+                .preempt_killed()
+                .iter()
+                .all(|b| a.newly_failed().contains(b)));
+        }
+    }
+
+    /// Kills land exactly `notice_slots` advances after their notice,
+    /// and the drain state machine only takes legal steps.
+    #[test]
+    fn kills_land_exactly_notice_slots_after_warning() {
+        let t = topo();
+        let notice = 3usize;
+        let mut p = FaultProcess::new(&t, FaultConfig::preempt(0.2, notice), 41);
+        let mut noticed_at: Vec<Option<usize>> = vec![None; t.len()];
+        let mut kills = 0usize;
+        for slot in 0..300 {
+            p.advance(&t);
+            for n in p.notices() {
+                noticed_at[n.station.index()] = Some(slot);
+            }
+            for b in p.preempt_killed() {
+                let at = noticed_at[b.index()]
+                    .unwrap_or_else(|| panic!("{b} killed without a recorded notice"));
+                assert_eq!(slot - at, notice, "{b} killed off schedule");
+                noticed_at[b.index()] = None;
+                kills += 1;
+            }
+            // State/liveness consistency every slot.
+            for (i, d) in p.drain_states().iter().enumerate() {
+                match d {
+                    DrainState::Draining(k) => {
+                        assert!(*k >= 1 && *k <= notice);
+                        assert!(p.station_up()[i], "draining station must be up");
+                    }
+                    DrainState::Preempted => {
+                        assert!(!p.station_up()[i], "preempted station must be down")
+                    }
+                    DrainState::Returning => {
+                        assert!(p.station_up()[i], "returning station must be up")
+                    }
+                    DrainState::Up => {}
+                }
+            }
+        }
+        assert!(kills > 0, "no preemption kill in 300 slots at rate 0.2");
+    }
+
+    /// The full drain cycle `Up → Draining(k)… → Preempted → Returning →
+    /// Up` is observable, `Returning` for exactly one slot.
+    #[test]
+    fn drain_state_machine_walks_the_full_cycle() {
+        let t = topo();
+        let notice = 2usize;
+        let mut p = FaultProcess::new(&t, FaultConfig::preempt(0.3, notice), 43);
+        let mut prev: Vec<DrainState> = vec![DrainState::Up; t.len()];
+        let mut full_cycles = 0usize;
+        for _ in 0..400 {
+            p.advance(&t);
+            for (i, (&was, &now)) in prev.iter().zip(p.drain_states()).enumerate() {
+                let legal = match (was, now) {
+                    (DrainState::Up, DrainState::Up) => true,
+                    (DrainState::Up, DrainState::Draining(k)) => k == notice,
+                    (DrainState::Draining(k), DrainState::Draining(k2)) => k2 == k - 1,
+                    (DrainState::Draining(1), DrainState::Preempted) => true,
+                    (DrainState::Preempted, DrainState::Preempted) => true,
+                    (DrainState::Preempted, DrainState::Returning) => true,
+                    // Returning retires to Up, which may immediately be
+                    // re-noticed in the same advance.
+                    (DrainState::Returning, DrainState::Up) => true,
+                    (DrainState::Returning, DrainState::Draining(k)) => k == notice,
+                    _ => false,
+                };
+                assert!(
+                    legal,
+                    "illegal drain transition {was:?} -> {now:?} at bs{i}"
+                );
+                if was == DrainState::Returning {
+                    full_cycles += 1;
+                }
+            }
+            prev.copy_from_slice(p.drain_states());
+        }
+        assert!(full_cycles > 0, "no full drain cycle observed in 400 slots");
+    }
+
+    /// Notices cascade regionally: with a certain, unbounded cascade the
+    /// first notice drags every other eligible station into draining in
+    /// the same slot.
+    #[test]
+    fn notice_cascade_warns_the_whole_region() {
+        let t = topo();
+        let cfg = FaultConfig {
+            correlation_radius_m: 1e9,
+            correlation_probability: 1.0,
+            ..FaultConfig::preempt(0.05, 4)
+        };
+        let mut p = FaultProcess::new(&t, cfg, 47);
+        for _ in 0..200 {
+            p.advance(&t);
+            if !p.notices().is_empty() {
+                assert_eq!(
+                    p.preempt().draining_count(),
+                    t.len(),
+                    "notice cascade must warn every alive station"
+                );
+                assert_eq!(p.notices().len(), t.len());
+                // Nothing died yet: warnings precede kills.
+                assert_eq!(p.down_count(), 0);
+                return;
+            }
+        }
+        panic!("no notice in 200 slots at rate 0.05");
+    }
+
+    /// Adding preemption at rate zero must not shift any RNG stream:
+    /// the full fault state stays bit-identical to the plain config.
+    #[test]
+    fn zero_preempt_rate_leaves_existing_streams_untouched() {
+        let t = topo();
+        let plain = FaultConfig::intensity(0.2);
+        let with_knobs = FaultConfig {
+            preempt_notice_slots: 5,
+            preempt_return_rate: 0.7,
+            ..plain
+        };
+        let mut a = FaultProcess::new(&t, plain, 53);
+        let mut b = FaultProcess::new(&t, with_knobs, 53);
+        for _ in 0..100 {
+            a.advance(&t);
+            b.advance(&t);
+            assert_eq!(a.station_up(), b.station_up());
+            assert_eq!(a.newly_failed(), b.newly_failed());
+            assert_eq!(a.capacity_factors(), b.capacity_factors());
+            assert_eq!(a.link_up(), b.link_up());
+            assert!(b.notices().is_empty());
+            assert!(b.preempt_killed().is_empty());
         }
     }
 }

@@ -22,8 +22,9 @@
 //!   (uniform per-tier, congestion-modulated, drifting) and instantiation
 //!   delays `d_ins(i, k)` for caching a service instance.
 //! * [`faults`] — seeded fault injection: per-station outage Markov
-//!   chains, correlated regional failures, link failures and capacity
-//!   brown-outs for robustness studies beyond the paper's setup.
+//!   chains, correlated regional failures, link failures, capacity
+//!   brown-outs and spot-style preemption warnings (drain state
+//!   machine) for robustness studies beyond the paper's setup.
 //!
 //! # Example
 //!
@@ -47,7 +48,7 @@ pub mod station;
 pub mod topology;
 
 pub use delay::{DelayProcess, DelaySample, InstantiationDelays};
-pub use faults::{FaultConfig, FaultProcess};
+pub use faults::{DrainState, FaultConfig, FaultProcess, PreemptNotice, PreemptProcess};
 pub use params::{NetworkConfig, TierParams};
 pub use station::{BaseStation, BsId, Tier};
 pub use topology::Topology;

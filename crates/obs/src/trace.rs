@@ -603,7 +603,10 @@ impl TraceSnapshot {
 
     /// Renders the per-policy decide-phase attribution table: for each
     /// labelled series, every `decide/*` span's count, total time,
-    /// p50/p99 and share of the policy's `sim/decide` total.
+    /// p50/p99 and share of the policy's `sim/decide` total. A second
+    /// section counts robustness incidents per label — runner events
+    /// (panic/retry/watchdog/timeout) and `faults/*` markers — so
+    /// fault-heavy sweep cells are attributable from the same export.
     pub fn render_decide_summary(&self) -> String {
         use std::fmt::Write as _;
         #[derive(Default)]
@@ -631,13 +634,45 @@ impl TraceSnapshot {
                 stats.hist_us.record(span.dur_ns as f64 / 1_000.0);
             }
         }
+        // Robustness incidents: runner executor events and fault-layer
+        // markers, counted per labelled cell. These are instants, not
+        // spans, so they never appear in `paired()` above.
+        let runner_events = [
+            crate::names::RUNNER_EV_PANIC,
+            crate::names::RUNNER_EV_RETRY,
+            crate::names::RUNNER_EV_WATCHDOG,
+            crate::names::RUNNER_EV_TIMEOUT,
+        ];
+        let mut incidents: BTreeMap<(String, String), u64> = BTreeMap::new();
+        for e in &self.events {
+            if e.kind != KIND_INSTANT {
+                continue;
+            }
+            let name = self.name(e.name);
+            if !(runner_events.contains(&name) || name.starts_with("faults/")) {
+                continue;
+            }
+            let Some(label) = self.track_label(e.epoch, e.cell) else {
+                continue;
+            };
+            *incidents
+                .entry((label.to_string(), name.to_string()))
+                .or_insert(0) += 1;
+        }
         let mut out = String::new();
-        if phases.is_empty() {
+        if phases.is_empty() && incidents.is_empty() {
             let _ = writeln!(
                 out,
                 "\n# trace: no decide/* spans recorded (no labelled sweep ran under tracing)"
             );
             return out;
+        }
+        if phases.is_empty() {
+            let _ = writeln!(
+                out,
+                "\n# trace: no decide/* spans recorded (no labelled sweep ran under tracing)"
+            );
+            return render_incidents(out, &incidents);
         }
         let _ = writeln!(out, "\n# trace: decide-phase attribution");
         let _ = writeln!(
@@ -674,8 +709,23 @@ impl TraceSnapshot {
                 *total as f64 / 1e6
             );
         }
-        out
+        render_incidents(out, &incidents)
     }
+}
+
+/// Appends the runner-event / fault-marker incident table to a decide
+/// summary (no-op on an empty incident map).
+fn render_incidents(mut out: String, incidents: &BTreeMap<(String, String), u64>) -> String {
+    use std::fmt::Write as _;
+    if incidents.is_empty() {
+        return out;
+    }
+    let _ = writeln!(out, "\n# trace: robustness incidents per cell label");
+    let _ = writeln!(out, "{:<16} {:<24} {:>8}", "label", "event", "count");
+    for ((label, name), count) in incidents {
+        let _ = writeln!(out, "{:<16} {:<24} {:>8}", label, name, count);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -794,6 +844,57 @@ mod tests {
         assert!(table.contains("lp_build"), "{table}");
         assert!(table.contains("Greedy_GD"), "{table}");
         assert!(table.contains("greedy"), "{table}");
+    }
+
+    #[test]
+    fn decide_summary_attributes_incidents_to_cell_labels() {
+        let names = [
+            "sim/decide",
+            crate::names::RUNNER_EV_PANIC,
+            crate::names::RUNNER_EV_RETRY,
+            "faults/preempt_notice",
+            "runner/queue_wait",
+        ];
+        let mut events = Vec::new();
+        // Cell 0 (OL_GD repeat 0): one decide span, a panic + retry pair
+        // and two preemption notices.
+        events.push(ev(KIND_BEGIN, 0, 1, 0, 0));
+        events.push(ev(KIND_END, 0, 1, 0, 500));
+        events.push(ev(KIND_INSTANT, 1, 1, 0, 600));
+        events.push(ev(KIND_INSTANT, 2, 1, 0, 700));
+        events.push(ev(KIND_INSTANT, 3, 1, 0, 800));
+        events.push(ev(KIND_INSTANT, 3, 1, 0, 900));
+        // Queue-wait instants are bookkeeping, not incidents.
+        events.push(ev(KIND_INSTANT, 4, 1, 0, 950));
+        // Cell 2 (Greedy_GD repeat 0): a notice but no runner trouble.
+        events.push(ev(KIND_INSTANT, 3, 1, 2, 100));
+        // An unlabelled main-track instant must be ignored.
+        events.push(ev(KIND_INSTANT, 1, 1, MAIN_TRACK, 1_000));
+        let snap = snapshot(&names, events);
+        let table = snap.render_decide_summary();
+        assert!(
+            table.contains("robustness incidents per cell label"),
+            "{table}"
+        );
+        assert!(table.contains("runner/panic"), "{table}");
+        assert!(table.contains("runner/retry"), "{table}");
+        assert!(table.contains("faults/preempt_notice"), "{table}");
+        assert!(!table.contains("runner/queue_wait"), "{table}");
+        // Both labels keep their own notice counts: OL_GD saw 2,
+        // Greedy_GD saw 1.
+        let notice_lines: Vec<&str> = table
+            .lines()
+            .filter(|l| l.contains("faults/preempt_notice"))
+            .collect();
+        assert_eq!(notice_lines.len(), 2, "{table}");
+        assert!(
+            notice_lines[1].starts_with("OL_GD") && notice_lines[1].trim_end().ends_with('2'),
+            "{table}"
+        );
+        assert!(
+            notice_lines[0].starts_with("Greedy_GD") && notice_lines[0].trim_end().ends_with('1'),
+            "{table}"
+        );
     }
 
     // The global enable/record/collect path is exercised in ONE test:

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Preemption-warning determinism smoke: exercises the drain-and-failover
+# pipeline end to end against the ablation_preempt bin at smoke size.
+#
+#   1. a smoke run with timings zeroed at --threads 1 is the byte
+#      reference for results/ablation_preempt.json;
+#   2. the same run at --threads 4 must reproduce it byte for byte —
+#      notices, cache migrations and proactive reroutes all ride the
+#      seeded fault process, so worker count must not show;
+#   3. the JSON must be valid, cover every (policy, notice) point, and
+#      the warned points must actually exercise the drain pipeline
+#      (non-zero drained/migrated totals somewhere at notice >= 1).
+#
+# Run from the repo root: ./scripts/preempt_smoke.sh
+set -euo pipefail
+
+BIN=${CARGO_BIN:-"cargo run --release -q -p bench --bin ablation_preempt --"}
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/lexcache_preempt_smoke.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+# Zeroed timings make the report JSON a pure function of the sweep
+# structure and seeds, so thread counts cannot show.
+export LEXCACHE_ZERO_TIMINGS=1
+
+fail() { echo "preempt_smoke: FAIL: $*" >&2; exit 1; }
+
+echo "== reference: serial smoke run =="
+$BIN --smoke --json --threads 1 --no-journal
+[ -s results/ablation_preempt.json ] || fail "no JSON exported"
+cp results/ablation_preempt.json "$WORK/reference.json"
+
+echo "== parallel smoke run must match byte for byte =="
+$BIN --smoke --json --threads 4 --no-journal
+cmp results/ablation_preempt.json "$WORK/reference.json" \
+  || fail "results diverged between --threads 1 and --threads 4"
+
+echo "== exported JSON parses and the drain pipeline fired =="
+python3 - <<'EOF' || fail "JSON failed validation"
+import json
+with open("results/ablation_preempt.json") as f:
+    series = json.load(f)
+assert series, "no series exported"
+labels = {s["label"] for s in series}
+# 6 policies x 4 notice windows.
+assert len(labels) == 24, f"expected 24 sweep points, got {len(labels)}"
+drained = migrated = 0
+for s in series:
+    for r in s["reports"]:
+        for slot in r["slots"]:
+            drained += slot["drained_count"]
+            migrated += slot["migrated_entries"]
+assert drained > 0, "no preemption notice ever fired in the smoke grid"
+assert migrated > 0, "no warm cache entry was ever migrated off a doomed station"
+print(f"   json ok: {len(labels)} sweep points, {drained} notices, {migrated} migrations")
+EOF
+
+echo "preempt_smoke: PASS"
