@@ -63,7 +63,7 @@ use lexcache_core::{
     ol_ewma, ol_holt, ol_naive, CachingPolicy, Episode, EpisodeConfig, GreedyGd, OlGan, OlGd,
     OlReg, OlUcb, PolicyConfig, PriGd,
 };
-pub use lexcache_core::{EpisodeReport, FaultConfig};
+pub use lexcache_core::{EpisodeReport, FaultConfig, QueueConfig, QueueDiscipline};
 use mec_net::topology::{as1755, gtitm};
 use mec_net::{NetworkConfig, Topology};
 use mec_workload::demand::{DemandProcess as _, FlashCrowd, FlashCrowdConfig};
@@ -221,6 +221,11 @@ pub struct RunSpec {
     /// same policy at several parameter points, which set e.g.
     /// `"OL_GD@0.1"` here so trace attribution stays per-cell.
     pub label: Option<String>,
+    /// Open-loop queue core configuration (`None` — the default for
+    /// every figure spec — keeps the slot-synchronous path; the
+    /// latency sweep sets an offered load ρ here to measure sojourn
+    /// percentiles on top of the unchanged caching dynamics).
+    pub queue: Option<QueueConfig>,
 }
 
 impl RunSpec {
@@ -237,6 +242,7 @@ impl RunSpec {
             faults: FaultConfig::none(),
             amortize: false,
             label: None,
+            queue: None,
         }
     }
 
@@ -253,6 +259,7 @@ impl RunSpec {
             faults: FaultConfig::none(),
             amortize: false,
             label: None,
+            queue: None,
         }
     }
 
@@ -265,6 +272,14 @@ impl RunSpec {
     /// Switches the episode to amortized instantiation accounting.
     pub fn with_amortize(mut self) -> Self {
         self.amortize = true;
+        self
+    }
+
+    /// Attaches the open-loop queue core at the given configuration
+    /// (see [`QueueConfig::open_loop`]); sojourn percentiles and drop
+    /// counts land in the per-slot metrics.
+    pub fn with_queue(mut self, queue: QueueConfig) -> Self {
+        self.queue = Some(queue);
         self
     }
 
@@ -387,6 +402,9 @@ pub fn run_one(spec: &RunSpec, seed: u64) -> EpisodeReport {
         ep_cfg = ep_cfg.with_amortized_instantiation();
     }
     ep_cfg = ep_cfg.with_faults(spec.faults);
+    if let Some(queue) = spec.queue {
+        ep_cfg = ep_cfg.with_queue(queue);
+    }
     let mut episode = Episode::with_config(topo, net_cfg, scenario, ep_cfg);
     episode.run(policy.as_mut(), spec.horizon)
 }
@@ -847,6 +865,7 @@ mod tests {
             faults: FaultConfig::none(),
             amortize: false,
             label: None,
+            queue: None,
         };
         let reports = run_many(&spec, 2);
         assert_eq!(reports.len(), 2);
@@ -865,6 +884,7 @@ mod tests {
             faults: FaultConfig::none(),
             amortize: false,
             label: None,
+            queue: None,
         };
         let a = run_many(&spec, 3);
         let b = run_many(&spec, 3);
@@ -887,6 +907,7 @@ mod tests {
             faults: FaultConfig::none(),
             amortize: false,
             label: None,
+            queue: None,
         };
         let specs = [spec(Algo::GreedyGd), spec(Algo::PriGd)];
         let grid = run_grid_with(&specs, 2, 4, 5);

@@ -83,6 +83,9 @@ impl Checkpoint for EpisodeReport {
                 drained_count: usize_field_or(s, "drained_count", 0)?,
                 migrated_entries: usize_field_or(s, "migrated_entries", 0)?,
                 proactive_reroutes: usize_field_or(s, "proactive_reroutes", 0)?,
+                p50_sojourn_ms: f64_field_or(s, "p50_sojourn_ms", 0.0)?,
+                p99_sojourn_ms: f64_field_or(s, "p99_sojourn_ms", 0.0)?,
+                queue_dropped_count: usize_field_or(s, "queue_dropped_count", 0)?,
             });
         }
         Ok(EpisodeReport {
@@ -125,6 +128,16 @@ fn usize_field_or(v: &Json, key: &str, default: usize) -> Result<usize, String> 
     match v.get(key) {
         None => Ok(default),
         Some(_) => usize_field(v, key),
+    }
+}
+
+/// Like [`f64_field`] but tolerant of the key's absence — the decoder
+/// must accept journals written before the field existed (the
+/// `#[serde(default)]` contract, mirrored by hand here).
+fn f64_field_or(v: &Json, key: &str, default: f64) -> Result<f64, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(_) => f64_field(v, key),
     }
 }
 
@@ -705,6 +718,9 @@ mod tests {
                     drained_count: 0,
                     migrated_entries: 0,
                     proactive_reroutes: 0,
+                    p50_sojourn_ms: 0.0,
+                    p99_sojourn_ms: 0.0,
+                    queue_dropped_count: 0,
                 },
                 SlotMetrics {
                     slot: 2,
@@ -717,6 +733,9 @@ mod tests {
                     drained_count: 1,
                     migrated_entries: 4,
                     proactive_reroutes: 2,
+                    p50_sojourn_ms: 7.25,
+                    p99_sojourn_ms: 0.1 + 0.2, // deliberately non-representable
+                    queue_dropped_count: 6,
                 },
             ],
         }
@@ -762,6 +781,53 @@ mod tests {
             EpisodeReport::decode(r#"{"policy":"p","topology":"t","slots":[{"slot":1.5}]}"#)
                 .is_err()
         );
+    }
+
+    /// The decoder must accept journals from *every* prior schema
+    /// generation: pre-fault reports (no PR-8 counters), PR-8 reports
+    /// (no sojourn fields) and current ones — absent fields land on
+    /// their serde defaults, and re-encoding is stable from then on.
+    #[test]
+    fn decode_tolerates_every_journal_generation() {
+        // Oldest generation: only the original four per-slot fields.
+        let legacy = r#"{"policy":"p","topology":"t","slots":[{"slot":1,
+            "avg_delay_ms":2.5,"decide_us":10.0,"optimal_avg_delay_ms":null,
+            "remote_count":3}]}"#;
+        let decoded = EpisodeReport::decode(legacy).expect("legacy journal decodes");
+        let s = &decoded.slots[0];
+        assert_eq!(
+            (s.rerouted_count, s.drained_count, s.queue_dropped_count),
+            (0, 0, 0)
+        );
+        assert_eq!(s.p50_sojourn_ms.to_bits(), 0.0_f64.to_bits());
+        assert_eq!(s.p99_sojourn_ms.to_bits(), 0.0_f64.to_bits());
+        // Once re-encoded, the defaults are explicit and stable.
+        let reencoded = decoded.encode();
+        assert!(reencoded.contains("\"p99_sojourn_ms\":0"));
+        assert_eq!(
+            EpisodeReport::decode(&reencoded).expect("re-decodes"),
+            decoded
+        );
+
+        // PR-8 generation: fault counters present, sojourn fields not.
+        let pr8 = r#"{"policy":"p","topology":"t","slots":[{"slot":1,
+            "avg_delay_ms":2.5,"decide_us":10.0,"optimal_avg_delay_ms":null,
+            "remote_count":3,"rerouted_count":1,"dropped_count":2,
+            "drained_count":3,"migrated_entries":4,"proactive_reroutes":5}]}"#;
+        let decoded = EpisodeReport::decode(pr8).expect("PR-8 journal decodes");
+        let s = &decoded.slots[0];
+        assert_eq!((s.drained_count, s.migrated_entries), (3, 4));
+        assert_eq!((s.p99_sojourn_ms, s.queue_dropped_count), (0.0, 0));
+
+        // Current generation round-trips every field bit-exactly (the
+        // fixture carries non-representable values on both f64 axes).
+        let full = report();
+        let back = EpisodeReport::decode(&full.encode()).expect("decodes");
+        for (a, b) in back.slots.iter().zip(&full.slots) {
+            assert_eq!(a.p50_sojourn_ms.to_bits(), b.p50_sojourn_ms.to_bits());
+            assert_eq!(a.p99_sojourn_ms.to_bits(), b.p99_sojourn_ms.to_bits());
+            assert_eq!(a.queue_dropped_count, b.queue_dropped_count);
+        }
     }
 
     // NOTE: the journaled/resume behaviour is pinned by the

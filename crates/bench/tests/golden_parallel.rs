@@ -3,9 +3,10 @@
 //! The runner's determinism contract says `--threads N` must be
 //! bit-identical to `--threads 1` — positional seeds, canonical-order
 //! reduction, per-cell obs shards merged in canonical order. This test
-//! pins that end to end for three sweep shapes drawn from the real bins
-//! (a figure-style policy sweep, a fault-injection ablation sweep, and
-//! a preemption-warning ablation sweep with live drain/migration):
+//! pins that end to end for four sweep shapes drawn from the real bins
+//! (a figure-style policy sweep, a fault-injection ablation sweep, a
+//! preemption-warning ablation sweep with live drain/migration, and a
+//! fig_latency-shaped sweep with the open-loop queue core attached):
 //!
 //! * every [`EpisodeReport`] must serialize to the **same bytes**
 //!   (after stripping the one wall-clock field, `decide_us`), and
@@ -26,7 +27,7 @@
 //! installing their own would race on them.
 
 use bench::sweep::{self, arm_journaling, disarm_journaling};
-use bench::{Algo, FaultConfig, RunSpec, SweepOptions};
+use bench::{Algo, FaultConfig, QueueConfig, QueueDiscipline, RunSpec, SweepOptions};
 use lexcache_obs::{Registry, ShardedRegistry};
 use lexcache_runner::Journal;
 use mec_workload::ScenarioConfig;
@@ -68,7 +69,7 @@ fn run_instrumented(
 fn parallel_runs_are_byte_identical_to_serial() {
     const REPEATS: usize = 3;
     const BASE: u64 = 42;
-    let sweeps: [(&str, Vec<RunSpec>); 3] = [
+    let sweeps: [(&str, Vec<RunSpec>); 4] = [
         (
             "fig3/fig6-shaped policy sweep",
             vec![
@@ -104,6 +105,31 @@ fn parallel_runs_are_byte_identical_to_serial() {
                         .with_faults(FaultConfig::preempt(0.2, 3))
                         .with_amortize()
                         .with_label("OL_UCB@0.2/n3"),
+                ),
+            ],
+        ),
+        (
+            "fig_latency-shaped queue sweep",
+            vec![
+                tiny(
+                    RunSpec::fig3(Algo::OlGd)
+                        .with_queue(QueueConfig::open_loop(0.95))
+                        .with_label("OL_GD@rho0.95"),
+                ),
+                tiny(
+                    RunSpec::fig3(Algo::GreedyGd)
+                        .with_queue(
+                            QueueConfig::open_loop(1.1)
+                                .with_queue_capacity(8)
+                                .with_discipline(QueueDiscipline::ProcessorSharing),
+                        )
+                        .with_label("GREEDY_GD@rho1.1/ps"),
+                ),
+                tiny(
+                    RunSpec::fig6(Algo::OlReg)
+                        .with_faults(FaultConfig::intensity(0.1))
+                        .with_queue(QueueConfig::open_loop(0.8))
+                        .with_label("OL_REG@rho0.8/faulty"),
                 ),
             ],
         ),

@@ -332,6 +332,28 @@ mod tests {
     }
 
     #[test]
+    fn drain_budget_larger_than_warm_set_moves_everything() {
+        let mut cache = CacheState::new(4, 4);
+        let _ = cache.apply(1, &[(0, 0), (1, 0), (2, 0)], &inst());
+        // Budget far exceeds the three warm instances: all of them
+        // move, the surplus budget is simply unused.
+        let moved = cache.drain_to(BsId(0), BsId(2), usize::MAX);
+        assert_eq!(moved, 3);
+        assert_eq!(cache.live_at(BsId(0)), 0);
+        assert_eq!(cache.live_at(BsId(2)), 3);
+        // And warmth survived the move.
+        assert_eq!(cache.apply(2, &[(0, 2), (1, 2), (2, 2)], &inst()), 0.0);
+    }
+
+    #[test]
+    fn drain_from_a_cold_station_moves_nothing() {
+        let mut cache = CacheState::new(3, 4);
+        let _ = cache.apply(1, &[(0, 1)], &inst());
+        assert_eq!(cache.drain_to(BsId(0), BsId(1), 5), 0);
+        assert_eq!(cache.live_count(), 1, "the target keeps its own entries");
+    }
+
+    #[test]
     #[should_panic(expected = "cannot drain a station onto itself")]
     fn drain_to_self_rejected() {
         let mut cache = CacheState::new(3, 2);

@@ -41,6 +41,37 @@ pub struct SlotMetrics {
     /// the pre-emptive repair pass (0 when preemption is disabled).
     #[serde(default)]
     pub proactive_reroutes: usize,
+    /// Measured median per-request sojourn time (departure − arrival,
+    /// ms) of the jobs the open-loop queue core completed this slot —
+    /// simulated time, not wall clock, so it survives zeroed-timing
+    /// comparisons. 0 when the queue core is disabled or no job
+    /// completed this slot.
+    #[serde(default)]
+    pub p50_sojourn_ms: f64,
+    /// Measured 99th-percentile sojourn time of this slot's completed
+    /// jobs, ms (0 when the queue core is disabled — see
+    /// [`SlotMetrics::p50_sojourn_ms`]).
+    #[serde(default)]
+    pub p99_sojourn_ms: f64,
+    /// Arrivals the queue core rejected at a full station waiting room
+    /// this slot (0 when the queue core is disabled or waiting rooms
+    /// are unbounded).
+    #[serde(default)]
+    pub queue_dropped_count: usize,
+}
+
+/// Nearest-rank percentile over `values`: sort with `total_cmp`, take
+/// element `ceil(q·n)` clamped into `[1, n]`; 0 for empty input and
+/// `q` clamped to `[0, 1]`. The single implementation behind every
+/// percentile statistic in a report.
+fn nearest_rank(mut values: Vec<f64>, q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(f64::total_cmp);
+    let n = values.len();
+    let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as usize).clamp(1, n);
+    values[rank - 1]
 }
 
 /// The result of running one policy for a horizon of slots.
@@ -69,12 +100,35 @@ impl EpisodeReport {
         out
     }
 
-    /// Mean achieved average delay over all slots, ms.
-    pub fn mean_avg_delay_ms(&self) -> f64 {
+    /// Mean of `field` over all slots — the shared summation helper
+    /// behind every per-slot mean; 0 for an empty report.
+    fn mean_of(&self, field: impl Fn(&SlotMetrics) -> f64) -> f64 {
         if self.slots.is_empty() {
             return 0.0;
         }
-        self.slots.iter().map(|s| s.avg_delay_ms).sum::<f64>() / self.slots.len() as f64
+        self.slots.iter().map(field).sum::<f64>() / self.slots.len() as f64
+    }
+
+    /// Mean achieved average delay over all slots, ms.
+    pub fn mean_avg_delay_ms(&self) -> f64 {
+        self.mean_of(|s| s.avg_delay_ms)
+    }
+
+    /// Nearest-rank percentile of the per-slot achieved average delay,
+    /// ms. `q` is clamped to `[0, 1]`; returns 0 for an empty report.
+    pub fn delay_ms_percentile(&self, q: f64) -> f64 {
+        nearest_rank(self.delay_series(), q)
+    }
+
+    /// Median per-slot achieved average delay, ms.
+    pub fn p50_avg_delay_ms(&self) -> f64 {
+        self.delay_ms_percentile(0.50)
+    }
+
+    /// 99th-percentile per-slot achieved average delay, ms — the burst
+    /// slots the mean smooths away.
+    pub fn p99_avg_delay_ms(&self) -> f64 {
+        self.delay_ms_percentile(0.99)
     }
 
     /// Total decision runtime over the horizon, µs — the single
@@ -90,23 +144,13 @@ impl EpisodeReport {
 
     /// Mean per-slot decision runtime, µs.
     pub fn mean_decide_us(&self) -> f64 {
-        if self.slots.is_empty() {
-            return 0.0;
-        }
-        self.total_decide_us() / self.slots.len() as f64
+        self.mean_of(|s| s.decide_us)
     }
 
     /// Nearest-rank percentile of the per-slot decision runtime, µs.
     /// `q` is clamped to `[0, 1]`; returns 0 for an empty report.
     pub fn decide_us_percentile(&self, q: f64) -> f64 {
-        if self.slots.is_empty() {
-            return 0.0;
-        }
-        let mut sorted: Vec<f64> = self.slots.iter().map(|s| s.decide_us).collect();
-        sorted.sort_by(f64::total_cmp);
-        let n = sorted.len();
-        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as usize).clamp(1, n);
-        sorted[rank - 1]
+        nearest_rank(self.slots.iter().map(|s| s.decide_us).collect(), q)
     }
 
     /// 99th-percentile per-slot decision runtime, µs — the LP-solve
@@ -172,6 +216,35 @@ impl EpisodeReport {
     pub fn total_proactive_reroutes(&self) -> usize {
         self.slots.iter().map(|s| s.proactive_reroutes).sum()
     }
+
+    /// Mean of the per-slot median sojourn time, ms (0 everywhere when
+    /// the queue core is disabled).
+    pub fn mean_p50_sojourn_ms(&self) -> f64 {
+        self.mean_of(|s| s.p50_sojourn_ms)
+    }
+
+    /// Mean of the per-slot 99th-percentile sojourn time, ms — the
+    /// queueing-tail counterpart of [`Self::mean_avg_delay_ms`]'s
+    /// linear proxy; their divergence as offered load approaches 1 is
+    /// exactly what the slot-synchronous path cannot express.
+    pub fn mean_p99_sojourn_ms(&self) -> f64 {
+        self.mean_of(|s| s.p99_sojourn_ms)
+    }
+
+    /// Worst per-slot p99 sojourn over the horizon, ms — under open-
+    /// loop overload (ρ > 1) the backlog compounds, so the last slots
+    /// dominate; the max exposes the collapse the mean dilutes.
+    pub fn max_p99_sojourn_ms(&self) -> f64 {
+        self.slots
+            .iter()
+            .map(|s| s.p99_sojourn_ms)
+            .fold(0.0, f64::max)
+    }
+
+    /// Total arrivals dropped at full station waiting rooms.
+    pub fn total_queue_dropped(&self) -> usize {
+        self.slots.iter().map(|s| s.queue_dropped_count).sum()
+    }
 }
 
 #[cfg(test)]
@@ -190,6 +263,9 @@ mod tests {
             drained_count: i % 2,
             migrated_entries: 2 * i,
             proactive_reroutes: i % 4,
+            p50_sojourn_ms: delay / 2.0,
+            p99_sojourn_ms: delay * 3.0,
+            queue_dropped_count: i % 5,
         }
     }
 
@@ -205,6 +281,11 @@ mod tests {
         assert_eq!(z.mean_avg_delay_ms(), r.mean_avg_delay_ms());
         assert_eq!(z.slots[0].optimal_avg_delay_ms, Some(8.0));
         assert_eq!(z.total_remote(), r.total_remote());
+        assert_eq!(
+            z.mean_p99_sojourn_ms(),
+            r.mean_p99_sojourn_ms(),
+            "sojourns are simulated time, not wall clock — zeroing must keep them"
+        );
         assert_eq!(r.total_decide_ms(), 0.2, "the original is untouched");
     }
 
@@ -225,6 +306,42 @@ mod tests {
         assert_eq!(r.total_drained(), 1);
         assert_eq!(r.total_migrated(), 6);
         assert_eq!(r.total_proactive_reroutes(), 3);
+        assert_eq!(r.total_queue_dropped(), 3);
+        assert_eq!(r.mean_p50_sojourn_ms(), 7.5);
+        assert_eq!(r.mean_p99_sojourn_ms(), 45.0);
+        assert_eq!(r.max_p99_sojourn_ms(), 60.0);
+    }
+
+    #[test]
+    fn delay_percentiles_use_the_same_nearest_rank_rule() {
+        let slots: Vec<SlotMetrics> = (1..=100).map(|i| slot(i, i as f64, None)).collect();
+        let r = EpisodeReport {
+            policy: "p".into(),
+            topology: "t".into(),
+            slots,
+        };
+        assert_eq!(r.p50_avg_delay_ms(), 50.0);
+        assert_eq!(r.p99_avg_delay_ms(), 99.0);
+        assert_eq!(r.delay_ms_percentile(0.0), 1.0);
+        assert_eq!(r.delay_ms_percentile(1.0), 100.0);
+        assert_eq!(r.delay_ms_percentile(7.0), 100.0, "q clamps");
+    }
+
+    #[test]
+    fn queue_summaries_are_zero_without_the_queue_core() {
+        let mut s = slot(1, 10.0, None);
+        s.p50_sojourn_ms = 0.0;
+        s.p99_sojourn_ms = 0.0;
+        s.queue_dropped_count = 0;
+        let r = EpisodeReport {
+            policy: "p".into(),
+            topology: "t".into(),
+            slots: vec![s],
+        };
+        assert_eq!(r.mean_p50_sojourn_ms(), 0.0);
+        assert_eq!(r.mean_p99_sojourn_ms(), 0.0);
+        assert_eq!(r.max_p99_sojourn_ms(), 0.0);
+        assert_eq!(r.total_queue_dropped(), 0);
     }
 
     #[test]
@@ -241,6 +358,9 @@ mod tests {
                 drained_count: 0,
                 migrated_entries: 0,
                 proactive_reroutes: 0,
+                p50_sojourn_ms: 0.0,
+                p99_sojourn_ms: 0.0,
+                queue_dropped_count: 0,
             })
             .collect();
         // Shuffle-ish ordering: percentiles must sort, not trust input.

@@ -4,6 +4,7 @@ use crate::lowering::{build_caching_lp_masked, TransferCosts};
 use crate::metrics::{EpisodeReport, SlotMetrics};
 use crate::policy::{CachingPolicy, SlotContext, SlotFeedback};
 use lexcache_obs as obs;
+use lexcache_queue::{QueueConfig, QueueSim};
 use mec_net::delay::{CongestionDelay, DelayProcess, RemoteDcDelay, UniformTierDelay};
 use mec_net::{DrainState, FaultConfig, FaultProcess, NetworkConfig, Topology};
 use mec_workload::demand::DemandProcess as _;
@@ -76,6 +77,20 @@ pub struct EpisodeConfig {
     /// config preempts; entries beyond the budget die with the station.
     #[serde(default = "default_migration_budget")]
     pub migration_budget: usize,
+    /// Open-loop queue core ([`lexcache_queue::QueueSim`]): when set,
+    /// every edge-assigned request additionally arrives at a concrete
+    /// instant inside its slot, queues at its station (whose effective
+    /// rate shrinks under brown-outs, outages and drain notices) and
+    /// departs after its service time, filling the measured
+    /// `p50_sojourn_ms`/`p99_sojourn_ms`/`queue_dropped_count` slot
+    /// metrics alongside the paper's linear proxy. `None` (default)
+    /// skips the layer entirely; [`QueueConfig::equivalence`] runs it
+    /// with zero service time, which is bit-identical to `None`
+    /// (golden-tested). The queue layer draws from its own salted hash
+    /// stream, never the episode RNG, so enabling it cannot perturb
+    /// demands, delays, faults or policy decisions.
+    #[serde(default)]
+    pub queue: Option<QueueConfig>,
     /// Environment seed (delay realizations).
     pub seed: u64,
 }
@@ -95,6 +110,7 @@ impl EpisodeConfig {
             load_sensitivity: 0.0,
             faults: FaultConfig::none(),
             migration_budget: default_migration_budget(),
+            queue: None,
             seed,
         }
     }
@@ -153,6 +169,12 @@ impl EpisodeConfig {
         self.migration_budget = budget;
         self
     }
+
+    /// Enables the open-loop queue core (see [`EpisodeConfig::queue`]).
+    pub fn with_queue(mut self, queue: QueueConfig) -> Self {
+        self.queue = Some(queue);
+        self
+    }
 }
 
 enum DelayModel {
@@ -207,6 +229,9 @@ pub struct Episode {
     /// Transfer costs re-routed around dead links; `None` until the
     /// first link-state change, after which it shadows `transfer`.
     transfer_masked: Option<TransferCosts>,
+    /// `Some` only when `cfg.queue` is set — the open-loop queue state
+    /// (backlog included) persists across the episode's slots.
+    queue: Option<QueueSim>,
 }
 
 impl Episode {
@@ -272,6 +297,7 @@ impl Episode {
             capacity_factor: vec![1.0; n],
             drain: vec![DrainState::Up; n],
             transfer_masked: None,
+            queue: cfg.queue.map(|q| QueueSim::new(n, q)),
         }
     }
 
@@ -719,6 +745,68 @@ impl Episode {
             obs::counter("sim/remote_requests", assignment.remote_count() as u64);
             drop(feedback_span);
 
+            // Open-loop queue layer: replay this slot's (repaired)
+            // assignment as timed arrivals against finite-rate station
+            // servers and measure per-request sojourns. Pure
+            // measurement — nothing here feeds back into the policy,
+            // the cache or the delay proxy, and the arrival stream is
+            // hashed from (seed, slot, request) rather than drawn from
+            // the episode RNG, so a queue-disabled run is untouched.
+            let (p50_sojourn_ms, p99_sojourn_ms, queue_dropped_count) = match self.queue.as_mut() {
+                Some(qs) => {
+                    let _span = obs::span("sim/queue");
+                    let qcfg = *qs.config();
+                    // Effective service rate per station: liveness ×
+                    // brown-out factor × drain down-weight (a station
+                    // `Draining(k)` serves at k/(k+1), mirroring the
+                    // LP's (1 + 1/k) cost penalty on doomed columns).
+                    let rates: Vec<f64> = (0..n)
+                        .map(|i| {
+                            if !self.station_up[i] {
+                                return 0.0;
+                            }
+                            let drain_factor = match self.drain[i] {
+                                DrainState::Draining(k) => k as f64 / (k as f64 + 1.0),
+                                _ => 1.0,
+                            };
+                            self.capacity_factor[i] * drain_factor
+                        })
+                        .collect();
+                    qs.begin_slot(slot, &rates);
+                    // Normalize service times so total offered work is
+                    // ρ × nominal capacity (n stations × slot length).
+                    // Normalizing by *nominal* rather than live
+                    // capacity means faults genuinely raise effective
+                    // load; per-station load depends on where the
+                    // policy routed demand.
+                    let total_demand: f64 = demands.iter().sum();
+                    let ms_per_unit = if total_demand > 0.0 {
+                        qcfg.offered_load * n as f64 * qcfg.slot_ms / total_demand
+                    } else {
+                        0.0
+                    };
+                    let arrivals = mec_workload::arrivals::expand_slot(
+                        self.cfg.seed ^ qcfg.arrival_seed_salt,
+                        slot,
+                        n_requests,
+                        qcfg.slot_ms,
+                    );
+                    for a in &arrivals {
+                        if let crate::Target::Edge(bs) = assignment.targets()[a.request] {
+                            qs.submit(
+                                a.request,
+                                bs.index(),
+                                a.offset_ms,
+                                demands[a.request] * ms_per_unit,
+                            );
+                        }
+                    }
+                    let stats = qs.run_slot();
+                    (stats.p50_ms(), stats.p99_ms(), stats.dropped)
+                }
+                None => (0.0, 0.0, 0),
+            };
+
             slots.push(SlotMetrics {
                 slot,
                 avg_delay_ms,
@@ -730,6 +818,9 @@ impl Episode {
                 drained_count,
                 migrated_entries,
                 proactive_reroutes,
+                p50_sojourn_ms,
+                p99_sojourn_ms,
+                queue_dropped_count,
             });
         }
         EpisodeReport {
@@ -1344,6 +1435,192 @@ mod tests {
             with_budget.total_rerouted(),
             without.total_rerouted(),
             "migration must not perturb the fault stream"
+        );
+    }
+
+    /// Satellite pin for the drain edge case PR 8 left untested at the
+    /// episode level: when *every* candidate target is itself draining
+    /// or down (preempt rate 1 warns all live stations at once), the
+    /// drain pass finds no alive non-draining station, migrates
+    /// nothing, and the episode completes gracefully — entries die
+    /// with their stations instead of leaking onto doomed ones.
+    #[test]
+    fn drain_with_no_alive_target_migrates_nothing() {
+        let cfg = NetworkConfig::paper_defaults();
+        let topo = gtitm::generate(6, &cfg, 71);
+        let scenario = ScenarioConfig::small().build(&topo, 71);
+        let ep_cfg = EpisodeConfig::new(71)
+            .with_faults(FaultConfig::preempt(1.0, 3))
+            .with_amortized_instantiation();
+        let mut ep = Episode::with_config(topo, cfg, scenario, ep_cfg);
+        let report = ep.run(&mut GreedyGd::new(), 12);
+        assert!(
+            report.total_drained() > 0,
+            "rate-1 preemption must warn every live station"
+        );
+        assert_eq!(
+            report.total_migrated(),
+            0,
+            "with every station draining there is never a migration target"
+        );
+        for s in &report.slots {
+            assert!(s.avg_delay_ms.is_finite() && s.avg_delay_ms >= 0.0);
+        }
+    }
+
+    /// Tentpole golden: the queue core in equivalence mode (zero
+    /// service time, infinite waiting rooms) reproduces the
+    /// slot-synchronous path bit for bit — the *entire* serialized
+    /// report, sojourn fields included, is byte-identical to a run
+    /// with no queue layer at all, with and without faults.
+    #[test]
+    fn zero_service_queue_episode_matches_slot_synchronous_bit_for_bit() {
+        let run = |queue: Option<QueueConfig>, faults: FaultConfig| {
+            let cfg = NetworkConfig::paper_defaults();
+            let topo = gtitm::generate(20, &cfg, 73);
+            let scenario = ScenarioConfig::small().build(&topo, 73);
+            let mut ep_cfg = EpisodeConfig::new(73).with_amortized_instantiation();
+            if faults.is_enabled() {
+                ep_cfg = ep_cfg.with_faults(faults);
+            }
+            if let Some(q) = queue {
+                ep_cfg = ep_cfg.with_queue(q);
+            }
+            let mut ep = Episode::with_config(topo, cfg, scenario, ep_cfg);
+            let report = ep.run(&mut OlGd::new(PolicyConfig::default()), 15);
+            // decide_us is the one wall-clock (non-deterministic) field.
+            lexcache_obs::json::to_string(&report.with_zeroed_timings()).unwrap()
+        };
+        for faults in [FaultConfig::none(), FaultConfig::preempt(0.2, 3)] {
+            let plain = run(None, faults);
+            let equivalent = run(Some(QueueConfig::equivalence()), faults);
+            assert_eq!(
+                plain,
+                equivalent,
+                "equivalence-mode queue must be byte-invisible (faults: {})",
+                faults.is_enabled()
+            );
+        }
+    }
+
+    #[test]
+    fn queued_episodes_are_deterministic() {
+        let run = || {
+            let cfg = NetworkConfig::paper_defaults();
+            let topo = gtitm::generate(15, &cfg, 79);
+            let scenario = ScenarioConfig::small().build(&topo, 79);
+            let ep_cfg = EpisodeConfig::new(79)
+                .with_faults(FaultConfig::intensity(0.1))
+                .with_queue(QueueConfig::open_loop(0.95));
+            let mut ep = Episode::with_config(topo, cfg, scenario, ep_cfg);
+            ep.run(&mut OlGd::new(PolicyConfig::default()), 12)
+        };
+        let (a, b) = (run(), run());
+        let bits = |r: &EpisodeReport| -> Vec<(u64, u64, usize)> {
+            r.slots
+                .iter()
+                .map(|s| {
+                    (
+                        s.p50_sojourn_ms.to_bits(),
+                        s.p99_sojourn_ms.to_bits(),
+                        s.queue_dropped_count,
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(bits(&a), bits(&b), "same seed, same sojourns");
+        assert!(
+            a.slots.iter().any(|s| s.p99_sojourn_ms > 0.0),
+            "a loaded queue must measure non-zero sojourns"
+        );
+    }
+
+    /// The queue layer is pure measurement: enabling it at any load
+    /// must leave the paper's delay proxy (and every fault metric)
+    /// untouched, because it feeds nothing back and draws from its own
+    /// hash stream.
+    #[test]
+    fn queue_layer_never_perturbs_the_delay_proxy() {
+        let run = |queue: Option<QueueConfig>| {
+            let cfg = NetworkConfig::paper_defaults();
+            let topo = gtitm::generate(15, &cfg, 83);
+            let scenario = ScenarioConfig::small().build(&topo, 83);
+            let mut ep_cfg = EpisodeConfig::new(83).with_faults(FaultConfig::intensity(0.1));
+            if let Some(q) = queue {
+                ep_cfg = ep_cfg.with_queue(q);
+            }
+            let mut ep = Episode::with_config(topo, cfg, scenario, ep_cfg);
+            ep.run(&mut OlGd::new(PolicyConfig::default()), 10)
+        };
+        let plain = run(None);
+        let queued = run(Some(QueueConfig::open_loop(1.1)));
+        let bits = |r: &EpisodeReport| -> Vec<(u64, usize, usize)> {
+            r.slots
+                .iter()
+                .map(|s| (s.avg_delay_ms.to_bits(), s.remote_count, s.rerouted_count))
+                .collect()
+        };
+        assert_eq!(bits(&plain), bits(&queued));
+    }
+
+    /// The regime the paper cannot express: past saturation the open-
+    /// loop backlog compounds, so tail sojourns grow across the
+    /// horizon and dwarf the sub-critical run's.
+    #[test]
+    fn overload_grows_the_sojourn_tail() {
+        let run = |rho: f64| {
+            let cfg = NetworkConfig::paper_defaults();
+            let topo = gtitm::generate(15, &cfg, 89);
+            let scenario = ScenarioConfig::small().build(&topo, 89);
+            let ep_cfg = EpisodeConfig::new(89).with_queue(QueueConfig::open_loop(rho));
+            let mut ep = Episode::with_config(topo, cfg, scenario, ep_cfg);
+            ep.run(&mut GreedyGd::new(), 15)
+        };
+        let calm = run(0.3);
+        let overloaded = run(1.2);
+        for r in [&calm, &overloaded] {
+            for s in &r.slots {
+                assert!(s.p99_sojourn_ms.is_finite() && s.p99_sojourn_ms >= s.p50_sojourn_ms);
+            }
+        }
+        assert!(
+            overloaded.mean_p99_sojourn_ms() > calm.mean_p99_sojourn_ms(),
+            "ρ=1.2 tail {} must exceed ρ=0.3 tail {}",
+            overloaded.mean_p99_sojourn_ms(),
+            calm.mean_p99_sojourn_ms()
+        );
+        // Collapse signature: the backlog compounds, so the worst slot
+        // tail dwarfs the first slot's (service scaling alone is 4×;
+        // demand 10× guards against burst-shape luck).
+        let first = overloaded.slots.first().unwrap().p99_sojourn_ms;
+        let worst = overloaded.max_p99_sojourn_ms();
+        assert!(
+            worst > first,
+            "open-loop overload must grow the tail across the horizon: {worst} vs {first}"
+        );
+    }
+
+    #[test]
+    fn finite_waiting_rooms_drop_and_count() {
+        let run = |cap: usize| {
+            let cfg = NetworkConfig::paper_defaults();
+            let topo = gtitm::generate(10, &cfg, 97);
+            let scenario = ScenarioConfig::small().with_requests(30).build(&topo, 97);
+            let ep_cfg = EpisodeConfig::new(97)
+                .with_queue(QueueConfig::open_loop(1.2).with_queue_capacity(cap));
+            let mut ep = Episode::with_config(topo, cfg, scenario, ep_cfg);
+            ep.run(&mut GreedyGd::new(), 12)
+        };
+        let bounded = run(2);
+        assert!(
+            bounded.total_queue_dropped() > 0,
+            "2-deep waiting rooms at ρ=1.2 must overflow"
+        );
+        let unbounded = run(usize::MAX);
+        assert_eq!(
+            unbounded.total_queue_dropped(),
+            0,
+            "infinite waiting rooms never drop"
         );
     }
 }

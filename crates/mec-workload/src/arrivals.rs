@@ -1,0 +1,108 @@
+//! Deterministic arrival-time expansion of per-slot demand.
+//!
+//! The workload layer produces *per-slot* demand vectors; the
+//! open-loop queue core needs each request to arrive at a concrete
+//! instant *inside* the slot. This module derives that instant purely
+//! from `(seed, slot, request)` with a SplitMix64 finalizer — no
+//! shared RNG stream is consumed, so enabling the queue layer cannot
+//! perturb the demand/delay/fault draws of an otherwise identical
+//! episode (the property the exact-equivalence golden test pins).
+
+/// One request's arrival instant within a slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arrival {
+    /// Index of the request within the slot's demand vector.
+    pub request: usize,
+    /// Offset from the slot start in ms, in `[0, slot_ms)` (up to
+    /// one final-rounding ulp that may land exactly on `slot_ms`).
+    pub offset_ms: f64,
+}
+
+/// SplitMix64 finalizer: a high-quality 64-bit mix, the standard
+/// seed-stretcher (same constants as `rand`'s `SplitMix64`).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The deterministic arrival offset of `request` in `slot` (1-based),
+/// uniform over `[0, slot_ms)` under the stateless hash of
+/// `(seed, slot, request)`.
+pub fn arrival_offset_ms(seed: u64, slot: usize, request: usize, slot_ms: f64) -> f64 {
+    assert!(
+        slot_ms.is_finite() && slot_ms > 0.0,
+        "slot length must be positive and finite, got {slot_ms}"
+    );
+    let mut h = seed ^ splitmix64(slot as u64);
+    h = splitmix64(h.wrapping_add((request as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+    // Top 53 bits → uniform in [0, 1) at full f64 mantissa precision.
+    let unit = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    unit * slot_ms
+}
+
+/// Expands a slot's `n_requests` into arrival events sorted by
+/// arrival time (ties — which the 53-bit draw makes astronomically
+/// rare — break by request index). The sort key is the offset's bit
+/// pattern, exact and total for non-negative doubles (lexlint LX01:
+/// no `partial_cmp`).
+pub fn expand_slot(seed: u64, slot: usize, n_requests: usize, slot_ms: f64) -> Vec<Arrival> {
+    let mut arrivals: Vec<Arrival> = (0..n_requests)
+        .map(|request| Arrival {
+            request,
+            offset_ms: arrival_offset_ms(seed, slot, request, slot_ms),
+        })
+        .collect();
+    arrivals.sort_by_key(|a| (a.offset_ms.to_bits(), a.request));
+    arrivals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_are_deterministic_and_inside_the_slot() {
+        for slot in 1..=5 {
+            for request in 0..50 {
+                let a = arrival_offset_ms(42, slot, request, 100.0);
+                let b = arrival_offset_ms(42, slot, request, 100.0);
+                assert_eq!(a.to_bits(), b.to_bits());
+                assert!((0.0..=100.0).contains(&a));
+            }
+        }
+    }
+
+    #[test]
+    fn different_coordinates_decorrelate() {
+        let base = arrival_offset_ms(42, 1, 0, 100.0);
+        assert_ne!(base.to_bits(), arrival_offset_ms(43, 1, 0, 100.0).to_bits());
+        assert_ne!(base.to_bits(), arrival_offset_ms(42, 2, 0, 100.0).to_bits());
+        assert_ne!(base.to_bits(), arrival_offset_ms(42, 1, 1, 100.0).to_bits());
+    }
+
+    #[test]
+    fn expansion_is_sorted_and_complete() {
+        let arrivals = expand_slot(7, 3, 40, 100.0);
+        assert_eq!(arrivals.len(), 40);
+        for w in arrivals.windows(2) {
+            assert!(
+                (w[0].offset_ms.to_bits(), w[0].request) < (w[1].offset_ms.to_bits(), w[1].request)
+            );
+        }
+        let mut seen: Vec<usize> = arrivals.iter().map(|a| a.request).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn offsets_spread_across_the_slot() {
+        // Not a statistical test — just a guard against a degenerate
+        // hash that parks every arrival at the same instant.
+        let arrivals = expand_slot(1, 1, 100, 100.0);
+        let lo = arrivals.iter().filter(|a| a.offset_ms < 50.0).count();
+        assert!(lo > 20 && lo < 80, "suspiciously skewed split: {lo}/100");
+    }
+}

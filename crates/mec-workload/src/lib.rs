@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrivals;
 pub mod demand;
 pub mod request;
 pub mod scenario;
@@ -42,6 +43,7 @@ pub mod service;
 pub mod stats;
 pub mod trace;
 
+pub use arrivals::{arrival_offset_ms, expand_slot, Arrival};
 pub use demand::{DemandModel, DemandProcess};
 pub use request::{Request, RequestId};
 pub use scenario::{Scenario, ScenarioConfig};

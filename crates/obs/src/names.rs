@@ -39,3 +39,22 @@ pub const RUNNER_EV_WATCHDOG: &str = "runner/watchdog";
 
 /// Trace instant: a cell finished over its wall-clock budget.
 pub const RUNNER_EV_TIMEOUT: &str = "runner/timeout";
+
+/// Histogram: per-request sojourn time (departure − arrival, ms) in
+/// the open-loop queue core. Emitted per completion by
+/// `lexcache-queue`; the log-scale buckets give p50/p90/p99 readout.
+pub const QUEUE_SOJOURN_MS: &str = "queue/sojourn_ms";
+
+/// Counter: jobs completed by the queue core (one bump per slot with
+/// that slot's completion count).
+pub const QUEUE_COMPLETED: &str = "queue/completed";
+
+/// Counter: arrivals rejected by a full station waiting room.
+pub const QUEUE_DROPPED: &str = "queue/dropped";
+
+/// Gauge: jobs still resident across all stations at each slot
+/// boundary (the open-loop backlog; grows without bound past ρ = 1).
+pub const QUEUE_BACKLOG: &str = "queue/backlog";
+
+/// Trace instant: one arrival was dropped at a full waiting room.
+pub const QUEUE_EV_DROP: &str = "queue/drop";

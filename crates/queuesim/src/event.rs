@@ -1,0 +1,174 @@
+//! Discrete-event heap with a total `(tick, seq)` order.
+//!
+//! The simulator's only source of ordering is this queue, so its order
+//! must be *total* and *deterministic*: two events never compare equal
+//! unless they are the same event, and no comparison goes through
+//! `partial_cmp` (lexlint LX01). Event times are non-negative finite
+//! `f64` milliseconds; for that domain the IEEE-754 bit pattern,
+//! reinterpreted as `u64`, orders exactly like the number itself, so
+//! the key is the pair (time bits, insertion sequence) compared with
+//! plain integer `Ord`. Ties in time resolve in insertion order, which
+//! is itself deterministic because the whole simulation is
+//! single-threaded per episode.
+
+use std::collections::BinaryHeap;
+
+/// One scheduled simulation event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueEvent {
+    /// A job reaches its station's queue.
+    JobArrival {
+        /// Arena index of the arriving job.
+        job: usize,
+    },
+    /// The predicted next completion at a station. Carries the station
+    /// schedule `version` at scheduling time; a pop whose version no
+    /// longer matches the station's is stale (an arrival or capacity
+    /// change re-planned the schedule) and is discarded.
+    JobDeparture {
+        /// Station index.
+        station: usize,
+        /// Arena index of the job predicted to finish.
+        job: usize,
+        /// Station schedule version captured when this was pushed.
+        version: u64,
+    },
+    /// End-of-slot marker; bounds one [`run_slot`] drain.
+    ///
+    /// [`run_slot`]: crate::QueueSim::run_slot
+    SlotBoundary {
+        /// 1-based index of the slot ending at this tick.
+        slot: usize,
+    },
+}
+
+/// Converts a non-negative finite time in ms to its ordering tick.
+///
+/// For non-negative finite doubles the unsigned bit order coincides
+/// with numeric order, so this is an exact, total, `partial_cmp`-free
+/// ordering key (no quantization, no NaN hazard).
+pub fn time_to_tick(time_ms: f64) -> u64 {
+    assert!(
+        time_ms.is_finite() && time_ms >= 0.0,
+        "event times must be non-negative finite ms, got {time_ms}"
+    );
+    time_ms.to_bits()
+}
+
+/// Heap entry. Ordering is *reversed* on `(tick, seq)` so the std
+/// max-heap pops the earliest event first; the payload never
+/// participates in comparisons.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    tick: u64,
+    seq: u64,
+    event: QueueEvent,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.tick, self.seq) == (other.tick, other.seq)
+    }
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: smaller (tick, seq) sorts as "greater" so
+        // `BinaryHeap::pop` yields events in causal order.
+        (other.tick, other.seq).cmp(&(self.tick, self.seq))
+    }
+}
+
+/// Min-ordered event queue over [`QueueEvent`]s.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at `time_ms` (non-negative finite).
+    pub fn push(&mut self, time_ms: f64, event: QueueEvent) {
+        let tick = time_to_tick(time_ms);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { tick, seq, event });
+    }
+
+    /// Pops the earliest event, ties broken by insertion order.
+    pub fn pop(&mut self) -> Option<(f64, QueueEvent)> {
+        self.heap.pop().map(|e| (f64::from_bits(e.tick), e.event))
+    }
+
+    /// Number of pending events (including stale departures).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_order_like_the_times_they_encode() {
+        let times = [0.0, 1e-12, 0.5, 1.0, 1.5, 99.999, 100.0, 1e9];
+        for w in times.windows(2) {
+            assert!(time_to_tick(w[0]) < time_to_tick(w[1]));
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order_with_insertion_tiebreak() {
+        let mut q = EventQueue::new();
+        q.push(2.0, QueueEvent::JobArrival { job: 0 });
+        q.push(1.0, QueueEvent::JobArrival { job: 1 });
+        q.push(1.0, QueueEvent::JobArrival { job: 2 });
+        q.push(0.5, QueueEvent::SlotBoundary { slot: 1 });
+        let order: Vec<(f64, QueueEvent)> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            order,
+            vec![
+                (0.5, QueueEvent::SlotBoundary { slot: 1 }),
+                (1.0, QueueEvent::JobArrival { job: 1 }),
+                (1.0, QueueEvent::JobArrival { job: 2 }),
+                (2.0, QueueEvent::JobArrival { job: 0 }),
+            ]
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative finite")]
+    fn rejects_nan_times() {
+        time_to_tick(f64::NAN);
+    }
+
+    #[test]
+    fn len_counts_pending_events() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(0.0, QueueEvent::SlotBoundary { slot: 1 });
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! Job arena records.
+
+/// One request's journey through a station queue. Jobs live in a flat
+/// arena owned by [`QueueSim`](crate::QueueSim); events reference them
+/// by index so the heap stays `Copy`.
+#[derive(Debug, Clone, Copy)]
+pub struct Job {
+    /// Index of the request within its slot (attribution only).
+    pub request: usize,
+    /// Slot the request was issued in (1-based).
+    pub slot: usize,
+    /// Station the request was assigned to.
+    pub station: usize,
+    /// Absolute arrival time in ms.
+    pub arrival_ms: f64,
+    /// Total service requirement in work-ms at unit rate.
+    pub service_ms: f64,
+    /// Work still owed, drained as simulation time passes.
+    pub remaining_ms: f64,
+}
+
+impl Job {
+    /// A fresh, un-served job.
+    pub fn new(
+        request: usize,
+        slot: usize,
+        station: usize,
+        arrival_ms: f64,
+        service_ms: f64,
+    ) -> Self {
+        Job {
+            request,
+            slot,
+            station,
+            arrival_ms,
+            service_ms,
+            remaining_ms: service_ms,
+        }
+    }
+}

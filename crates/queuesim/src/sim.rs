@@ -1,0 +1,364 @@
+//! The open-loop queue simulator driven slot-by-slot by an episode.
+//!
+//! Lifecycle per slot: [`QueueSim::begin_slot`] (apply the slot's
+//! effective per-station rates from the faults layer), any number of
+//! [`QueueSim::submit`] calls (one per edge-assigned request, with a
+//! deterministic arrival offset inside the slot), then
+//! [`QueueSim::run_slot`], which drains the event heap up to the slot
+//! boundary and returns the slot's [`SlotQueueStats`]. Backlog carries
+//! across slots — the queue is open-loop, so offered load above
+//! capacity grows the backlog without bound (queueing collapse).
+
+use crate::event::{EventQueue, QueueEvent};
+use crate::job::Job;
+use crate::station::Station;
+use crate::stats::SlotQueueStats;
+use crate::QueueConfig;
+use lexcache_obs as obs;
+use lexcache_obs::names;
+
+/// Deterministic event-driven network of station queues.
+#[derive(Debug)]
+pub struct QueueSim {
+    cfg: QueueConfig,
+    stations: Vec<Station>,
+    jobs: Vec<Job>,
+    events: EventQueue,
+    /// Slot currently being filled; 0 before the first `begin_slot`.
+    slot: usize,
+    /// Jobs resident across all stations.
+    in_flight: usize,
+    completed_total: u64,
+    dropped_total: u64,
+    /// Scratch for completion collection (kept to avoid re-allocating
+    /// on every departure event).
+    done_scratch: Vec<usize>,
+}
+
+impl QueueSim {
+    /// A fresh simulator with `n_stations` empty queues.
+    pub fn new(n_stations: usize, cfg: QueueConfig) -> Self {
+        assert!(n_stations > 0, "need at least one station");
+        QueueSim {
+            cfg,
+            stations: (0..n_stations)
+                .map(|_| Station::new(cfg.discipline, cfg.queue_capacity))
+                .collect(),
+            jobs: Vec::new(),
+            events: EventQueue::new(),
+            slot: 0,
+            in_flight: 0,
+            completed_total: 0,
+            dropped_total: 0,
+            done_scratch: Vec::new(),
+        }
+    }
+
+    /// The configuration this simulator was built with.
+    pub fn config(&self) -> &QueueConfig {
+        &self.cfg
+    }
+
+    /// Jobs completed since construction.
+    pub fn completed_total(&self) -> u64 {
+        self.completed_total
+    }
+
+    /// Arrivals dropped since construction.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_total
+    }
+
+    /// Opens slot `slot` (1-based, strictly sequential) and applies
+    /// the slot's effective per-station service rates — the product of
+    /// liveness, brown-out capacity factor and drain down-weight the
+    /// episode computes from its fault state. A rate of 0 freezes the
+    /// station: resident jobs wait, nothing drains, nothing departs.
+    pub fn begin_slot(&mut self, slot: usize, rates: &[f64]) {
+        assert_eq!(
+            slot,
+            self.slot + 1,
+            "slots must advance one at a time (got {slot} after {})",
+            self.slot
+        );
+        assert_eq!(rates.len(), self.stations.len(), "one rate per station");
+        self.slot = slot;
+        let now_ms = (slot - 1) as f64 * self.cfg.slot_ms;
+        for (i, station) in self.stations.iter_mut().enumerate() {
+            station.set_rate(now_ms, rates[i], &mut self.jobs);
+        }
+        for i in 0..self.stations.len() {
+            self.schedule(i);
+        }
+    }
+
+    /// Registers one request arriving `offset_ms` into the current
+    /// slot at `station`, owing `service_ms` work-ms at unit rate.
+    pub fn submit(&mut self, request: usize, station: usize, offset_ms: f64, service_ms: f64) {
+        assert!(self.slot > 0, "submit before begin_slot");
+        assert!(
+            station < self.stations.len(),
+            "station {station} out of range"
+        );
+        assert!(
+            offset_ms >= 0.0 && offset_ms <= self.cfg.slot_ms,
+            "arrival offset {offset_ms} outside slot of {} ms",
+            self.cfg.slot_ms
+        );
+        assert!(
+            service_ms.is_finite() && service_ms >= 0.0,
+            "service time must be finite and >= 0, got {service_ms}"
+        );
+        let arrival_ms = (self.slot - 1) as f64 * self.cfg.slot_ms + offset_ms;
+        let job = self.jobs.len();
+        self.jobs.push(Job::new(
+            request, self.slot, station, arrival_ms, service_ms,
+        ));
+        self.events.push(arrival_ms, QueueEvent::JobArrival { job });
+    }
+
+    /// Drains events up to the current slot's boundary and returns the
+    /// slot's measurements. Sojourns are recorded into the
+    /// [`names::QUEUE_SOJOURN_MS`] obs histogram as they complete.
+    pub fn run_slot(&mut self) -> SlotQueueStats {
+        assert!(self.slot > 0, "run_slot before begin_slot");
+        let end_ms = self.slot as f64 * self.cfg.slot_ms;
+        self.events
+            .push(end_ms, QueueEvent::SlotBoundary { slot: self.slot });
+        let mut stats = SlotQueueStats::default();
+        loop {
+            // The boundary event pushed above bounds this loop, so the
+            // heap cannot run dry first; if it somehow did, ending the
+            // slot is the only sane recovery.
+            let Some((t, ev)) = self.events.pop() else {
+                break;
+            };
+            match ev {
+                QueueEvent::JobArrival { job } => {
+                    let station = self.jobs[job].station;
+                    if self.stations[station].try_enqueue(t, job, &mut self.jobs) {
+                        self.in_flight += 1;
+                        self.schedule(station);
+                    } else {
+                        stats.dropped += 1;
+                        self.dropped_total += 1;
+                        obs::mark(names::QUEUE_EV_DROP);
+                    }
+                }
+                QueueEvent::JobDeparture {
+                    station,
+                    job,
+                    version,
+                } => {
+                    if version != self.stations[station].version() {
+                        continue; // stale prediction, superseded
+                    }
+                    self.stations[station].advance(t, &mut self.jobs);
+                    // The event *is* the completion contract: the
+                    // predicted job finishes exactly now. Zeroing it
+                    // absorbs the one-ulp dust of rate arithmetic.
+                    self.jobs[job].remaining_ms = 0.0;
+                    self.done_scratch.clear();
+                    let mut done = std::mem::take(&mut self.done_scratch);
+                    self.stations[station].take_completed(&self.jobs, &mut done);
+                    for &idx in &done {
+                        let sojourn = t - self.jobs[idx].arrival_ms;
+                        obs::observe(names::QUEUE_SOJOURN_MS, sojourn);
+                        stats.sojourns_ms.push(sojourn);
+                        self.in_flight -= 1;
+                        self.completed_total += 1;
+                    }
+                    self.done_scratch = done;
+                    self.schedule(station);
+                }
+                QueueEvent::SlotBoundary { .. } => break,
+            }
+        }
+        stats.backlog = self.in_flight;
+        obs::counter(names::QUEUE_COMPLETED, stats.completed() as u64);
+        obs::counter(names::QUEUE_DROPPED, stats.dropped as u64);
+        obs::gauge(names::QUEUE_BACKLOG, stats.backlog as f64);
+        stats
+    }
+
+    /// Re-plans `station`'s next departure under its current schedule
+    /// version (superseding any event scheduled under older versions).
+    fn schedule(&mut self, station: usize) {
+        if let Some((t, job)) = self.stations[station].next_completion(&self.jobs) {
+            self.events.push(
+                t,
+                QueueEvent::JobDeparture {
+                    station,
+                    job,
+                    version: self.stations[station].version(),
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Discipline;
+
+    fn sojourn_bits(stats: &[SlotQueueStats]) -> Vec<Vec<u64>> {
+        stats
+            .iter()
+            .map(|s| s.sojourns_ms.iter().map(|v| v.to_bits()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn fifo_m_d_1_style_slot_completes_in_order() {
+        let cfg = QueueConfig::open_loop(0.5).with_slot_ms(100.0);
+        let mut qs = QueueSim::new(1, cfg);
+        qs.begin_slot(1, &[1.0]);
+        qs.submit(0, 0, 0.0, 10.0);
+        qs.submit(1, 0, 5.0, 10.0);
+        let stats = qs.run_slot();
+        // Job 0 occupies [0, 10); job 1 arrives at 5, waits 5, serves
+        // [10, 20): sojourns 10 and 15.
+        assert_eq!(stats.sojourns_ms, vec![10.0, 15.0]);
+        assert_eq!(stats.backlog, 0);
+        assert_eq!(stats.dropped, 0);
+    }
+
+    #[test]
+    fn processor_sharing_stretches_concurrent_jobs() {
+        let cfg = QueueConfig::open_loop(0.5)
+            .with_discipline(Discipline::ProcessorSharing)
+            .with_slot_ms(100.0);
+        let mut qs = QueueSim::new(1, cfg);
+        qs.begin_slot(1, &[1.0]);
+        qs.submit(0, 0, 0.0, 10.0);
+        qs.submit(1, 0, 5.0, 10.0);
+        let stats = qs.run_slot();
+        // Alone on [0,5): job 0 drains 5. Shared on [5,15): each gets
+        // rate 1/2, job 0 finishes at 15. Job 1 then has 5 left alone,
+        // finishing at 20. Sojourns: 15 and 15.
+        assert_eq!(stats.sojourns_ms, vec![15.0, 15.0]);
+    }
+
+    #[test]
+    fn zero_service_time_departs_at_arrival() {
+        let cfg = QueueConfig::equivalence();
+        let mut qs = QueueSim::new(2, cfg);
+        qs.begin_slot(1, &[1.0, 1.0]);
+        qs.submit(0, 0, 12.5, 0.0);
+        qs.submit(1, 1, 80.0, 0.0);
+        let stats = qs.run_slot();
+        assert_eq!(stats.sojourns_ms, vec![0.0, 0.0]);
+        assert_eq!(stats.backlog, 0);
+        assert_eq!(stats.dropped, 0);
+    }
+
+    #[test]
+    fn backlog_carries_across_slots_and_sojourns_span_them() {
+        let cfg = QueueConfig::open_loop(1.1).with_slot_ms(100.0);
+        let mut qs = QueueSim::new(1, cfg);
+        qs.begin_slot(1, &[1.0]);
+        qs.submit(0, 0, 90.0, 50.0); // can only drain 10 work-ms this slot
+        let s1 = qs.run_slot();
+        assert_eq!(s1.completed(), 0);
+        assert_eq!(s1.backlog, 1);
+        qs.begin_slot(2, &[1.0]);
+        let s2 = qs.run_slot();
+        // Finishes at 90 + 50 = 140 → sojourn 50, counted in slot 2.
+        assert_eq!(s2.sojourns_ms, vec![50.0]);
+        assert_eq!(s2.backlog, 0);
+    }
+
+    #[test]
+    fn zero_rate_outage_freezes_then_resumes() {
+        let cfg = QueueConfig::open_loop(0.8).with_slot_ms(100.0);
+        let mut qs = QueueSim::new(1, cfg);
+        qs.begin_slot(1, &[0.0]); // station down all slot
+        qs.submit(0, 0, 10.0, 20.0);
+        let s1 = qs.run_slot();
+        assert_eq!(s1.completed(), 0);
+        assert_eq!(s1.backlog, 1);
+        qs.begin_slot(2, &[1.0]); // station returns
+        let s2 = qs.run_slot();
+        // Frozen on [10, 100), serves [100, 120): sojourn 110.
+        assert_eq!(s2.sojourns_ms, vec![110.0]);
+    }
+
+    #[test]
+    fn brown_out_halves_the_drain_rate() {
+        let cfg = QueueConfig::open_loop(0.8).with_slot_ms(100.0);
+        let mut qs = QueueSim::new(1, cfg);
+        qs.begin_slot(1, &[0.5]);
+        qs.submit(0, 0, 0.0, 20.0);
+        let stats = qs.run_slot();
+        assert_eq!(stats.sojourns_ms, vec![40.0]);
+    }
+
+    #[test]
+    fn finite_waiting_room_drops_the_overflow() {
+        let cfg = QueueConfig::open_loop(1.1).with_queue_capacity(2);
+        let mut qs = QueueSim::new(1, cfg);
+        qs.begin_slot(1, &[1.0]);
+        qs.submit(0, 0, 0.0, 1000.0);
+        qs.submit(1, 0, 1.0, 1000.0);
+        qs.submit(2, 0, 2.0, 1000.0);
+        let stats = qs.run_slot();
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(stats.backlog, 2);
+        assert_eq!(qs.dropped_total(), 1);
+    }
+
+    #[test]
+    fn same_inputs_are_bit_identical() {
+        let run = || {
+            let cfg = QueueConfig::open_loop(0.95)
+                .with_discipline(Discipline::ProcessorSharing)
+                .with_slot_ms(100.0);
+            let mut qs = QueueSim::new(3, cfg);
+            let mut all = Vec::new();
+            for slot in 1..=4usize {
+                let rates = [1.0, if slot == 2 { 0.0 } else { 1.0 }, 0.4];
+                qs.begin_slot(slot, &rates);
+                for r in 0..9 {
+                    let st = r % 3;
+                    let off = (r as f64 * 9.7) % 100.0;
+                    qs.submit(r, st, off, 7.0 + r as f64);
+                }
+                all.push(qs.run_slot());
+            }
+            all
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(sojourn_bits(&a), sojourn_bits(&b));
+        assert_eq!(
+            a.iter().map(|s| (s.dropped, s.backlog)).collect::<Vec<_>>(),
+            b.iter().map(|s| (s.dropped, s.backlog)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn departure_exactly_on_the_boundary_lands_in_the_next_slot() {
+        // The boundary marker is pushed before any departure scheduled
+        // during the drain, so an exactly-on-boundary completion ties
+        // on tick, loses on seq, and is (deterministically) accounted
+        // to the following slot with its sojourn intact.
+        let cfg = QueueConfig::open_loop(0.8).with_slot_ms(100.0);
+        let mut qs = QueueSim::new(1, cfg);
+        qs.begin_slot(1, &[1.0]);
+        qs.submit(0, 0, 50.0, 50.0); // completes exactly at t = 100
+        let s1 = qs.run_slot();
+        assert_eq!(s1.completed(), 0);
+        assert_eq!(s1.backlog, 1);
+        qs.begin_slot(2, &[1.0]);
+        let s2 = qs.run_slot();
+        assert_eq!(s2.sojourns_ms, vec![50.0]);
+        assert_eq!(s2.backlog, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one at a time")]
+    fn slots_must_be_sequential() {
+        let mut qs = QueueSim::new(1, QueueConfig::equivalence());
+        qs.begin_slot(2, &[1.0]);
+    }
+}

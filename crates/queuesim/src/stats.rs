@@ -1,0 +1,90 @@
+//! Per-slot sojourn accounting.
+
+/// What one slot of queue simulation measured: every sojourn completed
+/// inside the slot (in completion order), plus drop/backlog counts.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SlotQueueStats {
+    /// Sojourn time (departure − arrival, ms) of each job that
+    /// completed during the slot, in completion order. Jobs that
+    /// arrived in earlier slots count in the slot they *finish*.
+    pub sojourns_ms: Vec<f64>,
+    /// Arrivals rejected by a full waiting room this slot.
+    pub dropped: usize,
+    /// Jobs still resident across all stations at the slot boundary.
+    pub backlog: usize,
+}
+
+impl SlotQueueStats {
+    /// Completions this slot.
+    pub fn completed(&self) -> usize {
+        self.sojourns_ms.len()
+    }
+
+    /// Nearest-rank percentile of this slot's sojourns; 0 when no job
+    /// completed (matching the serde default of the report fields).
+    pub fn percentile_ms(&self, q: f64) -> f64 {
+        nearest_rank_ms(&self.sojourns_ms, q)
+    }
+
+    /// Median sojourn.
+    pub fn p50_ms(&self) -> f64 {
+        self.percentile_ms(0.50)
+    }
+
+    /// 90th-percentile sojourn.
+    pub fn p90_ms(&self) -> f64 {
+        self.percentile_ms(0.90)
+    }
+
+    /// 99th-percentile sojourn.
+    pub fn p99_ms(&self) -> f64 {
+        self.percentile_ms(0.99)
+    }
+}
+
+/// Nearest-rank percentile (the same convention as
+/// `EpisodeReport::decide_us_percentile`): sort with `total_cmp`,
+/// take element `ceil(q·n)` clamped into `[1, n]`. Empty input → 0.
+pub fn nearest_rank_ms(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_slot_reports_zero_percentiles() {
+        let s = SlotQueueStats::default();
+        assert_eq!(s.p50_ms(), 0.0);
+        assert_eq!(s.p99_ms(), 0.0);
+        assert_eq!(s.completed(), 0);
+    }
+
+    #[test]
+    fn nearest_rank_matches_hand_computed_values() {
+        let v = [5.0, 1.0, 4.0, 2.0, 3.0];
+        assert_eq!(nearest_rank_ms(&v, 0.0), 1.0);
+        assert_eq!(nearest_rank_ms(&v, 0.5), 3.0);
+        assert_eq!(nearest_rank_ms(&v, 0.99), 5.0);
+        assert_eq!(nearest_rank_ms(&v, 1.0), 5.0);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let s = SlotQueueStats {
+            sojourns_ms: vec![7.5],
+            ..Default::default()
+        };
+        assert_eq!(s.p50_ms(), 7.5);
+        assert_eq!(s.p90_ms(), 7.5);
+        assert_eq!(s.p99_ms(), 7.5);
+    }
+}

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Queue-core determinism smoke: exercises the event-driven open-loop
+# traffic layer end to end against the fig_latency bin at smoke size.
+#
+#   1. a smoke run with timings zeroed at --threads 1 is the byte
+#      reference for results/fig_latency.json;
+#   2. the same run at --threads 4 must reproduce it byte for byte —
+#      arrival instants, service times and sojourn percentiles all ride
+#      hashed streams, so worker count must not show;
+#   3. the JSON must be valid, cover every (policy, rho) point, keep
+#      p99 >= p50 >= 0 on every slot, and the saturated points
+#      (rho = 1.1) must measure a strictly heavier tail than the
+#      light-load points (rho = 0.5).
+#
+# Run from the repo root: ./scripts/queue_smoke.sh
+set -euo pipefail
+
+BIN=${CARGO_BIN:-"cargo run --release -q -p bench --bin fig_latency --"}
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/lexcache_queue_smoke.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+# Zeroed timings make the report JSON a pure function of the sweep
+# structure and seeds, so thread counts cannot show.
+export LEXCACHE_ZERO_TIMINGS=1
+
+fail() { echo "queue_smoke: FAIL: $*" >&2; exit 1; }
+
+echo "== reference: serial smoke run =="
+$BIN --smoke --json --threads 1 --no-journal
+[ -s results/fig_latency.json ] || fail "no JSON exported"
+cp results/fig_latency.json "$WORK/reference.json"
+
+echo "== parallel smoke run must match byte for byte =="
+$BIN --smoke --json --threads 4 --no-journal
+cmp results/fig_latency.json "$WORK/reference.json" \
+  || fail "results diverged between --threads 1 and --threads 4"
+
+echo "== exported JSON parses and the tail behaves =="
+python3 - <<'EOF' || fail "JSON failed validation"
+import json
+with open("results/fig_latency.json") as f:
+    series = json.load(f)
+assert series, "no series exported"
+labels = {s["label"] for s in series}
+# 6 policies x 4 offered loads.
+assert len(labels) == 24, f"expected 24 sweep points, got {len(labels)}"
+tail = {}
+for s in series:
+    rho = s["label"].rsplit("@rho", 1)[1]
+    p99s = tail.setdefault(rho, [])
+    for r in s["reports"]:
+        for slot in r["slots"]:
+            p50, p99 = slot["p50_sojourn_ms"], slot["p99_sojourn_ms"]
+            assert 0.0 <= p50 <= p99, f"{s['label']}: bad percentiles {p50}/{p99}"
+        p99s.append(
+            sum(t["p99_sojourn_ms"] for t in r["slots"]) / len(r["slots"])
+        )
+mean = lambda xs: sum(xs) / len(xs)
+assert mean(tail["1.1"]) > 0.0, "saturated queues measured no sojourns"
+assert mean(tail["1.1"]) > mean(tail["0.5"]), (
+    f"tail did not grow with load: rho 1.1 -> {mean(tail['1.1']):.3f} ms, "
+    f"rho 0.5 -> {mean(tail['0.5']):.3f} ms"
+)
+print(
+    f"   json ok: {len(labels)} sweep points, mean p99 "
+    f"{mean(tail['0.5']):.2f} ms @ rho 0.5 vs {mean(tail['1.1']):.2f} ms @ rho 1.1"
+)
+EOF
+
+echo "queue_smoke: PASS"
