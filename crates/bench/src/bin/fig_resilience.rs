@@ -1,0 +1,312 @@
+//! Resilience figure: graceful degradation under overload — deadlines,
+//! deterministic retries, circuit breakers and SLO-aware admission
+//! control layered on the open-loop queue core.
+//!
+//! Every sweep point attaches the queue core under processor sharing
+//! with a 300 ms per-request deadline and a bounded retry budget, then
+//! crosses ρ ∈ {0.8, 0.95, 1.1, 1.3} × every policy family × two arms:
+//!
+//! * `off` — deadlines and retries only ([`bench::ResilConfig::slo`]
+//!   with breakers and admission disabled): the queue keeps accepting
+//!   everything, and past saturation processor sharing spreads capacity
+//!   across jobs that are already doomed to miss.
+//! * `on` — the full SLO stack: per-station circuit breakers
+//!   (Closed → Open → HalfOpen) down-weight troubled stations in the
+//!   caching LP, and backlog-threshold admission sheds low-priority
+//!   work at the door instead of reaping it at the deadline.
+//!
+//! Expected shape: below saturation the two arms are near-identical
+//! (gates that never trip cost nothing). Past saturation (ρ ≥ 1.1) the
+//! `on` arm sheds load early, keeps the p99 sojourn and deadline-miss
+//! rate strictly lower, and completes *more* jobs inside their
+//! deadline — shedding beats reaping because a shed job never consumed
+//! service capacity.
+//!
+//! `--smoke` runs a tiny grid through the full parallel sweep harness,
+//! asserts the breakers actually fired at ρ = 1.3, and is
+//! byte-comparable across worker counts with `LEXCACHE_ZERO_TIMINGS=1`
+//! (the resilience-smoke CI diff).
+
+use bench::{
+    maybe_obs_profile, maybe_write_json, mean_std, repeats, run_grid, Algo, JsonSeries,
+    QueueConfig, QueueDiscipline, ResilConfig, RunSpec, Table,
+};
+use mec_workload::ScenarioConfig;
+
+const RHOS: [f64; 4] = [0.8, 0.95, 1.1, 1.3];
+const ALGOS: [Algo; 6] = [
+    Algo::OlGd,
+    Algo::OlUcb,
+    Algo::GreedyGd,
+    Algo::PriGd,
+    Algo::OlReg,
+    Algo::OlGan,
+];
+
+/// The two resilience arms of the sweep.
+const MODES: [Mode; 2] = [Mode::Off, Mode::On];
+
+/// Per-request deadline for the full figure (3 slots of headroom).
+const DEADLINE_MS: f64 = 300.0;
+
+/// Waiting-room depth per station, matching `fig_latency` so the two
+/// figures' drop behaviour is comparable.
+const QUEUE_CAPACITY: usize = 256;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Deadlines + retries only — no breakers, no admission control.
+    Off,
+    /// The full stack: breakers and admission gates armed.
+    On,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Off => "off",
+            Mode::On => "on",
+        }
+    }
+
+    /// The figure-scale resilience config of this arm.
+    fn resil(self) -> ResilConfig {
+        match self {
+            Mode::Off => ResilConfig::slo(DEADLINE_MS)
+                .without_breakers()
+                .without_admission(),
+            // Backlog threshold 3: under processor sharing a station
+            // holding more than ~2× that many residents cannot finish
+            // any of them inside the deadline, so shedding there is
+            // strictly better than admitting-and-reaping.
+            Mode::On => ResilConfig::slo(DEADLINE_MS).with_admission(3, 0),
+        }
+    }
+
+    /// A tighter config for the smoke grid (horizon 8, 12 stations):
+    /// a 150 ms deadline with a 2-slot breaker window and a backlog-2
+    /// admission gate, so breakers and sheds observably fire within
+    /// the tiny horizon at ρ = 1.3.
+    fn smoke_resil(self) -> ResilConfig {
+        match self {
+            Mode::Off => ResilConfig::slo(150.0)
+                .without_breakers()
+                .without_admission(),
+            Mode::On => ResilConfig::slo(150.0)
+                .with_breaker(2, 0.2, 100.0, 1, 1)
+                .with_admission(2, 0),
+        }
+    }
+}
+
+/// Fig. 3 (given demands) or Fig. 6 (hidden demands) spec, shrunk to
+/// 60 stations, with the queue core attached at offered load `rho`
+/// under processor sharing and this arm's resilience config.
+fn spec_for(algo: Algo, rho: f64, mode: Mode) -> RunSpec {
+    let base = if algo.hidden_demands() {
+        RunSpec::fig6(algo)
+    } else {
+        RunSpec::fig3(algo)
+    };
+    RunSpec {
+        n_stations: 60,
+        ..base
+    }
+    .with_queue(
+        QueueConfig::open_loop(rho)
+            .with_discipline(QueueDiscipline::ProcessorSharing)
+            .with_queue_capacity(QUEUE_CAPACITY)
+            .with_resilience(mode.resil()),
+    )
+    .with_label(format!("{}@rho{rho}/{}", algo.name(), mode.name()))
+}
+
+fn main() {
+    bench::init_bin("fig_resilience");
+    if bench::smoke_requested() {
+        smoke();
+        bench::maybe_trace_export("fig_resilience");
+        return;
+    }
+    let repeats = repeats().min(3);
+    println!(
+        "Resilience figure — graceful degradation under overload, 60 stations, \
+         deadline {DEADLINE_MS} ms, rho {RHOS:?}, arms off/on, {repeats} topologies\n"
+    );
+
+    // One job graph over every (algo, rho, mode) sweep point.
+    let specs: Vec<RunSpec> = ALGOS
+        .iter()
+        .flat_map(|&algo| {
+            RHOS.iter()
+                .flat_map(move |&rho| MODES.iter().map(move |&mode| spec_for(algo, rho, mode)))
+        })
+        .collect();
+    let results = run_grid(&specs, repeats);
+
+    let mut goodput = Table::new(
+        "jobs completed inside deadline per episode by offered load",
+        "rho",
+    );
+    let mut miss = Table::new("deadline-miss rate by offered load", "rho");
+    let mut p99 = Table::new("mean p99 sojourn (ms) by offered load", "rho");
+    let mut gates = Table::new(
+        "shed jobs + breaker-open station-slots per episode by offered load",
+        "rho",
+    );
+    for t in [&mut goodput, &mut miss, &mut p99, &mut gates] {
+        t.x_values(RHOS.iter().map(|r| r.to_string()));
+    }
+
+    let mut json = Vec::new();
+    let mut rows = results.into_iter();
+    for algo in ALGOS {
+        // One accumulator per (mode, metric), filled in ρ order.
+        let mut acc: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); 4]; 2];
+        for &rho in &RHOS {
+            for (m, mode) in MODES.into_iter().enumerate() {
+                let reports = rows.next().expect("one row per sweep point");
+                let mean_of = |f: &dyn Fn(&bench::EpisodeReport) -> f64| {
+                    mean_std(&reports.iter().map(f).collect::<Vec<_>>()).0
+                };
+                acc[m][0].push(mean_of(&|r| r.total_queue_completed() as f64));
+                acc[m][1].push(mean_of(&|r| r.deadline_miss_rate()));
+                acc[m][2].push(mean_of(&|r| r.mean_p99_sojourn_ms()));
+                acc[m][3].push(mean_of(&|r| {
+                    (r.total_shed() + r.total_breaker_open_slots()) as f64
+                }));
+                json.push(JsonSeries {
+                    label: format!("{}@rho{rho}/{}", algo.name(), mode.name()),
+                    reports,
+                });
+            }
+        }
+        for (m, mode) in MODES.into_iter().enumerate() {
+            let series = format!("{}/{}", algo.name(), mode.name());
+            let mut cols = std::mem::take(&mut acc[m]).into_iter();
+            goodput.series(series.clone(), cols.next().unwrap());
+            miss.series(series.clone(), cols.next().unwrap());
+            p99.series(series.clone(), cols.next().unwrap());
+            gates.series(series, cols.next().unwrap());
+        }
+        println!("{} swept", algo.name());
+    }
+    for t in [&goodput, &miss, &p99, &gates] {
+        println!("\n{}", t.render());
+    }
+    println!("expectation: below saturation the off/on arms coincide (idle gates are");
+    println!("free); past rho 1.1 the on arm sheds early, trips breakers, and keeps");
+    println!("goodput higher and the deadline-miss rate and p99 sojourn lower than");
+    println!("admitting everything and reaping it at the deadline");
+
+    maybe_write_json("fig_resilience", &json);
+
+    let profile: Vec<(&str, RunSpec)> = ALGOS
+        .iter()
+        .map(|&a| (a.name(), spec_for(a, RHOS[2], Mode::On)))
+        .collect();
+    maybe_obs_profile("fig_resilience", &profile);
+    bench::maybe_trace_export("fig_resilience");
+}
+
+/// Smoke ρ values: one near-critical point and one deep-overload point
+/// where the gates must observably fire.
+const SMOKE_RHOS: [f64; 2] = [0.95, 1.3];
+
+/// A tiny grid through the full parallel sweep harness — fast enough
+/// for CI, byte-identical across `--threads` counts under
+/// `LEXCACHE_ZERO_TIMINGS=1`, and a live check that the breaker and
+/// admission machinery actually engages under deep overload.
+fn smoke() {
+    println!("fig_resilience --smoke: tiny rho grid per policy and arm\n");
+    let specs: Vec<RunSpec> = ALGOS
+        .iter()
+        .flat_map(|&algo| {
+            SMOKE_RHOS.iter().flat_map(move |&rho| {
+                MODES.iter().map(move |&mode| RunSpec {
+                    n_stations: 12,
+                    scenario: ScenarioConfig::small(),
+                    horizon: 8,
+                    ..spec_for(algo, rho, mode).with_queue(
+                        QueueConfig::open_loop(rho)
+                            .with_discipline(QueueDiscipline::ProcessorSharing)
+                            .with_queue_capacity(QUEUE_CAPACITY)
+                            .with_resilience(mode.smoke_resil()),
+                    )
+                })
+            })
+        })
+        .collect();
+    let results = run_grid(&specs, 2);
+    let mut json = Vec::new();
+    let mut rows = results.into_iter();
+    let (mut overload_missed, mut overload_shed, mut overload_breaker) = (0usize, 0usize, 0usize);
+    for algo in ALGOS {
+        for &rho in &SMOKE_RHOS {
+            for mode in MODES {
+                let reports = rows.next().expect("one row per smoke point");
+                for report in &reports {
+                    let delay = report.mean_avg_delay_ms();
+                    assert!(
+                        delay.is_finite() && delay >= 0.0,
+                        "{} produced a non-finite mean delay at rho {rho}/{}",
+                        algo.name(),
+                        mode.name()
+                    );
+                    // Retries either exhaust their budget (a miss) or
+                    // land (a completion); successes can never exceed
+                    // attempts.
+                    assert!(
+                        report.total_retries_succeeded() <= report.total_retries_attempted(),
+                        "{} recorded more retry successes than attempts at rho {rho}",
+                        algo.name()
+                    );
+                    if rho > 1.0 {
+                        match mode {
+                            Mode::Off => overload_missed += report.total_deadline_missed(),
+                            Mode::On => {
+                                overload_shed += report.total_shed();
+                                overload_breaker += report.total_breaker_open_slots();
+                            }
+                        }
+                    }
+                }
+                let mean_miss = mean_std(
+                    &reports
+                        .iter()
+                        .map(|r| r.deadline_miss_rate())
+                        .collect::<Vec<_>>(),
+                )
+                .0;
+                println!(
+                    "  {:>9}  rho {rho:>4} {:>3}: miss rate {mean_miss:>6.3}  shed {:>4}  breaker-open {:>3}",
+                    algo.name(),
+                    mode.name(),
+                    reports.iter().map(|r| r.total_shed()).sum::<usize>(),
+                    reports
+                        .iter()
+                        .map(|r| r.total_breaker_open_slots())
+                        .sum::<usize>(),
+                );
+                json.push(JsonSeries {
+                    label: format!("{}@rho{rho}/{}", algo.name(), mode.name()),
+                    reports,
+                });
+            }
+        }
+    }
+    assert!(
+        overload_missed > 0,
+        "deep overload without gates must miss deadlines"
+    );
+    assert!(
+        overload_shed > 0,
+        "admission control must shed at rho 1.3 (backlog threshold 2)"
+    );
+    assert!(
+        overload_breaker > 0,
+        "circuit breakers must trip at rho 1.3 (2-slot window, p99 100 ms)"
+    );
+    maybe_write_json("fig_resilience", &json);
+    println!("\nsmoke ok");
+}

@@ -63,7 +63,7 @@ use lexcache_core::{
     ol_ewma, ol_holt, ol_naive, CachingPolicy, Episode, EpisodeConfig, GreedyGd, OlGan, OlGd,
     OlReg, OlUcb, PolicyConfig, PriGd,
 };
-pub use lexcache_core::{EpisodeReport, FaultConfig, QueueConfig, QueueDiscipline};
+pub use lexcache_core::{EpisodeReport, FaultConfig, QueueConfig, QueueDiscipline, ResilConfig};
 use mec_net::topology::{as1755, gtitm};
 use mec_net::{NetworkConfig, Topology};
 use mec_workload::demand::{DemandProcess as _, FlashCrowd, FlashCrowdConfig};

@@ -86,6 +86,12 @@ impl Checkpoint for EpisodeReport {
                 p50_sojourn_ms: f64_field_or(s, "p50_sojourn_ms", 0.0)?,
                 p99_sojourn_ms: f64_field_or(s, "p99_sojourn_ms", 0.0)?,
                 queue_dropped_count: usize_field_or(s, "queue_dropped_count", 0)?,
+                queue_completed_count: usize_field_or(s, "queue_completed_count", 0)?,
+                deadline_missed: usize_field_or(s, "deadline_missed", 0)?,
+                retries_attempted: usize_field_or(s, "retries_attempted", 0)?,
+                retries_succeeded: usize_field_or(s, "retries_succeeded", 0)?,
+                shed_count: usize_field_or(s, "shed_count", 0)?,
+                breaker_open_slots: usize_field_or(s, "breaker_open_slots", 0)?,
             });
         }
         Ok(EpisodeReport {
@@ -721,6 +727,12 @@ mod tests {
                     p50_sojourn_ms: 0.0,
                     p99_sojourn_ms: 0.0,
                     queue_dropped_count: 0,
+                    queue_completed_count: 0,
+                    deadline_missed: 0,
+                    retries_attempted: 0,
+                    retries_succeeded: 0,
+                    shed_count: 0,
+                    breaker_open_slots: 0,
                 },
                 SlotMetrics {
                     slot: 2,
@@ -736,6 +748,12 @@ mod tests {
                     p50_sojourn_ms: 7.25,
                     p99_sojourn_ms: 0.1 + 0.2, // deliberately non-representable
                     queue_dropped_count: 6,
+                    queue_completed_count: 41,
+                    deadline_missed: 5,
+                    retries_attempted: 4,
+                    retries_succeeded: 2,
+                    shed_count: 3,
+                    breaker_open_slots: 1,
                 },
             ],
         }
@@ -785,8 +803,9 @@ mod tests {
 
     /// The decoder must accept journals from *every* prior schema
     /// generation: pre-fault reports (no PR-8 counters), PR-8 reports
-    /// (no sojourn fields) and current ones — absent fields land on
-    /// their serde defaults, and re-encoding is stable from then on.
+    /// (no sojourn fields), PR-9 reports (no resilience counters) and
+    /// current ones — absent fields land on their serde defaults, and
+    /// re-encoding is stable from then on.
     #[test]
     fn decode_tolerates_every_journal_generation() {
         // Oldest generation: only the original four per-slot fields.
@@ -819,6 +838,36 @@ mod tests {
         assert_eq!((s.drained_count, s.migrated_entries), (3, 4));
         assert_eq!((s.p99_sojourn_ms, s.queue_dropped_count), (0.0, 0));
 
+        // PR-9 generation: queue sojourn/drop fields present, the
+        // resilience counters (deadlines, retries, sheds, breakers)
+        // not yet invented — all six must default to zero.
+        let pr9 = r#"{"policy":"p","topology":"t","slots":[{"slot":1,
+            "avg_delay_ms":2.5,"decide_us":10.0,"optimal_avg_delay_ms":null,
+            "remote_count":3,"rerouted_count":1,"dropped_count":2,
+            "drained_count":3,"migrated_entries":4,"proactive_reroutes":5,
+            "p50_sojourn_ms":7.25,"p99_sojourn_ms":31.5,
+            "queue_dropped_count":6}]}"#;
+        let decoded = EpisodeReport::decode(pr9).expect("PR-9 journal decodes");
+        let s = &decoded.slots[0];
+        assert_eq!(s.p99_sojourn_ms.to_bits(), 31.5_f64.to_bits());
+        assert_eq!(
+            (
+                s.queue_completed_count,
+                s.deadline_missed,
+                s.retries_attempted,
+                s.retries_succeeded,
+                s.shed_count,
+                s.breaker_open_slots
+            ),
+            (0, 0, 0, 0, 0, 0)
+        );
+        let reencoded = decoded.encode();
+        assert!(reencoded.contains("\"deadline_missed\":0"));
+        assert_eq!(
+            EpisodeReport::decode(&reencoded).expect("re-decodes"),
+            decoded
+        );
+
         // Current generation round-trips every field bit-exactly (the
         // fixture carries non-representable values on both f64 axes).
         let full = report();
@@ -827,6 +876,14 @@ mod tests {
             assert_eq!(a.p50_sojourn_ms.to_bits(), b.p50_sojourn_ms.to_bits());
             assert_eq!(a.p99_sojourn_ms.to_bits(), b.p99_sojourn_ms.to_bits());
             assert_eq!(a.queue_dropped_count, b.queue_dropped_count);
+            assert_eq!(
+                (a.deadline_missed, a.retries_attempted, a.retries_succeeded),
+                (b.deadline_missed, b.retries_attempted, b.retries_succeeded)
+            );
+            assert_eq!(
+                (a.queue_completed_count, a.shed_count, a.breaker_open_slots),
+                (b.queue_completed_count, b.shed_count, b.breaker_open_slots)
+            );
         }
     }
 

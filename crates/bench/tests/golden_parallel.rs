@@ -3,10 +3,12 @@
 //! The runner's determinism contract says `--threads N` must be
 //! bit-identical to `--threads 1` — positional seeds, canonical-order
 //! reduction, per-cell obs shards merged in canonical order. This test
-//! pins that end to end for four sweep shapes drawn from the real bins
+//! pins that end to end for five sweep shapes drawn from the real bins
 //! (a figure-style policy sweep, a fault-injection ablation sweep, a
-//! preemption-warning ablation sweep with live drain/migration, and a
-//! fig_latency-shaped sweep with the open-loop queue core attached):
+//! preemption-warning ablation sweep with live drain/migration, a
+//! fig_latency-shaped sweep with the open-loop queue core attached,
+//! and a fig_resilience-shaped sweep with deadlines, deterministic
+//! retries, breakers and admission control all live):
 //!
 //! * every [`EpisodeReport`] must serialize to the **same bytes**
 //!   (after stripping the one wall-clock field, `decide_us`), and
@@ -27,7 +29,7 @@
 //! installing their own would race on them.
 
 use bench::sweep::{self, arm_journaling, disarm_journaling};
-use bench::{Algo, FaultConfig, QueueConfig, QueueDiscipline, RunSpec, SweepOptions};
+use bench::{Algo, FaultConfig, QueueConfig, QueueDiscipline, ResilConfig, RunSpec, SweepOptions};
 use lexcache_obs::{Registry, ShardedRegistry};
 use lexcache_runner::Journal;
 use mec_workload::ScenarioConfig;
@@ -69,7 +71,7 @@ fn run_instrumented(
 fn parallel_runs_are_byte_identical_to_serial() {
     const REPEATS: usize = 3;
     const BASE: u64 = 42;
-    let sweeps: [(&str, Vec<RunSpec>); 4] = [
+    let sweeps: [(&str, Vec<RunSpec>); 5] = [
         (
             "fig3/fig6-shaped policy sweep",
             vec![
@@ -130,6 +132,46 @@ fn parallel_runs_are_byte_identical_to_serial() {
                         .with_faults(FaultConfig::intensity(0.1))
                         .with_queue(QueueConfig::open_loop(0.8))
                         .with_label("OL_REG@rho0.8/faulty"),
+                ),
+            ],
+        ),
+        (
+            "fig_resilience-shaped sweep",
+            vec![
+                // Full SLO stack at heavy overload: deadline misses,
+                // retries with hashed jitter/failover, breaker trips
+                // and admission sheds all exercise their side-streams.
+                tiny(
+                    RunSpec::fig3(Algo::OlGd)
+                        .with_queue(
+                            QueueConfig::open_loop(1.3)
+                                .with_discipline(QueueDiscipline::ProcessorSharing)
+                                .with_resilience(ResilConfig::slo(300.0).with_admission(3, 0)),
+                        )
+                        .with_label("OL_GD@rho1.3/slo"),
+                ),
+                // Deadlines + retries only (no gates): the retry
+                // re-enqueue path under FIFO.
+                tiny(
+                    RunSpec::fig3(Algo::GreedyGd)
+                        .with_queue(
+                            QueueConfig::open_loop(1.1).with_resilience(
+                                ResilConfig::slo(250.0)
+                                    .without_breakers()
+                                    .without_admission(),
+                            ),
+                        )
+                        .with_label("GREEDY_GD@rho1.1/deadline"),
+                ),
+                // Breakers composed with live preemption drains: the
+                // drain interlock must replay identically in parallel.
+                tiny(
+                    RunSpec::fig6(Algo::OlReg)
+                        .with_faults(FaultConfig::preempt(0.2, 2))
+                        .with_queue(
+                            QueueConfig::open_loop(1.1).with_resilience(ResilConfig::slo(300.0)),
+                        )
+                        .with_label("OL_REG@rho1.1/preempt+slo"),
                 ),
             ],
         ),

@@ -34,6 +34,7 @@ mod tests {
         up: Vec<bool>,
         factor: Vec<f64>,
         drain: Vec<mec_net::DrainState>,
+        breaker_weight: Vec<f64>,
     }
 
     fn fixture(seed: u64) -> Fixture {
@@ -62,6 +63,7 @@ mod tests {
             up: vec![true; n],
             factor: vec![1.0; n],
             drain: vec![mec_net::DrainState::Up; n],
+            breaker_weight: vec![1.0; n],
         }
     }
 
@@ -79,6 +81,7 @@ mod tests {
                 station_up: &self.up,
                 capacity_factor: &self.factor,
                 drain: &self.drain,
+                breaker_weight: &self.breaker_weight,
             }
         }
     }

@@ -1,7 +1,7 @@
 //! Algorithm 1: `OL_GD` — online learning with given demands.
 
 use crate::assignment::{Assignment, Target};
-use crate::lowering::build_caching_lp_drain_aware;
+use crate::lowering::build_caching_lp_resilient;
 use crate::policy::{CachingPolicy, EstimatorKind, PolicyConfig, SlotContext, SlotFeedback};
 use bandit::{sample_by_weight, ArmSet, DiscountedArmStats, WindowedArmSet};
 use lexcache_obs as obs;
@@ -101,10 +101,11 @@ impl OlGdCore {
         };
         let lp = {
             let _span = obs::span("decide/lp_build");
-            // Preemption warnings down-weight draining columns instead
-            // of hard-masking them; with nothing draining this is the
+            // Preemption warnings and breaker verdicts down-weight
+            // troubled columns instead of hard-masking them; with
+            // nothing draining and every breaker Closed this is the
             // masked builder verbatim.
-            build_caching_lp_drain_aware(
+            build_caching_lp_resilient(
                 ctx.topo,
                 ctx.scenario,
                 ctx.transfer,
@@ -114,6 +115,7 @@ impl OlGdCore {
                 ctx.station_up,
                 ctx.capacity_factor,
                 ctx.drain,
+                ctx.breaker_weight,
             )
         };
         let solved = {

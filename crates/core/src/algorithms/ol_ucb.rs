@@ -12,7 +12,7 @@
 
 use crate::algorithms::ol_gd::repair_capacity;
 use crate::assignment::{Assignment, Target};
-use crate::lowering::build_caching_lp_drain_aware;
+use crate::lowering::build_caching_lp_resilient;
 use crate::policy::{CachingPolicy, SlotContext, SlotFeedback};
 use bandit::{sample_by_weight, ArmSet};
 use lexcache_obs as obs;
@@ -81,7 +81,7 @@ impl CachingPolicy for OlUcb {
         };
         let lp = {
             let _span = obs::span("decide/lp_build");
-            build_caching_lp_drain_aware(
+            build_caching_lp_resilient(
                 ctx.topo,
                 ctx.scenario,
                 ctx.transfer,
@@ -91,6 +91,7 @@ impl CachingPolicy for OlUcb {
                 ctx.station_up,
                 ctx.capacity_factor,
                 ctx.drain,
+                ctx.breaker_weight,
             )
         };
         let solved = {

@@ -62,7 +62,7 @@ pub use algorithms::{
 };
 pub use assignment::{Assignment, Target};
 pub use cache::CacheState;
-pub use lexcache_queue::{Discipline as QueueDiscipline, QueueConfig};
+pub use lexcache_queue::{Discipline as QueueDiscipline, QueueConfig, ResilConfig};
 pub use lowering::TransferCosts;
 pub use mec_net::{DrainState, FaultConfig, PreemptNotice};
 pub use metrics::{EpisodeReport, SlotMetrics};

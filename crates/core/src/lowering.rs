@@ -257,6 +257,77 @@ pub fn build_caching_lp_drain_aware(
     }
 }
 
+/// Resilience-aware variant of [`build_caching_lp_drain_aware`]: on top
+/// of the drain down-weights, each station's columns are multiplied by
+/// its circuit-breaker weight (Closed 1.0, HalfOpen 1.5, Open 2.0), so
+/// the LP steers work away from stations the breakers have judged
+/// unhealthy *before* their arrivals shed. With every breaker weight at
+/// exactly 1.0 this delegates to the drain-aware builder and is
+/// bit-identical to it — breaker-free and resilience-off paths never
+/// see a combined weight.
+///
+/// # Panics
+///
+/// Panics on the same inconsistencies as
+/// [`build_caching_lp_drain_aware`], or if `breaker_weight` does not
+/// have one entry per station.
+// lexlint: why the breaker weights ride with the drain slice; same one-call-site ceremony trade-off as the drain-aware builder
+#[allow(clippy::too_many_arguments)]
+pub fn build_caching_lp_resilient(
+    topo: &Topology,
+    scenario: &Scenario,
+    transfer: &TransferCosts,
+    believed_delay: &[f64],
+    demands: &[f64],
+    remote_delay: f64,
+    station_up: &[bool],
+    capacity_factor: &[f64],
+    drain: &[DrainState],
+    breaker_weight: &[f64],
+) -> CachingLp {
+    assert_eq!(
+        breaker_weight.len(),
+        topo.len(),
+        "one breaker weight per station"
+    );
+    // Exact-bit check against 1.0: the delegation below is a
+    // bit-identity guarantee, so no tolerance applies.
+    if breaker_weight
+        .iter()
+        // lexlint: allow(LX06): u64 bit-pattern compare via to_bits, not float equality
+        .all(|w| w.to_bits() == 1.0f64.to_bits())
+    {
+        return build_caching_lp_drain_aware(
+            topo,
+            scenario,
+            transfer,
+            believed_delay,
+            demands,
+            remote_delay,
+            station_up,
+            capacity_factor,
+            drain,
+        );
+    }
+    assert_eq!(drain.len(), topo.len(), "one drain state per station");
+    let weights: Vec<f64> = drain
+        .iter()
+        .zip(breaker_weight)
+        .map(|(&d, &b)| drain_cost_weight(d) * b)
+        .collect();
+    build_weighted(
+        topo,
+        scenario,
+        transfer,
+        believed_delay,
+        demands,
+        remote_delay,
+        station_up,
+        capacity_factor,
+        Some(&weights),
+    )
+}
+
 // lexlint: why private trunk shared by the masked and drain-aware builders; it inherits their full argument lists plus the weight option
 #[allow(clippy::too_many_arguments)]
 fn build_weighted(
@@ -643,6 +714,97 @@ mod tests {
         }
         // Draining stations keep their capacity: they still serve.
         assert_eq!(weighted.capacity_units(), plain.capacity_units());
+    }
+
+    #[test]
+    fn all_ones_breaker_weights_match_drain_aware_builder_exactly() {
+        let (topo, cfg, scenario) = setup();
+        let transfer = TransferCosts::compute(&topo, &scenario);
+        let believed: Vec<f64> = topo
+            .stations()
+            .iter()
+            .map(|b| cfg.tier(b.tier()).unit_delay_ms.mid())
+            .collect();
+        let demands: Vec<f64> = scenario
+            .requests()
+            .iter()
+            .map(|r| r.basic_demand())
+            .collect();
+        let mut drain = vec![DrainState::Up; topo.len()];
+        drain[2] = DrainState::Draining(2);
+        let drained = build_caching_lp_drain_aware(
+            &topo,
+            &scenario,
+            &transfer,
+            &believed,
+            &demands,
+            75.0,
+            &vec![true; topo.len()],
+            &vec![1.0; topo.len()],
+            &drain,
+        );
+        let resilient = build_caching_lp_resilient(
+            &topo,
+            &scenario,
+            &transfer,
+            &believed,
+            &demands,
+            75.0,
+            &vec![true; topo.len()],
+            &vec![1.0; topo.len()],
+            &drain,
+            &vec![1.0; topo.len()],
+        );
+        assert_eq!(drained.unit_cost(), resilient.unit_cost());
+        assert_eq!(drained.capacity_units(), resilient.capacity_units());
+    }
+
+    #[test]
+    fn breaker_weights_compose_with_drain_down_weights() {
+        let (topo, cfg, scenario) = setup();
+        let transfer = TransferCosts::compute(&topo, &scenario);
+        let believed: Vec<f64> = topo
+            .stations()
+            .iter()
+            .map(|b| cfg.tier(b.tier()).unit_delay_ms.mid())
+            .collect();
+        let demands: Vec<f64> = scenario
+            .requests()
+            .iter()
+            .map(|r| r.basic_demand())
+            .collect();
+        let mut drain = vec![DrainState::Up; topo.len()];
+        drain[0] = DrainState::Draining(1); // drain weight 2.0
+        let mut breaker = vec![1.0; topo.len()];
+        breaker[0] = 1.5; // HalfOpen on the draining station
+        breaker[1] = 2.0; // Open elsewhere
+        let plain = build_caching_lp(&topo, &scenario, &transfer, &believed, &demands, 75.0);
+        let resilient = build_caching_lp_resilient(
+            &topo,
+            &scenario,
+            &transfer,
+            &believed,
+            &demands,
+            75.0,
+            &vec![true; topo.len()],
+            &vec![1.0; topo.len()],
+            &drain,
+            &breaker,
+        );
+        for l in 0..plain.n_requests() {
+            let base0 = plain.unit_cost()[l][0];
+            let base1 = plain.unit_cost()[l][1];
+            // Station 0: drain 2.0 × breaker 1.5 = 3.0.
+            assert!((resilient.unit_cost()[l][0] - base0 * 3.0).abs() < 1e-12);
+            // Station 1: breaker alone.
+            assert!((resilient.unit_cost()[l][1] - base1 * 2.0).abs() < 1e-12);
+            for i in 2..topo.len() {
+                assert_eq!(resilient.unit_cost()[l][i], plain.unit_cost()[l][i]);
+            }
+            assert_eq!(resilient.unit_cost()[l][topo.len()], 75.0);
+        }
+        // Gated stations keep their capacity — the weights only steer.
+        assert_eq!(resilient.capacity_units(), plain.capacity_units());
     }
 
     #[test]

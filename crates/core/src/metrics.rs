@@ -58,6 +58,31 @@ pub struct SlotMetrics {
     /// are unbounded).
     #[serde(default)]
     pub queue_dropped_count: usize,
+    /// Jobs the queue core completed this slot — the goodput series the
+    /// resilience sweep plots against ρ (0 when the queue core is
+    /// disabled).
+    #[serde(default)]
+    pub queue_completed_count: usize,
+    /// Jobs reaped at their deadline this slot (departed early, not
+    /// completions; 0 when resilience deadlines are disabled).
+    #[serde(default)]
+    pub deadline_missed: usize,
+    /// Deadline misses that re-enqueued a deterministic retry this
+    /// slot.
+    #[serde(default)]
+    pub retries_attempted: usize,
+    /// Retried jobs (attempt > 0) that completed this slot.
+    #[serde(default)]
+    pub retries_succeeded: usize,
+    /// Arrivals shed by a circuit breaker or the admission gate this
+    /// slot (distinct from `queue_dropped_count`, which is waiting-room
+    /// overflow).
+    #[serde(default)]
+    pub shed_count: usize,
+    /// Stations whose circuit breaker was Open while this slot's
+    /// arrivals were gated.
+    #[serde(default)]
+    pub breaker_open_slots: usize,
 }
 
 /// Nearest-rank percentile over `values`: sort with `total_cmp`, take
@@ -245,6 +270,48 @@ impl EpisodeReport {
     pub fn total_queue_dropped(&self) -> usize {
         self.slots.iter().map(|s| s.queue_dropped_count).sum()
     }
+
+    /// Total jobs the queue core completed — the episode's goodput.
+    pub fn total_queue_completed(&self) -> usize {
+        self.slots.iter().map(|s| s.queue_completed_count).sum()
+    }
+
+    /// Total jobs reaped at their deadline.
+    pub fn total_deadline_missed(&self) -> usize {
+        self.slots.iter().map(|s| s.deadline_missed).sum()
+    }
+
+    /// Total deadline misses that re-enqueued a retry.
+    pub fn total_retries_attempted(&self) -> usize {
+        self.slots.iter().map(|s| s.retries_attempted).sum()
+    }
+
+    /// Total retried jobs that completed.
+    pub fn total_retries_succeeded(&self) -> usize {
+        self.slots.iter().map(|s| s.retries_succeeded).sum()
+    }
+
+    /// Total arrivals shed by breakers or the admission gate.
+    pub fn total_shed(&self) -> usize {
+        self.slots.iter().map(|s| s.shed_count).sum()
+    }
+
+    /// Total station-slots spent with an Open circuit breaker.
+    pub fn total_breaker_open_slots(&self) -> usize {
+        self.slots.iter().map(|s| s.breaker_open_slots).sum()
+    }
+
+    /// Deadline misses as a fraction of deadline-resolved jobs
+    /// (misses / (misses + completions)); 0 when nothing resolved.
+    pub fn deadline_miss_rate(&self) -> f64 {
+        let missed = self.total_deadline_missed();
+        let resolved = missed + self.total_queue_completed();
+        if resolved == 0 {
+            0.0
+        } else {
+            missed as f64 / resolved as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -266,6 +333,12 @@ mod tests {
             p50_sojourn_ms: delay / 2.0,
             p99_sojourn_ms: delay * 3.0,
             queue_dropped_count: i % 5,
+            queue_completed_count: 3 * i,
+            deadline_missed: i % 2,
+            retries_attempted: i % 3,
+            retries_succeeded: i % 3,
+            shed_count: i % 4,
+            breaker_open_slots: i % 2,
         }
     }
 
@@ -310,6 +383,23 @@ mod tests {
         assert_eq!(r.mean_p50_sojourn_ms(), 7.5);
         assert_eq!(r.mean_p99_sojourn_ms(), 45.0);
         assert_eq!(r.max_p99_sojourn_ms(), 60.0);
+        assert_eq!(r.total_queue_completed(), 9);
+        assert_eq!(r.total_deadline_missed(), 1);
+        assert_eq!(r.total_retries_attempted(), 3);
+        assert_eq!(r.total_retries_succeeded(), 3);
+        assert_eq!(r.total_shed(), 3);
+        assert_eq!(r.total_breaker_open_slots(), 1);
+        assert_eq!(r.deadline_miss_rate(), 0.1, "1 miss / (1 + 9 completions)");
+    }
+
+    #[test]
+    fn deadline_miss_rate_guards_the_empty_denominator() {
+        let r = EpisodeReport {
+            policy: "p".into(),
+            topology: "t".into(),
+            slots: vec![],
+        };
+        assert_eq!(r.deadline_miss_rate(), 0.0);
     }
 
     #[test]
@@ -361,6 +451,12 @@ mod tests {
                 p50_sojourn_ms: 0.0,
                 p99_sojourn_ms: 0.0,
                 queue_dropped_count: 0,
+                queue_completed_count: 0,
+                deadline_missed: 0,
+                retries_attempted: 0,
+                retries_succeeded: 0,
+                shed_count: 0,
+                breaker_open_slots: 0,
             })
             .collect();
         // Shuffle-ish ordering: percentiles must sort, not trust input.

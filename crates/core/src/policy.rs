@@ -45,6 +45,11 @@ pub struct SlotContext<'a> {
     /// ignore this field entirely. All-`Up` when fault injection is
     /// disabled.
     pub drain: &'a [DrainState],
+    /// `breaker_weight[i]` — the soft LP cost multiplier contributed by
+    /// `BsId(i)`'s circuit breaker (1.0 Closed, 1.5 HalfOpen, 2.0
+    /// Open), mirroring the `Draining(k)` down-weight. All-ones when
+    /// the resilience layer or its breakers are disabled.
+    pub breaker_weight: &'a [f64],
 }
 
 /// End-of-slot feedback: what the environment revealed.

@@ -87,8 +87,13 @@ pub struct EpisodeConfig {
     /// skips the layer entirely; [`QueueConfig::equivalence`] runs it
     /// with zero service time, which is bit-identical to `None`
     /// (golden-tested). The queue layer draws from its own salted hash
-    /// stream, never the episode RNG, so enabling it cannot perturb
-    /// demands, delays, faults or policy decisions.
+    /// streams, never the episode RNG, so enabling it cannot perturb
+    /// demands, delays or faults. It feeds back into the objective and
+    /// the policy in exactly two places: waiting-room drops and
+    /// resilience sheds are charged demand × realized remote delay in
+    /// `avg_delay_ms` (zero when nothing is lost), and circuit-breaker
+    /// verdicts ([`lexcache_queue::ResilConfig`]) down-weight the next
+    /// slot's LP columns like `Draining(k)` does.
     #[serde(default)]
     pub queue: Option<QueueConfig>,
     /// Environment seed (delay realizations).
@@ -232,6 +237,10 @@ pub struct Episode {
     /// `Some` only when `cfg.queue` is set — the open-loop queue state
     /// (backlog included) persists across the episode's slots.
     queue: Option<QueueSim>,
+    /// Per-slot circuit-breaker LP down-weights handed to the policy
+    /// (1.0 Closed / 1.5 HalfOpen / 2.0 Open), refreshed from the queue
+    /// core each slot; all-ones when the queue or its breakers are off.
+    breaker_weight: Vec<f64>,
 }
 
 impl Episode {
@@ -297,7 +306,11 @@ impl Episode {
             capacity_factor: vec![1.0; n],
             drain: vec![DrainState::Up; n],
             transfer_masked: None,
-            queue: cfg.queue.map(|q| QueueSim::new(n, q)),
+            // The queue core gets the episode seed so its retry jitter
+            // stream (seed ⊕ retry salt) is paired across policies; with
+            // resilience disabled the seed is never consulted.
+            queue: cfg.queue.map(|q| QueueSim::new_seeded(n, q, cfg.seed)),
+            breaker_weight: vec![1.0; n],
         }
     }
 
@@ -598,6 +611,14 @@ impl Episode {
             }
             let transfer_now = self.transfer_masked.as_ref().unwrap_or(&self.transfer);
 
+            // Circuit-breaker verdicts from the queue core's *previous*
+            // slot down-weight this slot's LP columns, exactly like
+            // `Draining(k)`. All-ones (and the builder delegates to the
+            // drain-aware path bit-for-bit) when breakers are off.
+            if let Some(qs) = self.queue.as_ref() {
+                self.breaker_weight = qs.breaker_weights();
+            }
+
             let ctx = {
                 let _span = obs::span("sim/context");
                 SlotContext {
@@ -612,6 +633,7 @@ impl Episode {
                     station_up: &self.station_up,
                     capacity_factor: &self.capacity_factor,
                     drain: &self.drain,
+                    breaker_weight: &self.breaker_weight,
                 }
             };
             let decide_span = obs::span("sim/decide");
@@ -747,12 +769,29 @@ impl Episode {
 
             // Open-loop queue layer: replay this slot's (repaired)
             // assignment as timed arrivals against finite-rate station
-            // servers and measure per-request sojourns. Pure
-            // measurement — nothing here feeds back into the policy,
-            // the cache or the delay proxy, and the arrival stream is
-            // hashed from (seed, slot, request) rather than drawn from
-            // the episode RNG, so a queue-disabled run is untouched.
-            let (p50_sojourn_ms, p99_sojourn_ms, queue_dropped_count) = match self.queue.as_mut() {
+            // servers and measure per-request sojourns. The arrival and
+            // retry streams are hashed from (seed, slot, request) rather
+            // than drawn from the episode RNG, so a queue-disabled run
+            // is untouched. Two narrow feedback paths exist: breaker
+            // verdicts down-weight next slot's LP columns (above), and
+            // every waiting-room drop or resilience shed is charged its
+            // demand at the realized remote unit delay — the request
+            // was effectively bounced to the remote tier — so overload
+            // shows up in the paper's cost objective exactly like the
+            // fault path's `dropped_count`. A lossless slot adds
+            // nothing and leaves `avg_delay_ms` bit-identical.
+            let mut queue_loss_penalty = 0.0;
+            let (
+                p50_sojourn_ms,
+                p99_sojourn_ms,
+                queue_dropped_count,
+                queue_completed_count,
+                deadline_missed,
+                retries_attempted,
+                retries_succeeded,
+                shed_count,
+                breaker_open_slots,
+            ) = match self.queue.as_mut() {
                 Some(qs) => {
                     let _span = obs::span("sim/queue");
                     let qcfg = *qs.config();
@@ -772,6 +811,11 @@ impl Episode {
                             self.capacity_factor[i] * drain_factor
                         })
                         .collect();
+                    // Drain notices interlock with the breakers: a
+                    // HalfOpen breaker must not spend its probe on a
+                    // station that is scheduled to die.
+                    let draining: Vec<bool> = self.drain.iter().map(|d| d.is_draining()).collect();
+                    qs.set_draining(&draining);
                     qs.begin_slot(slot, &rates);
                     // Normalize service times so total offered work is
                     // ρ × nominal capacity (n stations × slot length).
@@ -785,6 +829,9 @@ impl Episode {
                     } else {
                         0.0
                     };
+                    // Priority-aware shedding spares the heavy hitters:
+                    // an above-average-demand request is high priority.
+                    let mean_demand = total_demand / n_requests as f64;
                     let arrivals = mec_workload::arrivals::expand_slot(
                         self.cfg.seed ^ qcfg.arrival_seed_salt,
                         slot,
@@ -793,18 +840,37 @@ impl Episode {
                     );
                     for a in &arrivals {
                         if let crate::Target::Edge(bs) = assignment.targets()[a.request] {
-                            qs.submit(
+                            qs.submit_prio(
                                 a.request,
                                 bs.index(),
                                 a.offset_ms,
                                 demands[a.request] * ms_per_unit,
+                                demands[a.request] >= mean_demand,
                             );
                         }
                     }
                     let stats = qs.run_slot();
-                    (stats.p50_ms(), stats.p99_ms(), stats.dropped)
+                    for &r in stats.dropped_requests.iter().chain(&stats.shed_requests) {
+                        queue_loss_penalty += demands[r] * self.remote.unit_delay();
+                    }
+                    (
+                        stats.p50_ms(),
+                        stats.p99_ms(),
+                        stats.dropped,
+                        stats.completed(),
+                        stats.deadline_missed,
+                        stats.retries_attempted,
+                        stats.retries_succeeded,
+                        stats.shed,
+                        stats.breaker_open,
+                    )
                 }
-                None => (0.0, 0.0, 0),
+                None => (0.0, 0.0, 0, 0, 0, 0, 0, 0, 0),
+            };
+            let avg_delay_ms = if queue_loss_penalty > 0.0 {
+                avg_delay_ms + queue_loss_penalty / n_requests as f64
+            } else {
+                avg_delay_ms
             };
 
             slots.push(SlotMetrics {
@@ -821,6 +887,12 @@ impl Episode {
                 p50_sojourn_ms,
                 p99_sojourn_ms,
                 queue_dropped_count,
+                queue_completed_count,
+                deadline_missed,
+                retries_attempted,
+                retries_succeeded,
+                shed_count,
+                breaker_open_slots,
             });
         }
         EpisodeReport {
@@ -1535,10 +1607,11 @@ mod tests {
         );
     }
 
-    /// The queue layer is pure measurement: enabling it at any load
-    /// must leave the paper's delay proxy (and every fault metric)
-    /// untouched, because it feeds nothing back and draws from its own
-    /// hash stream.
+    /// A lossless queue is pure measurement: with infinite waiting
+    /// rooms and no resilience knobs nothing is ever dropped or shed,
+    /// so enabling the layer at any load leaves the paper's delay
+    /// proxy (and every fault metric) untouched — it draws from its
+    /// own hash stream and the loss penalty never fires.
     #[test]
     fn queue_layer_never_perturbs_the_delay_proxy() {
         let run = |queue: Option<QueueConfig>| {
@@ -1621,6 +1694,169 @@ mod tests {
             unbounded.total_queue_dropped(),
             0,
             "infinite waiting rooms never drop"
+        );
+    }
+
+    /// Tentpole golden: a [`ResilConfig::disabled`] queue constructs no
+    /// resilience runtime at all, so the *entire* serialized report —
+    /// sojourns, drops, every new counter — is byte-identical to the
+    /// same queue config without the resilience field, faults included.
+    #[test]
+    fn disabled_resilience_episode_is_byte_invisible() {
+        use lexcache_queue::ResilConfig;
+        let run = |resil: Option<ResilConfig>| {
+            let cfg = NetworkConfig::paper_defaults();
+            let topo = gtitm::generate(15, &cfg, 79);
+            let scenario = ScenarioConfig::small().build(&topo, 79);
+            let mut q = QueueConfig::open_loop(0.95);
+            if let Some(r) = resil {
+                q = q.with_resilience(r);
+            }
+            let ep_cfg = EpisodeConfig::new(79)
+                .with_faults(FaultConfig::intensity(0.1))
+                .with_queue(q);
+            let mut ep = Episode::with_config(topo, cfg, scenario, ep_cfg);
+            let report = ep.run(&mut OlGd::new(PolicyConfig::default()), 12);
+            lexcache_obs::json::to_string(&report.with_zeroed_timings()).unwrap()
+        };
+        assert_eq!(
+            run(None),
+            run(Some(ResilConfig::disabled())),
+            "a disabled resilience layer must be byte-invisible"
+        );
+    }
+
+    /// Satellite bugfix pin: waiting-room drops now charge the cost
+    /// objective — each lost request pays its demand at the realized
+    /// remote unit delay, consistent with the fault path's
+    /// `dropped_count` — while lossless slots stay bit-identical to
+    /// the infinite-room run.
+    #[test]
+    fn queue_drops_charge_the_cost_objective() {
+        let run = |cap: usize| {
+            let cfg = NetworkConfig::paper_defaults();
+            let topo = gtitm::generate(10, &cfg, 97);
+            let scenario = ScenarioConfig::small().with_requests(30).build(&topo, 97);
+            let ep_cfg = EpisodeConfig::new(97)
+                .with_queue(QueueConfig::open_loop(1.2).with_queue_capacity(cap));
+            let mut ep = Episode::with_config(topo, cfg, scenario, ep_cfg);
+            ep.run(&mut GreedyGd::new(), 12)
+        };
+        let bounded = run(2);
+        let unbounded = run(usize::MAX);
+        assert!(bounded.total_queue_dropped() > 0, "cap 2 at ρ=1.2 drops");
+        // Greedy is static, so the two runs share every decision and
+        // every realization; only the loss penalty can differ.
+        for (b, u) in bounded.slots.iter().zip(&unbounded.slots) {
+            if b.queue_dropped_count == 0 {
+                assert_eq!(
+                    b.avg_delay_ms.to_bits(),
+                    u.avg_delay_ms.to_bits(),
+                    "slot {} lost nothing and must stay bit-identical",
+                    b.slot
+                );
+            } else {
+                assert!(
+                    b.avg_delay_ms > u.avg_delay_ms,
+                    "slot {} dropped {} jobs and must pay for them",
+                    b.slot,
+                    b.queue_dropped_count
+                );
+            }
+        }
+    }
+
+    /// Deadlines, deterministic retries and the loss penalty are all
+    /// hash-stream driven: two identical overloaded runs serialize to
+    /// the same bytes, and the retry stream genuinely fired.
+    #[test]
+    fn resilient_episodes_are_deterministic() {
+        use lexcache_queue::{Discipline, ResilConfig};
+        let run = || {
+            let cfg = NetworkConfig::paper_defaults();
+            let topo = gtitm::generate(15, &cfg, 103);
+            let scenario = ScenarioConfig::small().with_requests(60).build(&topo, 103);
+            let q = QueueConfig::open_loop(1.1)
+                .with_discipline(Discipline::ProcessorSharing)
+                .with_resilience(
+                    ResilConfig::slo(300.0)
+                        .without_breakers()
+                        .without_admission(),
+                );
+            let ep_cfg = EpisodeConfig::new(103).with_queue(q);
+            let mut ep = Episode::with_config(topo, cfg, scenario, ep_cfg);
+            ep.run(&mut OlGd::new(PolicyConfig::default()), 15)
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(
+            lexcache_obs::json::to_string(&a.with_zeroed_timings()).unwrap(),
+            lexcache_obs::json::to_string(&b.with_zeroed_timings()).unwrap(),
+            "same seed, same misses, same retries"
+        );
+        assert!(
+            a.total_deadline_missed() > 0,
+            "ρ=1.1 under PS must miss a 300 ms deadline at least once"
+        );
+        assert!(
+            a.total_retries_attempted() > 0,
+            "misses with a retry budget must re-enqueue"
+        );
+    }
+
+    /// The resilience headline (tentpole acceptance): at ρ = 1.1 under
+    /// processor sharing, turning breakers + admission on over the same
+    /// deadline/retry base strictly lowers the deadline-miss rate and
+    /// the sojourn tail while completing *more* work — shedding the
+    /// hopeless excess early (and steering the LP off tripped stations)
+    /// beats burning shared capacity on jobs that die at their deadline
+    /// anyway.
+    #[test]
+    fn breakers_and_admission_degrade_gracefully_at_overload() {
+        use lexcache_queue::{Discipline, ResilConfig};
+        let run = |resil: ResilConfig| {
+            let cfg = NetworkConfig::paper_defaults();
+            let topo = gtitm::generate(15, &cfg, 101);
+            let scenario = ScenarioConfig::small().with_requests(60).build(&topo, 101);
+            let q = QueueConfig::open_loop(1.1)
+                .with_discipline(Discipline::ProcessorSharing)
+                .with_resilience(resil);
+            let ep_cfg = EpisodeConfig::new(101).with_queue(q);
+            let mut ep = Episode::with_config(topo, cfg, scenario, ep_cfg);
+            ep.run(&mut OlGd::new(PolicyConfig::default()), 30)
+        };
+        let base = run(ResilConfig::slo(300.0)
+            .without_breakers()
+            .without_admission());
+        let on = run(ResilConfig::slo(300.0).with_admission(3, 0));
+        assert!(
+            base.total_deadline_missed() > 0,
+            "the unprotected run must actually suffer"
+        );
+        assert!(
+            on.total_shed() > 0,
+            "overload must trip the shedding machinery"
+        );
+        assert!(
+            on.total_breaker_open_slots() > 0,
+            "sustained overload must trip a breaker"
+        );
+        assert!(
+            on.deadline_miss_rate() < base.deadline_miss_rate(),
+            "breakers+admission must cut the miss rate: {} vs {}",
+            on.deadline_miss_rate(),
+            base.deadline_miss_rate()
+        );
+        assert!(
+            on.mean_p99_sojourn_ms() < base.mean_p99_sojourn_ms(),
+            "breakers+admission must cut the tail: {} vs {}",
+            on.mean_p99_sojourn_ms(),
+            base.mean_p99_sojourn_ms()
+        );
+        assert!(
+            on.total_queue_completed() > base.total_queue_completed(),
+            "goodput must rise when hopeless work is shed: {} vs {}",
+            on.total_queue_completed(),
+            base.total_queue_completed()
         );
     }
 }

@@ -1131,6 +1131,76 @@ mod tests {
         panic!("no notice in 200 slots at rate 0.05");
     }
 
+    /// Satellite edge case: `Returning` is observable for exactly one
+    /// slot and retires deterministically — after it a station is `Up`
+    /// (or immediately re-noticed into `Draining`), always alive, and
+    /// two same-seed runs replay the whole overlay byte for byte.
+    #[test]
+    fn returning_retires_to_up_deterministically() {
+        let t = topo();
+        let run = || {
+            let mut p = FaultProcess::new(&t, FaultConfig::preempt(0.3, 1), 59);
+            let mut prev: Vec<DrainState> = vec![DrainState::Up; t.len()];
+            let mut history = Vec::new();
+            let mut retired = 0usize;
+            for _ in 0..300 {
+                p.advance(&t);
+                for (i, (&was, &now)) in prev.iter().zip(p.drain_states()).enumerate() {
+                    if was == DrainState::Returning {
+                        retired += 1;
+                        assert!(
+                            matches!(now, DrainState::Up | DrainState::Draining(_)),
+                            "Returning at bs{i} must retire, got {now:?}"
+                        );
+                        assert!(
+                            p.station_up()[i],
+                            "a just-returned station must be alive (bs{i})"
+                        );
+                    }
+                }
+                prev.copy_from_slice(p.drain_states());
+                history.push((prev.clone(), p.station_up().to_vec()));
+            }
+            (history, retired)
+        };
+        let (ha, ra) = run();
+        let (hb, rb) = run();
+        assert_eq!(ha, hb, "same seed, same Returning transitions");
+        assert_eq!(ra, rb);
+        assert!(ra > 0, "rate 0.3 over 300 slots must complete a return");
+    }
+
+    /// Satellite edge case: a notice window longer than the remaining
+    /// horizon never underflows — the countdown keeps decrementing,
+    /// no kill lands inside the episode, and every station stays up.
+    #[test]
+    fn notice_window_longer_than_horizon_never_underflows() {
+        let t = topo();
+        let notice = 10_000usize;
+        let mut p = FaultProcess::new(&t, FaultConfig::preempt(0.5, notice), 61);
+        let horizon = 40usize;
+        for _ in 0..horizon {
+            p.advance(&t);
+            assert!(
+                p.preempt_killed().is_empty(),
+                "no kill can land before the window elapses"
+            );
+            assert_eq!(p.down_count(), 0, "warned stations stay alive");
+            for d in p.drain_states() {
+                if let DrainState::Draining(k) = d {
+                    assert!(
+                        *k > notice - horizon && *k <= notice,
+                        "countdown {k} escaped the legal range"
+                    );
+                }
+            }
+        }
+        assert!(
+            p.preempt().draining_count() > 0,
+            "rate 0.5 must warn within 40 slots"
+        );
+    }
+
     /// Adding preemption at rate zero must not shift any RNG stream:
     /// the full fault state stays bit-identical to the plain config.
     #[test]

@@ -58,3 +58,42 @@ pub const QUEUE_BACKLOG: &str = "queue/backlog";
 
 /// Trace instant: one arrival was dropped at a full waiting room.
 pub const QUEUE_EV_DROP: &str = "queue/drop";
+
+/// Counter: jobs reaped at their deadline (one bump per slot with that
+/// slot's miss count). Misses are departures, not completions.
+pub const RESIL_DEADLINE_MISSED: &str = "resil/deadline_missed";
+
+/// Counter: deadline misses that re-enqueued a deterministic retry.
+pub const RESIL_RETRIES: &str = "resil/retries";
+
+/// Counter: retried jobs (attempt > 0) that went on to complete.
+pub const RESIL_RETRIES_OK: &str = "resil/retries_ok";
+
+/// Counter: arrivals shed by a circuit breaker or the admission gate.
+pub const RESIL_SHED: &str = "resil/shed_count";
+
+/// Gauge: stations whose breaker was Open while a slot's arrivals were
+/// gated (station-slots, the overload fingerprint).
+pub const RESIL_BREAKER_OPEN_STATIONS: &str = "resil/breaker_open_stations";
+
+/// Trace instant: a job's deadline expired while it was still resident.
+pub const RESIL_EV_DEADLINE_MISS: &str = "resil/deadline_miss";
+
+/// Trace instant: a missed job was re-enqueued as a future arrival
+/// (possibly on a failover station) after deterministic backoff.
+pub const RESIL_EV_RETRY: &str = "resil/retry";
+
+/// Trace instant: a retried job completed.
+pub const RESIL_EV_RETRY_OK: &str = "resil/retry_ok";
+
+/// Trace instant: one arrival was shed by a breaker or admission gate.
+pub const RESIL_EV_SHED: &str = "resil/shed";
+
+/// Trace instant: a station's breaker tripped Open.
+pub const RESIL_EV_BREAKER_OPEN: &str = "resil/breaker_open";
+
+/// Trace instant: a station's breaker began probing (HalfOpen).
+pub const RESIL_EV_BREAKER_PROBE: &str = "resil/breaker_probe";
+
+/// Trace instant: a station's breaker closed after clean probes.
+pub const RESIL_EV_BREAKER_CLOSE: &str = "resil/breaker_close";

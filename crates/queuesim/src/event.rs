@@ -33,6 +33,15 @@ pub enum QueueEvent {
         /// Station schedule version captured when this was pushed.
         version: u64,
     },
+    /// A job's deadline expires. If the job is still resident at its
+    /// station it departs early as a deadline miss (and may retry);
+    /// if it already completed, the event is stale and ignored. Only
+    /// pushed when the resilience layer's deadlines are enabled, so a
+    /// resilience-off run's event sequence is untouched.
+    JobTimeout {
+        /// Arena index of the expiring job.
+        job: usize,
+    },
     /// End-of-slot marker; bounds one [`run_slot`] drain.
     ///
     /// [`run_slot`]: crate::QueueSim::run_slot

@@ -7,7 +7,8 @@
 pub struct Job {
     /// Index of the request within its slot (attribution only).
     pub request: usize,
-    /// Slot the request was issued in (1-based).
+    /// Slot the request was issued in (1-based). Retries keep the
+    /// original slot — it is a coordinate of the retry hash stream.
     pub slot: usize,
     /// Station the request was assigned to.
     pub station: usize,
@@ -17,10 +18,18 @@ pub struct Job {
     pub service_ms: f64,
     /// Work still owed, drained as simulation time passes.
     pub remaining_ms: f64,
+    /// Absolute deadline in ms; `f64::INFINITY` when the job has none.
+    /// A job still resident at its deadline departs early as a miss.
+    pub deadline_ms: f64,
+    /// 0 for the original submission, `k` for its `k`-th retry.
+    pub attempt: u32,
+    /// High-priority jobs shed last under admission control.
+    pub high_priority: bool,
 }
 
 impl Job {
-    /// A fresh, un-served job.
+    /// A fresh, un-served job with no deadline, attempt 0, low
+    /// priority.
     pub fn new(
         request: usize,
         slot: usize,
@@ -35,6 +44,14 @@ impl Job {
             arrival_ms,
             service_ms,
             remaining_ms: service_ms,
+            deadline_ms: f64::INFINITY,
+            attempt: 0,
+            high_priority: false,
         }
+    }
+
+    /// True when the job carries a (finite) deadline.
+    pub fn has_deadline(&self) -> bool {
+        self.deadline_ms.is_finite()
     }
 }

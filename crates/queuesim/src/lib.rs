@@ -39,12 +39,14 @@ use serde::{Deserialize, Serialize};
 
 mod event;
 mod job;
+mod resil;
 mod sim;
 mod station;
 mod stats;
 
 pub use event::{time_to_tick, EventQueue, QueueEvent};
 pub use job::Job;
+pub use resil::{ResilConfig, DEFAULT_RETRY_SALT};
 pub use sim::QueueSim;
 pub use stats::{nearest_rank_ms, SlotQueueStats};
 
@@ -87,6 +89,12 @@ pub struct QueueConfig {
     pub queue_capacity: usize,
     /// Salt XOR-mixed into the episode seed for arrival offsets.
     pub arrival_seed_salt: u64,
+    /// Resilience layer (deadlines, retries, breakers, admission).
+    /// Defaults to [`ResilConfig::disabled`], which constructs no
+    /// runtime at all — configs serialized before the field existed
+    /// decode to exactly that.
+    #[serde(default)]
+    pub resil: ResilConfig,
 }
 
 impl QueueConfig {
@@ -103,6 +111,7 @@ impl QueueConfig {
             offered_load: rho,
             queue_capacity: usize::MAX,
             arrival_seed_salt: DEFAULT_ARRIVAL_SALT,
+            resil: ResilConfig::disabled(),
         }
     }
 
@@ -150,6 +159,15 @@ impl QueueConfig {
         self.arrival_seed_salt = salt;
         self
     }
+
+    /// Installs a resilience layer (deadlines, deterministic retries,
+    /// circuit breakers, admission control). Passing
+    /// [`ResilConfig::disabled`] is exactly equivalent to never calling
+    /// this — the simulator constructs no resilience runtime.
+    pub fn with_resilience(mut self, resil: ResilConfig) -> Self {
+        self.resil = resil;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -170,12 +188,15 @@ mod tests {
             .with_discipline(Discipline::ProcessorSharing)
             .with_slot_ms(50.0)
             .with_queue_capacity(16)
-            .with_arrival_salt(7);
+            .with_arrival_salt(7)
+            .with_resilience(ResilConfig::slo(250.0));
         assert!(!cfg.is_equivalence());
         assert_eq!(cfg.discipline, Discipline::ProcessorSharing);
         assert_eq!(cfg.slot_ms, 50.0);
         assert_eq!(cfg.queue_capacity, 16);
         assert_eq!(cfg.arrival_seed_salt, 7);
+        assert!(cfg.resil.is_enabled());
+        assert_eq!(cfg.resil.deadline_ms, 250.0);
     }
 
     #[test]

@@ -1,0 +1,306 @@
+//! Resilience configuration of the open-loop queue core.
+//!
+//! [`ResilConfig`] rides inside [`QueueConfig`](crate::QueueConfig)
+//! (serde-defaulted, so PR 9 configs decode unchanged) and switches on
+//! the four mechanisms of `lexcache-resilience`: per-request deadlines,
+//! deterministic retry with backoff + seeded jitter, per-station
+//! circuit breakers, and slot-granularity admission control. The
+//! default — [`ResilConfig::disabled`] — constructs *nothing* in the
+//! simulator: no timeout events, no gates, no extra heap traffic, so a
+//! disabled run is bit-identical to the pre-resilience queue core
+//! (golden-tested by the episode suite).
+
+use lexcache_resilience::{AdmissionParams, BreakerParams};
+use serde::{Deserialize, Serialize};
+
+/// Default salt mixed into the episode seed for the retry side-stream
+/// (jitter + failover picks). Distinct from
+/// [`DEFAULT_ARRIVAL_SALT`](crate::DEFAULT_ARRIVAL_SALT) so retries
+/// and arrival offsets are independent hash streams off the same seed.
+pub const DEFAULT_RETRY_SALT: u64 = 0x7E46_A1C9_0D5B_33F1;
+
+/// Configuration of the resilience layer over the queue core.
+///
+/// Every mechanism is individually gated: `deadline_ms == 0` disables
+/// deadlines (and with them retries), `breaker_window == 0` disables
+/// breakers, and zero `admission_backlog` + `admission_tokens`
+/// disables admission control. [`ResilConfig::disabled`] (also the
+/// serde default) gates everything off.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct ResilConfig {
+    /// Per-request deadline in ms from arrival; a job still resident
+    /// when it expires departs early as a deadline miss. 0 disables
+    /// deadlines.
+    pub deadline_ms: f64,
+    /// Retry budget per request after a deadline miss; retried jobs
+    /// re-enqueue as future arrivals, possibly on a failover station.
+    /// Only meaningful with deadlines on.
+    pub max_retries: u32,
+    /// Exponential-backoff base: the retry of failed attempt `a`
+    /// (0-based) waits `backoff_base_ms · 2^a` plus jitter.
+    pub backoff_base_ms: f64,
+    /// Upper bound of the seeded uniform jitter added to each backoff.
+    pub backoff_jitter_ms: f64,
+    /// Salt XOR-mixed into the episode seed for the retry hash stream
+    /// (never the episode RNG — serial-vs-parallel byte-identity).
+    pub retry_seed_salt: u64,
+    /// Rolling evidence window of the per-station circuit breakers, in
+    /// slots. 0 disables breakers.
+    pub breaker_window: usize,
+    /// Windowed `failures / arrivals` fraction at which a breaker
+    /// trips.
+    pub breaker_fail_rate: f64,
+    /// Worst windowed per-slot p99 sojourn (ms) at which a breaker
+    /// trips; 0 disables the latency trigger.
+    pub breaker_p99_ms: f64,
+    /// Slots a tripped breaker stays Open (shedding every arrival)
+    /// before probing.
+    pub breaker_open_slots: u32,
+    /// Arrivals admitted per HalfOpen slot as probes.
+    pub breaker_probes: u32,
+    /// Station backlog at which admission sheds low-priority arrivals
+    /// (everything sheds at twice this). 0 disables the backlog gate.
+    pub admission_backlog: usize,
+    /// Per-station arrival budget per slot; an empty bucket sheds
+    /// low-priority arrivals. 0 disables the token gate.
+    pub admission_tokens: u32,
+}
+
+impl Default for ResilConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl ResilConfig {
+    /// Everything off — the queue core behaves exactly as it did
+    /// before the resilience layer existed (bit-identical).
+    pub fn disabled() -> Self {
+        ResilConfig {
+            deadline_ms: 0.0,
+            max_retries: 0,
+            backoff_base_ms: 0.0,
+            backoff_jitter_ms: 0.0,
+            retry_seed_salt: DEFAULT_RETRY_SALT,
+            breaker_window: 0,
+            breaker_fail_rate: 0.0,
+            breaker_p99_ms: 0.0,
+            breaker_open_slots: 0,
+            breaker_probes: 0,
+            admission_backlog: 0,
+            admission_tokens: 0,
+        }
+    }
+
+    /// An SLO-shaped preset around one deadline: bounded retries with
+    /// exponential backoff, breakers tripping on a 25% windowed
+    /// failure rate or a p99 at 90% of the deadline, and a backlog-8
+    /// admission threshold. Every knob can be overridden afterwards
+    /// through the `with_*` builders.
+    pub fn slo(deadline_ms: f64) -> Self {
+        assert!(
+            deadline_ms.is_finite() && deadline_ms > 0.0,
+            "SLO deadline must be positive and finite, got {deadline_ms}"
+        );
+        ResilConfig {
+            deadline_ms,
+            max_retries: 2,
+            backoff_base_ms: 10.0,
+            backoff_jitter_ms: 5.0,
+            retry_seed_salt: DEFAULT_RETRY_SALT,
+            breaker_window: 3,
+            breaker_fail_rate: 0.25,
+            breaker_p99_ms: 0.9 * deadline_ms,
+            breaker_open_slots: 2,
+            breaker_probes: 1,
+            admission_backlog: 8,
+            admission_tokens: 0,
+        }
+    }
+
+    /// True when any mechanism is active (the simulator constructs its
+    /// resilience runtime only then).
+    pub fn is_enabled(&self) -> bool {
+        self.deadlines_enabled() || self.breakers_enabled() || self.admission_enabled()
+    }
+
+    /// True when per-request deadlines are on.
+    pub fn deadlines_enabled(&self) -> bool {
+        self.deadline_ms > 0.0
+    }
+
+    /// True when per-station circuit breakers are on.
+    pub fn breakers_enabled(&self) -> bool {
+        self.breaker_window > 0
+    }
+
+    /// True when slot-granularity admission control is on.
+    pub fn admission_enabled(&self) -> bool {
+        self.admission_backlog > 0 || self.admission_tokens > 0
+    }
+
+    /// Sets the per-request deadline (0 disables deadlines and
+    /// retries).
+    pub fn with_deadline_ms(mut self, deadline_ms: f64) -> Self {
+        assert!(
+            deadline_ms.is_finite() && deadline_ms >= 0.0,
+            "deadline must be finite and >= 0, got {deadline_ms}"
+        );
+        self.deadline_ms = deadline_ms;
+        self
+    }
+
+    /// Sets the retry budget per request.
+    pub fn with_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Sets the backoff base and jitter bound (both finite, >= 0).
+    pub fn with_backoff(mut self, base_ms: f64, jitter_ms: f64) -> Self {
+        assert!(
+            base_ms.is_finite() && base_ms >= 0.0 && jitter_ms.is_finite() && jitter_ms >= 0.0,
+            "backoff base and jitter must be finite and >= 0"
+        );
+        self.backoff_base_ms = base_ms;
+        self.backoff_jitter_ms = jitter_ms;
+        self
+    }
+
+    /// Overrides the retry hash-stream salt.
+    pub fn with_retry_salt(mut self, salt: u64) -> Self {
+        self.retry_seed_salt = salt;
+        self
+    }
+
+    /// Configures the circuit breakers (window 0 disables them).
+    pub fn with_breaker(
+        mut self,
+        window: usize,
+        fail_rate: f64,
+        p99_ms: f64,
+        open_slots: u32,
+        probes: u32,
+    ) -> Self {
+        self.breaker_window = window;
+        self.breaker_fail_rate = fail_rate;
+        self.breaker_p99_ms = p99_ms;
+        self.breaker_open_slots = open_slots;
+        self.breaker_probes = probes;
+        if window > 0 {
+            // Fail fast on out-of-range thresholds instead of waiting
+            // for the simulator to construct the breakers.
+            let _ = self.breaker_params();
+        }
+        self
+    }
+
+    /// Disables the circuit breakers.
+    pub fn without_breakers(mut self) -> Self {
+        self.breaker_window = 0;
+        self
+    }
+
+    /// Configures admission control (0/0 disables it).
+    pub fn with_admission(mut self, backlog_threshold: usize, tokens_per_slot: u32) -> Self {
+        self.admission_backlog = backlog_threshold;
+        self.admission_tokens = tokens_per_slot;
+        self
+    }
+
+    /// Disables admission control.
+    pub fn without_admission(mut self) -> Self {
+        self.admission_backlog = 0;
+        self.admission_tokens = 0;
+        self
+    }
+
+    /// The breaker parameter block this config describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when breakers are enabled with out-of-range thresholds
+    /// (the [`BreakerParams`] validation).
+    pub fn breaker_params(&self) -> BreakerParams {
+        let p = BreakerParams {
+            window: self.breaker_window,
+            fail_rate: self.breaker_fail_rate,
+            p99_ms: self.breaker_p99_ms,
+            open_slots: self.breaker_open_slots,
+            probes: self.breaker_probes,
+        };
+        // Constructing a breaker validates; params are Copy.
+        let _ = lexcache_resilience::CircuitBreaker::new(p);
+        p
+    }
+
+    /// The admission parameter block this config describes.
+    pub fn admission_params(&self) -> AdmissionParams {
+        AdmissionParams {
+            backlog_threshold: self.admission_backlog,
+            tokens_per_slot: self.admission_tokens,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_the_default_and_gates_everything_off() {
+        let d = ResilConfig::default();
+        assert_eq!(d, ResilConfig::disabled());
+        assert!(!d.is_enabled());
+        assert!(!d.deadlines_enabled());
+        assert!(!d.breakers_enabled());
+        assert!(!d.admission_enabled());
+    }
+
+    #[test]
+    fn slo_preset_enables_all_mechanisms() {
+        let s = ResilConfig::slo(300.0);
+        assert!(s.is_enabled());
+        assert!(s.deadlines_enabled());
+        assert!(s.breakers_enabled());
+        assert!(s.admission_enabled());
+        assert_eq!(s.breaker_p99_ms, 270.0);
+        let off = s.without_breakers().without_admission();
+        assert!(off.deadlines_enabled());
+        assert!(!off.breakers_enabled());
+        assert!(!off.admission_enabled());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = ResilConfig::disabled()
+            .with_deadline_ms(250.0)
+            .with_retries(3)
+            .with_backoff(5.0, 2.5)
+            .with_retry_salt(11)
+            .with_breaker(4, 0.5, 200.0, 3, 2)
+            .with_admission(16, 8);
+        assert_eq!(c.deadline_ms, 250.0);
+        assert_eq!(c.max_retries, 3);
+        assert_eq!(c.backoff_base_ms, 5.0);
+        assert_eq!(c.retry_seed_salt, 11);
+        assert_eq!(c.breaker_params().window, 4);
+        assert_eq!(c.admission_params().tokens_per_slot, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "fail rate")]
+    fn out_of_range_breaker_thresholds_fail_fast() {
+        let _ = ResilConfig::disabled().with_breaker(3, 1.5, 0.0, 2, 1);
+    }
+
+    #[test]
+    fn salts_keep_retry_and_arrival_streams_apart() {
+        assert_ne!(
+            DEFAULT_RETRY_SALT,
+            crate::DEFAULT_ARRIVAL_SALT,
+            "the retry side-stream must never alias the arrival stream"
+        );
+    }
+}

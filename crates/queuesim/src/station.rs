@@ -114,6 +114,24 @@ impl Station {
         true
     }
 
+    /// Evicts one resident job at `now_ms` (a deadline reap): drains
+    /// the elapsed interval first, then unlinks the job wherever it
+    /// sits in the queue and invalidates the schedule. Returns false —
+    /// leaving the station untouched — when the job is not resident
+    /// (it already completed or was reaped), which is exactly the
+    /// staleness contract of [`JobTimeout`] events.
+    ///
+    /// [`JobTimeout`]: crate::QueueEvent::JobTimeout
+    pub(crate) fn remove(&mut self, now_ms: f64, job: usize, arena: &mut [Job]) -> bool {
+        let Some(pos) = self.jobs.iter().position(|&idx| idx == job) else {
+            return false;
+        };
+        self.advance(now_ms, arena);
+        self.jobs.remove(pos);
+        self.version += 1;
+        true
+    }
+
     /// Removes every resident job whose work is exhausted, appending
     /// their arena indices to `done` in arrival order.
     pub(crate) fn take_completed(&mut self, arena: &[Job], done: &mut Vec<usize>) {
@@ -228,6 +246,28 @@ mod tests {
             !st.try_enqueue(0.0, 2, &mut jobs),
             "third job exceeds cap 2"
         );
+    }
+
+    #[test]
+    fn remove_unlinks_mid_queue_and_reports_absentees() {
+        let mut jobs = arena(&[10.0, 10.0, 10.0]);
+        let mut st = Station::new(Discipline::Fifo, usize::MAX);
+        st.set_rate(0.0, 1.0, &mut jobs);
+        for j in 0..3 {
+            st.try_enqueue(0.0, j, &mut jobs);
+        }
+        let v = st.version();
+        assert!(st.remove(5.0, 1, &mut jobs), "waiter 1 is resident");
+        assert!(st.version() > v, "a reap invalidates the schedule");
+        assert_eq!(st.backlog(), 2);
+        // The interval was drained at the head before unlinking.
+        assert_eq!(jobs[0].remaining_ms, 5.0);
+        assert_eq!(jobs[1].remaining_ms, 10.0, "the waiter got no service");
+        assert!(!st.remove(5.0, 1, &mut jobs), "already gone: stale reap");
+        // Removing the in-service head works too.
+        assert!(st.remove(5.0, 0, &mut jobs));
+        let (_, next) = st.next_completion(&jobs).unwrap();
+        assert_eq!(next, 2, "service passes to the surviving waiter");
     }
 
     #[test]

@@ -12,6 +12,25 @@ pub struct SlotQueueStats {
     pub dropped: usize,
     /// Jobs still resident across all stations at the slot boundary.
     pub backlog: usize,
+    /// Request index of every waiting-room drop this slot, in drop
+    /// order — the episode charges each one a per-drop penalty in its
+    /// cost objective (demand-weighted remote fallback).
+    pub dropped_requests: Vec<usize>,
+    /// Request index of every resilience shed this slot (breaker-open
+    /// or admission rejections), charged like drops.
+    pub shed_requests: Vec<usize>,
+    /// Jobs reaped at their deadline this slot — departed early,
+    /// counted here and *not* as completions.
+    pub deadline_missed: usize,
+    /// Deadline misses that re-enqueued a retry this slot.
+    pub retries_attempted: usize,
+    /// Retried jobs (attempt > 0) that completed this slot.
+    pub retries_succeeded: usize,
+    /// Arrivals shed by a breaker or the admission gate this slot.
+    pub shed: usize,
+    /// Stations whose circuit breaker was Open while this slot's
+    /// arrivals were gated (station-slots, the overload fingerprint).
+    pub breaker_open: usize,
 }
 
 impl SlotQueueStats {

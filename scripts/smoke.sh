@@ -1,0 +1,263 @@
+#!/usr/bin/env bash
+# Parametrized determinism/crash-safety smoke driver — one script for
+# every CI smoke job:
+#
+#   ./scripts/smoke.sh queue        fig_latency      1-vs-4-thread byte diff + tail shape
+#   ./scripts/smoke.sh preempt      ablation_preempt 1-vs-4-thread byte diff + drain pipeline
+#   ./scripts/smoke.sh resilience   fig_resilience   1-vs-4-thread byte diff + gates fired
+#   ./scripts/smoke.sh trace        fig3             traced-run byte diff + trace structure
+#   ./scripts/smoke.sh resume       fig3             kill -9 / resume / retry / quarantine
+#
+# Every mode zeroes wall-clock timings (LEXCACHE_ZERO_TIMINGS=1) so the
+# exported artifacts are pure functions of the sweep structure and
+# seeds: worker counts must not show, and any byte of divergence fails.
+# CARGO_BIN overrides the cargo invocation (CI pre-builds the bin).
+#
+# Run from the repo root.
+set -euo pipefail
+
+MODE=${1:-}
+usage() {
+  echo "usage: $0 <queue|preempt|resilience|trace|resume>" >&2
+  exit 2
+}
+case "$MODE" in
+  queue) BIN_NAME=fig_latency ;;
+  preempt) BIN_NAME=ablation_preempt ;;
+  resilience) BIN_NAME=fig_resilience ;;
+  trace | resume) BIN_NAME=fig3 ;;
+  *) usage ;;
+esac
+
+BIN=${CARGO_BIN:-"cargo run --release -q -p bench --bin $BIN_NAME --"}
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/lexcache_${MODE}_smoke.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+export LEXCACHE_ZERO_TIMINGS=1
+
+fail() { echo "smoke($MODE): FAIL: $*" >&2; exit 1; }
+
+# The shared skeleton of the --smoke modes: a serial smoke run is the
+# byte reference for results/<bin>.json, a 4-thread run must reproduce
+# it exactly.
+smoke_diff_json() {
+  echo "== reference: serial smoke run =="
+  $BIN --smoke --json --threads 1 --no-journal
+  [ -s "results/$BIN_NAME.json" ] || fail "no JSON exported"
+  cp "results/$BIN_NAME.json" "$WORK/reference.json"
+
+  echo "== parallel smoke run must match byte for byte =="
+  $BIN --smoke --json --threads 4 --no-journal
+  cmp "results/$BIN_NAME.json" "$WORK/reference.json" \
+    || fail "results diverged between --threads 1 and --threads 4"
+}
+
+mode_queue() {
+  smoke_diff_json
+  echo "== exported JSON parses and the tail behaves =="
+  python3 - <<'EOF' || fail "JSON failed validation"
+import json
+with open("results/fig_latency.json") as f:
+    series = json.load(f)
+assert series, "no series exported"
+labels = {s["label"] for s in series}
+# 6 policies x 4 offered loads.
+assert len(labels) == 24, f"expected 24 sweep points, got {len(labels)}"
+tail = {}
+for s in series:
+    rho = s["label"].rsplit("@rho", 1)[1]
+    p99s = tail.setdefault(rho, [])
+    for r in s["reports"]:
+        for slot in r["slots"]:
+            p50, p99 = slot["p50_sojourn_ms"], slot["p99_sojourn_ms"]
+            assert 0.0 <= p50 <= p99, f"{s['label']}: bad percentiles {p50}/{p99}"
+        p99s.append(
+            sum(t["p99_sojourn_ms"] for t in r["slots"]) / len(r["slots"])
+        )
+mean = lambda xs: sum(xs) / len(xs)
+assert mean(tail["1.1"]) > 0.0, "saturated queues measured no sojourns"
+assert mean(tail["1.1"]) > mean(tail["0.5"]), (
+    f"tail did not grow with load: rho 1.1 -> {mean(tail['1.1']):.3f} ms, "
+    f"rho 0.5 -> {mean(tail['0.5']):.3f} ms"
+)
+print(
+    f"   json ok: {len(labels)} sweep points, mean p99 "
+    f"{mean(tail['0.5']):.2f} ms @ rho 0.5 vs {mean(tail['1.1']):.2f} ms @ rho 1.1"
+)
+EOF
+}
+
+mode_preempt() {
+  smoke_diff_json
+  echo "== exported JSON parses and the drain pipeline fired =="
+  python3 - <<'EOF' || fail "JSON failed validation"
+import json
+with open("results/ablation_preempt.json") as f:
+    series = json.load(f)
+assert series, "no series exported"
+labels = {s["label"] for s in series}
+# 6 policies x 4 notice windows.
+assert len(labels) == 24, f"expected 24 sweep points, got {len(labels)}"
+drained = migrated = 0
+for s in series:
+    for r in s["reports"]:
+        for slot in r["slots"]:
+            drained += slot["drained_count"]
+            migrated += slot["migrated_entries"]
+assert drained > 0, "no preemption notice ever fired in the smoke grid"
+assert migrated > 0, "no warm cache entry was ever migrated off a doomed station"
+print(f"   json ok: {len(labels)} sweep points, {drained} notices, {migrated} migrations")
+EOF
+}
+
+mode_resilience() {
+  smoke_diff_json
+  echo "== exported JSON parses and the SLO gates fired under overload =="
+  python3 - <<'EOF' || fail "JSON failed validation"
+import json
+with open("results/fig_resilience.json") as f:
+    series = json.load(f)
+assert series, "no series exported"
+labels = {s["label"] for s in series}
+# 6 policies x 2 offered loads x 2 arms (off/on).
+assert len(labels) == 24, f"expected 24 sweep points, got {len(labels)}"
+missed_off = shed_on = breaker_on = retried = 0
+for s in series:
+    point, arm = s["label"].rsplit("/", 1)
+    rho = float(point.rsplit("@rho", 1)[1])
+    for r in s["reports"]:
+        for slot in r["slots"]:
+            assert slot["retries_succeeded"] <= slot["retries_attempted"], (
+                f"{s['label']}: more retry successes than attempts"
+            )
+            retried += slot["retries_attempted"]
+            if rho > 1.0 and arm == "off":
+                missed_off += slot["deadline_missed"]
+            if rho > 1.0 and arm == "on":
+                shed_on += slot["shed_count"]
+                breaker_on += slot["breaker_open_slots"]
+assert missed_off > 0, "deep overload without gates must miss deadlines"
+assert shed_on > 0, "admission control never shed at rho 1.3"
+assert breaker_on > 0, "no circuit breaker ever tripped at rho 1.3"
+print(
+    f"   json ok: {len(labels)} sweep points, {missed_off} misses (off), "
+    f"{retried} retries, {shed_on} sheds + {breaker_on} breaker-open slots (on)"
+)
+EOF
+}
+
+mode_trace() {
+  # Small, fast, deterministic: zeroed timings make the trace a pure
+  # function of the sweep structure, so thread counts cannot show.
+  export LEXCACHE_REPEATS=3
+  export LEXCACHE_SLOTS=5
+  export LEXCACHE_TRACE=1
+
+  echo "== reference: traced serial run =="
+  $BIN --threads 1 --no-journal
+  [ -s results/trace_fig3.json ] || fail "no trace exported"
+  [ -s results/trace_fig3.folded ] || fail "no flame fold exported"
+  cp results/trace_fig3.json "$WORK/reference.json"
+  cp results/trace_fig3.folded "$WORK/reference.folded"
+
+  echo "== traced parallel run must match byte for byte =="
+  $BIN --threads 4 --no-journal
+  cmp results/trace_fig3.json "$WORK/reference.json" \
+    || fail "trace diverged between --threads 1 and --threads 4"
+  cmp results/trace_fig3.folded "$WORK/reference.folded" \
+    || fail "flame fold diverged between --threads 1 and --threads 4"
+
+  echo "== exported trace parses and is non-trivial =="
+  python3 - <<'EOF' || fail "trace failed validation"
+import json
+with open("results/trace_fig3.json") as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert events, "traceEvents is empty"
+phases = {e["ph"] for e in events}
+assert "M" in phases, "no thread_name metadata"
+assert "B" in phases and "E" in phases, "no begin/end span events"
+names = {e.get("name") for e in events}
+assert "runner/cell" in names, "runner cell spans missing"
+assert "runner/queue_wait" in names, "queue-wait instants missing"
+begins = sum(1 for e in events if e["ph"] == "B")
+ends = sum(1 for e in events if e["ph"] == "E")
+assert begins == ends, f"unbalanced spans: {begins} begins, {ends} ends"
+print(f"   trace ok: {len(events)} events, {len(names)} distinct names")
+EOF
+}
+
+mode_resume() {
+  # Small, fast, deterministic: every variant below must produce the
+  # same results/fig3.json bytes (decide_us is wall clock, so timings
+  # are zeroed in the JSON).
+  export LEXCACHE_REPEATS=3
+  export LEXCACHE_SLOTS=5
+
+  run_fig3() { $BIN --json "$@"; }
+
+  echo "== reference: clean serial run =="
+  run_fig3 --threads 1 --journal "$WORK/ref.journal.jsonl"
+  cp results/fig3.json "$WORK/reference.json"
+  [ -s "$WORK/ref.journal.jsonl" ] || fail "no journal written"
+
+  echo "== kill -9 mid-sweep, then resume =="
+  # Slow the victim down enough to be killed while cells are in flight.
+  run_fig3 --threads 1 --journal "$WORK/killed.journal.jsonl" &
+  VICTIM=$!
+  sleep 0.4
+  kill -9 "$VICTIM" 2>/dev/null || true
+  wait "$VICTIM" 2>/dev/null || true
+  if [ ! -f "$WORK/killed.journal.jsonl" ]; then
+    # The victim finished or died before its first checkpoint — fall
+    # back to the truncation path below, which pins the same contract.
+    echo "   (victim left no journal; skipping to truncated-journal resume)"
+  else
+    for threads in 1 4; do
+      run_fig3 --threads "$threads" \
+        --resume "$WORK/killed.journal.jsonl" \
+        --journal "$WORK/resumed_kill.journal.jsonl"
+      cmp results/fig3.json "$WORK/reference.json" \
+        || fail "resume after kill -9 diverged (threads $threads)"
+    done
+  fi
+
+  echo "== truncated-journal resume (simulated torn checkpoint) =="
+  # Keep the header plus the first two cell records of the reference
+  # journal — a deterministic "crashed after 2 cells" stub.
+  head -n 3 "$WORK/ref.journal.jsonl" > "$WORK/trunc.journal.jsonl"
+  for threads in 1 4; do
+    run_fig3 --threads "$threads" \
+      --resume "$WORK/trunc.journal.jsonl" \
+      --journal "$WORK/resumed_trunc.journal.jsonl" \
+      | tee "$WORK/resume_out.txt"
+    grep -q "resume: spliced 2 of" "$WORK/resume_out.txt" \
+      || fail "resume did not splice the journaled cells (threads $threads)"
+    cmp results/fig3.json "$WORK/reference.json" \
+      || fail "truncated-journal resume diverged (threads $threads)"
+  done
+
+  echo "== always-panicking cell is quarantined (exit 3) =="
+  # (env prefix on the command itself, not the shell function: bash
+  # leaks `VAR=x fn` assignments past the call.)
+  set +e
+  LEXCACHE_PANIC_CELL=2 $BIN --json --threads 2 \
+    --journal "$WORK/quarantine.journal.jsonl" 2> "$WORK/quarantine_err.txt"
+  status=$?
+  set -e
+  [ "$status" -eq 3 ] || fail "quarantined sweep exited $status, expected 3"
+  grep -q "quarantined" "$WORK/quarantine_err.txt" || fail "no quarantine summary"
+  grep -q "cell 2 " "$WORK/quarantine_err.txt" || fail "summary does not name cell 2"
+
+  echo "== panic-once cell recovers via retry, output unchanged =="
+  LEXCACHE_PANIC_CELL=2:1 $BIN --json --threads 2 \
+    --journal "$WORK/retry.journal.jsonl" 2> "$WORK/retry_err.txt"
+  grep -q "retrying with the same seed" "$WORK/retry_err.txt" \
+    || fail "retry was not reported"
+  cmp results/fig3.json "$WORK/reference.json" \
+    || fail "output changed after a retried panic"
+}
+
+"mode_$MODE"
+
+echo "smoke($MODE): PASS"

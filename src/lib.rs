@@ -42,6 +42,8 @@ pub use bandit;
 pub use forecast;
 pub use infogan;
 pub use lexcache_core as core;
+pub use lexcache_queue as queue;
+pub use lexcache_resilience as resilience;
 pub use mec_net as net;
 pub use mec_workload as workload;
 pub use neural;
